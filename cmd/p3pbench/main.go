@@ -1,0 +1,71 @@
+// Command p3pbench regenerates every table and figure of the paper's
+// evaluation (Section 6) against the synthesized workload:
+//
+//	p3pbench                      # the full report
+//	p3pbench -table=fig20         # one table: fig19, shred, fig20, fig21,
+//	                              # warmcold, xquery-native, ablate
+//	p3pbench -seed=7 -repeats=5   # workload seed and per-cell repetitions
+//
+// Absolute times are from this machine; the paper's Section 6 numbers are
+// from a 2002 dual-600MHz server. EXPERIMENTS.md records the side-by-side
+// comparison and which qualitative findings must hold.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"p3pdb/internal/benchkit"
+)
+
+func main() {
+	table := flag.String("table", "all", "table to print: all, fig19, shred, fig20, fig21, warmcold, xquery-native, ablate")
+	seed := flag.Int64("seed", 42, "workload generation seed")
+	repeats := flag.Int("repeats", 3, "measurements per matrix cell")
+	level := flag.String("ablate-level", "High", "preference level for the ablation table")
+	flag.Parse()
+
+	if *table == "ablate" {
+		a, err := benchkit.RunAblations(*seed, *level)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(a.Render())
+		return
+	}
+
+	r, err := benchkit.Run(benchkit.Config{Seed: *seed, Repeats: *repeats})
+	if err != nil {
+		fatal(err)
+	}
+	switch *table {
+	case "all":
+		fmt.Print(r.Report())
+		a, err := benchkit.RunAblations(*seed, *level)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(a.Render())
+	case "fig19":
+		fmt.Print(r.Figure19())
+	case "shred":
+		fmt.Print(r.ShredTable())
+	case "fig20":
+		fmt.Print(r.Figure20())
+	case "fig21":
+		fmt.Print(r.Figure21())
+	case "warmcold":
+		fmt.Print(r.WarmCold())
+	case "xquery-native":
+		fmt.Print(r.XQueryNativeTable())
+	default:
+		fatal(fmt.Errorf("unknown table %q", *table))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "p3pbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+// Command p3pgen emits the synthesized experimental data set (Section 6.2
+// of the paper: 29 Fortune-1000-style P3P policies, the site reference
+// file, and the 5 JRC-style APPEL preferences) into a directory:
+//
+//	p3pgen -out=dataset [-seed=42]
+//
+// The same seed reproduces the same bytes. The directory layout:
+//
+//	dataset/policies/<name>.xml
+//	dataset/reference.xml
+//	dataset/preferences/<level>.xml
+//	dataset/MANIFEST.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"p3pdb/internal/workload"
+)
+
+func main() {
+	out := flag.String("out", "dataset", "output directory")
+	seed := flag.Int64("seed", 42, "generation seed")
+	flag.Parse()
+
+	d := workload.Generate(*seed)
+	policiesDir := filepath.Join(*out, "policies")
+	prefsDir := filepath.Join(*out, "preferences")
+	for _, dir := range []string{policiesDir, prefsDir} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	var manifest strings.Builder
+	fmt.Fprintf(&manifest, "seed: %d\npolicies: %d\n", *seed, len(d.Policies))
+	for _, pol := range d.Policies {
+		xml := d.PolicyXML[pol.Name]
+		path := filepath.Join(policiesDir, pol.Name+".xml")
+		if err := os.WriteFile(path, []byte(xml), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(&manifest, "  %-32s %6d bytes  %d statements\n",
+			pol.Name+".xml", len(xml), len(pol.Statements))
+	}
+	if err := os.WriteFile(filepath.Join(*out, "reference.xml"),
+		[]byte(d.RefFile.String()), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(&manifest, "preferences: %d\n", len(d.Preferences))
+	for _, pref := range d.Preferences {
+		name := strings.ToLower(strings.ReplaceAll(pref.Level, " ", "-")) + ".xml"
+		if err := os.WriteFile(filepath.Join(prefsDir, name), []byte(pref.XML), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(&manifest, "  %-32s %6d bytes  %d rules\n",
+			name, len(pref.XML), len(pref.Ruleset.Rules))
+	}
+	if err := os.WriteFile(filepath.Join(*out, "MANIFEST.txt"),
+		[]byte(manifest.String()), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote data set to %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "p3pgen:", err)
+	os.Exit(1)
+}

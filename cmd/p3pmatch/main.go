@@ -1,0 +1,86 @@
+// Command p3pmatch matches an APPEL preference against a P3P policy with
+// a selectable engine:
+//
+//	p3pmatch -policy=policy.xml -pref=pref.xml [-engine=sql] [-all]
+//
+// With -all, every engine runs and the decisions (which must agree) are
+// printed side by side with their conversion/query times. Without file
+// arguments it demonstrates the paper's worked example: Volga's policy
+// against Jane's preference.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"p3pdb/internal/appel"
+	"p3pdb/internal/core"
+	"p3pdb/internal/p3p"
+)
+
+func main() {
+	policyPath := flag.String("policy", "", "P3P policy file (default: the paper's Volga example)")
+	prefPath := flag.String("pref", "", "APPEL preference file (default: the paper's Jane example)")
+	engineName := flag.String("engine", "sql", "matching engine: native, sql, xtable, xquery")
+	all := flag.Bool("all", false, "run every engine")
+	flag.Parse()
+
+	policyXML := p3p.VolgaPolicyXML
+	if *policyPath != "" {
+		data, err := os.ReadFile(*policyPath)
+		if err != nil {
+			fatal(err)
+		}
+		policyXML = string(data)
+	}
+	prefXML := appel.JanePreferenceXML
+	if *prefPath != "" {
+		data, err := os.ReadFile(*prefPath)
+		if err != nil {
+			fatal(err)
+		}
+		prefXML = string(data)
+	}
+
+	site, err := core.NewSite()
+	if err != nil {
+		fatal(err)
+	}
+	names, err := site.InstallPolicyXML(policyXML)
+	if err != nil {
+		fatal(fmt.Errorf("installing policy: %w", err))
+	}
+
+	engines := []core.Engine{}
+	if *all {
+		engines = core.Engines
+	} else {
+		e, err := core.ParseEngine(*engineName)
+		if err != nil {
+			fatal(err)
+		}
+		engines = append(engines, e)
+	}
+
+	for _, name := range names {
+		for _, engine := range engines {
+			d, err := site.MatchPolicy(prefXML, name, engine)
+			if err != nil {
+				fmt.Printf("%-22s policy=%-12s ERROR: %v\n", engine, name, err)
+				continue
+			}
+			desc := d.RuleDescription
+			if desc == "" {
+				desc = fmt.Sprintf("rule %d", d.RuleIndex+1)
+			}
+			fmt.Printf("%-22s policy=%-12s decision=%-8s via %-40s convert=%-10s query=%s\n",
+				engine, name, d.Behavior, desc, d.Convert, d.Query)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "p3pmatch:", err)
+	os.Exit(1)
+}

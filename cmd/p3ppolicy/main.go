@@ -1,0 +1,168 @@
+// Command p3ppolicy authors a P3P policy from declarative flags — the
+// role the paper's Section 3.3 tools (P3PEdit, IBM Tivoli Privacy Wizard)
+// played: site owners answer "what do you collect, why, for whom, how
+// long" and get valid policy XML out.
+//
+//	p3ppolicy -name=shop -entity="Example Shop" -email=privacy@shop.example.com \
+//	  -statement "purposes=current; recipients=ours; retention=stated-purpose; data=#user.name,#user.home-info.postal" \
+//	  -statement "purposes=contact:opt-in; recipients=ours; retention=business-practices; data=#user.home-info.online.email; consequence=We email offers with your consent."
+//
+// Each -statement flag takes semicolon-separated fields; purposes and
+// recipients accept value[:required] items. -compact additionally prints
+// the CP-header form; -check only validates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"p3pdb/internal/compact"
+	"p3pdb/internal/p3p"
+)
+
+// statementFlags collects repeated -statement values.
+type statementFlags []string
+
+func (s *statementFlags) String() string { return strings.Join(*s, " | ") }
+
+func (s *statementFlags) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	name := flag.String("name", "", "policy name (required)")
+	discuri := flag.String("discuri", "", "human-readable privacy statement URI")
+	opturi := flag.String("opturi", "", "opt-in/opt-out instructions URI")
+	entity := flag.String("entity", "", "legal entity name")
+	email := flag.String("email", "", "privacy contact email")
+	access := flag.String("access", "none", "ACCESS disclosure: "+strings.Join(p3p.AccessValues, ", "))
+	test := flag.Bool("test", false, "mark the policy TEST-only")
+	emitCompact := flag.Bool("compact", false, "also print the compact (CP header) form")
+	check := flag.Bool("check", false, "validate only; print nothing on success")
+	var statements statementFlags
+	flag.Var(&statements, "statement", "one statement: 'purposes=...; recipients=...; retention=...; data=...; [consequence=...]' (repeatable)")
+	flag.Parse()
+
+	if *name == "" {
+		fatal(fmt.Errorf("-name is required"))
+	}
+	if len(statements) == 0 {
+		fatal(fmt.Errorf("at least one -statement is required"))
+	}
+
+	pol := &p3p.Policy{
+		Name:     *name,
+		Discuri:  *discuri,
+		Opturi:   *opturi,
+		Access:   *access,
+		TestOnly: *test,
+	}
+	if *entity != "" || *email != "" {
+		pol.Entity = &p3p.Entity{Name: *entity, Email: *email}
+	}
+	for i, spec := range statements {
+		st, err := parseStatement(spec)
+		if err != nil {
+			fatal(fmt.Errorf("statement %d: %w", i+1, err))
+		}
+		pol.Statements = append(pol.Statements, st)
+	}
+
+	if err := pol.MustValid(); err != nil {
+		fatal(err)
+	}
+	if *check {
+		fmt.Fprintln(os.Stderr, "policy is valid")
+		return
+	}
+	fmt.Print(pol.String())
+	if *emitCompact {
+		cp, err := compact.FromPolicy(pol, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nCP: %s\n", cp)
+	}
+}
+
+// parseStatement decodes one -statement specification.
+func parseStatement(spec string) (*p3p.Statement, error) {
+	st := &p3p.Statement{}
+	dg := &p3p.DataGroup{}
+	for _, field := range strings.Split(spec, ";") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, value, found := strings.Cut(field, "=")
+		if !found {
+			return nil, fmt.Errorf("field %q is not key=value", field)
+		}
+		key = strings.TrimSpace(key)
+		value = strings.TrimSpace(value)
+		switch key {
+		case "purposes":
+			for _, item := range splitList(value) {
+				v, req := cutRequired(item)
+				st.Purposes = append(st.Purposes, p3p.PurposeValue{Value: v, Required: req})
+			}
+		case "recipients":
+			for _, item := range splitList(value) {
+				v, req := cutRequired(item)
+				st.Recipients = append(st.Recipients, p3p.RecipientValue{Value: v, Required: req})
+			}
+		case "retention":
+			st.Retention = value
+		case "consequence":
+			st.Consequence = value
+		case "non-identifiable":
+			st.NonIdentifiable = value == "yes" || value == "true"
+		case "data":
+			for _, item := range splitList(value) {
+				ref, cats := item, ""
+				if i := strings.IndexByte(item, '['); i >= 0 && strings.HasSuffix(item, "]") {
+					ref, cats = item[:i], item[i+1:len(item)-1]
+				}
+				d := &p3p.Data{Ref: ref}
+				for _, c := range strings.Split(cats, "+") {
+					if c = strings.TrimSpace(c); c != "" {
+						d.Categories = append(d.Categories, c)
+					}
+				}
+				dg.Data = append(dg.Data, d)
+			}
+		default:
+			return nil, fmt.Errorf("unknown field %q", key)
+		}
+	}
+	if len(dg.Data) > 0 {
+		st.DataGroups = append(st.DataGroups, dg)
+	}
+	return st, nil
+}
+
+func splitList(value string) []string {
+	var out []string
+	for _, item := range strings.Split(value, ",") {
+		if item = strings.TrimSpace(item); item != "" {
+			out = append(out, item)
+		}
+	}
+	return out
+}
+
+// cutRequired splits "contact:opt-in" into value and required attribute.
+func cutRequired(item string) (value, required string) {
+	if v, r, found := strings.Cut(item, ":"); found {
+		return strings.TrimSpace(v), strings.TrimSpace(r)
+	}
+	return item, ""
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "p3ppolicy:", err)
+	os.Exit(1)
+}

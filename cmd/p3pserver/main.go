@@ -1,0 +1,64 @@
+// Command p3pserver runs the server-centric P3P matching service
+// (Figures 5 and 6 of the paper) over HTTP:
+//
+//	p3pserver [-addr=:8733] [-demo]
+//
+// With -demo the server starts preloaded with the synthesized 29-policy
+// corpus and its reference file, so clients can match immediately. The
+// API:
+//
+//	POST /policies           install a POLICY/POLICIES document
+//	GET  /policies           list installed policy names
+//	GET  /policies/{name}    fetch a policy document
+//	DELETE /policies/{name}  remove a policy (versioning)
+//	POST /reference          install the META reference file
+//	POST /match?uri=&engine= match the APPEL body; engines: native, sql,
+//	                         xtable, xquery
+//	GET  /analytics          site-owner conflict statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"p3pdb/internal/core"
+	"p3pdb/internal/server"
+	"p3pdb/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8733", "listen address")
+	demo := flag.Bool("demo", false, "preload the synthesized Fortune-1000-style corpus")
+	seed := flag.Int64("seed", 42, "corpus seed for -demo")
+	flag.Parse()
+
+	site, err := core.NewSite()
+	if err != nil {
+		fatal(err)
+	}
+	if *demo {
+		d := workload.Generate(*seed)
+		for _, pol := range d.Policies {
+			if err := site.InstallPolicy(pol); err != nil {
+				fatal(err)
+			}
+		}
+		if err := site.InstallReferenceFile(d.RefFile); err != nil {
+			fatal(err)
+		}
+		log.Printf("preloaded %d policies; try: curl -X POST --data-binary @pref.xml 'http://localhost%s/match?uri=%s'",
+			len(d.Policies), *addr, d.URIFor(d.Policies[0].Name))
+	}
+	log.Printf("p3pserver listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, server.New(site)); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "p3pserver:", err)
+	os.Exit(1)
+}

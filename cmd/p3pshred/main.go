@@ -1,0 +1,120 @@
+// Command p3pshred shreds a P3P policy into relational tables and dumps
+// them, showing what the Section 5 algorithms produce:
+//
+//	p3pshred [-schema=optimized|generic|dynamic] [-policy=policy.xml] [-tables=Purpose,Data]
+//
+// Without a policy file it shreds the paper's Volga example. The generic
+// schema is the Figure 8 one-table-per-element decomposition; optimized is
+// the Figure 14 schema the implementation uses; dynamic runs the literal
+// Figure 8/10 algorithms, discovering the schema from the document itself.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"p3pdb/internal/appelengine"
+	"p3pdb/internal/p3p"
+	"p3pdb/internal/reldb"
+	"p3pdb/internal/shred"
+	"p3pdb/internal/xmldom"
+)
+
+func main() {
+	schema := flag.String("schema", "optimized", "target schema: optimized, generic, or dynamic")
+	policyPath := flag.String("policy", "", "P3P policy file (default: the paper's Volga example)")
+	tables := flag.String("tables", "", "comma-separated tables to dump (default: all non-empty)")
+	flag.Parse()
+
+	policyXML := p3p.VolgaPolicyXML
+	if *policyPath != "" {
+		data, err := os.ReadFile(*policyPath)
+		if err != nil {
+			fatal(err)
+		}
+		policyXML = string(data)
+	}
+	pols, err := p3p.ParsePolicies(policyXML)
+	if err != nil {
+		fatal(err)
+	}
+
+	db := reldb.New()
+	switch *schema {
+	case "optimized":
+		store, err := shred.NewOptimized(db)
+		if err != nil {
+			fatal(err)
+		}
+		for _, pol := range pols {
+			id, err := store.InstallPolicy(pol)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("installed policy %q as id %d\n", pol.Name, id)
+		}
+	case "generic":
+		store, err := shred.NewGeneric(db)
+		if err != nil {
+			fatal(err)
+		}
+		for _, pol := range pols {
+			id, err := store.InstallPolicy(pol)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("installed policy %q as id %d\n", pol.Name, id)
+		}
+	case "dynamic":
+		store := shred.NewDynamic(db)
+		engine := appelengine.NewWithOptions(appelengine.Options{IndexedAugmentation: true})
+		for _, pol := range pols {
+			doc, err := xmldom.ParseString(pol.String())
+			if err != nil {
+				fatal(err)
+			}
+			id, err := store.Install(engine.Augment(doc))
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("installed policy %q as id %d (schema discovered from the document)\n", pol.Name, id)
+		}
+	default:
+		fatal(fmt.Errorf("unknown schema %q", *schema))
+	}
+
+	want := map[string]bool{}
+	if *tables != "" {
+		for _, t := range strings.Split(*tables, ",") {
+			want[strings.ToLower(strings.TrimSpace(t))] = true
+		}
+	}
+	for _, name := range db.TableNames() {
+		if len(want) > 0 && !want[strings.ToLower(name)] {
+			continue
+		}
+		rows, err := db.Query("SELECT * FROM " + name)
+		if err != nil {
+			fatal(err)
+		}
+		if len(rows.Data) == 0 && len(want) == 0 {
+			continue
+		}
+		fmt.Printf("\n%s (%d rows)\n", name, len(rows.Data))
+		fmt.Println("  " + strings.Join(rows.Columns, " | "))
+		for _, row := range rows.Data {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = v.String()
+			}
+			fmt.Println("  " + strings.Join(cells, " | "))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "p3pshred:", err)
+	os.Exit(1)
+}

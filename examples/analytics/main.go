@@ -1,0 +1,132 @@
+// Analytics: the site-owner feedback loop the server-centric architecture
+// enables (Section 4.2: "Site owners can refine their policies if they
+// know what policies have a conflict with the privacy preferences of
+// their users. The current architecture does not allow the site owners to
+// obtain this information.").
+//
+// The example simulates a user population with mixed preference levels
+// visiting a site, inspects the conflict analytics, rewrites the policy to
+// remove its worst-offending practice, installs the new version (policy
+// versioning in the database), and measures the block rate again.
+//
+// Run with: go run ./examples/analytics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"p3pdb/internal/core"
+	"p3pdb/internal/p3p"
+	"p3pdb/internal/workload"
+)
+
+const policyV1 = `<POLICY xmlns="http://www.w3.org/2002/01/P3Pv1"
+    name="shop" discuri="http://shop.example.com/privacy">
+  <ENTITY><DATA-GROUP><DATA ref="#business.name">Example Shop</DATA></DATA-GROUP></ENTITY>
+  <ACCESS><contact-and-other/></ACCESS>
+  <STATEMENT>
+    <CONSEQUENCE>We fulfil your order.</CONSEQUENCE>
+    <PURPOSE><current/></PURPOSE>
+    <RECIPIENT><ours/></RECIPIENT>
+    <RETENTION><stated-purpose/></RETENTION>
+    <DATA-GROUP>
+      <DATA ref="#user.name"/><DATA ref="#user.home-info.postal"/>
+    </DATA-GROUP>
+  </STATEMENT>
+  <STATEMENT>
+    <CONSEQUENCE>We call customers with offers and share lists with partners.</CONSEQUENCE>
+    <PURPOSE><telemarketing/><contact/></PURPOSE>
+    <RECIPIENT><ours/><unrelated/></RECIPIENT>
+    <RETENTION><indefinitely/></RETENTION>
+    <DATA-GROUP>
+      <DATA ref="#user.home-info.telecom.telephone"/>
+      <DATA ref="#user.home-info.online.email"/>
+    </DATA-GROUP>
+  </STATEMENT>
+</POLICY>`
+
+func main() {
+	site, err := core.NewSite()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := site.InstallPolicyXML(policyV1); err != nil {
+		log.Fatal(err)
+	}
+
+	// A user population: one visit per preference level, weighted the
+	// way privacy surveys of the era bucketed users (most in the
+	// middle).
+	population := []struct {
+		level  string
+		visits int
+	}{
+		{"Very High", 10}, {"High", 25}, {"Medium", 40}, {"Low", 20}, {"Very Low", 5},
+	}
+	visit := func() (blocks, total int) {
+		for _, group := range population {
+			pref, ok := workload.PreferenceByLevel(group.level)
+			if !ok {
+				log.Fatalf("no preference %s", group.level)
+			}
+			for i := 0; i < group.visits; i++ {
+				d, err := site.MatchPolicy(pref.XML, "shop", core.EngineSQL)
+				if err != nil {
+					log.Fatal(err)
+				}
+				total++
+				if d.Blocked() {
+					blocks++
+				}
+			}
+		}
+		return blocks, total
+	}
+
+	blocks, total := visit()
+	fmt.Printf("policy v1: %d of %d visits blocked (%.0f%%)\n\n", blocks, total,
+		100*float64(blocks)/float64(total))
+
+	fmt.Println("conflict analytics (what the client-centric architecture cannot tell the owner):")
+	for _, s := range site.Analytics() {
+		fmt.Printf("  %3dx  %s\n", s.Count, s.RuleDescription)
+	}
+	fmt.Println()
+
+	// The owner reads the analytics: telemarketing, third-party sharing,
+	// and indefinite retention drive the blocks. Version 2 drops the
+	// telemarketing statement and keeps contact as opt-in.
+	v2, err := p3p.ParsePolicy(policyV1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v2.Statements = v2.Statements[:1]
+	v2.Statements = append(v2.Statements, &p3p.Statement{
+		Consequence: "With your consent we email occasional offers.",
+		Purposes:    []p3p.PurposeValue{{Value: "contact", Required: "opt-in"}},
+		Recipients:  []p3p.RecipientValue{{Value: "ours"}},
+		Retention:   "business-practices",
+		DataGroups: []*p3p.DataGroup{{
+			Data: []*p3p.Data{{Ref: "#user.home-info.online.email"}},
+		}},
+	})
+	if err := site.RemovePolicy("shop"); err != nil {
+		log.Fatal(err)
+	}
+	if err := site.InstallPolicy(v2); err != nil {
+		log.Fatal(err)
+	}
+	site.ResetAnalytics()
+	fmt.Println("owner removes telemarketing/sharing statement, installs policy v2")
+
+	blocks, total = visit()
+	fmt.Printf("policy v2: %d of %d visits blocked (%.0f%%)\n", blocks, total,
+		100*float64(blocks)/float64(total))
+	if remaining := site.Analytics(); len(remaining) > 0 {
+		fmt.Println("\nremaining conflicts:")
+		for _, s := range remaining {
+			fmt.Printf("  %3dx  %s\n", s.Count, s.RuleDescription)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example binary end to end and checks the
+// load-bearing line of its output, so the examples cannot rot. Skipped in
+// -short mode (each example builds and runs a full Site).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are slow to build and run")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	cases := []struct {
+		dir  string
+		want []string
+	}{
+		{"./examples/quickstart", []string{
+			"installed policies: [volga]",
+			"request",
+			"without the opt-in attribute: block",
+		}},
+		{"./examples/bookstore", []string{
+			"site owner installed policies [checkout catalog]",
+			"STOP /books/dune",
+			"OK   /checkout/pay",
+			"site-owner analytics",
+		}},
+		{"./examples/thinclient", []string{
+			"client-centric session over 29 pages",
+			"decision bytes shipped to device",
+			"no APPEL engine on the device",
+		}},
+		{"./examples/analytics", []string{
+			"policy v1:",
+			"conflict analytics",
+			"policy v2:",
+		}},
+		{"./examples/cookiewall", []string{
+			`cookie "cart_7f3a"`,
+			"CP header:",
+			"server-centric: block",
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", c.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %s: %v\n%s", c.dir, err, out)
+			}
+			for _, want := range c.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("%s output missing %q:\n%s", c.dir, want, out)
+				}
+			}
+		})
+	}
+}

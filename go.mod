@@ -1,0 +1,3 @@
+module p3pdb
+
+go 1.22

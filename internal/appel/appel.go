@@ -1,0 +1,307 @@
+// Package appel models the A P3P Preference Exchange Language (APPEL 1.0,
+// W3C Working Draft): rulesets of ordered rules whose bodies are patterns
+// matched against a P3P policy, with the six APPEL connectives (and, or,
+// non-and, non-or, and-exact, or-exact).
+//
+// The package provides parsing from and serialization to the APPEL XML
+// format. Rule evaluation lives in package appelengine (the client-centric
+// baseline); packages sqlgen and xqgen translate rules to SQL and XQuery
+// (the paper's server-centric alternatives).
+package appel
+
+import (
+	"fmt"
+
+	"p3pdb/internal/xmldom"
+)
+
+// NS is the APPEL 1.0 namespace URI.
+const NS = "http://www.w3.org/2002/01/APPELv1"
+
+// Behaviors defined by APPEL 1.0. A rule that fires returns its behavior;
+// "request" releases data, "block" withholds it, "limited" releases with
+// restrictions.
+var Behaviors = []string{"request", "limited", "block"}
+
+// Connectives defined by APPEL 1.0. The zero value of a connective is
+// interpreted as ConnAnd.
+const (
+	ConnAnd      = "and"
+	ConnOr       = "or"
+	ConnNonAnd   = "non-and"
+	ConnNonOr    = "non-or"
+	ConnAndExact = "and-exact"
+	ConnOrExact  = "or-exact"
+)
+
+// Connectives lists every legal connective value.
+var Connectives = []string{ConnAnd, ConnOr, ConnNonAnd, ConnNonOr, ConnAndExact, ConnOrExact}
+
+// IsConnective reports whether v is a legal connective.
+func IsConnective(v string) bool {
+	for _, c := range Connectives {
+		if c == v {
+			return true
+		}
+	}
+	return false
+}
+
+// IsBehavior reports whether v is a predefined behavior.
+func IsBehavior(v string) bool {
+	for _, b := range Behaviors {
+		if b == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Ruleset is an ordered list of rules. Rules are evaluated in order; the
+// first rule whose pattern matches the policy determines the outcome.
+type Ruleset struct {
+	Rules []*Rule
+}
+
+// Rule is one appel:RULE (or appel:OTHERWISE, which is modeled as a rule
+// with an empty body: an empty body matches any evidence).
+type Rule struct {
+	// Behavior is the action taken when the rule fires.
+	Behavior string
+	// Prompt, when true, asks the user agent to prompt before acting.
+	Prompt bool
+	// Description is the human-readable explanation of the rule.
+	Description string
+	// Connective combines the rule's top-level expressions; default and.
+	Connective string
+	// Body holds the rule's pattern expressions (typically a single
+	// POLICY expression). An empty body matches unconditionally.
+	Body []*Expr
+}
+
+// EffectiveConnective returns the connective with defaulting applied.
+func (r *Rule) EffectiveConnective() string {
+	if r.Connective == "" {
+		return ConnAnd
+	}
+	return r.Connective
+}
+
+// Attr is one attribute pattern on an expression: the policy element must
+// carry the attribute with exactly this value (after P3P defaulting).
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Expr is one APPEL expression: a pattern that matches policy elements of
+// the same name whose attributes and subelements satisfy the pattern.
+type Expr struct {
+	// Name is the element name to match, e.g. "STATEMENT" or "contact".
+	Name string
+	// Attrs are the attribute patterns.
+	Attrs []Attr
+	// Connective combines the subexpression matches; default and.
+	Connective string
+	// Children are the subexpressions.
+	Children []*Expr
+}
+
+// EffectiveConnective returns the connective with defaulting applied.
+func (e *Expr) EffectiveConnective() string {
+	if e.Connective == "" {
+		return ConnAnd
+	}
+	return e.Connective
+}
+
+// Attr returns the value of the named attribute pattern and whether it is
+// present.
+func (e *Expr) Attr(name string) (string, bool) {
+	for _, a := range e.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// Parse parses an APPEL ruleset document.
+func Parse(src string) (*Ruleset, error) {
+	root, err := xmldom.ParseString(src)
+	if err != nil {
+		return nil, err
+	}
+	return FromDOM(root)
+}
+
+// FromDOM converts a parsed appel:RULESET element into a Ruleset.
+func FromDOM(root *xmldom.Node) (*Ruleset, error) {
+	if root.Name != "RULESET" {
+		return nil, fmt.Errorf("appel: expected RULESET root, got %s", root.Name)
+	}
+	rs := &Ruleset{}
+	for _, c := range root.Children {
+		switch c.Name {
+		case "RULE":
+			r, err := ruleFromDOM(c)
+			if err != nil {
+				return nil, err
+			}
+			rs.Rules = append(rs.Rules, r)
+		case "OTHERWISE":
+			// OTHERWISE is a catch-all: a rule with an empty body.
+			rs.Rules = append(rs.Rules, &Rule{
+				Behavior:    c.AttrDefault("behavior", "request"),
+				Description: c.AttrDefault("description", ""),
+			})
+		default:
+			return nil, fmt.Errorf("appel: unexpected element %s in RULESET", c.Name)
+		}
+	}
+	if len(rs.Rules) == 0 {
+		return nil, fmt.Errorf("appel: ruleset has no rules")
+	}
+	return rs, nil
+}
+
+func ruleFromDOM(el *xmldom.Node) (*Rule, error) {
+	behavior, ok := el.Attr("behavior")
+	if !ok {
+		return nil, fmt.Errorf("appel: RULE without behavior attribute")
+	}
+	r := &Rule{
+		Behavior:    behavior,
+		Prompt:      el.AttrDefault("prompt", "no") == "yes",
+		Description: el.AttrDefault("description", ""),
+	}
+	// The connective attribute steers matching wherever it appears; the
+	// P3P vocabulary defines no attribute of that name, so any namespace
+	// (or none) means the APPEL one.
+	if conn, ok := el.Attr("connective"); ok {
+		if !IsConnective(conn) {
+			return nil, fmt.Errorf("appel: bad connective %q on RULE", conn)
+		}
+		r.Connective = conn
+	}
+	for _, c := range el.Children {
+		e, err := exprFromDOM(c)
+		if err != nil {
+			return nil, err
+		}
+		r.Body = append(r.Body, e)
+	}
+	return r, nil
+}
+
+func exprFromDOM(el *xmldom.Node) (*Expr, error) {
+	e := &Expr{Name: el.Name}
+	for _, a := range el.Attrs {
+		if a.Space == NS || a.Name == "connective" {
+			// appel:connective steers matching; it is not a pattern.
+			// Other appel-namespace attributes (prompt, persona) do not
+			// pattern against the policy either.
+			if a.Name == "connective" {
+				if !IsConnective(a.Value) {
+					return nil, fmt.Errorf("appel: bad connective %q on %s", a.Value, el.Name)
+				}
+				e.Connective = a.Value
+			}
+			continue
+		}
+		e.Attrs = append(e.Attrs, Attr{Name: a.Name, Value: a.Value})
+	}
+	for _, c := range el.Children {
+		ce, err := exprFromDOM(c)
+		if err != nil {
+			return nil, err
+		}
+		e.Children = append(e.Children, ce)
+	}
+	return e, nil
+}
+
+// ToDOM renders the ruleset back to an appel:RULESET element. Rules with
+// empty bodies render as appel:OTHERWISE when they are the final rule and
+// as empty appel:RULE elements otherwise.
+func (rs *Ruleset) ToDOM() *xmldom.Node {
+	root := xmldom.NewNS(NS, "RULESET")
+	for i, r := range rs.Rules {
+		if len(r.Body) == 0 && i == len(rs.Rules)-1 {
+			o := xmldom.NewNS(NS, "OTHERWISE").SetAttr("behavior", r.Behavior)
+			if r.Description != "" {
+				o.SetAttr("description", r.Description)
+			}
+			root.Add(o)
+			continue
+		}
+		root.Add(r.toDOM())
+	}
+	return root
+}
+
+// String renders the ruleset as an XML document.
+func (rs *Ruleset) String() string { return rs.ToDOM().String() }
+
+func (r *Rule) toDOM() *xmldom.Node {
+	el := xmldom.NewNS(NS, "RULE").SetAttr("behavior", r.Behavior)
+	if r.Prompt {
+		el.SetAttr("prompt", "yes")
+	}
+	if r.Description != "" {
+		el.SetAttr("description", r.Description)
+	}
+	if r.Connective != "" {
+		el.SetAttrNS(NS, "connective", r.Connective)
+	}
+	for _, e := range r.Body {
+		el.Add(e.toDOM())
+	}
+	return el
+}
+
+func (e *Expr) toDOM() *xmldom.Node {
+	// Pattern elements live in the P3P namespace, matching the documents
+	// the paper shows (Figure 2).
+	el := xmldom.NewNS("http://www.w3.org/2002/01/P3Pv1", e.Name)
+	if e.Connective != "" {
+		el.SetAttrNS(NS, "connective", e.Connective)
+	}
+	for _, a := range e.Attrs {
+		el.SetAttr(a.Name, a.Value)
+	}
+	for _, c := range e.Children {
+		el.Add(c.toDOM())
+	}
+	return el
+}
+
+// Validate checks behaviors and connectives throughout the ruleset.
+func (rs *Ruleset) Validate() error {
+	for i, r := range rs.Rules {
+		if !IsBehavior(r.Behavior) {
+			return fmt.Errorf("appel: rule %d: unknown behavior %q", i+1, r.Behavior)
+		}
+		if r.Connective != "" && !IsConnective(r.Connective) {
+			return fmt.Errorf("appel: rule %d: unknown connective %q", i+1, r.Connective)
+		}
+		var walk func(*Expr) error
+		walk = func(e *Expr) error {
+			if e.Connective != "" && !IsConnective(e.Connective) {
+				return fmt.Errorf("appel: rule %d: unknown connective %q on %s", i+1, e.Connective, e.Name)
+			}
+			for _, c := range e.Children {
+				if err := walk(c); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, e := range r.Body {
+			if err := walk(e); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

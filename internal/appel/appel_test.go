@@ -1,0 +1,185 @@
+package appel
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseJane(t *testing.T) {
+	rs, err := Parse(JanePreferenceXML)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(rs.Rules) != 3 {
+		t.Fatalf("rules = %d, want 3", len(rs.Rules))
+	}
+	r1 := rs.Rules[0]
+	if r1.Behavior != "block" {
+		t.Errorf("rule1 behavior = %q", r1.Behavior)
+	}
+	if len(r1.Body) != 1 || r1.Body[0].Name != "POLICY" {
+		t.Fatalf("rule1 body: %+v", r1.Body)
+	}
+	purpose := r1.Body[0].Children[0].Children[0]
+	if purpose.Name != "PURPOSE" {
+		t.Fatalf("expected PURPOSE, got %s", purpose.Name)
+	}
+	if purpose.EffectiveConnective() != ConnOr {
+		t.Errorf("purpose connective = %q", purpose.EffectiveConnective())
+	}
+	if len(purpose.Children) != 11 {
+		t.Errorf("purpose children = %d, want 11", len(purpose.Children))
+	}
+	// The required attribute is a pattern attr, not an appel attr.
+	var contact *Expr
+	for _, c := range purpose.Children {
+		if c.Name == "contact" {
+			contact = c
+		}
+	}
+	if contact == nil {
+		t.Fatal("no contact expression")
+	}
+	if v, ok := contact.Attr("required"); !ok || v != "always" {
+		t.Errorf("contact required = %q, %v", v, ok)
+	}
+	// Default connective is and.
+	if r1.Body[0].EffectiveConnective() != ConnAnd {
+		t.Errorf("POLICY connective = %q", r1.Body[0].EffectiveConnective())
+	}
+	// Final rule is the catch-all with empty body.
+	r3 := rs.Rules[2]
+	if r3.Behavior != "request" || len(r3.Body) != 0 {
+		t.Errorf("otherwise rule: %+v", r3)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rs, err := Parse(JanePreferenceXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rs.String()
+	rs2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	if !reflect.DeepEqual(rs, rs2) {
+		t.Errorf("round trip mismatch:\n%#v\nvs\n%#v", rs, rs2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`<NOTARULESET/>`,
+		`<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1"></appel:RULESET>`,
+		`<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1"><appel:RULE/></appel:RULESET>`,
+		`<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1"><BOGUS/></appel:RULESET>`,
+		`<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1">
+			<appel:RULE behavior="block" appel:connective="nope"/></appel:RULESET>`,
+		`<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1">
+			<appel:RULE behavior="block"><P appel:connective="nope"/></appel:RULE></appel:RULESET>`,
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%.60q): expected error", c)
+		}
+	}
+}
+
+func TestConnectiveValues(t *testing.T) {
+	for _, c := range Connectives {
+		if !IsConnective(c) {
+			t.Errorf("IsConnective(%q) = false", c)
+		}
+	}
+	if IsConnective("xor") {
+		t.Error("xor should not be a connective")
+	}
+	if len(Connectives) != 6 {
+		t.Errorf("APPEL defines 6 connectives, have %d", len(Connectives))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	rs, err := Parse(JanePreferenceXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Validate(); err != nil {
+		t.Errorf("Jane should validate: %v", err)
+	}
+	bad := &Ruleset{Rules: []*Rule{{Behavior: "explode"}}}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "behavior") {
+		t.Errorf("bad behavior not caught: %v", err)
+	}
+	bad2 := &Ruleset{Rules: []*Rule{{
+		Behavior: "block",
+		Body:     []*Expr{{Name: "POLICY", Children: []*Expr{{Name: "X", Connective: "maybe"}}}},
+	}}}
+	if err := bad2.Validate(); err == nil || !strings.Contains(err.Error(), "connective") {
+		t.Errorf("bad nested connective not caught: %v", err)
+	}
+}
+
+func TestConnectiveParsing(t *testing.T) {
+	doc := `<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1">
+	  <appel:RULE behavior="block" appel:connective="or">
+	    <POLICY><STATEMENT>
+	      <PURPOSE appel:connective="and-exact"><current/></PURPOSE>
+	      <RECIPIENT appel:connective="non-or"><public/></RECIPIENT>
+	    </STATEMENT></POLICY>
+	  </appel:RULE>
+	</appel:RULESET>`
+	rs, err := Parse(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rs.Rules[0]
+	if r.EffectiveConnective() != ConnOr {
+		t.Errorf("rule connective = %q", r.EffectiveConnective())
+	}
+	st := r.Body[0].Children[0]
+	if st.Children[0].EffectiveConnective() != ConnAndExact {
+		t.Errorf("purpose connective = %q", st.Children[0].EffectiveConnective())
+	}
+	if st.Children[1].EffectiveConnective() != ConnNonOr {
+		t.Errorf("recipient connective = %q", st.Children[1].EffectiveConnective())
+	}
+}
+
+func TestPromptAndDescription(t *testing.T) {
+	doc := `<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1">
+	  <appel:RULE behavior="limited" prompt="yes" description="warn me"/>
+	</appel:RULESET>`
+	rs, err := Parse(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rs.Rules[0]
+	if !r.Prompt || r.Description != "warn me" || r.Behavior != "limited" {
+		t.Errorf("rule: %+v", r)
+	}
+}
+
+func TestEmptyBodyRuleMatchesAll(t *testing.T) {
+	// An empty RULE body is the catch-all shape used by the paper's
+	// Figure 2 final rule; ToDOM renders a final empty-body rule as
+	// OTHERWISE and a reparse preserves semantics.
+	rs := &Ruleset{Rules: []*Rule{
+		{Behavior: "block", Body: []*Expr{{Name: "POLICY"}}},
+		{Behavior: "request"},
+	}}
+	out := rs.String()
+	if !strings.Contains(out, "OTHERWISE") {
+		t.Errorf("final empty rule should serialize as OTHERWISE:\n%s", out)
+	}
+	rs2, err := Parse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs2.Rules) != 2 || rs2.Rules[1].Behavior != "request" || len(rs2.Rules[1].Body) != 0 {
+		t.Errorf("reparsed: %+v", rs2.Rules)
+	}
+}

@@ -1,0 +1,26 @@
+package appel
+
+import "testing"
+
+// FuzzParse checks the APPEL parser never panics and that accepted
+// rulesets serialize and reparse.
+func FuzzParse(f *testing.F) {
+	f.Add(JanePreferenceXML)
+	f.Add(JaneSimplifiedRuleXML)
+	f.Add(`<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1"><appel:OTHERWISE/></appel:RULESET>`)
+	f.Add(`<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1"><appel:RULE behavior="block" appel:connective="or"><POLICY/></appel:RULE></appel:RULESET>`)
+	f.Add(`<bogus/>`)
+	f.Fuzz(func(t *testing.T, src string) {
+		rs, err := Parse(src)
+		if err != nil {
+			return
+		}
+		back, err := Parse(rs.String())
+		if err != nil {
+			t.Fatalf("accepted ruleset did not round trip: %v\n%s", err, rs.String())
+		}
+		if len(back.Rules) != len(rs.Rules) {
+			t.Fatalf("rule count changed across round trip")
+		}
+	})
+}

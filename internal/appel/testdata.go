@@ -1,0 +1,54 @@
+package appel
+
+// JanePreferenceXML is the example preference from the paper (Figure 2):
+// Jane blocks every purpose other than "current" — except that she accepts
+// individual-decision and contact when the site offers opt-in/opt-out — and
+// blocks recipients beyond the retailer and its same-practice agents.
+const JanePreferenceXML = `<appel:RULESET
+    xmlns:appel="http://www.w3.org/2002/01/APPELv1"
+    xmlns="http://www.w3.org/2002/01/P3Pv1">
+  <appel:RULE behavior="block">
+    <POLICY>
+      <STATEMENT>
+        <PURPOSE appel:connective="or">
+          <admin/><develop/><tailoring/>
+          <pseudo-analysis/><pseudo-decision/>
+          <individual-analysis/>
+          <individual-decision required="always"/>
+          <contact required="always"/>
+          <historical/><telemarketing/>
+          <other-purpose/>
+        </PURPOSE>
+      </STATEMENT>
+    </POLICY>
+  </appel:RULE>
+  <appel:RULE behavior="block">
+    <POLICY>
+      <STATEMENT>
+        <RECIPIENT appel:connective="or">
+          <delivery/><other-recipient/>
+          <unrelated/><public/>
+        </RECIPIENT>
+      </STATEMENT>
+    </POLICY>
+  </appel:RULE>
+  <appel:OTHERWISE behavior="request"/>
+</appel:RULESET>`
+
+// JaneSimplifiedRuleXML is the simplified first rule used in the paper's
+// translation examples (Figure 12).
+const JaneSimplifiedRuleXML = `<appel:RULESET
+    xmlns:appel="http://www.w3.org/2002/01/APPELv1"
+    xmlns="http://www.w3.org/2002/01/P3Pv1">
+  <appel:RULE behavior="block">
+    <POLICY>
+      <STATEMENT>
+        <PURPOSE appel:connective="or">
+          <admin/>
+          <contact required="always"/>
+        </PURPOSE>
+      </STATEMENT>
+    </POLICY>
+  </appel:RULE>
+  <appel:OTHERWISE behavior="request"/>
+</appel:RULESET>`

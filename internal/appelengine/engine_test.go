@@ -1,0 +1,358 @@
+package appelengine
+
+import (
+	"strings"
+	"testing"
+
+	"p3pdb/internal/appel"
+	"p3pdb/internal/p3p"
+	"p3pdb/internal/xmldom"
+)
+
+func mustRuleset(t testing.TB, src string) *appel.Ruleset {
+	t.Helper()
+	rs, err := appel.Parse(src)
+	if err != nil {
+		t.Fatalf("parse ruleset: %v", err)
+	}
+	return rs
+}
+
+// TestVolgaConformsToJane reproduces the paper's worked example (§2.2):
+// Volga's policy conforms to Jane's preferences — neither block rule fires
+// and the catch-all requests the page.
+func TestVolgaConformsToJane(t *testing.T) {
+	e := New()
+	rs := mustRuleset(t, appel.JanePreferenceXML)
+	d, err := e.Match(rs, p3p.VolgaPolicyXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Behavior != "request" || d.RuleIndex != 2 {
+		t.Errorf("decision = %+v, want request via rule 3", d)
+	}
+}
+
+// TestAlwaysRequiredFiresRule reproduces the paper's counterfactual: if
+// individual-decision were not declared opt-in, the default (always) would
+// apply and Jane's first rule would fire.
+func TestAlwaysRequiredFiresRule(t *testing.T) {
+	modified := strings.Replace(p3p.VolgaPolicyXML,
+		`<individual-decision required="opt-in"/>`, `<individual-decision/>`, 1)
+	e := New()
+	rs := mustRuleset(t, appel.JanePreferenceXML)
+	d, err := e.Match(rs, modified)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Behavior != "block" || d.RuleIndex != 0 {
+		t.Errorf("decision = %+v, want block via rule 1", d)
+	}
+}
+
+// TestRecipientRuleFires checks Jane's second rule: a policy sharing data
+// with unrelated parties is blocked.
+func TestRecipientRuleFires(t *testing.T) {
+	modified := strings.Replace(p3p.VolgaPolicyXML,
+		`<RECIPIENT><ours/><same/></RECIPIENT>`, `<RECIPIENT><ours/><unrelated/></RECIPIENT>`, 1)
+	e := New()
+	rs := mustRuleset(t, appel.JanePreferenceXML)
+	d, err := e.Match(rs, modified)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Behavior != "block" || d.RuleIndex != 1 {
+		t.Errorf("decision = %+v, want block via rule 2", d)
+	}
+}
+
+func matchSnippet(t *testing.T, ruleBody, policyBody string) bool {
+	t.Helper()
+	rsDoc := `<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1">
+		<appel:RULE behavior="block">` + ruleBody + `</appel:RULE>
+		<appel:OTHERWISE behavior="request"/>
+	</appel:RULESET>`
+	rs := mustRuleset(t, rsDoc)
+	d, err := New().Match(rs, policyBody)
+	if err != nil {
+		t.Fatalf("match: %v", err)
+	}
+	return d.Behavior == "block"
+}
+
+func TestConnectiveOr(t *testing.T) {
+	rule := `<POLICY><STATEMENT><PURPOSE appel:connective="or"><admin/><telemarketing/></PURPOSE></STATEMENT></POLICY>`
+	yes := `<POLICY><STATEMENT><PURPOSE><current/><telemarketing/></PURPOSE></STATEMENT></POLICY>`
+	no := `<POLICY><STATEMENT><PURPOSE><current/></PURPOSE></STATEMENT></POLICY>`
+	if !matchSnippet(t, rule, yes) {
+		t.Error("or: should match when one disjunct present")
+	}
+	if matchSnippet(t, rule, no) {
+		t.Error("or: should not match when no disjunct present")
+	}
+}
+
+func TestConnectiveAnd(t *testing.T) {
+	rule := `<POLICY><STATEMENT><PURPOSE appel:connective="and"><admin/><telemarketing/></PURPOSE></STATEMENT></POLICY>`
+	yes := `<POLICY><STATEMENT><PURPOSE><admin/><telemarketing/><current/></PURPOSE></STATEMENT></POLICY>`
+	no := `<POLICY><STATEMENT><PURPOSE><admin/><current/></PURPOSE></STATEMENT></POLICY>`
+	if !matchSnippet(t, rule, yes) {
+		t.Error("and: should match when all present (extras allowed)")
+	}
+	if matchSnippet(t, rule, no) {
+		t.Error("and: should not match when one missing")
+	}
+}
+
+func TestConnectiveAndExact(t *testing.T) {
+	rule := `<POLICY><STATEMENT><PURPOSE appel:connective="and-exact"><admin/><telemarketing/></PURPOSE></STATEMENT></POLICY>`
+	yes := `<POLICY><STATEMENT><PURPOSE><admin/><telemarketing/></PURPOSE></STATEMENT></POLICY>`
+	extra := `<POLICY><STATEMENT><PURPOSE><admin/><telemarketing/><current/></PURPOSE></STATEMENT></POLICY>`
+	missing := `<POLICY><STATEMENT><PURPOSE><admin/></PURPOSE></STATEMENT></POLICY>`
+	if !matchSnippet(t, rule, yes) {
+		t.Error("and-exact: exact set should match")
+	}
+	if matchSnippet(t, rule, extra) {
+		t.Error("and-exact: extra element should defeat the match")
+	}
+	if matchSnippet(t, rule, missing) {
+		t.Error("and-exact: missing element should defeat the match")
+	}
+}
+
+func TestConnectiveOrExact(t *testing.T) {
+	rule := `<POLICY><STATEMENT><PURPOSE appel:connective="or-exact"><admin/><telemarketing/></PURPOSE></STATEMENT></POLICY>`
+	subset := `<POLICY><STATEMENT><PURPOSE><admin/></PURPOSE></STATEMENT></POLICY>`
+	extra := `<POLICY><STATEMENT><PURPOSE><admin/><current/></PURPOSE></STATEMENT></POLICY>`
+	none := `<POLICY><STATEMENT><PURPOSE><current/></PURPOSE></STATEMENT></POLICY>`
+	if !matchSnippet(t, rule, subset) {
+		t.Error("or-exact: subset should match")
+	}
+	if matchSnippet(t, rule, extra) {
+		t.Error("or-exact: unlisted element should defeat the match")
+	}
+	if matchSnippet(t, rule, none) {
+		t.Error("or-exact: no listed element present should not match")
+	}
+}
+
+func TestConnectiveNonOr(t *testing.T) {
+	rule := `<POLICY><STATEMENT><RECIPIENT appel:connective="non-or"><unrelated/><public/></RECIPIENT></STATEMENT></POLICY>`
+	clean := `<POLICY><STATEMENT><RECIPIENT><ours/></RECIPIENT></STATEMENT></POLICY>`
+	dirty := `<POLICY><STATEMENT><RECIPIENT><ours/><public/></RECIPIENT></STATEMENT></POLICY>`
+	if !matchSnippet(t, rule, clean) {
+		t.Error("non-or: should match when none of the listed elements present")
+	}
+	if matchSnippet(t, rule, dirty) {
+		t.Error("non-or: should not match when a listed element is present")
+	}
+}
+
+func TestConnectiveNonAnd(t *testing.T) {
+	rule := `<POLICY><STATEMENT><PURPOSE appel:connective="non-and"><admin/><telemarketing/></PURPOSE></STATEMENT></POLICY>`
+	both := `<POLICY><STATEMENT><PURPOSE><admin/><telemarketing/></PURPOSE></STATEMENT></POLICY>`
+	one := `<POLICY><STATEMENT><PURPOSE><admin/></PURPOSE></STATEMENT></POLICY>`
+	if matchSnippet(t, rule, both) {
+		t.Error("non-and: should not match when all listed present")
+	}
+	if !matchSnippet(t, rule, one) {
+		t.Error("non-and: should match when not all present")
+	}
+}
+
+func TestAttributeDefaulting(t *testing.T) {
+	// Pattern requires required="always"; policy omits the attribute, so
+	// the P3P default (always) applies and the pattern matches.
+	rule := `<POLICY><STATEMENT><PURPOSE><contact required="always"/></PURPOSE></STATEMENT></POLICY>`
+	implicit := `<POLICY><STATEMENT><PURPOSE><contact/></PURPOSE></STATEMENT></POLICY>`
+	optIn := `<POLICY><STATEMENT><PURPOSE><contact required="opt-in"/></PURPOSE></STATEMENT></POLICY>`
+	if !matchSnippet(t, rule, implicit) {
+		t.Error("absent required should default to always")
+	}
+	if matchSnippet(t, rule, optIn) {
+		t.Error("opt-in should not match always")
+	}
+}
+
+func TestAttributeWildcard(t *testing.T) {
+	rule := `<POLICY><STATEMENT><PURPOSE><contact required="*"/></PURPOSE></STATEMENT></POLICY>`
+	optIn := `<POLICY><STATEMENT><PURPOSE><contact required="opt-in"/></PURPOSE></STATEMENT></POLICY>`
+	if !matchSnippet(t, rule, optIn) {
+		t.Error("wildcard should match any value")
+	}
+}
+
+func TestAttributeMissingNoDefault(t *testing.T) {
+	rule := `<POLICY><STATEMENT x="1"><PURPOSE><current/></PURPOSE></STATEMENT></POLICY>`
+	pol := `<POLICY><STATEMENT><PURPOSE><current/></PURPOSE></STATEMENT></POLICY>`
+	if matchSnippet(t, rule, pol) {
+		t.Error("attribute with no default must be present to match")
+	}
+}
+
+func TestDataRefHierarchy(t *testing.T) {
+	// Preference blocks collection of postal address; policy collects the
+	// whole home-info struct (augmentation expands it to leaves).
+	rule := `<POLICY><STATEMENT><DATA-GROUP><DATA ref="#user.home-info.postal"/></DATA-GROUP></STATEMENT></POLICY>`
+	broad := `<POLICY><STATEMENT><DATA-GROUP><DATA ref="#user.home-info"/></DATA-GROUP></STATEMENT></POLICY>`
+	narrow := `<POLICY><STATEMENT><DATA-GROUP><DATA ref="#user.home-info.postal.street"/></DATA-GROUP></STATEMENT></POLICY>`
+	unrelated := `<POLICY><STATEMENT><DATA-GROUP><DATA ref="#user.bdate"/></DATA-GROUP></STATEMENT></POLICY>`
+	if !matchSnippet(t, rule, broad) {
+		t.Error("pattern under a broader policy ref should match")
+	}
+	if !matchSnippet(t, rule, narrow) {
+		t.Error("pattern above a narrower policy ref should match")
+	}
+	if matchSnippet(t, rule, unrelated) {
+		t.Error("unrelated ref should not match")
+	}
+}
+
+func TestCategoryMatchingViaAugmentation(t *testing.T) {
+	// The preference blocks any data in the physical category. The policy
+	// collects #user.name, whose category comes from the base data
+	// schema, not the policy text: only augmentation makes this match.
+	rule := `<POLICY><STATEMENT><DATA-GROUP><DATA ref="*"><CATEGORIES><physical/></CATEGORIES></DATA></DATA-GROUP></STATEMENT></POLICY>`
+	pol := `<POLICY><STATEMENT><DATA-GROUP><DATA ref="#user.name"/></DATA-GROUP></STATEMENT></POLICY>`
+	if !matchSnippet(t, rule, pol) {
+		t.Error("augmentation should attach physical category to user.name")
+	}
+
+	// With augmentation disabled the same rule cannot fire.
+	rs := mustRuleset(t, `<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1">
+		<appel:RULE behavior="block"><POLICY><STATEMENT><DATA-GROUP><DATA ref="*"><CATEGORIES><physical/></CATEGORIES></DATA></DATA-GROUP></STATEMENT></POLICY></appel:RULE>
+		<appel:OTHERWISE behavior="request"/>
+	</appel:RULESET>`)
+	e := NewWithOptions(Options{SkipAugmentation: true})
+	d, err := e.Match(rs, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Behavior != "request" {
+		t.Errorf("without augmentation expected request, got %+v", d)
+	}
+}
+
+func TestDeclaredCategoriesOnVariableData(t *testing.T) {
+	// dynamic.miscdata takes its categories from the policy declaration.
+	rule := `<POLICY><STATEMENT><DATA-GROUP><DATA ref="#dynamic.miscdata"><CATEGORIES><purchase/></CATEGORIES></DATA></DATA-GROUP></STATEMENT></POLICY>`
+	declared := `<POLICY><STATEMENT><DATA-GROUP><DATA ref="#dynamic.miscdata"><CATEGORIES><purchase/></CATEGORIES></DATA></DATA-GROUP></STATEMENT></POLICY>`
+	other := `<POLICY><STATEMENT><DATA-GROUP><DATA ref="#dynamic.miscdata"><CATEGORIES><health/></CATEGORIES></DATA></DATA-GROUP></STATEMENT></POLICY>`
+	if !matchSnippet(t, rule, declared) {
+		t.Error("declared purchase category should match")
+	}
+	if matchSnippet(t, rule, other) {
+		t.Error("health-only declaration should not match purchase pattern")
+	}
+}
+
+func TestNoRuleFired(t *testing.T) {
+	rs := mustRuleset(t, `<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1">
+		<appel:RULE behavior="block"><POLICY><STATEMENT><PURPOSE><telemarketing/></PURPOSE></STATEMENT></POLICY></appel:RULE>
+	</appel:RULESET>`)
+	_, err := New().Match(rs, `<POLICY><STATEMENT><PURPOSE><current/></PURPOSE></STATEMENT></POLICY>`)
+	if err != ErrNoRuleFired {
+		t.Errorf("expected ErrNoRuleFired, got %v", err)
+	}
+}
+
+func TestBadPolicyDocument(t *testing.T) {
+	rs := mustRuleset(t, appel.JanePreferenceXML)
+	if _, err := New().Match(rs, "<not-closed"); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := New().Match(rs, `<POLICIES><POLICY/></POLICIES>`); err == nil {
+		t.Error("POLICIES evidence should be rejected")
+	}
+}
+
+func TestAugmentStructure(t *testing.T) {
+	e := New()
+	doc, err := xmldom.ParseString(p3p.VolgaPolicyXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aug := e.Augment(doc)
+	// The original must be untouched.
+	var origData int
+	doc.Walk(func(n *xmldom.Node) bool {
+		if n.Name == "DATA" {
+			origData++
+		}
+		return true
+	})
+	if origData != 7 { // 2 entity + 5 statement data
+		t.Errorf("original DATA count changed: %d", origData)
+	}
+	// The augmented document expands statement data to leaves with
+	// categories, and leaves the ENTITY data group alone.
+	var augData, withCats int
+	aug.Walk(func(n *xmldom.Node) bool {
+		if n.Name == "DATA" && n.Parent.Parent.Name == "STATEMENT" {
+			augData++
+			if n.Child("CATEGORIES") != nil {
+				withCats++
+			}
+		}
+		return true
+	})
+	// user.name has 6 leaves, user.home-info.postal has 12 (incl. its
+	// name structure), miscdata 1, email 1, miscdata 1.
+	if augData < 15 {
+		t.Errorf("expected leaf expansion, got %d statement DATA elements", augData)
+	}
+	if withCats != augData {
+		t.Errorf("every augmented DATA should carry categories: %d of %d", withCats, augData)
+	}
+	entityDG := aug.Child("ENTITY").Child("DATA-GROUP")
+	if len(entityDG.Children) != 2 {
+		t.Errorf("ENTITY data group should be untouched, has %d children", len(entityDG.Children))
+	}
+}
+
+func TestNestedStatementScoping(t *testing.T) {
+	// The purpose and the recipient pattern must hold within the SAME
+	// statement (they are children of one STATEMENT expression).
+	rule := `<POLICY><STATEMENT><PURPOSE><telemarketing/></PURPOSE><RECIPIENT><public/></RECIPIENT></STATEMENT></POLICY>`
+	sameStmt := `<POLICY><STATEMENT><PURPOSE><telemarketing/></PURPOSE><RECIPIENT><public/></RECIPIENT></STATEMENT></POLICY>`
+	splitStmt := `<POLICY>
+		<STATEMENT><PURPOSE><telemarketing/></PURPOSE><RECIPIENT><ours/></RECIPIENT></STATEMENT>
+		<STATEMENT><PURPOSE><current/></PURPOSE><RECIPIENT><public/></RECIPIENT></STATEMENT>
+	</POLICY>`
+	if !matchSnippet(t, rule, sameStmt) {
+		t.Error("co-located purpose and recipient should match")
+	}
+	if matchSnippet(t, rule, splitStmt) {
+		t.Error("purpose and recipient in different statements must not match a single STATEMENT pattern")
+	}
+}
+
+func TestEmptyRuleBodyFiresImmediately(t *testing.T) {
+	rs := &appel.Ruleset{Rules: []*appel.Rule{{Behavior: "limited"}}}
+	d, err := New().Match(rs, `<POLICY/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Behavior != "limited" || d.RuleIndex != 0 {
+		t.Errorf("decision: %+v", d)
+	}
+}
+
+func TestRefMatches(t *testing.T) {
+	cases := []struct {
+		pat, pol string
+		want     bool
+	}{
+		{"#user.name", "#user.name", true},
+		{"#user.name", "#user.name.given", true},
+		{"#user.name.given", "#user.name", true},
+		{"#user.name", "#user.namey", false},
+		{"#user.name", "#user.bdate", false},
+		{"user.name", "#user.name", true},
+	}
+	for _, c := range cases {
+		if got := refMatches(c.pat, c.pol); got != c.want {
+			t.Errorf("refMatches(%q,%q) = %v, want %v", c.pat, c.pol, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package appelengine
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"p3pdb/internal/appel"
+	"p3pdb/internal/xmldom"
+)
+
+// randomPolicy builds a small random policy DOM over the purpose and
+// recipient vocabulary.
+func randomPolicy(r *rand.Rand) string {
+	purposes := []string{"current", "admin", "contact", "telemarketing", "develop"}
+	recipients := []string{"ours", "same", "unrelated"}
+	var b strings.Builder
+	b.WriteString("<POLICY>")
+	for i, n := 0, 1+r.Intn(2); i < n; i++ {
+		b.WriteString("<STATEMENT><PURPOSE>")
+		seen := map[string]bool{}
+		for j, m := 0, 1+r.Intn(3); j < m; j++ {
+			v := purposes[r.Intn(len(purposes))]
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			switch r.Intn(3) {
+			case 0:
+				fmt.Fprintf(&b, "<%s/>", v)
+			case 1:
+				fmt.Fprintf(&b, `<%s required="opt-in"/>`, v)
+			case 2:
+				fmt.Fprintf(&b, `<%s required="opt-out"/>`, v)
+			}
+		}
+		b.WriteString("</PURPOSE><RECIPIENT>")
+		fmt.Fprintf(&b, "<%s/>", recipients[r.Intn(len(recipients))])
+		b.WriteString("</RECIPIENT><RETENTION><stated-purpose/></RETENTION>")
+		b.WriteString("</STATEMENT>")
+	}
+	b.WriteString("</POLICY>")
+	return b.String()
+}
+
+// ruleWithConnective builds a one-rule ruleset patterning PURPOSE values
+// under the given connective.
+func ruleWithConnective(connective string, values []string) string {
+	var kids strings.Builder
+	for _, v := range values {
+		kids.WriteString("<" + v + "/>")
+	}
+	return `<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1">
+	  <appel:RULE behavior="block">
+	    <POLICY><STATEMENT><PURPOSE appel:connective="` + connective + `">` +
+		kids.String() + `</PURPOSE></STATEMENT></POLICY>
+	  </appel:RULE>
+	  <appel:OTHERWISE behavior="request"/>
+	</appel:RULESET>`
+}
+
+// fires evaluates a one-block-rule ruleset against a policy.
+func fires(t *testing.T, e *Engine, ruleset, policy string) bool {
+	t.Helper()
+	rs, err := appel.Parse(ruleset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := e.Match(rs, policy)
+	if err != nil {
+		t.Fatalf("match: %v\npolicy: %s", err, policy)
+	}
+	return d.Behavior == "block"
+}
+
+// TestMetamorphicConnectives checks algebraic relations between the
+// connectives that must hold on any single-statement policy:
+//
+//	or-exact  => or         and-exact => and
+//	and       => or         (for the same non-empty value list)
+//	non-or    =  !or        (when a PURPOSE element exists)
+//	non-and   =  !and       (when a PURPOSE element exists)
+func TestMetamorphicConnectives(t *testing.T) {
+	e := New()
+	r := rand.New(rand.NewSource(4))
+	values := []string{"current", "admin", "contact", "telemarketing"}
+	for round := 0; round < 150; round++ {
+		policy := randomPolicy(r)
+		// Draw a random non-empty subset of values.
+		var subset []string
+		for _, v := range values {
+			if r.Intn(2) == 0 {
+				subset = append(subset, v)
+			}
+		}
+		if len(subset) == 0 {
+			subset = []string{values[r.Intn(len(values))]}
+		}
+
+		or := fires(t, e, ruleWithConnective("or", subset), policy)
+		and := fires(t, e, ruleWithConnective("and", subset), policy)
+		nonOr := fires(t, e, ruleWithConnective("non-or", subset), policy)
+		nonAnd := fires(t, e, ruleWithConnective("non-and", subset), policy)
+		orExact := fires(t, e, ruleWithConnective("or-exact", subset), policy)
+		andExact := fires(t, e, ruleWithConnective("and-exact", subset), policy)
+
+		ctx := fmt.Sprintf("subset %v policy %s", subset, policy)
+		if orExact && !or {
+			t.Fatalf("or-exact implies or violated: %s", ctx)
+		}
+		if andExact && !and {
+			t.Fatalf("and-exact implies and violated: %s", ctx)
+		}
+		if and && !or {
+			t.Fatalf("and implies or violated: %s", ctx)
+		}
+		if andExact && !orExact {
+			t.Fatalf("and-exact implies or-exact violated: %s", ctx)
+		}
+		// Every generated policy has statements with PURPOSE elements,
+		// so the negated connectives are pure negations per statement;
+		// at the rule level (exists-a-statement semantics) the relation
+		// weakens to: non-or fires iff some statement has no listed
+		// value, which with a single statement is !or.
+		if strings.Count(policy, "<STATEMENT>") == 1 {
+			if nonOr != !or {
+				t.Fatalf("single-statement non-or != !or: %s", ctx)
+			}
+			if nonAnd != !and {
+				t.Fatalf("single-statement non-and != !and: %s", ctx)
+			}
+		}
+	}
+}
+
+// TestAugmentationIdempotent checks that augmenting an already augmented
+// policy does not change matching decisions: leaf refs expand to
+// themselves and categories resolve identically.
+func TestAugmentationIdempotent(t *testing.T) {
+	e := New()
+	r := rand.New(rand.NewSource(11))
+	ruleset := `<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1">
+	  <appel:RULE behavior="block">
+	    <POLICY><STATEMENT><DATA-GROUP><DATA ref="*">
+	      <CATEGORIES appel:connective="or"><physical/><online/><demographic/></CATEGORIES>
+	    </DATA></DATA-GROUP></STATEMENT></POLICY>
+	  </appel:RULE>
+	  <appel:OTHERWISE behavior="request"/>
+	</appel:RULESET>`
+	rs, err := appel.Parse(ruleset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := []string{"#user.name", "#user.home-info", "#user.bdate", "#dynamic.searchtext"}
+	for i := 0; i < 20; i++ {
+		ref := refs[r.Intn(len(refs))]
+		policy := `<POLICY><STATEMENT><PURPOSE><current/></PURPOSE>` +
+			`<RECIPIENT><ours/></RECIPIENT><RETENTION><no-retention/></RETENTION>` +
+			`<DATA-GROUP><DATA ref="` + ref + `"/></DATA-GROUP></STATEMENT></POLICY>`
+		doc, err := xmldom.ParseString(policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		once := e.Augment(doc)
+		twice := e.Augment(once)
+
+		d1, err := e.MatchDOM(rs, once)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// MatchDOM augments again internally; passing the pre-augmented
+		// document exercises double augmentation.
+		d2, err := e.MatchDOM(rs, twice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d1.Behavior != d2.Behavior {
+			t.Fatalf("augmentation not idempotent for %s: %s vs %s", ref, d1.Behavior, d2.Behavior)
+		}
+	}
+}
+
+// TestIndexedAugmentationAgrees cross-checks the naive document-consulting
+// augmentation against the indexed one on the full decision level.
+func TestIndexedAugmentationAgrees(t *testing.T) {
+	naive := New()
+	indexed := NewWithOptions(Options{IndexedAugmentation: true})
+	r := rand.New(rand.NewSource(21))
+	ruleset := `<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1">
+	  <appel:RULE behavior="block">
+	    <POLICY><STATEMENT><DATA-GROUP><DATA ref="*">
+	      <CATEGORIES appel:connective="or"><uniqueid/><physical/></CATEGORIES>
+	    </DATA></DATA-GROUP></STATEMENT></POLICY>
+	  </appel:RULE>
+	  <appel:RULE behavior="limited">
+	    <POLICY><STATEMENT><DATA-GROUP><DATA ref="#user.home-info.online"/></DATA-GROUP></STATEMENT></POLICY>
+	  </appel:RULE>
+	  <appel:OTHERWISE behavior="request"/>
+	</appel:RULESET>`
+	rs, err := appel.Parse(ruleset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := []string{
+		"#user.name", "#user.login", "#user.home-info", "#user.home-info.online.email",
+		"#user.bdate.ymd.year", "#dynamic.miscdata", "#dynamic.http", "#custom.unknown",
+	}
+	for i := 0; i < 40; i++ {
+		ref := refs[r.Intn(len(refs))]
+		policy := `<POLICY><STATEMENT><PURPOSE><current/></PURPOSE>` +
+			`<RECIPIENT><ours/></RECIPIENT><RETENTION><no-retention/></RETENTION>` +
+			`<DATA-GROUP><DATA ref="` + ref + `"><CATEGORIES><purchase/></CATEGORIES></DATA></DATA-GROUP>` +
+			`</STATEMENT></POLICY>`
+		d1, err := naive.Match(rs, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := indexed.Match(rs, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d1.Behavior != d2.Behavior || d1.RuleIndex != d2.RuleIndex {
+			t.Fatalf("augmentation paths disagree on %s: %+v vs %+v", ref, d1, d2)
+		}
+	}
+}

@@ -1,0 +1,394 @@
+// Package compact implements P3P compact policies: the abbreviated
+// token form of a policy carried in the HTTP "CP" response header, which
+// Internet Explorer 6 evaluated to decide cookie acceptance (the paper's
+// Section 3.2). A compact policy summarizes a full policy — the union of
+// its purposes, recipients, retention values, and data categories — so a
+// user agent can take a fast decision without fetching the policy file.
+//
+// The package converts between p3p.Policy and the token form, and
+// reconstructs a synthetic single-statement policy from tokens so that
+// the same APPEL machinery (or its SQL translation) can evaluate compact
+// policies too.
+package compact
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"p3pdb/internal/p3p"
+	"p3pdb/internal/p3p/basedata"
+)
+
+// Token tables, per the P3P 1.0 Recommendation's compact-policy appendix.
+var (
+	accessTokens = map[string]string{
+		"nonident": "NOI", "all": "ALL", "contact-and-other": "CAO",
+		"ident-contact": "IDC", "other-ident": "OTI", "none": "NON",
+	}
+	purposeTokens = map[string]string{
+		"current": "CUR", "admin": "ADM", "develop": "DEV", "tailoring": "TAI",
+		"pseudo-analysis": "PSA", "pseudo-decision": "PSD",
+		"individual-analysis": "IVA", "individual-decision": "IVD",
+		"contact": "CON", "historical": "HIS", "telemarketing": "TEL",
+		"other-purpose": "OTP",
+	}
+	recipientTokens = map[string]string{
+		"ours": "OUR", "delivery": "DEL", "same": "SAM",
+		"other-recipient": "OTR", "unrelated": "UNR", "public": "PUB",
+	}
+	retentionTokens = map[string]string{
+		"no-retention": "NOR", "stated-purpose": "STP",
+		"legal-requirement": "LEG", "business-practices": "BUS",
+		"indefinitely": "IND",
+	}
+	categoryTokens = map[string]string{
+		"physical": "PHY", "online": "ONL", "uniqueid": "UNI",
+		"purchase": "PUR", "financial": "FIN", "computer": "COM",
+		"navigation": "NAV", "interactive": "INT", "demographic": "DEM",
+		"content": "CNT", "state": "STA", "political": "POL",
+		"health": "HEA", "preference": "PRE", "location": "LOC",
+		"government": "GOV", "other-category": "OTC",
+	}
+	remedyTokens = map[string]string{"correct": "COR", "money": "MON", "law": "LAW"}
+)
+
+func invert(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+var (
+	accessValues    = invert(accessTokens)
+	purposeValues   = invert(purposeTokens)
+	recipientValues = invert(recipientTokens)
+	retentionValues = invert(retentionTokens)
+	categoryValues  = invert(categoryTokens)
+	remedyValues    = invert(remedyTokens)
+)
+
+// requiredSuffix maps a required attribute to the token suffix: "a" for
+// always (the default, always written explicitly per the Recommendation's
+// examples), "i" for opt-in, "o" for opt-out. The "current" purpose and
+// the "ours" recipient take no suffix.
+func requiredSuffix(required string) (string, error) {
+	switch required {
+	case "", "always":
+		return "a", nil
+	case "opt-in":
+		return "i", nil
+	case "opt-out":
+		return "o", nil
+	}
+	return "", fmt.Errorf("compact: bad required value %q", required)
+}
+
+func suffixRequired(s string) (string, error) {
+	switch s {
+	case "a":
+		return "always", nil
+	case "i":
+		return "opt-in", nil
+	case "o":
+		return "opt-out", nil
+	}
+	return "", fmt.Errorf("compact: bad required suffix %q", s)
+}
+
+// TokenReq is one suffixed token: a vocabulary value plus its required
+// attribute.
+type TokenReq struct {
+	Value    string // P3P vocabulary value, e.g. "contact"
+	Required string // always | opt-in | opt-out
+}
+
+// Summary is a parsed compact policy.
+type Summary struct {
+	Access          string
+	Disputes        bool
+	Remedies        []string
+	NonIdentifiable bool
+	Test            bool
+	Purposes        []TokenReq
+	Recipients      []TokenReq
+	Retentions      []string
+	Categories      []string
+}
+
+// FromPolicy builds the compact form of a policy: the union over its
+// statements, with data categories resolved through the base data schema
+// exactly as augmentation resolves them (the compact policy must disclose
+// the categories of everything collected).
+func FromPolicy(pol *p3p.Policy, schema *basedata.Schema) (string, error) {
+	if schema == nil {
+		schema = basedata.Default()
+	}
+	var tokens []string
+	if pol.Access != "" {
+		tok, ok := accessTokens[pol.Access]
+		if !ok {
+			return "", fmt.Errorf("compact: unknown access %q", pol.Access)
+		}
+		tokens = append(tokens, tok)
+	}
+	if len(pol.Disputes) > 0 {
+		tokens = append(tokens, "DSP")
+		remedySet := map[string]bool{}
+		for _, d := range pol.Disputes {
+			for _, r := range d.Remedies {
+				tok, ok := remedyTokens[r]
+				if !ok {
+					return "", fmt.Errorf("compact: unknown remedy %q", r)
+				}
+				remedySet[tok] = true
+			}
+		}
+		tokens = append(tokens, sortedKeys(remedySet)...)
+	}
+
+	// A value may appear in several statements with different required
+	// attributes; the compact form carries one token per value, so keep
+	// the strongest binding (always > opt-out > opt-in) — the
+	// conservative summary a user agent must assume.
+	purposeReq := map[string]string{} // token -> strongest required
+	recipientReq := map[string]string{}
+	retentions := map[string]bool{}
+	categories := map[string]bool{}
+	nonIdent := false
+	for _, st := range pol.Statements {
+		if st.NonIdentifiable {
+			nonIdent = true
+		}
+		for _, pv := range st.Purposes {
+			if pv.Value == "current" {
+				purposeReq["CUR"] = ""
+				continue
+			}
+			tok, ok := purposeTokens[pv.Value]
+			if !ok {
+				return "", fmt.Errorf("compact: unknown purpose %q", pv.Value)
+			}
+			if err := mergeRequired(purposeReq, tok, pv.EffectiveRequired()); err != nil {
+				return "", err
+			}
+		}
+		for _, rv := range st.Recipients {
+			if rv.Value == "ours" {
+				recipientReq["OUR"] = ""
+				continue
+			}
+			tok, ok := recipientTokens[rv.Value]
+			if !ok {
+				return "", fmt.Errorf("compact: unknown recipient %q", rv.Value)
+			}
+			if err := mergeRequired(recipientReq, tok, rv.EffectiveRequired()); err != nil {
+				return "", err
+			}
+		}
+		if st.Retention != "" {
+			tok, ok := retentionTokens[st.Retention]
+			if !ok {
+				return "", fmt.Errorf("compact: unknown retention %q", st.Retention)
+			}
+			retentions[tok] = true
+		}
+		for _, dg := range st.DataGroups {
+			for _, d := range dg.Data {
+				for _, leaf := range shredExpand(schema, d) {
+					for _, c := range leaf.Categories {
+						tok, ok := categoryTokens[c]
+						if !ok {
+							return "", fmt.Errorf("compact: unknown category %q", c)
+						}
+						categories[tok] = true
+					}
+				}
+			}
+		}
+	}
+	if nonIdent {
+		tokens = append(tokens, "NID")
+	}
+	tokens = append(tokens, suffixedTokens(purposeReq)...)
+	tokens = append(tokens, suffixedTokens(recipientReq)...)
+	tokens = append(tokens, sortedKeys(retentions)...)
+	tokens = append(tokens, sortedKeys(categories)...)
+	if pol.TestOnly {
+		tokens = append(tokens, "TST")
+	}
+	return strings.Join(tokens, " "), nil
+}
+
+// requiredRank orders required bindings by strength for the conservative
+// merge: always binds hardest, opt-out weaker, opt-in weakest.
+var requiredRank = map[string]int{"opt-in": 0, "opt-out": 1, "always": 2}
+
+// mergeRequired records the strongest required binding seen for a token.
+// CUR/OUR map to the empty string and never reach here.
+func mergeRequired(m map[string]string, tok, required string) error {
+	if _, ok := requiredRank[required]; !ok {
+		return fmt.Errorf("compact: bad required value %q", required)
+	}
+	if cur, seen := m[tok]; !seen || requiredRank[required] > requiredRank[cur] {
+		m[tok] = required
+	}
+	return nil
+}
+
+// suffixedTokens renders token->required maps as sorted suffixed tokens.
+func suffixedTokens(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for tok, req := range m {
+		if req == "" {
+			out = append(out, tok)
+			continue
+		}
+		sfx, err := requiredSuffix(req)
+		if err != nil {
+			// mergeRequired validated the value.
+			panic(err)
+		}
+		out = append(out, tok+sfx)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// shredExpand resolves a DATA element's categories the way shredding
+// does: leaf expansion plus category resolution.
+func shredExpand(schema *basedata.Schema, d *p3p.Data) []basedata.ExpandedRef {
+	leaves := schema.Leaves(d.Ref)
+	if len(leaves) == 0 {
+		bare := strings.TrimPrefix(d.Ref, "#")
+		return []basedata.ExpandedRef{{Ref: bare, Categories: schema.CategoriesFor(bare, d.Categories)}}
+	}
+	out := make([]basedata.ExpandedRef, len(leaves))
+	for i, leaf := range leaves {
+		out[i] = basedata.ExpandedRef{Ref: leaf.Ref, Categories: schema.CategoriesFor(leaf.Ref, d.Categories)}
+	}
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Parse decodes a compact policy header value.
+func Parse(cp string) (*Summary, error) {
+	s := &Summary{}
+	for _, tok := range strings.Fields(cp) {
+		base, sfx := tok, ""
+		if len(tok) == 4 {
+			base, sfx = tok[:3], strings.ToLower(tok[3:])
+		}
+		base = strings.ToUpper(base)
+		switch {
+		case tok == "DSP":
+			s.Disputes = true
+		case tok == "NID":
+			s.NonIdentifiable = true
+		case tok == "TST":
+			s.Test = true
+		case remedyValues[base] != "" && sfx == "":
+			s.Remedies = append(s.Remedies, remedyValues[base])
+		case accessValues[base] != "" && sfx == "":
+			if s.Access != "" {
+				return nil, fmt.Errorf("compact: multiple access tokens")
+			}
+			s.Access = accessValues[base]
+		case purposeValues[base] != "":
+			req := "always"
+			if sfx != "" {
+				var err error
+				req, err = suffixRequired(sfx)
+				if err != nil {
+					return nil, err
+				}
+			}
+			s.Purposes = append(s.Purposes, TokenReq{Value: purposeValues[base], Required: req})
+		case recipientValues[base] != "":
+			req := "always"
+			if sfx != "" {
+				var err error
+				req, err = suffixRequired(sfx)
+				if err != nil {
+					return nil, err
+				}
+			}
+			s.Recipients = append(s.Recipients, TokenReq{Value: recipientValues[base], Required: req})
+		case retentionValues[base] != "" && sfx == "":
+			s.Retentions = append(s.Retentions, retentionValues[base])
+		case categoryValues[base] != "" && sfx == "":
+			s.Categories = append(s.Categories, categoryValues[base])
+		default:
+			return nil, fmt.Errorf("compact: unknown token %q", tok)
+		}
+	}
+	if len(s.Purposes) == 0 && !s.NonIdentifiable {
+		return nil, fmt.Errorf("compact: policy discloses no purposes")
+	}
+	return s, nil
+}
+
+// ToPolicy reconstructs a synthetic single-statement policy from the
+// summary, suitable for evaluation by any of the matching engines. The
+// reconstruction is lossy in the direction the compact form is lossy:
+// statement boundaries are gone, and categories attach to a single
+// synthetic miscdata element.
+func (s *Summary) ToPolicy(name string) *p3p.Policy {
+	st := &p3p.Statement{NonIdentifiable: s.NonIdentifiable}
+	for _, p := range s.Purposes {
+		pv := p3p.PurposeValue{Value: p.Value}
+		if p.Required != "always" {
+			pv.Required = p.Required
+		}
+		st.Purposes = append(st.Purposes, pv)
+	}
+	for _, r := range s.Recipients {
+		rv := p3p.RecipientValue{Value: r.Value}
+		if r.Required != "always" {
+			rv.Required = r.Required
+		}
+		st.Recipients = append(st.Recipients, rv)
+	}
+	if len(s.Retentions) > 0 {
+		// A statement holds one retention; the summary's strictest
+		// (longest-lived) value is the conservative reconstruction.
+		st.Retention = strictestRetention(s.Retentions)
+	}
+	if len(s.Categories) > 0 {
+		st.DataGroups = []*p3p.DataGroup{{
+			Data: []*p3p.Data{{Ref: "#dynamic.miscdata", Categories: append([]string(nil), s.Categories...)}},
+		}}
+	}
+	pol := &p3p.Policy{Name: name, Access: s.Access, Statements: []*p3p.Statement{st}}
+	if s.Disputes {
+		pol.Disputes = []*p3p.Dispute{{ResolutionType: "service", Remedies: s.Remedies}}
+	}
+	pol.TestOnly = s.Test
+	return pol
+}
+
+// retentionOrder ranks retention values from least to most retentive.
+var retentionOrder = map[string]int{
+	"no-retention": 0, "stated-purpose": 1, "legal-requirement": 2,
+	"business-practices": 3, "indefinitely": 4,
+}
+
+func strictestRetention(vals []string) string {
+	best := vals[0]
+	for _, v := range vals[1:] {
+		if retentionOrder[v] > retentionOrder[best] {
+			best = v
+		}
+	}
+	return best
+}

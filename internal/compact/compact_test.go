@@ -1,0 +1,187 @@
+package compact
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"p3pdb/internal/appel"
+	"p3pdb/internal/appelengine"
+	"p3pdb/internal/p3p"
+)
+
+func volga(t testing.TB) *p3p.Policy {
+	t.Helper()
+	pol, err := p3p.ParsePolicy(p3p.VolgaPolicyXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pol
+}
+
+func TestFromPolicyVolga(t *testing.T) {
+	cp, err := FromPolicy(volga(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"CAO",         // contact-and-other access
+		"CUR",         // current purpose
+		"CONi",        // contact opt-in
+		"IVDi",        // individual-decision opt-in
+		"OUR", "SAMa", // recipients
+		"STP", "BUS", // retention values of both statements
+		"PHY", "DEM", // user.name, postal via the schema
+		"ONL", // email
+		"PUR", // declared purchase category
+	} {
+		if !strings.Contains(cp, want) {
+			t.Errorf("compact policy missing %q: %s", want, cp)
+		}
+	}
+	if strings.Contains(cp, "TST") || strings.Contains(cp, "DSP") {
+		t.Errorf("unexpected tokens in %s", cp)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cp, err := FromPolicy(volga(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Parse(cp)
+	if err != nil {
+		t.Fatalf("Parse(%s): %v", cp, err)
+	}
+	if s.Access != "contact-and-other" {
+		t.Errorf("access = %q", s.Access)
+	}
+	var purposes []string
+	for _, p := range s.Purposes {
+		purposes = append(purposes, p.Value+"/"+p.Required)
+	}
+	sort.Strings(purposes)
+	want := []string{"contact/opt-in", "current/always", "individual-decision/opt-in"}
+	if !reflect.DeepEqual(purposes, want) {
+		t.Errorf("purposes = %v, want %v", purposes, want)
+	}
+	if !contains(s.Retentions, "stated-purpose") || !contains(s.Retentions, "business-practices") {
+		t.Errorf("retentions = %v", s.Retentions)
+	}
+	if !contains(s.Categories, "purchase") || !contains(s.Categories, "online") {
+		t.Errorf("categories = %v", s.Categories)
+	}
+}
+
+func contains(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",          // no purposes
+		"CUR BOGUS", // unknown token
+		"CUR ADMx",  // bad suffix
+		"NOI ALL",   // duplicate access (and no purposes, but access dup hits first only with purposes)
+		"PHY",       // categories only, no purposes
+		"CUR NOIa",  // access token with a suffix is unknown
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q): expected error", c)
+		}
+	}
+	// NID alone is legal (fully anonymous site).
+	if _, err := Parse("NID"); err != nil {
+		t.Errorf("Parse(NID): %v", err)
+	}
+}
+
+func TestToPolicyValidates(t *testing.T) {
+	cp, err := FromPolicy(volga(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Parse(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := s.ToPolicy("volga-compact")
+	if errs := pol.Validate(); len(errs) != 0 {
+		t.Errorf("reconstructed policy invalid: %v", errs)
+	}
+	// The strictest retention wins in the reconstruction.
+	if pol.Statements[0].Retention != "business-practices" {
+		t.Errorf("retention = %q", pol.Statements[0].Retention)
+	}
+}
+
+// TestCompactDecisionConservative checks the IE6-style use: evaluating a
+// preference against the compact reconstruction must agree with the full
+// policy on the paper's example, and err toward blocking (the compact
+// form merges statements, so purposes and recipients co-occur more).
+func TestCompactDecisionConservative(t *testing.T) {
+	pol := volga(t)
+	cp, err := FromPolicy(pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Parse(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	synthetic := s.ToPolicy("synthetic")
+	engine := appelengine.New()
+	rs, err := appel.Parse(appel.JanePreferenceXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := engine.Match(rs, p3p.VolgaPolicyXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compactDec, err := engine.Match(rs, synthetic.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Behavior != compactDec.Behavior {
+		t.Errorf("full=%s compact=%s (acceptable only if compact blocks more)",
+			full.Behavior, compactDec.Behavior)
+	}
+}
+
+func TestDisputesAndTest(t *testing.T) {
+	pol := volga(t)
+	pol.Disputes = []*p3p.Dispute{{ResolutionType: "independent", Remedies: []string{"correct", "money"}}}
+	pol.TestOnly = true
+	cp, err := FromPolicy(pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"DSP", "COR", "MON", "TST"} {
+		if !strings.Contains(cp, want) {
+			t.Errorf("missing %q in %s", want, cp)
+		}
+	}
+	s, err := Parse(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Disputes || !s.Test || len(s.Remedies) != 2 {
+		t.Errorf("summary: %+v", s)
+	}
+}
+
+func TestUnknownVocabulary(t *testing.T) {
+	pol := volga(t)
+	pol.Statements[0].Purposes = append(pol.Statements[0].Purposes, p3p.PurposeValue{Value: "mystery"})
+	if _, err := FromPolicy(pol, nil); err == nil {
+		t.Error("unknown purpose should fail")
+	}
+}

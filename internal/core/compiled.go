@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"p3pdb/internal/appel"
+	"p3pdb/internal/reldb"
+	"p3pdb/internal/sqlgen"
+)
+
+// CompiledPreference is a preference translated to SQL once and prepared
+// against the site's database, with the policy id left as a parameter.
+// It realizes the deployment the paper sketches in Section 6.3.2: "it is
+// not unreasonable to think of a P3P deployment in which the preference
+// generation GUI tool produces preferences as a set of SQL statements" —
+// returning users then skip both APPEL parsing and SQL translation on
+// every visit.
+type CompiledPreference struct {
+	rules []compiledRule
+	// Compile is the one-time cost that per-match conversion would
+	// otherwise pay on every visit.
+	Compile time.Duration
+}
+
+type compiledRule struct {
+	stmt            reldb.Statement
+	behavior        string
+	prompt          bool
+	ruleDescription string
+}
+
+// CompilePreference translates and prepares a preference against the
+// optimized schema. The result is bound to this site's database but not
+// to any policy.
+func (s *Site) CompilePreference(prefXML string) (*CompiledPreference, error) {
+	start := time.Now()
+	rs, err := appel.Parse(prefXML)
+	if err != nil {
+		return nil, err
+	}
+	// The applicable policy becomes a parameter, so one compilation
+	// serves every policy on the site.
+	queries, err := sqlgen.TranslateRulesetOptimized(rs, "SELECT ? AS policy_id")
+	if err != nil {
+		return nil, err
+	}
+	c := &CompiledPreference{}
+	for i, q := range queries {
+		stmt, err := s.optDB.Prepare(q.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("core: preparing rule %d: %w", i+1, err)
+		}
+		c.rules = append(c.rules, compiledRule{
+			stmt:            stmt,
+			behavior:        q.Behavior,
+			prompt:          q.Prompt,
+			ruleDescription: rs.Rules[i].Description,
+		})
+	}
+	c.Compile = time.Since(start)
+	return c, nil
+}
+
+// MatchCompiled evaluates a compiled preference against a named policy.
+// Only query execution remains on the per-visit path.
+func (s *Site) MatchCompiled(c *CompiledPreference, policyName string) (Decision, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.optIDs[policyName]
+	if !ok {
+		return Decision{}, fmt.Errorf("core: policy %q not installed", policyName)
+	}
+	start := time.Now()
+	for i, rule := range c.rules {
+		fired, err := s.optDB.QueryExistsStmt(rule.stmt, reldb.Int(int64(id)))
+		if err != nil {
+			return Decision{}, fmt.Errorf("core: rule %d: %w", i+1, err)
+		}
+		if fired {
+			d := Decision{
+				Behavior:        rule.behavior,
+				RuleIndex:       i,
+				RuleDescription: rule.ruleDescription,
+				Prompt:          rule.prompt,
+				PolicyName:      policyName,
+				Engine:          EngineSQL,
+				Query:           time.Since(start),
+			}
+			s.recordConflict(d)
+			return d, nil
+		}
+	}
+	return Decision{}, fmt.Errorf("core: %w", errNoRuleFired)
+}
+
+// MatchCompiledURI resolves the URI through the reference file and
+// evaluates the compiled preference against the covering policy.
+func (s *Site) MatchCompiledURI(c *CompiledPreference, uri string) (Decision, error) {
+	name, err := s.PolicyForURI(uri)
+	if err != nil {
+		return Decision{}, err
+	}
+	return s.MatchCompiled(c, name)
+}
+
+var errNoRuleFired = fmt.Errorf("no rule fired; ruleset lacks a catch-all")

@@ -1,0 +1,665 @@
+// Package core is the library's public face: the server-centric P3P
+// architecture the paper proposes. A Site owns a web site's privacy
+// metadata — its policies shredded into relational tables (both schemas),
+// stored natively as augmented XML, and its reference file — and matches
+// incoming APPEL preferences against them with any of the paper's four
+// engine variants:
+//
+//   - EngineNative: the client-centric baseline (JRC-style APPEL engine,
+//     parsing and augmenting the policy on every match).
+//   - EngineSQL: APPEL translated to SQL over the optimized schema
+//     (Figure 14/15) and run on the relational engine.
+//   - EngineXTable: APPEL translated to XQuery (Figure 17), then to SQL
+//     over the generic schema through the XML-view reconstruction layer
+//     (the XTABLE path of the experiments).
+//   - EngineXQuery: APPEL translated to XQuery and evaluated natively
+//     against the XML store (the variation the paper could not test).
+//
+// Decisions report conversion and query time separately, the split
+// Figures 20 and 21 use.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"p3pdb/internal/appel"
+	"p3pdb/internal/appelengine"
+	"p3pdb/internal/compact"
+	"p3pdb/internal/p3p"
+	"p3pdb/internal/reffile"
+	"p3pdb/internal/reldb"
+	"p3pdb/internal/shred"
+	"p3pdb/internal/sqlgen"
+	"p3pdb/internal/xmlstore"
+	"p3pdb/internal/xqgen"
+	"p3pdb/internal/xquery"
+	"p3pdb/internal/xtable"
+)
+
+// Engine selects the preference-matching implementation.
+type Engine int
+
+// The four matching engines of the experiments.
+const (
+	EngineNative Engine = iota
+	EngineSQL
+	EngineXTable
+	EngineXQuery
+)
+
+// String names the engine as the paper's figures do.
+func (e Engine) String() string {
+	switch e {
+	case EngineNative:
+		return "APPEL Engine"
+	case EngineSQL:
+		return "SQL"
+	case EngineXTable:
+		return "XQuery"
+	case EngineXQuery:
+		return "XQuery (native store)"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// Engines lists all engines in display order.
+var Engines = []Engine{EngineNative, EngineSQL, EngineXTable, EngineXQuery}
+
+// ParseEngine resolves an engine from its short command-line name.
+func ParseEngine(name string) (Engine, error) {
+	switch strings.ToLower(name) {
+	case "native", "appel":
+		return EngineNative, nil
+	case "sql":
+		return EngineSQL, nil
+	case "xtable", "xquery-sql":
+		return EngineXTable, nil
+	case "xquery", "xquery-native":
+		return EngineXQuery, nil
+	}
+	return 0, fmt.Errorf("core: unknown engine %q (want native, sql, xtable, or xquery)", name)
+}
+
+// ShortName is the command-line name for the engine.
+func (e Engine) ShortName() string {
+	switch e {
+	case EngineNative:
+		return "native"
+	case EngineSQL:
+		return "sql"
+	case EngineXTable:
+		return "xtable"
+	case EngineXQuery:
+		return "xquery"
+	}
+	return "unknown"
+}
+
+// Options configure a Site.
+type Options struct {
+	// DB passes options to the relational engine (ablations).
+	DB reldb.Options
+	// SkipAugmentationInNative disables category augmentation in the
+	// native engine (the §6.3.2 profiling ablation).
+	SkipAugmentationInNative bool
+}
+
+// Decision is the outcome of matching a preference against a policy.
+type Decision struct {
+	// Behavior is the fired rule's behavior: request, limited, or block.
+	Behavior string
+	// RuleIndex is the zero-based index of the rule that fired.
+	RuleIndex int
+	// RuleDescription is the fired rule's description attribute.
+	RuleDescription string
+	// Prompt mirrors the fired rule's prompt attribute.
+	Prompt bool
+	// PolicyName names the policy that was matched.
+	PolicyName string
+	// Engine is the implementation that produced the decision.
+	Engine Engine
+	// Convert is the time spent translating the preference (parsing the
+	// APPEL document and generating SQL/XQuery). Zero conversion happens
+	// for the native engine, which interprets APPEL directly.
+	Convert time.Duration
+	// Query is the time spent evaluating the translated (or native)
+	// preference against the policy.
+	Query time.Duration
+}
+
+// Blocked reports whether the site should withhold the page.
+func (d Decision) Blocked() bool { return d.Behavior == "block" }
+
+// ConflictStat is one row of the site-owner analytics the server-centric
+// architecture enables (Section 4.2): how often a given preference rule
+// blocked a given policy.
+type ConflictStat struct {
+	PolicyName      string
+	RuleDescription string
+	Count           int
+}
+
+// Site is a web site's installed privacy metadata plus the matching
+// engines.
+type Site struct {
+	mu sync.Mutex
+
+	optDB    *reldb.DB
+	optStore *shred.OptimizedStore
+	genDB    *reldb.DB
+	genStore *shred.GenericStore
+	refStore *reffile.Store
+	xml      *xmlstore.Store
+	native   *appelengine.Engine
+
+	refFile   *reffile.RefFile
+	policyXML map[string]string // raw policy text, per policy name
+	optIDs    map[string]int
+	genIDs    map[string]int
+
+	conflicts map[string]map[string]int // policy -> rule description -> blocks
+}
+
+// NewSite returns an empty site with default options.
+func NewSite() (*Site, error) { return NewSiteWithOptions(Options{}) }
+
+// NewSiteWithOptions returns an empty site.
+func NewSiteWithOptions(opts Options) (*Site, error) {
+	optDB := reldb.NewWithOptions(opts.DB)
+	genDB := reldb.NewWithOptions(opts.DB)
+	optStore, err := shred.NewOptimized(optDB)
+	if err != nil {
+		return nil, err
+	}
+	genStore, err := shred.NewGeneric(genDB)
+	if err != nil {
+		return nil, err
+	}
+	refStore, err := reffile.NewStore(optDB)
+	if err != nil {
+		return nil, err
+	}
+	return &Site{
+		optDB:     optDB,
+		optStore:  optStore,
+		genDB:     genDB,
+		genStore:  genStore,
+		refStore:  refStore,
+		xml:       xmlstore.New(),
+		native:    appelengine.NewWithOptions(appelengine.Options{SkipAugmentation: opts.SkipAugmentationInNative}),
+		policyXML: map[string]string{},
+		optIDs:    map[string]int{},
+		genIDs:    map[string]int{},
+		conflicts: map[string]map[string]int{},
+	}, nil
+}
+
+// InstallPolicy installs one parsed policy into every backend: shredded
+// into both relational schemas (with install-time augmentation), stored as
+// augmented XML in the native store, and kept as raw text for the
+// client-centric baseline. This is the Figure 5 step.
+func (s *Site) InstallPolicy(pol *p3p.Policy) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.installPolicyLocked(pol)
+}
+
+func (s *Site) installPolicyLocked(pol *p3p.Policy) error {
+	if err := pol.MustValid(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if _, dup := s.optIDs[pol.Name]; dup {
+		return fmt.Errorf("core: policy %q already installed", pol.Name)
+	}
+	optID, err := s.optStore.InstallPolicy(pol)
+	if err != nil {
+		return err
+	}
+	genID, err := s.genStore.InstallPolicy(pol)
+	if err != nil {
+		return err
+	}
+	dom := pol.ToDOM()
+	s.xml.Put(policyDoc(pol.Name), s.native.Augment(dom))
+	s.policyXML[pol.Name] = dom.String()
+	s.optIDs[pol.Name] = optID
+	s.genIDs[pol.Name] = genID
+	return nil
+}
+
+// InstallPolicyXML parses a policy document (POLICY or POLICIES) and
+// installs every policy in it, returning their names.
+func (s *Site) InstallPolicyXML(doc string) ([]string, error) {
+	pols, err := p3p.ParsePolicies(doc)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var names []string
+	for _, pol := range pols {
+		if err := s.installPolicyLocked(pol); err != nil {
+			return names, err
+		}
+		names = append(names, pol.Name)
+	}
+	return names, nil
+}
+
+// RemovePolicy removes a policy version from every backend, enabling the
+// policy versioning the paper lists among the architecture's advantages.
+func (s *Site) RemovePolicy(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	optID, ok := s.optIDs[name]
+	if !ok {
+		return fmt.Errorf("core: policy %q not installed", name)
+	}
+	if err := s.optStore.RemovePolicy(optID); err != nil {
+		return err
+	}
+	if err := s.genStore.RemovePolicy(s.genIDs[name]); err != nil {
+		return err
+	}
+	s.xml.Delete(policyDoc(name))
+	delete(s.policyXML, name)
+	delete(s.optIDs, name)
+	delete(s.genIDs, name)
+	return nil
+}
+
+// InstallReferenceFile installs the site's reference file, resolving every
+// POLICY-REF against the installed policies.
+func (s *Site) InstallReferenceFile(rf *reffile.RefFile) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.refStore.Install(rf, s.optStore); err != nil {
+		return err
+	}
+	s.refFile = rf
+	return nil
+}
+
+// InstallReferenceFileXML parses and installs a reference file document.
+func (s *Site) InstallReferenceFileXML(doc string) error {
+	rf, err := reffile.Parse(doc)
+	if err != nil {
+		return err
+	}
+	return s.InstallReferenceFile(rf)
+}
+
+// PolicyNames returns the installed policy names, sorted.
+func (s *Site) PolicyNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.policyXML))
+	for n := range s.policyXML {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PolicyXML returns the raw text of an installed policy (what a
+// client-centric agent would fetch).
+func (s *Site) PolicyXML(name string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	xml, ok := s.policyXML[name]
+	if !ok {
+		return "", fmt.Errorf("core: policy %q not installed", name)
+	}
+	return xml, nil
+}
+
+// CompactPolicy returns the compact (CP-header) form of an installed
+// policy, the token summary IE6-era agents evaluated for cookie decisions
+// (Section 3.2 of the paper).
+func (s *Site) CompactPolicy(name string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	xml, ok := s.policyXML[name]
+	if !ok {
+		return "", fmt.Errorf("core: policy %q not installed", name)
+	}
+	pol, err := p3p.ParsePolicy(xml)
+	if err != nil {
+		return "", err
+	}
+	return compact.FromPolicy(pol, nil)
+}
+
+// ReferenceFileXML returns the installed reference file document, which
+// the hybrid architecture's clients cache so that URI resolution happens
+// client-side while matching stays on the server (Section 4.2).
+func (s *Site) ReferenceFileXML() (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.refFile == nil {
+		return "", fmt.Errorf("core: no reference file installed")
+	}
+	return s.refFile.String(), nil
+}
+
+// DB exposes the optimized-schema database for inspection and the
+// analytics example.
+func (s *Site) DB() *reldb.DB { return s.optDB }
+
+// GenericDB exposes the generic-schema database.
+func (s *Site) GenericDB() *reldb.DB { return s.genDB }
+
+func policyDoc(name string) string { return "policy:" + name }
+
+// PolicyForURI resolves which policy governs a URI, via the reference
+// file.
+func (s *Site) PolicyForURI(uri string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.policyForURILocked(uri)
+}
+
+func (s *Site) policyForURILocked(uri string) (string, error) {
+	if s.refFile == nil {
+		return "", fmt.Errorf("core: no reference file installed")
+	}
+	pr := s.refFile.PolicyForURI(uri)
+	if pr == nil {
+		return "", fmt.Errorf("core: no policy covers %q", uri)
+	}
+	name := pr.PolicyName()
+	if _, ok := s.policyXML[name]; !ok {
+		return "", fmt.Errorf("core: reference file names uninstalled policy %q", name)
+	}
+	return name, nil
+}
+
+// MatchURI matches a preference against the policy covering a URI,
+// using the selected engine. This is the Figure 6 step.
+func (s *Site) MatchURI(prefXML, uri string, engine Engine) (Decision, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	name, err := s.policyForURILocked(uri)
+	if err != nil {
+		return Decision{}, err
+	}
+	return s.matchLocked(prefXML, name, engine)
+}
+
+// PolicyForCookie resolves which policy governs a cookie by name, via the
+// reference file's COOKIE-INCLUDE/COOKIE-EXCLUDE patterns.
+func (s *Site) PolicyForCookie(cookieName string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.policyForCookieLocked(cookieName)
+}
+
+func (s *Site) policyForCookieLocked(cookieName string) (string, error) {
+	if s.refFile == nil {
+		return "", fmt.Errorf("core: no reference file installed")
+	}
+	pr := s.refFile.PolicyForCookie(cookieName)
+	if pr == nil {
+		return "", fmt.Errorf("core: no policy covers cookie %q", cookieName)
+	}
+	name := pr.PolicyName()
+	if _, ok := s.policyXML[name]; !ok {
+		return "", fmt.Errorf("core: reference file names uninstalled policy %q", name)
+	}
+	return name, nil
+}
+
+// MatchCookie matches a preference against the policy covering a cookie:
+// the server-centric counterpart of IE6's cookie checking (Section 3.2 of
+// the paper), driven by the reference file's cookie patterns instead of
+// compact-policy headers.
+func (s *Site) MatchCookie(prefXML, cookieName string, engine Engine) (Decision, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	name, err := s.policyForCookieLocked(cookieName)
+	if err != nil {
+		return Decision{}, err
+	}
+	return s.matchLocked(prefXML, name, engine)
+}
+
+// MatchPolicy matches a preference directly against a named policy.
+func (s *Site) MatchPolicy(prefXML, policyName string, engine Engine) (Decision, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.policyXML[policyName]; !ok {
+		return Decision{}, fmt.Errorf("core: policy %q not installed", policyName)
+	}
+	return s.matchLocked(prefXML, policyName, engine)
+}
+
+func (s *Site) matchLocked(prefXML, policyName string, engine Engine) (Decision, error) {
+	var d Decision
+	var err error
+	switch engine {
+	case EngineNative:
+		d, err = s.matchNative(prefXML, policyName)
+	case EngineSQL:
+		d, err = s.matchSQL(prefXML, policyName)
+	case EngineXTable:
+		d, err = s.matchXTable(prefXML, policyName)
+	case EngineXQuery:
+		d, err = s.matchXQueryNative(prefXML, policyName)
+	default:
+		return Decision{}, fmt.Errorf("core: unknown engine %d", engine)
+	}
+	if err != nil {
+		return Decision{}, err
+	}
+	d.PolicyName = policyName
+	d.Engine = engine
+	s.recordConflict(d)
+	return d, nil
+}
+
+// matchNative runs the client-centric baseline: the preference is
+// interpreted directly and the policy is fetched as text, parsed, and
+// augmented per match.
+func (s *Site) matchNative(prefXML, policyName string) (Decision, error) {
+	start := time.Now()
+	rs, err := appel.Parse(prefXML)
+	if err != nil {
+		return Decision{}, err
+	}
+	dec, err := s.native.Match(rs, s.policyXML[policyName])
+	if err != nil {
+		return Decision{}, err
+	}
+	return Decision{
+		Behavior:        dec.Behavior,
+		RuleIndex:       dec.RuleIndex,
+		RuleDescription: ruleDescription(rs, dec.RuleIndex),
+		Prompt:          dec.Prompt,
+		Query:           time.Since(start),
+	}, nil
+}
+
+// matchSQL translates the preference to SQL over the optimized schema and
+// runs the rule queries in order.
+func (s *Site) matchSQL(prefXML, policyName string) (Decision, error) {
+	convertStart := time.Now()
+	rs, err := appel.Parse(prefXML)
+	if err != nil {
+		return Decision{}, err
+	}
+	queries, err := sqlgen.TranslateRulesetOptimized(rs, sqlgen.FixedPolicySubquery(s.optIDs[policyName]))
+	if err != nil {
+		return Decision{}, err
+	}
+	convert := time.Since(convertStart)
+
+	queryStart := time.Now()
+	res, err := sqlgen.Match(s.optDB, queries)
+	if err != nil {
+		return Decision{}, err
+	}
+	return Decision{
+		Behavior:        res.Behavior,
+		RuleIndex:       res.RuleIndex,
+		RuleDescription: ruleDescription(rs, res.RuleIndex),
+		Prompt:          res.Prompt,
+		Convert:         convert,
+		Query:           time.Since(queryStart),
+	}, nil
+}
+
+// matchXTable translates the preference to XQuery, then to SQL over the
+// generic schema through the XML-view layer, and runs it.
+func (s *Site) matchXTable(prefXML, policyName string) (Decision, error) {
+	convertStart := time.Now()
+	rs, err := appel.Parse(prefXML)
+	if err != nil {
+		return Decision{}, err
+	}
+	xqs, err := xqgen.TranslateRuleset(rs)
+	if err != nil {
+		return Decision{}, err
+	}
+	// The whole preference is prepared before any rule runs; a rule
+	// whose view-reconstructed SQL exceeds the engine's complexity
+	// limits fails here, the way XTABLE's Medium translation failed at
+	// DB2 prepare time in the paper's experiments.
+	type prepared struct {
+		stmt     reldb.Statement
+		behavior string
+		prompt   bool
+	}
+	stmts := make([]prepared, 0, len(xqs))
+	for i, xq := range xqs {
+		q, err := xtable.TranslateXQuery(xq.XQuery, sqlgen.FixedPolicySubquery(s.genIDs[policyName]), xtable.Options{})
+		if err != nil {
+			return Decision{}, err
+		}
+		stmt, err := s.genDB.Prepare(q.SQL)
+		if err != nil {
+			return Decision{}, fmt.Errorf("core: preparing rule %d: %w", i+1, err)
+		}
+		stmts = append(stmts, prepared{stmt: stmt, behavior: q.Behavior, prompt: xq.Prompt})
+	}
+	convert := time.Since(convertStart)
+
+	queryStart := time.Now()
+	for i, p := range stmts {
+		ok, err := s.genDB.QueryExistsStmt(p.stmt)
+		if err != nil {
+			return Decision{}, fmt.Errorf("core: rule %d: %w", i+1, err)
+		}
+		if ok {
+			return Decision{
+				Behavior:        p.behavior,
+				RuleIndex:       i,
+				RuleDescription: ruleDescription(rs, i),
+				Prompt:          p.prompt,
+				Convert:         convert,
+				Query:           time.Since(queryStart),
+			}, nil
+		}
+	}
+	return Decision{}, appelengine.ErrNoRuleFired
+}
+
+// matchXQueryNative translates the preference to XQuery and evaluates it
+// against the native XML store.
+func (s *Site) matchXQueryNative(prefXML, policyName string) (Decision, error) {
+	convertStart := time.Now()
+	rs, err := appel.Parse(prefXML)
+	if err != nil {
+		return Decision{}, err
+	}
+	xqs, err := xqgen.TranslateRuleset(rs)
+	if err != nil {
+		return Decision{}, err
+	}
+	convert := time.Since(convertStart)
+
+	queryStart := time.Now()
+	ev := xquery.NewEvaluator(s.xml.Resolver(map[string]string{
+		xqgen.ApplicableDocument: policyDoc(policyName),
+	}))
+	for i, xq := range xqs {
+		parsed, err := xquery.Parse(xq.XQuery)
+		if err != nil {
+			return Decision{}, err
+		}
+		out, err := ev.Run(parsed)
+		if err != nil {
+			return Decision{}, err
+		}
+		if out != "" {
+			return Decision{
+				Behavior:        out,
+				RuleIndex:       i,
+				RuleDescription: ruleDescription(rs, i),
+				Prompt:          xq.Prompt,
+				Convert:         convert,
+				Query:           time.Since(queryStart),
+			}, nil
+		}
+	}
+	return Decision{}, appelengine.ErrNoRuleFired
+}
+
+func ruleDescription(rs *appel.Ruleset, idx int) string {
+	if idx < 0 || idx >= len(rs.Rules) {
+		return ""
+	}
+	return rs.Rules[idx].Description
+}
+
+// recordConflict feeds the site-owner analytics: block decisions are
+// tallied per policy and rule.
+func (s *Site) recordConflict(d Decision) {
+	if !d.Blocked() {
+		return
+	}
+	m, ok := s.conflicts[d.PolicyName]
+	if !ok {
+		m = map[string]int{}
+		s.conflicts[d.PolicyName] = m
+	}
+	desc := d.RuleDescription
+	if desc == "" {
+		desc = fmt.Sprintf("rule %d", d.RuleIndex+1)
+	}
+	m[desc]++
+}
+
+// Analytics returns the conflict statistics, most-blocked first: which
+// policies conflict with which user preference rules — the information the
+// client-centric architecture cannot give site owners (Section 4.2).
+func (s *Site) Analytics() []ConflictStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []ConflictStat
+	for pol, rules := range s.conflicts {
+		for desc, n := range rules {
+			out = append(out, ConflictStat{PolicyName: pol, RuleDescription: desc, Count: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].PolicyName != out[j].PolicyName {
+			return out[i].PolicyName < out[j].PolicyName
+		}
+		return out[i].RuleDescription < out[j].RuleDescription
+	})
+	return out
+}
+
+// ResetAnalytics clears the conflict statistics.
+func (s *Site) ResetAnalytics() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conflicts = map[string]map[string]int{}
+}

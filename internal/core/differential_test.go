@@ -1,0 +1,214 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"p3pdb/internal/p3p"
+	"p3pdb/internal/reldb"
+	"p3pdb/internal/workload"
+)
+
+// randomRuleset builds a random APPEL ruleset over the vocabulary every
+// translator supports. General-level expressions draw from the four
+// non-exact connectives (the optimized translator rejects exact there, by
+// design); value-level expressions draw from all six.
+func randomRuleset(r *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString(`<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1"` + "\n" +
+		` xmlns="http://www.w3.org/2002/01/P3Pv1">` + "\n")
+	for i, n := 0, 1+r.Intn(3); i < n; i++ {
+		behavior := []string{"block", "limited"}[r.Intn(2)]
+		conn := ""
+		if r.Intn(4) == 0 {
+			conn = connAttr(generalConnective(r))
+		}
+		body := randomPolicyExpr(r)
+		if r.Intn(5) == 0 {
+			body += randomPolicyExpr(r) // multi-expression rule body
+		}
+		fmt.Fprintf(&b, `<appel:RULE behavior="%s"%s>%s</appel:RULE>`+"\n",
+			behavior, conn, body)
+	}
+	b.WriteString(`<appel:OTHERWISE behavior="request"/>` + "\n</appel:RULESET>")
+	return b.String()
+}
+
+func generalConnective(r *rand.Rand) string {
+	return []string{"", "and", "or", "non-and", "non-or"}[r.Intn(5)]
+}
+
+func valueConnective(r *rand.Rand) string {
+	// Exact connectives appear with low weight: they are rare in real
+	// preferences and their generic-schema expansion trips the
+	// complexity limit, which would starve the XTable comparison.
+	if r.Intn(10) == 0 {
+		return []string{"and-exact", "or-exact"}[r.Intn(2)]
+	}
+	return []string{"", "and", "or", "non-and", "non-or"}[r.Intn(5)]
+}
+
+func connAttr(c string) string {
+	if c == "" {
+		return ""
+	}
+	return ` appel:connective="` + c + `"`
+}
+
+func randomPolicyExpr(r *rand.Rand) string {
+	n := 1 + r.Intn(2)
+	var kids []string
+	for i := 0; i < n; i++ {
+		kids = append(kids, randomStatementExpr(r))
+	}
+	return "<POLICY" + connAttr(generalConnective(r)) + ">" + strings.Join(kids, "") + "</POLICY>"
+}
+
+func randomStatementExpr(r *rand.Rand) string {
+	var kids []string
+	if r.Intn(2) == 0 {
+		kids = append(kids, randomValueList(r, "PURPOSE", []string{
+			"current", "admin", "develop", "contact", "telemarketing",
+			"individual-decision", "individual-analysis", "pseudo-analysis",
+		}, true))
+	}
+	if r.Intn(3) == 0 {
+		kids = append(kids, randomValueList(r, "RECIPIENT", []string{
+			"ours", "same", "delivery", "unrelated", "public", "other-recipient",
+		}, true))
+	}
+	if r.Intn(3) == 0 {
+		kids = append(kids, randomValueList(r, "RETENTION", []string{
+			"no-retention", "stated-purpose", "business-practices", "indefinitely",
+		}, false))
+	}
+	if r.Intn(3) == 0 || len(kids) == 0 {
+		kids = append(kids, randomDataGroupExpr(r))
+	}
+	if r.Intn(6) == 0 {
+		kids = append(kids, "<CONSEQUENCE/>")
+	}
+	return "<STATEMENT" + connAttr(generalConnective(r)) + ">" + strings.Join(kids, "") + "</STATEMENT>"
+}
+
+func randomValueList(r *rand.Rand, parent string, values []string, withRequired bool) string {
+	n := 1 + r.Intn(3)
+	seen := map[string]bool{}
+	var kids []string
+	for i := 0; i < n; i++ {
+		v := values[r.Intn(len(values))]
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		attr := ""
+		if withRequired {
+			switch r.Intn(5) {
+			case 0:
+				attr = ` required="always"`
+			case 1:
+				attr = ` required="opt-in"`
+			case 2:
+				attr = ` required="opt-out"`
+			case 3:
+				attr = ` required="*"`
+			}
+		}
+		kids = append(kids, "<"+v+attr+"/>")
+	}
+	return "<" + parent + connAttr(valueConnective(r)) + ">" + strings.Join(kids, "") + "</" + parent + ">"
+}
+
+func randomDataGroupExpr(r *rand.Rand) string {
+	refs := []string{
+		"#user.name", "#user.name.given", "#user.home-info",
+		"#user.home-info.postal", "#user.home-info.online.email",
+		"#user.bdate", "#user.login", "#dynamic.miscdata",
+		"#dynamic.clickstream", "#dynamic.searchtext", "*",
+	}
+	cats := []string{"physical", "online", "purchase", "financial", "demographic", "health", "uniqueid"}
+	n := 1 + r.Intn(2)
+	var kids []string
+	for i := 0; i < n; i++ {
+		ref := refs[r.Intn(len(refs))]
+		inner := ""
+		if r.Intn(2) == 0 {
+			m := 1 + r.Intn(2)
+			seen := map[string]bool{}
+			var cvs []string
+			for j := 0; j < m; j++ {
+				c := cats[r.Intn(len(cats))]
+				if seen[c] {
+					continue
+				}
+				seen[c] = true
+				cvs = append(cvs, "<"+c+"/>")
+			}
+			inner = "<CATEGORIES" + connAttr(valueConnective(r)) + ">" + strings.Join(cvs, "") + "</CATEGORIES>"
+		}
+		if inner == "" {
+			kids = append(kids, `<DATA ref="`+ref+`"/>`)
+		} else {
+			kids = append(kids, `<DATA ref="`+ref+`">`+inner+`</DATA>`)
+		}
+	}
+	return "<DATA-GROUP" + connAttr(generalConnective(r)) + ">" + strings.Join(kids, "") + "</DATA-GROUP>"
+}
+
+// TestRandomizedFiveWayDifferential matches randomized rulesets against
+// the generated corpus on every engine and requires identical decisions.
+// The XTable path may reject exact-heavy rulesets with the complexity
+// error, mirroring the Medium blank cell; any other divergence fails.
+func TestRandomizedFiveWayDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized differential is slow")
+	}
+	d := workload.Generate(42)
+	s, err := NewSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A subset of the corpus keeps the matrix fast while covering the
+	// size range (smallest, median, largest, plus variety).
+	policies := []*p3p.Policy{
+		d.Policies[0], d.Policies[4], d.Policies[7], d.Policies[14],
+		d.Policies[21], d.Policies[25], d.Policies[28],
+	}
+	for _, pol := range policies {
+		if err := s.InstallPolicy(pol); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r := rand.New(rand.NewSource(99))
+	const rounds = 60
+	tooComplex := 0
+	for round := 0; round < rounds; round++ {
+		prefXML := randomRuleset(r)
+		for _, pol := range policies {
+			base, err := s.MatchPolicy(prefXML, pol.Name, EngineNative)
+			if err != nil {
+				t.Fatalf("round %d native vs %s: %v\nruleset:\n%s", round, pol.Name, err, prefXML)
+			}
+			for _, engine := range []Engine{EngineSQL, EngineXTable, EngineXQuery} {
+				got, err := s.MatchPolicy(prefXML, pol.Name, engine)
+				if err != nil {
+					if engine == EngineXTable && errors.Is(err, reldb.ErrTooComplex) {
+						tooComplex++
+						continue
+					}
+					t.Fatalf("round %d %v vs %s: %v\nruleset:\n%s", round, engine, pol.Name, err, prefXML)
+				}
+				if got.Behavior != base.Behavior || got.RuleIndex != base.RuleIndex {
+					t.Fatalf("round %d: %v disagrees with native on %s:\n got %s/rule %d, want %s/rule %d\nruleset:\n%s",
+						round, engine, pol.Name,
+						got.Behavior, got.RuleIndex, base.Behavior, base.RuleIndex, prefXML)
+				}
+			}
+		}
+	}
+	t.Logf("%d rounds, %d XTable too-complex rejections", rounds, tooComplex)
+}

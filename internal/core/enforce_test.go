@@ -1,0 +1,120 @@
+package core
+
+import "testing"
+
+func TestAuthorizeUse(t *testing.T) {
+	s := siteWithVolga(t)
+
+	// Statement 1 collects user.name for the current purpose.
+	d, err := s.AuthorizeUse("volga", "current", "#user.name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Allowed || d.Required != "always" || d.Retention != "stated-purpose" {
+		t.Errorf("current/user.name: %+v", d)
+	}
+
+	// Leaf references under a collected struct are covered.
+	d, err = s.AuthorizeUse("volga", "current", "#user.home-info.postal.street")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Allowed {
+		t.Errorf("leaf under collected struct: %+v", d)
+	}
+
+	// Statement 2 uses email for contact — but only opt-in.
+	d, err = s.AuthorizeUse("volga", "contact", "#user.home-info.online.email")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Allowed || d.Required != "opt-in" || d.Retention != "business-practices" {
+		t.Errorf("contact/email: %+v", d)
+	}
+
+	// Telemarketing is disclosed nowhere: not allowed.
+	d, err = s.AuthorizeUse("volga", "telemarketing", "#user.home-info.telecom.telephone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Allowed {
+		t.Errorf("undisclosed use allowed: %+v", d)
+	}
+
+	// The purpose exists but not for this data item.
+	d, err = s.AuthorizeUse("volga", "contact", "#user.name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Allowed {
+		t.Errorf("contact/user.name should not be covered: %+v", d)
+	}
+
+	// Errors.
+	if _, err := s.AuthorizeUse("volga", "world-domination", "#user.name"); err == nil {
+		t.Error("unknown purpose should error")
+	}
+	if _, err := s.AuthorizeUse("ghost", "current", "#user.name"); err == nil {
+		t.Error("unknown policy should error")
+	}
+}
+
+func TestAuthorizeUseStrongestPermissionWins(t *testing.T) {
+	s, err := NewSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two statements cover the same (purpose, data): one opt-in, one
+	// unconditional. The standing permission is the unconditional one.
+	if _, err := s.InstallPolicyXML(`<POLICY name="dual">
+	  <STATEMENT>
+	    <PURPOSE><admin required="opt-in"/></PURPOSE>
+	    <RECIPIENT><ours/></RECIPIENT><RETENTION><indefinitely/></RETENTION>
+	    <DATA-GROUP><DATA ref="#dynamic.clickstream"/></DATA-GROUP>
+	  </STATEMENT>
+	  <STATEMENT>
+	    <PURPOSE><admin/></PURPOSE>
+	    <RECIPIENT><ours/></RECIPIENT><RETENTION><stated-purpose/></RETENTION>
+	    <DATA-GROUP><DATA ref="#dynamic.clickstream"/></DATA-GROUP>
+	  </STATEMENT>
+	</POLICY>`); err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.AuthorizeUse("dual", "admin", "#dynamic.clickstream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Allowed || d.Required != "always" {
+		t.Errorf("dual coverage: %+v", d)
+	}
+}
+
+func TestAuthorizeUseOptOutBeatsOptIn(t *testing.T) {
+	s, err := NewSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InstallPolicyXML(`<POLICY name="consents">
+	  <STATEMENT>
+	    <PURPOSE><develop required="opt-in"/></PURPOSE>
+	    <RECIPIENT><ours/></RECIPIENT><RETENTION><no-retention/></RETENTION>
+	    <DATA-GROUP><DATA ref="#dynamic.searchtext"/></DATA-GROUP>
+	  </STATEMENT>
+	  <STATEMENT>
+	    <PURPOSE><develop required="opt-out"/></PURPOSE>
+	    <RECIPIENT><ours/></RECIPIENT><RETENTION><no-retention/></RETENTION>
+	    <DATA-GROUP><DATA ref="#dynamic.searchtext"/></DATA-GROUP>
+	  </STATEMENT>
+	</POLICY>`); err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.AuthorizeUse("consents", "develop", "#dynamic.searchtext")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Opt-out (use allowed unless the user objected) is stronger
+	// standing permission than opt-in (use forbidden until consent).
+	if !d.Allowed || d.Required != "opt-out" {
+		t.Errorf("opt-out should rank above opt-in: %+v", d)
+	}
+}

@@ -1,0 +1,323 @@
+// Package basedata models the P3P 1.0 base data schema: the predefined
+// hierarchy of data elements (user.*, thirdparty.*, business.*, dynamic.*)
+// together with their category assignments.
+//
+// The base data schema matters for preference matching because APPEL
+// evaluation is defined over the *augmented* policy: every DATA element is
+// annotated with the categories the base data schema assigns to its data
+// reference. The paper's profiling of the JRC engine found that performing
+// this augmentation on every match accounted for most of the native
+// engine's cost; the server-centric SQL implementation instead performs it
+// once, at shredding time.
+package basedata
+
+import (
+	"sort"
+	"strings"
+)
+
+// Element is one node in the base data schema hierarchy.
+type Element struct {
+	// Name is the last path segment, e.g. "postal".
+	Name string
+	// Ref is the full dotted path without the leading '#',
+	// e.g. "user.home-info.postal".
+	Ref string
+	// Categories are the categories fixed by the schema at this node.
+	// Descendants inherit them unless they fix their own.
+	Categories []string
+	// Variable marks elements (dynamic.miscdata, dynamic.cookies) whose
+	// categories must be declared in the policy rather than the schema.
+	Variable bool
+	// Children are the subelements.
+	Children []*Element
+
+	parent *Element
+}
+
+// Schema is the built base data schema with a lookup table.
+type Schema struct {
+	roots  []*Element
+	byRef  map[string]*Element
+	leaves map[string][]*Element // memoized leaf expansion per ref
+}
+
+// node is the fluent builder for schema construction.
+func node(name string, children ...*Element) *Element {
+	return &Element{Name: name, Children: children}
+}
+
+func cat(cats ...string) func(*Element) *Element {
+	return func(e *Element) *Element {
+		e.Categories = cats
+		return e
+	}
+}
+
+func with(e *Element, mods ...func(*Element) *Element) *Element {
+	for _, m := range mods {
+		e = m(e)
+	}
+	return e
+}
+
+func variable(e *Element) *Element {
+	e.Variable = true
+	return e
+}
+
+// personName expands the personname structure.
+func personName() []*Element {
+	return []*Element{
+		node("prefix"), node("given"), node("middle"),
+		node("family"), node("suffix"), node("nickname"),
+	}
+}
+
+// postal expands the postal structure.
+func postal() []*Element {
+	return []*Element{
+		node("name", personName()...), node("street"), node("city"),
+		node("stateprov"), node("postalcode"), node("country"),
+		node("organization"),
+	}
+}
+
+// telephoneNum expands the telephonenum structure.
+func telephoneNum() []*Element {
+	return []*Element{
+		node("intcode"), node("loccode"), node("number"),
+		node("ext"), node("comment"),
+	}
+}
+
+// telecom expands the telecom structure.
+func telecom() []*Element {
+	return []*Element{
+		node("telephone", telephoneNum()...),
+		node("fax", telephoneNum()...),
+		node("mobile", telephoneNum()...),
+		node("pager", telephoneNum()...),
+	}
+}
+
+// online expands the online structure.
+func online() []*Element {
+	return []*Element{node("email"), node("uri")}
+}
+
+// contactInfo expands the contact structure (postal/telecom/online) with
+// the conventional category assignments: postal and telecom information is
+// "physical", online contact information is "online".
+func contactInfo() []*Element {
+	return []*Element{
+		with(node("postal", postal()...), cat("physical", "demographic")),
+		with(node("telecom", telecom()...), cat("physical")),
+		with(node("online", online()...), cat("online")),
+	}
+}
+
+// date expands the date structure.
+func date() []*Element {
+	return []*Element{
+		node("ymd.year"), node("ymd.month"), node("ymd.day"),
+		node("hms.hour"), node("hms.minute"), node("hms.second"),
+		node("fractionsecond"), node("timezone"),
+	}
+}
+
+// loginStruct expands the login structure.
+func loginStruct() []*Element {
+	return []*Element{node("id"), node("password")}
+}
+
+// certStruct expands the certificate structure.
+func certStruct() []*Element {
+	return []*Element{node("key"), node("format")}
+}
+
+// userBranch builds a user-like subtree (also reused for thirdparty, whose
+// elements mirror user's per the specification).
+func userBranch(name string) *Element {
+	return node(name,
+		with(node("name", personName()...), cat("physical", "demographic")),
+		with(node("bdate", date()...), cat("demographic")),
+		with(node("login", loginStruct()...), cat("uniqueid")),
+		with(node("cert", certStruct()...), cat("uniqueid")),
+		with(node("gender"), cat("demographic")),
+		with(node("employer"), cat("demographic")),
+		with(node("department"), cat("demographic")),
+		with(node("jobtitle"), cat("demographic")),
+		with(node("home-info", contactInfo()...), cat("physical")),
+		with(node("business-info", contactInfo()...), cat("physical")),
+	)
+}
+
+// Build constructs the full base data schema. The result is immutable by
+// convention; use Default for the shared instance.
+func Build() *Schema {
+	roots := []*Element{
+		userBranch("user"),
+		userBranch("thirdparty"),
+		node("business",
+			with(node("name"), cat("demographic")),
+			with(node("department"), cat("demographic")),
+			with(node("cert", certStruct()...), cat("uniqueid")),
+			with(node("contact-info", contactInfo()...), cat("physical")),
+		),
+		node("dynamic",
+			with(node("clickstream",
+				node("uri"), node("timestamp"), node("clientip.hostname"),
+				node("clientip.partialhostname"), node("other.httpmethod"),
+				node("other.bytes"), node("other.statuscode"),
+			), cat("navigation", "computer")),
+			with(node("http",
+				node("useragent"), node("referer"),
+			), cat("navigation", "computer")),
+			with(node("clientevents"), cat("navigation", "interactive")),
+			variable(node("cookies")),
+			with(node("searchtext"), cat("interactive")),
+			with(node("interactionrecord"), cat("interactive")),
+			variable(node("miscdata")),
+		),
+	}
+	s := &Schema{byRef: map[string]*Element{}, leaves: map[string][]*Element{}, roots: roots}
+	var finish func(e *Element, prefix string, parent *Element)
+	finish = func(e *Element, prefix string, parent *Element) {
+		e.parent = parent
+		if prefix == "" {
+			e.Ref = e.Name
+		} else {
+			e.Ref = prefix + "." + e.Name
+		}
+		s.byRef[e.Ref] = e
+		for _, c := range e.Children {
+			finish(c, e.Ref, e)
+		}
+	}
+	for _, r := range roots {
+		finish(r, "", nil)
+	}
+	return s
+}
+
+// defaultSchema is the shared, lazily built schema.
+var defaultSchema = Build()
+
+// Default returns the shared base data schema instance.
+func Default() *Schema { return defaultSchema }
+
+// normalizeRef strips a leading '#' from a data reference.
+func normalizeRef(ref string) string { return strings.TrimPrefix(ref, "#") }
+
+// Lookup returns the schema element for a data reference (with or without
+// the leading '#'), or nil when the reference is not in the base schema.
+func (s *Schema) Lookup(ref string) *Element {
+	return s.byRef[normalizeRef(ref)]
+}
+
+// CategoriesFor resolves the categories of a data reference per the P3P
+// augmentation rules: the closest ancestor-or-self element with fixed
+// categories supplies them; variable-category elements take the categories
+// declared in the policy. Unknown references fall back to the declared
+// categories. The result is sorted and de-duplicated.
+func (s *Schema) CategoriesFor(ref string, declared []string) []string {
+	e := s.Lookup(ref)
+	// Walk up to the nearest element if the exact ref is unknown (the
+	// schema allows references below modeled leaves, e.g. custom
+	// extensions of a structure).
+	if e == nil {
+		r := normalizeRef(ref)
+		for {
+			i := strings.LastIndexByte(r, '.')
+			if i < 0 {
+				break
+			}
+			r = r[:i]
+			if found := s.byRef[r]; found != nil {
+				e = found
+				break
+			}
+		}
+	}
+	var out []string
+	for cur := e; cur != nil; cur = cur.parent {
+		if cur.Variable {
+			out = append(out, declared...)
+			break
+		}
+		if len(cur.Categories) > 0 {
+			out = append(out, cur.Categories...)
+			break
+		}
+	}
+	if e == nil {
+		out = append(out, declared...)
+	}
+	return dedupeSorted(out)
+}
+
+// Leaves returns the leaf elements at or below a data reference. A policy
+// that collects "#user.home-info" implicitly collects every leaf beneath
+// it; the augmentation step in APPEL engines expands references this way.
+// The expansion for each distinct ref is computed once and memoized.
+func (s *Schema) Leaves(ref string) []*Element {
+	r := normalizeRef(ref)
+	if cached, ok := s.leaves[r]; ok {
+		return cached
+	}
+	e := s.byRef[r]
+	var out []*Element
+	if e != nil {
+		var walk func(*Element)
+		walk = func(n *Element) {
+			if len(n.Children) == 0 {
+				out = append(out, n)
+				return
+			}
+			for _, c := range n.Children {
+				walk(c)
+			}
+		}
+		walk(e)
+	}
+	s.leaves[r] = out
+	return out
+}
+
+// KnownRefs returns every reference in the schema, sorted. Used by the
+// workload generator to draw realistic data references.
+func (s *Schema) KnownRefs() []string {
+	out := make([]string, 0, len(s.byRef))
+	for r := range s.byRef {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LeafRefs returns every leaf reference in the schema, sorted.
+func (s *Schema) LeafRefs() []string {
+	var out []string
+	for r, e := range s.byRef {
+		if len(e.Children) == 0 {
+			out = append(out, r)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func dedupeSorted(in []string) []string {
+	if len(in) == 0 {
+		return nil
+	}
+	sort.Strings(in)
+	out := in[:1]
+	for _, v := range in[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package basedata
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLookup(t *testing.T) {
+	s := Default()
+	cases := []string{
+		"user.name",
+		"user.name.given",
+		"user.home-info.postal.street",
+		"user.home-info.telecom.telephone.number",
+		"user.home-info.online.email",
+		"thirdparty.name.family",
+		"business.contact-info.postal.city",
+		"dynamic.miscdata",
+		"dynamic.clickstream.uri",
+	}
+	for _, ref := range cases {
+		if s.Lookup(ref) == nil {
+			t.Errorf("Lookup(%q) = nil", ref)
+		}
+		if s.Lookup("#"+ref) == nil {
+			t.Errorf("Lookup(#%q) = nil", ref)
+		}
+	}
+	if s.Lookup("user.shoe-size") != nil {
+		t.Error("unknown ref should be nil")
+	}
+}
+
+func TestCategoriesFixed(t *testing.T) {
+	s := Default()
+	cases := []struct {
+		ref  string
+		want []string
+	}{
+		{"#user.name", []string{"demographic", "physical"}},
+		{"#user.name.given", []string{"demographic", "physical"}},
+		{"#user.bdate", []string{"demographic"}},
+		{"#user.login.password", []string{"uniqueid"}},
+		{"#user.home-info.online.email", []string{"online"}},
+		{"#user.home-info.postal.street", []string{"demographic", "physical"}},
+		{"#user.home-info.telecom.mobile.number", []string{"physical"}},
+		{"#dynamic.searchtext", []string{"interactive"}},
+		{"#dynamic.http.useragent", []string{"computer", "navigation"}},
+	}
+	for _, c := range cases {
+		got := s.CategoriesFor(c.ref, nil)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("CategoriesFor(%q) = %v, want %v", c.ref, got, c.want)
+		}
+	}
+}
+
+func TestCategoriesVariable(t *testing.T) {
+	s := Default()
+	got := s.CategoriesFor("#dynamic.miscdata", []string{"purchase", "financial", "purchase"})
+	if !reflect.DeepEqual(got, []string{"financial", "purchase"}) {
+		t.Errorf("variable categories = %v", got)
+	}
+	if got := s.CategoriesFor("#dynamic.cookies", []string{"preference"}); !reflect.DeepEqual(got, []string{"preference"}) {
+		t.Errorf("cookie categories = %v", got)
+	}
+	// Variable element with nothing declared: empty.
+	if got := s.CategoriesFor("#dynamic.miscdata", nil); len(got) != 0 {
+		t.Errorf("miscdata with no declared categories = %v", got)
+	}
+}
+
+func TestCategoriesUnknownRefWalksUp(t *testing.T) {
+	s := Default()
+	// A ref below a modeled node inherits from the nearest known ancestor.
+	got := s.CategoriesFor("#user.home-info.postal.street.line2", nil)
+	if !reflect.DeepEqual(got, []string{"demographic", "physical"}) {
+		t.Errorf("descendant inherits = %v", got)
+	}
+	// Entirely unknown refs yield the declared categories.
+	got = s.CategoriesFor("#custom.thing", []string{"health"})
+	if !reflect.DeepEqual(got, []string{"health"}) {
+		t.Errorf("unknown ref = %v", got)
+	}
+}
+
+func TestLeaves(t *testing.T) {
+	s := Default()
+	leaves := s.Leaves("#user.name")
+	if len(leaves) != 6 {
+		t.Errorf("user.name leaves = %d, want 6 (personname structure)", len(leaves))
+	}
+	leaves = s.Leaves("#user.home-info.telecom")
+	if len(leaves) != 20 {
+		t.Errorf("telecom leaves = %d, want 20 (4 numbers x 5 fields)", len(leaves))
+	}
+	// A leaf expands to itself.
+	leaves = s.Leaves("#user.gender")
+	if len(leaves) != 1 || leaves[0].Ref != "user.gender" {
+		t.Errorf("leaf expansion: %+v", leaves)
+	}
+	if got := s.Leaves("#no.such"); len(got) != 0 {
+		t.Errorf("unknown expansion: %v", got)
+	}
+	// Memoization returns the identical slice.
+	a := s.Leaves("#user.name")
+	b := s.Leaves("#user.name")
+	if len(a) > 0 && &a[0] != &b[0] {
+		t.Error("Leaves not memoized")
+	}
+}
+
+func TestSchemaShape(t *testing.T) {
+	s := Default()
+	refs := s.KnownRefs()
+	if len(refs) < 150 {
+		t.Errorf("schema unexpectedly small: %d refs", len(refs))
+	}
+	leaves := s.LeafRefs()
+	if len(leaves) < 100 {
+		t.Errorf("too few leaves: %d", len(leaves))
+	}
+	// user and thirdparty mirror each other.
+	var userRefs, tpRefs []string
+	for _, r := range refs {
+		if strings.HasPrefix(r, "user.") {
+			userRefs = append(userRefs, strings.TrimPrefix(r, "user."))
+		}
+		if strings.HasPrefix(r, "thirdparty.") {
+			tpRefs = append(tpRefs, strings.TrimPrefix(r, "thirdparty."))
+		}
+	}
+	if !reflect.DeepEqual(userRefs, tpRefs) {
+		t.Error("thirdparty does not mirror user")
+	}
+}
+
+func TestEveryRefHasResolvableCategories(t *testing.T) {
+	s := Default()
+	for _, ref := range s.KnownRefs() {
+		e := s.Lookup(ref)
+		cats := s.CategoriesFor(ref, []string{"declared"})
+		if e.Variable {
+			if !reflect.DeepEqual(cats, []string{"declared"}) {
+				t.Errorf("%s: variable element should take declared cats, got %v", ref, cats)
+			}
+			continue
+		}
+		if len(cats) == 0 && !strings.EqualFold(ref, "dynamic") {
+			// Only pure interior grouping nodes (user, thirdparty,
+			// business, dynamic) may resolve to nothing... verify they
+			// are roots.
+			if strings.Contains(ref, ".") {
+				t.Errorf("%s: no categories resolvable", ref)
+			}
+		}
+	}
+}
+
+func TestCategoriesQuickDeterministic(t *testing.T) {
+	s := Default()
+	refs := s.KnownRefs()
+	f := func(i uint16, declared []bool) bool {
+		ref := refs[int(i)%len(refs)]
+		var decl []string
+		for j, b := range declared {
+			if b && j < 3 {
+				decl = append(decl, []string{"purchase", "health", "online"}[j])
+			}
+		}
+		a := s.CategoriesFor(ref, decl)
+		b := s.CategoriesFor(ref, decl)
+		if !reflect.DeepEqual(a, b) {
+			return false
+		}
+		// Result is sorted and unique.
+		for k := 1; k < len(a); k++ {
+			if a[k-1] >= a[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,143 @@
+package basedata
+
+import (
+	"strings"
+	"sync"
+
+	"p3pdb/internal/xmldom"
+)
+
+// ToDOM renders the base data schema as an XML document: a DATASCHEMA
+// element containing one DATA-DEF element per data element, carrying its
+// full dotted name and, where the schema fixes them, its CATEGORIES. This
+// is the document form that 2002-era user agents fetched and consulted —
+// the JRC engine resolved every DATA reference against it, which is why
+// the paper's profiling found category augmentation dominating the native
+// engine's matching time.
+func (s *Schema) ToDOM() *xmldom.Node {
+	const ns = "http://www.w3.org/2002/01/P3Pv1"
+	root := xmldom.NewNS(ns, "DATASCHEMA")
+	var emit func(e *Element)
+	emit = func(e *Element) {
+		def := xmldom.NewNS(ns, "DATA-DEF").SetAttr("name", e.Ref)
+		if e.Variable {
+			def.SetAttr("variable", "yes")
+		}
+		if len(e.Categories) > 0 {
+			cats := xmldom.NewNS(ns, "CATEGORIES")
+			for _, c := range e.Categories {
+				cats.Add(xmldom.NewNS(ns, c))
+			}
+			def.Add(cats)
+		}
+		root.Add(def)
+		for _, c := range e.Children {
+			emit(c)
+		}
+	}
+	for _, r := range s.roots {
+		emit(r)
+	}
+	return root
+}
+
+var (
+	docOnce sync.Once
+	docXML  string
+)
+
+// DocumentXML returns the serialized base data schema document for the
+// default schema, computed once. Clients that emulate document-consulting
+// agents re-parse this text themselves.
+func DocumentXML() string {
+	docOnce.Do(func() {
+		docXML = Default().ToDOM().String()
+	})
+	return docXML
+}
+
+// DocumentLookup performs a deliberately naive resolution of a data
+// reference against a parsed schema document, the way a DOM-walking agent
+// does it: scan the flat definition list for the reference and everything
+// beneath it, decide leaves by rescanning, and resolve categories by
+// prefix-walking upward. Complexity is O(document size) per call — this
+// is the documented cost profile of the client-centric baseline, not an
+// oversight; Schema.Lookup/CategoriesFor are the indexed equivalents.
+//
+// It returns the leaf refs covered by ref (ref itself when unknown) and
+// each leaf's categories given the policy-declared categories.
+func DocumentLookup(doc *xmldom.Node, ref string, declared []string) []ExpandedRef {
+	bare := strings.TrimPrefix(ref, "#")
+	defs := doc.Children
+
+	// Pass 1: every definition at or below ref.
+	var matches []*xmldom.Node
+	for _, d := range defs {
+		name, _ := d.Attr("name")
+		if name == bare || strings.HasPrefix(name, bare+".") {
+			matches = append(matches, d)
+		}
+	}
+	if len(matches) == 0 {
+		return []ExpandedRef{{Ref: bare, Categories: dedupeSorted(append([]string(nil), declared...))}}
+	}
+
+	// Pass 2: keep the leaves — definitions with no definition beneath
+	// them (rescan per candidate, as the naive agent does).
+	var out []ExpandedRef
+	for _, m := range matches {
+		name, _ := m.Attr("name")
+		isLeaf := true
+		for _, d := range defs {
+			other, _ := d.Attr("name")
+			if strings.HasPrefix(other, name+".") {
+				isLeaf = false
+				break
+			}
+		}
+		if !isLeaf {
+			continue
+		}
+		out = append(out, ExpandedRef{
+			Ref:        name,
+			Categories: documentCategories(defs, name, declared),
+		})
+	}
+	return out
+}
+
+// ExpandedRef is one leaf produced by DocumentLookup.
+type ExpandedRef struct {
+	Ref        string
+	Categories []string
+}
+
+// documentCategories resolves a leaf's categories by walking its prefix
+// chain from most to least specific, scanning the definition list at each
+// level.
+func documentCategories(defs []*xmldom.Node, leaf string, declared []string) []string {
+	prefix := leaf
+	for {
+		for _, d := range defs {
+			name, _ := d.Attr("name")
+			if name != prefix {
+				continue
+			}
+			if v, _ := d.Attr("variable"); v == "yes" {
+				return dedupeSorted(append([]string(nil), declared...))
+			}
+			if cats := d.Child("CATEGORIES"); cats != nil {
+				var out []string
+				for _, c := range cats.Children {
+					out = append(out, c.Name)
+				}
+				return dedupeSorted(out)
+			}
+		}
+		i := strings.LastIndexByte(prefix, '.')
+		if i < 0 {
+			return dedupeSorted(append([]string(nil), declared...))
+		}
+		prefix = prefix[:i]
+	}
+}

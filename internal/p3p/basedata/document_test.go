@@ -1,0 +1,90 @@
+package basedata
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"p3pdb/internal/xmldom"
+)
+
+func TestDocumentXMLShape(t *testing.T) {
+	xml := DocumentXML()
+	doc, err := xmldom.ParseString(xml)
+	if err != nil {
+		t.Fatalf("schema document does not parse: %v", err)
+	}
+	if doc.Name != "DATASCHEMA" {
+		t.Errorf("root = %s", doc.Name)
+	}
+	if len(doc.Children) != len(Default().KnownRefs()) {
+		t.Errorf("definitions = %d, refs = %d", len(doc.Children), len(Default().KnownRefs()))
+	}
+	// Memoized: the same string comes back.
+	if xml != DocumentXML() {
+		t.Error("DocumentXML not stable")
+	}
+	// It is a substantial document, as the real base data schema was.
+	if len(xml) < 10_000 {
+		t.Errorf("schema document suspiciously small: %d bytes", len(xml))
+	}
+}
+
+func TestDocumentLookupAgreesWithIndexed(t *testing.T) {
+	s := Default()
+	doc, err := xmldom.ParseString(DocumentXML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	declared := []string{"purchase"}
+	for _, ref := range s.KnownRefs() {
+		naive := DocumentLookup(doc, "#"+ref, declared)
+
+		// Indexed equivalent.
+		var indexed []ExpandedRef
+		leaves := s.Leaves(ref)
+		if len(leaves) == 0 {
+			indexed = []ExpandedRef{{Ref: ref, Categories: s.CategoriesFor(ref, declared)}}
+		} else {
+			for _, l := range leaves {
+				indexed = append(indexed, ExpandedRef{Ref: l.Ref, Categories: s.CategoriesFor(l.Ref, declared)})
+			}
+		}
+
+		sortRefs := func(rs []ExpandedRef) {
+			sort.Slice(rs, func(i, j int) bool { return rs[i].Ref < rs[j].Ref })
+		}
+		sortRefs(naive)
+		sortRefs(indexed)
+		if !reflect.DeepEqual(naive, indexed) {
+			t.Fatalf("disagreement on %s:\nnaive   %+v\nindexed %+v", ref, naive, indexed)
+		}
+	}
+}
+
+func TestDocumentLookupUnknownRef(t *testing.T) {
+	doc, err := xmldom.ParseString(DocumentXML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := DocumentLookup(doc, "#custom.thing", []string{"health", "health"})
+	if len(out) != 1 || out[0].Ref != "custom.thing" {
+		t.Fatalf("unknown ref: %+v", out)
+	}
+	if !reflect.DeepEqual(out[0].Categories, []string{"health"}) {
+		t.Errorf("declared categories: %v", out[0].Categories)
+	}
+}
+
+func TestDocumentMarksVariableElements(t *testing.T) {
+	xml := DocumentXML()
+	if !strings.Contains(xml, `name="dynamic.miscdata" variable="yes"`) {
+		t.Error("miscdata not marked variable in the document")
+	}
+	doc, _ := xmldom.ParseString(xml)
+	out := DocumentLookup(doc, "#dynamic.miscdata", []string{"financial"})
+	if len(out) != 1 || !reflect.DeepEqual(out[0].Categories, []string{"financial"}) {
+		t.Errorf("variable lookup: %+v", out)
+	}
+}

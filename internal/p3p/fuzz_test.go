@@ -1,0 +1,30 @@
+package p3p
+
+import "testing"
+
+// FuzzParsePolicies checks the policy parser never panics, and that any
+// policy it accepts and validates round-trips through serialization.
+func FuzzParsePolicies(f *testing.F) {
+	f.Add(VolgaPolicyXML)
+	f.Add(`<POLICY name="p"><STATEMENT><NON-IDENTIFIABLE/></STATEMENT></POLICY>`)
+	f.Add(`<POLICIES><POLICY name="a"><STATEMENT><NON-IDENTIFIABLE/></STATEMENT></POLICY></POLICIES>`)
+	f.Add(`<POLICY><BOGUS/></POLICY>`)
+	f.Fuzz(func(t *testing.T, src string) {
+		pols, err := ParsePolicies(src)
+		if err != nil {
+			return
+		}
+		for _, p := range pols {
+			if len(p.Validate()) > 0 {
+				continue // invalid policies need not round-trip
+			}
+			back, err := ParsePolicy(p.String())
+			if err != nil {
+				t.Fatalf("valid policy did not reparse: %v\n%s", err, p.String())
+			}
+			if len(back.Statements) != len(p.Statements) {
+				t.Fatalf("statement count changed across round trip")
+			}
+		}
+	})
+}

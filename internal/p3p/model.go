@@ -1,0 +1,150 @@
+package p3p
+
+// Policy is a parsed P3P privacy policy: the practices a site declares for
+// (a portion of) its service.
+type Policy struct {
+	// Name identifies the policy within the site's policy file; the
+	// reference file and policy URIs use it as a fragment (#name).
+	Name string
+	// Discuri points to the human-readable privacy statement.
+	Discuri string
+	// Opturi points to instructions for opting in or out.
+	Opturi string
+	// Entity describes the legal entity making the statement.
+	Entity *Entity
+	// Access is the site's disclosure about access to identified data.
+	Access string
+	// Disputes lists dispute-resolution procedures.
+	Disputes []*Dispute
+	// Statements are the policy's data practices.
+	Statements []*Statement
+	// TestOnly marks policies carrying a TEST element, which signals
+	// that the policy is an example and must be ignored by agents.
+	TestOnly bool
+}
+
+// Entity identifies the site's legal entity. P3P expresses the fields as
+// DATA elements from the business data schema; we model the common ones
+// directly.
+type Entity struct {
+	Name    string
+	Street  string
+	City    string
+	Country string
+	Email   string
+	Phone   string
+}
+
+// Dispute is one DISPUTES element within DISPUTES-GROUP.
+type Dispute struct {
+	ResolutionType   string // service | independent | court | law
+	Service          string // URI of the dispute resolution service
+	ShortDescription string
+	Remedies         []string // correct | money | law
+}
+
+// Statement is one STATEMENT element: a set of purposes, recipients, a
+// retention policy, and the data groups they cover.
+type Statement struct {
+	// Consequence is the human-readable explanation of why the data is
+	// collected; optional.
+	Consequence string
+	// NonIdentifiable is set when the statement carries the
+	// NON-IDENTIFIABLE element.
+	NonIdentifiable bool
+	// Purposes lists the PURPOSE values with their required attributes.
+	Purposes []PurposeValue
+	// Recipients lists the RECIPIENT values with their required attributes.
+	Recipients []RecipientValue
+	// Retention is the single RETENTION subelement value.
+	Retention string
+	// DataGroups lists the DATA-GROUP elements.
+	DataGroups []*DataGroup
+}
+
+// PurposeValue is one purpose subelement, e.g. <contact required="opt-in"/>.
+type PurposeValue struct {
+	Value    string
+	Required string // always | opt-in | opt-out; empty means DefaultRequired
+}
+
+// EffectiveRequired returns the required attribute with P3P defaulting
+// applied: an absent attribute means "always".
+func (p PurposeValue) EffectiveRequired() string {
+	if p.Required == "" {
+		return DefaultRequired
+	}
+	return p.Required
+}
+
+// RecipientValue is one recipient subelement, e.g. <ours/>.
+type RecipientValue struct {
+	Value    string
+	Required string
+}
+
+// EffectiveRequired returns the required attribute with defaulting applied.
+func (r RecipientValue) EffectiveRequired() string {
+	if r.Required == "" {
+		return DefaultRequired
+	}
+	return r.Required
+}
+
+// DataGroup is one DATA-GROUP element.
+type DataGroup struct {
+	// Base overrides the base data schema URI; empty means the P3P base
+	// data schema.
+	Base string
+	// Data lists the DATA elements.
+	Data []*Data
+}
+
+// Data is one DATA element: a reference into a data schema plus any
+// explicitly declared categories.
+type Data struct {
+	// Ref is the data reference, e.g. "#user.home-info.postal".
+	Ref string
+	// Optional is the optional attribute ("yes" maps to true).
+	Optional bool
+	// Categories are the explicitly declared CATEGORIES values. For
+	// fixed-category data elements the base data schema supplies more;
+	// see the basedata package.
+	Categories []string
+}
+
+// Clone returns a deep copy of the policy.
+func (p *Policy) Clone() *Policy {
+	c := *p
+	if p.Entity != nil {
+		e := *p.Entity
+		c.Entity = &e
+	}
+	if p.Disputes != nil {
+		c.Disputes = make([]*Dispute, len(p.Disputes))
+		for i, d := range p.Disputes {
+			dd := *d
+			dd.Remedies = append([]string(nil), d.Remedies...)
+			c.Disputes[i] = &dd
+		}
+	}
+	c.Statements = make([]*Statement, len(p.Statements))
+	for i, s := range p.Statements {
+		ss := *s
+		ss.Purposes = append([]PurposeValue(nil), s.Purposes...)
+		ss.Recipients = append([]RecipientValue(nil), s.Recipients...)
+		ss.DataGroups = make([]*DataGroup, len(s.DataGroups))
+		for j, g := range s.DataGroups {
+			gg := *g
+			gg.Data = make([]*Data, len(g.Data))
+			for k, d := range g.Data {
+				dd := *d
+				dd.Categories = append([]string(nil), d.Categories...)
+				gg.Data[k] = &dd
+			}
+			ss.DataGroups[j] = &gg
+		}
+		c.Statements[i] = &ss
+	}
+	return &c
+}

@@ -1,0 +1,235 @@
+package p3p
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseVolga(t *testing.T) {
+	p, err := ParsePolicy(VolgaPolicyXML)
+	if err != nil {
+		t.Fatalf("ParsePolicy: %v", err)
+	}
+	if p.Name != "volga" {
+		t.Errorf("name = %q", p.Name)
+	}
+	if p.Entity == nil || p.Entity.Name != "Volga Booksellers" {
+		t.Errorf("entity: %+v", p.Entity)
+	}
+	if p.Access != "contact-and-other" {
+		t.Errorf("access = %q", p.Access)
+	}
+	if len(p.Statements) != 2 {
+		t.Fatalf("statements = %d", len(p.Statements))
+	}
+	s1 := p.Statements[0]
+	if len(s1.Purposes) != 1 || s1.Purposes[0].Value != "current" {
+		t.Errorf("s1 purposes: %+v", s1.Purposes)
+	}
+	if s1.Purposes[0].EffectiveRequired() != "always" {
+		t.Errorf("default required: %q", s1.Purposes[0].EffectiveRequired())
+	}
+	if len(s1.Recipients) != 2 || s1.Recipients[1].Value != "same" {
+		t.Errorf("s1 recipients: %+v", s1.Recipients)
+	}
+	if s1.Retention != "stated-purpose" {
+		t.Errorf("s1 retention: %q", s1.Retention)
+	}
+	if len(s1.DataGroups) != 1 || len(s1.DataGroups[0].Data) != 3 {
+		t.Fatalf("s1 data groups: %+v", s1.DataGroups)
+	}
+	misc := s1.DataGroups[0].Data[2]
+	if misc.Ref != "#dynamic.miscdata" || !reflect.DeepEqual(misc.Categories, []string{"purchase"}) {
+		t.Errorf("miscdata: %+v", misc)
+	}
+	s2 := p.Statements[1]
+	if s2.Purposes[0].Value != "individual-decision" || s2.Purposes[0].Required != "opt-in" {
+		t.Errorf("s2 purposes: %+v", s2.Purposes)
+	}
+}
+
+func TestValidateVolga(t *testing.T) {
+	p, err := ParsePolicy(VolgaPolicyXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := p.Validate(); len(errs) != 0 {
+		t.Errorf("Volga should validate, got %v", errs)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	p, err := ParsePolicy(VolgaPolicyXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.String()
+	p2, err := ParsePolicy(out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	if !reflect.DeepEqual(p, p2) {
+		t.Errorf("round trip mismatch:\n%#v\nvs\n%#v", p, p2)
+	}
+}
+
+func TestParsePoliciesWrapper(t *testing.T) {
+	doc := `<POLICIES xmlns="http://www.w3.org/2002/01/P3Pv1">` +
+		strings.ReplaceAll(VolgaPolicyXML, ` xmlns="http://www.w3.org/2002/01/P3Pv1"`, "") +
+		strings.ReplaceAll(strings.ReplaceAll(VolgaPolicyXML, ` xmlns="http://www.w3.org/2002/01/P3Pv1"`, ""), `name="volga"`, `name="volga2"`) +
+		`</POLICIES>`
+	ps, err := ParsePolicies(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 || ps[1].Name != "volga2" {
+		t.Errorf("got %d policies", len(ps))
+	}
+	if _, err := ParsePolicy(doc); err == nil {
+		t.Error("ParsePolicy of multi-policy doc should fail")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`<NOTAPOLICY/>`,
+		`<POLICY><BOGUS/></POLICY>`,
+		`<POLICY><STATEMENT><BOGUS/></STATEMENT></POLICY>`,
+		`<POLICY><STATEMENT><RETENTION><a/><b/></RETENTION></STATEMENT></POLICY>`,
+		`<POLICY><STATEMENT><DATA-GROUP><DATA/></DATA-GROUP></STATEMENT></POLICY>`,
+		`<POLICIES></POLICIES>`,
+	}
+	for _, c := range cases {
+		if _, err := ParsePolicies(c); err == nil {
+			t.Errorf("ParsePolicies(%q): expected error", c)
+		}
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	p := &Policy{
+		Name:   "",
+		Access: "bogus",
+		Statements: []*Statement{
+			{
+				Purposes:   []PurposeValue{{Value: "not-a-purpose"}, {Value: "current", Required: "sometimes"}, {Value: "current"}, {Value: "current"}},
+				Recipients: []RecipientValue{{Value: "martians"}},
+				Retention:  "forever",
+				DataGroups: []*DataGroup{
+					{},
+					{Data: []*Data{{Ref: "user.name"}, {Ref: "#user.name", Categories: []string{"nonsense"}}}},
+				},
+			},
+			{}, // missing everything
+		},
+		Disputes: []*Dispute{{ResolutionType: "bogus", Remedies: []string{"bogus"}}},
+	}
+	errs := p.Validate()
+	wantSubstrings := []string{
+		"missing name",
+		"unknown ACCESS",
+		"unknown purpose",
+		"bad required",
+		"duplicate purpose",
+		"unknown recipient",
+		"unknown retention",
+		"empty DATA-GROUP",
+		"must start with '#'",
+		"unknown category",
+		"missing PURPOSE",
+		"missing RECIPIENT",
+		"missing RETENTION",
+		"unknown resolution-type",
+		"unknown remedy",
+	}
+	joined := ""
+	for _, e := range errs {
+		joined += e.Error() + "\n"
+	}
+	for _, want := range wantSubstrings {
+		if !strings.Contains(joined, want) {
+			t.Errorf("validation missing %q in:\n%s", want, joined)
+		}
+	}
+	if p.MustValid() == nil {
+		t.Error("MustValid should fail")
+	}
+}
+
+func TestNonIdentifiableStatement(t *testing.T) {
+	doc := `<POLICY name="anon"><STATEMENT><NON-IDENTIFIABLE/></STATEMENT></POLICY>`
+	p, err := ParsePolicy(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Statements[0].NonIdentifiable {
+		t.Error("NON-IDENTIFIABLE not detected")
+	}
+	if errs := p.Validate(); len(errs) != 0 {
+		t.Errorf("non-identifiable statement should not require purpose: %v", errs)
+	}
+}
+
+func TestTestOnlyPolicy(t *testing.T) {
+	doc := `<POLICY name="t"><STATEMENT><NON-IDENTIFIABLE/></STATEMENT><TEST/></POLICY>`
+	p, err := ParsePolicy(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.TestOnly {
+		t.Error("TEST not detected")
+	}
+}
+
+func TestClone(t *testing.T) {
+	p, err := ParsePolicy(VolgaPolicyXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.Clone()
+	if !reflect.DeepEqual(p, c) {
+		t.Fatal("clone differs")
+	}
+	c.Statements[0].Purposes[0].Value = "admin"
+	c.Statements[0].DataGroups[0].Data[0].Categories = append(c.Statements[0].DataGroups[0].Data[0].Categories, "health")
+	if p.Statements[0].Purposes[0].Value != "current" {
+		t.Error("clone shares purpose storage")
+	}
+	if len(p.Statements[0].DataGroups[0].Data[0].Categories) != 0 {
+		t.Error("clone shares category storage")
+	}
+}
+
+func TestVocabulary(t *testing.T) {
+	if len(Purposes) != 12 {
+		t.Errorf("P3P defines 12 purposes, have %d", len(Purposes))
+	}
+	if len(Recipients) != 6 {
+		t.Errorf("P3P defines 6 recipients, have %d", len(Recipients))
+	}
+	if len(Retentions) != 5 {
+		t.Errorf("P3P defines 5 retention values, have %d", len(Retentions))
+	}
+	if len(Categories) != 17 {
+		t.Errorf("P3P defines 17 categories, have %d", len(Categories))
+	}
+	if !IsPurpose("individual-decision") || IsPurpose("nope") {
+		t.Error("IsPurpose broken")
+	}
+	if !IsRecipient("other-recipient") || IsRecipient("current") {
+		t.Error("IsRecipient broken")
+	}
+	if !IsRetention("no-retention") || IsRetention("ours") {
+		t.Error("IsRetention broken")
+	}
+	if !IsCategory("uniqueid") || IsCategory("admin") {
+		t.Error("IsCategory broken")
+	}
+	if !IsRequired("opt-out") || IsRequired("maybe") {
+		t.Error("IsRequired broken")
+	}
+	if !IsAccess("nonident") || IsAccess("x") {
+		t.Error("IsAccess broken")
+	}
+}

@@ -1,0 +1,193 @@
+package p3p
+
+import (
+	"fmt"
+	"strings"
+
+	"p3pdb/internal/xmldom"
+)
+
+// ParsePolicies parses a P3P policy file, which is either a POLICIES
+// element wrapping one or more POLICY elements, or a bare POLICY.
+func ParsePolicies(src string) ([]*Policy, error) {
+	root, err := xmldom.ParseString(src)
+	if err != nil {
+		return nil, err
+	}
+	return PoliciesFromDOM(root)
+}
+
+// ParsePolicy parses a document that must contain exactly one policy.
+func ParsePolicy(src string) (*Policy, error) {
+	ps, err := ParsePolicies(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(ps) != 1 {
+		return nil, fmt.Errorf("p3p: document contains %d policies, want exactly 1", len(ps))
+	}
+	return ps[0], nil
+}
+
+// PoliciesFromDOM extracts policies from a parsed document.
+func PoliciesFromDOM(root *xmldom.Node) ([]*Policy, error) {
+	switch root.Name {
+	case "POLICY":
+		p, err := PolicyFromDOM(root)
+		if err != nil {
+			return nil, err
+		}
+		return []*Policy{p}, nil
+	case "POLICIES":
+		var out []*Policy
+		for _, c := range root.ChildrenNamed("POLICY") {
+			p, err := PolicyFromDOM(c)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("p3p: POLICIES element contains no POLICY")
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("p3p: unexpected root element %s (want POLICY or POLICIES)", root.Name)
+}
+
+// PolicyFromDOM converts a POLICY element into a Policy.
+func PolicyFromDOM(el *xmldom.Node) (*Policy, error) {
+	if el.Name != "POLICY" {
+		return nil, fmt.Errorf("p3p: expected POLICY element, got %s", el.Name)
+	}
+	p := &Policy{
+		Name:    el.AttrDefault("name", ""),
+		Discuri: el.AttrDefault("discuri", ""),
+		Opturi:  el.AttrDefault("opturi", ""),
+	}
+	for _, c := range el.Children {
+		switch c.Name {
+		case "ENTITY":
+			e, err := entityFromDOM(c)
+			if err != nil {
+				return nil, err
+			}
+			p.Entity = e
+		case "ACCESS":
+			if len(c.Children) != 1 {
+				return nil, fmt.Errorf("p3p: ACCESS must have exactly one value element")
+			}
+			p.Access = c.Children[0].Name
+		case "DISPUTES-GROUP":
+			for _, d := range c.ChildrenNamed("DISPUTES") {
+				disp := &Dispute{
+					ResolutionType:   d.AttrDefault("resolution-type", ""),
+					Service:          d.AttrDefault("service", ""),
+					ShortDescription: d.AttrDefault("short-description", ""),
+				}
+				if rem := d.Child("REMEDIES"); rem != nil {
+					for _, r := range rem.Children {
+						disp.Remedies = append(disp.Remedies, r.Name)
+					}
+				}
+				p.Disputes = append(p.Disputes, disp)
+			}
+		case "STATEMENT":
+			s, err := statementFromDOM(c)
+			if err != nil {
+				return nil, err
+			}
+			p.Statements = append(p.Statements, s)
+		case "TEST":
+			p.TestOnly = true
+		case "EXPIRY", "EXTENSION", "DATASCHEMA":
+			// Recognized but not modeled; preference matching never
+			// touches them.
+		default:
+			return nil, fmt.Errorf("p3p: unexpected element %s in POLICY", c.Name)
+		}
+	}
+	return p, nil
+}
+
+func entityFromDOM(el *xmldom.Node) (*Entity, error) {
+	e := &Entity{}
+	dg := el.Child("DATA-GROUP")
+	if dg == nil {
+		return e, nil
+	}
+	for _, d := range dg.ChildrenNamed("DATA") {
+		ref, _ := d.Attr("ref")
+		val := d.Text
+		switch ref {
+		case "#business.name":
+			e.Name = val
+		case "#business.contact-info.postal.street":
+			e.Street = val
+		case "#business.contact-info.postal.city":
+			e.City = val
+		case "#business.contact-info.postal.country":
+			e.Country = val
+		case "#business.contact-info.online.email":
+			e.Email = val
+		case "#business.contact-info.telecom.telephone.number":
+			e.Phone = val
+		}
+	}
+	return e, nil
+}
+
+func statementFromDOM(el *xmldom.Node) (*Statement, error) {
+	s := &Statement{}
+	for _, c := range el.Children {
+		switch c.Name {
+		case "CONSEQUENCE":
+			s.Consequence = c.Text
+		case "NON-IDENTIFIABLE":
+			s.NonIdentifiable = true
+		case "PURPOSE":
+			for _, v := range c.Children {
+				s.Purposes = append(s.Purposes, PurposeValue{
+					Value:    v.Name,
+					Required: v.AttrDefault("required", ""),
+				})
+			}
+		case "RECIPIENT":
+			for _, v := range c.Children {
+				s.Recipients = append(s.Recipients, RecipientValue{
+					Value:    v.Name,
+					Required: v.AttrDefault("required", ""),
+				})
+			}
+		case "RETENTION":
+			if len(c.Children) != 1 {
+				return nil, fmt.Errorf("p3p: RETENTION must have exactly one value element, got %d", len(c.Children))
+			}
+			s.Retention = c.Children[0].Name
+		case "DATA-GROUP":
+			g := &DataGroup{Base: c.AttrDefault("base", "")}
+			for _, d := range c.ChildrenNamed("DATA") {
+				ref, ok := d.Attr("ref")
+				if !ok {
+					return nil, fmt.Errorf("p3p: DATA element without ref attribute")
+				}
+				data := &Data{
+					Ref:      ref,
+					Optional: strings.EqualFold(d.AttrDefault("optional", "no"), "yes"),
+				}
+				if cats := d.Child("CATEGORIES"); cats != nil {
+					for _, cat := range cats.Children {
+						data.Categories = append(data.Categories, cat.Name)
+					}
+				}
+				g.Data = append(g.Data, data)
+			}
+			s.DataGroups = append(s.DataGroups, g)
+		case "EXTENSION":
+			// ignored
+		default:
+			return nil, fmt.Errorf("p3p: unexpected element %s in STATEMENT", c.Name)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,115 @@
+package p3p
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomPolicy builds a random valid policy model.
+func randomPolicy(r *rand.Rand) *Policy {
+	p := &Policy{
+		Name:    "p" + string(rune('a'+r.Intn(26))),
+		Discuri: "http://example.com/privacy",
+		Access:  AccessValues[r.Intn(len(AccessValues))],
+	}
+	if r.Intn(2) == 0 {
+		p.Entity = &Entity{Name: "Example Corp", Email: "privacy@example.com"}
+	}
+	if r.Intn(3) == 0 {
+		p.Disputes = []*Dispute{{
+			ResolutionType: DisputeResolutionTypes[r.Intn(len(DisputeResolutionTypes))],
+			Service:        "http://seal.example.org",
+			Remedies:       []string{RemedyValues[r.Intn(len(RemedyValues))]},
+		}}
+	}
+	for i, n := 0, 1+r.Intn(3); i < n; i++ {
+		st := &Statement{Retention: Retentions[r.Intn(len(Retentions))]}
+		seen := map[string]bool{}
+		for j, m := 0, 1+r.Intn(4); j < m; j++ {
+			v := Purposes[r.Intn(len(Purposes))]
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			pv := PurposeValue{Value: v}
+			if r.Intn(3) == 0 {
+				pv.Required = RequiredValues[r.Intn(len(RequiredValues))]
+			}
+			st.Purposes = append(st.Purposes, pv)
+		}
+		st.Recipients = append(st.Recipients, RecipientValue{Value: Recipients[r.Intn(len(Recipients))]})
+		dg := &DataGroup{}
+		refs := []string{"#user.name", "#user.bdate", "#user.home-info.postal", "#dynamic.miscdata"}
+		seenRef := map[string]bool{}
+		for j, m := 0, 1+r.Intn(3); j < m; j++ {
+			ref := refs[r.Intn(len(refs))]
+			if seenRef[ref] {
+				continue
+			}
+			seenRef[ref] = true
+			d := &Data{Ref: ref, Optional: r.Intn(4) == 0}
+			if ref == "#dynamic.miscdata" {
+				d.Categories = []string{Categories[r.Intn(len(Categories))]}
+			}
+			dg.Data = append(dg.Data, d)
+		}
+		st.DataGroups = append(st.DataGroups, dg)
+		if r.Intn(2) == 0 {
+			st.Consequence = "We use data & keep <your> trust."
+		}
+		p.Statements = append(p.Statements, st)
+	}
+	return p
+}
+
+// TestQuickPolicyRoundTrip property-tests that serialization followed by
+// parsing reproduces the model exactly, for random valid policies
+// (including text needing XML escaping).
+func TestQuickPolicyRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 200; i++ {
+		p := randomPolicy(r)
+		if errs := p.Validate(); len(errs) != 0 {
+			t.Fatalf("generator produced invalid policy: %v", errs)
+		}
+		back, err := ParsePolicy(p.String())
+		if err != nil {
+			t.Fatalf("reparse: %v\n%s", err, p.String())
+		}
+		if !reflect.DeepEqual(p, back) {
+			t.Fatalf("round trip mismatch:\n%#v\nvs\n%#v\nXML:\n%s", p, back, p.String())
+		}
+	}
+}
+
+// TestQuickCloneIndependence property-tests that mutating a clone never
+// affects the original.
+func TestQuickCloneIndependence(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for i := 0; i < 100; i++ {
+		p := randomPolicy(r)
+		want := p.String()
+		c := p.Clone()
+		// Scramble the clone thoroughly.
+		c.Name = "mutated"
+		if c.Entity != nil {
+			c.Entity.Name = "mutated"
+		}
+		for _, st := range c.Statements {
+			st.Retention = "indefinitely"
+			for k := range st.Purposes {
+				st.Purposes[k].Value = "telemarketing"
+			}
+			for _, dg := range st.DataGroups {
+				for _, d := range dg.Data {
+					d.Ref = "#mutated"
+					d.Categories = append(d.Categories, "health")
+				}
+			}
+		}
+		if got := p.String(); got != want {
+			t.Fatalf("clone mutation leaked into original:\n%s\nvs\n%s", got, want)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package p3p
+
+// VolgaPolicyXML is the example policy from the paper (Figure 1): Volga is
+// a bookseller that collects name, postal address and purchase data to
+// complete transactions, and offers opt-in email recommendations.
+const VolgaPolicyXML = `<POLICY xmlns="http://www.w3.org/2002/01/P3Pv1"
+    name="volga" discuri="http://volga.example.com/privacy.html">
+  <ENTITY>
+    <DATA-GROUP>
+      <DATA ref="#business.name">Volga Booksellers</DATA>
+      <DATA ref="#business.contact-info.online.email">privacy@volga.example.com</DATA>
+    </DATA-GROUP>
+  </ENTITY>
+  <ACCESS><contact-and-other/></ACCESS>
+  <STATEMENT>
+    <CONSEQUENCE>We use this information to complete your current purchase.</CONSEQUENCE>
+    <PURPOSE><current/></PURPOSE>
+    <RECIPIENT><ours/><same/></RECIPIENT>
+    <RETENTION><stated-purpose/></RETENTION>
+    <DATA-GROUP>
+      <DATA ref="#user.name"/>
+      <DATA ref="#user.home-info.postal"/>
+      <DATA ref="#dynamic.miscdata">
+        <CATEGORIES><purchase/></CATEGORIES>
+      </DATA>
+    </DATA-GROUP>
+  </STATEMENT>
+  <STATEMENT>
+    <CONSEQUENCE>With your consent, we email personalized book recommendations.</CONSEQUENCE>
+    <PURPOSE>
+      <individual-decision required="opt-in"/>
+      <contact required="opt-in"/>
+    </PURPOSE>
+    <RECIPIENT><ours/></RECIPIENT>
+    <RETENTION><business-practices/></RETENTION>
+    <DATA-GROUP>
+      <DATA ref="#user.home-info.online.email"/>
+      <DATA ref="#dynamic.miscdata">
+        <CATEGORIES><purchase/></CATEGORIES>
+      </DATA>
+    </DATA-GROUP>
+  </STATEMENT>
+</POLICY>`

@@ -1,0 +1,122 @@
+package p3p
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ValidationError describes one violation found by Validate.
+type ValidationError struct {
+	Where string // human-readable location, e.g. "statement 2 / purpose"
+	Msg   string
+}
+
+// Error implements the error interface.
+func (e ValidationError) Error() string { return "p3p: " + e.Where + ": " + e.Msg }
+
+// Validate checks the policy against the P3P 1.0 vocabulary: every purpose,
+// recipient, retention, category, access, and required value must be
+// predefined, every statement must carry the mandatory elements (unless it
+// is NON-IDENTIFIABLE), and data references must be well formed. It returns
+// all violations found.
+func (p *Policy) Validate() []ValidationError {
+	var errs []ValidationError
+	add := func(where, format string, args ...any) {
+		errs = append(errs, ValidationError{Where: where, Msg: fmt.Sprintf(format, args...)})
+	}
+	if p.Name == "" {
+		add("policy", "missing name attribute")
+	}
+	if p.Access != "" && !IsAccess(p.Access) {
+		add("policy/access", "unknown ACCESS value %q", p.Access)
+	}
+	for i, d := range p.Disputes {
+		where := fmt.Sprintf("disputes %d", i+1)
+		if d.ResolutionType != "" && !contains(DisputeResolutionTypes, d.ResolutionType) {
+			add(where, "unknown resolution-type %q", d.ResolutionType)
+		}
+		for _, r := range d.Remedies {
+			if !contains(RemedyValues, r) {
+				add(where, "unknown remedy %q", r)
+			}
+		}
+	}
+	if len(p.Statements) == 0 {
+		add("policy", "policy has no statements")
+	}
+	for i, s := range p.Statements {
+		where := fmt.Sprintf("statement %d", i+1)
+		if s.NonIdentifiable {
+			// NON-IDENTIFIABLE statements may omit purpose/recipient/
+			// retention per the specification.
+		} else {
+			if len(s.Purposes) == 0 {
+				add(where, "missing PURPOSE")
+			}
+			if len(s.Recipients) == 0 {
+				add(where, "missing RECIPIENT")
+			}
+			if s.Retention == "" {
+				add(where, "missing RETENTION")
+			}
+		}
+		seen := map[string]bool{}
+		for _, pv := range s.Purposes {
+			if !IsPurpose(pv.Value) {
+				add(where+"/purpose", "unknown purpose %q", pv.Value)
+			}
+			if pv.Required != "" && !IsRequired(pv.Required) {
+				add(where+"/purpose", "bad required value %q on %s", pv.Required, pv.Value)
+			}
+			if seen["p:"+pv.Value] {
+				add(where+"/purpose", "duplicate purpose %q", pv.Value)
+			}
+			seen["p:"+pv.Value] = true
+		}
+		for _, rv := range s.Recipients {
+			if !IsRecipient(rv.Value) {
+				add(where+"/recipient", "unknown recipient %q", rv.Value)
+			}
+			if rv.Required != "" && !IsRequired(rv.Required) {
+				add(where+"/recipient", "bad required value %q on %s", rv.Required, rv.Value)
+			}
+			if seen["r:"+rv.Value] {
+				add(where+"/recipient", "duplicate recipient %q", rv.Value)
+			}
+			seen["r:"+rv.Value] = true
+		}
+		if s.Retention != "" && !IsRetention(s.Retention) {
+			add(where+"/retention", "unknown retention %q", s.Retention)
+		}
+		for j, g := range s.DataGroups {
+			gw := fmt.Sprintf("%s/data-group %d", where, j+1)
+			if len(g.Data) == 0 {
+				add(gw, "empty DATA-GROUP")
+			}
+			for _, d := range g.Data {
+				if !strings.HasPrefix(d.Ref, "#") {
+					add(gw, "data ref %q must start with '#' for the base data schema", d.Ref)
+				}
+				for _, c := range d.Categories {
+					if !IsCategory(c) {
+						add(gw, "unknown category %q on %s", c, d.Ref)
+					}
+				}
+			}
+		}
+	}
+	return errs
+}
+
+// MustValid returns an error joining all validation failures, or nil.
+func (p *Policy) MustValid() error {
+	errs := p.Validate()
+	if len(errs) == 0 {
+		return nil
+	}
+	msgs := make([]string, len(errs))
+	for i, e := range errs {
+		msgs[i] = e.Error()
+	}
+	return fmt.Errorf("%s", strings.Join(msgs, "; "))
+}

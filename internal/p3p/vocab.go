@@ -1,0 +1,111 @@
+// Package p3p models the W3C Platform for Privacy Preferences 1.0 policy
+// language: the POLICY / STATEMENT / PURPOSE / RECIPIENT / RETENTION /
+// DATA-GROUP vocabulary, parsing from and serialization to the XML format
+// the Recommendation defines, and validation against the fixed vocabularies
+// (12 purposes, 6 recipients, 5 retention values, 17 categories).
+package p3p
+
+// NS is the P3P 1.0 namespace URI.
+const NS = "http://www.w3.org/2002/01/P3Pv1"
+
+// Purposes are the 12 predefined PURPOSE values of P3P 1.0.
+var Purposes = []string{
+	"current",             // completion and support of activity for which data was provided
+	"admin",               // web site and system administration
+	"develop",             // research and development
+	"tailoring",           // one-time tailoring of the current visit
+	"pseudo-analysis",     // pseudonymous analysis
+	"pseudo-decision",     // pseudonymous decision-making
+	"individual-analysis", // analysis of identified individuals
+	"individual-decision", // inferring habits, interests, and other characteristics
+	"contact",             // contacting visitors for marketing
+	"historical",          // historical preservation
+	"telemarketing",       // telephone marketing
+	"other-purpose",       // other uses, described in human-readable text
+}
+
+// Recipients are the 6 predefined RECIPIENT values of P3P 1.0.
+var Recipients = []string{
+	"ours",            // ourselves and/or entities acting as our agents
+	"delivery",        // delivery services possibly following different practices
+	"same",            // legal entities following our practices
+	"other-recipient", // legal entities following different but accountable practices
+	"unrelated",       // legal entities whose practices are unknown to us
+	"public",          // public fora
+}
+
+// Retentions are the 5 predefined RETENTION values of P3P 1.0.
+var Retentions = []string{
+	"no-retention",       // not retained beyond the current online interaction
+	"stated-purpose",     // discarded at the earliest time possible
+	"legal-requirement",  // retained as required by law
+	"business-practices", // long term retention with a destruction timetable
+	"indefinitely",       // retained indefinitely
+}
+
+// Categories are the 17 predefined CATEGORIES values of P3P 1.0.
+var Categories = []string{
+	"physical",    // physical contact information
+	"online",      // online contact information
+	"uniqueid",    // unique identifiers
+	"purchase",    // purchase information
+	"financial",   // financial information
+	"computer",    // computer information
+	"navigation",  // navigation and clickstream data
+	"interactive", // interactive data actively generated
+	"demographic", // demographic and socioeconomic data
+	"content",     // the content of communications
+	"state",       // state-management mechanisms (cookies)
+	"political",   // political or religious affiliation
+	"health",      // health information
+	"preference",  // individual tastes
+	"location",    // precise geographic location
+	"government",  // government-issued identifiers
+	"other-category",
+}
+
+// AccessValues are the predefined ACCESS values.
+var AccessValues = []string{
+	"nonident", "all", "contact-and-other", "ident-contact", "other-ident", "none",
+}
+
+// RequiredValues are the legal values of the "required" attribute on
+// purpose and recipient value elements. DefaultRequired applies when the
+// attribute is absent.
+var RequiredValues = []string{"always", "opt-in", "opt-out"}
+
+// DefaultRequired is the value presumed for an absent "required" attribute.
+const DefaultRequired = "always"
+
+// RemedyValues are the predefined REMEDIES values on DISPUTES.
+var RemedyValues = []string{"correct", "money", "law"}
+
+// DisputeResolutionTypes are the resolution-type values on DISPUTES.
+var DisputeResolutionTypes = []string{"service", "independent", "court", "law"}
+
+func contains(set []string, v string) bool {
+	for _, s := range set {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+// IsPurpose reports whether v is a predefined PURPOSE value.
+func IsPurpose(v string) bool { return contains(Purposes, v) }
+
+// IsRecipient reports whether v is a predefined RECIPIENT value.
+func IsRecipient(v string) bool { return contains(Recipients, v) }
+
+// IsRetention reports whether v is a predefined RETENTION value.
+func IsRetention(v string) bool { return contains(Retentions, v) }
+
+// IsCategory reports whether v is a predefined CATEGORIES value.
+func IsCategory(v string) bool { return contains(Categories, v) }
+
+// IsRequired reports whether v is a legal "required" attribute value.
+func IsRequired(v string) bool { return contains(RequiredValues, v) }
+
+// IsAccess reports whether v is a predefined ACCESS value.
+func IsAccess(v string) bool { return contains(AccessValues, v) }

@@ -1,0 +1,144 @@
+package p3p
+
+import (
+	"p3pdb/internal/xmldom"
+)
+
+// ToDOM renders the policy as a POLICY element in the P3P namespace. The
+// output round-trips through PolicyFromDOM.
+func (p *Policy) ToDOM() *xmldom.Node {
+	el := xmldom.NewNS(NS, "POLICY")
+	if p.Name != "" {
+		el.SetAttr("name", p.Name)
+	}
+	if p.Discuri != "" {
+		el.SetAttr("discuri", p.Discuri)
+	}
+	if p.Opturi != "" {
+		el.SetAttr("opturi", p.Opturi)
+	}
+	if p.Entity != nil {
+		el.Add(p.Entity.toDOM())
+	}
+	if p.Access != "" {
+		el.Add(xmldom.NewNS(NS, "ACCESS").Add(xmldom.NewNS(NS, p.Access)))
+	}
+	if len(p.Disputes) > 0 {
+		dg := xmldom.NewNS(NS, "DISPUTES-GROUP")
+		for _, d := range p.Disputes {
+			de := xmldom.NewNS(NS, "DISPUTES")
+			if d.ResolutionType != "" {
+				de.SetAttr("resolution-type", d.ResolutionType)
+			}
+			if d.Service != "" {
+				de.SetAttr("service", d.Service)
+			}
+			if d.ShortDescription != "" {
+				de.SetAttr("short-description", d.ShortDescription)
+			}
+			if len(d.Remedies) > 0 {
+				rem := xmldom.NewNS(NS, "REMEDIES")
+				for _, r := range d.Remedies {
+					rem.Add(xmldom.NewNS(NS, r))
+				}
+				de.Add(rem)
+			}
+			dg.Add(de)
+		}
+		el.Add(dg)
+	}
+	for _, s := range p.Statements {
+		el.Add(s.toDOM())
+	}
+	if p.TestOnly {
+		el.Add(xmldom.NewNS(NS, "TEST"))
+	}
+	return el
+}
+
+// String renders the policy as an XML document.
+func (p *Policy) String() string { return p.ToDOM().String() }
+
+// PoliciesToDOM wraps multiple policies in a POLICIES element, the shape of
+// a site's policy file.
+func PoliciesToDOM(ps []*Policy) *xmldom.Node {
+	root := xmldom.NewNS(NS, "POLICIES")
+	for _, p := range ps {
+		root.Add(p.ToDOM())
+	}
+	return root
+}
+
+func (e *Entity) toDOM() *xmldom.Node {
+	dg := xmldom.NewNS(NS, "DATA-GROUP")
+	add := func(ref, val string) {
+		if val == "" {
+			return
+		}
+		dg.Add(xmldom.NewNS(NS, "DATA").SetAttr("ref", ref).SetText(val))
+	}
+	add("#business.name", e.Name)
+	add("#business.contact-info.postal.street", e.Street)
+	add("#business.contact-info.postal.city", e.City)
+	add("#business.contact-info.postal.country", e.Country)
+	add("#business.contact-info.online.email", e.Email)
+	add("#business.contact-info.telecom.telephone.number", e.Phone)
+	return xmldom.NewNS(NS, "ENTITY").Add(dg)
+}
+
+func (s *Statement) toDOM() *xmldom.Node {
+	el := xmldom.NewNS(NS, "STATEMENT")
+	if s.Consequence != "" {
+		el.Add(xmldom.NewNS(NS, "CONSEQUENCE").SetText(s.Consequence))
+	}
+	if s.NonIdentifiable {
+		el.Add(xmldom.NewNS(NS, "NON-IDENTIFIABLE"))
+	}
+	if len(s.Purposes) > 0 {
+		pe := xmldom.NewNS(NS, "PURPOSE")
+		for _, p := range s.Purposes {
+			v := xmldom.NewNS(NS, p.Value)
+			if p.Required != "" {
+				v.SetAttr("required", p.Required)
+			}
+			pe.Add(v)
+		}
+		el.Add(pe)
+	}
+	if len(s.Recipients) > 0 {
+		re := xmldom.NewNS(NS, "RECIPIENT")
+		for _, r := range s.Recipients {
+			v := xmldom.NewNS(NS, r.Value)
+			if r.Required != "" {
+				v.SetAttr("required", r.Required)
+			}
+			re.Add(v)
+		}
+		el.Add(re)
+	}
+	if s.Retention != "" {
+		el.Add(xmldom.NewNS(NS, "RETENTION").Add(xmldom.NewNS(NS, s.Retention)))
+	}
+	for _, g := range s.DataGroups {
+		ge := xmldom.NewNS(NS, "DATA-GROUP")
+		if g.Base != "" {
+			ge.SetAttr("base", g.Base)
+		}
+		for _, d := range g.Data {
+			de := xmldom.NewNS(NS, "DATA").SetAttr("ref", d.Ref)
+			if d.Optional {
+				de.SetAttr("optional", "yes")
+			}
+			if len(d.Categories) > 0 {
+				ce := xmldom.NewNS(NS, "CATEGORIES")
+				for _, c := range d.Categories {
+					ce.Add(xmldom.NewNS(NS, c))
+				}
+				de.Add(ce)
+			}
+			ge.Add(de)
+		}
+		el.Add(ge)
+	}
+	return el
+}

@@ -1,0 +1,26 @@
+package reffile
+
+import "testing"
+
+// FuzzParse checks the reference-file parser never panics and accepted
+// files round-trip and resolve without panicking.
+func FuzzParse(f *testing.F) {
+	f.Add(metaXML)
+	f.Add(`<META><POLICY-REFERENCES><POLICY-REF about="#p"><INCLUDE>/*</INCLUDE></POLICY-REF></POLICY-REFERENCES></META>`)
+	f.Add(`<META/>`)
+	f.Fuzz(func(t *testing.T, src string) {
+		rf, err := Parse(src)
+		if err != nil {
+			return
+		}
+		back, err := Parse(rf.String())
+		if err != nil {
+			t.Fatalf("accepted file did not round trip: %v\n%s", err, rf.String())
+		}
+		if len(back.PolicyRefs) != len(rf.PolicyRefs) {
+			t.Fatal("policy-ref count changed")
+		}
+		_ = rf.PolicyForURI("/some/path")
+		_ = rf.PolicyForCookie("cookie")
+	})
+}

@@ -1,0 +1,107 @@
+package reffile
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"p3pdb/internal/p3p"
+	"p3pdb/internal/reldb"
+	"p3pdb/internal/shred"
+)
+
+// TestStoreAgreesWithMemory cross-checks the two resolution paths — the
+// in-memory wildcard matcher (the hybrid client's path) and the SQL
+// applicablePolicy() subquery (the server path) — over randomized
+// reference files and URIs.
+func TestStoreAgreesWithMemory(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	segments := []string{"shop", "cart", "account", "ads", "a_b", "img", "x"}
+	randomPattern := func() string {
+		n := 1 + r.Intn(3)
+		p := ""
+		for i := 0; i < n; i++ {
+			p += "/" + segments[r.Intn(len(segments))]
+		}
+		switch r.Intn(3) {
+		case 0:
+			return p + "/*"
+		case 1:
+			return p + "*"
+		default:
+			return p
+		}
+	}
+	randomURI := func() string {
+		n := 1 + r.Intn(4)
+		u := ""
+		for i := 0; i < n; i++ {
+			u += "/" + segments[r.Intn(len(segments))]
+		}
+		if r.Intn(2) == 0 {
+			u += "/page.html"
+		}
+		return u
+	}
+
+	for round := 0; round < 20; round++ {
+		// Build a random reference file over 3 policies.
+		rf := &RefFile{}
+		for p := 0; p < 3; p++ {
+			pr := &PolicyRef{About: fmt.Sprintf("/P3P/Policies.xml#pol%d", p+1)}
+			for i := 0; i <= r.Intn(3); i++ {
+				pr.Includes = append(pr.Includes, randomPattern())
+			}
+			for i := 0; i < r.Intn(2); i++ {
+				pr.Excludes = append(pr.Excludes, randomPattern())
+			}
+			rf.PolicyRefs = append(rf.PolicyRefs, pr)
+		}
+
+		db := reldb.New()
+		ps, err := shred.NewOptimized(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < 3; p++ {
+			pol, err := p3p.ParsePolicy(p3p.VolgaPolicyXML)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pol.Name = fmt.Sprintf("pol%d", p+1)
+			if _, err := ps.InstallPolicy(pol); err != nil {
+				t.Fatal(err)
+			}
+		}
+		store, err := NewStore(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := store.Install(rf, ps); err != nil {
+			t.Fatal(err)
+		}
+
+		for i := 0; i < 40; i++ {
+			uri := randomURI()
+			memRef := rf.PolicyForURI(uri)
+			id, ok, err := store.ResolveURI(uri)
+			if err != nil {
+				t.Fatalf("round %d: ResolveURI(%q): %v", round, uri, err)
+			}
+			if (memRef != nil) != ok {
+				t.Fatalf("round %d uri %q: memory=%v store-ok=%v\nref file:\n%s",
+					round, uri, memRef, ok, rf.String())
+			}
+			if memRef != nil {
+				wantID, err := ps.PolicyID(memRef.PolicyName())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if id != wantID {
+					t.Fatalf("round %d uri %q: memory picked %s(%d), store picked %d\nref file:\n%s",
+						round, uri, memRef.PolicyName(), wantID, id, rf.String())
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package reffile
+
+import (
+	"testing"
+
+	"p3pdb/internal/p3p"
+	"p3pdb/internal/reldb"
+	"p3pdb/internal/shred"
+)
+
+const metaXML = `<META xmlns="http://www.w3.org/2002/01/P3Pv1">
+  <POLICY-REFERENCES>
+    <POLICY-REF about="/P3P/Policies.xml#checkout">
+      <INCLUDE>/checkout/*</INCLUDE>
+      <INCLUDE>/cart*</INCLUDE>
+      <COOKIE-INCLUDE name="session*"/>
+    </POLICY-REF>
+    <POLICY-REF about="/P3P/Policies.xml#general">
+      <INCLUDE>/*</INCLUDE>
+      <EXCLUDE>/private/*</EXCLUDE>
+    </POLICY-REF>
+  </POLICY-REFERENCES>
+</META>`
+
+func TestParse(t *testing.T) {
+	rf, err := Parse(metaXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rf.PolicyRefs) != 2 {
+		t.Fatalf("refs = %d", len(rf.PolicyRefs))
+	}
+	pr := rf.PolicyRefs[0]
+	if pr.PolicyName() != "checkout" {
+		t.Errorf("policy name = %q", pr.PolicyName())
+	}
+	if len(pr.Includes) != 2 || pr.Includes[1] != "/cart*" {
+		t.Errorf("includes: %v", pr.Includes)
+	}
+	if len(pr.CookieIncludes) != 1 || pr.CookieIncludes[0] != "session*" {
+		t.Errorf("cookie includes: %v", pr.CookieIncludes)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`<NOTMETA/>`,
+		`<META/>`,
+		`<META><POLICY-REFERENCES/></META>`,
+		`<META><POLICY-REFERENCES><POLICY-REF><INCLUDE>/*</INCLUDE></POLICY-REF></POLICY-REFERENCES></META>`,
+		`<META><POLICY-REFERENCES><POLICY-REF about="#a"/></POLICY-REFERENCES></META>`,
+		`<META><POLICY-REFERENCES><POLICY-REF about="#a"><BOGUS/></POLICY-REF></POLICY-REFERENCES></META>`,
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%.50q): expected error", c)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rf, err := Parse(metaXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf2, err := Parse(rf.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, rf.String())
+	}
+	if len(rf2.PolicyRefs) != 2 || rf2.PolicyRefs[0].About != rf.PolicyRefs[0].About {
+		t.Errorf("round trip: %+v", rf2.PolicyRefs)
+	}
+}
+
+func TestPolicyForURI(t *testing.T) {
+	rf, _ := Parse(metaXML)
+	cases := []struct {
+		uri  string
+		want string // policy name or "" for none
+	}{
+		{"/checkout/pay", "checkout"},
+		{"/cart", "checkout"},
+		{"/cart/items", "checkout"},
+		{"/index.html", "general"},
+		{"/private/admin.html", ""},
+		{"/books/123", "general"},
+	}
+	for _, c := range cases {
+		pr := rf.PolicyForURI(c.uri)
+		got := ""
+		if pr != nil {
+			got = pr.PolicyName()
+		}
+		if got != c.want {
+			t.Errorf("PolicyForURI(%q) = %q, want %q", c.uri, got, c.want)
+		}
+	}
+}
+
+func TestPolicyForCookie(t *testing.T) {
+	rf, _ := Parse(metaXML)
+	if pr := rf.PolicyForCookie("session_abc"); pr == nil || pr.PolicyName() != "checkout" {
+		t.Errorf("cookie session_abc: %v", pr)
+	}
+	if pr := rf.PolicyForCookie("tracking"); pr != nil {
+		t.Errorf("cookie tracking should be uncovered, got %v", pr)
+	}
+}
+
+func TestWildcardToLike(t *testing.T) {
+	cases := map[string]string{
+		"/checkout/*": "/checkout/%",
+		"/a_b*":       "/a\\_b%",
+		"/100%*":      "/100\\%%",
+		`/back\slash`: `/back\\slash`,
+	}
+	for in, want := range cases {
+		if got := WildcardToLike(in); got != want {
+			t.Errorf("WildcardToLike(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWildcardLiteralUnderscore(t *testing.T) {
+	rf := &RefFile{PolicyRefs: []*PolicyRef{{
+		About:    "#p",
+		Includes: []string{"/a_b/*"},
+	}}}
+	if rf.PolicyForURI("/a_b/x") == nil {
+		t.Error("literal underscore should match itself")
+	}
+	if rf.PolicyForURI("/aXb/x") != nil {
+		t.Error("underscore must not act as a wildcard")
+	}
+}
+
+// storeFixture installs Volga-derived policies and the reference file into
+// one database.
+func storeFixture(t *testing.T) (*reldb.DB, *Store) {
+	t.Helper()
+	db := reldb.New()
+	ps, err := shred.NewOptimized(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"checkout", "general"} {
+		pol, err := p3p.ParsePolicy(p3p.VolgaPolicyXML)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pol.Name = name
+		if _, err := ps.InstallPolicy(pol); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := NewStore(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := Parse(metaXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Install(rf, ps); err != nil {
+		t.Fatal(err)
+	}
+	return db, st
+}
+
+func TestStoreResolveURI(t *testing.T) {
+	_, st := storeFixture(t)
+	cases := []struct {
+		uri    string
+		wantID int
+		ok     bool
+	}{
+		{"/checkout/pay", 1, true},
+		{"/index.html", 2, true},
+		{"/private/x", 0, false},
+	}
+	for _, c := range cases {
+		id, ok, err := st.ResolveURI(c.uri)
+		if err != nil {
+			t.Fatalf("ResolveURI(%q): %v", c.uri, err)
+		}
+		if ok != c.ok || id != c.wantID {
+			t.Errorf("ResolveURI(%q) = %d, %v; want %d, %v", c.uri, id, ok, c.wantID, c.ok)
+		}
+	}
+}
+
+func TestStoreResolveCookie(t *testing.T) {
+	_, st := storeFixture(t)
+	id, ok, err := st.ResolveCookie("session_99")
+	if err != nil || !ok || id != 1 {
+		t.Errorf("ResolveCookie = %d %v %v", id, ok, err)
+	}
+	_, ok, err = st.ResolveCookie("tracker")
+	if err != nil || ok {
+		t.Errorf("uncovered cookie: %v %v", ok, err)
+	}
+}
+
+func TestStoreFirstMatchWins(t *testing.T) {
+	// Both refs include "/cart"; document order must decide.
+	_, st := storeFixture(t)
+	id, ok, err := st.ResolveURI("/cart")
+	if err != nil || !ok || id != 1 {
+		t.Errorf("first POLICY-REF should win: %d %v %v", id, ok, err)
+	}
+}
+
+func TestInstallUnknownPolicy(t *testing.T) {
+	db := reldb.New()
+	ps, _ := shred.NewOptimized(db)
+	st, _ := NewStore(db)
+	rf, _ := Parse(metaXML)
+	if _, err := st.Install(rf, ps); err == nil {
+		t.Error("installing refs to missing policies should fail")
+	}
+}
+
+func TestSubqueryText(t *testing.T) {
+	q := ApplicablePolicySubquery("/a'b")
+	if !contains(q, "'/a''b'") {
+		t.Errorf("URI not escaped: %s", q)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}

@@ -1,0 +1,76 @@
+package reldb
+
+import "testing"
+
+func TestArithmetic(t *testing.T) {
+	db := New()
+	cases := []struct {
+		sql  string
+		want string
+	}{
+		{`SELECT 2 + 3`, "5"},
+		{`SELECT 2 - 3`, "-1"},
+		{`SELECT 2 * 3`, "6"},
+		{`SELECT 7 / 2`, "3"},
+		{`SELECT 7.0 / 2`, "3.5"},
+		{`SELECT 1 + 2.5`, "3.5"},
+		{`SELECT 2.5 * 2`, "5"},
+		{`SELECT 1.5 - 0.5`, "1"},
+		{`SELECT -3`, "-3"},
+		{`SELECT -(2.5)`, "-2.5"},
+	}
+	for _, c := range cases {
+		got := queryStrings(t, db, c.sql)
+		if flat(got) != c.want {
+			t.Errorf("%s = %q, want %q", c.sql, flat(got), c.want)
+		}
+	}
+	for _, sql := range []string{
+		`SELECT 1 / 0`,
+		`SELECT 1.0 / 0`,
+		`SELECT 'x' + 1`,
+		`SELECT 'x' * 2.0`,
+		`SELECT -'abc'`,
+	} {
+		if _, err := db.Query(sql); err == nil {
+			t.Errorf("%s: expected error", sql)
+		}
+	}
+}
+
+func TestAggregateInsideExpressions(t *testing.T) {
+	db := fixture(t, Options{})
+	got := queryStrings(t, db, `SELECT COUNT(*) * 10 + MAX(statement_id) FROM Statement`)
+	if flat(got) != "32" {
+		t.Errorf("agg arithmetic: %q", flat(got))
+	}
+	got = queryStrings(t, db, `SELECT policy_id FROM Statement GROUP BY policy_id HAVING NOT (COUNT(*) > 1)`)
+	if flat(got) != "2" {
+		t.Errorf("unary over aggregate: %q", flat(got))
+	}
+	// Aggregates of CASE and IN expressions exercise hasAggregate walks.
+	got = queryStrings(t, db, `SELECT SUM(CASE WHEN retention IN ('stated-purpose') THEN 1 ELSE 0 END) FROM Statement`)
+	if flat(got) != "1" {
+		t.Errorf("sum of case: %q", flat(got))
+	}
+	got = queryStrings(t, db, `SELECT COUNT(*) FROM Statement HAVING COUNT(consequence) IS NOT NULL`)
+	if flat(got) != "3" {
+		t.Errorf("having is-null over aggregate: %q", flat(got))
+	}
+	if _, err := db.Query(`SELECT MIN(statement_id, policy_id) FROM Statement`); err == nil {
+		t.Error("aggregate arity error expected")
+	}
+	if _, err := db.Query(`SELECT SUM(consequence) FROM Statement`); err == nil {
+		t.Error("SUM of strings should fail")
+	}
+}
+
+func TestAvgAndFloatAggregates(t *testing.T) {
+	db := New()
+	db.MustExec(`CREATE TABLE m (v DOUBLE)`)
+	db.MustExec(`INSERT INTO m VALUES (1.5), (2.5), (NULL)`)
+	got := queryStrings(t, db, `SELECT SUM(v), AVG(v), COUNT(v), COUNT(*) FROM m`)
+	if flat(got) != "4,2,2,3" {
+		t.Errorf("float aggs: %q", flat(got))
+	}
+}

@@ -1,0 +1,255 @@
+package reldb
+
+// This file defines the abstract syntax tree for the SQL subset. Nodes are
+// plain structs; the executor interprets them directly (there is no separate
+// physical plan — access-path selection happens in the executor when a FROM
+// item is bound, see exec.go).
+
+// Statement is any parsed SQL statement.
+type Statement interface{ isStatement() }
+
+// Expr is any scalar or boolean expression.
+type Expr interface{ isExpr() }
+
+// --- Statements ---
+
+// SelectStmt is a SELECT query (possibly nested as a subquery).
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem // empty means SELECT *
+	Star     bool
+	From     []FromItem
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 means no limit
+}
+
+func (*SelectStmt) isStatement() {}
+
+// SelectItem is one output expression with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// FromItem is a table reference or a derived table, with an optional alias.
+type FromItem struct {
+	Table    string      // table name, when not a derived table
+	Subquery *SelectStmt // derived table, when Table == ""
+	Alias    string
+}
+
+// Name returns the binding name of the FROM item (alias or table name).
+func (f FromItem) Name() string {
+	if f.Alias != "" {
+		return f.Alias
+	}
+	return f.Table
+}
+
+// InsertStmt is INSERT INTO t [(cols)] VALUES (...), (...).
+type InsertStmt struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+}
+
+func (*InsertStmt) isStatement() {}
+
+// UpdateStmt is UPDATE t SET c = e, ... [WHERE ...].
+type UpdateStmt struct {
+	Table string
+	Set   []SetClause
+	Where Expr
+}
+
+func (*UpdateStmt) isStatement() {}
+
+// SetClause is a single column assignment in UPDATE.
+type SetClause struct {
+	Column string
+	Value  Expr
+}
+
+// DeleteStmt is DELETE FROM t [WHERE ...].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+func (*DeleteStmt) isStatement() {}
+
+// CreateTableStmt is CREATE TABLE t (cols..., PRIMARY KEY (...)).
+type CreateTableStmt struct {
+	Table      string
+	Columns    []Column
+	PrimaryKey []string
+}
+
+func (*CreateTableStmt) isStatement() {}
+
+// CreateIndexStmt is CREATE [UNIQUE] INDEX name ON t (cols).
+type CreateIndexStmt struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+}
+
+func (*CreateIndexStmt) isStatement() {}
+
+// DropTableStmt is DROP TABLE t.
+type DropTableStmt struct {
+	Table string
+}
+
+func (*DropTableStmt) isStatement() {}
+
+// --- Expressions ---
+
+// Literal is a constant value.
+type Literal struct{ Value Value }
+
+func (*Literal) isExpr() {}
+
+// ColumnRef references a column, optionally qualified by a table or alias.
+type ColumnRef struct {
+	Table  string // may be empty
+	Column string
+}
+
+func (*ColumnRef) isExpr() {}
+
+// Param is a positional parameter '?', bound at execution time.
+type Param struct{ Index int }
+
+func (*Param) isExpr() {}
+
+// BinaryExpr applies a binary operator. Op is one of:
+// "OR" "AND" "=" "<>" "<" "<=" ">" ">=" "+" "-" "*" "/" "||" "LIKE".
+type BinaryExpr struct {
+	Op    string
+	Left  Expr
+	Right Expr
+}
+
+func (*BinaryExpr) isExpr() {}
+
+// UnaryExpr applies "NOT" or "-" to an operand.
+type UnaryExpr struct {
+	Op      string
+	Operand Expr
+}
+
+func (*UnaryExpr) isExpr() {}
+
+// IsNullExpr is "expr IS [NOT] NULL".
+type IsNullExpr struct {
+	Operand Expr
+	Negated bool
+}
+
+func (*IsNullExpr) isExpr() {}
+
+// InExpr is "expr [NOT] IN (list)" or "expr [NOT] IN (subquery)".
+type InExpr struct {
+	Operand  Expr
+	List     []Expr
+	Subquery *SelectStmt
+	Negated  bool
+}
+
+func (*InExpr) isExpr() {}
+
+// ExistsExpr is "[NOT] EXISTS (subquery)".
+type ExistsExpr struct {
+	Subquery *SelectStmt
+	Negated  bool
+}
+
+func (*ExistsExpr) isExpr() {}
+
+// SubqueryExpr is a scalar subquery "(SELECT ...)" used as a value.
+type SubqueryExpr struct{ Subquery *SelectStmt }
+
+func (*SubqueryExpr) isExpr() {}
+
+// FuncExpr is a function call. Star marks COUNT(*); Distinct marks
+// aggregates over distinct argument values, e.g. COUNT(DISTINCT ref).
+type FuncExpr struct {
+	Name     string // uppercased
+	Args     []Expr
+	Star     bool
+	Distinct bool
+}
+
+func (*FuncExpr) isExpr() {}
+
+// CaseExpr is a searched CASE expression.
+type CaseExpr struct {
+	Whens []CaseWhen
+	Else  Expr
+}
+
+func (*CaseExpr) isExpr() {}
+
+// CaseWhen is one WHEN/THEN branch of a CASE expression.
+type CaseWhen struct {
+	Cond Expr
+	Then Expr
+}
+
+// aggregateFuncs are functions computed over groups rather than rows.
+var aggregateFuncs = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// hasAggregate reports whether the expression tree contains an aggregate
+// function call (not descending into subqueries, which aggregate over their
+// own groups).
+func hasAggregate(e Expr) bool {
+	switch x := e.(type) {
+	case nil:
+		return false
+	case *FuncExpr:
+		if aggregateFuncs[x.Name] {
+			return true
+		}
+		for _, a := range x.Args {
+			if hasAggregate(a) {
+				return true
+			}
+		}
+	case *BinaryExpr:
+		return hasAggregate(x.Left) || hasAggregate(x.Right)
+	case *UnaryExpr:
+		return hasAggregate(x.Operand)
+	case *IsNullExpr:
+		return hasAggregate(x.Operand)
+	case *InExpr:
+		if hasAggregate(x.Operand) {
+			return true
+		}
+		for _, l := range x.List {
+			if hasAggregate(l) {
+				return true
+			}
+		}
+	case *CaseExpr:
+		for _, w := range x.Whens {
+			if hasAggregate(w.Cond) || hasAggregate(w.Then) {
+				return true
+			}
+		}
+		return hasAggregate(x.Else)
+	}
+	return false
+}

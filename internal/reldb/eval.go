@@ -1,0 +1,546 @@
+package reldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// binding associates a FROM-item name with a row shape and the current row
+// during iteration.
+type binding struct {
+	name string   // lowercased alias/table name
+	cols []string // column names (lowercased)
+	row  []Value  // current row during iteration
+}
+
+func (b *binding) colIndex(name string) int {
+	name = strings.ToLower(name)
+	for i, c := range b.cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// env is a lexical scope of bindings. Subqueries get a child env whose
+// parent is the enclosing query's env, which is what makes correlated
+// EXISTS subqueries work.
+type env struct {
+	bindings []*binding
+	parent   *env
+}
+
+// resolve finds the binding and ordinal for a column reference, searching
+// inner scopes before outer ones. An unqualified name must resolve
+// unambiguously within the innermost scope that knows it.
+func (e *env) resolve(table, column string) (*binding, int, error) {
+	table = strings.ToLower(table)
+	for scope := e; scope != nil; scope = scope.parent {
+		if table != "" {
+			for _, b := range scope.bindings {
+				if b.name == table {
+					if i := b.colIndex(column); i >= 0 {
+						return b, i, nil
+					}
+					return nil, 0, fmt.Errorf("sql: column %s.%s does not exist", table, column)
+				}
+			}
+			continue // alias not in this scope; look outward
+		}
+		var found *binding
+		idx := -1
+		for _, b := range scope.bindings {
+			if i := b.colIndex(column); i >= 0 {
+				if found != nil {
+					return nil, 0, fmt.Errorf("sql: column %s is ambiguous", column)
+				}
+				found, idx = b, i
+			}
+		}
+		if found != nil {
+			return found, idx, nil
+		}
+	}
+	if table != "" {
+		return nil, 0, fmt.Errorf("sql: unknown table or alias %s", table)
+	}
+	return nil, 0, fmt.Errorf("sql: column %s does not exist", column)
+}
+
+// evalCtx carries everything expression evaluation needs.
+type evalCtx struct {
+	db     *DB
+	env    *env
+	params []Value
+	st     *execState
+}
+
+// eval evaluates a scalar expression under SQL three-valued logic: NULL
+// propagates through operators, and boolean operators follow Kleene logic.
+func (c *evalCtx) eval(e Expr) (Value, error) {
+	switch x := e.(type) {
+	case *Literal:
+		return x.Value, nil
+
+	case *Param:
+		if x.Index >= len(c.params) {
+			return Null, fmt.Errorf("sql: parameter %d not bound (have %d)", x.Index+1, len(c.params))
+		}
+		return c.params[x.Index], nil
+
+	case *ColumnRef:
+		b, i, err := c.env.resolve(x.Table, x.Column)
+		if err != nil {
+			return Null, err
+		}
+		return b.row[i], nil
+
+	case *UnaryExpr:
+		v, err := c.eval(x.Operand)
+		if err != nil {
+			return Null, err
+		}
+		switch x.Op {
+		case "NOT":
+			if v.IsNull() {
+				return Null, nil
+			}
+			b, _ := v.AsBool()
+			return Bool(!b), nil
+		case "-":
+			if v.IsNull() {
+				return Null, nil
+			}
+			if v.Kind() == KindFloat {
+				f, _ := v.AsFloat()
+				return Float(-f), nil
+			}
+			n, ok := v.AsInt()
+			if !ok {
+				return Null, fmt.Errorf("sql: cannot negate %s", v.Kind())
+			}
+			return Int(-n), nil
+		}
+		return Null, fmt.Errorf("sql: unknown unary operator %s", x.Op)
+
+	case *BinaryExpr:
+		return c.evalBinary(x)
+
+	case *IsNullExpr:
+		v, err := c.eval(x.Operand)
+		if err != nil {
+			return Null, err
+		}
+		if x.Negated {
+			return Bool(!v.IsNull()), nil
+		}
+		return Bool(v.IsNull()), nil
+
+	case *InExpr:
+		return c.evalIn(x)
+
+	case *ExistsExpr:
+		rows, err := c.db.execSelect(x.Subquery, c.env, c.params, 1, c.st)
+		if err != nil {
+			return Null, err
+		}
+		found := len(rows.Data) > 0
+		if x.Negated {
+			found = !found
+		}
+		return Bool(found), nil
+
+	case *SubqueryExpr:
+		rows, err := c.db.execSelect(x.Subquery, c.env, c.params, 2, c.st)
+		if err != nil {
+			return Null, err
+		}
+		if len(rows.Data) == 0 {
+			return Null, nil
+		}
+		if len(rows.Data) > 1 {
+			return Null, fmt.Errorf("sql: scalar subquery returned %d rows", len(rows.Data))
+		}
+		if len(rows.Data[0]) != 1 {
+			return Null, fmt.Errorf("sql: scalar subquery returned %d columns", len(rows.Data[0]))
+		}
+		return rows.Data[0][0], nil
+
+	case *FuncExpr:
+		if aggregateFuncs[x.Name] {
+			return Null, fmt.Errorf("sql: aggregate %s used outside grouped query", x.Name)
+		}
+		return c.evalScalarFunc(x)
+
+	case *CaseExpr:
+		for _, w := range x.Whens {
+			cond, err := c.eval(w.Cond)
+			if err != nil {
+				return Null, err
+			}
+			if b, known := cond.AsBool(); known && b {
+				return c.eval(w.Then)
+			}
+		}
+		if x.Else != nil {
+			return c.eval(x.Else)
+		}
+		return Null, nil
+	}
+	return Null, fmt.Errorf("sql: cannot evaluate %T", e)
+}
+
+func (c *evalCtx) evalBinary(x *BinaryExpr) (Value, error) {
+	switch x.Op {
+	case "AND":
+		l, err := c.eval(x.Left)
+		if err != nil {
+			return Null, err
+		}
+		if lb, known := l.AsBool(); known && !lb {
+			return Bool(false), nil // short circuit
+		}
+		r, err := c.eval(x.Right)
+		if err != nil {
+			return Null, err
+		}
+		rb, rknown := r.AsBool()
+		if rknown && !rb {
+			return Bool(false), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		return Bool(true), nil
+
+	case "OR":
+		l, err := c.eval(x.Left)
+		if err != nil {
+			return Null, err
+		}
+		if lb, known := l.AsBool(); known && lb {
+			return Bool(true), nil // short circuit
+		}
+		r, err := c.eval(x.Right)
+		if err != nil {
+			return Null, err
+		}
+		if rb, rknown := r.AsBool(); rknown && rb {
+			return Bool(true), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		return Bool(false), nil
+	}
+
+	l, err := c.eval(x.Left)
+	if err != nil {
+		return Null, err
+	}
+	r, err := c.eval(x.Right)
+	if err != nil {
+		return Null, err
+	}
+	if l.IsNull() || r.IsNull() {
+		return Null, nil
+	}
+
+	switch x.Op {
+	case "=":
+		return Bool(Compare(l, r) == 0), nil
+	case "<>":
+		return Bool(Compare(l, r) != 0), nil
+	case "<":
+		return Bool(Compare(l, r) < 0), nil
+	case "<=":
+		return Bool(Compare(l, r) <= 0), nil
+	case ">":
+		return Bool(Compare(l, r) > 0), nil
+	case ">=":
+		return Bool(Compare(l, r) >= 0), nil
+	case "LIKE":
+		return Bool(likeMatch(l.AsString(), r.AsString())), nil
+	case "||":
+		return Str(l.AsString() + r.AsString()), nil
+	case "+", "-", "*", "/":
+		return arith(x.Op, l, r)
+	}
+	return Null, fmt.Errorf("sql: unknown operator %s", x.Op)
+}
+
+func arith(op string, l, r Value) (Value, error) {
+	if l.Kind() == KindFloat || r.Kind() == KindFloat {
+		lf, lok := l.AsFloat()
+		rf, rok := r.AsFloat()
+		if !lok || !rok {
+			return Null, fmt.Errorf("sql: non-numeric operand for %s", op)
+		}
+		switch op {
+		case "+":
+			return Float(lf + rf), nil
+		case "-":
+			return Float(lf - rf), nil
+		case "*":
+			return Float(lf * rf), nil
+		case "/":
+			if rf == 0 {
+				return Null, fmt.Errorf("sql: division by zero")
+			}
+			return Float(lf / rf), nil
+		}
+	}
+	li, lok := l.AsInt()
+	ri, rok := r.AsInt()
+	if !lok || !rok {
+		return Null, fmt.Errorf("sql: non-numeric operand for %s", op)
+	}
+	switch op {
+	case "+":
+		return Int(li + ri), nil
+	case "-":
+		return Int(li - ri), nil
+	case "*":
+		return Int(li * ri), nil
+	case "/":
+		if ri == 0 {
+			return Null, fmt.Errorf("sql: division by zero")
+		}
+		return Int(li / ri), nil
+	}
+	return Null, fmt.Errorf("sql: unknown arithmetic operator %s", op)
+}
+
+func (c *evalCtx) evalIn(x *InExpr) (Value, error) {
+	v, err := c.eval(x.Operand)
+	if err != nil {
+		return Null, err
+	}
+	if v.IsNull() {
+		return Null, nil
+	}
+	sawNull := false
+	check := func(item Value) (bool, bool) { // (matched, null)
+		if item.IsNull() {
+			return false, true
+		}
+		return Compare(v, item) == 0, false
+	}
+	if x.Subquery != nil {
+		rows, err := c.db.execSelect(x.Subquery, c.env, c.params, 0, c.st)
+		if err != nil {
+			return Null, err
+		}
+		for _, row := range rows.Data {
+			if len(row) != 1 {
+				return Null, fmt.Errorf("sql: IN subquery must return one column")
+			}
+			m, isNull := check(row[0])
+			if isNull {
+				sawNull = true
+			} else if m {
+				return Bool(!x.Negated), nil
+			}
+		}
+	} else {
+		for _, item := range x.List {
+			iv, err := c.eval(item)
+			if err != nil {
+				return Null, err
+			}
+			m, isNull := check(iv)
+			if isNull {
+				sawNull = true
+			} else if m {
+				return Bool(!x.Negated), nil
+			}
+		}
+	}
+	if sawNull {
+		return Null, nil
+	}
+	return Bool(x.Negated), nil
+}
+
+func (c *evalCtx) evalScalarFunc(x *FuncExpr) (Value, error) {
+	args := make([]Value, len(x.Args))
+	for i, a := range x.Args {
+		v, err := c.eval(a)
+		if err != nil {
+			return Null, err
+		}
+		args[i] = v
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("sql: %s expects %d argument(s), got %d", x.Name, n, len(args))
+		}
+		return nil
+	}
+	switch x.Name {
+	case "UPPER":
+		if err := need(1); err != nil {
+			return Null, err
+		}
+		if args[0].IsNull() {
+			return Null, nil
+		}
+		return Str(strings.ToUpper(args[0].AsString())), nil
+	case "LOWER":
+		if err := need(1); err != nil {
+			return Null, err
+		}
+		if args[0].IsNull() {
+			return Null, nil
+		}
+		return Str(strings.ToLower(args[0].AsString())), nil
+	case "LENGTH":
+		if err := need(1); err != nil {
+			return Null, err
+		}
+		if args[0].IsNull() {
+			return Null, nil
+		}
+		return Int(int64(len(args[0].AsString()))), nil
+	case "ABS":
+		if err := need(1); err != nil {
+			return Null, err
+		}
+		if args[0].IsNull() {
+			return Null, nil
+		}
+		if args[0].Kind() == KindFloat {
+			f, _ := args[0].AsFloat()
+			if f < 0 {
+				f = -f
+			}
+			return Float(f), nil
+		}
+		n, ok := args[0].AsInt()
+		if !ok {
+			return Null, fmt.Errorf("sql: ABS of non-numeric value")
+		}
+		if n < 0 {
+			n = -n
+		}
+		return Int(n), nil
+	case "COALESCE":
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return Null, nil
+	case "SUBSTR", "SUBSTRING":
+		if len(args) != 2 && len(args) != 3 {
+			return Null, fmt.Errorf("sql: %s expects 2 or 3 arguments", x.Name)
+		}
+		if args[0].IsNull() {
+			return Null, nil
+		}
+		s := args[0].AsString()
+		start, _ := args[1].AsInt()
+		if start < 1 {
+			start = 1
+		}
+		if int(start) > len(s) {
+			return Str(""), nil
+		}
+		rest := s[start-1:]
+		if len(args) == 3 {
+			n, _ := args[2].AsInt()
+			if n < 0 {
+				n = 0
+			}
+			if int(n) < len(rest) {
+				rest = rest[:n]
+			}
+		}
+		return Str(rest), nil
+	}
+	return Null, fmt.Errorf("sql: unknown function %s", x.Name)
+}
+
+// likeMatch implements SQL LIKE with '%' (any run), '_' (any one byte),
+// and '\' escaping the next pattern byte (the common LIKE ... ESCAPE '\'
+// extension, always enabled). Escaping lets URI patterns containing
+// literal '_' or '%' be stored safely by the reference-file subsystem.
+func likeMatch(s, pattern string) bool {
+	// Iterative two-pointer algorithm with backtracking on '%'.
+	si, pi := 0, 0
+	star, match := -1, 0
+	literalAt := func(pi int) (byte, int, bool) {
+		// Returns the literal byte at pattern position pi (resolving a
+		// backslash escape), the width consumed, and whether the byte
+		// is literal (as opposed to a % or _ metacharacter).
+		c := pattern[pi]
+		switch c {
+		case '\\':
+			if pi+1 < len(pattern) {
+				return pattern[pi+1], 2, true
+			}
+			return '\\', 1, true
+		case '%', '_':
+			return c, 1, false
+		default:
+			return c, 1, true
+		}
+	}
+	for si < len(s) {
+		if pi < len(pattern) {
+			c, w, lit := literalAt(pi)
+			switch {
+			case !lit && c == '_':
+				si++
+				pi += w
+				continue
+			case !lit && c == '%':
+				star = pi
+				match = si
+				pi += w
+				continue
+			case lit && c == s[si]:
+				si++
+				pi += w
+				continue
+			}
+		}
+		if star >= 0 {
+			// Backtrack: let the last '%' absorb one more byte.
+			pi = star + 1
+			match++
+			si = match
+			continue
+		}
+		return false
+	}
+	for pi < len(pattern) {
+		c, w, lit := literalAt(pi)
+		if lit || c != '%' {
+			return false
+		}
+		pi += w
+	}
+	return true
+}
+
+// EscapeLike escapes LIKE metacharacters in a literal string so it matches
+// itself exactly within a pattern.
+func EscapeLike(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '%', '_', '\\':
+			b.WriteByte('\\')
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// truthy interprets an evaluated predicate for WHERE/HAVING: NULL is false.
+func truthy(v Value) bool {
+	b, known := v.AsBool()
+	return known && b
+}

@@ -1,0 +1,1221 @@
+package reldb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Options configure a DB instance.
+type Options struct {
+	// DisableIndexes forces full scans even where an index would apply.
+	// Used by the ablation benchmarks.
+	DisableIndexes bool
+	// MaxSubqueryDepth bounds subquery nesting; statements beyond it are
+	// rejected with ErrTooComplex. Zero means the engine default.
+	MaxSubqueryDepth int
+	// MaxSubqueries bounds the total number of query blocks per
+	// statement. Zero means the engine default.
+	MaxSubqueries int
+	// DisableViewCache turns off the materialized-view cache for bare
+	// "(SELECT * FROM t)" derived tables. Used by the ablation
+	// benchmarks to isolate the cost of the XML-view reconstruction
+	// layer.
+	DisableViewCache bool
+}
+
+// Stats counts engine work, for tests and ablation benchmarks.
+type Stats struct {
+	RowsScanned  int64 // rows visited by full scans
+	IndexLookups int64 // hash-index probes
+	Statements   int64 // statements executed
+}
+
+// DB is an in-memory relational database. All methods are safe for
+// concurrent use; writes take an exclusive lock.
+type DB struct {
+	mu         sync.RWMutex
+	tables     map[string]*Table
+	opts       Options
+	maxDepth   int
+	maxSelects int
+	stats      Stats
+	// viewCache holds materializations (and hash indexes) of bare
+	// "(SELECT * FROM t)" derived tables, keyed by table name and
+	// invalidated by the table's version counter. The XML-view
+	// reconstruction layer of the XTABLE path re-derives the same views
+	// in every statement; this is the engine's materialized-view cache.
+	viewCache map[string]*viewSnapshot
+}
+
+// viewSnapshot is one cached bare-view materialization.
+type viewSnapshot struct {
+	version int64
+	rows    [][]Value
+	indexes map[string]map[string][]int // colset key -> value key -> row ids
+}
+
+// New returns an empty database with default options.
+func New() *DB { return NewWithOptions(Options{}) }
+
+// NewWithOptions returns an empty database with the given options.
+func NewWithOptions(opts Options) *DB {
+	d := &DB{
+		tables:     map[string]*Table{},
+		opts:       opts,
+		maxDepth:   opts.MaxSubqueryDepth,
+		maxSelects: opts.MaxSubqueries,
+		viewCache:  map[string]*viewSnapshot{},
+	}
+	if d.maxDepth == 0 {
+		d.maxDepth = defaultMaxSubqueryDepth
+	}
+	if d.maxSelects == 0 {
+		d.maxSelects = defaultMaxSubqueries
+	}
+	return d
+}
+
+// Rows is a fully materialized query result.
+type Rows struct {
+	Columns []string
+	Data    [][]Value
+}
+
+// Stats returns a snapshot of the engine's work counters.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.stats
+}
+
+// ResetStats zeroes the work counters.
+func (db *DB) ResetStats() {
+	db.mu.Lock()
+	db.stats = Stats{}
+	db.mu.Unlock()
+}
+
+// Table returns the named table, for introspection, or nil.
+func (db *DB) Table(name string) *Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tables[strings.ToLower(name)]
+}
+
+// TableNames returns the sorted names of all tables.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var names []string
+	for _, t := range db.tables {
+		names = append(names, t.schema.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HasTable reports whether the named table exists.
+func (db *DB) HasTable(name string) bool { return db.Table(name) != nil }
+
+// Exec parses and executes a statement that returns no rows (DDL or DML)
+// and reports the number of rows affected.
+func (db *DB) Exec(sql string, params ...Value) (int, error) {
+	stmt, err := parseWithLimit(sql, db.maxDepth, db.maxSelects)
+	if err != nil {
+		return 0, err
+	}
+	return db.ExecStmt(stmt, params...)
+}
+
+// ExecStmt executes an already-parsed statement.
+func (db *DB) ExecStmt(stmt Statement, params ...Value) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.stats.Statements++
+	switch s := stmt.(type) {
+	case *CreateTableStmt:
+		return 0, db.createTable(s)
+	case *CreateIndexStmt:
+		return 0, db.createIndex(s)
+	case *DropTableStmt:
+		key := strings.ToLower(s.Table)
+		if _, ok := db.tables[key]; !ok {
+			return 0, fmt.Errorf("sql: table %s does not exist", s.Table)
+		}
+		delete(db.tables, key)
+		return 0, nil
+	case *InsertStmt:
+		return db.execInsert(s, params)
+	case *UpdateStmt:
+		return db.execUpdate(s, params)
+	case *DeleteStmt:
+		return db.execDelete(s, params)
+	case *SelectStmt:
+		rows, err := db.execSelect(s, nil, params, 0, newExecState())
+		if err != nil {
+			return 0, err
+		}
+		return len(rows.Data), nil
+	}
+	return 0, fmt.Errorf("sql: cannot execute %T", stmt)
+}
+
+// Query parses and executes a SELECT and returns its rows.
+func (db *DB) Query(sql string, params ...Value) (*Rows, error) {
+	stmt, err := parseWithLimit(sql, db.maxDepth, db.maxSelects)
+	if err != nil {
+		return nil, err
+	}
+	return db.QueryStmt(stmt, params...)
+}
+
+// QueryStmt executes an already-parsed SELECT statement. Reusing a parsed
+// statement skips SQL parsing, which is what the conversion-cache ablation
+// benchmark measures.
+func (db *DB) QueryStmt(stmt Statement, params ...Value) (*Rows, error) {
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: Query requires a SELECT, got %T", stmt)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.stats.Statements++
+	return db.execSelect(sel, nil, params, 0, newExecState())
+}
+
+// QueryExists executes a SELECT and reports whether it produced any row,
+// stopping at the first. This is the primitive preference matching uses.
+func (db *DB) QueryExists(sql string, params ...Value) (bool, error) {
+	stmt, err := parseWithLimit(sql, db.maxDepth, db.maxSelects)
+	if err != nil {
+		return false, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return false, fmt.Errorf("sql: QueryExists requires a SELECT, got %T", stmt)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.stats.Statements++
+	rows, err := db.execSelect(sel, nil, params, 1, newExecState())
+	if err != nil {
+		return false, err
+	}
+	return len(rows.Data) > 0, nil
+}
+
+// Prepare parses a statement under the engine's complexity limits without
+// executing it, like a database PREPARE. Statements beyond the limits fail
+// here with ErrTooComplex.
+func (db *DB) Prepare(sql string) (Statement, error) {
+	return parseWithLimit(sql, db.maxDepth, db.maxSelects)
+}
+
+// QueryExistsStmt is QueryExists over an already-prepared statement.
+func (db *DB) QueryExistsStmt(stmt Statement, params ...Value) (bool, error) {
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return false, fmt.Errorf("sql: QueryExistsStmt requires a SELECT, got %T", stmt)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.stats.Statements++
+	rows, err := db.execSelect(sel, nil, params, 1, newExecState())
+	if err != nil {
+		return false, err
+	}
+	return len(rows.Data) > 0, nil
+}
+
+// MustExec is Exec that panics on error; intended for tests and fixtures.
+func (db *DB) MustExec(sql string, params ...Value) {
+	if _, err := db.Exec(sql, params...); err != nil {
+		panic(err)
+	}
+}
+
+func (db *DB) createTable(s *CreateTableStmt) error {
+	key := strings.ToLower(s.Table)
+	if _, dup := db.tables[key]; dup {
+		return fmt.Errorf("sql: table %s already exists", s.Table)
+	}
+	schema, err := NewTableSchema(s.Table, s.Columns, s.PrimaryKey)
+	if err != nil {
+		return err
+	}
+	db.tables[key] = newTable(schema)
+	return nil
+}
+
+func (db *DB) createIndex(s *CreateIndexStmt) error {
+	t, ok := db.tables[strings.ToLower(s.Table)]
+	if !ok {
+		return fmt.Errorf("sql: table %s does not exist", s.Table)
+	}
+	return t.addIndex(s.Name, s.Columns, s.Unique)
+}
+
+func (db *DB) execInsert(s *InsertStmt, params []Value) (int, error) {
+	t, ok := db.tables[strings.ToLower(s.Table)]
+	if !ok {
+		return 0, fmt.Errorf("sql: table %s does not exist", s.Table)
+	}
+	cols := s.Columns
+	if len(cols) == 0 {
+		cols = make([]string, len(t.schema.Columns))
+		for i, c := range t.schema.Columns {
+			cols[i] = c.Name
+		}
+	}
+	ords, err := t.schema.ordinals(cols)
+	if err != nil {
+		return 0, err
+	}
+	ctx := &evalCtx{db: db, env: &env{}, params: params, st: newExecState()}
+	n := 0
+	for _, exprRow := range s.Rows {
+		if len(exprRow) != len(ords) {
+			return n, fmt.Errorf("sql: INSERT has %d values for %d columns", len(exprRow), len(ords))
+		}
+		row := make([]Value, len(t.schema.Columns))
+		for i, e := range exprRow {
+			v, err := ctx.eval(e)
+			if err != nil {
+				return n, err
+			}
+			row[ords[i]] = v
+		}
+		if err := t.insert(row); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+func (db *DB) execUpdate(s *UpdateStmt, params []Value) (int, error) {
+	t, ok := db.tables[strings.ToLower(s.Table)]
+	if !ok {
+		return 0, fmt.Errorf("sql: table %s does not exist", s.Table)
+	}
+	cols := make([]string, len(t.schema.Columns))
+	for i, c := range t.schema.Columns {
+		cols[i] = strings.ToLower(c.Name)
+	}
+	b := &binding{name: strings.ToLower(t.schema.Name), cols: cols}
+	scope := &env{bindings: []*binding{b}}
+	ctx := &evalCtx{db: db, env: scope, params: params, st: newExecState()}
+	setOrds := make([]int, len(s.Set))
+	for i, sc := range s.Set {
+		ord := t.schema.ColumnIndex(sc.Column)
+		if ord < 0 {
+			return 0, fmt.Errorf("sql: table %s has no column %s", s.Table, sc.Column)
+		}
+		setOrds[i] = ord
+	}
+	// Collect matching ids first, then mutate, so the scan is stable.
+	var ids [][]Value
+	var idNums []int
+	var scanErr error
+	t.scan(func(id int, row []Value) bool {
+		db.stats.RowsScanned++
+		b.row = row
+		if s.Where != nil {
+			v, err := ctx.eval(s.Where)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if !truthy(v) {
+				return true
+			}
+		}
+		idNums = append(idNums, id)
+		ids = append(ids, row)
+		return true
+	})
+	if scanErr != nil {
+		return 0, scanErr
+	}
+	for i, id := range idNums {
+		b.row = ids[i]
+		newRow := append([]Value(nil), ids[i]...)
+		for j, sc := range s.Set {
+			v, err := ctx.eval(sc.Value)
+			if err != nil {
+				return i, err
+			}
+			newRow[setOrds[j]] = v
+		}
+		if err := t.update(id, newRow); err != nil {
+			return i, err
+		}
+	}
+	return len(idNums), nil
+}
+
+func (db *DB) execDelete(s *DeleteStmt, params []Value) (int, error) {
+	t, ok := db.tables[strings.ToLower(s.Table)]
+	if !ok {
+		return 0, fmt.Errorf("sql: table %s does not exist", s.Table)
+	}
+	cols := make([]string, len(t.schema.Columns))
+	for i, c := range t.schema.Columns {
+		cols[i] = strings.ToLower(c.Name)
+	}
+	b := &binding{name: strings.ToLower(t.schema.Name), cols: cols}
+	ctx := &evalCtx{db: db, env: &env{bindings: []*binding{b}}, params: params, st: newExecState()}
+	var ids []int
+	var scanErr error
+	t.scan(func(id int, row []Value) bool {
+		db.stats.RowsScanned++
+		b.row = row
+		if s.Where != nil {
+			v, err := ctx.eval(s.Where)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if !truthy(v) {
+				return true
+			}
+		}
+		ids = append(ids, id)
+		return true
+	})
+	if scanErr != nil {
+		return 0, scanErr
+	}
+	for _, id := range ids {
+		t.delete(id)
+	}
+	return len(ids), nil
+}
+
+// errEnough unwinds join recursion once the caller's row quota is met.
+var errEnough = errors.New("enough rows")
+
+// execState carries per-statement execution caches. The derived map
+// memoizes materializations of cacheable derived tables — the
+// "(SELECT * FROM t)" view-reconstruction wrappers the XTABLE path
+// generates — so each view is materialized once per statement instead of
+// once per correlated subquery evaluation.
+type execState struct {
+	derived map[*SelectStmt]*Rows
+	// derivedIdx memoizes hash indexes built over cached derived tables,
+	// keyed by the derived statement and the indexed column set. They
+	// make equality joins against materialized views hash probes instead
+	// of repeated scans.
+	derivedIdx map[*SelectStmt]map[string]map[string][]int
+}
+
+// cacheableDerived reports whether a derived table can be memoized for
+// the whole statement: a bare projection of one base table with no
+// filtering, which cannot be correlated to any outer binding.
+func cacheableDerived(sel *SelectStmt) bool {
+	return sel.Star && len(sel.From) == 1 && sel.From[0].Table != "" &&
+		sel.Where == nil && len(sel.GroupBy) == 0 && sel.Having == nil &&
+		len(sel.OrderBy) == 0 && sel.Limit < 0 && !sel.Distinct
+}
+
+// fromSource is a bound FROM item: either a base table (with index access)
+// or a materialized derived table.
+type fromSource struct {
+	binding *binding
+	table   *Table    // nil for derived tables
+	rows    [][]Value // materialized rows for derived tables
+	// derivedStmt is set when rows came from the statement-level derived
+	// cache, enabling memoized hash indexes over them.
+	derivedStmt *SelectStmt
+	// view is set when rows came from the DB-level bare-view cache; its
+	// hash indexes are shared across statements.
+	view *viewSnapshot
+}
+
+// bareViewSnapshot serves "(SELECT * FROM t)" from the materialized-view
+// cache, refreshing it when the table has changed. The caller must hold
+// db.mu.
+func (db *DB) bareViewSnapshot(sel *SelectStmt) (*viewSnapshot, []string, bool) {
+	if db.opts.DisableViewCache || !cacheableDerived(sel) {
+		return nil, nil, false
+	}
+	t, ok := db.tables[strings.ToLower(sel.From[0].Table)]
+	if !ok {
+		return nil, nil, false
+	}
+	cols := make([]string, len(t.schema.Columns))
+	for i, c := range t.schema.Columns {
+		cols[i] = strings.ToLower(c.Name)
+	}
+	key := strings.ToLower(t.schema.Name)
+	snap := db.viewCache[key]
+	if snap == nil || snap.version != t.version {
+		rows := make([][]Value, 0, t.live)
+		t.scan(func(_ int, row []Value) bool {
+			rows = append(rows, row)
+			return true
+		})
+		snap = &viewSnapshot{version: t.version, rows: rows, indexes: map[string]map[string][]int{}}
+		db.viewCache[key] = snap
+	}
+	return snap, cols, true
+}
+
+func newExecState() *execState { return &execState{} }
+
+// execSelect runs a SELECT. outer is the enclosing scope for correlated
+// subqueries (nil at top level). needRows > 0 allows stopping early once
+// that many output rows exist (only when no ordering/grouping/distinct
+// would be violated). The caller must hold db.mu.
+func (db *DB) execSelect(sel *SelectStmt, outer *env, params []Value, needRows int, st *execState) (*Rows, error) {
+	// Bind FROM items.
+	sources := make([]*fromSource, len(sel.From))
+	scope := &env{parent: outer}
+	for i, fi := range sel.From {
+		src := &fromSource{}
+		name := strings.ToLower(fi.Name())
+		if fi.Subquery != nil {
+			if snap, cols, ok := db.bareViewSnapshot(fi.Subquery); ok {
+				src.binding = &binding{name: name, cols: cols}
+				src.rows = snap.rows
+				src.view = snap
+				sources[i] = src
+				scope.bindings = append(scope.bindings, src.binding)
+				continue
+			}
+			var sub *Rows
+			if cacheableDerived(fi.Subquery) {
+				if cached, ok := st.derived[fi.Subquery]; ok {
+					sub = cached
+				}
+			}
+			if sub == nil {
+				var err error
+				sub, err = db.execSelect(fi.Subquery, outer, params, 0, st)
+				if err != nil {
+					return nil, err
+				}
+				if cacheableDerived(fi.Subquery) {
+					if st.derived == nil {
+						st.derived = map[*SelectStmt]*Rows{}
+					}
+					st.derived[fi.Subquery] = sub
+				}
+			}
+			cols := make([]string, len(sub.Columns))
+			for j, c := range sub.Columns {
+				cols[j] = strings.ToLower(c)
+			}
+			src.binding = &binding{name: name, cols: cols}
+			src.rows = sub.Data
+			if cacheableDerived(fi.Subquery) {
+				src.derivedStmt = fi.Subquery
+			}
+		} else {
+			t, ok := db.tables[strings.ToLower(fi.Table)]
+			if !ok {
+				return nil, fmt.Errorf("sql: table %s does not exist", fi.Table)
+			}
+			cols := make([]string, len(t.schema.Columns))
+			for j, c := range t.schema.Columns {
+				cols[j] = strings.ToLower(c.Name)
+			}
+			src.binding = &binding{name: name, cols: cols}
+			src.table = t
+		}
+		sources[i] = src
+		scope.bindings = append(scope.bindings, src.binding)
+	}
+	for i := range sources {
+		for j := i + 1; j < len(sources); j++ {
+			if sources[i].binding.name == sources[j].binding.name {
+				return nil, fmt.Errorf("sql: duplicate table alias %s", sources[i].binding.name)
+			}
+		}
+	}
+
+	ctx := &evalCtx{db: db, env: scope, params: params, st: st}
+	conjuncts := splitAnd(sel.Where)
+
+	grouped := len(sel.GroupBy) > 0 || hasAggregate(sel.Having)
+	for _, it := range sel.Items {
+		if hasAggregate(it.Expr) {
+			grouped = true
+		}
+	}
+	if grouped && sel.Star {
+		return nil, fmt.Errorf("sql: SELECT * cannot be combined with aggregation")
+	}
+
+	// Output column names.
+	var columns []string
+	if sel.Star {
+		for _, src := range sources {
+			columns = append(columns, src.binding.cols...)
+		}
+	} else {
+		for i, it := range sel.Items {
+			switch {
+			case it.Alias != "":
+				columns = append(columns, it.Alias)
+			default:
+				if cr, ok := it.Expr.(*ColumnRef); ok {
+					columns = append(columns, strings.ToLower(cr.Column))
+				} else {
+					columns = append(columns, fmt.Sprintf("col%d", i+1))
+				}
+			}
+		}
+	}
+
+	earlyExit := needRows > 0 && !grouped && !sel.Distinct && len(sel.OrderBy) == 0 && sel.Limit < 0
+
+	var out [][]Value
+	var orderKeys [][]Value
+	seen := map[string]bool{} // for DISTINCT
+
+	// groups collects per-group snapshots of all binding rows.
+	type group struct {
+		key       []Value
+		snapshots [][][]Value // one snapshot per member row: per-binding rows
+	}
+	var groups []*group
+	groupIdx := map[string]int{}
+
+	emit := func() error {
+		if sel.Where != nil {
+			v, err := ctx.eval(sel.Where)
+			if err != nil {
+				return err
+			}
+			if !truthy(v) {
+				return nil
+			}
+		}
+		if grouped {
+			keyVals := make([]Value, len(sel.GroupBy))
+			for i, g := range sel.GroupBy {
+				v, err := ctx.eval(g)
+				if err != nil {
+					return err
+				}
+				keyVals[i] = v
+			}
+			k := encodeKey(keyVals)
+			gi, ok := groupIdx[k]
+			if !ok {
+				gi = len(groups)
+				groupIdx[k] = gi
+				groups = append(groups, &group{key: keyVals})
+			}
+			snap := make([][]Value, len(sources))
+			for i, src := range sources {
+				snap[i] = src.binding.row
+			}
+			groups[gi].snapshots = append(groups[gi].snapshots, snap)
+			return nil
+		}
+		var row []Value
+		if sel.Star {
+			for _, src := range sources {
+				row = append(row, src.binding.row...)
+			}
+		} else {
+			row = make([]Value, len(sel.Items))
+			for i, it := range sel.Items {
+				v, err := ctx.eval(it.Expr)
+				if err != nil {
+					return err
+				}
+				row[i] = v
+			}
+		}
+		if sel.Distinct {
+			k := encodeKey(row)
+			if seen[k] {
+				return nil
+			}
+			seen[k] = true
+		}
+		if len(sel.OrderBy) > 0 {
+			keys := make([]Value, len(sel.OrderBy))
+			for i, oi := range sel.OrderBy {
+				v, err := ctx.eval(oi.Expr)
+				if err != nil {
+					return err
+				}
+				keys[i] = v
+			}
+			orderKeys = append(orderKeys, keys)
+		}
+		out = append(out, row)
+		if earlyExit && len(out) >= needRows {
+			return errEnough
+		}
+		return nil
+	}
+
+	var join func(i int) error
+	join = func(i int) error {
+		if i == len(sources) {
+			return emit()
+		}
+		src := sources[i]
+		if src.table != nil {
+			if ids, usable := db.indexCandidates(src, conjuncts, sources[:i], outer, ctx); usable {
+				for _, id := range ids {
+					row := src.table.rows[id]
+					if row == nil {
+						continue
+					}
+					src.binding.row = row
+					if err := join(i + 1); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			var scanErr error
+			src.table.scan(func(_ int, row []Value) bool {
+				db.stats.RowsScanned++
+				src.binding.row = row
+				if err := join(i + 1); err != nil {
+					scanErr = err
+					return false
+				}
+				return true
+			})
+			return scanErr
+		}
+		if ids, usable := db.derivedCandidates(src, conjuncts, sources[:i], outer, ctx, st); usable {
+			for _, id := range ids {
+				src.binding.row = src.rows[id]
+				if err := join(i + 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, row := range src.rows {
+			db.stats.RowsScanned++
+			src.binding.row = row
+			if err := join(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if len(sources) == 0 {
+		// SELECT without FROM: a single conceptual row.
+		if err := emit(); err != nil && err != errEnough {
+			return nil, err
+		}
+	} else if err := join(0); err != nil && err != errEnough {
+		return nil, err
+	}
+
+	if grouped {
+		// An aggregate query with no GROUP BY aggregates over everything,
+		// producing one row even for empty input.
+		if len(sel.GroupBy) == 0 && len(groups) == 0 {
+			groups = append(groups, &group{})
+		}
+		for _, g := range groups {
+			// Rebind a representative row (first snapshot) so that
+			// GROUP BY columns evaluate normally.
+			if len(g.snapshots) > 0 {
+				for i, src := range sources {
+					src.binding.row = g.snapshots[0][i]
+				}
+			} else {
+				for _, src := range sources {
+					src.binding.row = make([]Value, len(src.binding.cols))
+				}
+			}
+			agg := &aggCtx{ctx: ctx, sources: sources, snapshots: g.snapshots}
+			if sel.Having != nil {
+				v, err := agg.eval(sel.Having)
+				if err != nil {
+					return nil, err
+				}
+				if !truthy(v) {
+					continue
+				}
+			}
+			row := make([]Value, len(sel.Items))
+			for i, it := range sel.Items {
+				v, err := agg.eval(it.Expr)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			if len(sel.OrderBy) > 0 {
+				keys := make([]Value, len(sel.OrderBy))
+				for i, oi := range sel.OrderBy {
+					v, err := agg.eval(oi.Expr)
+					if err != nil {
+						return nil, err
+					}
+					keys[i] = v
+				}
+				orderKeys = append(orderKeys, keys)
+			}
+			out = append(out, row)
+		}
+	}
+
+	if len(sel.OrderBy) > 0 {
+		idx := make([]int, len(out))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			ka, kb := orderKeys[idx[a]], orderKeys[idx[b]]
+			for i, oi := range sel.OrderBy {
+				c := compareForOrder(ka[i], kb[i])
+				if c == 0 {
+					continue
+				}
+				if oi.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		sorted := make([][]Value, len(out))
+		for i, j := range idx {
+			sorted[i] = out[j]
+		}
+		out = sorted
+	}
+
+	if sel.Limit >= 0 && len(out) > sel.Limit {
+		out = out[:sel.Limit]
+	}
+	return &Rows{Columns: columns, Data: out}, nil
+}
+
+// compareForOrder orders values with NULLs first.
+func compareForOrder(a, b Value) int {
+	switch {
+	case a.IsNull() && b.IsNull():
+		return 0
+	case a.IsNull():
+		return -1
+	case b.IsNull():
+		return 1
+	}
+	return Compare(a, b)
+}
+
+// indexCandidates attempts to satisfy the binding of src via a hash-index
+// probe driven by equality conjuncts whose other side is already evaluable
+// (constants, parameters, earlier bindings in this scope, or outer scopes).
+// It returns (rowIDs, true) on success.
+func (db *DB) indexCandidates(src *fromSource, conjuncts []Expr, boundBefore []*fromSource, outer *env, ctx *evalCtx) ([]int, bool) {
+	if db.opts.DisableIndexes || src.table == nil {
+		return nil, false
+	}
+	avail := equalityConjuncts(src, conjuncts, boundBefore, outer)
+	if len(avail) == 0 {
+		return nil, false
+	}
+	ords := make([]int, 0, len(avail))
+	for o := range avail {
+		ords = append(ords, o)
+	}
+	sort.Ints(ords)
+	ix := bestIndex(src.table, ords)
+	if ix == nil {
+		return nil, false
+	}
+	vals := make([]Value, len(ix.columns))
+	for i, col := range ix.columns {
+		v, err := ctx.eval(avail[col])
+		if err != nil {
+			return nil, false // fall back to scan; the error resurfaces there
+		}
+		if v.IsNull() {
+			return []int{}, true // equality with NULL matches nothing
+		}
+		vals[i] = v
+	}
+	db.stats.IndexLookups++
+	return src.table.lookup(ix, vals), true
+}
+
+// equalityConjuncts collects "src.col = <expr>" conjuncts whose right side
+// is already evaluable (constants, parameters, earlier bindings, outer
+// scopes), keyed by column ordinal.
+func equalityConjuncts(src *fromSource, conjuncts []Expr, boundBefore []*fromSource, outer *env) map[int]Expr {
+	avail := map[int]Expr{}
+	for _, c := range conjuncts {
+		be, ok := c.(*BinaryExpr)
+		if !ok || be.Op != "=" {
+			continue
+		}
+		for _, try := range [][2]Expr{{be.Left, be.Right}, {be.Right, be.Left}} {
+			cr, ok := try[0].(*ColumnRef)
+			if !ok || cr.Table == "" {
+				continue
+			}
+			if strings.ToLower(cr.Table) != src.binding.name {
+				continue
+			}
+			ord := src.binding.colIndex(cr.Column)
+			if ord < 0 {
+				continue
+			}
+			if !evaluableNow(try[1], boundBefore, outer) {
+				continue
+			}
+			if _, dup := avail[ord]; !dup {
+				avail[ord] = try[1]
+			}
+			break
+		}
+	}
+	return avail
+}
+
+// derivedCandidates probes (building on demand) a hash index over a
+// materialized derived table, turning equality joins against views into
+// hash joins. Indexes over statement-cached materializations are memoized
+// in the execState so each is built once per statement.
+func (db *DB) derivedCandidates(src *fromSource, conjuncts []Expr, boundBefore []*fromSource, outer *env, ctx *evalCtx, st *execState) ([]int, bool) {
+	if db.opts.DisableIndexes || src.table != nil || len(src.rows) < 8 {
+		return nil, false
+	}
+	avail := equalityConjuncts(src, conjuncts, boundBefore, outer)
+	if len(avail) == 0 {
+		return nil, false
+	}
+	ords := make([]int, 0, len(avail))
+	for o := range avail {
+		ords = append(ords, o)
+	}
+	sort.Ints(ords)
+	colsetKey := fmt.Sprint(ords)
+
+	var buckets map[string][]int
+	switch {
+	case src.view != nil:
+		buckets = src.view.indexes[colsetKey]
+		if buckets == nil {
+			buckets = buildDerivedIndex(src.rows, ords)
+			src.view.indexes[colsetKey] = buckets
+		}
+	case src.derivedStmt != nil:
+		if st.derivedIdx == nil {
+			st.derivedIdx = map[*SelectStmt]map[string]map[string][]int{}
+		}
+		byCols := st.derivedIdx[src.derivedStmt]
+		if byCols == nil {
+			byCols = map[string]map[string][]int{}
+			st.derivedIdx[src.derivedStmt] = byCols
+		}
+		buckets = byCols[colsetKey]
+		if buckets == nil {
+			buckets = buildDerivedIndex(src.rows, ords)
+			byCols[colsetKey] = buckets
+		}
+	default:
+		buckets = buildDerivedIndex(src.rows, ords)
+	}
+
+	vals := make([]Value, len(ords))
+	for i, ord := range ords {
+		v, err := ctx.eval(avail[ord])
+		if err != nil {
+			return nil, false // fall back to scan; the error resurfaces there
+		}
+		if v.IsNull() {
+			return []int{}, true
+		}
+		vals[i] = v
+	}
+	db.stats.IndexLookups++
+	return buckets[encodeKey(vals)], true
+}
+
+func buildDerivedIndex(rows [][]Value, ords []int) map[string][]int {
+	buckets := make(map[string][]int, len(rows))
+	vals := make([]Value, len(ords))
+	for id, row := range rows {
+		for i, o := range ords {
+			vals[i] = row[o]
+		}
+		k := encodeKey(vals)
+		buckets[k] = append(buckets[k], id)
+	}
+	return buckets
+}
+
+// bestIndex returns the index of t covering the largest subset of the
+// available equality columns, or nil.
+func bestIndex(t *Table, available []int) *index {
+	avail := map[int]bool{}
+	for _, o := range available {
+		avail[o] = true
+	}
+	var best *index
+	var names []string
+	for n := range t.indexes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ix := t.indexes[n]
+		ok := true
+		for _, c := range ix.columns {
+			if !avail[c] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if best == nil || len(ix.columns) > len(best.columns) {
+			best = ix
+		}
+	}
+	return best
+}
+
+// evaluableNow reports whether e references only bindings that are already
+// bound: earlier FROM items in this scope or anything in outer scopes.
+// Unqualified column references and subqueries are conservatively rejected.
+func evaluableNow(e Expr, boundBefore []*fromSource, outer *env) bool {
+	boundNames := map[string]bool{}
+	for _, s := range boundBefore {
+		boundNames[s.binding.name] = true
+	}
+	for sc := outer; sc != nil; sc = sc.parent {
+		for _, b := range sc.bindings {
+			boundNames[b.name] = true
+		}
+	}
+	ok := true
+	var walk func(Expr)
+	walk = func(e Expr) {
+		if !ok || e == nil {
+			return
+		}
+		switch x := e.(type) {
+		case *Literal, *Param:
+		case *ColumnRef:
+			if x.Table == "" || !boundNames[strings.ToLower(x.Table)] {
+				ok = false
+			}
+		case *BinaryExpr:
+			walk(x.Left)
+			walk(x.Right)
+		case *UnaryExpr:
+			walk(x.Operand)
+		case *IsNullExpr:
+			walk(x.Operand)
+		case *FuncExpr:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case *CaseExpr:
+			for _, w := range x.Whens {
+				walk(w.Cond)
+				walk(w.Then)
+			}
+			walk(x.Else)
+		default:
+			// Subqueries and anything else: not evaluable for index probing.
+			ok = false
+		}
+	}
+	walk(e)
+	return ok
+}
+
+// splitAnd flattens a conjunction into its conjuncts.
+func splitAnd(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if be, ok := e.(*BinaryExpr); ok && be.Op == "AND" {
+		return append(splitAnd(be.Left), splitAnd(be.Right)...)
+	}
+	return []Expr{e}
+}
+
+// aggCtx evaluates expressions in a grouped context: aggregate function
+// calls are computed over the group's snapshots, everything else is
+// evaluated against the representative row.
+type aggCtx struct {
+	ctx       *evalCtx
+	sources   []*fromSource
+	snapshots [][][]Value
+}
+
+func (a *aggCtx) eval(e Expr) (Value, error) {
+	switch x := e.(type) {
+	case *FuncExpr:
+		if aggregateFuncs[x.Name] {
+			return a.evalAggregate(x)
+		}
+	case *BinaryExpr:
+		if hasAggregate(x) {
+			l, err := a.eval(x.Left)
+			if err != nil {
+				return Null, err
+			}
+			r, err := a.eval(x.Right)
+			if err != nil {
+				return Null, err
+			}
+			return a.ctx.evalBinary(&BinaryExpr{Op: x.Op, Left: &Literal{Value: l}, Right: &Literal{Value: r}})
+		}
+	case *UnaryExpr:
+		if hasAggregate(x) {
+			v, err := a.eval(x.Operand)
+			if err != nil {
+				return Null, err
+			}
+			return a.ctx.eval(&UnaryExpr{Op: x.Op, Operand: &Literal{Value: v}})
+		}
+	case *IsNullExpr:
+		if hasAggregate(x) {
+			v, err := a.eval(x.Operand)
+			if err != nil {
+				return Null, err
+			}
+			return a.ctx.eval(&IsNullExpr{Operand: &Literal{Value: v}, Negated: x.Negated})
+		}
+	case *InExpr:
+		if hasAggregate(x.Operand) {
+			v, err := a.eval(x.Operand)
+			if err != nil {
+				return Null, err
+			}
+			return a.ctx.eval(&InExpr{Operand: &Literal{Value: v}, List: x.List, Subquery: x.Subquery, Negated: x.Negated})
+		}
+	case *CaseExpr:
+		if hasAggregate(x) {
+			for _, w := range x.Whens {
+				cond, err := a.eval(w.Cond)
+				if err != nil {
+					return Null, err
+				}
+				if b, known := cond.AsBool(); known && b {
+					return a.eval(w.Then)
+				}
+			}
+			if x.Else != nil {
+				return a.eval(x.Else)
+			}
+			return Null, nil
+		}
+	}
+	return a.ctx.eval(e)
+}
+
+func (a *aggCtx) evalAggregate(x *FuncExpr) (Value, error) {
+	restore := make([][]Value, len(a.sources))
+	for i, s := range a.sources {
+		restore[i] = s.binding.row
+	}
+	defer func() {
+		for i, s := range a.sources {
+			s.binding.row = restore[i]
+		}
+	}()
+
+	var count int64
+	var sum float64
+	allInt := true
+	var minV, maxV Value
+	haveVal := false
+	var distinctSeen map[string]bool
+	if x.Distinct {
+		distinctSeen = map[string]bool{}
+	}
+
+	for _, snap := range a.snapshots {
+		for i, s := range a.sources {
+			s.binding.row = snap[i]
+		}
+		if x.Star {
+			count++
+			continue
+		}
+		if len(x.Args) != 1 {
+			return Null, fmt.Errorf("sql: %s expects one argument", x.Name)
+		}
+		v, err := a.ctx.eval(x.Args[0])
+		if err != nil {
+			return Null, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if x.Distinct {
+			k := encodeKey([]Value{v})
+			if distinctSeen[k] {
+				continue
+			}
+			distinctSeen[k] = true
+		}
+		count++
+		if f, ok := v.AsFloat(); ok {
+			sum += f
+			if v.Kind() != KindInt {
+				allInt = false
+			}
+		} else if x.Name == "SUM" || x.Name == "AVG" {
+			return Null, fmt.Errorf("sql: %s of non-numeric value", x.Name)
+		}
+		if !haveVal {
+			minV, maxV = v, v
+			haveVal = true
+		} else {
+			if Compare(v, minV) < 0 {
+				minV = v
+			}
+			if Compare(v, maxV) > 0 {
+				maxV = v
+			}
+		}
+	}
+
+	switch x.Name {
+	case "COUNT":
+		return Int(count), nil
+	case "SUM":
+		if count == 0 {
+			return Null, nil
+		}
+		if allInt {
+			return Int(int64(sum)), nil
+		}
+		return Float(sum), nil
+	case "AVG":
+		if count == 0 {
+			return Null, nil
+		}
+		return Float(sum / float64(count)), nil
+	case "MIN":
+		if !haveVal {
+			return Null, nil
+		}
+		return minV, nil
+	case "MAX":
+		if !haveVal {
+			return Null, nil
+		}
+		return maxV, nil
+	}
+	return Null, fmt.Errorf("sql: unknown aggregate %s", x.Name)
+}

@@ -1,0 +1,530 @@
+package reldb
+
+import (
+	"strings"
+	"testing"
+)
+
+// fixture creates a small policy-shaped database.
+func fixture(t testing.TB, opts Options) *DB {
+	t.Helper()
+	db := NewWithOptions(opts)
+	stmts := []string{
+		`CREATE TABLE Policy (policy_id INTEGER NOT NULL, name VARCHAR(64), PRIMARY KEY (policy_id))`,
+		`CREATE TABLE Statement (policy_id INTEGER NOT NULL, statement_id INTEGER NOT NULL,
+			retention VARCHAR(32), consequence VARCHAR(255), PRIMARY KEY (policy_id, statement_id))`,
+		`CREATE TABLE Purpose (policy_id INTEGER NOT NULL, statement_id INTEGER NOT NULL,
+			purpose VARCHAR(32) NOT NULL, required VARCHAR(16) NOT NULL,
+			PRIMARY KEY (policy_id, statement_id, purpose))`,
+		`CREATE INDEX ix_statement_policy ON Statement (policy_id)`,
+		`CREATE INDEX ix_purpose_stmt ON Purpose (policy_id, statement_id)`,
+		`INSERT INTO Policy VALUES (1, 'volga'), (2, 'acme')`,
+		`INSERT INTO Statement VALUES (1, 1, 'stated-purpose', NULL), (1, 2, 'business-practices', 'recs'),
+			(2, 1, 'indefinitely', NULL)`,
+		`INSERT INTO Purpose VALUES
+			(1, 1, 'current', 'always'),
+			(1, 2, 'individual-decision', 'opt-in'),
+			(1, 2, 'contact', 'opt-in'),
+			(2, 1, 'telemarketing', 'always'),
+			(2, 1, 'current', 'always')`,
+	}
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			t.Fatalf("fixture %q: %v", s[:min(40, len(s))], err)
+		}
+	}
+	return db
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func queryStrings(t *testing.T, db *DB, sql string, params ...Value) [][]string {
+	t.Helper()
+	rows, err := db.Query(sql, params...)
+	if err != nil {
+		t.Fatalf("Query(%s): %v", sql, err)
+	}
+	out := make([][]string, len(rows.Data))
+	for i, r := range rows.Data {
+		out[i] = make([]string, len(r))
+		for j, v := range r {
+			if v.IsNull() {
+				out[i][j] = "NULL"
+			} else {
+				out[i][j] = v.AsString()
+			}
+		}
+	}
+	return out
+}
+
+func flat(rows [][]string) string {
+	var parts []string
+	for _, r := range rows {
+		parts = append(parts, strings.Join(r, ","))
+	}
+	return strings.Join(parts, ";")
+}
+
+func TestSelectSimple(t *testing.T) {
+	db := fixture(t, Options{})
+	got := queryStrings(t, db, "SELECT name FROM Policy WHERE policy_id = 2")
+	if flat(got) != "acme" {
+		t.Errorf("got %q", flat(got))
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	db := fixture(t, Options{})
+	rows, err := db.Query("SELECT * FROM Policy ORDER BY policy_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Columns) != 2 || rows.Columns[0] != "policy_id" {
+		t.Errorf("columns: %v", rows.Columns)
+	}
+	if len(rows.Data) != 2 {
+		t.Errorf("rows: %d", len(rows.Data))
+	}
+}
+
+func TestJoinTwoTables(t *testing.T) {
+	db := fixture(t, Options{})
+	got := queryStrings(t, db, `SELECT p.name, s.retention FROM Policy p, Statement s
+		WHERE p.policy_id = s.policy_id AND s.statement_id = 1 ORDER BY p.name`)
+	if flat(got) != "acme,indefinitely;volga,stated-purpose" {
+		t.Errorf("got %q", flat(got))
+	}
+}
+
+func TestCorrelatedExists(t *testing.T) {
+	db := fixture(t, Options{})
+	// Policies with a telemarketing purpose.
+	got := queryStrings(t, db, `SELECT name FROM Policy WHERE EXISTS (
+		SELECT * FROM Purpose WHERE Purpose.policy_id = Policy.policy_id
+		AND Purpose.purpose = 'telemarketing')`)
+	if flat(got) != "acme" {
+		t.Errorf("got %q", flat(got))
+	}
+	// Policies with NO telemarketing purpose.
+	got = queryStrings(t, db, `SELECT name FROM Policy WHERE NOT EXISTS (
+		SELECT * FROM Purpose WHERE Purpose.policy_id = Policy.policy_id
+		AND Purpose.purpose = 'telemarketing')`)
+	if flat(got) != "volga" {
+		t.Errorf("got %q", flat(got))
+	}
+}
+
+func TestNestedExistsThreeLevels(t *testing.T) {
+	db := fixture(t, Options{})
+	// The canonical shape of a translated APPEL rule.
+	sql := `SELECT 'block' FROM Policy WHERE Policy.policy_id = 1 AND EXISTS (
+		SELECT * FROM Statement WHERE Statement.policy_id = Policy.policy_id AND EXISTS (
+			SELECT * FROM Purpose WHERE Purpose.policy_id = Statement.policy_id
+			AND Purpose.statement_id = Statement.statement_id
+			AND (Purpose.purpose = 'admin' OR Purpose.purpose = 'contact' AND Purpose.required = 'always')))`
+	got := queryStrings(t, db, sql)
+	if len(got) != 0 {
+		t.Errorf("rule should not fire (contact is opt-in): %v", got)
+	}
+	// Flip: required opt-in matches.
+	sql2 := strings.ReplaceAll(sql, "'always'", "'opt-in'")
+	got = queryStrings(t, db, sql2)
+	if flat(got) != "block" {
+		t.Errorf("rule should fire: %v", got)
+	}
+}
+
+func TestDerivedTable(t *testing.T) {
+	db := fixture(t, Options{})
+	got := queryStrings(t, db, `SELECT p.name FROM (SELECT 1 AS pid) AS ap, Policy p
+		WHERE p.policy_id = ap.pid`)
+	if flat(got) != "volga" {
+		t.Errorf("got %q", flat(got))
+	}
+}
+
+func TestInListAndSubquery(t *testing.T) {
+	db := fixture(t, Options{})
+	got := queryStrings(t, db, `SELECT DISTINCT purpose FROM Purpose
+		WHERE purpose IN ('current', 'contact') ORDER BY purpose`)
+	if flat(got) != "contact;current" {
+		t.Errorf("got %q", flat(got))
+	}
+	got = queryStrings(t, db, `SELECT name FROM Policy WHERE policy_id IN (
+		SELECT policy_id FROM Purpose WHERE purpose = 'contact')`)
+	if flat(got) != "volga" {
+		t.Errorf("got %q", flat(got))
+	}
+	got = queryStrings(t, db, `SELECT name FROM Policy WHERE policy_id NOT IN (
+		SELECT policy_id FROM Purpose WHERE purpose = 'contact')`)
+	if flat(got) != "acme" {
+		t.Errorf("got %q", flat(got))
+	}
+}
+
+func TestLike(t *testing.T) {
+	db := fixture(t, Options{})
+	got := queryStrings(t, db, `SELECT DISTINCT purpose FROM Purpose WHERE purpose LIKE 'c%' ORDER BY purpose`)
+	if flat(got) != "contact;current" {
+		t.Errorf("got %q", flat(got))
+	}
+	got = queryStrings(t, db, `SELECT name FROM Policy WHERE name LIKE '_olga'`)
+	if flat(got) != "volga" {
+		t.Errorf("got %q", flat(got))
+	}
+	got = queryStrings(t, db, `SELECT name FROM Policy WHERE name NOT LIKE 'v%' ORDER BY name`)
+	if flat(got) != "acme" {
+		t.Errorf("got %q", flat(got))
+	}
+}
+
+func TestLikeMatcher(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"", "", true},
+		{"", "%", true},
+		{"abc", "abc", true},
+		{"abc", "a%", true},
+		{"abc", "%c", true},
+		{"abc", "%b%", true},
+		{"abc", "a_c", true},
+		{"abc", "a_b", false},
+		{"abc", "%%", true},
+		{"abc", "", false},
+		{"#user.home-info.postal.street", "#user.home-info.%", true},
+		{"#user.home-info", "#user.home-info.%", false},
+		{"aaab", "a%ab", true},
+		{"mississippi", "%iss%ppi", true},
+		{"mississippi", "%iss%ippi%x", false},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.p); got != c.want {
+			t.Errorf("likeMatch(%q,%q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	db := fixture(t, Options{})
+	// consequence IS NULL
+	got := queryStrings(t, db, `SELECT policy_id, statement_id FROM Statement
+		WHERE consequence IS NULL ORDER BY policy_id, statement_id`)
+	if flat(got) != "1,1;2,1" {
+		t.Errorf("got %q", flat(got))
+	}
+	got = queryStrings(t, db, `SELECT statement_id FROM Statement WHERE consequence IS NOT NULL`)
+	if flat(got) != "2" {
+		t.Errorf("got %q", flat(got))
+	}
+	// NULL = anything is not true.
+	got = queryStrings(t, db, `SELECT statement_id FROM Statement WHERE consequence = 'recs' OR consequence = 'nope'`)
+	if flat(got) != "2" {
+		t.Errorf("got %q", flat(got))
+	}
+	// NOT (NULL) is NULL, so the row is filtered.
+	got = queryStrings(t, db, `SELECT COUNT(*) FROM Statement WHERE NOT (consequence = 'recs')`)
+	if flat(got) != "0" {
+		t.Errorf("NOT NULL-comparison should filter unknowns, got %q", flat(got))
+	}
+	// NOT IN with NULL in the list is never true.
+	got = queryStrings(t, db, `SELECT COUNT(*) FROM Policy WHERE policy_id NOT IN (2, NULL)`)
+	if flat(got) != "0" {
+		t.Errorf("NOT IN with NULL, got %q", flat(got))
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := fixture(t, Options{})
+	got := queryStrings(t, db, `SELECT COUNT(*), COUNT(consequence), MIN(statement_id), MAX(statement_id) FROM Statement`)
+	if flat(got) != "3,1,1,2" {
+		t.Errorf("got %q", flat(got))
+	}
+	got = queryStrings(t, db, `SELECT SUM(statement_id), AVG(statement_id) FROM Statement WHERE policy_id = 1`)
+	if flat(got) != "3,1.5" {
+		t.Errorf("got %q", flat(got))
+	}
+	// Aggregate over empty input yields one row.
+	got = queryStrings(t, db, `SELECT COUNT(*), MAX(statement_id) FROM Statement WHERE policy_id = 99`)
+	if flat(got) != "0,NULL" {
+		t.Errorf("got %q", flat(got))
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	db := fixture(t, Options{})
+	got := queryStrings(t, db, `SELECT policy_id, COUNT(*) FROM Purpose
+		GROUP BY policy_id ORDER BY policy_id`)
+	if flat(got) != "1,3;2,2" {
+		t.Errorf("got %q", flat(got))
+	}
+	got = queryStrings(t, db, `SELECT policy_id, COUNT(*) FROM Purpose
+		GROUP BY policy_id HAVING COUNT(*) > 2`)
+	if flat(got) != "1,3" {
+		t.Errorf("got %q", flat(got))
+	}
+	// Group by with join.
+	got = queryStrings(t, db, `SELECT p.name, COUNT(*) FROM Policy p, Purpose u
+		WHERE p.policy_id = u.policy_id GROUP BY p.name ORDER BY p.name`)
+	if flat(got) != "acme,2;volga,3" {
+		t.Errorf("got %q", flat(got))
+	}
+}
+
+func TestOrderByNullsAndDesc(t *testing.T) {
+	db := fixture(t, Options{})
+	got := queryStrings(t, db, `SELECT consequence FROM Statement ORDER BY consequence`)
+	if flat(got) != "NULL;NULL;recs" {
+		t.Errorf("nulls first: %q", flat(got))
+	}
+	got = queryStrings(t, db, `SELECT statement_id FROM Statement WHERE policy_id = 1 ORDER BY statement_id DESC`)
+	if flat(got) != "2;1" {
+		t.Errorf("desc: %q", flat(got))
+	}
+}
+
+func TestDistinctAndLimit(t *testing.T) {
+	db := fixture(t, Options{})
+	got := queryStrings(t, db, `SELECT DISTINCT required FROM Purpose ORDER BY required`)
+	if flat(got) != "always;opt-in" {
+		t.Errorf("got %q", flat(got))
+	}
+	got = queryStrings(t, db, `SELECT purpose FROM Purpose ORDER BY purpose LIMIT 2`)
+	if len(got) != 2 {
+		t.Errorf("limit: %d rows", len(got))
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	db := fixture(t, Options{})
+	n, err := db.Exec(`UPDATE Purpose SET required = 'opt-out' WHERE purpose = 'contact'`)
+	if err != nil || n != 1 {
+		t.Fatalf("update: %d, %v", n, err)
+	}
+	got := queryStrings(t, db, `SELECT required FROM Purpose WHERE purpose = 'contact'`)
+	if flat(got) != "opt-out" {
+		t.Errorf("after update: %q", flat(got))
+	}
+	n, err = db.Exec(`DELETE FROM Purpose WHERE policy_id = 2`)
+	if err != nil || n != 2 {
+		t.Fatalf("delete: %d, %v", n, err)
+	}
+	got = queryStrings(t, db, `SELECT COUNT(*) FROM Purpose`)
+	if flat(got) != "3" {
+		t.Errorf("after delete: %q", flat(got))
+	}
+	// Index still consistent after delete: probe by key.
+	got = queryStrings(t, db, `SELECT COUNT(*) FROM Purpose WHERE policy_id = 2 AND statement_id = 1`)
+	if flat(got) != "0" {
+		t.Errorf("index after delete: %q", flat(got))
+	}
+}
+
+func TestPrimaryKeyViolation(t *testing.T) {
+	db := fixture(t, Options{})
+	if _, err := db.Exec(`INSERT INTO Policy VALUES (1, 'dup')`); err == nil {
+		t.Error("expected duplicate key error")
+	}
+	// Original row unharmed.
+	got := queryStrings(t, db, `SELECT name FROM Policy WHERE policy_id = 1`)
+	if flat(got) != "volga" {
+		t.Errorf("got %q", flat(got))
+	}
+}
+
+func TestNotNullViolation(t *testing.T) {
+	db := fixture(t, Options{})
+	if _, err := db.Exec(`INSERT INTO Purpose VALUES (9, 9, NULL, 'always')`); err == nil {
+		t.Error("expected NOT NULL violation")
+	}
+}
+
+func TestTypeCoercionOnInsert(t *testing.T) {
+	db := New()
+	db.MustExec(`CREATE TABLE t (a INTEGER, b VARCHAR(10))`)
+	db.MustExec(`INSERT INTO t VALUES ('7', 42)`)
+	got := queryStrings(t, db, `SELECT a + 1, b || '!' FROM t`)
+	if flat(got) != "8,42!" {
+		t.Errorf("got %q", flat(got))
+	}
+	if _, err := db.Exec(`INSERT INTO t VALUES ('xyz', 'ok')`); err == nil {
+		t.Error("expected coercion failure for non-numeric string into INTEGER")
+	}
+}
+
+func TestParams(t *testing.T) {
+	db := fixture(t, Options{})
+	got := queryStrings(t, db, `SELECT name FROM Policy WHERE policy_id = ?`, Int(2))
+	if flat(got) != "acme" {
+		t.Errorf("got %q", flat(got))
+	}
+	if _, err := db.Query(`SELECT * FROM Policy WHERE policy_id = ?`); err == nil {
+		t.Error("expected unbound parameter error")
+	}
+}
+
+func TestIndexUsage(t *testing.T) {
+	db := fixture(t, Options{})
+	db.ResetStats()
+	// Point query on PK should use the index, not scan.
+	if _, err := db.Query(`SELECT * FROM Purpose WHERE Purpose.policy_id = 1 AND Purpose.statement_id = 2`); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.IndexLookups == 0 {
+		t.Error("expected an index lookup")
+	}
+	if st.RowsScanned != 0 {
+		t.Errorf("expected no scanned rows, got %d", st.RowsScanned)
+	}
+
+	// With indexes disabled, the same query scans.
+	db2 := fixture(t, Options{DisableIndexes: true})
+	db2.ResetStats()
+	if _, err := db2.Query(`SELECT * FROM Purpose WHERE Purpose.policy_id = 1 AND Purpose.statement_id = 2`); err != nil {
+		t.Fatal(err)
+	}
+	st2 := db2.Stats()
+	if st2.IndexLookups != 0 || st2.RowsScanned == 0 {
+		t.Errorf("disabled indexes: %+v", st2)
+	}
+}
+
+func TestCorrelatedIndexedJoin(t *testing.T) {
+	db := fixture(t, Options{})
+	db.ResetStats()
+	got := queryStrings(t, db, `SELECT COUNT(*) FROM Statement s WHERE EXISTS (
+		SELECT * FROM Purpose WHERE Purpose.policy_id = s.policy_id
+		AND Purpose.statement_id = s.statement_id AND Purpose.required = 'opt-in')`)
+	if flat(got) != "1" {
+		t.Errorf("got %q", flat(got))
+	}
+	if db.Stats().IndexLookups == 0 {
+		t.Error("correlated subquery should probe the Purpose index")
+	}
+}
+
+func TestQueryExistsEarlyStop(t *testing.T) {
+	db := fixture(t, Options{})
+	ok, err := db.QueryExists(`SELECT 'block' FROM Purpose WHERE required = 'always'`)
+	if err != nil || !ok {
+		t.Fatalf("exists: %v %v", ok, err)
+	}
+	ok, err = db.QueryExists(`SELECT 'block' FROM Purpose WHERE required = 'never'`)
+	if err != nil || ok {
+		t.Fatalf("not exists: %v %v", ok, err)
+	}
+}
+
+func TestScalarSubquery(t *testing.T) {
+	db := fixture(t, Options{})
+	got := queryStrings(t, db, `SELECT (SELECT MAX(statement_id) FROM Statement WHERE policy_id = Policy.policy_id)
+		FROM Policy ORDER BY policy_id`)
+	if flat(got) != "2;1" {
+		t.Errorf("got %q", flat(got))
+	}
+	if _, err := db.Query(`SELECT (SELECT statement_id FROM Statement) FROM Policy`); err == nil {
+		t.Error("expected multi-row scalar subquery error")
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	db := fixture(t, Options{})
+	cases := []string{
+		`SELECT * FROM NoSuchTable`,
+		`SELECT nosuchcol FROM Policy`,
+		`SELECT Policy.nosuch FROM Policy`,
+		`SELECT x.name FROM Policy`,
+		`SELECT * FROM Policy p, Policy p`,
+		`SELECT name, COUNT(*) FROM Policy`, // mixing non-grouped column is tolerated? No: name not in GROUP BY but we take representative row — verify it at least runs or errors consistently
+	}
+	for _, sql := range cases[:5] {
+		if _, err := db.Query(sql); err == nil {
+			t.Errorf("Query(%q): expected error", sql)
+		}
+	}
+	if _, err := db.Exec(`INSERT INTO Policy (policy_id) VALUES (1, 2)`); err == nil {
+		t.Error("expected arity error")
+	}
+	if _, err := db.Exec(`CREATE TABLE Policy (a INTEGER)`); err == nil {
+		t.Error("expected duplicate table error")
+	}
+	if _, err := db.Exec(`DROP TABLE NoSuch`); err == nil {
+		t.Error("expected drop error")
+	}
+	if _, err := db.Exec(`CREATE INDEX ix ON NoSuch (a)`); err == nil {
+		t.Error("expected index on missing table error")
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	db := fixture(t, Options{})
+	if _, err := db.Exec(`DROP TABLE Purpose`); err != nil {
+		t.Fatal(err)
+	}
+	if db.HasTable("Purpose") {
+		t.Error("table still present")
+	}
+	if _, err := db.Query(`SELECT * FROM Purpose`); err == nil {
+		t.Error("expected missing table error")
+	}
+}
+
+func TestCaseExpression(t *testing.T) {
+	db := fixture(t, Options{})
+	got := queryStrings(t, db, `SELECT name, CASE WHEN policy_id = 1 THEN 'first' ELSE 'rest' END FROM Policy ORDER BY policy_id`)
+	if flat(got) != "volga,first;acme,rest" {
+		t.Errorf("got %q", flat(got))
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	db := New()
+	db.MustExec(`CREATE TABLE t (s VARCHAR(20), n INTEGER)`)
+	db.MustExec(`INSERT INTO t VALUES ('Hello', -4), (NULL, 2)`)
+	got := queryStrings(t, db, `SELECT UPPER(s), LOWER(s), LENGTH(s), ABS(n), COALESCE(s, 'dflt'), SUBSTR(s, 2, 3) FROM t WHERE s IS NOT NULL`)
+	if flat(got) != "HELLO,hello,5,4,Hello,ell" {
+		t.Errorf("got %q", flat(got))
+	}
+	got = queryStrings(t, db, `SELECT COALESCE(s, 'dflt'), UPPER(s) FROM t WHERE s IS NULL`)
+	if flat(got) != "dflt,NULL" {
+		t.Errorf("got %q", flat(got))
+	}
+}
+
+func TestSelectWithoutFrom(t *testing.T) {
+	db := New()
+	got := queryStrings(t, db, `SELECT 1 + 2, 'x' || 'y'`)
+	if flat(got) != "3,xy" {
+		t.Errorf("got %q", flat(got))
+	}
+}
+
+func TestConcurrentReads(t *testing.T) {
+	db := fixture(t, Options{})
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 50; j++ {
+				_, err := db.Query(`SELECT COUNT(*) FROM Purpose WHERE policy_id = 1`)
+				if err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

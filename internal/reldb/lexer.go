@@ -1,0 +1,187 @@
+package reldb
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies SQL tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords are uppercased; identifiers keep original case
+	pos  int    // byte offset in the input, for error messages
+}
+
+// sqlKeywords is the set of reserved words recognized by the parser. A bare
+// identifier matching one of these (case-insensitively) lexes as tokKeyword.
+var sqlKeywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "EXISTS": true, "IN": true, "LIKE": true, "IS": true,
+	"NULL": true, "AS": true, "INSERT": true, "INTO": true, "VALUES": true,
+	"CREATE": true, "TABLE": true, "INDEX": true, "UNIQUE": true, "ON": true,
+	"PRIMARY": true, "KEY": true, "DROP": true, "DELETE": true, "UPDATE": true,
+	"SET": true, "GROUP": true, "BY": true, "HAVING": true, "ORDER": true,
+	"ASC": true, "DESC": true, "LIMIT": true, "DISTINCT": true, "ALL": true,
+	"TRUE": true, "FALSE": true, "INTEGER": true, "INT": true, "BIGINT": true,
+	"DOUBLE": true, "FLOAT": true, "REAL": true, "VARCHAR": true, "TEXT": true,
+	"CHAR": true, "BOOLEAN": true, "BETWEEN": true, "CASE": true, "WHEN": true,
+	"THEN": true, "ELSE": true, "END": true, "UNION": true, "FETCH": true,
+	"FIRST": true, "ROWS": true, "ONLY": true,
+}
+
+// lexer turns a SQL string into tokens.
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) errorf(pos int, format string, args ...any) error {
+	line, col := 1, 1
+	for i := 0; i < pos && i < len(l.src); i++ {
+		if l.src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Errorf("sql: %s at line %d column %d", fmt.Sprintf(format, args...), line, col)
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, pos: l.pos}, nil
+
+scan:
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '\'':
+		// String literal with '' escaping.
+		var b strings.Builder
+		l.pos++
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errorf(start, "unterminated string literal")
+			}
+			if l.src[l.pos] == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					b.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		return token{kind: tokString, text: b.String(), pos: start}, nil
+
+	case c == '"':
+		// Quoted identifier.
+		l.pos++
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errorf(start, "unterminated quoted identifier")
+			}
+			if l.src[l.pos] == '"' {
+				l.pos++
+				break
+			}
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		return token{kind: tokIdent, text: b.String(), pos: start}, nil
+
+	case c >= '0' && c <= '9', c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+		for l.pos < len(l.src) {
+			c := l.src[l.pos]
+			if (c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+				((c == '+' || c == '-') && (l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E')) {
+				l.pos++
+				continue
+			}
+			break
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+
+	case isIdentStart(rune(c)):
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		upper := strings.ToUpper(word)
+		if sqlKeywords[upper] {
+			return token{kind: tokKeyword, text: upper, pos: start}, nil
+		}
+		return token{kind: tokIdent, text: word, pos: start}, nil
+
+	default:
+		// Multi-char operators first.
+		two := ""
+		if l.pos+1 < len(l.src) {
+			two = l.src[l.pos : l.pos+2]
+		}
+		switch two {
+		case "<>", "!=", "<=", ">=", "||":
+			l.pos += 2
+			return token{kind: tokSymbol, text: two, pos: start}, nil
+		}
+		switch c {
+		case '(', ')', ',', '=', '<', '>', '+', '-', '*', '/', '.', ';', '?':
+			l.pos++
+			return token{kind: tokSymbol, text: string(c), pos: start}, nil
+		}
+		return token{}, l.errorf(start, "unexpected character %q", c)
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	l := &lexer{src: src}
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

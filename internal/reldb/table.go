@@ -1,0 +1,254 @@
+package reldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// index is a hash index over one or more columns of a table. It maps the
+// encoded key of the indexed column values to the row ids holding that key.
+type index struct {
+	name    string
+	columns []int // ordinals into the table schema
+	unique  bool
+	buckets map[string][]int
+}
+
+func (ix *index) keyForRow(row []Value) string {
+	vals := make([]Value, len(ix.columns))
+	for i, c := range ix.columns {
+		vals[i] = row[c]
+	}
+	return encodeKey(vals)
+}
+
+// Table is a heap of rows plus any number of hash indexes. Deleted rows are
+// tombstoned (nil) and skipped during scans; row ids are stable.
+type Table struct {
+	schema  *TableSchema
+	rows    [][]Value
+	live    int
+	indexes map[string]*index // by lowercase index name
+	// version increments on every mutation; caches over the table's
+	// contents (materialized views) key on it.
+	version int64
+}
+
+func newTable(schema *TableSchema) *Table {
+	t := &Table{schema: schema, indexes: map[string]*index{}}
+	if len(schema.PrimaryKey) > 0 {
+		ords, err := schema.ordinals(schema.PrimaryKey)
+		if err != nil {
+			// NewTableSchema validated this already.
+			panic(err)
+		}
+		t.indexes["__pk"] = &index{name: "__pk", columns: ords, unique: true, buckets: map[string][]int{}}
+	}
+	return t
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *TableSchema { return t.schema }
+
+// RowCount returns the number of live rows.
+func (t *Table) RowCount() int { return t.live }
+
+// coerce converts v to the column's declared type where a lossless
+// conversion exists, otherwise returns an error. NULL passes through if the
+// column is nullable.
+func coerce(col Column, v Value) (Value, error) {
+	if v.IsNull() {
+		if !col.Nullable {
+			return Null, fmt.Errorf("reldb: column %s is NOT NULL", col.Name)
+		}
+		return v, nil
+	}
+	switch col.Type {
+	case KindInt:
+		if n, ok := v.AsInt(); ok {
+			return Int(n), nil
+		}
+	case KindFloat:
+		if f, ok := v.AsFloat(); ok {
+			return Float(f), nil
+		}
+	case KindString:
+		return Str(v.AsString()), nil
+	case KindBool:
+		if b, ok := v.AsBool(); ok {
+			return Bool(b), nil
+		}
+	}
+	return Null, fmt.Errorf("reldb: cannot store %s into %s column %s", v.Kind(), col.Type, col.Name)
+}
+
+// insert validates, coerces, and appends a row, maintaining all indexes.
+func (t *Table) insert(row []Value) error {
+	if len(row) != len(t.schema.Columns) {
+		return fmt.Errorf("reldb: table %s: got %d values, want %d", t.schema.Name, len(row), len(t.schema.Columns))
+	}
+	stored := make([]Value, len(row))
+	for i, v := range row {
+		cv, err := coerce(t.schema.Columns[i], v)
+		if err != nil {
+			return fmt.Errorf("%w (table %s)", err, t.schema.Name)
+		}
+		stored[i] = cv
+	}
+	for _, ix := range t.indexes {
+		if !ix.unique {
+			continue
+		}
+		key := ix.keyForRow(stored)
+		if ids := ix.buckets[key]; len(ids) > 0 {
+			return fmt.Errorf("reldb: table %s: duplicate key for index %s", t.schema.Name, ix.name)
+		}
+	}
+	id := len(t.rows)
+	t.rows = append(t.rows, stored)
+	t.live++
+	t.version++
+	for _, ix := range t.indexes {
+		key := ix.keyForRow(stored)
+		ix.buckets[key] = append(ix.buckets[key], id)
+	}
+	return nil
+}
+
+// delete tombstones the row with the given id.
+func (t *Table) delete(id int) {
+	row := t.rows[id]
+	if row == nil {
+		return
+	}
+	for _, ix := range t.indexes {
+		key := ix.keyForRow(row)
+		ids := ix.buckets[key]
+		for i, rid := range ids {
+			if rid == id {
+				ix.buckets[key] = append(ids[:i], ids[i+1:]...)
+				break
+			}
+		}
+		if len(ix.buckets[key]) == 0 {
+			delete(ix.buckets, key)
+		}
+	}
+	t.rows[id] = nil
+	t.live--
+	t.version++
+}
+
+// update replaces the row with the given id, maintaining indexes and
+// re-checking uniqueness.
+func (t *Table) update(id int, row []Value) error {
+	old := t.rows[id]
+	if old == nil {
+		return fmt.Errorf("reldb: update of deleted row %d", id)
+	}
+	stored := make([]Value, len(row))
+	for i, v := range row {
+		cv, err := coerce(t.schema.Columns[i], v)
+		if err != nil {
+			return err
+		}
+		stored[i] = cv
+	}
+	for _, ix := range t.indexes {
+		if !ix.unique {
+			continue
+		}
+		newKey := ix.keyForRow(stored)
+		if newKey == ix.keyForRow(old) {
+			continue
+		}
+		if len(ix.buckets[newKey]) > 0 {
+			return fmt.Errorf("reldb: table %s: duplicate key for index %s", t.schema.Name, ix.name)
+		}
+	}
+	t.delete(id)
+	// delete decremented live and tombstoned; re-insert at same id.
+	t.rows[id] = stored
+	t.live++
+	for _, ix := range t.indexes {
+		key := ix.keyForRow(stored)
+		ix.buckets[key] = append(ix.buckets[key], id)
+	}
+	return nil
+}
+
+// addIndex builds a named hash index over the given columns.
+func (t *Table) addIndex(name string, columns []string, unique bool) error {
+	key := strings.ToLower(name)
+	if _, dup := t.indexes[key]; dup {
+		return fmt.Errorf("reldb: index %s already exists on table %s", name, t.schema.Name)
+	}
+	ords, err := t.schema.ordinals(columns)
+	if err != nil {
+		return err
+	}
+	ix := &index{name: name, columns: ords, unique: unique, buckets: map[string][]int{}}
+	for id, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		k := ix.keyForRow(row)
+		if unique && len(ix.buckets[k]) > 0 {
+			return fmt.Errorf("reldb: cannot create unique index %s: duplicate key", name)
+		}
+		ix.buckets[k] = append(ix.buckets[k], id)
+	}
+	t.indexes[key] = ix
+	return nil
+}
+
+// findIndex returns an index whose leading columns are exactly the given
+// ordinals (in any order), or nil. Used by the executor to turn equality
+// predicates into hash lookups.
+func (t *Table) findIndex(ords []int) *index {
+	want := append([]int(nil), ords...)
+	sort.Ints(want)
+	var names []string
+	for n := range t.indexes {
+		names = append(names, n)
+	}
+	sort.Strings(names) // deterministic choice
+	for _, n := range names {
+		ix := t.indexes[n]
+		if len(ix.columns) != len(want) {
+			continue
+		}
+		have := append([]int(nil), ix.columns...)
+		sort.Ints(have)
+		match := true
+		for i := range have {
+			if have[i] != want[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return ix
+		}
+	}
+	return nil
+}
+
+// lookup returns the ids of rows whose indexed columns equal the given
+// values, using index ix. The values must be ordered to match ix.columns.
+func (t *Table) lookup(ix *index, vals []Value) []int {
+	return ix.buckets[encodeKey(vals)]
+}
+
+// scan calls fn for every live row until fn returns false.
+func (t *Table) scan(fn func(id int, row []Value) bool) {
+	for id, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		if !fn(id, row) {
+			return
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Package reldb is an embedded, in-memory relational database engine with a
+// SQL subset sufficient to execute the queries that the P3P server-centric
+// architecture generates: CREATE TABLE / CREATE INDEX / INSERT / UPDATE /
+// DELETE / SELECT with correlated EXISTS subqueries, AND/OR/NOT, IN, LIKE,
+// IS NULL, derived tables, aggregates, GROUP BY and ORDER BY.
+//
+// It stands in for the DB2 UDB 7.2 instance used in the paper's experiments
+// (see DESIGN.md, substitution table): the experiments exercise the shape of
+// the generated queries — index nested-loop joins driven by equality
+// predicates and nested EXISTS — which this engine executes with the same
+// plan structure.
+package reldb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime types a Value can hold.
+type Kind uint8
+
+// Value kinds. KindNull is the zero value so that the zero Value is NULL.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String names the kind as its SQL type.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INTEGER"
+	case KindFloat:
+		return "DOUBLE"
+	case KindString:
+		return "VARCHAR"
+	case KindBool:
+		return "BOOLEAN"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Value is a single SQL value. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// Int returns an INTEGER value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a DOUBLE value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// Str returns a VARCHAR value.
+func Str(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool returns a BOOLEAN value.
+func Bool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Kind reports the value's runtime type.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the value as int64. Floats are truncated; strings are
+// parsed. The second result is false if the conversion is impossible.
+func (v Value) AsInt() (int64, bool) {
+	switch v.kind {
+	case KindInt:
+		return v.i, true
+	case KindFloat:
+		return int64(v.f), true
+	case KindBool:
+		if v.b {
+			return 1, true
+		}
+		return 0, true
+	case KindString:
+		n, err := strconv.ParseInt(strings.TrimSpace(v.s), 10, 64)
+		return n, err == nil
+	}
+	return 0, false
+}
+
+// AsFloat returns the value as float64 where possible.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), true
+	case KindFloat:
+		return v.f, true
+	case KindString:
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
+		return f, err == nil
+	}
+	return 0, false
+}
+
+// AsString renders the value as a string. NULL renders as the empty string.
+func (v Value) AsString() string {
+	switch v.kind {
+	case KindNull:
+		return ""
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindBool:
+		if v.b {
+			return "TRUE"
+		}
+		return "FALSE"
+	}
+	return ""
+}
+
+// AsBool returns the value's truth per SQL three-valued logic flattened to
+// (value, known): NULL yields known=false.
+func (v Value) AsBool() (bool, bool) {
+	switch v.kind {
+	case KindBool:
+		return v.b, true
+	case KindInt:
+		return v.i != 0, true
+	case KindFloat:
+		return v.f != 0, true
+	case KindString:
+		return v.s != "", true
+	}
+	return false, false
+}
+
+// String implements fmt.Stringer; NULL prints as "NULL" and strings are
+// quoted, for debugging and table dumps.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindString:
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	default:
+		return v.AsString()
+	}
+}
+
+// Compare orders two non-NULL values. Numeric kinds compare numerically
+// (with int/float coercion); strings compare lexicographically; bools order
+// false < true. Comparing incompatible kinds (e.g. string vs int where the
+// string is not numeric) falls back to string comparison, which matches the
+// loose typing DB2-era CLI tools exhibited for our generated queries (all of
+// which are type-consistent anyway). Compare must not be called with NULLs;
+// use Equal/compareWithNull helpers in eval instead.
+func Compare(a, b Value) int {
+	if a.kind == KindNull || b.kind == KindNull {
+		panic("reldb: Compare called with NULL")
+	}
+	if isNumeric(a.kind) && isNumeric(b.kind) {
+		af, _ := a.AsFloat()
+		bf, _ := b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if a.kind == KindBool && b.kind == KindBool {
+		switch {
+		case !a.b && b.b:
+			return -1
+		case a.b && !b.b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(a.AsString(), b.AsString())
+}
+
+func isNumeric(k Kind) bool { return k == KindInt || k == KindFloat }
+
+// encodeKey produces a canonical byte encoding of a tuple of values for use
+// as a hash-index key. The encoding is injective for tuples of the same
+// arity: each component is prefixed by its kind tag and terminated by a 0
+// byte, with 0 bytes in strings escaped.
+func encodeKey(vals []Value) string {
+	var b strings.Builder
+	for _, v := range vals {
+		b.WriteByte(byte(v.kind) + '0')
+		switch v.kind {
+		case KindInt:
+			b.WriteString(strconv.FormatInt(v.i, 10))
+		case KindFloat:
+			b.WriteString(strconv.FormatFloat(v.f, 'g', -1, 64))
+		case KindString:
+			for i := 0; i < len(v.s); i++ {
+				c := v.s[i]
+				if c == 0 || c == 1 {
+					b.WriteByte(1)
+				}
+				b.WriteByte(c)
+			}
+		case KindBool:
+			if v.b {
+				b.WriteByte('t')
+			} else {
+				b.WriteByte('f')
+			}
+		}
+		b.WriteByte(0)
+	}
+	return b.String()
+}

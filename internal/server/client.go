@@ -1,0 +1,156 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Client is the thin-client side of the server-centric architecture: it
+// holds the user's APPEL preference and asks the server for decisions; no
+// APPEL engine, policy parser, or base data schema runs on the client.
+type Client struct {
+	base string
+	http *http.Client
+	// Preference is the user's APPEL preference document.
+	Preference string
+	// Engine selects the server-side matching implementation.
+	Engine string
+}
+
+// NewClient targets a server base URL (e.g. "http://localhost:8733").
+func NewClient(base string) *Client {
+	return &Client{
+		base:   strings.TrimRight(base, "/"),
+		http:   &http.Client{Timeout: 30 * time.Second},
+		Engine: "sql",
+	}
+}
+
+func (c *Client) do(method, path, body string) (*http.Response, error) {
+	req, err := http.NewRequest(method, c.base+path, strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	return c.http.Do(req)
+}
+
+// decodeJSON decodes a JSON response body.
+func decodeJSON(r io.Reader, v any) error {
+	return json.NewDecoder(r).Decode(v)
+}
+
+func decodeError(resp *http.Response) error {
+	defer resp.Body.Close()
+	var e apiError
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		return fmt.Errorf("server returned %s", resp.Status)
+	}
+	return fmt.Errorf("server returned %s: %s", resp.Status, e.Error)
+}
+
+// InstallPolicies uploads a POLICY or POLICIES document and returns the
+// installed policy names. (A site-owner operation.)
+func (c *Client) InstallPolicies(policyXML string) ([]string, error) {
+	resp, err := c.do(http.MethodPost, "/policies", policyXML)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return nil, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	var out InstallResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Installed, nil
+}
+
+// InstallReferenceFile uploads the site's META document.
+func (c *Client) InstallReferenceFile(metaXML string) error {
+	resp, err := c.do(http.MethodPost, "/reference", metaXML)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusNoContent {
+		return decodeError(resp)
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// CanVisit asks the server whether the user's preference permits visiting
+// a URI, returning the full decision.
+func (c *Client) CanVisit(uri string) (MatchResponse, error) {
+	q := url.Values{"uri": {uri}, "engine": {c.Engine}}
+	resp, err := c.do(http.MethodPost, "/match?"+q.Encode(), c.Preference)
+	if err != nil {
+		return MatchResponse{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return MatchResponse{}, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	var out MatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return MatchResponse{}, err
+	}
+	return out, nil
+}
+
+// FetchPolicy downloads a policy document (the client-centric fetch used
+// by the hybrid architecture).
+func (c *Client) FetchPolicy(name string) (string, error) {
+	resp, err := c.do(http.MethodGet, "/policies/"+url.PathEscape(name), "")
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeError(resp)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return string(body), err
+}
+
+// Policies lists installed policy names.
+func (c *Client) Policies() ([]string, error) {
+	resp, err := c.do(http.MethodGet, "/policies", "")
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	var out []string
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}
+
+// AnalyticsRow is one conflict-analytics entry.
+type AnalyticsRow struct {
+	Policy string `json:"policy"`
+	Rule   string `json:"rule"`
+	Blocks int    `json:"blocks"`
+}
+
+// Analytics fetches the site-owner conflict statistics.
+func (c *Client) Analytics() ([]AnalyticsRow, error) {
+	resp, err := c.do(http.MethodGet, "/analytics", "")
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	var out []AnalyticsRow
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"p3pdb/internal/reffile"
+)
+
+// HybridClient implements the hybrid architecture the paper sketches at
+// the end of Section 4.2: "it is possible to design a hybrid architecture
+// in which the reference file processing is done at the client while the
+// preference checking is done at the server." The client downloads and
+// caches the site's reference file once, resolves each URI locally, and
+// asks the server to match against the named policy — saving a round of
+// server-side reference-file queries per request, and letting the client
+// skip requests entirely when consecutive pages share a policy whose
+// decision it has already seen.
+type HybridClient struct {
+	inner *Client
+	ref   *reffile.RefFile
+	// decisions caches the decision per policy name for this preference.
+	decisions map[string]MatchResponse
+	// Preference is the user's APPEL preference document.
+	Preference string
+	// Engine selects the server-side matching implementation.
+	Engine string
+	// ServerCalls counts round trips that reached the match endpoint,
+	// so callers can observe the hybrid savings.
+	ServerCalls int
+}
+
+// NewHybridClient fetches and caches the reference file from the server.
+func NewHybridClient(base string) (*HybridClient, error) {
+	c := NewClient(base)
+	resp, err := c.do(http.MethodGet, "/reference", "")
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := reffile.Parse(string(body))
+	if err != nil {
+		return nil, fmt.Errorf("server: bad reference file: %w", err)
+	}
+	return &HybridClient{
+		inner:     c,
+		ref:       ref,
+		decisions: map[string]MatchResponse{},
+		Engine:    "sql",
+	}, nil
+}
+
+// CanVisit resolves the URI against the cached reference file and returns
+// the matching decision, reusing cached per-policy decisions where the
+// preference has already been checked against that policy.
+func (h *HybridClient) CanVisit(uri string) (MatchResponse, error) {
+	pr := h.ref.PolicyForURI(uri)
+	if pr == nil {
+		return MatchResponse{}, fmt.Errorf("server: no policy covers %q", uri)
+	}
+	name := pr.PolicyName()
+	if d, ok := h.decisions[name]; ok {
+		return d, nil
+	}
+	d, err := h.matchPolicy(name)
+	if err != nil {
+		return MatchResponse{}, err
+	}
+	h.decisions[name] = d
+	return d, nil
+}
+
+// InvalidateCache drops cached decisions (e.g. after changing the
+// preference).
+func (h *HybridClient) InvalidateCache() {
+	h.decisions = map[string]MatchResponse{}
+}
+
+func (h *HybridClient) matchPolicy(name string) (MatchResponse, error) {
+	h.ServerCalls++
+	q := url.Values{"policy": {name}, "engine": {h.Engine}}
+	resp, err := h.inner.do(http.MethodPost, "/matchpolicy?"+q.Encode(), h.Preference)
+	if err != nil {
+		return MatchResponse{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return MatchResponse{}, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	var out MatchResponse
+	if err := decodeJSON(resp.Body, &out); err != nil {
+		return MatchResponse{}, err
+	}
+	return out, nil
+}

@@ -1,0 +1,321 @@
+// Package server exposes a core.Site over HTTP: the deployed form of the
+// paper's server-centric architecture (Figures 5 and 6). Site owners
+// install policies and the reference file; thin clients submit their APPEL
+// preference with the URI they want to visit and receive the matching
+// decision, keeping all parsing, augmentation, and query processing on the
+// server.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"p3pdb/internal/core"
+	"p3pdb/internal/reldb"
+)
+
+// maxBodyBytes bounds request bodies; P3P documents are small.
+const maxBodyBytes = 1 << 20
+
+// Server handles the HTTP API for one site.
+type Server struct {
+	site *core.Site
+	mux  *http.ServeMux
+}
+
+// New wraps a site.
+func New(site *core.Site) *Server {
+	s := &Server{site: site, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/policies", s.handlePolicies)
+	s.mux.HandleFunc("/policies/", s.handlePolicyByName)
+	s.mux.HandleFunc("/compact/", s.handleCompact)
+	s.mux.HandleFunc("/reference", s.handleReference)
+	s.mux.HandleFunc("/match", s.handleMatch)
+	s.mux.HandleFunc("/matchpolicy", s.handleMatchPolicy)
+	s.mux.HandleFunc("/matchcookie", s.handleMatchCookie)
+	s.mux.HandleFunc("/analytics", s.handleAnalytics)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+func readBody(w http.ResponseWriter, r *http.Request) (string, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+		return "", false
+	}
+	return string(body), true
+}
+
+// InstallResponse reports the outcome of a policy installation.
+type InstallResponse struct {
+	Installed []string `json:"installed"`
+}
+
+// handlePolicies implements POST /policies (install a POLICY or POLICIES
+// document) and GET /policies (list installed names).
+func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost, http.MethodPut:
+		body, ok := readBody(w, r)
+		if !ok {
+			return
+		}
+		names, err := s.site.InstallPolicyXML(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, InstallResponse{Installed: names})
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.site.PolicyNames())
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	}
+}
+
+// handlePolicyByName implements GET /policies/{name} (fetch the policy
+// document, the client-centric fetch path) and DELETE /policies/{name}.
+func (s *Server) handlePolicyByName(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/policies/")
+	if name == "" {
+		writeError(w, http.StatusNotFound, fmt.Errorf("missing policy name"))
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		xml, err := s.site.PolicyXML(name)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/xml")
+		fmt.Fprint(w, xml)
+	case http.MethodDelete:
+		if err := s.site.RemovePolicy(name); err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	}
+}
+
+// handleReference implements POST /reference (install the site's META
+// document) and GET /reference (fetch it — the hybrid architecture's
+// clients cache it to resolve URIs locally).
+func (s *Server) handleReference(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost, http.MethodPut:
+		body, ok := readBody(w, r)
+		if !ok {
+			return
+		}
+		if err := s.site.InstallReferenceFileXML(body); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case http.MethodGet:
+		xml, err := s.site.ReferenceFileXML()
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/xml")
+		fmt.Fprint(w, xml)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	}
+}
+
+// handleCompact implements GET /compact/{name}: the policy's compact
+// (CP-header) token form.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, "/compact/")
+	cp, err := s.site.CompactPolicy(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprint(w, cp)
+}
+
+// MatchResponse is the JSON form of a decision.
+type MatchResponse struct {
+	Behavior        string `json:"behavior"`
+	RuleIndex       int    `json:"ruleIndex"`
+	RuleDescription string `json:"ruleDescription,omitempty"`
+	Prompt          bool   `json:"prompt,omitempty"`
+	PolicyName      string `json:"policyName"`
+	Engine          string `json:"engine"`
+	ConvertMicros   int64  `json:"convertMicros"`
+	QueryMicros     int64  `json:"queryMicros"`
+}
+
+func toResponse(d core.Decision) MatchResponse {
+	return MatchResponse{
+		Behavior:        d.Behavior,
+		RuleIndex:       d.RuleIndex,
+		RuleDescription: d.RuleDescription,
+		Prompt:          d.Prompt,
+		PolicyName:      d.PolicyName,
+		Engine:          d.Engine.ShortName(),
+		ConvertMicros:   d.Convert.Microseconds(),
+		QueryMicros:     d.Query.Microseconds(),
+	}
+}
+
+// handleMatch implements POST /match?uri=/path&engine=sql with the APPEL
+// preference as the body: the thin-client entry point.
+func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	uri := r.URL.Query().Get("uri")
+	if uri == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing uri parameter"))
+		return
+	}
+	engineName := r.URL.Query().Get("engine")
+	if engineName == "" {
+		engineName = "sql"
+	}
+	engine, err := core.ParseEngine(engineName)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	pref, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	start := time.Now()
+	d, err := s.site.MatchURI(pref, uri, engine)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, reldb.ErrTooComplex) {
+			// The XTABLE path can reject exact-heavy preferences.
+			status = http.StatusUnprocessableEntity
+		}
+		writeError(w, status, err)
+		return
+	}
+	resp := toResponse(d)
+	w.Header().Set("X-Match-Duration", time.Since(start).String())
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// matchWith factors the three matching endpoints: resolve the engine,
+// read the preference body, run the resolver-specific match.
+func (s *Server) matchWith(w http.ResponseWriter, r *http.Request,
+	match func(pref string, engine core.Engine) (core.Decision, error)) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	engineName := r.URL.Query().Get("engine")
+	if engineName == "" {
+		engineName = "sql"
+	}
+	engine, err := core.ParseEngine(engineName)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	pref, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	d, err := match(pref, engine)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, reldb.ErrTooComplex) {
+			status = http.StatusUnprocessableEntity
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toResponse(d))
+}
+
+// handleMatchPolicy implements POST /matchpolicy?policy=name&engine=: the
+// hybrid architecture's entry point — the client resolved the reference
+// file itself and names the policy directly (Section 4.2).
+func (s *Server) handleMatchPolicy(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("policy")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing policy parameter"))
+		return
+	}
+	s.matchWith(w, r, func(pref string, engine core.Engine) (core.Decision, error) {
+		return s.site.MatchPolicy(pref, name, engine)
+	})
+}
+
+// handleMatchCookie implements POST /matchcookie?cookie=name&engine=: the
+// server-centric counterpart of IE6's cookie checking, resolved through
+// the reference file's COOKIE-INCLUDE patterns.
+func (s *Server) handleMatchCookie(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("cookie")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing cookie parameter"))
+		return
+	}
+	s.matchWith(w, r, func(pref string, engine core.Engine) (core.Decision, error) {
+		return s.site.MatchCookie(pref, name, engine)
+	})
+}
+
+// handleAnalytics implements GET /analytics: the site-owner view of which
+// policies conflict with user preferences (Section 4.2).
+func (s *Server) handleAnalytics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	stats := s.site.Analytics()
+	out := make([]map[string]any, 0, len(stats))
+	for _, st := range stats {
+		out = append(out, map[string]any{
+			"policy": st.PolicyName,
+			"rule":   st.RuleDescription,
+			"blocks": st.Count,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}

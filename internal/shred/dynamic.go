@@ -1,0 +1,213 @@
+package shred
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"p3pdb/internal/reldb"
+	"p3pdb/internal/xmldom"
+)
+
+// DynamicStore is the literal rendition of the paper's Figures 8 and 10:
+// the schema is *discovered from the documents being shredded* — "for
+// each element e defined in the P3P policy do create a table such that
+// (a) the name of the table is e.name() (b) the columns of the table
+// consist of (i) an id column ... (ii) foreign key comprising of the
+// primary key of the table corresponding to the parent element (iii) one
+// column for each attribute of e" — and population follows the recursive
+// add(e, f) of Figure 10: create a unique id, insert (id, foreign key,
+// attributes), recurse into subelements with the id prepended to the key.
+//
+// GenericStore produces the same tables from the fixed P3P vocabulary;
+// DynamicStore exists to demonstrate the published algorithm verbatim and
+// is cross-checked against GenericStore in the tests. Install expects an
+// already augmented policy element (the server augments at install time;
+// see core.Site) and skips the ENTITY subtree, whose DATA-GROUP reuses
+// element names with a different parent chain — the one place the P3P
+// vocabulary violates the algorithm's tree-unique-names assumption (see
+// DESIGN.md).
+type DynamicStore struct {
+	db     *reldb.DB
+	tables map[string]*dynTable
+	nextID int
+}
+
+// dynTable records one discovered element table.
+type dynTable struct {
+	element string
+	name    string   // SQL table name
+	fkCols  []string // immediate parent id first
+	attrs   []string // attribute column order
+	hasText bool
+}
+
+// NewDynamic returns a store that will create tables on demand in db.
+func NewDynamic(db *reldb.DB) *DynamicStore {
+	return &DynamicStore{db: db, tables: map[string]*dynTable{}, nextID: 1}
+}
+
+// DB exposes the underlying database.
+func (s *DynamicStore) DB() *reldb.DB { return s.db }
+
+// Install shreds one policy element, returning its policy id. The two
+// passes mirror the paper's presentation: Figure 8 first (discover and
+// create tables), Figure 10 second (populate).
+func (s *DynamicStore) Install(policy *xmldom.Node) (int, error) {
+	if policy.Name != "POLICY" {
+		return 0, fmt.Errorf("shred: dynamic store expects a POLICY element, got %s", policy.Name)
+	}
+	if err := s.discover(policy, nil); err != nil {
+		return 0, err
+	}
+	policyID := s.nextID
+	s.nextID++
+	if err := s.add(policy, nil, policyID); err != nil {
+		return 0, err
+	}
+	return policyID, nil
+}
+
+// discover is the Figure 8 pass: walk the tree, defining (or checking)
+// one table per element name.
+func (s *DynamicStore) discover(e *xmldom.Node, parentChain []string) error {
+	if skipDynamic(e) {
+		return nil
+	}
+	def, seen := s.tables[e.Name]
+	if !seen {
+		def = &dynTable{
+			element: e.Name,
+			name:    Ident(e.Name),
+			fkCols:  chainCols(parentChain),
+			hasText: e.Text != "",
+		}
+		for _, a := range e.Attrs {
+			def.attrs = append(def.attrs, a.Name)
+		}
+		sort.Strings(def.attrs)
+		if err := s.createTable(def); err != nil {
+			return err
+		}
+		s.tables[e.Name] = def
+	} else {
+		if got := strings.Join(chainCols(parentChain), ","); got != strings.Join(def.fkCols, ",") {
+			return fmt.Errorf("shred: element %s appears under two parent chains (%s vs %s); the Figure 8 algorithm requires tree-unique element names",
+				e.Name, got, strings.Join(def.fkCols, ","))
+		}
+		for _, a := range e.Attrs {
+			if !containsString(def.attrs, a.Name) {
+				return fmt.Errorf("shred: element %s introduces attribute %q after its table was created; shred all documents in one batch", e.Name, a.Name)
+			}
+		}
+	}
+	childChain := append([]string{e.Name}, parentChain...)
+	for _, c := range e.Children {
+		if err := s.discover(c, childChain); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// add is the Figure 10 pass: "create a unique id; create a record
+// consisting of (a) id, (b) foreign key f, and (c) all attributes of
+// element e; insert the record into the table e.name(); for each
+// subelement se of e do add(se, id concatenated with f)."
+//
+// Ids are unique within the parent scope (sibling counters), which keeps
+// the concatenated key a primary key exactly as the algorithm requires.
+func (s *DynamicStore) add(e *xmldom.Node, fk []int, id int) error {
+	def := s.tables[e.Name]
+	cols := []string{def.name + "_id"}
+	vals := []reldb.Value{reldb.Int(int64(id))}
+	for i, fkc := range def.fkCols {
+		cols = append(cols, fkc)
+		vals = append(vals, reldb.Int(int64(fk[i])))
+	}
+	for _, a := range def.attrs {
+		cols = append(cols, "attr_"+Ident(a))
+		if v, ok := e.Attr(a); ok {
+			vals = append(vals, reldb.Str(v))
+		} else {
+			vals = append(vals, reldb.Null)
+		}
+	}
+	if def.hasText {
+		cols = append(cols, "text_value")
+		if e.Text != "" {
+			vals = append(vals, reldb.Str(e.Text))
+		} else {
+			vals = append(vals, reldb.Null)
+		}
+	}
+	marks := make([]string, len(vals))
+	for i := range marks {
+		marks[i] = "?"
+	}
+	if _, err := s.db.Exec(
+		fmt.Sprintf("INSERT INTO %s (%s) VALUES (%s)", def.name, strings.Join(cols, ", "), strings.Join(marks, ", ")),
+		vals...); err != nil {
+		return err
+	}
+	childFK := append([]int{id}, fk...)
+	counters := map[string]int{}
+	for _, c := range e.Children {
+		if skipDynamic(c) {
+			continue
+		}
+		counters[c.Name]++
+		if err := s.add(c, childFK, counters[c.Name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *DynamicStore) createTable(def *dynTable) error {
+	var cols []string
+	cols = append(cols, def.name+"_id INTEGER NOT NULL")
+	for _, fkc := range def.fkCols {
+		cols = append(cols, fkc+" INTEGER NOT NULL")
+	}
+	for _, a := range def.attrs {
+		cols = append(cols, "attr_"+Ident(a)+" VARCHAR(4096)")
+	}
+	if def.hasText {
+		cols = append(cols, "text_value VARCHAR(4096)")
+	}
+	pk := append([]string{def.name + "_id"}, def.fkCols...)
+	ddl := fmt.Sprintf("CREATE TABLE %s (%s, PRIMARY KEY (%s))",
+		def.name, strings.Join(cols, ", "), strings.Join(pk, ", "))
+	if _, err := s.db.Exec(ddl); err != nil {
+		return err
+	}
+	if len(def.fkCols) > 0 {
+		if _, err := s.db.Exec(fmt.Sprintf("CREATE INDEX ix_%s_fk ON %s (%s)",
+			def.name, def.name, strings.Join(def.fkCols, ", "))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// skipDynamic prunes the ENTITY subtree; see the type comment.
+func skipDynamic(e *xmldom.Node) bool { return e.Name == "ENTITY" }
+
+// chainCols renders a parent chain as foreign-key column names.
+func chainCols(parentChain []string) []string {
+	out := make([]string, len(parentChain))
+	for i, p := range parentChain {
+		out[i] = Ident(p) + "_id"
+	}
+	return out
+}
+
+func containsString(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,154 @@
+package shred
+
+import (
+	"fmt"
+	"testing"
+
+	"p3pdb/internal/appelengine"
+	"p3pdb/internal/p3p"
+	"p3pdb/internal/reldb"
+	"p3pdb/internal/xmldom"
+)
+
+// augmentedVolga is the DOM the server installs: Volga with category
+// augmentation already applied.
+func augmentedVolga(t testing.TB) *xmldom.Node {
+	t.Helper()
+	doc, err := xmldom.ParseString(p3p.VolgaPolicyXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return appelengine.NewWithOptions(appelengine.Options{IndexedAugmentation: true}).Augment(doc)
+}
+
+func TestDynamicInstall(t *testing.T) {
+	db := reldb.New()
+	s := NewDynamic(db)
+	id, err := s.Install(augmentedVolga(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Errorf("id = %d", id)
+	}
+	// The discovered tables carry the Figure 9 shape: id + parent-chain
+	// foreign key + attribute columns.
+	dataTable := db.Table("data")
+	if dataTable == nil {
+		t.Fatal("no data table discovered")
+	}
+	var colNames []string
+	for _, c := range dataTable.Schema().Columns {
+		colNames = append(colNames, c.Name)
+	}
+	want := []string{"data_id", "data_group_id", "statement_id", "policy_id", "attr_ref"}
+	for i, w := range want {
+		if colNames[i] != w {
+			t.Fatalf("data columns = %v, want prefix %v", colNames, want)
+		}
+	}
+	// Population: statement ids are sibling counters.
+	got := count(t, db, `SELECT COUNT(*) FROM statement WHERE policy_id = 1`)
+	if got != 2 {
+		t.Errorf("statements = %d", got)
+	}
+	if n := count(t, db, `SELECT COUNT(*) FROM statement WHERE statement_id = 1`); n != 1 {
+		t.Errorf("statement_id 1 rows = %d", n)
+	}
+	// CONSEQUENCE text landed in text_value.
+	rows, err := db.Query(`SELECT text_value FROM consequence WHERE statement_id = 1 AND policy_id = 1`)
+	if err != nil || len(rows.Data) != 1 {
+		t.Fatalf("consequence: %v %v", rows, err)
+	}
+	if rows.Data[0][0].IsNull() {
+		t.Error("consequence text missing")
+	}
+}
+
+// TestDynamicMatchesGenericCounts cross-checks the published algorithm
+// against the vocabulary-driven generic shredder: for every table both
+// define, row counts must agree on the same corpus.
+func TestDynamicMatchesGenericCounts(t *testing.T) {
+	gdb := reldb.New()
+	g, err := NewGeneric(gdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ddb := reldb.New()
+	dyn := NewDynamic(ddb)
+
+	for i := 0; i < 3; i++ {
+		pol := volga(t)
+		pol.Name = fmt.Sprintf("volga%d", i)
+		if _, err := g.InstallPolicy(pol); err != nil {
+			t.Fatal(err)
+		}
+		doc, err := xmldom.ParseString(pol.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		aug := appelengine.NewWithOptions(appelengine.Options{IndexedAugmentation: true}).Augment(doc)
+		if _, err := dyn.Install(aug); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	compared := 0
+	for _, table := range ddb.TableNames() {
+		if !gdb.HasTable(table) {
+			// The dynamic store discovers the WHOLE document, so it
+			// also defines tables the vocabulary registry deliberately
+			// omits (the ACCESS subtree); those must be the only extras.
+			if table != "access" && table != "contact_and_other" {
+				t.Errorf("unexpected dynamic-only table %s", table)
+			}
+			continue
+		}
+		gn := count(t, gdb, `SELECT COUNT(*) FROM `+table)
+		dn := count(t, ddb, `SELECT COUNT(*) FROM `+table)
+		if gn != dn {
+			t.Errorf("%s: generic %d rows, dynamic %d rows", table, gn, dn)
+		}
+		compared++
+	}
+	if compared < 10 {
+		t.Errorf("only %d tables compared; the stores diverged structurally", compared)
+	}
+}
+
+func TestDynamicRejectsInconsistentChains(t *testing.T) {
+	db := reldb.New()
+	s := NewDynamic(db)
+	// B first appears under A...
+	doc1, _ := xmldom.ParseString(`<POLICY><A><B/></A></POLICY>`)
+	if _, err := s.Install(doc1); err != nil {
+		t.Fatal(err)
+	}
+	// ...and then under C: the tree-unique-names assumption breaks.
+	doc2, _ := xmldom.ParseString(`<POLICY><C><B/></C></POLICY>`)
+	if _, err := s.Install(doc2); err == nil {
+		t.Error("inconsistent parent chain should be rejected")
+	}
+}
+
+func TestDynamicRejectsLateAttributes(t *testing.T) {
+	db := reldb.New()
+	s := NewDynamic(db)
+	doc1, _ := xmldom.ParseString(`<POLICY><A/></POLICY>`)
+	if _, err := s.Install(doc1); err != nil {
+		t.Fatal(err)
+	}
+	doc2, _ := xmldom.ParseString(`<POLICY><A novel="1"/></POLICY>`)
+	if _, err := s.Install(doc2); err == nil {
+		t.Error("late attribute should be rejected")
+	}
+}
+
+func TestDynamicRequiresPolicyRoot(t *testing.T) {
+	db := reldb.New()
+	s := NewDynamic(db)
+	doc, _ := xmldom.ParseString(`<POLICIES/>`)
+	if _, err := s.Install(doc); err == nil {
+		t.Error("non-POLICY root should be rejected")
+	}
+}

@@ -1,0 +1,324 @@
+package shred
+
+import (
+	"fmt"
+	"strings"
+
+	"p3pdb/internal/p3p"
+	"p3pdb/internal/p3p/basedata"
+	"p3pdb/internal/reldb"
+)
+
+// GenericTable describes one table of the generic (Figure 8) schema: one
+// table per element defined in the P3P policy vocabulary, whose columns are
+// an id, the primary-key columns of the parent chain (the foreign key), and
+// one column per attribute. The primary key is the id concatenated with
+// the foreign key, exactly as the decomposition algorithm prescribes.
+type GenericTable struct {
+	element string   // XML element name, e.g. "individual-decision"
+	parents []string // element names, immediate parent first
+	attrs   []string // attribute names
+	hasText bool     // element carries character data (CONSEQUENCE)
+}
+
+// Ident converts an XML element or attribute name into a SQL identifier.
+func Ident(name string) string {
+	return strings.ToLower(strings.ReplaceAll(name, "-", "_"))
+}
+
+// idCol returns the id column name for an element.
+func idCol(element string) string { return Ident(element) + "_id" }
+
+// genericRegistry enumerates the matching-relevant subset of the P3P
+// vocabulary: the POLICY attributes plus the full STATEMENT subtree. The
+// ENTITY/ACCESS/DISPUTES branches are not patterned over by any preference
+// in the JRC suite the paper uses, and the Figure 8 algorithm assumes
+// tree-unique element names, which DATA-GROUP under ENTITY would violate;
+// see DESIGN.md "Known deviations".
+func genericRegistry() []GenericTable {
+	reg := []GenericTable{
+		{element: "POLICY", attrs: []string{"name", "discuri", "opturi"}},
+		{element: "STATEMENT", parents: []string{"POLICY"}},
+		{element: "CONSEQUENCE", parents: []string{"STATEMENT", "POLICY"}, hasText: true},
+		{element: "NON-IDENTIFIABLE", parents: []string{"STATEMENT", "POLICY"}},
+		{element: "PURPOSE", parents: []string{"STATEMENT", "POLICY"}},
+		{element: "RECIPIENT", parents: []string{"STATEMENT", "POLICY"}},
+		{element: "RETENTION", parents: []string{"STATEMENT", "POLICY"}},
+		{element: "DATA-GROUP", parents: []string{"STATEMENT", "POLICY"}, attrs: []string{"base"}},
+		{element: "DATA", parents: []string{"DATA-GROUP", "STATEMENT", "POLICY"}, attrs: []string{"ref", "optional"}},
+		{element: "CATEGORIES", parents: []string{"DATA", "DATA-GROUP", "STATEMENT", "POLICY"}},
+	}
+	for _, v := range p3p.Purposes {
+		reg = append(reg, GenericTable{element: v, parents: []string{"PURPOSE", "STATEMENT", "POLICY"}, attrs: []string{"required"}})
+	}
+	for _, v := range p3p.Recipients {
+		reg = append(reg, GenericTable{element: v, parents: []string{"RECIPIENT", "STATEMENT", "POLICY"}, attrs: []string{"required"}})
+	}
+	for _, v := range p3p.Retentions {
+		reg = append(reg, GenericTable{element: v, parents: []string{"RETENTION", "STATEMENT", "POLICY"}})
+	}
+	for _, v := range p3p.Categories {
+		reg = append(reg, GenericTable{element: v, parents: []string{"CATEGORIES", "DATA", "DATA-GROUP", "STATEMENT", "POLICY"}})
+	}
+	return reg
+}
+
+// GenericStore shreds policies into the generic one-table-per-element
+// schema produced by the Figure 8 decomposition algorithm.
+type GenericStore struct {
+	db     *reldb.DB
+	schema *basedata.Schema
+	tables map[string]GenericTable // by element name
+	nextID int
+}
+
+// GenericRegistry exposes the table registry (element name, parent chain,
+// attributes) for the translators that target the generic schema.
+func GenericRegistry() map[string]GenericTable {
+	out := map[string]GenericTable{}
+	for _, t := range genericRegistry() {
+		out[t.element] = t
+	}
+	return out
+}
+
+// Element returns the XML element name of the table.
+func (t GenericTable) Element() string { return t.element }
+
+// Parents returns the parent chain (immediate parent first).
+func (t GenericTable) Parents() []string { return t.parents }
+
+// Attrs returns the attribute column names.
+func (t GenericTable) Attrs() []string { return t.attrs }
+
+// TableName returns the SQL table name for an element of the generic
+// schema.
+func (t GenericTable) TableName() string { return Ident(t.element) }
+
+// IDColumn returns the table's id column name.
+func (t GenericTable) IDColumn() string { return idCol(t.element) }
+
+// FKColumns returns the foreign-key column names (immediate parent first).
+func (t GenericTable) FKColumns() []string {
+	out := make([]string, len(t.parents))
+	for i, p := range t.parents {
+		out[i] = idCol(p)
+	}
+	return out
+}
+
+// NewGeneric creates the generic-schema tables in db and returns a store.
+func NewGeneric(db *reldb.DB) (*GenericStore, error) {
+	g := &GenericStore{db: db, schema: basedata.Default(), tables: map[string]GenericTable{}, nextID: 1}
+	for _, t := range genericRegistry() {
+		g.tables[t.element] = t
+		var cols []string
+		cols = append(cols, t.IDColumn()+" INTEGER NOT NULL")
+		for _, fk := range t.FKColumns() {
+			cols = append(cols, fk+" INTEGER NOT NULL")
+		}
+		for _, a := range t.attrs {
+			cols = append(cols, Ident(a)+" VARCHAR(255)")
+		}
+		if t.hasText {
+			cols = append(cols, "text_value VARCHAR(4096)")
+		}
+		pk := append([]string{t.IDColumn()}, t.FKColumns()...)
+		ddl := fmt.Sprintf("CREATE TABLE %s (%s, PRIMARY KEY (%s))",
+			t.TableName(), strings.Join(cols, ", "), strings.Join(pk, ", "))
+		if _, err := db.Exec(ddl); err != nil {
+			return nil, fmt.Errorf("shred: creating generic schema: %w", err)
+		}
+		if len(t.parents) > 0 {
+			ix := fmt.Sprintf("CREATE INDEX ix_%s_fk ON %s (%s)",
+				t.TableName(), t.TableName(), strings.Join(t.FKColumns(), ", "))
+			if _, err := db.Exec(ix); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// DB exposes the underlying database.
+func (g *GenericStore) DB() *reldb.DB { return g.db }
+
+// insertRow inserts one element row: id, fk chain values, then attrs.
+func (g *GenericStore) insertRow(t GenericTable, id int, fks []int, attrs map[string]string, text string) error {
+	cols := []string{t.IDColumn()}
+	vals := []reldb.Value{reldb.Int(int64(id))}
+	for i, fk := range t.FKColumns() {
+		cols = append(cols, fk)
+		vals = append(vals, reldb.Int(int64(fks[i])))
+	}
+	for _, a := range t.attrs {
+		cols = append(cols, Ident(a))
+		if v, ok := attrs[a]; ok {
+			vals = append(vals, reldb.Str(v))
+		} else {
+			vals = append(vals, reldb.Null)
+		}
+	}
+	if t.hasText {
+		cols = append(cols, "text_value")
+		vals = append(vals, nullable(text))
+	}
+	marks := make([]string, len(vals))
+	for i := range marks {
+		marks[i] = "?"
+	}
+	sql := fmt.Sprintf("INSERT INTO %s (%s) VALUES (%s)",
+		t.TableName(), strings.Join(cols, ", "), strings.Join(marks, ", "))
+	_, err := g.db.Exec(sql, vals...)
+	return err
+}
+
+// InstallPolicy augments and shreds one policy into the generic schema,
+// returning its policy id. This is the Figure 10 population algorithm
+// specialized to the P3P vocabulary: ids are assigned per parent scope and
+// the foreign key of each row is the concatenated primary key of its
+// parent's row.
+func (g *GenericStore) InstallPolicy(pol *p3p.Policy) (int, error) {
+	if err := pol.MustValid(); err != nil {
+		return 0, fmt.Errorf("shred: invalid policy: %w", err)
+	}
+	policyID := g.nextID
+	g.nextID++
+
+	err := g.insertRow(g.tables["POLICY"], policyID, nil, map[string]string{
+		"name": pol.Name, "discuri": pol.Discuri, "opturi": pol.Opturi,
+	}, "")
+	if err != nil {
+		return 0, err
+	}
+
+	for si, st := range pol.Statements {
+		stmtID := si + 1
+		fkStmt := []int{policyID}
+		if err := g.insertRow(g.tables["STATEMENT"], stmtID, fkStmt, nil, ""); err != nil {
+			return 0, err
+		}
+		under := []int{stmtID, policyID}
+		if st.Consequence != "" {
+			if err := g.insertRow(g.tables["CONSEQUENCE"], 1, under, nil, st.Consequence); err != nil {
+				return 0, err
+			}
+		}
+		if st.NonIdentifiable {
+			if err := g.insertRow(g.tables["NON-IDENTIFIABLE"], 1, under, nil, ""); err != nil {
+				return 0, err
+			}
+		}
+		if len(st.Purposes) > 0 {
+			if err := g.insertRow(g.tables["PURPOSE"], 1, under, nil, ""); err != nil {
+				return 0, err
+			}
+			for vi, pv := range st.Purposes {
+				t, ok := g.tables[pv.Value]
+				if !ok {
+					return 0, fmt.Errorf("shred: no generic table for purpose %q", pv.Value)
+				}
+				if err := g.insertRow(t, vi+1, append([]int{1}, under...),
+					map[string]string{"required": pv.EffectiveRequired()}, ""); err != nil {
+					return 0, err
+				}
+			}
+		}
+		if len(st.Recipients) > 0 {
+			if err := g.insertRow(g.tables["RECIPIENT"], 1, under, nil, ""); err != nil {
+				return 0, err
+			}
+			for vi, rv := range st.Recipients {
+				t, ok := g.tables[rv.Value]
+				if !ok {
+					return 0, fmt.Errorf("shred: no generic table for recipient %q", rv.Value)
+				}
+				if err := g.insertRow(t, vi+1, append([]int{1}, under...),
+					map[string]string{"required": rv.EffectiveRequired()}, ""); err != nil {
+					return 0, err
+				}
+			}
+		}
+		if st.Retention != "" {
+			if err := g.insertRow(g.tables["RETENTION"], 1, under, nil, ""); err != nil {
+				return 0, err
+			}
+			t, ok := g.tables[st.Retention]
+			if !ok {
+				return 0, fmt.Errorf("shred: no generic table for retention %q", st.Retention)
+			}
+			if err := g.insertRow(t, 1, append([]int{1}, under...), nil, ""); err != nil {
+				return 0, err
+			}
+		}
+		for gi, dg := range st.DataGroups {
+			dgID := gi + 1
+			attrs := map[string]string{}
+			if dg.Base != "" {
+				attrs["base"] = dg.Base
+			}
+			if err := g.insertRow(g.tables["DATA-GROUP"], dgID, under, attrs, ""); err != nil {
+				return 0, err
+			}
+			underDG := append([]int{dgID}, under...)
+			dataID := 0
+			for _, d := range dg.Data {
+				for _, leaf := range ExpandData(g.schema, d) {
+					dataID++
+					dattrs := map[string]string{"ref": leaf.Ref, "optional": "no"}
+					if d.Optional {
+						dattrs["optional"] = "yes"
+					}
+					if err := g.insertRow(g.tables["DATA"], dataID, underDG, dattrs, ""); err != nil {
+						return 0, err
+					}
+					if len(leaf.Categories) == 0 {
+						continue
+					}
+					underData := append([]int{dataID}, underDG...)
+					if err := g.insertRow(g.tables["CATEGORIES"], 1, underData, nil, ""); err != nil {
+						return 0, err
+					}
+					underCats := append([]int{1}, underData...)
+					for ci, cat := range leaf.Categories {
+						t, ok := g.tables[cat]
+						if !ok {
+							return 0, fmt.Errorf("shred: no generic table for category %q", cat)
+						}
+						if err := g.insertRow(t, ci+1, underCats, nil, ""); err != nil {
+							return 0, err
+						}
+					}
+				}
+			}
+		}
+	}
+	return policyID, nil
+}
+
+// RemovePolicy deletes every row belonging to a policy from all element
+// tables.
+func (g *GenericStore) RemovePolicy(policyID int) error {
+	for _, t := range g.tables {
+		if _, err := g.db.Exec(
+			fmt.Sprintf(`DELETE FROM %s WHERE policy_id = ?`, t.TableName()),
+			reldb.Int(int64(policyID))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PolicyID looks up the id assigned to a named policy in the generic
+// schema.
+func (g *GenericStore) PolicyID(name string) (int, error) {
+	rows, err := g.db.Query(`SELECT policy_id FROM policy WHERE policy.name = ?`, reldb.Str(name))
+	if err != nil {
+		return 0, err
+	}
+	if len(rows.Data) == 0 {
+		return 0, fmt.Errorf("shred: policy %q not installed", name)
+	}
+	n, _ := rows.Data[0][0].AsInt()
+	return int(n), nil
+}

@@ -1,0 +1,93 @@
+package shred
+
+import (
+	"testing"
+
+	"p3pdb/internal/reldb"
+)
+
+func TestGenericRemovePolicy(t *testing.T) {
+	db := reldb.New()
+	g, err := NewGeneric(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := g.InstallPolicy(volga(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := volga(t)
+	v2.Name = "volga2"
+	id2, err := g.InstallPolicy(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemovePolicy(id1); err != nil {
+		t.Fatal(err)
+	}
+	// Every table is clean of policy 1 but keeps policy 2.
+	for _, table := range []string{"policy", "statement", "purpose", "data", "purchase"} {
+		if n := count(t, db, `SELECT COUNT(*) FROM `+table+` WHERE policy_id = ?`, reldb.Int(int64(id1))); n != 0 {
+			t.Errorf("%s rows for removed policy = %d", table, n)
+		}
+	}
+	if n := count(t, db, `SELECT COUNT(*) FROM statement WHERE policy_id = ?`, reldb.Int(int64(id2))); n != 2 {
+		t.Errorf("surviving policy statements = %d", n)
+	}
+	if _, err := g.PolicyID("volga"); err == nil {
+		t.Error("removed policy still resolvable")
+	}
+	if got, err := g.PolicyID("volga2"); err != nil || got != id2 {
+		t.Errorf("PolicyID(volga2) = %d, %v", got, err)
+	}
+}
+
+func TestStoreAccessors(t *testing.T) {
+	db := reldb.New()
+	g, err := NewGeneric(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.DB() != db {
+		t.Error("GenericStore.DB mismatch")
+	}
+	db2 := reldb.New()
+	o, err := NewOptimized(db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.DB() != db2 {
+		t.Error("OptimizedStore.DB mismatch")
+	}
+}
+
+func TestGenericTableAccessors(t *testing.T) {
+	reg := GenericRegistry()
+	d := reg["DATA"]
+	if d.Element() != "DATA" {
+		t.Errorf("Element = %q", d.Element())
+	}
+	if got := d.Parents(); len(got) != 3 || got[0] != "DATA-GROUP" {
+		t.Errorf("Parents = %v", got)
+	}
+	if got := d.Attrs(); len(got) != 2 || got[0] != "ref" {
+		t.Errorf("Attrs = %v", got)
+	}
+}
+
+func TestDuplicateGenericSchemaRejected(t *testing.T) {
+	db := reldb.New()
+	if _, err := NewGeneric(db); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGeneric(db); err == nil {
+		t.Error("second generic schema in one DB should fail")
+	}
+	db2 := reldb.New()
+	if _, err := NewOptimized(db2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewOptimized(db2); err == nil {
+		t.Error("second optimized schema in one DB should fail")
+	}
+}

@@ -1,0 +1,289 @@
+package shred
+
+import (
+	"strings"
+	"testing"
+
+	"p3pdb/internal/p3p"
+	"p3pdb/internal/p3p/basedata"
+	"p3pdb/internal/reldb"
+)
+
+func volga(t testing.TB) *p3p.Policy {
+	t.Helper()
+	pol, err := p3p.ParsePolicy(p3p.VolgaPolicyXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pol
+}
+
+func count(t *testing.T, db *reldb.DB, sql string, params ...reldb.Value) int {
+	t.Helper()
+	rows, err := db.Query(sql, params...)
+	if err != nil {
+		t.Fatalf("Query(%s): %v", sql, err)
+	}
+	n, _ := rows.Data[0][0].AsInt()
+	return int(n)
+}
+
+func TestOptimizedInstall(t *testing.T) {
+	db := reldb.New()
+	st, err := NewOptimized(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := st.InstallPolicy(volga(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Errorf("id = %d", id)
+	}
+	if n := count(t, db, `SELECT COUNT(*) FROM Policy`); n != 1 {
+		t.Errorf("Policy rows = %d", n)
+	}
+	if n := count(t, db, `SELECT COUNT(*) FROM Statement WHERE policy_id = 1`); n != 2 {
+		t.Errorf("Statement rows = %d", n)
+	}
+	if n := count(t, db, `SELECT COUNT(*) FROM Purpose WHERE policy_id = 1 AND statement_id = 2`); n != 2 {
+		t.Errorf("Purpose rows for stmt 2 = %d", n)
+	}
+	// Defaulting applied at shred time.
+	rows, err := db.Query(`SELECT required FROM Purpose WHERE policy_id = 1 AND statement_id = 1 AND purpose = 'current'`)
+	if err != nil || len(rows.Data) != 1 {
+		t.Fatalf("purpose current: %v %v", rows, err)
+	}
+	if got := rows.Data[0][0].AsString(); got != "always" {
+		t.Errorf("required defaulted to %q", got)
+	}
+	// Retention folded into the Statement table (Figure 14 optimization).
+	rows, err = db.Query(`SELECT retention, consequence FROM Statement WHERE policy_id = 1 AND statement_id = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Data[0][0].AsString() != "stated-purpose" {
+		t.Errorf("retention = %v", rows.Data[0][0])
+	}
+	if rows.Data[0][1].IsNull() {
+		t.Error("consequence should be stored")
+	}
+}
+
+func TestOptimizedAugmentation(t *testing.T) {
+	db := reldb.New()
+	st, err := NewOptimized(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.InstallPolicy(volga(t)); err != nil {
+		t.Fatal(err)
+	}
+	// #user.name expands to its 6 personname leaves.
+	if n := count(t, db, `SELECT COUNT(DISTINCT ref) FROM Data WHERE orig_ref = '#user.name'`); n != 6 {
+		t.Errorf("user.name leaves = %d, want 6", n)
+	}
+	// Every expanded user.name leaf carries physical and demographic.
+	if n := count(t, db, `SELECT COUNT(*) FROM Data WHERE orig_ref = '#user.name' AND category = 'physical'`); n != 6 {
+		t.Errorf("physical rows = %d", n)
+	}
+	// miscdata keeps its declared category.
+	if n := count(t, db, `SELECT COUNT(*) FROM Data WHERE ref = '#dynamic.miscdata' AND category = 'purchase'`); n != 2 {
+		t.Errorf("miscdata purchase rows = %d (statement 1 and 2)", n)
+	}
+	// email leaf resolves to the online category.
+	if n := count(t, db, `SELECT COUNT(*) FROM Data WHERE ref = '#user.home-info.online.email' AND category = 'online'`); n != 1 {
+		t.Errorf("email online rows = %d", n)
+	}
+}
+
+func TestOptimizedDuplicateAndLookup(t *testing.T) {
+	db := reldb.New()
+	st, _ := NewOptimized(db)
+	if _, err := st.InstallPolicy(volga(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.InstallPolicy(volga(t)); err == nil {
+		t.Error("duplicate install should fail")
+	}
+	id, err := st.PolicyID("volga")
+	if err != nil || id != 1 {
+		t.Errorf("PolicyID: %d %v", id, err)
+	}
+	if _, err := st.PolicyID("nope"); err == nil {
+		t.Error("missing policy should error")
+	}
+}
+
+func TestOptimizedRemove(t *testing.T) {
+	db := reldb.New()
+	st, _ := NewOptimized(db)
+	id, err := st.InstallPolicy(volga(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RemovePolicy(id); err != nil {
+		t.Fatal(err)
+	}
+	for _, table := range []string{"Policy", "Statement", "Purpose", "Recipient", "Datagroup", "Data"} {
+		if n := count(t, db, `SELECT COUNT(*) FROM `+table); n != 0 {
+			t.Errorf("%s rows after remove = %d", table, n)
+		}
+	}
+	// Reinstall under a fresh id works (versioning).
+	id2, err := st.InstallPolicy(volga(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 == id {
+		t.Errorf("new version should get a fresh id, got %d again", id2)
+	}
+}
+
+func TestOptimizedRejectsInvalid(t *testing.T) {
+	db := reldb.New()
+	st, _ := NewOptimized(db)
+	bad := &p3p.Policy{Name: "bad", Statements: []*p3p.Statement{{
+		Purposes: []p3p.PurposeValue{{Value: "nonsense"}},
+	}}}
+	if _, err := st.InstallPolicy(bad); err == nil {
+		t.Error("invalid policy should be rejected")
+	}
+}
+
+func TestExpandData(t *testing.T) {
+	schema := basedata.Default()
+	// Struct ref expands to leaves with schema categories.
+	leaves := ExpandData(schema, &p3p.Data{Ref: "#user.name"})
+	if len(leaves) != 6 {
+		t.Fatalf("user.name leaves = %d", len(leaves))
+	}
+	for _, l := range leaves {
+		if !strings.HasPrefix(l.Ref, "#user.name.") {
+			t.Errorf("leaf ref %q", l.Ref)
+		}
+		if len(l.Categories) != 2 {
+			t.Errorf("leaf cats %v", l.Categories)
+		}
+	}
+	// Variable ref keeps declared categories.
+	leaves = ExpandData(schema, &p3p.Data{Ref: "#dynamic.miscdata", Categories: []string{"purchase"}})
+	if len(leaves) != 1 || leaves[0].Ref != "#dynamic.miscdata" || leaves[0].Categories[0] != "purchase" {
+		t.Errorf("miscdata: %+v", leaves)
+	}
+	// Unknown ref survives as itself.
+	leaves = ExpandData(schema, &p3p.Data{Ref: "custom.thing", Categories: []string{"health"}})
+	if len(leaves) != 1 || leaves[0].Ref != "#custom.thing" {
+		t.Errorf("unknown: %+v", leaves)
+	}
+}
+
+func TestGenericInstall(t *testing.T) {
+	db := reldb.New()
+	g, err := NewGeneric(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := g.InstallPolicy(volga(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Errorf("id = %d", id)
+	}
+	// One table per element of the vocabulary subset.
+	names := db.TableNames()
+	if len(names) < 45 {
+		t.Errorf("generic schema has %d tables, want ~49", len(names))
+	}
+	if n := count(t, db, `SELECT COUNT(*) FROM statement WHERE policy_id = 1`); n != 2 {
+		t.Errorf("statement rows = %d", n)
+	}
+	// Purpose value tables: current in stmt 1; individual_decision and
+	// contact in stmt 2 with required=opt-in.
+	if n := count(t, db, `SELECT COUNT(*) FROM current WHERE policy_id = 1 AND statement_id = 1`); n != 1 {
+		t.Errorf("current rows = %d", n)
+	}
+	rows, err := db.Query(`SELECT required FROM individual_decision WHERE policy_id = 1`)
+	if err != nil || len(rows.Data) != 1 {
+		t.Fatalf("individual_decision: %v %v", rows, err)
+	}
+	if rows.Data[0][0].AsString() != "opt-in" {
+		t.Errorf("required = %v", rows.Data[0][0])
+	}
+	// Retention value tables.
+	if n := count(t, db, `SELECT COUNT(*) FROM stated_purpose WHERE policy_id = 1`); n != 1 {
+		t.Errorf("stated_purpose rows = %d", n)
+	}
+	if n := count(t, db, `SELECT COUNT(*) FROM business_practices WHERE policy_id = 1`); n != 1 {
+		t.Errorf("business_practices rows = %d", n)
+	}
+	// Category value tables populated via augmentation.
+	if n := count(t, db, `SELECT COUNT(*) FROM purchase WHERE policy_id = 1`); n != 2 {
+		t.Errorf("purchase rows = %d", n)
+	}
+	if n := count(t, db, `SELECT COUNT(*) FROM physical WHERE policy_id = 1`); n == 0 {
+		t.Error("no physical category rows; augmentation missing")
+	}
+	// DATA rows carry leaf refs after augmentation.
+	if n := count(t, db, `SELECT COUNT(*) FROM data WHERE ref = '#user.name.given'`); n != 1 {
+		t.Errorf("user.name.given rows = %d", n)
+	}
+	// The join chain data -> categories -> physical holds together.
+	joined := count(t, db, `SELECT COUNT(*) FROM data d WHERE EXISTS (
+		SELECT * FROM categories c WHERE c.policy_id = d.policy_id AND c.statement_id = d.statement_id
+			AND c.data_group_id = d.data_group_id AND c.data_id = d.data_id AND EXISTS (
+			SELECT * FROM physical p WHERE p.policy_id = c.policy_id AND p.statement_id = c.statement_id
+				AND p.data_group_id = c.data_group_id AND p.data_id = c.data_id AND p.categories_id = c.categories_id))`)
+	if joined == 0 {
+		t.Error("category join chain broken")
+	}
+}
+
+func TestGenericPolicyID(t *testing.T) {
+	db := reldb.New()
+	g, _ := NewGeneric(db)
+	if _, err := g.InstallPolicy(volga(t)); err != nil {
+		t.Fatal(err)
+	}
+	id, err := g.PolicyID("volga")
+	if err != nil || id != 1 {
+		t.Errorf("PolicyID: %d %v", id, err)
+	}
+}
+
+func TestGenericRegistryShape(t *testing.T) {
+	reg := GenericRegistry()
+	if len(reg) != 50 {
+		t.Errorf("registry size = %d, want 50", len(reg))
+	}
+	data := reg["DATA"]
+	if data.TableName() != "data" || data.IDColumn() != "data_id" {
+		t.Errorf("DATA table: %s %s", data.TableName(), data.IDColumn())
+	}
+	if got := strings.Join(data.FKColumns(), ","); got != "data_group_id,statement_id,policy_id" {
+		t.Errorf("DATA fks = %s", got)
+	}
+	idv := reg["individual-decision"]
+	if idv.TableName() != "individual_decision" {
+		t.Errorf("sanitized name = %s", idv.TableName())
+	}
+	if got := strings.Join(idv.FKColumns(), ","); got != "purpose_id,statement_id,policy_id" {
+		t.Errorf("purpose value fks = %s", got)
+	}
+}
+
+func TestIdent(t *testing.T) {
+	cases := map[string]string{
+		"DATA-GROUP":          "data_group",
+		"individual-decision": "individual_decision",
+		"POLICY":              "policy",
+		"stated-purpose":      "stated_purpose",
+	}
+	for in, want := range cases {
+		if got := Ident(in); got != want {
+			t.Errorf("Ident(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

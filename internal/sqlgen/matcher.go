@@ -1,0 +1,33 @@
+package sqlgen
+
+import (
+	"fmt"
+
+	"p3pdb/internal/reldb"
+)
+
+// Match executes translated rule queries in order and returns the outcome
+// of the first query that yields a row, mirroring APPEL's ordered-rule
+// semantics on the database side.
+type MatchResult struct {
+	Behavior  string
+	RuleIndex int
+	Prompt    bool
+}
+
+// ErrNoRuleFired is returned when no translated rule query produced a row.
+var ErrNoRuleFired = fmt.Errorf("sqlgen: no rule fired; ruleset lacks a catch-all")
+
+// Match runs the queries against db in rule order.
+func Match(db *reldb.DB, queries []RuleQuery) (MatchResult, error) {
+	for i, q := range queries {
+		ok, err := db.QueryExists(q.SQL)
+		if err != nil {
+			return MatchResult{}, fmt.Errorf("sqlgen: rule %d: %w", i+1, err)
+		}
+		if ok {
+			return MatchResult{Behavior: q.Behavior, RuleIndex: i, Prompt: q.Prompt}, nil
+		}
+	}
+	return MatchResult{}, ErrNoRuleFired
+}

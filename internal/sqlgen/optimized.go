@@ -1,0 +1,490 @@
+// Package sqlgen translates APPEL preferences into SQL queries: the
+// paper's Section 5.3 (generic schema, Figure 11) and Section 5.4
+// (optimized schema, Figure 15, with per-element subqueries for PURPOSE /
+// RECIPIENT / CATEGORIES values merged into single subqueries over their
+// parent's table).
+//
+// Each APPEL rule becomes one SELECT returning the rule's behavior; the
+// FROM clause is the applicablePolicy() derived table produced by the
+// reffile package, and the WHERE clause mirrors the rule body as nested
+// correlated EXISTS subqueries. Rules are executed in order; the first
+// query to return a row decides the outcome (package core drives that
+// loop).
+package sqlgen
+
+import (
+	"fmt"
+	"strings"
+
+	"p3pdb/internal/appel"
+	"p3pdb/internal/reldb"
+)
+
+// RuleQuery is the translation of one APPEL rule.
+type RuleQuery struct {
+	// Behavior is the rule's behavior, returned when the query yields a
+	// row.
+	Behavior string
+	// SQL is the translated query. For an empty-body (catch-all) rule it
+	// selects the behavior for any applicable policy.
+	SQL string
+	// Prompt mirrors the rule's prompt attribute.
+	Prompt bool
+}
+
+// FixedPolicySubquery returns an applicablePolicy() replacement that names
+// a specific policy id directly, used when the caller has already resolved
+// the reference file (the hybrid architecture of §4.2) or matches a policy
+// by name.
+func FixedPolicySubquery(policyID int) string {
+	return fmt.Sprintf("SELECT %d AS policy_id", policyID)
+}
+
+// TranslateRulesetOptimized translates every rule of a preference against
+// the optimized (Figure 14) schema. applicable is the applicablePolicy()
+// subquery (reffile.ApplicablePolicySubquery or FixedPolicySubquery).
+func TranslateRulesetOptimized(rs *appel.Ruleset, applicable string) ([]RuleQuery, error) {
+	out := make([]RuleQuery, 0, len(rs.Rules))
+	for i, r := range rs.Rules {
+		q, err := TranslateRuleOptimized(r, applicable)
+		if err != nil {
+			return nil, fmt.Errorf("sqlgen: rule %d: %w", i+1, err)
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// TranslateRuleOptimized translates one APPEL rule into a SQL query over
+// the optimized schema. This is the paper's main() function (Figure 11)
+// adapted to the Figure 14 tables.
+func TranslateRuleOptimized(r *appel.Rule, applicable string) (RuleQuery, error) {
+	c := &optTranslator{}
+	sql := "SELECT " + sqlString(r.Behavior) + " FROM (" + applicable + ") AS ApplicablePolicy"
+	if len(r.Body) > 0 {
+		conds := make([]string, 0, len(r.Body))
+		for _, e := range r.Body {
+			if e.Name != "POLICY" {
+				return RuleQuery{}, fmt.Errorf("rule body must pattern over POLICY, got %s", e.Name)
+			}
+			cond, err := c.matchPolicy(e)
+			if err != nil {
+				return RuleQuery{}, err
+			}
+			conds = append(conds, cond)
+		}
+		body, err := combineConditions(r.EffectiveConnective(), conds)
+		if err != nil {
+			return RuleQuery{}, err
+		}
+		sql += " WHERE " + body
+	}
+	return RuleQuery{Behavior: r.Behavior, SQL: sql, Prompt: r.Prompt}, nil
+}
+
+// optTranslator carries the alias counter for one rule translation.
+type optTranslator struct {
+	n int
+}
+
+func (c *optTranslator) alias(prefix string) string {
+	c.n++
+	return fmt.Sprintf("%s%d", prefix, c.n)
+}
+
+// combineConditions joins already-built boolean conditions with an APPEL
+// connective. Exact connectives cannot be expressed at this level (they
+// constrain the policy's elements, not conditions) and are handled by the
+// per-element translators; reaching here with one is an authoring error.
+func combineConditions(connective string, conds []string) (string, error) {
+	wrap := func(sep string) string {
+		if len(conds) == 1 {
+			return conds[0]
+		}
+		return "(" + strings.Join(conds, sep) + ")"
+	}
+	switch connective {
+	case appel.ConnAnd:
+		return wrap(" AND "), nil
+	case appel.ConnOr:
+		return wrap(" OR "), nil
+	case appel.ConnNonAnd:
+		return "NOT " + forceParens(wrap(" AND ")), nil
+	case appel.ConnNonOr:
+		return "NOT " + forceParens(wrap(" OR ")), nil
+	case appel.ConnAndExact, appel.ConnOrExact:
+		return "", fmt.Errorf("connective %s is only supported on value-list elements (PURPOSE, RECIPIENT, CATEGORIES, RETENTION)", connective)
+	}
+	return "", fmt.Errorf("unknown connective %q", connective)
+}
+
+func forceParens(s string) string {
+	if strings.HasPrefix(s, "(") && strings.HasSuffix(s, ")") {
+		return s
+	}
+	return "(" + s + ")"
+}
+
+func sqlString(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}
+
+// matchPolicy translates a POLICY expression: Figure 13 lines 5-8.
+func (c *optTranslator) matchPolicy(e *appel.Expr) (string, error) {
+	a := c.alias("p")
+	var conds []string
+	for _, attr := range e.Attrs {
+		col, ok := map[string]string{"name": "name", "discuri": "discuri", "opturi": "opturi"}[attr.Name]
+		if !ok {
+			return "", fmt.Errorf("unsupported POLICY attribute %q", attr.Name)
+		}
+		if attr.Value != "*" {
+			conds = append(conds, a+"."+col+" = "+sqlString(attr.Value))
+		}
+	}
+	var kidConds []string
+	for _, kid := range e.Children {
+		switch kid.Name {
+		case "STATEMENT":
+			cond, err := c.matchStatement(kid, a)
+			if err != nil {
+				return "", err
+			}
+			kidConds = append(kidConds, cond)
+		case "ACCESS":
+			cond, err := c.valueColumnCond(kid, a+".access", "ACCESS")
+			if err != nil {
+				return "", err
+			}
+			kidConds = append(kidConds, cond)
+		case "TEST":
+			kidConds = append(kidConds, a+".test = 1")
+		default:
+			return "", fmt.Errorf("unsupported expression %s under POLICY", kid.Name)
+		}
+	}
+	if len(kidConds) > 0 {
+		combined, err := combineConditions(e.EffectiveConnective(), kidConds)
+		if err != nil {
+			return "", err
+		}
+		conds = append(conds, combined)
+	}
+	where := a + ".policy_id = ApplicablePolicy.policy_id"
+	if len(conds) > 0 {
+		where += " AND " + strings.Join(conds, " AND ")
+	}
+	return "EXISTS (SELECT * FROM Policy " + a + " WHERE " + where + ")", nil
+}
+
+// matchStatement translates a STATEMENT expression: Figure 13 lines 9-12.
+func (c *optTranslator) matchStatement(e *appel.Expr, polAlias string) (string, error) {
+	a := c.alias("s")
+	var kidConds []string
+	for _, kid := range e.Children {
+		var cond string
+		var err error
+		switch kid.Name {
+		case "PURPOSE":
+			cond, err = c.valueListCond(kid, "Purpose", "purpose", a)
+		case "RECIPIENT":
+			cond, err = c.valueListCond(kid, "Recipient", "recipient", a)
+		case "RETENTION":
+			cond, err = c.retentionCond(kid, a)
+		case "DATA-GROUP":
+			cond, err = c.matchDataGroup(kid, a)
+		case "CONSEQUENCE":
+			cond = a + ".consequence IS NOT NULL"
+		case "NON-IDENTIFIABLE":
+			cond = a + ".non_identifiable = 1"
+		default:
+			err = fmt.Errorf("unsupported expression %s under STATEMENT", kid.Name)
+		}
+		if err != nil {
+			return "", err
+		}
+		kidConds = append(kidConds, cond)
+	}
+	where := a + ".policy_id = " + polAlias + ".policy_id"
+	if len(kidConds) > 0 {
+		combined, err := combineConditions(e.EffectiveConnective(), kidConds)
+		if err != nil {
+			return "", err
+		}
+		where += " AND " + combined
+	}
+	return "EXISTS (SELECT * FROM Statement " + a + " WHERE " + where + ")", nil
+}
+
+// valueListCond translates PURPOSE and RECIPIENT expressions against the
+// folded value tables of the optimized schema. This is where Figure 13's
+// per-value subqueries merge into the single subquery of Figure 15, for
+// every connective including the exact forms.
+func (c *optTranslator) valueListCond(e *appel.Expr, table, valueCol, stmtAlias string) (string, error) {
+	a := c.alias("u")
+	join := a + ".policy_id = " + stmtAlias + ".policy_id AND " +
+		a + ".statement_id = " + stmtAlias + ".statement_id"
+	existsWhere := func(extra string) string {
+		w := join
+		if extra != "" {
+			w += " AND " + extra
+		}
+		return "EXISTS (SELECT * FROM " + table + " " + a + " WHERE " + w + ")"
+	}
+
+	// Row predicate for each listed value subexpression.
+	preds := make([]string, 0, len(e.Children))
+	for _, kid := range e.Children {
+		if len(kid.Children) > 0 {
+			return "", fmt.Errorf("value element %s must not have subelements", kid.Name)
+		}
+		pred := a + "." + valueCol + " = " + sqlString(kid.Name)
+		for _, attr := range kid.Attrs {
+			if attr.Name != "required" {
+				return "", fmt.Errorf("unsupported attribute %q on %s", attr.Name, kid.Name)
+			}
+			if attr.Value == "*" {
+				continue
+			}
+			pred += " AND " + a + ".required = " + sqlString(attr.Value)
+		}
+		preds = append(preds, "("+pred+")")
+	}
+	disj := strings.Join(preds, " OR ")
+
+	// An expression with no listed values just asserts the element's
+	// existence.
+	if len(preds) == 0 {
+		return existsWhere(""), nil
+	}
+
+	switch e.EffectiveConnective() {
+	case appel.ConnOr:
+		return existsWhere("(" + disj + ")"), nil
+	case appel.ConnAnd:
+		all := make([]string, len(preds))
+		for i, p := range preds {
+			all[i] = existsWhere(p)
+		}
+		return "(" + strings.Join(all, " AND ") + ")", nil
+	case appel.ConnNonOr:
+		return "(" + existsWhere("") + " AND NOT " + existsWhere("("+disj+")") + ")", nil
+	case appel.ConnNonAnd:
+		all := make([]string, len(preds))
+		for i, p := range preds {
+			all[i] = existsWhere(p)
+		}
+		return "(" + existsWhere("") + " AND NOT (" + strings.Join(all, " AND ") + "))", nil
+	case appel.ConnAndExact:
+		all := make([]string, len(preds))
+		for i, p := range preds {
+			all[i] = existsWhere(p)
+		}
+		return "(" + strings.Join(all, " AND ") + " AND NOT " + existsWhere("NOT ("+disj+")") + ")", nil
+	case appel.ConnOrExact:
+		return "(" + existsWhere("("+disj+")") + " AND NOT " + existsWhere("NOT ("+disj+")") + ")", nil
+	}
+	return "", fmt.Errorf("unknown connective %q", e.Connective)
+}
+
+// retentionCond translates a RETENTION expression against the retention
+// column folded into Statement (the second Figure 14 optimization). The
+// single-valued column makes the exact connectives collapse: a statement
+// has exactly one retention, so or-exact equals or and and-exact over more
+// than one value is unsatisfiable.
+func (c *optTranslator) retentionCond(e *appel.Expr, stmtAlias string) (string, error) {
+	return c.valueColumnCond(e, stmtAlias+".retention", "RETENTION")
+}
+
+// valueColumnCond matches a value-list expression against a single-valued
+// column (Statement.retention, Policy.access).
+func (c *optTranslator) valueColumnCond(e *appel.Expr, col, what string) (string, error) {
+	preds := make([]string, 0, len(e.Children))
+	for _, kid := range e.Children {
+		if len(kid.Children) > 0 || len(kid.Attrs) > 0 {
+			return "", fmt.Errorf("%s value element %s must be empty", what, kid.Name)
+		}
+		preds = append(preds, col+" = "+sqlString(kid.Name))
+	}
+	if len(preds) == 0 {
+		return col + " IS NOT NULL", nil
+	}
+	disj := "(" + strings.Join(preds, " OR ") + ")"
+	conj := "(" + strings.Join(preds, " AND ") + ")"
+	switch e.EffectiveConnective() {
+	case appel.ConnOr, appel.ConnOrExact:
+		return disj, nil
+	case appel.ConnAnd, appel.ConnAndExact:
+		return conj, nil
+	case appel.ConnNonOr:
+		return "(" + col + " IS NOT NULL AND NOT " + disj + ")", nil
+	case appel.ConnNonAnd:
+		return "(" + col + " IS NOT NULL AND NOT " + conj + ")", nil
+	}
+	return "", fmt.Errorf("unknown connective %q", e.Connective)
+}
+
+// matchDataGroup translates a DATA-GROUP expression.
+func (c *optTranslator) matchDataGroup(e *appel.Expr, stmtAlias string) (string, error) {
+	a := c.alias("g")
+	var conds []string
+	for _, attr := range e.Attrs {
+		if attr.Name != "base" {
+			return "", fmt.Errorf("unsupported DATA-GROUP attribute %q", attr.Name)
+		}
+		if attr.Value != "*" {
+			conds = append(conds, a+".base = "+sqlString(attr.Value))
+		}
+	}
+	var kidConds []string
+	for _, kid := range e.Children {
+		if kid.Name != "DATA" {
+			return "", fmt.Errorf("unsupported expression %s under DATA-GROUP", kid.Name)
+		}
+		cond, err := c.matchData(kid, a)
+		if err != nil {
+			return "", err
+		}
+		kidConds = append(kidConds, cond)
+	}
+	if len(kidConds) > 0 {
+		combined, err := combineConditions(e.EffectiveConnective(), kidConds)
+		if err != nil {
+			return "", err
+		}
+		conds = append(conds, combined)
+	}
+	where := a + ".policy_id = " + stmtAlias + ".policy_id AND " +
+		a + ".statement_id = " + stmtAlias + ".statement_id"
+	if len(conds) > 0 {
+		where += " AND " + strings.Join(conds, " AND ")
+	}
+	return "EXISTS (SELECT * FROM Datagroup " + a + " WHERE " + where + ")", nil
+}
+
+// refCondition builds the hierarchical data-reference predicate: the
+// pattern matches a stored (leaf-expanded) reference when they are equal
+// or one is a dotted prefix of the other.
+func refCondition(col, ref string) string {
+	if ref == "*" {
+		return ""
+	}
+	r := ref
+	if !strings.HasPrefix(r, "#") {
+		r = "#" + r
+	}
+	lit := sqlString(r)
+	below := sqlString(reldb.EscapeLike(r) + ".%")
+	return "(" + col + " = " + lit +
+		" OR " + col + " LIKE " + below +
+		" OR " + lit + " LIKE " + col + " || '.%')"
+}
+
+// matchData translates a DATA expression, including CATEGORIES
+// subexpressions against the category rows folded into the Data table (the
+// third Figure 14 optimization).
+func (c *optTranslator) matchData(e *appel.Expr, dgAlias string) (string, error) {
+	a := c.alias("d")
+	var conds []string
+	for _, attr := range e.Attrs {
+		switch attr.Name {
+		case "ref":
+			if cond := refCondition(a+".ref", attr.Value); cond != "" {
+				conds = append(conds, cond)
+			}
+		case "optional":
+			if attr.Value == "*" {
+				continue
+			}
+			v := "0"
+			if strings.EqualFold(attr.Value, "yes") {
+				v = "1"
+			}
+			conds = append(conds, a+".optional = "+v)
+		default:
+			return "", fmt.Errorf("unsupported DATA attribute %q", attr.Name)
+		}
+	}
+	var kidConds []string
+	for _, kid := range e.Children {
+		if kid.Name != "CATEGORIES" {
+			return "", fmt.Errorf("unsupported expression %s under DATA", kid.Name)
+		}
+		cond, err := c.categoriesCond(kid, a)
+		if err != nil {
+			return "", err
+		}
+		kidConds = append(kidConds, cond)
+	}
+	if len(kidConds) > 0 {
+		combined, err := combineConditions(e.EffectiveConnective(), kidConds)
+		if err != nil {
+			return "", err
+		}
+		conds = append(conds, combined)
+	}
+	where := a + ".policy_id = " + dgAlias + ".policy_id AND " +
+		a + ".statement_id = " + dgAlias + ".statement_id AND " +
+		a + ".datagroup_id = " + dgAlias + ".datagroup_id"
+	if len(conds) > 0 {
+		where += " AND " + strings.Join(conds, " AND ")
+	}
+	return "EXISTS (SELECT * FROM Data " + a + " WHERE " + where + ")", nil
+}
+
+// categoriesCond translates a CATEGORIES expression against the category
+// rows that share the parent DATA element's id.
+func (c *optTranslator) categoriesCond(e *appel.Expr, dataAlias string) (string, error) {
+	a := c.alias("c")
+	join := a + ".policy_id = " + dataAlias + ".policy_id AND " +
+		a + ".statement_id = " + dataAlias + ".statement_id AND " +
+		a + ".datagroup_id = " + dataAlias + ".datagroup_id AND " +
+		a + ".data_id = " + dataAlias + ".data_id"
+	existsWhere := func(extra string) string {
+		w := join
+		if extra != "" {
+			w += " AND " + extra
+		}
+		return "EXISTS (SELECT * FROM Data " + a + " WHERE " + w + ")"
+	}
+	preds := make([]string, 0, len(e.Children))
+	for _, kid := range e.Children {
+		if len(kid.Children) > 0 || len(kid.Attrs) > 0 {
+			return "", fmt.Errorf("category value element %s must be empty", kid.Name)
+		}
+		preds = append(preds, "("+a+".category = "+sqlString(kid.Name)+")")
+	}
+	if len(preds) == 0 {
+		return existsWhere(a + ".category <> ''"), nil
+	}
+	disj := strings.Join(preds, " OR ")
+	switch e.EffectiveConnective() {
+	case appel.ConnOr:
+		return existsWhere("(" + disj + ")"), nil
+	case appel.ConnAnd:
+		all := make([]string, len(preds))
+		for i, p := range preds {
+			all[i] = existsWhere(p)
+		}
+		return "(" + strings.Join(all, " AND ") + ")", nil
+	case appel.ConnNonOr:
+		return "(" + existsWhere(a+".category <> ''") + " AND NOT " + existsWhere("("+disj+")") + ")", nil
+	case appel.ConnNonAnd:
+		all := make([]string, len(preds))
+		for i, p := range preds {
+			all[i] = existsWhere(p)
+		}
+		return "(" + existsWhere(a+".category <> ''") + " AND NOT (" + strings.Join(all, " AND ") + "))", nil
+	case appel.ConnAndExact:
+		all := make([]string, len(preds))
+		for i, p := range preds {
+			all[i] = existsWhere(p)
+		}
+		return "(" + strings.Join(all, " AND ") +
+			" AND NOT " + existsWhere("NOT ("+disj+") AND "+a+".category <> ''") + ")", nil
+	case appel.ConnOrExact:
+		return "(" + existsWhere("("+disj+")") +
+			" AND NOT " + existsWhere("NOT ("+disj+") AND "+a+".category <> ''") + ")", nil
+	}
+	return "", fmt.Errorf("unknown connective %q", e.Connective)
+}

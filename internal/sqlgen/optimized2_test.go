@@ -1,0 +1,163 @@
+package sqlgen
+
+import (
+	"strings"
+	"testing"
+
+	"p3pdb/internal/appel"
+	"p3pdb/internal/p3p"
+)
+
+// matchOptimized runs a single-block-rule preference against a policy on
+// the optimized schema only (for expressions the generic schema does not
+// model, such as ACCESS and TEST).
+func matchOptimized(t *testing.T, ruleBody, policyXML string) bool {
+	t.Helper()
+	rsDoc := `<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1">
+		<appel:RULE behavior="block">` + ruleBody + `</appel:RULE>
+		<appel:OTHERWISE behavior="request"/>
+	</appel:RULESET>`
+	rs := mustRuleset(t, rsDoc)
+	db, id := optFixture(t, policyXML)
+	qs, err := TranslateRulesetOptimized(rs, FixedPolicySubquery(id))
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	res, err := Match(db, qs)
+	if err != nil {
+		t.Fatalf("match: %v", err)
+	}
+	return res.Behavior == "block"
+}
+
+func TestAccessExpression(t *testing.T) {
+	// Volga declares <ACCESS><contact-and-other/></ACCESS>.
+	if !matchOptimized(t, `<POLICY><ACCESS appel:connective="or"><contact-and-other/><all/></ACCESS></POLICY>`, p3p.VolgaPolicyXML) {
+		t.Error("ACCESS or should match")
+	}
+	if matchOptimized(t, `<POLICY><ACCESS appel:connective="or"><none/></ACCESS></POLICY>`, p3p.VolgaPolicyXML) {
+		t.Error("ACCESS none should not match")
+	}
+	if !matchOptimized(t, `<POLICY><ACCESS appel:connective="non-or"><none/><nonident/></ACCESS></POLICY>`, p3p.VolgaPolicyXML) {
+		t.Error("ACCESS non-or should match")
+	}
+	// Bare ACCESS asserts existence.
+	if !matchOptimized(t, `<POLICY><ACCESS/></POLICY>`, p3p.VolgaPolicyXML) {
+		t.Error("bare ACCESS should match a policy that declares access")
+	}
+}
+
+func TestTestExpression(t *testing.T) {
+	testPolicy := strings.Replace(p3p.VolgaPolicyXML, `</POLICY>`, `<TEST/></POLICY>`, 1)
+	if !matchOptimized(t, `<POLICY><TEST/></POLICY>`, testPolicy) {
+		t.Error("TEST should match a test policy")
+	}
+	if matchOptimized(t, `<POLICY><TEST/></POLICY>`, p3p.VolgaPolicyXML) {
+		t.Error("TEST should not match a production policy")
+	}
+}
+
+func TestPolicyAttributePatterns(t *testing.T) {
+	if !matchOptimized(t, `<POLICY name="volga"/>`, p3p.VolgaPolicyXML) {
+		t.Error("name pattern should match")
+	}
+	if matchOptimized(t, `<POLICY name="other"/>`, p3p.VolgaPolicyXML) {
+		t.Error("wrong name should not match")
+	}
+	if !matchOptimized(t, `<POLICY discuri="*"/>`, p3p.VolgaPolicyXML) {
+		t.Error("wildcard discuri should match")
+	}
+}
+
+func TestNonIdentifiableExpression(t *testing.T) {
+	anon := `<POLICY xmlns="http://www.w3.org/2002/01/P3Pv1" name="anon">
+	  <STATEMENT><NON-IDENTIFIABLE/></STATEMENT>
+	</POLICY>`
+	if !matchOptimized(t, `<POLICY><STATEMENT><NON-IDENTIFIABLE/></STATEMENT></POLICY>`, anon) {
+		t.Error("NON-IDENTIFIABLE should match")
+	}
+	if matchOptimized(t, `<POLICY><STATEMENT><NON-IDENTIFIABLE/></STATEMENT></POLICY>`, p3p.VolgaPolicyXML) {
+		t.Error("NON-IDENTIFIABLE should not match Volga")
+	}
+}
+
+func TestDataGroupBaseAndOptional(t *testing.T) {
+	pol := `<POLICY xmlns="http://www.w3.org/2002/01/P3Pv1" name="b">
+	  <STATEMENT>
+	    <PURPOSE><current/></PURPOSE><RECIPIENT><ours/></RECIPIENT>
+	    <RETENTION><no-retention/></RETENTION>
+	    <DATA-GROUP>
+	      <DATA ref="#user.gender" optional="yes"/>
+	      <DATA ref="#user.jobtitle"/>
+	    </DATA-GROUP>
+	  </STATEMENT>
+	</POLICY>`
+	if !matchOptimized(t, `<POLICY><STATEMENT><DATA-GROUP><DATA ref="#user.gender" optional="yes"/></DATA-GROUP></STATEMENT></POLICY>`, pol) {
+		t.Error("optional=yes should match")
+	}
+	if matchOptimized(t, `<POLICY><STATEMENT><DATA-GROUP><DATA ref="#user.jobtitle" optional="yes"/></DATA-GROUP></STATEMENT></POLICY>`, pol) {
+		t.Error("optional=yes should not match a required item")
+	}
+	if !matchOptimized(t, `<POLICY><STATEMENT><DATA-GROUP><DATA ref="#user.jobtitle" optional="no"/></DATA-GROUP></STATEMENT></POLICY>`, pol) {
+		t.Error("optional defaulting to no should match")
+	}
+}
+
+func TestOptimizedTranslateErrorPaths(t *testing.T) {
+	cases := []string{
+		`<POLICY zap="1"/>`,
+		`<POLICY><BOGUS/></POLICY>`,
+		`<POLICY><ACCESS><all x="1"/></ACCESS></POLICY>`,
+		`<POLICY><STATEMENT><RETENTION><indefinitely x="1"/></RETENTION></STATEMENT></POLICY>`,
+		`<POLICY><STATEMENT><PURPOSE><current><nested/></current></PURPOSE></STATEMENT></POLICY>`,
+		`<POLICY><STATEMENT><DATA-GROUP zap="1"/></STATEMENT></POLICY>`,
+		`<POLICY><STATEMENT><DATA-GROUP><BOGUS/></DATA-GROUP></STATEMENT></POLICY>`,
+		`<POLICY><STATEMENT><DATA-GROUP><DATA zap="1"/></DATA-GROUP></STATEMENT></POLICY>`,
+		`<POLICY><STATEMENT><DATA-GROUP><DATA ref="*"><BOGUS/></DATA></DATA-GROUP></STATEMENT></POLICY>`,
+		`<POLICY><STATEMENT><DATA-GROUP><DATA ref="*"><CATEGORIES><purchase x="1"/></CATEGORIES></DATA></DATA-GROUP></STATEMENT></POLICY>`,
+	}
+	for _, body := range cases {
+		rsDoc := `<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1">
+			<appel:RULE behavior="block">` + body + `</appel:RULE></appel:RULESET>`
+		rs := mustRuleset(t, rsDoc)
+		if _, err := TranslateRulesetOptimized(rs, FixedPolicySubquery(1)); err == nil {
+			t.Errorf("TranslateRulesetOptimized(%s): expected error", body)
+		}
+	}
+}
+
+func TestNativeAgreesOnAccessAndTest(t *testing.T) {
+	// The optimized-SQL decisions above must agree with the native
+	// engine, which matches ACCESS/TEST structurally.
+	rsDoc := `<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1">
+		<appel:RULE behavior="block"><POLICY><ACCESS appel:connective="or"><contact-and-other/></ACCESS></POLICY></appel:RULE>
+		<appel:OTHERWISE behavior="request"/></appel:RULESET>`
+	_ = rsDoc // the cross-check lives in appelengine's own tests; here we
+	// assert only that translation is possible for both directions.
+	rs := mustRuleset(t, rsDoc)
+	if _, err := TranslateRulesetOptimized(rs, FixedPolicySubquery(1)); err != nil {
+		t.Errorf("optimized: %v", err)
+	}
+	// The generic schema does not model ACCESS (a documented deviation);
+	// translation must fail loudly rather than silently mis-match.
+	if _, err := TranslateRulesetGeneric(rs, FixedPolicySubquery(1), GenericOptions{}); err == nil {
+		t.Error("generic translation of ACCESS should fail (no table)")
+	}
+}
+
+func TestJaneFullPreferenceShape(t *testing.T) {
+	rs := mustRuleset(t, appel.JanePreferenceXML)
+	qs, err := TranslateRulesetOptimized(rs, FixedPolicySubquery(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 3 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	if !strings.Contains(qs[1].SQL, "FROM Recipient") {
+		t.Errorf("rule 2 should pattern recipients:\n%s", qs[1].SQL)
+	}
+	if strings.Contains(qs[2].SQL, "WHERE") {
+		t.Errorf("catch-all should be unconditional:\n%s", qs[2].SQL)
+	}
+}

@@ -1,0 +1,386 @@
+package sqlgen
+
+import (
+	"strings"
+	"testing"
+
+	"p3pdb/internal/appel"
+	"p3pdb/internal/p3p"
+	"p3pdb/internal/reldb"
+	"p3pdb/internal/shred"
+)
+
+// optFixture shreds Volga into an optimized-schema DB.
+func optFixture(t testing.TB, policyXML string) (*reldb.DB, int) {
+	t.Helper()
+	db := reldb.New()
+	st, err := shred.NewOptimized(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := p3p.ParsePolicy(policyXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := st.InstallPolicy(pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, id
+}
+
+// genFixture shreds Volga into a generic-schema DB.
+func genFixture(t testing.TB, policyXML string) (*reldb.DB, int) {
+	t.Helper()
+	db := reldb.New()
+	st, err := shred.NewGeneric(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := p3p.ParsePolicy(policyXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := st.InstallPolicy(pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, id
+}
+
+func mustRuleset(t testing.TB, src string) *appel.Ruleset {
+	t.Helper()
+	rs, err := appel.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func TestTranslateJaneSimplifiedShape(t *testing.T) {
+	// The simplified first rule (Figure 12) should translate to the
+	// merged-subquery shape of Figure 15: one Purpose subquery holding
+	// the disjunction, not one subquery per purpose value.
+	rs := mustRuleset(t, appel.JaneSimplifiedRuleXML)
+	q, err := TranslateRuleOptimized(rs.Rules[0], FixedPolicySubquery(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Behavior != "block" {
+		t.Errorf("behavior = %q", q.Behavior)
+	}
+	if got := strings.Count(q.SQL, "FROM Purpose"); got != 1 {
+		t.Errorf("Purpose subqueries = %d, want 1 (merged as in Figure 15):\n%s", got, q.SQL)
+	}
+	for _, want := range []string{
+		"SELECT 'block'",
+		"FROM Policy",
+		"FROM Statement",
+		".purpose = 'admin'",
+		".purpose = 'contact'",
+		".required = 'always'",
+		" OR ",
+	} {
+		if !strings.Contains(q.SQL, want) {
+			t.Errorf("SQL missing %q:\n%s", want, q.SQL)
+		}
+	}
+}
+
+func TestJaneAgainstVolgaOptimized(t *testing.T) {
+	// The paper's worked example on the SQL path: Volga conforms.
+	db, id := optFixture(t, p3p.VolgaPolicyXML)
+	rs := mustRuleset(t, appel.JanePreferenceXML)
+	qs, err := TranslateRulesetOptimized(rs, FixedPolicySubquery(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Match(db, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Behavior != "request" || res.RuleIndex != 2 {
+		t.Errorf("result = %+v, want request via rule 3", res)
+	}
+}
+
+func TestJaneAgainstVolgaGeneric(t *testing.T) {
+	db, id := genFixture(t, p3p.VolgaPolicyXML)
+	rs := mustRuleset(t, appel.JanePreferenceXML)
+	qs, err := TranslateRulesetGeneric(rs, FixedPolicySubquery(id), GenericOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Match(db, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Behavior != "request" || res.RuleIndex != 2 {
+		t.Errorf("result = %+v, want request via rule 3", res)
+	}
+}
+
+func TestCounterfactualFiresBothSchemas(t *testing.T) {
+	// Removing the opt-in flips the default to always and rule 1 fires
+	// (the paper's counterfactual).
+	modified := strings.Replace(p3p.VolgaPolicyXML,
+		`<individual-decision required="opt-in"/>`, `<individual-decision/>`, 1)
+	rs := mustRuleset(t, appel.JanePreferenceXML)
+
+	db, id := optFixture(t, modified)
+	qs, err := TranslateRulesetOptimized(rs, FixedPolicySubquery(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Match(db, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Behavior != "block" || res.RuleIndex != 0 {
+		t.Errorf("optimized result = %+v", res)
+	}
+
+	gdb, gid := genFixture(t, modified)
+	gqs, err := TranslateRulesetGeneric(rs, FixedPolicySubquery(gid), GenericOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gres, err := Match(gdb, gqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gres.Behavior != "block" || gres.RuleIndex != 0 {
+		t.Errorf("generic result = %+v", gres)
+	}
+}
+
+// matchBoth translates and runs a single-block-rule preference against a
+// policy on both schemas and checks they agree, returning whether it fired.
+func matchBoth(t *testing.T, ruleBody, policyXML string) bool {
+	t.Helper()
+	rsDoc := `<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1">
+		<appel:RULE behavior="block">` + ruleBody + `</appel:RULE>
+		<appel:OTHERWISE behavior="request"/>
+	</appel:RULESET>`
+	rs := mustRuleset(t, rsDoc)
+
+	db, id := optFixture(t, policyXML)
+	qs, err := TranslateRulesetOptimized(rs, FixedPolicySubquery(id))
+	if err != nil {
+		t.Fatalf("optimized translate: %v", err)
+	}
+	res, err := Match(db, qs)
+	if err != nil {
+		t.Fatalf("optimized match: %v", err)
+	}
+
+	gdb, gid := genFixture(t, policyXML)
+	gqs, err := TranslateRulesetGeneric(rs, FixedPolicySubquery(gid), GenericOptions{})
+	if err != nil {
+		t.Fatalf("generic translate: %v", err)
+	}
+	gres, err := Match(gdb, gqs)
+	if err != nil {
+		t.Fatalf("generic match: %v", err)
+	}
+
+	if res.Behavior != gres.Behavior {
+		t.Fatalf("schema disagreement: optimized=%s generic=%s\nrule: %s",
+			res.Behavior, gres.Behavior, ruleBody)
+	}
+	return res.Behavior == "block"
+}
+
+const tinyPolicy = `<POLICY xmlns="http://www.w3.org/2002/01/P3Pv1" name="t">
+  <STATEMENT>
+    <PURPOSE><current/><admin required="opt-in"/></PURPOSE>
+    <RECIPIENT><ours/></RECIPIENT>
+    <RETENTION><stated-purpose/></RETENTION>
+    <DATA-GROUP>
+      <DATA ref="#user.home-info.online.email"/>
+      <DATA ref="#dynamic.miscdata"><CATEGORIES><purchase/><financial/></CATEGORIES></DATA>
+    </DATA-GROUP>
+  </STATEMENT>
+</POLICY>`
+
+func TestConnectivesOnBothSchemas(t *testing.T) {
+	cases := []struct {
+		name string
+		rule string
+		want bool
+	}{
+		{"or bare element matches any required", `<POLICY><STATEMENT><PURPOSE appel:connective="or"><admin/><telemarketing/></PURPOSE></STATEMENT></POLICY>`, true},
+		{"or all absent", `<POLICY><STATEMENT><PURPOSE appel:connective="or"><develop/><telemarketing/></PURPOSE></STATEMENT></POLICY>`, false},
+		{"or attr mismatch", `<POLICY><STATEMENT><PURPOSE appel:connective="or"><admin required="always"/><telemarketing/></PURPOSE></STATEMENT></POLICY>`, false},
+		{"or hit with wildcard required", `<POLICY><STATEMENT><PURPOSE appel:connective="or"><admin required="*"/><telemarketing/></PURPOSE></STATEMENT></POLICY>`, true},
+		{"or attr match", `<POLICY><STATEMENT><PURPOSE appel:connective="or"><admin required="opt-in"/></PURPOSE></STATEMENT></POLICY>`, true},
+		{"and hit", `<POLICY><STATEMENT><PURPOSE appel:connective="and"><current/><admin required="opt-in"/></PURPOSE></STATEMENT></POLICY>`, true},
+		{"and miss", `<POLICY><STATEMENT><PURPOSE appel:connective="and"><current/><telemarketing/></PURPOSE></STATEMENT></POLICY>`, false},
+		{"non-or clean", `<POLICY><STATEMENT><PURPOSE appel:connective="non-or"><telemarketing/><contact/></PURPOSE></STATEMENT></POLICY>`, true},
+		{"non-or dirty", `<POLICY><STATEMENT><PURPOSE appel:connective="non-or"><current/></PURPOSE></STATEMENT></POLICY>`, false},
+		{"non-and", `<POLICY><STATEMENT><PURPOSE appel:connective="non-and"><current/><telemarketing/></PURPOSE></STATEMENT></POLICY>`, true},
+		{"and-exact exact", `<POLICY><STATEMENT><PURPOSE appel:connective="and-exact"><current/><admin required="opt-in"/></PURPOSE></STATEMENT></POLICY>`, true},
+		{"and-exact wrong attr", `<POLICY><STATEMENT><PURPOSE appel:connective="and-exact"><current/><admin required="always"/></PURPOSE></STATEMENT></POLICY>`, false},
+		{"and-exact missing", `<POLICY><STATEMENT><PURPOSE appel:connective="and-exact"><current/></PURPOSE></STATEMENT></POLICY>`, false},
+		{"or-exact subset", `<POLICY><STATEMENT><PURPOSE appel:connective="or-exact"><current/><admin required="*"/><contact/></PURPOSE></STATEMENT></POLICY>`, true},
+		{"or-exact unlisted present", `<POLICY><STATEMENT><PURPOSE appel:connective="or-exact"><current/></PURPOSE></STATEMENT></POLICY>`, false},
+		{"recipient non-or", `<POLICY><STATEMENT><RECIPIENT appel:connective="non-or"><public/><unrelated/></RECIPIENT></STATEMENT></POLICY>`, true},
+		{"retention or", `<POLICY><STATEMENT><RETENTION appel:connective="or"><stated-purpose/><no-retention/></RETENTION></STATEMENT></POLICY>`, true},
+		{"retention non-or", `<POLICY><STATEMENT><RETENTION appel:connective="non-or"><indefinitely/></RETENTION></STATEMENT></POLICY>`, true},
+		{"retention miss", `<POLICY><STATEMENT><RETENTION appel:connective="or"><indefinitely/></RETENTION></STATEMENT></POLICY>`, false},
+		{"data ref broad", `<POLICY><STATEMENT><DATA-GROUP><DATA ref="#user.home-info"/></DATA-GROUP></STATEMENT></POLICY>`, true},
+		{"data ref exact leaf", `<POLICY><STATEMENT><DATA-GROUP><DATA ref="#user.home-info.online.email"/></DATA-GROUP></STATEMENT></POLICY>`, true},
+		{"data ref miss", `<POLICY><STATEMENT><DATA-GROUP><DATA ref="#user.bdate"/></DATA-GROUP></STATEMENT></POLICY>`, false},
+		{"category or", `<POLICY><STATEMENT><DATA-GROUP><DATA ref="*"><CATEGORIES appel:connective="or"><purchase/><health/></CATEGORIES></DATA></DATA-GROUP></STATEMENT></POLICY>`, true},
+		{"category and same element", `<POLICY><STATEMENT><DATA-GROUP><DATA ref="*"><CATEGORIES><purchase/><financial/></CATEGORIES></DATA></DATA-GROUP></STATEMENT></POLICY>`, true},
+		{"category and split elements", `<POLICY><STATEMENT><DATA-GROUP><DATA ref="*"><CATEGORIES><purchase/><online/></CATEGORIES></DATA></DATA-GROUP></STATEMENT></POLICY>`, false},
+		{"category non-or", `<POLICY><STATEMENT><DATA-GROUP><DATA ref="#user.home-info.online.email"><CATEGORIES appel:connective="non-or"><health/></CATEGORIES></DATA></DATA-GROUP></STATEMENT></POLICY>`, true},
+		{"consequence present", `<POLICY><STATEMENT><CONSEQUENCE/></STATEMENT></POLICY>`, false},
+		{"empty purpose expr", `<POLICY><STATEMENT><PURPOSE/></STATEMENT></POLICY>`, true},
+		{"statement or split", `<POLICY appel:connective="or"><STATEMENT><PURPOSE appel:connective="or"><telemarketing/></PURPOSE></STATEMENT><STATEMENT><RECIPIENT appel:connective="or"><ours/></RECIPIENT></STATEMENT></POLICY>`, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := matchBoth(t, c.rule, tinyPolicy); got != c.want {
+				t.Errorf("fired = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestGenericShapeFollowsFigure13(t *testing.T) {
+	// The generic translation mirrors Figure 13: one subquery per
+	// element, including one per purpose value table.
+	rs := mustRuleset(t, appel.JaneSimplifiedRuleXML)
+	q, err := TranslateRuleGeneric(rs.Rules[0], FixedPolicySubquery(1), GenericOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"FROM policy", "FROM statement", "FROM purpose", "FROM admin", "FROM contact",
+		"required = 'always'",
+	} {
+		if !strings.Contains(q.SQL, want) {
+			t.Errorf("generic SQL missing %q:\n%s", want, q.SQL)
+		}
+	}
+	// Separate subqueries for admin and contact, joined by OR.
+	if !strings.Contains(q.SQL, ") OR EXISTS (") && !strings.Contains(q.SQL, ") OR  EXISTS (") {
+		t.Errorf("generic SQL should OR the value subqueries:\n%s", q.SQL)
+	}
+}
+
+func TestViewReconstructionWrapping(t *testing.T) {
+	rs := mustRuleset(t, appel.JaneSimplifiedRuleXML)
+	plain, err := TranslateRuleGeneric(rs.Rules[0], FixedPolicySubquery(1), GenericOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := TranslateRuleGeneric(rs.Rules[0], FixedPolicySubquery(1), GenericOptions{ViewReconstruction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(wrapped.SQL, "(SELECT * FROM purpose) AS") {
+		t.Errorf("view reconstruction should wrap table access:\n%s", wrapped.SQL)
+	}
+	if strings.Count(wrapped.SQL, "SELECT") <= strings.Count(plain.SQL, "SELECT") {
+		t.Error("view reconstruction should inflate the query-block count")
+	}
+	// Results agree despite the wrapping.
+	db, id := genFixture(t, tinyPolicy)
+	_ = id
+	ok1, err := db.QueryExists(plain.SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok2, err := db.QueryExists(wrapped.SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok1 != ok2 {
+		t.Errorf("plain=%v wrapped=%v", ok1, ok2)
+	}
+}
+
+func TestEmptyBodyRule(t *testing.T) {
+	r := &appel.Rule{Behavior: "request"}
+	q, err := TranslateRuleOptimized(r, FixedPolicySubquery(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(q.SQL, "WHERE") {
+		t.Errorf("catch-all should have no WHERE:\n%s", q.SQL)
+	}
+	db, _ := optFixture(t, p3p.VolgaPolicyXML)
+	ok, err := db.QueryExists(q.SQL)
+	if err != nil || !ok {
+		t.Errorf("catch-all should fire: %v %v", ok, err)
+	}
+}
+
+func TestTranslateErrors(t *testing.T) {
+	cases := []string{
+		// Rule body not POLICY.
+		`<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1">
+		 <appel:RULE behavior="block"><STATEMENT/></appel:RULE></appel:RULESET>`,
+		// Unknown element under STATEMENT.
+		`<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1">
+		 <appel:RULE behavior="block"><POLICY><STATEMENT><BOGUS/></STATEMENT></POLICY></appel:RULE></appel:RULESET>`,
+		// Unsupported attribute.
+		`<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1">
+		 <appel:RULE behavior="block"><POLICY><STATEMENT><PURPOSE><current zap="1"/></PURPOSE></STATEMENT></POLICY></appel:RULE></appel:RULESET>`,
+		// Exact connective at general level.
+		`<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1">
+		 <appel:RULE behavior="block"><POLICY><STATEMENT appel:connective="and-exact"><PURPOSE/><RECIPIENT/></STATEMENT></POLICY></appel:RULE></appel:RULESET>`,
+	}
+	for i, src := range cases {
+		rs := mustRuleset(t, src)
+		if _, err := TranslateRulesetOptimized(rs, FixedPolicySubquery(1)); err == nil {
+			t.Errorf("case %d: optimized translation should fail", i)
+		}
+	}
+}
+
+func TestGenericExactTranslates(t *testing.T) {
+	// The generic translator CAN express exact connectives at the general
+	// level, by enumerating sibling tables — at great query-size cost.
+	src := `<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1">
+		<appel:RULE behavior="block"><POLICY><STATEMENT>
+		<PURPOSE appel:connective="or-exact"><current/><admin required="*"/></PURPOSE>
+		</STATEMENT></POLICY></appel:RULE>
+		<appel:OTHERWISE behavior="request"/></appel:RULESET>`
+	rs := mustRuleset(t, src)
+	qs, err := TranslateRulesetGeneric(rs, FixedPolicySubquery(1), GenericOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactness over purposes enumerates all 12 purpose tables.
+	if got := strings.Count(qs[0].SQL, "NOT EXISTS"); got < 10 {
+		t.Errorf("exactness should enumerate purpose tables, NOT EXISTS count = %d:\n%s", got, qs[0].SQL)
+	}
+	db, _ := genFixture(t, tinyPolicy)
+	res, err := Match(db, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tinyPolicy has exactly {current, admin}: or-exact fires.
+	if res.Behavior != "block" {
+		t.Errorf("or-exact should fire on exact-subset policy, got %+v", res)
+	}
+}
+
+func TestSQLInjectionSafeBehavior(t *testing.T) {
+	// A hostile behavior string must be quoted, not spliced.
+	r := &appel.Rule{Behavior: "x'; DROP TABLE Policy; --"}
+	q, err := TranslateRuleOptimized(r, FixedPolicySubquery(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _ := optFixture(t, p3p.VolgaPolicyXML)
+	if _, err := db.Query(q.SQL); err != nil {
+		t.Errorf("quoted behavior should parse: %v\n%s", err, q.SQL)
+	}
+	if !db.HasTable("Policy") {
+		t.Fatal("injection executed")
+	}
+}

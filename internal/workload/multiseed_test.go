@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"p3pdb/internal/compact"
+)
+
+// TestMultipleSeedsStayCalibrated checks that the corpus statistics hold
+// across seeds, not just the default: any seed must reproduce the
+// Section 6.2 aggregates, because the benchmark harness accepts -seed.
+func TestMultipleSeedsStayCalibrated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed generation is slow")
+	}
+	for _, seed := range []int64{1, 7, 1234, 987654321} {
+		d := Generate(seed)
+		if len(d.Policies) != 29 {
+			t.Fatalf("seed %d: %d policies", seed, len(d.Policies))
+		}
+		statements, sum := 0, 0
+		for _, p := range d.Policies {
+			if err := p.MustValid(); err != nil {
+				t.Errorf("seed %d: %s invalid: %v", seed, p.Name, err)
+			}
+			statements += len(p.Statements)
+			sum += len(d.PolicyXML[p.Name])
+		}
+		if statements != 54 {
+			t.Errorf("seed %d: statements = %d", seed, statements)
+		}
+		avg := float64(sum) / 29
+		if math.Abs(avg-4.4*1024) > 4.4*1024*0.10 {
+			t.Errorf("seed %d: avg size %.0f", seed, avg)
+		}
+	}
+}
+
+// TestCorpusCompactRoundTrip encodes every generated policy as a compact
+// policy and parses it back: the compact subsystem must cover the whole
+// vocabulary the generator draws from.
+func TestCorpusCompactRoundTrip(t *testing.T) {
+	d := Generate(42)
+	for _, pol := range d.Policies {
+		cp, err := compact.FromPolicy(pol, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name, err)
+		}
+		s, err := compact.Parse(cp)
+		if err != nil {
+			t.Fatalf("%s: parse %q: %v", pol.Name, cp, err)
+		}
+		synthetic := s.ToPolicy(pol.Name + "-cp")
+		if errs := synthetic.Validate(); len(errs) != 0 {
+			t.Errorf("%s: synthetic invalid: %v", pol.Name, errs)
+		}
+		// The compact form must disclose every purpose of the full
+		// policy (by value; required attributes may differ only in the
+		// always-vs-absent spelling).
+		want := map[string]bool{}
+		for _, st := range pol.Statements {
+			for _, pv := range st.Purposes {
+				want[pv.Value] = true
+			}
+		}
+		got := map[string]bool{}
+		for _, p := range s.Purposes {
+			got[p.Value] = true
+		}
+		for v := range want {
+			if !got[v] {
+				t.Errorf("%s: compact form lost purpose %s (cp: %s)", pol.Name, v, cp)
+			}
+		}
+	}
+}
+
+// TestPreferenceLevelsAreOrderedByStrictness asserts a structural
+// property the analytics example relies on: each level's block rules are
+// a superset of the next looser level's (except Medium, which swaps in
+// the exact-connective allow-list rule).
+func TestPreferenceLevelsAreOrderedByStrictness(t *testing.T) {
+	prefs := map[string]Preference{}
+	for _, p := range JRCPreferences() {
+		prefs[p.Level] = p
+	}
+	if len(prefs["Very High"].Ruleset.Rules) <= len(prefs["High"].Ruleset.Rules) {
+		t.Error("Very High should have more rules than High")
+	}
+	if len(prefs["High"].Ruleset.Rules) <= len(prefs["Low"].Ruleset.Rules) {
+		t.Error("High should have more rules than Low")
+	}
+}

@@ -1,0 +1,270 @@
+// Package workload synthesizes the paper's experimental data set
+// (Section 6.2), which we cannot obtain directly: the original 29 P3P
+// policies came from a 2002 crawl of Fortune 1000 web sites and the 5
+// preferences from the JRC test suite. The generator reproduces the
+// aggregate properties the paper reports — 29 policies between 1.6 and
+// 11.9 KBytes averaging 4.4 KBytes with 54 statements in total, and five
+// preference levels with 10/7/4/2/1 rules sized 3.1/2.8/2.1/0.9/0.3
+// KBytes — deterministically from a seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"p3pdb/internal/p3p"
+	"p3pdb/internal/reffile"
+)
+
+// companyNames are the 29 synthetic Fortune-1000-style site owners.
+var companyNames = []string{
+	"Apex Insurance Group", "Borealis Airlines", "Cascade Retail",
+	"Dynamo Energy", "Evergreen Bank", "Foundry Steel Works",
+	"Granite Telecom", "Horizon Media", "Ironwood Logistics",
+	"Juniper Health Systems", "Keystone Motors", "Lakeshore Foods",
+	"Meridian Software", "Northgate Pharmacies", "Orchard Electronics",
+	"Pinnacle Hotels", "Quarry Mining", "Redwood Publishing",
+	"Summit Outfitters", "Tidewater Shipping", "Umbra Apparel",
+	"Vanguard Chemicals", "Westbrook Utilities", "Xenon Semiconductors",
+	"Yellowstone Travel", "Zephyr Airways", "Atlas Office Supply",
+	"Beacon Financial", "Copperfield Books",
+}
+
+// policySizeTargetsKB are the per-policy serialized-size targets in
+// KBytes. They reproduce the paper's distribution: min 1.6, max 11.9,
+// average 4.4 (sum 127.6).
+var policySizeTargetsKB = []float64{
+	1.6, 1.9, 2.1, 2.3, 2.5, 2.6, 2.8, 2.9, 3.0, 3.2,
+	3.3, 3.5, 3.6, 3.8, 3.9, 4.1, 4.2, 4.4, 4.6, 4.8,
+	5.0, 4.9, 5.1, 6.0, 6.0, 6.9, 7.2, 9.5, 11.9,
+}
+
+// statementCounts assigns statements per policy, ordered to match the
+// size targets (bigger policies carry more statements). The total is 54,
+// matching the paper's "54 statements (about 2 statements per policy on
+// average)".
+var statementCounts = []int{
+	1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+	1, 1, 1, 1, 2, 2, 2, 2, 2, 2,
+	2, 2, 2, 3, 3, 3, 4, 4, 5,
+}
+
+// fillerWords build human-plausible CONSEQUENCE text for size padding.
+var fillerWords = []string{
+	"we", "use", "this", "information", "to", "provide", "improve",
+	"our", "services", "and", "ensure", "your", "orders", "are",
+	"processed", "promptly", "including", "shipping", "billing",
+	"support", "personalization", "of", "content", "offers", "site",
+	"analytics", "fraud", "prevention", "legal", "compliance",
+}
+
+// purposePool weights the purposes drawn for generated statements; the
+// first statement always collects for the current purpose, like real
+// commerce policies.
+var purposePool = []string{
+	"admin", "develop", "tailoring", "pseudo-analysis", "pseudo-decision",
+	"individual-analysis", "individual-decision", "contact", "historical",
+	"telemarketing", "other-purpose",
+}
+
+var recipientPool = []string{"same", "delivery", "other-recipient", "unrelated", "public"}
+
+// dataRefPool is built from the base data schema: a mix of structure refs
+// (which augmentation expands) and leaves.
+var dataRefPool = []string{
+	"#user.name", "#user.bdate", "#user.gender", "#user.employer",
+	"#user.jobtitle", "#user.home-info.postal", "#user.home-info.telecom",
+	"#user.home-info.online.email", "#user.home-info.online.uri",
+	"#user.business-info.postal", "#user.login", "#user.cert",
+	"#dynamic.clickstream", "#dynamic.http", "#dynamic.searchtext",
+	"#dynamic.interactionrecord", "#thirdparty.name",
+	"#user.home-info.postal.postalcode", "#user.home-info.telecom.telephone",
+}
+
+var miscCategoryPool = []string{
+	"purchase", "financial", "preference", "content", "state",
+	"interactive", "demographic",
+}
+
+// Dataset is the generated experimental data set.
+type Dataset struct {
+	// Policies are the 29 site policies, ordered by ascending size.
+	Policies []*p3p.Policy
+	// PolicyXML maps policy name to its serialized document, the form a
+	// client-centric engine receives.
+	PolicyXML map[string]string
+	// RefFile maps each site's URI space to its policy.
+	RefFile *reffile.RefFile
+	// Preferences are the five JRC-style preference levels, strictest
+	// first (Very High ... Very Low), mirroring Figure 19's order.
+	Preferences []Preference
+}
+
+// Generate builds the data set from a seed. The same seed yields the same
+// data set byte for byte.
+func Generate(seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{PolicyXML: map[string]string{}}
+	rf := &reffile.RefFile{}
+	for i := range companyNames {
+		pol := generatePolicy(rng, i)
+		padPolicy(pol, int(policySizeTargetsKB[i]*1024))
+		d.Policies = append(d.Policies, pol)
+		d.PolicyXML[pol.Name] = pol.String()
+		rf.PolicyRefs = append(rf.PolicyRefs, &reffile.PolicyRef{
+			About:    "/P3P/Policies.xml#" + pol.Name,
+			Includes: []string{"/" + pol.Name + "/*"},
+			Excludes: []string{"/" + pol.Name + "/internal/*"},
+		})
+	}
+	d.RefFile = rf
+	d.Preferences = JRCPreferences()
+	return d
+}
+
+// URIFor returns a site URI covered by the named policy, for driving the
+// reference-file path.
+func (d *Dataset) URIFor(policyName string) string {
+	return "/" + policyName + "/index.html"
+}
+
+// slug converts a company name into a policy name.
+func slug(name string) string {
+	return strings.ReplaceAll(strings.ToLower(name), " ", "-")
+}
+
+func generatePolicy(rng *rand.Rand, idx int) *p3p.Policy {
+	name := companyNames[idx]
+	s := slug(name)
+	pol := &p3p.Policy{
+		Name:    s,
+		Discuri: "http://www." + s + ".example.com/privacy.html",
+		Opturi:  "http://www." + s + ".example.com/opt.html",
+		Entity: &p3p.Entity{
+			Name:    name,
+			Street:  fmt.Sprintf("%d Commerce Way", 100+idx),
+			City:    "Armonk",
+			Country: "USA",
+			Email:   "privacy@" + s + ".example.com",
+		},
+		Access: p3p.AccessValues[rng.Intn(len(p3p.AccessValues))],
+	}
+	if rng.Intn(3) == 0 {
+		pol.Disputes = append(pol.Disputes, &p3p.Dispute{
+			ResolutionType:   "independent",
+			Service:          "http://privacyseal.example.org",
+			ShortDescription: "Independent privacy seal program",
+			Remedies:         []string{"correct"},
+		})
+	}
+	nStatements := statementCounts[idx]
+	for si := 0; si < nStatements; si++ {
+		pol.Statements = append(pol.Statements, generateStatement(rng, si))
+	}
+	return pol
+}
+
+func generateStatement(rng *rand.Rand, si int) *p3p.Statement {
+	st := &p3p.Statement{
+		Retention: p3p.Retentions[rng.Intn(len(p3p.Retentions))],
+	}
+	// Purposes: the first statement is always transactional.
+	if si == 0 {
+		st.Purposes = append(st.Purposes, p3p.PurposeValue{Value: "current"})
+		st.Retention = "stated-purpose"
+	}
+	seen := map[string]bool{"current": si == 0}
+	for n := rng.Intn(3) + 1; n > 0; n-- {
+		v := purposePool[rng.Intn(len(purposePool))]
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		pv := p3p.PurposeValue{Value: v}
+		switch rng.Intn(4) {
+		case 0:
+			pv.Required = "opt-in"
+		case 1:
+			pv.Required = "opt-out"
+		}
+		st.Purposes = append(st.Purposes, pv)
+	}
+	if len(st.Purposes) == 0 {
+		st.Purposes = append(st.Purposes, p3p.PurposeValue{Value: "current"})
+	}
+	// Recipients: always ours, sometimes others.
+	st.Recipients = append(st.Recipients, p3p.RecipientValue{Value: "ours"})
+	if rng.Intn(2) == 0 {
+		r := recipientPool[rng.Intn(len(recipientPool))]
+		rv := p3p.RecipientValue{Value: r}
+		if rng.Intn(3) == 0 {
+			rv.Required = "opt-in"
+		}
+		st.Recipients = append(st.Recipients, rv)
+	}
+	// Data group.
+	dg := &p3p.DataGroup{}
+	nData := rng.Intn(4) + 2
+	seenRef := map[string]bool{}
+	for n := 0; n < nData; n++ {
+		ref := dataRefPool[rng.Intn(len(dataRefPool))]
+		if seenRef[ref] {
+			continue
+		}
+		seenRef[ref] = true
+		dg.Data = append(dg.Data, &p3p.Data{Ref: ref, Optional: rng.Intn(4) == 0})
+	}
+	// Most statements also collect miscdata with declared categories.
+	if rng.Intn(3) != 0 {
+		cats := []string{miscCategoryPool[rng.Intn(len(miscCategoryPool))]}
+		if rng.Intn(2) == 0 {
+			c := miscCategoryPool[rng.Intn(len(miscCategoryPool))]
+			if c != cats[0] {
+				cats = append(cats, c)
+			}
+		}
+		dg.Data = append(dg.Data, &p3p.Data{Ref: "#dynamic.miscdata", Categories: cats})
+	}
+	st.DataGroups = append(st.DataGroups, dg)
+	return st
+}
+
+// padPolicy grows the policy's CONSEQUENCE text until the serialized
+// document reaches the target byte size (within one filler sentence).
+// Real crawled policies owe most of their size variance to prose, so
+// padding prose is the faithful dimension to calibrate on.
+func padPolicy(pol *p3p.Policy, targetBytes int) {
+	fill := fillerSentence(targetBytes) // deterministic in target
+	for i := 0; ; i++ {
+		cur := len(pol.String())
+		if cur >= targetBytes {
+			return
+		}
+		st := pol.Statements[i%len(pol.Statements)]
+		deficit := targetBytes - cur
+		chunk := fill
+		if deficit < len(fill) {
+			chunk = fill[:deficit]
+		}
+		if st.Consequence == "" {
+			st.Consequence = strings.TrimSpace(chunk)
+		} else {
+			st.Consequence += " " + strings.TrimSpace(chunk)
+		}
+	}
+}
+
+// fillerSentence builds a deterministic run of filler prose roughly 160
+// bytes long, varied by the target so policies do not share text.
+func fillerSentence(salt int) string {
+	var b strings.Builder
+	for i := 0; b.Len() < 160; i++ {
+		w := fillerWords[(i*7+salt)%len(fillerWords)]
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(w)
+	}
+	return b.String() + "."
+}

@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"strings"
+
+	"p3pdb/internal/appel"
+)
+
+// Preference is one JRC-style preference level.
+type Preference struct {
+	// Level is the sensitivity label from Figure 19.
+	Level string
+	// Ruleset is the parsed preference.
+	Ruleset *appel.Ruleset
+	// XML is the serialized preference, the form a client submits.
+	XML string
+}
+
+// Levels lists the five JRC sensitivity levels, strictest first.
+var Levels = []string{"Very High", "High", "Medium", "Low", "Very Low"}
+
+// prefSizeTargets reproduces Figure 19's preference sizes in bytes.
+var prefSizeTargets = map[string]int{
+	"Very High": 3174, // 3.1 KB
+	"High":      2867, // 2.8 KB
+	"Medium":    2150, // 2.1 KB
+	"Low":       922,  // 0.9 KB
+	"Very Low":  307,  // 0.3 KB
+}
+
+// prefRuleCounts reproduces Figure 19's rule counts.
+var prefRuleCounts = map[string]int{
+	"Very High": 10, "High": 7, "Medium": 4, "Low": 2, "Very Low": 1,
+}
+
+// Block-rule pool. Levels compose progressively stricter subsets; the
+// Medium level (and only it) uses the exact-connective rule R5, whose
+// XQuery-to-SQL translation through the XML view exceeds the relational
+// engine's statement-complexity limit — reproducing the blank Medium cell
+// in the paper's Figure 21.
+const (
+	r1Telemarketing = `<POLICY><STATEMENT><PURPOSE appel:connective="or">
+	  <telemarketing/><contact required="always"/>
+	</PURPOSE></STATEMENT></POLICY>`
+
+	r2Recipients = `<POLICY><STATEMENT><RECIPIENT appel:connective="or">
+	  <unrelated/><public/>
+	</RECIPIENT></STATEMENT></POLICY>`
+
+	r3Profiling = `<POLICY><STATEMENT><PURPOSE appel:connective="or">
+	  <individual-decision required="always"/><individual-analysis required="always"/>
+	</PURPOSE></STATEMENT></POLICY>`
+
+	r4Retention = `<POLICY><STATEMENT><RETENTION appel:connective="or">
+	  <indefinitely/>
+	</RETENTION></STATEMENT></POLICY>`
+
+	r5ExactAllowList = `<POLICY><STATEMENT>
+	  <PURPOSE appel:connective="or-exact">
+	    <current/><admin/><develop/><tailoring/><pseudo-analysis/>
+	    <pseudo-decision/><individual-analysis required="opt-in"/>
+	    <individual-decision required="opt-in"/>
+	  </PURPOSE>
+	  <RECIPIENT appel:connective="and-exact"><ours/></RECIPIENT>
+	  <DATA-GROUP><DATA ref="*">
+	    <CATEGORIES appel:connective="non-or">
+	      <health/><financial/><political/><government/><location/>
+	    </CATEGORIES>
+	  </DATA></DATA-GROUP>
+	</STATEMENT></POLICY>`
+
+	r6SensitiveCategories = `<POLICY><STATEMENT><DATA-GROUP><DATA ref="*">
+	  <CATEGORIES appel:connective="or"><health/><political/><government/></CATEGORIES>
+	</DATA></DATA-GROUP></STATEMENT></POLICY>`
+
+	r7FinancialSharing = `<POLICY><STATEMENT>
+	  <RECIPIENT appel:connective="or"><same/><delivery/><other-recipient/></RECIPIENT>
+	  <DATA-GROUP><DATA ref="*">
+	    <CATEGORIES appel:connective="or"><financial/><purchase/></CATEGORIES>
+	  </DATA></DATA-GROUP>
+	</STATEMENT></POLICY>`
+
+	r8Location = `<POLICY><STATEMENT><DATA-GROUP><DATA ref="*">
+	  <CATEGORIES appel:connective="or"><location/></CATEGORIES>
+	</DATA></DATA-GROUP></STATEMENT></POLICY>`
+
+	r9Pseudo = `<POLICY><STATEMENT><PURPOSE appel:connective="or">
+	  <pseudo-decision required="always"/><pseudo-analysis required="always"/>
+	</PURPOSE></STATEMENT></POLICY>`
+
+	r10Identity = `<POLICY><STATEMENT><DATA-GROUP appel:connective="or">
+	  <DATA ref="#user.bdate"/><DATA ref="#user.login"/><DATA ref="#user.cert"/>
+	</DATA-GROUP></STATEMENT></POLICY>`
+)
+
+var levelRules = map[string][]string{
+	"Very Low":  {},
+	"Low":       {r2Recipients},
+	"Medium":    {r1Telemarketing, r2Recipients, r5ExactAllowList},
+	"High":      {r1Telemarketing, r2Recipients, r3Profiling, r4Retention, r6SensitiveCategories, r7FinancialSharing},
+	"Very High": {r1Telemarketing, r2Recipients, r3Profiling, r4Retention, r6SensitiveCategories, r7FinancialSharing, r8Location, r9Pseudo, r10Identity},
+}
+
+var ruleDescriptions = map[string]string{
+	r1Telemarketing:       "Block sites that may call or email me for marketing without my consent",
+	r2Recipients:          "Block sites that share my data with unrelated companies or post it publicly",
+	r3Profiling:           "Block sites that profile me as an identified individual without opt-in",
+	r4Retention:           "Block sites that keep my data indefinitely",
+	r5ExactAllowList:      "Allow only routine purposes, first-party recipients, and no sensitive categories",
+	r6SensitiveCategories: "Block collection of health, political, or government-id information",
+	r7FinancialSharing:    "Block sites that pass my financial or purchase records to third parties",
+	r8Location:            "Block collection of my precise location",
+	r9Pseudo:              "Block pseudonymous profiling without consent",
+	r10Identity:           "Block collection of my birth date, login, or certificates",
+}
+
+// JRCPreferences builds the five preference levels of Figure 19. The
+// construction is deterministic.
+func JRCPreferences() []Preference {
+	out := make([]Preference, 0, len(Levels))
+	for _, level := range Levels {
+		out = append(out, buildPreference(level))
+	}
+	return out
+}
+
+// PreferenceByLevel returns one level's preference.
+func PreferenceByLevel(level string) (Preference, bool) {
+	for _, p := range JRCPreferences() {
+		if p.Level == level {
+			return p, true
+		}
+	}
+	return Preference{}, false
+}
+
+func buildPreference(level string) Preference {
+	var b strings.Builder
+	b.WriteString(`<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1"` + "\n" +
+		`    xmlns="http://www.w3.org/2002/01/P3Pv1">` + "\n")
+	for _, rule := range levelRules[level] {
+		b.WriteString(`  <appel:RULE behavior="block" description="` +
+			ruleDescriptions[rule] + `">` + "\n")
+		b.WriteString(rule)
+		b.WriteString("\n  </appel:RULE>\n")
+	}
+	b.WriteString(`  <appel:OTHERWISE behavior="request" description="` +
+		otherwiseDescription(level) + `"/>` + "\n")
+	b.WriteString(`</appel:RULESET>`)
+	xml := padPreference(b.String(), prefSizeTargets[level])
+	rs, err := appel.Parse(xml)
+	if err != nil {
+		// The preferences are static; a parse failure is a programming
+		// error, not an input error.
+		panic("workload: generated preference does not parse: " + err.Error())
+	}
+	if got := len(rs.Rules); got != prefRuleCounts[level] {
+		panic("workload: generated preference has wrong rule count")
+	}
+	return Preference{Level: level, Ruleset: rs, XML: xml}
+}
+
+func otherwiseDescription(level string) string {
+	return "Release my data to any site not blocked above (JRC " + level + " profile)"
+}
+
+// padPreference grows the ruleset's XML comment padding toward the target
+// size; the JRC suite's documents carry extensive prose comments, which is
+// what the paper's sizes measure.
+func padPreference(xml string, target int) string {
+	if len(xml) >= target {
+		return xml
+	}
+	var b strings.Builder
+	b.WriteString(xml)
+	idx := strings.LastIndex(xml, "</appel:RULESET>")
+	head := xml[:idx]
+	var pad strings.Builder
+	pad.WriteString("  <!-- ")
+	for i := 0; head != "" && len(head)+pad.Len() < target-24; i++ {
+		pad.WriteString(fillerWords[(i*5)%len(fillerWords)])
+		pad.WriteByte(' ')
+	}
+	pad.WriteString("-->\n")
+	b.Reset()
+	b.WriteString(head)
+	b.WriteString(pad.String())
+	b.WriteString("</appel:RULESET>")
+	return b.String()
+}

@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"p3pdb/internal/appel"
+	"p3pdb/internal/appelengine"
+)
+
+func TestPolicyCorpusShape(t *testing.T) {
+	d := Generate(42)
+	if len(d.Policies) != 29 {
+		t.Fatalf("policies = %d, want 29 (Section 6.2)", len(d.Policies))
+	}
+	totalStatements := 0
+	var sizes []int
+	minSize, maxSize, sum := math.MaxInt, 0, 0
+	for _, p := range d.Policies {
+		if err := p.MustValid(); err != nil {
+			t.Errorf("policy %s invalid: %v", p.Name, err)
+		}
+		totalStatements += len(p.Statements)
+		n := len(d.PolicyXML[p.Name])
+		sizes = append(sizes, n)
+		sum += n
+		if n < minSize {
+			minSize = n
+		}
+		if n > maxSize {
+			maxSize = n
+		}
+	}
+	if totalStatements != 54 {
+		t.Errorf("total statements = %d, want 54", totalStatements)
+	}
+	// Size calibration: min 1.6 KB, max 11.9 KB, avg 4.4 KB (±10%).
+	within := func(got, wantKB float64) bool {
+		return math.Abs(got-wantKB*1024) < wantKB*1024*0.10
+	}
+	if !within(float64(minSize), 1.6) {
+		t.Errorf("min size = %d bytes, want ~1.6 KB", minSize)
+	}
+	if !within(float64(maxSize), 11.9) {
+		t.Errorf("max size = %d bytes, want ~11.9 KB", maxSize)
+	}
+	avg := float64(sum) / 29
+	if !within(avg, 4.4) {
+		t.Errorf("avg size = %.0f bytes, want ~4.4 KB", avg)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(7)
+	b := Generate(7)
+	if !reflect.DeepEqual(a.PolicyXML, b.PolicyXML) {
+		t.Error("same seed must generate identical policies")
+	}
+	c := Generate(8)
+	same := true
+	for k := range a.PolicyXML {
+		if a.PolicyXML[k] != c.PolicyXML[k] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestReferenceFileCoversEveryPolicy(t *testing.T) {
+	d := Generate(42)
+	if len(d.RefFile.PolicyRefs) != 29 {
+		t.Fatalf("policy refs = %d", len(d.RefFile.PolicyRefs))
+	}
+	for _, p := range d.Policies {
+		pr := d.RefFile.PolicyForURI(d.URIFor(p.Name))
+		if pr == nil || pr.PolicyName() != p.Name {
+			t.Errorf("URI for %s resolves to %v", p.Name, pr)
+		}
+		// The exclusion carve-out works.
+		if d.RefFile.PolicyForURI("/"+p.Name+"/internal/secret.html") != nil {
+			t.Errorf("excluded URI for %s should not resolve", p.Name)
+		}
+	}
+}
+
+func TestPreferencesMatchFigure19(t *testing.T) {
+	prefs := JRCPreferences()
+	if len(prefs) != 5 {
+		t.Fatalf("preferences = %d", len(prefs))
+	}
+	wantRules := []int{10, 7, 4, 2, 1}
+	wantKB := []float64{3.1, 2.8, 2.1, 0.9, 0.3}
+	totalRules, totalBytes := 0, 0
+	for i, p := range prefs {
+		if p.Level != Levels[i] {
+			t.Errorf("level order: %s", p.Level)
+		}
+		if got := len(p.Ruleset.Rules); got != wantRules[i] {
+			t.Errorf("%s: rules = %d, want %d", p.Level, got, wantRules[i])
+		}
+		size := len(p.XML)
+		if math.Abs(float64(size)-wantKB[i]*1024) > wantKB[i]*1024*0.12 {
+			t.Errorf("%s: size = %d bytes, want ~%.1f KB", p.Level, size, wantKB[i])
+		}
+		if err := p.Ruleset.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Level, err)
+		}
+		// Every level ends with a catch-all.
+		last := p.Ruleset.Rules[len(p.Ruleset.Rules)-1]
+		if last.Behavior != "request" || len(last.Body) != 0 {
+			t.Errorf("%s: missing catch-all", p.Level)
+		}
+		totalRules += len(p.Ruleset.Rules)
+		totalBytes += size
+	}
+	// Figure 19's averages: 4.8 rules, 1.9 KB.
+	if avg := float64(totalRules) / 5; math.Abs(avg-4.8) > 0.01 {
+		t.Errorf("avg rules = %.2f, want 4.8", avg)
+	}
+	if avg := float64(totalBytes) / 5; math.Abs(avg-1.9*1024) > 1.9*1024*0.12 {
+		t.Errorf("avg size = %.0f, want ~1.9 KB", avg)
+	}
+}
+
+func TestOnlyMediumUsesExactConnectives(t *testing.T) {
+	// The Medium level reproduces the Figure 21 blank cell via exact
+	// connectives; the other levels must stay XTABLE-executable.
+	for _, p := range JRCPreferences() {
+		usesExact := strings.Contains(p.XML, "or-exact") || strings.Contains(p.XML, "and-exact")
+		if (p.Level == "Medium") != usesExact {
+			t.Errorf("%s: usesExact = %v", p.Level, usesExact)
+		}
+	}
+}
+
+func TestPreferencesEvaluateAgainstCorpus(t *testing.T) {
+	d := Generate(42)
+	engine := appelengine.New()
+	fired := map[string]map[string]int{}
+	for _, pref := range d.Preferences {
+		fired[pref.Level] = map[string]int{}
+		for _, pol := range d.Policies {
+			dec, err := engine.Match(pref.Ruleset, d.PolicyXML[pol.Name])
+			if err != nil {
+				t.Fatalf("%s vs %s: %v", pref.Level, pol.Name, err)
+			}
+			fired[pref.Level][dec.Behavior]++
+		}
+	}
+	// Very Low accepts everything.
+	if fired["Very Low"]["request"] != 29 {
+		t.Errorf("Very Low should request all 29: %v", fired["Very Low"])
+	}
+	// Stricter levels block at least as much as looser ones.
+	if fired["Very High"]["block"] < fired["High"]["block"] ||
+		fired["High"]["block"] < fired["Low"]["block"] {
+		t.Errorf("strictness ordering violated: %v", fired)
+	}
+	// The corpus must exercise both outcomes at the top level.
+	if fired["Very High"]["block"] == 0 || fired["Very High"]["request"] == 0 {
+		t.Errorf("Very High outcomes degenerate: %v", fired["Very High"])
+	}
+}
+
+func TestPreferenceXMLRoundTrips(t *testing.T) {
+	for _, p := range JRCPreferences() {
+		rs, err := appel.Parse(p.XML)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Level, err)
+		}
+		if len(rs.Rules) != len(p.Ruleset.Rules) {
+			t.Errorf("%s: reparse rule count changed", p.Level)
+		}
+	}
+}

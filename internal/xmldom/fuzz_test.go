@@ -1,0 +1,35 @@
+package xmldom
+
+import "testing"
+
+// FuzzParseString checks the parser never panics and that anything it
+// accepts serializes and reparses to a structurally identical tree.
+func FuzzParseString(f *testing.F) {
+	seeds := []string{
+		`<A/>`,
+		`<A a="1"><B>text</B></A>`,
+		`<a:R xmlns:a="urn:x"><a:C/></a:R>`,
+		`<A><![CDATA[x<y]]></A>`,
+		`<A>&amp;&#65;</A>`,
+		`<?xml version="1.0"?><!DOCTYPE r><r/>`,
+		`<A><!-- c --></A>`,
+		`<A`, `<A><B></A>`, `&`, `<>`, `<A a=/>`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		root, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		out := root.String()
+		back, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("accepted input did not round trip: %v\ninput: %q\nserialized: %q", err, src, out)
+		}
+		if !Equal(root, back) {
+			t.Fatalf("round trip changed the tree\ninput: %q", src)
+		}
+	})
+}

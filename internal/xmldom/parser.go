@@ -1,0 +1,387 @@
+package xmldom
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// domParser is a small, fast XML scanner building the Node tree directly.
+// It resolves namespace prefixes (including default namespaces and
+// xmlns:* declarations), concatenates character data, and discards
+// comments, processing instructions, and DOCTYPE declarations.
+type domParser struct {
+	src string
+	pos int
+}
+
+// nsFrame records the in-scope namespace bindings as a stack of
+// (prefix, uri) pairs; lookups scan from the top.
+type nsBinding struct {
+	prefix string
+	uri    string
+}
+
+func (p *domParser) errf(format string, args ...any) error {
+	line := 1 + strings.Count(p.src[:min(p.pos, len(p.src))], "\n")
+	return fmt.Errorf("xmldom: %s at line %d", fmt.Sprintf(format, args...), line)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *domParser) parse() (*Node, error) {
+	var root *Node
+	var stack []*Node
+	var ns []nsBinding
+	var nsMarks []int // per open element: ns stack size before it
+	var text strings.Builder
+
+	flushText := func() {
+		if len(stack) == 0 {
+			text.Reset()
+			return
+		}
+		if s := strings.TrimSpace(text.String()); s != "" {
+			top := stack[len(stack)-1]
+			if top.Text == "" {
+				top.Text = s
+			} else {
+				top.Text += " " + s
+			}
+		}
+		text.Reset()
+	}
+
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c != '<' {
+			// Character data up to the next tag.
+			next := strings.IndexByte(p.src[p.pos:], '<')
+			var chunk string
+			if next < 0 {
+				chunk = p.src[p.pos:]
+				p.pos = len(p.src)
+			} else {
+				chunk = p.src[p.pos : p.pos+next]
+				p.pos += next
+			}
+			if len(stack) > 0 {
+				decoded, err := decodeEntities(chunk)
+				if err != nil {
+					return nil, p.errf("%v", err)
+				}
+				text.WriteString(decoded)
+			} else if strings.TrimSpace(chunk) != "" {
+				return nil, p.errf("text outside root element")
+			}
+			continue
+		}
+		// A tag of some kind.
+		if p.pos+1 >= len(p.src) {
+			return nil, p.errf("unexpected end of input")
+		}
+		switch p.src[p.pos+1] {
+		case '?': // processing instruction / XML declaration
+			end := strings.Index(p.src[p.pos:], "?>")
+			if end < 0 {
+				return nil, p.errf("unterminated processing instruction")
+			}
+			p.pos += end + 2
+		case '!':
+			if strings.HasPrefix(p.src[p.pos:], "<!--") {
+				end := strings.Index(p.src[p.pos+4:], "-->")
+				if end < 0 {
+					return nil, p.errf("unterminated comment")
+				}
+				p.pos += 4 + end + 3
+			} else if strings.HasPrefix(p.src[p.pos:], "<![CDATA[") {
+				end := strings.Index(p.src[p.pos+9:], "]]>")
+				if end < 0 {
+					return nil, p.errf("unterminated CDATA section")
+				}
+				if len(stack) > 0 {
+					text.WriteString(p.src[p.pos+9 : p.pos+9+end])
+				}
+				p.pos += 9 + end + 3
+			} else if strings.HasPrefix(p.src[p.pos:], "<!DOCTYPE") {
+				end := strings.IndexByte(p.src[p.pos:], '>')
+				if end < 0 {
+					return nil, p.errf("unterminated DOCTYPE")
+				}
+				p.pos += end + 1
+			} else {
+				return nil, p.errf("unsupported markup declaration")
+			}
+		case '/': // end tag
+			p.pos += 2
+			name, err := p.readName()
+			if err != nil {
+				return nil, err
+			}
+			p.skipSpace()
+			if p.pos >= len(p.src) || p.src[p.pos] != '>' {
+				return nil, p.errf("malformed end tag </%s", name)
+			}
+			p.pos++
+			if len(stack) == 0 {
+				return nil, p.errf("unbalanced end element %s", localOf(name))
+			}
+			top := stack[len(stack)-1]
+			_, local := splitQName(name)
+			if top.Name != local {
+				return nil, p.errf("end tag %s does not close %s", local, top.Name)
+			}
+			flushText()
+			stack = stack[:len(stack)-1]
+			ns = ns[:nsMarks[len(nsMarks)-1]]
+			nsMarks = nsMarks[:len(nsMarks)-1]
+		default: // start tag
+			flushText()
+			p.pos++
+			name, err := p.readName()
+			if err != nil {
+				return nil, err
+			}
+			// Collect attributes, splitting off namespace declarations.
+			type rawAttr struct {
+				qname string
+				value string
+			}
+			var raw []rawAttr
+			nsMark := len(ns)
+			for {
+				p.skipSpace()
+				if p.pos >= len(p.src) {
+					return nil, p.errf("unexpected end of input in tag %s", name)
+				}
+				if p.src[p.pos] == '>' || p.src[p.pos] == '/' {
+					break
+				}
+				aname, err := p.readName()
+				if err != nil {
+					return nil, err
+				}
+				p.skipSpace()
+				if p.pos >= len(p.src) || p.src[p.pos] != '=' {
+					return nil, p.errf("attribute %s without value", aname)
+				}
+				p.pos++
+				p.skipSpace()
+				aval, err := p.readQuoted()
+				if err != nil {
+					return nil, err
+				}
+				switch {
+				case aname == "xmlns":
+					ns = append(ns, nsBinding{prefix: "", uri: aval})
+				case strings.HasPrefix(aname, "xmlns:"):
+					ns = append(ns, nsBinding{prefix: aname[6:], uri: aval})
+				default:
+					raw = append(raw, rawAttr{qname: aname, value: aval})
+				}
+			}
+			selfClose := false
+			if p.src[p.pos] == '/' {
+				selfClose = true
+				p.pos++
+				if p.pos >= len(p.src) || p.src[p.pos] != '>' {
+					return nil, p.errf("malformed empty-element tag %s", name)
+				}
+			}
+			p.pos++ // consume '>'
+
+			prefix, local := splitQName(name)
+			n := &Node{Name: local, Space: lookupNS(ns, prefix, true)}
+			if prefix != "" && n.Space == "" {
+				return nil, p.errf("undeclared namespace prefix %q", prefix)
+			}
+			for _, a := range raw {
+				ap, al := splitQName(a.qname)
+				space := ""
+				if ap != "" {
+					space = lookupNS(ns, ap, false)
+					if space == "" {
+						return nil, p.errf("undeclared namespace prefix %q", ap)
+					}
+				}
+				n.Attrs = append(n.Attrs, Attr{Space: space, Name: al, Value: a.value})
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, p.errf("multiple root elements (%s, %s)", root.Name, n.Name)
+				}
+				root = n
+			} else {
+				parent := stack[len(stack)-1]
+				n.Parent = parent
+				parent.Children = append(parent.Children, n)
+			}
+			if selfClose {
+				ns = ns[:nsMark]
+			} else {
+				stack = append(stack, n)
+				nsMarks = append(nsMarks, nsMark)
+			}
+		}
+	}
+	if len(stack) != 0 {
+		return nil, p.errf("unexpected EOF inside element %s", stack[len(stack)-1].Name)
+	}
+	if root == nil {
+		return nil, p.errf("empty document")
+	}
+	return root, nil
+}
+
+func (p *domParser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *domParser) readName() (string, error) {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' ||
+			c == '=' || c == '>' || c == '/' || c == '<' ||
+			c == '"' || c == '\'' {
+			break
+		}
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf("expected name")
+	}
+	name := p.src[start:p.pos]
+	if err := checkQName(name); err != nil {
+		return "", p.errf("%v", err)
+	}
+	return name, nil
+}
+
+func (p *domParser) readQuoted() (string, error) {
+	if p.pos >= len(p.src) || (p.src[p.pos] != '"' && p.src[p.pos] != '\'') {
+		return "", p.errf("expected quoted attribute value")
+	}
+	quote := p.src[p.pos]
+	p.pos++
+	end := strings.IndexByte(p.src[p.pos:], quote)
+	if end < 0 {
+		return "", p.errf("unterminated attribute value")
+	}
+	val := p.src[p.pos : p.pos+end]
+	p.pos += end + 1
+	return decodeEntities(val)
+}
+
+func splitQName(qname string) (prefix, local string) {
+	if i := strings.IndexByte(qname, ':'); i >= 0 {
+		return qname[:i], qname[i+1:]
+	}
+	return "", qname
+}
+
+// checkQName rejects malformed qualified names: empty local parts, empty
+// prefixes with a colon present, and multiple colons.
+func checkQName(qname string) error {
+	prefix, local := splitQName(qname)
+	if local == "" {
+		return fmt.Errorf("empty local name in %q", qname)
+	}
+	if strings.IndexByte(qname, ':') >= 0 && prefix == "" {
+		return fmt.Errorf("empty prefix in %q", qname)
+	}
+	if strings.IndexByte(local, ':') >= 0 {
+		return fmt.Errorf("multiple colons in %q", qname)
+	}
+	for _, part := range []string{qname, local} {
+		if c := part[0]; c >= '0' && c <= '9' || c == '-' || c == '.' {
+			return fmt.Errorf("name %q starts with %q", qname, c)
+		}
+	}
+	return nil
+}
+
+func localOf(qname string) string {
+	_, l := splitQName(qname)
+	return l
+}
+
+// lookupNS resolves a prefix against the in-scope bindings. Elements with
+// no prefix take the default namespace; unprefixed attributes never do.
+func lookupNS(ns []nsBinding, prefix string, useDefault bool) string {
+	if prefix == "" && !useDefault {
+		return ""
+	}
+	for i := len(ns) - 1; i >= 0; i-- {
+		if ns[i].prefix == prefix {
+			return ns[i].uri
+		}
+	}
+	return ""
+}
+
+// decodeEntities resolves the predefined entities and numeric character
+// references. Text without '&' passes through without allocation.
+func decodeEntities(s string) (string, error) {
+	amp := strings.IndexByte(s, '&')
+	if amp < 0 {
+		return s, nil
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	b.WriteString(s[:amp])
+	i := amp
+	for i < len(s) {
+		c := s[i]
+		if c != '&' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		semi := strings.IndexByte(s[i:], ';')
+		if semi < 0 {
+			return "", fmt.Errorf("unterminated entity reference")
+		}
+		ent := s[i+1 : i+semi]
+		switch {
+		case ent == "amp":
+			b.WriteByte('&')
+		case ent == "lt":
+			b.WriteByte('<')
+		case ent == "gt":
+			b.WriteByte('>')
+		case ent == "quot":
+			b.WriteByte('"')
+		case ent == "apos":
+			b.WriteByte('\'')
+		case strings.HasPrefix(ent, "#x") || strings.HasPrefix(ent, "#X"):
+			n, err := strconv.ParseUint(ent[2:], 16, 32)
+			if err != nil {
+				return "", fmt.Errorf("bad character reference &%s;", ent)
+			}
+			b.WriteRune(rune(n))
+		case strings.HasPrefix(ent, "#"):
+			n, err := strconv.ParseUint(ent[1:], 10, 32)
+			if err != nil {
+				return "", fmt.Errorf("bad character reference &%s;", ent)
+			}
+			b.WriteRune(rune(n))
+		default:
+			return "", fmt.Errorf("unknown entity &%s;", ent)
+		}
+		i += semi + 1
+	}
+	return b.String(), nil
+}

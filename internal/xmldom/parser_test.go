@@ -1,0 +1,201 @@
+package xmldom
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestXMLDeclarationAndDoctype(t *testing.T) {
+	root, err := ParseString(`<?xml version="1.0" encoding="UTF-8"?>
+	<!DOCTYPE POLICY>
+	<POLICY name="p"/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Name != "POLICY" {
+		t.Errorf("root = %s", root.Name)
+	}
+}
+
+func TestComments(t *testing.T) {
+	root, err := ParseString(`<A><!-- a comment with <tags> and -- dashes --><B/><!-- another --></A>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root.Children) != 1 || root.Children[0].Name != "B" {
+		t.Errorf("children: %+v", root.Children)
+	}
+}
+
+func TestCDATA(t *testing.T) {
+	root, err := ParseString(`<A><![CDATA[x < y & z]]></A>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Text != "x < y & z" {
+		t.Errorf("text = %q", root.Text)
+	}
+}
+
+func TestEntities(t *testing.T) {
+	root, err := ParseString(`<A a="&lt;&gt;&amp;&quot;&apos;">&#65;&#x42;c &amp; d</A>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := root.Attr("a"); v != `<>&"'` {
+		t.Errorf("attr = %q", v)
+	}
+	if root.Text != "ABc & d" {
+		t.Errorf("text = %q", root.Text)
+	}
+}
+
+func TestEntityErrors(t *testing.T) {
+	for _, src := range []string{
+		`<A>&unknown;</A>`,
+		`<A>&unterminated</A>`,
+		`<A>&#xZZ;</A>`,
+		`<A a="&nope;"/>`,
+	} {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("ParseString(%q): expected error", src)
+		}
+	}
+}
+
+func TestNamespaceScoping(t *testing.T) {
+	src := `<a:R xmlns:a="urn:one">
+	  <a:C1/>
+	  <inner xmlns:a="urn:two" xmlns="urn:dflt">
+	    <a:C2/>
+	    <plain/>
+	  </inner>
+	  <a:C3/>
+	</a:R>`
+	root, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Space != "urn:one" {
+		t.Errorf("root space = %q", root.Space)
+	}
+	inner := root.Child("inner")
+	if inner.Space != "urn:dflt" {
+		t.Errorf("inner (default ns) space = %q", inner.Space)
+	}
+	if got := inner.Child("C2").Space; got != "urn:two" {
+		t.Errorf("shadowed prefix space = %q", got)
+	}
+	if got := inner.Child("plain").Space; got != "urn:dflt" {
+		t.Errorf("plain child default space = %q", got)
+	}
+	// The shadowing ends with the element.
+	if got := root.Child("C3").Space; got != "urn:one" {
+		t.Errorf("after shadowing, space = %q", got)
+	}
+}
+
+func TestSelfClosingNamespaceScope(t *testing.T) {
+	// Declarations on a self-closing element must not leak to siblings.
+	src := `<R xmlns:p="urn:outer"><a xmlns:p="urn:inner" q="1"/><p:b/></R>`
+	root, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := root.Child("b").Space; got != "urn:outer" {
+		t.Errorf("sibling space = %q", got)
+	}
+}
+
+func TestUndeclaredPrefix(t *testing.T) {
+	for _, src := range []string{
+		`<p:A/>`,
+		`<A p:x="1"/>`,
+	} {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("ParseString(%q): expected undeclared-prefix error", src)
+		}
+	}
+}
+
+func TestUnprefixedAttributeHasNoNamespace(t *testing.T) {
+	root, err := ParseString(`<A xmlns="urn:x" a="1"/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Attrs[0].Space != "" {
+		t.Errorf("unprefixed attribute got namespace %q", root.Attrs[0].Space)
+	}
+}
+
+func TestMalformedInputs(t *testing.T) {
+	cases := []string{
+		`<A><B></C></A>`,      // mismatched end tag
+		`<A b></A>`,           // attribute without value
+		`<A b=unquoted/>`,     // unquoted attribute
+		`<A b="unterminated>`, // unterminated attribute
+		`text outside <A/>`,   // text before root
+		`<A/><!-- ok --> tail`,
+		`<A`,       // eof in tag
+		`<A /`,     // eof in empty tag
+		`<!-- -`,   // unterminated comment
+		`<![CDATA`, // stray markup declaration
+		`<?pi`,     // unterminated PI
+	}
+	for _, src := range cases {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("ParseString(%q): expected error", src)
+		}
+	}
+}
+
+func TestWhitespaceOnlyTextIgnored(t *testing.T) {
+	root, err := ParseString("<A>\n\t  <B/>\n</A>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Text != "" {
+		t.Errorf("text = %q", root.Text)
+	}
+}
+
+func TestTextSplitAroundChildren(t *testing.T) {
+	root, err := ParseString(`<A>before <B/> after</A>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Character data on both sides of a child element is joined.
+	if root.Text != "before after" {
+		t.Errorf("text = %q", root.Text)
+	}
+}
+
+func TestAttributesKeepDocumentOrder(t *testing.T) {
+	root, err := ParseString(`<A z="1" a="2" m="3"/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, a := range root.Attrs {
+		names = append(names, a.Name)
+	}
+	if strings.Join(names, ",") != "z,a,m" {
+		t.Errorf("order = %v", names)
+	}
+}
+
+func TestLargeDocument(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<R>")
+	for i := 0; i < 5000; i++ {
+		b.WriteString(`<E n="v">text</E>`)
+	}
+	b.WriteString("</R>")
+	root, err := ParseString(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root.Children) != 5000 {
+		t.Errorf("children = %d", len(root.Children))
+	}
+}

@@ -1,0 +1,337 @@
+// Package xmldom provides a small namespace-aware XML element tree used as
+// the substrate for parsing P3P policies, APPEL preferences, and reference
+// files, for the native APPEL evaluation engine, and for the native XML
+// store backing the XQuery engine.
+//
+// The tree is deliberately minimal: elements, attributes, and character
+// data. Processing instructions and comments are discarded during parsing,
+// which is sufficient for every document class the P3P ecosystem uses.
+package xmldom
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Attr is a single attribute on an element. Space holds the namespace URI
+// of a prefixed attribute and is empty for unprefixed attributes.
+type Attr struct {
+	Space string
+	Name  string
+	Value string
+}
+
+// Node is an element in the document tree.
+type Node struct {
+	// Space is the namespace URI the element name is bound to.
+	Space string
+	// Name is the local element name without any prefix.
+	Name string
+	// Attrs are the element's attributes in document order.
+	Attrs []Attr
+	// Children are the child elements in document order.
+	Children []*Node
+	// Text is the concatenation of all character data directly inside
+	// the element (not inside descendants), with surrounding whitespace
+	// trimmed.
+	Text string
+	// Parent is the enclosing element, or nil for the document root.
+	Parent *Node
+}
+
+// New returns an element with the given local name and no namespace.
+func New(name string) *Node { return &Node{Name: name} }
+
+// NewNS returns an element with the given namespace URI and local name.
+func NewNS(space, name string) *Node { return &Node{Space: space, Name: name} }
+
+// SetAttr sets (or replaces) an unprefixed attribute and returns the node
+// to allow chaining during tree construction.
+func (n *Node) SetAttr(name, value string) *Node {
+	return n.SetAttrNS("", name, value)
+}
+
+// SetAttrNS sets (or replaces) a namespaced attribute and returns the node.
+func (n *Node) SetAttrNS(space, name, value string) *Node {
+	for i := range n.Attrs {
+		if n.Attrs[i].Name == name && n.Attrs[i].Space == space {
+			n.Attrs[i].Value = value
+			return n
+		}
+	}
+	n.Attrs = append(n.Attrs, Attr{Space: space, Name: name, Value: value})
+	return n
+}
+
+// Attr returns the value of the first attribute with the given local name,
+// regardless of namespace, and whether it was present.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// AttrNS returns the value of the attribute with the given namespace URI and
+// local name, and whether it was present.
+func (n *Node) AttrNS(space, name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name && a.Space == space {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// AttrDefault returns the attribute value, or def when absent.
+func (n *Node) AttrDefault(name, def string) string {
+	if v, ok := n.Attr(name); ok {
+		return v
+	}
+	return def
+}
+
+// Add appends children and returns the node to allow chaining.
+func (n *Node) Add(children ...*Node) *Node {
+	for _, c := range children {
+		c.Parent = n
+		n.Children = append(n.Children, c)
+	}
+	return n
+}
+
+// SetText sets the element's character data and returns the node.
+func (n *Node) SetText(text string) *Node {
+	n.Text = text
+	return n
+}
+
+// Child returns the first child element with the given local name, or nil.
+func (n *Node) Child(name string) *Node {
+	for _, c := range n.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// ChildrenNamed returns all child elements with the given local name.
+func (n *Node) ChildrenNamed(name string) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Name == name {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Descendants appends to dst every descendant element (excluding n itself)
+// in document order and returns the result.
+func (n *Node) Descendants(dst []*Node) []*Node {
+	for _, c := range n.Children {
+		dst = append(dst, c)
+		dst = c.Descendants(dst)
+	}
+	return dst
+}
+
+// Walk calls fn for n and every descendant in document order. If fn returns
+// false for an element, its subtree is skipped.
+func (n *Node) Walk(fn func(*Node) bool) {
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// Clone returns a deep copy of the subtree rooted at n. The clone's Parent
+// is nil.
+func (n *Node) Clone() *Node {
+	c := &Node{Space: n.Space, Name: n.Name, Text: n.Text}
+	if len(n.Attrs) > 0 {
+		c.Attrs = make([]Attr, len(n.Attrs))
+		copy(c.Attrs, n.Attrs)
+	}
+	if len(n.Children) > 0 {
+		c.Children = make([]*Node, 0, len(n.Children))
+		for _, ch := range n.Children {
+			cc := ch.Clone()
+			cc.Parent = c
+			c.Children = append(c.Children, cc)
+		}
+	}
+	return c
+}
+
+// Path returns the slash-separated chain of local names from the root down
+// to n, e.g. "POLICY/STATEMENT/PURPOSE". It is used in error messages.
+func (n *Node) Path() string {
+	var parts []string
+	for cur := n; cur != nil; cur = cur.Parent {
+		parts = append(parts, cur.Name)
+	}
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return strings.Join(parts, "/")
+}
+
+// Parse reads a single XML document from r and returns its root element.
+func Parse(r io.Reader) (*Node, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("xmldom: parse: %w", err)
+	}
+	return ParseString(string(data))
+}
+
+// ParseString parses an XML document held in a string, using a scanner
+// specialized for the document classes the P3P ecosystem exchanges
+// (elements, attributes, character data, comments, processing
+// instructions, the five predefined entities, and numeric character
+// references). Parsing is on every hot path — the client-centric engine
+// parses the policy per match — so this avoids encoding/xml's
+// token-interface overhead.
+func ParseString(s string) (*Node, error) {
+	p := &domParser{src: s}
+	return p.parse()
+}
+
+// prefixFor chooses a serialization prefix for a namespace URI. The two
+// P3P-ecosystem namespaces get their conventional prefixes so that emitted
+// documents look like the ones in the paper.
+func prefixFor(space string) string {
+	switch space {
+	case "http://www.w3.org/2002/01/P3Pv1":
+		return "" // default namespace in policy documents
+	case "http://www.w3.org/2002/01/APPELv1":
+		return "appel"
+	default:
+		return "ns"
+	}
+}
+
+// WriteXML serializes the subtree rooted at n to w as indented XML.
+func (n *Node) WriteXML(w io.Writer) error {
+	spaces := map[string]string{}
+	collectSpaces(n, spaces)
+	var b strings.Builder
+	writeNode(&b, n, spaces, 0, true)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String returns the indented XML serialization of the subtree.
+func (n *Node) String() string {
+	var b strings.Builder
+	spaces := map[string]string{}
+	collectSpaces(n, spaces)
+	writeNode(&b, n, spaces, 0, true)
+	return b.String()
+}
+
+func collectSpaces(n *Node, spaces map[string]string) {
+	n.Walk(func(el *Node) bool {
+		if el.Space != "" {
+			if _, ok := spaces[el.Space]; !ok {
+				spaces[el.Space] = prefixFor(el.Space)
+			}
+		}
+		for _, a := range el.Attrs {
+			if a.Space != "" {
+				if _, ok := spaces[a.Space]; !ok {
+					spaces[a.Space] = prefixFor(a.Space)
+				}
+			}
+		}
+		return true
+	})
+	// Resolve prefix collisions deterministically.
+	used := map[string]bool{}
+	var keys []string
+	for k := range spaces {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p := spaces[k]
+		for i := 2; used[p]; i++ {
+			p = fmt.Sprintf("%s%d", spaces[k], i)
+		}
+		used[p] = true
+		spaces[k] = p
+	}
+}
+
+func qname(space, name string, spaces map[string]string) string {
+	if space == "" {
+		return name
+	}
+	if p := spaces[space]; p != "" {
+		return p + ":" + name
+	}
+	return name
+}
+
+func writeNode(b *strings.Builder, n *Node, spaces map[string]string, depth int, root bool) {
+	indent := strings.Repeat("  ", depth)
+	b.WriteString(indent)
+	b.WriteByte('<')
+	b.WriteString(qname(n.Space, n.Name, spaces))
+	if root {
+		var keys []string
+		for k := range spaces {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if spaces[k] == "" {
+				b.WriteString(` xmlns="` + escapeAttr(k) + `"`)
+			} else {
+				b.WriteString(` xmlns:` + spaces[k] + `="` + escapeAttr(k) + `"`)
+			}
+		}
+	}
+	for _, a := range n.Attrs {
+		b.WriteByte(' ')
+		b.WriteString(qname(a.Space, a.Name, spaces))
+		b.WriteString(`="`)
+		b.WriteString(escapeAttr(a.Value))
+		b.WriteByte('"')
+	}
+	if len(n.Children) == 0 && n.Text == "" {
+		b.WriteString("/>\n")
+		return
+	}
+	b.WriteByte('>')
+	if n.Text != "" {
+		b.WriteString(escapeText(n.Text))
+		if len(n.Children) == 0 {
+			b.WriteString("</" + qname(n.Space, n.Name, spaces) + ">\n")
+			return
+		}
+	}
+	b.WriteByte('\n')
+	for _, c := range n.Children {
+		writeNode(b, c, spaces, depth+1, false)
+	}
+	b.WriteString(indent)
+	b.WriteString("</" + qname(n.Space, n.Name, spaces) + ">\n")
+}
+
+var (
+	textEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	attrEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+)
+
+func escapeText(s string) string { return textEscaper.Replace(s) }
+
+func escapeAttr(s string) string { return attrEscaper.Replace(s) }

@@ -1,0 +1,277 @@
+package xmldom
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const p3pNS = "http://www.w3.org/2002/01/P3Pv1"
+const appelNS = "http://www.w3.org/2002/01/APPELv1"
+
+func TestParseSimple(t *testing.T) {
+	doc := `<POLICY xmlns="http://www.w3.org/2002/01/P3Pv1" name="p1">
+	  <STATEMENT>
+	    <PURPOSE><current/></PURPOSE>
+	  </STATEMENT>
+	</POLICY>`
+	root, err := ParseString(doc)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if root.Name != "POLICY" {
+		t.Errorf("root name = %q, want POLICY", root.Name)
+	}
+	if root.Space != p3pNS {
+		t.Errorf("root space = %q, want %q", root.Space, p3pNS)
+	}
+	if v, ok := root.Attr("name"); !ok || v != "p1" {
+		t.Errorf("name attr = %q, %v", v, ok)
+	}
+	st := root.Child("STATEMENT")
+	if st == nil {
+		t.Fatal("no STATEMENT child")
+	}
+	if st.Parent != root {
+		t.Error("STATEMENT parent not set")
+	}
+	p := st.Child("PURPOSE")
+	if p == nil || p.Child("current") == nil {
+		t.Fatal("PURPOSE/current missing")
+	}
+}
+
+func TestParseNamespacedAttrs(t *testing.T) {
+	doc := `<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1"
+	   xmlns="http://www.w3.org/2002/01/P3Pv1">
+	  <appel:RULE behavior="block">
+	    <POLICY><STATEMENT><PURPOSE appel:connective="or"><admin/></PURPOSE></STATEMENT></POLICY>
+	  </appel:RULE>
+	</appel:RULESET>`
+	root, err := ParseString(doc)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if root.Space != appelNS || root.Name != "RULESET" {
+		t.Fatalf("root = %s:%s", root.Space, root.Name)
+	}
+	rule := root.Child("RULE")
+	if rule == nil {
+		t.Fatal("no RULE")
+	}
+	if v, _ := rule.Attr("behavior"); v != "block" {
+		t.Errorf("behavior = %q", v)
+	}
+	purpose := rule.Child("POLICY").Child("STATEMENT").Child("PURPOSE")
+	if v, ok := purpose.AttrNS(appelNS, "connective"); !ok || v != "or" {
+		t.Errorf("appel:connective = %q, %v", v, ok)
+	}
+	// Unqualified lookup also finds it.
+	if v, ok := purpose.Attr("connective"); !ok || v != "or" {
+		t.Errorf("connective = %q, %v", v, ok)
+	}
+}
+
+func TestParseText(t *testing.T) {
+	root, err := ParseString(`<CONSEQUENCE>  We use your data
+	to complete orders.  </CONSEQUENCE>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(root.Text, "We use your data") {
+		t.Errorf("text = %q", root.Text)
+	}
+	if strings.HasPrefix(root.Text, " ") || strings.HasSuffix(root.Text, " ") {
+		t.Errorf("text not trimmed: %q", root.Text)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"<A><B></A>",
+		"<A></A><B></B>",
+		"<A>",
+		"not xml at all",
+	}
+	for _, c := range cases {
+		if _, err := ParseString(c); err == nil {
+			t.Errorf("ParseString(%q): expected error", c)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	n := NewNS(p3pNS, "POLICY").SetAttr("name", "p").Add(
+		NewNS(p3pNS, "STATEMENT").Add(
+			NewNS(p3pNS, "PURPOSE").
+				SetAttrNS(appelNS, "connective", "or").
+				Add(NewNS(p3pNS, "current"), NewNS(p3pNS, "admin").SetAttr("required", "opt-in")),
+			NewNS(p3pNS, "CONSEQUENCE").SetText("We deliver & bill you."),
+		),
+	)
+	out := n.String()
+	back, err := ParseString(out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	if !Equal(n, back) {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", out, back.String())
+	}
+}
+
+// Equal reports structural equality ignoring Parent pointers.
+func Equal(a, b *Node) bool {
+	if a.Name != b.Name || a.Space != b.Space || a.Text != b.Text {
+		return false
+	}
+	if len(a.Attrs) != len(b.Attrs) || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Attrs {
+		if a.Attrs[i] != b.Attrs[i] {
+			return false
+		}
+	}
+	for i := range a.Children {
+		if !Equal(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestClone(t *testing.T) {
+	root, err := ParseString(`<A x="1"><B><C y="2">text</C></B><B/></A>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := root.Clone()
+	if !Equal(root, c) {
+		t.Fatal("clone not equal")
+	}
+	// Mutating the clone must not affect the original.
+	c.Children[0].Children[0].SetAttr("y", "3")
+	if v, _ := root.Children[0].Children[0].Attr("y"); v != "2" {
+		t.Error("clone shares attribute storage with original")
+	}
+	c.Add(New("D"))
+	if len(root.Children) != 2 {
+		t.Error("clone shares child slice with original")
+	}
+	if c.Children[0].Parent != c {
+		t.Error("clone parent pointers not rewired")
+	}
+}
+
+func TestPath(t *testing.T) {
+	root, _ := ParseString(`<POLICY><STATEMENT><PURPOSE><current/></PURPOSE></STATEMENT></POLICY>`)
+	cur := root.Child("STATEMENT").Child("PURPOSE").Child("current")
+	if got := cur.Path(); got != "POLICY/STATEMENT/PURPOSE/current" {
+		t.Errorf("Path = %q", got)
+	}
+}
+
+func TestDescendantsAndWalk(t *testing.T) {
+	root, _ := ParseString(`<A><B><C/><D/></B><E/></A>`)
+	ds := root.Descendants(nil)
+	var names []string
+	for _, d := range ds {
+		names = append(names, d.Name)
+	}
+	want := "B C D E"
+	if got := strings.Join(names, " "); got != want {
+		t.Errorf("Descendants order = %q, want %q", got, want)
+	}
+	// Walk with pruning: skip B's subtree.
+	var visited []string
+	root.Walk(func(n *Node) bool {
+		visited = append(visited, n.Name)
+		return n.Name != "B"
+	})
+	if got := strings.Join(visited, " "); got != "A B E" {
+		t.Errorf("Walk visited %q, want \"A B E\"", got)
+	}
+}
+
+func TestChildrenNamed(t *testing.T) {
+	root, _ := ParseString(`<G><DATA ref="a"/><DATA ref="b"/><OTHER/></G>`)
+	ds := root.ChildrenNamed("DATA")
+	if len(ds) != 2 {
+		t.Fatalf("got %d DATA children", len(ds))
+	}
+	if v, _ := ds[1].Attr("ref"); v != "b" {
+		t.Errorf("second DATA ref = %q", v)
+	}
+	if root.Child("MISSING") != nil {
+		t.Error("Child on missing name should be nil")
+	}
+}
+
+func TestSetAttrReplaces(t *testing.T) {
+	n := New("X").SetAttr("a", "1").SetAttr("a", "2")
+	if len(n.Attrs) != 1 || n.Attrs[0].Value != "2" {
+		t.Errorf("SetAttr did not replace: %+v", n.Attrs)
+	}
+	if v := n.AttrDefault("missing", "dflt"); v != "dflt" {
+		t.Errorf("AttrDefault = %q", v)
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	n := New("X").SetAttr("a", `<&">`).SetText("a < b & c > d")
+	back, err := ParseString(n.String())
+	if err != nil {
+		t.Fatalf("reparse escaped: %v\n%s", err, n.String())
+	}
+	if v, _ := back.Attr("a"); v != `<&">` {
+		t.Errorf("attr after round trip = %q", v)
+	}
+	if back.Text != "a < b & c > d" {
+		t.Errorf("text after round trip = %q", back.Text)
+	}
+}
+
+// TestQuickRoundTrip property-tests that serialization followed by parsing
+// yields a structurally identical tree for randomly generated trees.
+func TestQuickRoundTrip(t *testing.T) {
+	names := []string{"POLICY", "STATEMENT", "PURPOSE", "DATA", "current", "admin"}
+	var build func(rndBytes []byte, depth int, idx *int) *Node
+	build = func(rnd []byte, depth int, idx *int) *Node {
+		next := func() byte {
+			if *idx >= len(rnd) {
+				return 0
+			}
+			b := rnd[*idx]
+			*idx++
+			return b
+		}
+		n := New(names[int(next())%len(names)])
+		if next()%2 == 0 {
+			n.SetAttr("required", []string{"always", "opt-in", "opt-out"}[int(next())%3])
+		}
+		if depth < 3 {
+			kids := int(next()) % 3
+			for i := 0; i < kids; i++ {
+				n.Add(build(rnd, depth+1, idx))
+			}
+		}
+		if len(n.Children) == 0 && next()%4 == 0 {
+			n.SetText("txt" + string(rune('a'+next()%26)))
+		}
+		return n
+	}
+	f := func(rnd []byte) bool {
+		idx := 0
+		n := build(rnd, 0, &idx)
+		back, err := ParseString(n.String())
+		if err != nil {
+			t.Logf("reparse error: %v", err)
+			return false
+		}
+		return Equal(n, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

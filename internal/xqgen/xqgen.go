@@ -1,0 +1,187 @@
+// Package xqgen translates APPEL preferences into XQuery: the paper's
+// Section 5.6 (Figure 17). Each rule becomes
+//
+//	if (document("applicable-policy")[POLICY[...]]) then <behavior/> else ()
+//
+// where the condition mirrors the rule body: element names become child
+// steps, attribute patterns become @attr comparisons inside predicates,
+// and the APPEL connectives become and/or/not combinations (the exact
+// connectives add a not(*[...]) test asserting the policy element contains
+// only listed subelements).
+package xqgen
+
+import (
+	"fmt"
+	"strings"
+
+	"p3pdb/internal/appel"
+)
+
+// ApplicableDocument is the document() name the generated queries
+// reference; the matcher resolves it to the policy the reference file
+// selected (see xmlstore.Resolver).
+const ApplicableDocument = "applicable-policy"
+
+// RuleQuery is the translation of one APPEL rule.
+type RuleQuery struct {
+	Behavior string
+	XQuery   string
+	Prompt   bool
+}
+
+// TranslateRuleset translates every rule of a preference.
+func TranslateRuleset(rs *appel.Ruleset) ([]RuleQuery, error) {
+	out := make([]RuleQuery, 0, len(rs.Rules))
+	for i, r := range rs.Rules {
+		q, err := TranslateRule(r)
+		if err != nil {
+			return nil, fmt.Errorf("xqgen: rule %d: %w", i+1, err)
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// TranslateRule translates one APPEL rule: the main() function of
+// Figure 17.
+func TranslateRule(r *appel.Rule) (RuleQuery, error) {
+	cond := `document("` + ApplicableDocument + `")`
+	if len(r.Body) > 0 {
+		tests := make([]string, 0, len(r.Body))
+		for _, e := range r.Body {
+			t, err := match(e)
+			if err != nil {
+				return RuleQuery{}, err
+			}
+			tests = append(tests, t)
+		}
+		combined, err := combine(r.EffectiveConnective(), tests, nil)
+		if err != nil {
+			return RuleQuery{}, err
+		}
+		cond += "[" + combined + "]"
+	}
+	xq := "if (" + cond + ") then <" + r.Behavior + "/> else ()"
+	return RuleQuery{Behavior: r.Behavior, XQuery: xq, Prompt: r.Prompt}, nil
+}
+
+// match translates one expression into a relative path test whose
+// existence signals a match: Figure 17's match() function.
+func match(e *appel.Expr) (string, error) {
+	cond, err := condFor(e)
+	if err != nil {
+		return "", err
+	}
+	if cond == "" {
+		return e.Name, nil
+	}
+	return e.Name + "[" + cond + "]", nil
+}
+
+// condFor builds the predicate for an expression: attribute comparisons
+// conjoined with the connective combination of its subexpressions. The
+// same form serves inside a name step and inside an exactness self-test.
+func condFor(e *appel.Expr) (string, error) {
+	var conds []string
+	for _, a := range e.Attrs {
+		if a.Value == "*" {
+			// Wildcard values constrain nothing (required/optional have
+			// defaults, so presence is guaranteed), matching the SQL
+			// translators.
+			continue
+		}
+		if e.Name == "DATA" && a.Name == "ref" {
+			conds = append(conds, refTest(a.Value))
+			continue
+		}
+		conds = append(conds, `@`+a.Name+` = "`+a.Value+`"`)
+	}
+	if len(e.Children) > 0 {
+		tests := make([]string, 0, len(e.Children))
+		for _, kid := range e.Children {
+			t, err := match(kid)
+			if err != nil {
+				return "", err
+			}
+			tests = append(tests, t)
+		}
+		combined, err := combine(e.EffectiveConnective(), tests, e.Children)
+		if err != nil {
+			return "", err
+		}
+		conds = append(conds, combined)
+	}
+	return strings.Join(conds, " and "), nil
+}
+
+// refTest builds the hierarchical data-reference test over @ref.
+func refTest(ref string) string {
+	r := ref
+	if !strings.HasPrefix(r, "#") {
+		r = "#" + r
+	}
+	return `(@ref = "` + r + `" or starts-with(@ref, "` + r + `.") or starts-with("` + r + `", concat(@ref, ".")))`
+}
+
+// combine applies an APPEL connective to the element tests. For the exact
+// forms, kids supplies the subexpressions so the not(*[...]) exactness
+// test can be built from self:: checks.
+func combine(connective string, tests []string, kids []*appel.Expr) (string, error) {
+	paren := func(sep string) string {
+		if len(tests) == 1 {
+			return tests[0]
+		}
+		return "(" + strings.Join(tests, sep) + ")"
+	}
+	switch connective {
+	case appel.ConnAnd:
+		return paren(" and "), nil
+	case appel.ConnOr:
+		return paren(" or "), nil
+	case appel.ConnNonAnd:
+		return "not(" + strings.Join(tests, " and ") + ")", nil
+	case appel.ConnNonOr:
+		return "not(" + strings.Join(tests, " or ") + ")", nil
+	case appel.ConnAndExact, appel.ConnOrExact:
+		if kids == nil {
+			return "", fmt.Errorf("connective %s not supported at the rule level", connective)
+		}
+		ex, err := exactTest(kids)
+		if err != nil {
+			return "", err
+		}
+		if connective == appel.ConnAndExact {
+			return "(" + strings.Join(tests, " and ") + " and " + ex + ")", nil
+		}
+		return "(" + paren(" or ") + " and " + ex + ")", nil
+	}
+	return "", fmt.Errorf("unknown connective %q", connective)
+}
+
+// exactTest asserts that every child of the policy element matches one of
+// the listed subexpressions: not(*[not(s1) and not(s2) ...]).
+func exactTest(kids []*appel.Expr) (string, error) {
+	neg := make([]string, 0, len(kids))
+	for _, kid := range kids {
+		st, err := selfTest(kid)
+		if err != nil {
+			return "", err
+		}
+		neg = append(neg, "not("+st+")")
+	}
+	return "not(*[" + strings.Join(neg, " and ") + "])", nil
+}
+
+// selfTest renders an expression as a test on the context element itself:
+// self::name plus the expression's predicate.
+func selfTest(e *appel.Expr) (string, error) {
+	cond, err := condFor(e)
+	if err != nil {
+		return "", err
+	}
+	t := "self::" + e.Name
+	if cond != "" {
+		t = "(" + t + " and " + cond + ")"
+	}
+	return t, nil
+}

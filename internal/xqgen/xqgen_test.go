@@ -1,0 +1,202 @@
+package xqgen
+
+import (
+	"strings"
+	"testing"
+
+	"p3pdb/internal/appel"
+	"p3pdb/internal/appelengine"
+	"p3pdb/internal/p3p"
+	"p3pdb/internal/xmldom"
+	"p3pdb/internal/xmlstore"
+	"p3pdb/internal/xquery"
+)
+
+func mustRuleset(t testing.TB, src string) *appel.Ruleset {
+	t.Helper()
+	rs, err := appel.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+// augmentedStore stores the augmented policy under the applicable name,
+// the way the server-side XML store is populated at install time.
+func augmentedStore(t testing.TB, policyXML string) *xmlstore.Store {
+	t.Helper()
+	doc, err := xmldom.ParseString(policyXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aug := appelengine.New().Augment(doc)
+	s := xmlstore.New()
+	s.Put(ApplicableDocument, aug)
+	return s
+}
+
+// evalRules evaluates translated queries in order, returning the first
+// fired behavior.
+func evalRules(t testing.TB, store *xmlstore.Store, qs []RuleQuery) (string, int) {
+	t.Helper()
+	ev := xquery.NewEvaluator(store.Resolver(nil))
+	for i, q := range qs {
+		parsed, err := xquery.Parse(q.XQuery)
+		if err != nil {
+			t.Fatalf("generated query does not parse: %v\n%s", err, q.XQuery)
+		}
+		out, err := ev.Run(parsed)
+		if err != nil {
+			t.Fatalf("eval: %v\n%s", err, q.XQuery)
+		}
+		if out != "" {
+			return out, i
+		}
+	}
+	return "", -1
+}
+
+func TestFigure18Shape(t *testing.T) {
+	rs := mustRuleset(t, appel.JaneSimplifiedRuleXML)
+	q, err := TranslateRule(rs.Rules[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`if (document("applicable-policy")`,
+		`POLICY[`,
+		`STATEMENT[`,
+		`PURPOSE[`,
+		`admin`,
+		`contact[@required = "always"]`,
+		` or `,
+		`then <block/>`,
+	} {
+		if !strings.Contains(q.XQuery, want) {
+			t.Errorf("XQuery missing %q:\n%s", want, q.XQuery)
+		}
+	}
+	if _, err := xquery.Parse(q.XQuery); err != nil {
+		t.Errorf("generated query does not parse: %v\n%s", err, q.XQuery)
+	}
+}
+
+func TestJaneAgainstVolga(t *testing.T) {
+	rs := mustRuleset(t, appel.JanePreferenceXML)
+	qs, err := TranslateRuleset(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := augmentedStore(t, p3p.VolgaPolicyXML)
+	behavior, idx := evalRules(t, store, qs)
+	if behavior != "request" || idx != 2 {
+		t.Errorf("got %q via rule %d, want request via rule 3", behavior, idx+1)
+	}
+}
+
+func TestCounterfactual(t *testing.T) {
+	modified := strings.Replace(p3p.VolgaPolicyXML,
+		`<individual-decision required="opt-in"/>`, `<individual-decision/>`, 1)
+	rs := mustRuleset(t, appel.JanePreferenceXML)
+	qs, err := TranslateRuleset(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := augmentedStore(t, modified)
+	behavior, idx := evalRules(t, store, qs)
+	if behavior != "block" || idx != 0 {
+		t.Errorf("got %q via rule %d, want block via rule 1", behavior, idx+1)
+	}
+}
+
+// agreeWithNative checks that the XQuery pipeline and the native APPEL
+// engine reach the same decision for a given rule body and policy.
+func agreeWithNative(t *testing.T, ruleBody, policyXML string) {
+	t.Helper()
+	rsDoc := `<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1">
+		<appel:RULE behavior="block">` + ruleBody + `</appel:RULE>
+		<appel:OTHERWISE behavior="request"/>
+	</appel:RULESET>`
+	rs := mustRuleset(t, rsDoc)
+
+	native, err := appelengine.New().Match(rs, policyXML)
+	if err != nil {
+		t.Fatalf("native: %v", err)
+	}
+	qs, err := TranslateRuleset(rs)
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	store := augmentedStore(t, policyXML)
+	behavior, _ := evalRules(t, store, qs)
+	if behavior != native.Behavior {
+		t.Errorf("disagreement: native=%s xquery=%s\nrule: %s", native.Behavior, behavior, ruleBody)
+	}
+}
+
+const tinyPolicy = `<POLICY xmlns="http://www.w3.org/2002/01/P3Pv1" name="t">
+  <STATEMENT>
+    <PURPOSE><current/><admin required="opt-in"/></PURPOSE>
+    <RECIPIENT><ours/></RECIPIENT>
+    <RETENTION><stated-purpose/></RETENTION>
+    <DATA-GROUP>
+      <DATA ref="#user.home-info.online.email"/>
+      <DATA ref="#dynamic.miscdata"><CATEGORIES><purchase/><financial/></CATEGORIES></DATA>
+    </DATA-GROUP>
+  </STATEMENT>
+</POLICY>`
+
+func TestConnectivesAgreeWithNative(t *testing.T) {
+	rules := []string{
+		`<POLICY><STATEMENT><PURPOSE appel:connective="or"><admin/><telemarketing/></PURPOSE></STATEMENT></POLICY>`,
+		`<POLICY><STATEMENT><PURPOSE appel:connective="or"><admin required="always"/></PURPOSE></STATEMENT></POLICY>`,
+		`<POLICY><STATEMENT><PURPOSE appel:connective="and"><current/><admin required="opt-in"/></PURPOSE></STATEMENT></POLICY>`,
+		`<POLICY><STATEMENT><PURPOSE appel:connective="non-or"><telemarketing/></PURPOSE></STATEMENT></POLICY>`,
+		`<POLICY><STATEMENT><PURPOSE appel:connective="non-and"><current/><telemarketing/></PURPOSE></STATEMENT></POLICY>`,
+		`<POLICY><STATEMENT><PURPOSE appel:connective="and-exact"><current/><admin required="opt-in"/></PURPOSE></STATEMENT></POLICY>`,
+		`<POLICY><STATEMENT><PURPOSE appel:connective="and-exact"><current/></PURPOSE></STATEMENT></POLICY>`,
+		`<POLICY><STATEMENT><PURPOSE appel:connective="or-exact"><current/><admin required="*"/><contact/></PURPOSE></STATEMENT></POLICY>`,
+		`<POLICY><STATEMENT><PURPOSE appel:connective="or-exact"><current/></PURPOSE></STATEMENT></POLICY>`,
+		`<POLICY><STATEMENT><RECIPIENT appel:connective="non-or"><public/><unrelated/></RECIPIENT></STATEMENT></POLICY>`,
+		`<POLICY><STATEMENT><RETENTION appel:connective="or"><stated-purpose/></RETENTION></STATEMENT></POLICY>`,
+		`<POLICY><STATEMENT><RETENTION appel:connective="non-or"><indefinitely/></RETENTION></STATEMENT></POLICY>`,
+		`<POLICY><STATEMENT><DATA-GROUP><DATA ref="#user.home-info"/></DATA-GROUP></STATEMENT></POLICY>`,
+		`<POLICY><STATEMENT><DATA-GROUP><DATA ref="#user.bdate"/></DATA-GROUP></STATEMENT></POLICY>`,
+		`<POLICY><STATEMENT><DATA-GROUP><DATA ref="*"><CATEGORIES appel:connective="or"><purchase/><health/></CATEGORIES></DATA></DATA-GROUP></STATEMENT></POLICY>`,
+		`<POLICY><STATEMENT><DATA-GROUP><DATA ref="*"><CATEGORIES><purchase/><financial/></CATEGORIES></DATA></DATA-GROUP></STATEMENT></POLICY>`,
+		`<POLICY><STATEMENT><DATA-GROUP><DATA ref="*"><CATEGORIES><purchase/><online/></CATEGORIES></DATA></DATA-GROUP></STATEMENT></POLICY>`,
+		`<POLICY appel:connective="or"><STATEMENT><PURPOSE appel:connective="or"><telemarketing/></PURPOSE></STATEMENT><STATEMENT><RECIPIENT appel:connective="or"><ours/></RECIPIENT></STATEMENT></POLICY>`,
+	}
+	for i, rule := range rules {
+		t.Run(strings.ReplaceAll(rule[:40], "/", "_"), func(t *testing.T) {
+			agreeWithNative(t, rule, tinyPolicy)
+			_ = i
+		})
+	}
+}
+
+func TestEmptyBodyRule(t *testing.T) {
+	q, err := TranslateRule(&appel.Rule{Behavior: "request"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(q.XQuery, `if (document("applicable-policy")) then <request/>`) {
+		t.Errorf("catch-all shape:\n%s", q.XQuery)
+	}
+	store := augmentedStore(t, tinyPolicy)
+	behavior, _ := evalRules(t, store, []RuleQuery{q})
+	if behavior != "request" {
+		t.Errorf("catch-all should fire, got %q", behavior)
+	}
+}
+
+func TestRuleLevelExactRejected(t *testing.T) {
+	r := &appel.Rule{
+		Behavior:   "block",
+		Connective: appel.ConnAndExact,
+		Body:       []*appel.Expr{{Name: "POLICY"}},
+	}
+	if _, err := TranslateRule(r); err == nil {
+		t.Error("rule-level exact connective should be rejected")
+	}
+}

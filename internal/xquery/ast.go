@@ -1,0 +1,79 @@
+// Package xquery implements the XQuery/XPath subset that the APPEL
+// translation algorithm of the paper's Section 5.6 (Figure 17) generates:
+// an if/then/else whose condition is an XPath over document(), with child
+// steps, predicates, attribute comparisons, and/or/not, and the
+// starts-with/concat functions used for hierarchical data references.
+//
+// The package provides a parser, a native evaluator over the xmlstore
+// (variation 3 of the paper's architecture), and the AST consumed by the
+// xtable package's XQuery-to-SQL translation (variation 2).
+package xquery
+
+// Query is the translated form of one APPEL rule:
+//
+//	if (<cond>) then <behavior/> else ()
+type Query struct {
+	Cond Expr
+	// Then is the element name constructed when the condition holds
+	// (the rule behavior); empty means the empty sequence.
+	Then string
+	// Else is the element name for the else branch; empty means ().
+	Else string
+}
+
+// Expr is an XPath expression node.
+type Expr interface{ isExpr() }
+
+// BinaryExpr applies "and", "or", "=", or "!=".
+type BinaryExpr struct {
+	Op    string
+	Left  Expr
+	Right Expr
+}
+
+func (*BinaryExpr) isExpr() {}
+
+// NotExpr is the not() function.
+type NotExpr struct{ Operand Expr }
+
+func (*NotExpr) isExpr() {}
+
+// FuncExpr is a function call: starts-with or concat.
+type FuncExpr struct {
+	Name string
+	Args []Expr
+}
+
+func (*FuncExpr) isExpr() {}
+
+// Literal is a quoted string.
+type Literal struct{ Value string }
+
+func (*Literal) isExpr() {}
+
+// PathExpr is a location path, optionally rooted at document("name").
+type PathExpr struct {
+	// Document is the document() argument; empty for relative paths.
+	Document string
+	Steps    []Step
+}
+
+func (*PathExpr) isExpr() {}
+
+// Axis enumerates the supported XPath axes.
+type Axis uint8
+
+// Supported axes.
+const (
+	AxisChild Axis = iota
+	AxisSelf
+	AxisAttribute
+)
+
+// Step is one location step: an axis, a name test ("*" is the wildcard),
+// and zero or more predicates.
+type Step struct {
+	Axis  Axis
+	Name  string
+	Preds []Expr
+}

@@ -1,0 +1,292 @@
+package xquery
+
+import (
+	"fmt"
+	"strings"
+
+	"p3pdb/internal/xmldom"
+)
+
+// Value is the XPath 1.0-style value union the evaluator works with.
+type Value struct {
+	kind    valueKind
+	nodes   []*xmldom.Node
+	strs    []string // attribute-value sets
+	str     string
+	boolean bool
+}
+
+type valueKind uint8
+
+const (
+	vNodes valueKind = iota
+	vStrs
+	vStr
+	vBool
+)
+
+func nodesVal(ns []*xmldom.Node) Value { return Value{kind: vNodes, nodes: ns} }
+func strsVal(ss []string) Value        { return Value{kind: vStrs, strs: ss} }
+func strVal(s string) Value            { return Value{kind: vStr, str: s} }
+func boolVal(b bool) Value             { return Value{kind: vBool, boolean: b} }
+
+// ebv is the effective boolean value.
+func (v Value) ebv() bool {
+	switch v.kind {
+	case vNodes:
+		return len(v.nodes) > 0
+	case vStrs:
+		return len(v.strs) > 0
+	case vStr:
+		return v.str != ""
+	case vBool:
+		return v.boolean
+	}
+	return false
+}
+
+// stringValue flattens the value to a single string (first item of a set,
+// per XPath 1.0's string() of a node-set).
+func (v Value) stringValue() string {
+	switch v.kind {
+	case vNodes:
+		if len(v.nodes) == 0 {
+			return ""
+		}
+		return v.nodes[0].Text
+	case vStrs:
+		if len(v.strs) == 0 {
+			return ""
+		}
+		return v.strs[0]
+	case vStr:
+		return v.str
+	case vBool:
+		if v.boolean {
+			return "true"
+		}
+		return "false"
+	}
+	return ""
+}
+
+// stringSet renders the value as a set of strings for existential
+// comparison.
+func (v Value) stringSet() []string {
+	switch v.kind {
+	case vNodes:
+		out := make([]string, len(v.nodes))
+		for i, n := range v.nodes {
+			out[i] = n.Text
+		}
+		return out
+	case vStrs:
+		return v.strs
+	case vStr:
+		return []string{v.str}
+	case vBool:
+		return []string{v.stringValue()}
+	}
+	return nil
+}
+
+// Evaluator evaluates generated queries against a document resolver.
+type Evaluator struct {
+	resolve func(string) (*xmldom.Node, error)
+}
+
+// NewEvaluator wraps a document resolver (typically xmlstore.Resolver).
+func NewEvaluator(resolve func(string) (*xmldom.Node, error)) *Evaluator {
+	return &Evaluator{resolve: resolve}
+}
+
+// Run evaluates the query and returns the name of the constructed element:
+// Then when the condition holds, Else otherwise (empty string means the
+// empty sequence, i.e. the rule did not fire).
+func (ev *Evaluator) Run(q *Query) (string, error) {
+	v, err := ev.eval(q.Cond, nil)
+	if err != nil {
+		return "", err
+	}
+	if v.ebv() {
+		return q.Then, nil
+	}
+	return q.Else, nil
+}
+
+// eval evaluates an expression; ctx is the context node for relative
+// paths (nil at the top level, where only absolute paths make sense).
+func (ev *Evaluator) eval(e Expr, ctx *xmldom.Node) (Value, error) {
+	switch x := e.(type) {
+	case *Literal:
+		return strVal(x.Value), nil
+
+	case *NotExpr:
+		v, err := ev.eval(x.Operand, ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		return boolVal(!v.ebv()), nil
+
+	case *BinaryExpr:
+		l, err := ev.eval(x.Left, ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		switch x.Op {
+		case "and":
+			if !l.ebv() {
+				return boolVal(false), nil
+			}
+			r, err := ev.eval(x.Right, ctx)
+			if err != nil {
+				return Value{}, err
+			}
+			return boolVal(r.ebv()), nil
+		case "or":
+			if l.ebv() {
+				return boolVal(true), nil
+			}
+			r, err := ev.eval(x.Right, ctx)
+			if err != nil {
+				return Value{}, err
+			}
+			return boolVal(r.ebv()), nil
+		case "=", "!=":
+			r, err := ev.eval(x.Right, ctx)
+			if err != nil {
+				return Value{}, err
+			}
+			// Existential comparison over the operand sets.
+			found := false
+			for _, a := range l.stringSet() {
+				for _, b := range r.stringSet() {
+					if (x.Op == "=") == (a == b) {
+						found = true
+						break
+					}
+				}
+				if found {
+					break
+				}
+			}
+			return boolVal(found), nil
+		}
+		return Value{}, fmt.Errorf("xquery: unknown operator %s", x.Op)
+
+	case *FuncExpr:
+		args := make([]Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := ev.eval(a, ctx)
+			if err != nil {
+				return Value{}, err
+			}
+			args[i] = v
+		}
+		switch x.Name {
+		case "starts-with":
+			if len(args) != 2 {
+				return Value{}, fmt.Errorf("xquery: starts-with expects 2 arguments")
+			}
+			return boolVal(strings.HasPrefix(args[0].stringValue(), args[1].stringValue())), nil
+		case "concat":
+			var b strings.Builder
+			for _, a := range args {
+				b.WriteString(a.stringValue())
+			}
+			return strVal(b.String()), nil
+		}
+		return Value{}, fmt.Errorf("xquery: unknown function %s", x.Name)
+
+	case *PathExpr:
+		return ev.evalPath(x, ctx)
+	}
+	return Value{}, fmt.Errorf("xquery: cannot evaluate %T", e)
+}
+
+func (ev *Evaluator) evalPath(p *PathExpr, ctx *xmldom.Node) (Value, error) {
+	var current []*xmldom.Node
+	if p.Document != "" {
+		root, err := ev.resolve(p.Document)
+		if err != nil {
+			return Value{}, err
+		}
+		// document() yields the document node; the first child step
+		// selects the root element by name.
+		doc := &xmldom.Node{Name: "#document", Children: []*xmldom.Node{root}}
+		current = []*xmldom.Node{doc}
+	} else {
+		if ctx == nil {
+			return Value{}, fmt.Errorf("xquery: relative path outside a predicate")
+		}
+		current = []*xmldom.Node{ctx}
+	}
+	for i, st := range p.Steps {
+		if st.Axis == AxisAttribute {
+			if i != len(p.Steps)-1 {
+				return Value{}, fmt.Errorf("xquery: attribute step must be final")
+			}
+			var vals []string
+			for _, n := range current {
+				if v, ok := n.Attr(st.Name); ok {
+					vals = append(vals, v)
+				} else if def, has := attrDefault(n, st.Name); has {
+					// P3P attribute defaulting, mirroring the other
+					// engines: required defaults to always, optional
+					// to no.
+					vals = append(vals, def)
+				}
+			}
+			return strsVal(vals), nil
+		}
+		var next []*xmldom.Node
+		for _, n := range current {
+			switch st.Axis {
+			case AxisSelf:
+				if st.Name == "*" || n.Name == st.Name {
+					next = append(next, n)
+				}
+			case AxisChild:
+				for _, c := range n.Children {
+					if st.Name == "*" || c.Name == st.Name {
+						next = append(next, c)
+					}
+				}
+			}
+		}
+		// Apply predicates.
+		for _, pred := range st.Preds {
+			var kept []*xmldom.Node
+			for _, n := range next {
+				v, err := ev.eval(pred, n)
+				if err != nil {
+					return Value{}, err
+				}
+				if v.ebv() {
+					kept = append(kept, n)
+				}
+			}
+			next = kept
+		}
+		current = next
+		if len(current) == 0 {
+			break
+		}
+	}
+	return nodesVal(current), nil
+}
+
+// attrDefault supplies P3P attribute defaults so that XQuery matching
+// agrees with the APPEL engine and the SQL translations on policies that
+// omit defaulted attributes.
+func attrDefault(n *xmldom.Node, attr string) (string, bool) {
+	switch attr {
+	case "required":
+		return "always", true
+	case "optional":
+		if n.Name == "DATA" {
+			return "no", true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,38 @@
+package xquery
+
+import (
+	"testing"
+
+	"p3pdb/internal/xmldom"
+)
+
+// FuzzParse checks the XQuery parser never panics, and that anything it
+// accepts also evaluates without panicking against a small document.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`if (document("d")) then <a/> else ()`,
+		`if (document("d")[POLICY[STATEMENT[PURPOSE[admin or contact[@required = "always"]]]]]) then <block/> else ()`,
+		`if (document("d")/POLICY/STATEMENT/PURPOSE/*[self::current]) then <a/>`,
+		`if (document("d")[POLICY[not(STATEMENT)]]) then <a/> else <b/>`,
+		`if (starts-with("ab", concat("a", ""))) then <a/> else ()`,
+		`if document`, `if (()) then <a/>`, `if (document("d")/@x/@y) then <a/>`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	doc, err := xmldom.ParseString(
+		`<POLICY><STATEMENT><PURPOSE><current/><contact required="opt-in"/></PURPOSE></STATEMENT></POLICY>`)
+	if err != nil {
+		f.Fatal(err)
+	}
+	resolve := func(string) (*xmldom.Node, error) { return doc, nil }
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Accepted queries must evaluate without panicking; evaluation
+		// errors are fine (e.g. relative paths at the top level).
+		_, _ = NewEvaluator(resolve).Run(q)
+	})
+}

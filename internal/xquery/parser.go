@@ -1,0 +1,405 @@
+package xquery
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// xqToken kinds.
+type xqTokKind uint8
+
+const (
+	xtEOF xqTokKind = iota
+	xtName
+	xtString
+	xtSym
+)
+
+type xqToken struct {
+	kind xqTokKind
+	text string
+	pos  int
+}
+
+func lex(src string) ([]xqToken, error) {
+	var out []xqToken
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '"' || c == '\'':
+			quote := c
+			j := i + 1
+			var b strings.Builder
+			for j < len(src) && src[j] != quote {
+				b.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("xquery: unterminated string at %d", i)
+			}
+			out = append(out, xqToken{xtString, b.String(), i})
+			i = j + 1
+		case isNameStart(rune(c)):
+			j := i
+			for j < len(src) && isNameChar(rune(src[j])) {
+				j++
+			}
+			out = append(out, xqToken{xtName, src[i:j], i})
+			i = j
+		default:
+			// Multi-char symbols.
+			if strings.HasPrefix(src[i:], "::") || strings.HasPrefix(src[i:], "!=") ||
+				strings.HasPrefix(src[i:], "/>") {
+				out = append(out, xqToken{xtSym, src[i : i+2], i})
+				i += 2
+				continue
+			}
+			switch c {
+			case '(', ')', '[', ']', '/', '@', '=', ',', '<', '>', '*':
+				out = append(out, xqToken{xtSym, string(c), i})
+				i++
+			default:
+				return nil, fmt.Errorf("xquery: unexpected character %q at %d", c, i)
+			}
+		}
+	}
+	out = append(out, xqToken{xtEOF, "", len(src)})
+	return out, nil
+}
+
+func isNameStart(r rune) bool { return r == '_' || r == '#' || unicode.IsLetter(r) }
+func isNameChar(r rune) bool {
+	return r == '_' || r == '-' || r == '.' || r == '#' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+type xqParser struct {
+	toks []xqToken
+	pos  int
+	src  string
+}
+
+func (p *xqParser) peek() xqToken { return p.toks[p.pos] }
+func (p *xqParser) advance() xqToken {
+	t := p.toks[p.pos]
+	if t.kind != xtEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *xqParser) errorf(format string, args ...any) error {
+	return fmt.Errorf("xquery: %s at offset %d", fmt.Sprintf(format, args...), p.peek().pos)
+}
+
+func (p *xqParser) expectSym(s string) error {
+	t := p.peek()
+	if t.kind == xtSym && t.text == s {
+		p.advance()
+		return nil
+	}
+	return p.errorf("expected %q, found %q", s, t.text)
+}
+
+func (p *xqParser) acceptSym(s string) bool {
+	t := p.peek()
+	if t.kind == xtSym && t.text == s {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *xqParser) acceptName(name string) bool {
+	t := p.peek()
+	if t.kind == xtName && t.text == name {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+// Parse parses one generated query:
+//
+//	if (EXPR) then <name/> [else (<name/> | ())]
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &xqParser{toks: toks, src: src}
+	if !p.acceptName("if") {
+		return nil, p.errorf("query must start with if")
+	}
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	if !p.acceptName("then") {
+		return nil, p.errorf("expected then")
+	}
+	q := &Query{Cond: cond}
+	q.Then, err = p.parseConstructor()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptName("else") {
+		q.Else, err = p.parseConstructor()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.peek().kind != xtEOF {
+		return nil, p.errorf("unexpected %q after query", p.peek().text)
+	}
+	return q, nil
+}
+
+// parseConstructor parses <name/> or the empty sequence ().
+func (p *xqParser) parseConstructor() (string, error) {
+	if p.acceptSym("(") {
+		if err := p.expectSym(")"); err != nil {
+			return "", err
+		}
+		return "", nil
+	}
+	if err := p.expectSym("<"); err != nil {
+		return "", err
+	}
+	t := p.peek()
+	if t.kind != xtName {
+		return "", p.errorf("expected element name in constructor")
+	}
+	p.advance()
+	if err := p.expectSym("/>"); err != nil {
+		return "", err
+	}
+	return t.text, nil
+}
+
+func (p *xqParser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *xqParser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptName("or") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "or", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *xqParser) parseAnd() (Expr, error) {
+	left, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptName("and") {
+		right, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "and", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *xqParser) parseCmp() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == xtSym && (t.text == "=" || t.text == "!=") {
+		p.advance()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: t.text, Left: left, Right: right}, nil
+	}
+	return left, nil
+}
+
+func (p *xqParser) parseUnary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == xtString:
+		p.advance()
+		return &Literal{Value: t.text}, nil
+
+	case t.kind == xtSym && t.text == "(":
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+
+	case t.kind == xtName && t.text == "not" && p.lookSym(1, "("):
+		p.advance()
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return &NotExpr{Operand: e}, nil
+
+	case t.kind == xtName && (t.text == "starts-with" || t.text == "concat") && p.lookSym(1, "("):
+		p.advance()
+		p.advance()
+		fn := &FuncExpr{Name: t.text}
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			fn.Args = append(fn.Args, a)
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return fn, nil
+
+	default:
+		return p.parsePath()
+	}
+}
+
+func (p *xqParser) lookSym(ahead int, s string) bool {
+	i := p.pos + ahead
+	return i < len(p.toks) && p.toks[i].kind == xtSym && p.toks[i].text == s
+}
+
+// parsePath parses a location path: document("x")/A[...]/B, a relative
+// A[...]/B path, @attr, or a self::name test.
+func (p *xqParser) parsePath() (Expr, error) {
+	path := &PathExpr{}
+	t := p.peek()
+	if t.kind == xtName && t.text == "document" && p.lookSym(1, "(") {
+		p.advance()
+		p.advance()
+		arg := p.peek()
+		if arg.kind != xtString {
+			return nil, p.errorf("document() requires a string literal")
+		}
+		p.advance()
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		path.Document = arg.text
+		// Predicates directly on document() (the Figure 18 shape) apply
+		// to the document node: model them as a self::* step.
+		if p.peek().kind == xtSym && p.peek().text == "[" {
+			st := Step{Axis: AxisSelf, Name: "*"}
+			for p.acceptSym("[") {
+				pred, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectSym("]"); err != nil {
+					return nil, err
+				}
+				st.Preds = append(st.Preds, pred)
+			}
+			path.Steps = append(path.Steps, st)
+		}
+		// Steps after document() are introduced by '/'.
+		for p.acceptSym("/") {
+			st, err := p.parseStep()
+			if err != nil {
+				return nil, err
+			}
+			path.Steps = append(path.Steps, st)
+		}
+		return path, validateSteps(path.Steps)
+	}
+	// Relative path.
+	for {
+		st, err := p.parseStep()
+		if err != nil {
+			return nil, err
+		}
+		path.Steps = append(path.Steps, st)
+		if !p.acceptSym("/") {
+			break
+		}
+	}
+	return path, validateSteps(path.Steps)
+}
+
+// validateSteps rejects paths that continue past an attribute step.
+func validateSteps(steps []Step) error {
+	for i, st := range steps {
+		if st.Axis == AxisAttribute && i != len(steps)-1 {
+			return fmt.Errorf("xquery: attribute step must be the final step")
+		}
+	}
+	return nil
+}
+
+// parseStep parses one step: [self::]name[pred]*, *[pred]*, or @name.
+func (p *xqParser) parseStep() (Step, error) {
+	st := Step{Axis: AxisChild}
+	if p.acceptSym("@") {
+		t := p.peek()
+		if t.kind != xtName {
+			return st, p.errorf("expected attribute name after @")
+		}
+		p.advance()
+		st.Axis = AxisAttribute
+		st.Name = t.text
+		return st, nil
+	}
+	t := p.peek()
+	if t.kind == xtName && t.text == "self" && p.lookSym(1, "::") {
+		p.advance()
+		p.advance()
+		st.Axis = AxisSelf
+		t = p.peek()
+	}
+	switch {
+	case t.kind == xtName:
+		p.advance()
+		st.Name = t.text
+	case t.kind == xtSym && t.text == "*":
+		p.advance()
+		st.Name = "*"
+	default:
+		return st, p.errorf("expected name test, found %q", t.text)
+	}
+	for p.acceptSym("[") {
+		pred, err := p.parseExpr()
+		if err != nil {
+			return st, err
+		}
+		if err := p.expectSym("]"); err != nil {
+			return st, err
+		}
+		st.Preds = append(st.Preds, pred)
+	}
+	return st, nil
+}

@@ -1,0 +1,91 @@
+package xtable
+
+import (
+	"strings"
+	"testing"
+
+	"p3pdb/internal/sqlgen"
+)
+
+// translate is a convenience over the default options.
+func translate(t *testing.T, src string) (sqlgen.RuleQuery, error) {
+	t.Helper()
+	return TranslateXQuery(src, sqlgen.FixedPolicySubquery(1), Options{})
+}
+
+func TestDirectXQueryShapes(t *testing.T) {
+	// Hand-written queries beyond what xqgen emits, exercising the
+	// translator's grammar corners against the live generic schema.
+	db, id := genFixture(t, tinyPolicy)
+	_ = id
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{`if (document("applicable-policy")/POLICY/STATEMENT/PURPOSE/current) then <hit/> else ()`, true},
+		{`if (document("applicable-policy")/POLICY/STATEMENT/PURPOSE/telemarketing) then <hit/> else ()`, false},
+		{`if (document("applicable-policy")[POLICY[STATEMENT[PURPOSE[admin[@required != "always"]]]]]) then <hit/> else ()`, true},
+		{`if (document("applicable-policy")[POLICY[STATEMENT[PURPOSE[admin[@required = "opt-in"] and current]]]]) then <hit/> else ()`, true},
+		{`if (document("applicable-policy")[not(POLICY[STATEMENT[RECIPIENT[public]]])]) then <hit/> else ()`, true},
+		{`if (document("applicable-policy")[POLICY[STATEMENT[PURPOSE[*[self::current]]]]]) then <hit/> else ()`, true},
+		{`if (document("applicable-policy")[POLICY[STATEMENT[PURPOSE[*[self::historical]]]]]) then <hit/> else ()`, false},
+		{`if (document("applicable-policy")[POLICY[STATEMENT[DATA-GROUP[DATA[starts-with(@ref, "#user.home-info.")]]]]]) then <hit/> else ()`, true},
+		{`if (document("applicable-policy")["literal"]) then <hit/> else ()`, true},
+		{`if (document("applicable-policy")[""]) then <hit/> else ()`, false},
+		{`if (document("applicable-policy")[POLICY[STATEMENT[PURPOSE[admin/@required]]]]) then <hit/> else ()`, true},
+	}
+	for _, c := range cases {
+		q, err := translate(t, c.src)
+		if err != nil {
+			t.Errorf("translate(%s): %v", c.src, err)
+			continue
+		}
+		got, err := db.QueryExists(q.SQL)
+		if err != nil {
+			t.Errorf("exec(%s): %v\nSQL: %s", c.src, err, q.SQL)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s = %v, want %v\nSQL: %s", c.src, got, c.want, q.SQL)
+		}
+	}
+}
+
+func TestTranslateMoreErrors(t *testing.T) {
+	bad := []string{
+		// else with content is unsupported in the SQL translation.
+		`if (document("d")/POLICY) then <a/> else <b/>`,
+		// concat as a boolean.
+		`if (concat("a", "b")) then <a/> else ()`,
+		// starts-with arity.
+		`if (starts-with("a")) then <a/> else ()`,
+		// path in value position that is not an attribute.
+		`if (document("d")/POLICY[STATEMENT = "x"]) then <a/> else ()`,
+		// multi-step path in value position (xqgen never emits this).
+		`if (document("d")/POLICY[STATEMENT[PURPOSE[admin/@required != "always"]]]) then <a/> else ()`,
+		// attribute unknown to the element.
+		`if (document("d")/POLICY/STATEMENT[@bogus = "1"]) then <a/> else ()`,
+		// element under the wrong parent.
+		`if (document("d")/POLICY/DATA) then <a/> else ()`,
+	}
+	for _, src := range bad {
+		if _, err := translate(t, src); err == nil {
+			t.Errorf("translate(%q): expected error", src)
+		}
+	}
+}
+
+func TestWildcardUnderDocument(t *testing.T) {
+	db, _ := genFixture(t, tinyPolicy)
+	q, err := translate(t, `if (document("applicable-policy")/*[self::POLICY]) then <hit/> else ()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := db.QueryExists(q.SQL)
+	if err != nil || !ok {
+		t.Errorf("wildcard document child: %v %v\n%s", ok, err, q.SQL)
+	}
+	if !strings.Contains(q.SQL, "FROM (SELECT * FROM policy)") {
+		t.Errorf("expected view wrapper in:\n%s", q.SQL)
+	}
+}

@@ -1,0 +1,232 @@
+package xtable
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"p3pdb/internal/appel"
+	"p3pdb/internal/p3p"
+	"p3pdb/internal/reldb"
+	"p3pdb/internal/shred"
+	"p3pdb/internal/sqlgen"
+	"p3pdb/internal/xqgen"
+)
+
+func genFixture(t testing.TB, policyXML string) (*reldb.DB, int) {
+	t.Helper()
+	db := reldb.New()
+	st, err := shred.NewGeneric(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := p3p.ParsePolicy(policyXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := st.InstallPolicy(pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, id
+}
+
+func mustRuleset(t testing.TB, src string) *appel.Ruleset {
+	t.Helper()
+	rs, err := appel.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+// translateViaXQuery runs the full variation-2 pipeline: APPEL -> XQuery
+// text -> parse -> SQL over the generic schema.
+func translateViaXQuery(t testing.TB, rs *appel.Ruleset, policyID int, opts Options) []sqlgen.RuleQuery {
+	t.Helper()
+	xqs, err := xqgen.TranslateRuleset(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]sqlgen.RuleQuery, 0, len(xqs))
+	for _, xq := range xqs {
+		q, err := TranslateXQuery(xq.XQuery, sqlgen.FixedPolicySubquery(policyID), opts)
+		if err != nil {
+			t.Fatalf("xtable translate: %v\n%s", err, xq.XQuery)
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+func TestJaneAgainstVolga(t *testing.T) {
+	db, id := genFixture(t, p3p.VolgaPolicyXML)
+	rs := mustRuleset(t, appel.JanePreferenceXML)
+	qs := translateViaXQuery(t, rs, id, Options{})
+	res, err := sqlgen.Match(db, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Behavior != "request" || res.RuleIndex != 2 {
+		t.Errorf("result = %+v, want request via rule 3", res)
+	}
+}
+
+func TestCounterfactual(t *testing.T) {
+	modified := strings.Replace(p3p.VolgaPolicyXML,
+		`<individual-decision required="opt-in"/>`, `<individual-decision/>`, 1)
+	db, id := genFixture(t, modified)
+	rs := mustRuleset(t, appel.JanePreferenceXML)
+	qs := translateViaXQuery(t, rs, id, Options{})
+	res, err := sqlgen.Match(db, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Behavior != "block" || res.RuleIndex != 0 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+const tinyPolicy = `<POLICY xmlns="http://www.w3.org/2002/01/P3Pv1" name="t">
+  <STATEMENT>
+    <PURPOSE><current/><admin required="opt-in"/></PURPOSE>
+    <RECIPIENT><ours/></RECIPIENT>
+    <RETENTION><stated-purpose/></RETENTION>
+    <DATA-GROUP>
+      <DATA ref="#user.home-info.online.email"/>
+      <DATA ref="#dynamic.miscdata"><CATEGORIES><purchase/><financial/></CATEGORIES></DATA>
+    </DATA-GROUP>
+  </STATEMENT>
+</POLICY>`
+
+// TestAgreesWithDirectSQL cross-checks variation 2 (APPEL -> XQuery -> SQL
+// via the view) against variation 1's generic translation for a set of
+// rule bodies.
+func TestAgreesWithDirectSQL(t *testing.T) {
+	rules := []string{
+		`<POLICY><STATEMENT><PURPOSE appel:connective="or"><admin/><telemarketing/></PURPOSE></STATEMENT></POLICY>`,
+		`<POLICY><STATEMENT><PURPOSE appel:connective="or"><admin required="always"/></PURPOSE></STATEMENT></POLICY>`,
+		`<POLICY><STATEMENT><PURPOSE appel:connective="and"><current/><admin required="opt-in"/></PURPOSE></STATEMENT></POLICY>`,
+		`<POLICY><STATEMENT><PURPOSE appel:connective="non-or"><telemarketing/></PURPOSE></STATEMENT></POLICY>`,
+		`<POLICY><STATEMENT><PURPOSE appel:connective="and-exact"><current/><admin required="opt-in"/></PURPOSE></STATEMENT></POLICY>`,
+		`<POLICY><STATEMENT><PURPOSE appel:connective="or-exact"><current/></PURPOSE></STATEMENT></POLICY>`,
+		`<POLICY><STATEMENT><RETENTION appel:connective="non-or"><indefinitely/></RETENTION></STATEMENT></POLICY>`,
+		`<POLICY><STATEMENT><DATA-GROUP><DATA ref="#user.home-info"/></DATA-GROUP></STATEMENT></POLICY>`,
+		`<POLICY><STATEMENT><DATA-GROUP><DATA ref="*"><CATEGORIES><purchase/><financial/></CATEGORIES></DATA></DATA-GROUP></STATEMENT></POLICY>`,
+	}
+	db, id := genFixture(t, tinyPolicy)
+	for _, rule := range rules {
+		rsDoc := `<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1">
+			<appel:RULE behavior="block">` + rule + `</appel:RULE>
+			<appel:OTHERWISE behavior="request"/>
+		</appel:RULESET>`
+		rs := mustRuleset(t, rsDoc)
+		direct, err := sqlgen.TranslateRulesetGeneric(rs, sqlgen.FixedPolicySubquery(id), sqlgen.GenericOptions{})
+		if err != nil {
+			t.Fatalf("direct translate: %v", err)
+		}
+		directRes, err := sqlgen.Match(db, direct)
+		if err != nil {
+			t.Fatalf("direct match: %v", err)
+		}
+		viaView := translateViaXQuery(t, rs, id, Options{})
+		viewRes, err := sqlgen.Match(db, viaView)
+		if err != nil {
+			t.Fatalf("view match: %v\n%s", err, viaView[0].SQL)
+		}
+		if directRes.Behavior != viewRes.Behavior {
+			t.Errorf("disagreement on %s:\ndirect=%s view=%s", rule, directRes.Behavior, viewRes.Behavior)
+		}
+	}
+}
+
+func TestViewReconstructionShape(t *testing.T) {
+	rs := mustRuleset(t, appel.JaneSimplifiedRuleXML)
+	xqs, err := xqgen.TranslateRuleset(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := TranslateXQuery(xqs[0].XQuery, sqlgen.FixedPolicySubquery(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(wrapped.SQL, "(SELECT * FROM purpose) AS") {
+		t.Errorf("view reconstruction missing:\n%s", wrapped.SQL)
+	}
+	plain, err := TranslateXQuery(xqs[0].XQuery, sqlgen.FixedPolicySubquery(1), Options{DisableViewReconstruction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.SQL, "(SELECT * FROM purpose) AS") {
+		t.Errorf("ablation should remove the view wrapper:\n%s", plain.SQL)
+	}
+}
+
+// TestComplexPreferenceTooComplex reproduces the Figure 21 blank cell: an
+// exact-heavy rule, translated through the XML view, exceeds the
+// relational engine's statement-complexity limit, while the same rule on
+// the optimized schema executes fine.
+func TestComplexPreferenceTooComplex(t *testing.T) {
+	rule := `<POLICY><STATEMENT>
+	  <PURPOSE appel:connective="or-exact">
+	    <current/><admin/><develop/><tailoring/><pseudo-analysis/>
+	    <pseudo-decision/><individual-analysis required="opt-in"/>
+	    <individual-decision required="opt-in"/>
+	  </PURPOSE>
+	  <RECIPIENT appel:connective="and-exact"><ours/></RECIPIENT>
+	  <DATA-GROUP><DATA ref="*">
+	    <CATEGORIES appel:connective="non-or">
+	      <health/><financial/><political/><government/><location/>
+	    </CATEGORIES>
+	  </DATA></DATA-GROUP>
+	</STATEMENT></POLICY>`
+	rsDoc := `<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1">
+		<appel:RULE behavior="block">` + rule + `</appel:RULE>
+		<appel:OTHERWISE behavior="request"/>
+	</appel:RULESET>`
+	rs := mustRuleset(t, rsDoc)
+
+	db, id := genFixture(t, tinyPolicy)
+	qs := translateViaXQuery(t, rs, id, Options{})
+	_, err := sqlgen.Match(db, qs)
+	if err == nil {
+		t.Fatal("exact-heavy view translation should exceed the complexity limit")
+	}
+	if !errors.Is(err, reldb.ErrTooComplex) {
+		t.Fatalf("expected ErrTooComplex, got %v", err)
+	}
+
+	// The optimized translation of the same preference executes fine.
+	odb := reldb.New()
+	ost, err := shred.NewOptimized(odb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := p3p.ParsePolicy(tinyPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid, err := ost.InstallPolicy(pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oqs, err := sqlgen.TranslateRulesetOptimized(rs, sqlgen.FixedPolicySubquery(oid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sqlgen.Match(odb, oqs); err != nil {
+		t.Fatalf("optimized path should execute: %v", err)
+	}
+}
+
+func TestTranslateErrors(t *testing.T) {
+	bad := []string{
+		`if (document("applicable-policy")/NOSUCH) then <block/> else ()`,
+		`if (document("applicable-policy")/POLICY[@bogus = "1"]) then <block/> else ()`,
+	}
+	for _, src := range bad {
+		if _, err := TranslateXQuery(src, sqlgen.FixedPolicySubquery(1), Options{}); err == nil {
+			t.Errorf("TranslateXQuery(%q): expected error", src)
+		}
+	}
+}
