@@ -15,6 +15,7 @@ package bench
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"p3pdb/internal/appel"
@@ -107,6 +108,39 @@ func BenchmarkMatch(b *testing.B) {
 	for _, engine := range core.Engines {
 		b.Run(engineSlug(engine), func(b *testing.B) {
 			matchAll(b, engine, "High")
+		})
+	}
+}
+
+// BenchmarkMatchParallel is the Figure 20 workload driven from many
+// goroutines at once (b.RunParallel): the server-side scenario where
+// concurrent visitors match against the installed corpus. Dividing this
+// benchmark's matches/sec by BenchmarkMatch's measures how far the read
+// path scales with GOMAXPROCS.
+func BenchmarkMatchParallel(b *testing.B) {
+	for _, engine := range core.Engines {
+		b.Run(engineSlug(engine), func(b *testing.B) {
+			s, d := site(b)
+			pref, ok := workload.PreferenceByLevel("High")
+			if !ok {
+				b.Fatal("no High level")
+			}
+			// Warm up so conversion caching and view fills are excluded,
+			// matching BenchmarkMatch's discarded cold match.
+			if _, err := s.MatchPolicy(pref.XML, d.Policies[0].Name, engine); err != nil {
+				b.Fatal(err)
+			}
+			var next atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := next.Add(1) - 1
+					pol := d.Policies[int(i)%len(d.Policies)]
+					if _, err := s.MatchPolicy(pref.XML, pol.Name, engine); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		})
 	}
 }

@@ -3,8 +3,10 @@
 //
 //	p3pbench                      # the full report
 //	p3pbench -table=fig20         # one table: fig19, shred, fig20, fig21,
-//	                              # warmcold, xquery-native, ablate
+//	                              # warmcold, xquery-native, ablate,
+//	                              # throughput
 //	p3pbench -seed=7 -repeats=5   # workload seed and per-cell repetitions
+//	p3pbench -table=throughput -engine=sql -out=BENCH_throughput.json
 //
 // Absolute times are from this machine; the paper's Section 6 numbers are
 // from a 2002 dual-600MHz server. EXPERIMENTS.md records the side-by-side
@@ -17,14 +19,42 @@ import (
 	"os"
 
 	"p3pdb/internal/benchkit"
+	"p3pdb/internal/core"
 )
 
 func main() {
-	table := flag.String("table", "all", "table to print: all, fig19, shred, fig20, fig21, warmcold, xquery-native, ablate")
+	table := flag.String("table", "all", "table to print: all, fig19, shred, fig20, fig21, warmcold, xquery-native, ablate, throughput")
 	seed := flag.Int64("seed", 42, "workload generation seed")
 	repeats := flag.Int("repeats", 3, "measurements per matrix cell")
-	level := flag.String("ablate-level", "High", "preference level for the ablation table")
+	level := flag.String("ablate-level", "High", "preference level for the ablation and throughput tables")
+	engine := flag.String("engine", "sql", "matching engine for the throughput table")
+	out := flag.String("out", "BENCH_throughput.json", "artifact path for the throughput table (empty to skip)")
+	matches := flag.Int("matches", 0, "matches per worker in the throughput table (0 = default)")
 	flag.Parse()
+
+	if *table == "throughput" {
+		eng, err := core.ParseEngine(*engine)
+		if err != nil {
+			fatal(err)
+		}
+		r, err := benchkit.RunThroughput(benchkit.ThroughputConfig{
+			Seed:             *seed,
+			Level:            *level,
+			Engine:           eng,
+			MatchesPerWorker: *matches,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(r.Render())
+		if *out != "" {
+			if err := r.WriteJSON(*out); err != nil {
+				fatal(err)
+			}
+			fmt.Println("wrote", *out)
+		}
+		return
+	}
 
 	if *table == "ablate" {
 		a, err := benchkit.RunAblations(*seed, *level)

@@ -1,0 +1,170 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"p3pdb/internal/core"
+	"p3pdb/internal/workload"
+)
+
+// The throughput experiment goes beyond the paper's per-match latency
+// figures (20/21): the server-centric claim is that a site can evaluate
+// preference matches for *many* visitors at page-access time, which is a
+// concurrency question, not a latency one. This table measures sustained
+// matches/sec against the installed corpus as the number of concurrent
+// clients grows, establishing the repo's throughput trajectory.
+
+// ThroughputRow is one parallelism point of the throughput experiment.
+type ThroughputRow struct {
+	Workers       int     `json:"workers"`
+	Matches       int     `json:"matches"`
+	ElapsedMS     float64 `json:"elapsedMs"`
+	MatchesPerSec float64 `json:"matchesPerSec"`
+	// SpeedupVs1 is this row's matches/sec over the single-worker row's.
+	SpeedupVs1 float64 `json:"speedupVs1"`
+}
+
+// ThroughputResults is the full table plus the run's parameters, shaped
+// for both rendering and the BENCH_throughput.json artifact future PRs
+// diff against.
+type ThroughputResults struct {
+	Seed       int64           `json:"seed"`
+	Level      string          `json:"level"`
+	Engine     string          `json:"engine"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Rows       []ThroughputRow `json:"rows"`
+}
+
+// ThroughputConfig parameterizes a throughput run.
+type ThroughputConfig struct {
+	// Seed generates the workload (default 42).
+	Seed int64
+	// Level is the preference level matched (default "High").
+	Level string
+	// Engine is the matching engine; the zero value is the native engine.
+	Engine core.Engine
+	// MatchesPerWorker is the fixed work each concurrent client performs
+	// per measurement point (default 200), so elapsed time reflects
+	// contention rather than shrinking slices of a fixed total.
+	MatchesPerWorker int
+}
+
+func (c ThroughputConfig) withDefaults() ThroughputConfig {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Level == "" {
+		c.Level = "High"
+	}
+	if c.MatchesPerWorker == 0 {
+		c.MatchesPerWorker = 200
+	}
+	return c
+}
+
+// workerCounts returns 1, 2, 4, ... up to GOMAXPROCS, always including
+// GOMAXPROCS itself.
+func workerCounts(max int) []int {
+	var out []int
+	for w := 1; w < max; w *= 2 {
+		out = append(out, w)
+	}
+	if len(out) == 0 || out[len(out)-1] != max {
+		out = append(out, max)
+	}
+	return out
+}
+
+// RunThroughput measures sustained matches/sec at increasing concurrency
+// against a site loaded with the generated corpus.
+func RunThroughput(cfg ThroughputConfig) (*ThroughputResults, error) {
+	cfg = cfg.withDefaults()
+	site, d, err := Setup(Config{Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	pref, ok := workload.PreferenceByLevel(cfg.Level)
+	if !ok {
+		return nil, fmt.Errorf("benchkit: no preference level %q", cfg.Level)
+	}
+	// Warm up: first matches pay conversion and cache fills.
+	for _, pol := range d.Policies {
+		if _, err := site.MatchPolicy(pref.XML, pol.Name, cfg.Engine); err != nil {
+			return nil, fmt.Errorf("benchkit: warmup %s: %w", pol.Name, err)
+		}
+	}
+
+	res := &ThroughputResults{
+		Seed:       cfg.Seed,
+		Level:      cfg.Level,
+		Engine:     cfg.Engine.ShortName(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, workers := range workerCounts(res.GOMAXPROCS) {
+		total := workers * cfg.MatchesPerWorker
+		var firstErr atomic.Value
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < cfg.MatchesPerWorker; i++ {
+					pol := d.Policies[(w*cfg.MatchesPerWorker+i)%len(d.Policies)]
+					if _, err := site.MatchPolicy(pref.XML, pol.Name, cfg.Engine); err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if err, ok := firstErr.Load().(error); ok {
+			return nil, fmt.Errorf("benchkit: throughput at %d workers: %w", workers, err)
+		}
+		row := ThroughputRow{
+			Workers:       workers,
+			Matches:       total,
+			ElapsedMS:     float64(elapsed.Microseconds()) / 1000,
+			MatchesPerSec: float64(total) / elapsed.Seconds(),
+		}
+		if len(res.Rows) > 0 {
+			row.SpeedupVs1 = row.MatchesPerSec / res.Rows[0].MatchesPerSec
+		} else {
+			row.SpeedupVs1 = 1
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render formats the throughput table.
+func (r *ThroughputResults) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Throughput (%s preference, %s engine, GOMAXPROCS=%d)\n",
+		r.Level, r.Engine, r.GOMAXPROCS)
+	fmt.Fprintf(&b, "%8s %10s %12s %14s %10s\n", "workers", "matches", "elapsed ms", "matches/sec", "speedup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8d %10d %12.1f %14.0f %9.2fx\n",
+			row.Workers, row.Matches, row.ElapsedMS, row.MatchesPerSec, row.SpeedupVs1)
+	}
+	return b.String()
+}
+
+// WriteJSON writes the results as the machine-readable artifact
+// (BENCH_throughput.json) that later PRs track for regressions.
+func (r *ThroughputResults) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -30,6 +30,30 @@ type compiledRule struct {
 	ruleDescription string
 }
 
+// compileRules translates rs against the optimized schema with the
+// policy id left as a parameter — so one compilation serves every policy
+// on the site — and prepares every rule statement on db.
+func compileRules(db *reldb.DB, rs *appel.Ruleset) ([]compiledRule, error) {
+	queries, err := sqlgen.TranslateRulesetOptimized(rs, "SELECT ? AS policy_id")
+	if err != nil {
+		return nil, err
+	}
+	rules := make([]compiledRule, 0, len(queries))
+	for i, q := range queries {
+		stmt, err := db.Prepare(q.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("core: preparing rule %d: %w", i+1, err)
+		}
+		rules = append(rules, compiledRule{
+			stmt:            stmt,
+			behavior:        q.Behavior,
+			prompt:          q.Prompt,
+			ruleDescription: rs.Rules[i].Description,
+		})
+	}
+	return rules, nil
+}
+
 // CompilePreference translates and prepares a preference against the
 // optimized schema. The result is bound to this site's database but not
 // to any policy.
@@ -39,34 +63,19 @@ func (s *Site) CompilePreference(prefXML string) (*CompiledPreference, error) {
 	if err != nil {
 		return nil, err
 	}
-	// The applicable policy becomes a parameter, so one compilation
-	// serves every policy on the site.
-	queries, err := sqlgen.TranslateRulesetOptimized(rs, "SELECT ? AS policy_id")
+	rules, err := compileRules(s.optDB, rs)
 	if err != nil {
 		return nil, err
 	}
-	c := &CompiledPreference{}
-	for i, q := range queries {
-		stmt, err := s.optDB.Prepare(q.SQL)
-		if err != nil {
-			return nil, fmt.Errorf("core: preparing rule %d: %w", i+1, err)
-		}
-		c.rules = append(c.rules, compiledRule{
-			stmt:            stmt,
-			behavior:        q.Behavior,
-			prompt:          q.Prompt,
-			ruleDescription: rs.Rules[i].Description,
-		})
-	}
-	c.Compile = time.Since(start)
-	return c, nil
+	return &CompiledPreference{rules: rules, Compile: time.Since(start)}, nil
 }
 
 // MatchCompiled evaluates a compiled preference against a named policy.
-// Only query execution remains on the per-visit path.
+// Only query execution remains on the per-visit path. Compiled matches
+// run concurrently with each other and with every other match.
 func (s *Site) MatchCompiled(c *CompiledPreference, policyName string) (Decision, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	id, ok := s.optIDs[policyName]
 	if !ok {
 		return Decision{}, fmt.Errorf("core: policy %q not installed", policyName)

@@ -105,7 +105,11 @@ func TestCompiledFasterThanFullPipeline(t *testing.T) {
 		t.Skip("timing comparison")
 	}
 	d := workload.Generate(42)
-	s, err := NewSite()
+	// Disable the conversion cache: with it on, MatchPolicy itself skips
+	// per-match conversion and the two paths tie (see
+	// TestCachedDecisionsMatchUncached). This test pins the *uncached*
+	// pipeline as the thing compilation beats.
+	s, err := NewSiteWithOptions(Options{DisableConversionCache: true})
 	if err != nil {
 		t.Fatal(err)
 	}

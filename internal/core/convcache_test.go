@@ -1,0 +1,153 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"p3pdb/internal/workload"
+)
+
+// newCacheTestSite installs a small corpus into a site built with opts.
+func newCacheTestSite(t *testing.T, opts Options) *Site {
+	t.Helper()
+	s, err := NewSiteWithOptions(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := workload.Generate(42)
+	for _, pol := range d.Policies[:4] {
+		if err := s.InstallPolicy(pol); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// TestConversionCacheHitConvertNearZero asserts the §6.3.2 claim the cache
+// implements: on a repeat match the conversion phase collapses to a cache
+// lookup, so Decision.Convert is effectively zero while the first match
+// paid the full translate-and-prepare cost.
+func TestConversionCacheHitConvertNearZero(t *testing.T) {
+	s := newCacheTestSite(t, Options{})
+	pref, _ := workload.PreferenceByLevel("High")
+	name := s.PolicyNames()[0]
+
+	for _, engine := range []Engine{EngineSQL, EngineXTable, EngineXQuery} {
+		t.Run(engine.ShortName(), func(t *testing.T) {
+			if _, err := s.MatchPolicy(pref.XML, name, engine); err != nil {
+				t.Fatal(err)
+			}
+			hitsBefore, _, _ := s.ConversionCacheStats()
+			dec, err := s.MatchPolicy(pref.XML, name, engine)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hitsAfter, _, _ := s.ConversionCacheStats()
+			if hitsAfter <= hitsBefore {
+				t.Errorf("cache hits did not increase: %d -> %d", hitsBefore, hitsAfter)
+			}
+			// A hit's Convert is one map lookup. 5ms is orders of magnitude
+			// above that even under the race detector, and orders of
+			// magnitude below an actual translate-and-prepare.
+			if dec.Convert > 5*time.Millisecond {
+				t.Errorf("cache-hit Convert = %v, want ~zero", dec.Convert)
+			}
+		})
+	}
+}
+
+// TestCachedDecisionsMatchUncached asserts the cache is semantically
+// invisible: decisions served from cached conversions are identical,
+// field for field, to a cache-disabled site's (timings excluded).
+func TestCachedDecisionsMatchUncached(t *testing.T) {
+	cached := newCacheTestSite(t, Options{})
+	uncached := newCacheTestSite(t, Options{DisableConversionCache: true})
+	if _, _, size := uncached.ConversionCacheStats(); size != 0 {
+		t.Fatalf("disabled cache reports size %d", size)
+	}
+
+	for _, level := range []string{"High", "Low"} {
+		pref, ok := workload.PreferenceByLevel(level)
+		if !ok {
+			t.Fatalf("no level %s", level)
+		}
+		for _, engine := range Engines {
+			for _, name := range cached.PolicyNames() {
+				// Match twice on the cached site so the compared decision
+				// is definitely served from the cache.
+				if _, err := cached.MatchPolicy(pref.XML, name, engine); err != nil {
+					t.Fatal(err)
+				}
+				got, err := cached.MatchPolicy(pref.XML, name, engine)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := uncached.MatchPolicy(pref.XML, name, engine)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got.Convert, got.Query = 0, 0
+				want.Convert, want.Query = 0, 0
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s/%s vs %s: cached %+v != uncached %+v",
+						engine.ShortName(), level, name, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestConversionCachePurgeOnRemove asserts policy-bound (XTABLE) entries
+// are dropped with their policy while policy-independent entries survive.
+func TestConversionCachePurgeOnRemove(t *testing.T) {
+	s := newCacheTestSite(t, Options{})
+	pref, _ := workload.PreferenceByLevel("High")
+	names := s.PolicyNames()
+
+	for _, name := range names {
+		if _, err := s.MatchPolicy(pref.XML, name, EngineXTable); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.MatchPolicy(pref.XML, names[0], EngineSQL); err != nil {
+		t.Fatal(err)
+	}
+	_, _, before := s.ConversionCacheStats()
+
+	if err := s.RemovePolicy(names[0]); err != nil {
+		t.Fatal(err)
+	}
+	_, _, after := s.ConversionCacheStats()
+	if after != before-1 {
+		t.Errorf("size after removing one policy: %d, want %d", after, before-1)
+	}
+
+	// The policy-independent SQL entry must still serve the others.
+	hitsBefore, _, _ := s.ConversionCacheStats()
+	if _, err := s.MatchPolicy(pref.XML, names[1], EngineSQL); err != nil {
+		t.Fatal(err)
+	}
+	hitsAfter, _, _ := s.ConversionCacheStats()
+	if hitsAfter <= hitsBefore {
+		t.Error("SQL conversion was not served from cache after unrelated purge")
+	}
+}
+
+// TestConversionCacheBounded asserts the FIFO bound holds.
+func TestConversionCacheBounded(t *testing.T) {
+	s := newCacheTestSite(t, Options{ConversionCacheSize: 2})
+	name := s.PolicyNames()[0]
+	for _, level := range []string{"Very High", "High", "Medium", "Low", "Very Low"} {
+		pref, ok := workload.PreferenceByLevel(level)
+		if !ok {
+			t.Fatalf("no level %s", level)
+		}
+		if _, err := s.MatchPolicy(pref.XML, name, EngineSQL); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, size := s.ConversionCacheStats(); size > 2 {
+		t.Errorf("cache size %d exceeds bound 2", size)
+	}
+}

@@ -37,7 +37,6 @@ import (
 	"p3pdb/internal/xmlstore"
 	"p3pdb/internal/xqgen"
 	"p3pdb/internal/xquery"
-	"p3pdb/internal/xtable"
 )
 
 // Engine selects the preference-matching implementation.
@@ -106,6 +105,13 @@ type Options struct {
 	// SkipAugmentationInNative disables category augmentation in the
 	// native engine (the §6.3.2 profiling ablation).
 	SkipAugmentationInNative bool
+	// DisableConversionCache turns off the per-Site compiled-preference
+	// cache, forcing the full parse/translate/prepare pipeline on every
+	// match (ablations and the uncached baseline).
+	DisableConversionCache bool
+	// ConversionCacheSize bounds the conversion cache; zero means the
+	// engine default (256 entries).
+	ConversionCacheSize int
 }
 
 // Decision is the outcome of matching a preference against a policy.
@@ -145,8 +151,14 @@ type ConflictStat struct {
 
 // Site is a web site's installed privacy metadata plus the matching
 // engines.
+//
+// Concurrency: matching and every other read run under the shared side of
+// mu and proceed in parallel; policy install/remove take the exclusive
+// side. The conflict analytics — which matches write to — live under
+// their own mutex so a read-locked match can record a block, and the
+// conversion cache synchronizes itself.
 type Site struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 
 	optDB    *reldb.DB
 	optStore *shred.OptimizedStore
@@ -161,7 +173,12 @@ type Site struct {
 	optIDs    map[string]int
 	genIDs    map[string]int
 
-	conflicts map[string]map[string]int // policy -> rule description -> blocks
+	// conv caches conversion artifacts per (engine, preference text);
+	// nil when Options.DisableConversionCache is set.
+	conv *convCache
+
+	conflictMu sync.Mutex
+	conflicts  map[string]map[string]int // policy -> rule description -> blocks
 }
 
 // NewSite returns an empty site with default options.
@@ -183,7 +200,7 @@ func NewSiteWithOptions(opts Options) (*Site, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Site{
+	s := &Site{
 		optDB:     optDB,
 		optStore:  optStore,
 		genDB:     genDB,
@@ -195,7 +212,11 @@ func NewSiteWithOptions(opts Options) (*Site, error) {
 		optIDs:    map[string]int{},
 		genIDs:    map[string]int{},
 		conflicts: map[string]map[string]int{},
-	}, nil
+	}
+	if !opts.DisableConversionCache {
+		s.conv = newConvCache(opts.ConversionCacheSize)
+	}
+	return s, nil
 }
 
 // InstallPolicy installs one parsed policy into every backend: shredded
@@ -269,6 +290,9 @@ func (s *Site) RemovePolicy(name string) error {
 	delete(s.policyXML, name)
 	delete(s.optIDs, name)
 	delete(s.genIDs, name)
+	// Cached XTABLE translations embed this policy's id; drop them so a
+	// reinstall under the same name cannot serve stale queries.
+	s.conv.purgePolicy(name)
 	return nil
 }
 
@@ -295,8 +319,8 @@ func (s *Site) InstallReferenceFileXML(doc string) error {
 
 // PolicyNames returns the installed policy names, sorted.
 func (s *Site) PolicyNames() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	names := make([]string, 0, len(s.policyXML))
 	for n := range s.policyXML {
 		names = append(names, n)
@@ -308,8 +332,8 @@ func (s *Site) PolicyNames() []string {
 // PolicyXML returns the raw text of an installed policy (what a
 // client-centric agent would fetch).
 func (s *Site) PolicyXML(name string) (string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	xml, ok := s.policyXML[name]
 	if !ok {
 		return "", fmt.Errorf("core: policy %q not installed", name)
@@ -321,8 +345,8 @@ func (s *Site) PolicyXML(name string) (string, error) {
 // policy, the token summary IE6-era agents evaluated for cookie decisions
 // (Section 3.2 of the paper).
 func (s *Site) CompactPolicy(name string) (string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	xml, ok := s.policyXML[name]
 	if !ok {
 		return "", fmt.Errorf("core: policy %q not installed", name)
@@ -338,8 +362,8 @@ func (s *Site) CompactPolicy(name string) (string, error) {
 // the hybrid architecture's clients cache so that URI resolution happens
 // client-side while matching stays on the server (Section 4.2).
 func (s *Site) ReferenceFileXML() (string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.refFile == nil {
 		return "", fmt.Errorf("core: no reference file installed")
 	}
@@ -358,8 +382,8 @@ func policyDoc(name string) string { return "policy:" + name }
 // PolicyForURI resolves which policy governs a URI, via the reference
 // file.
 func (s *Site) PolicyForURI(uri string) (string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.policyForURILocked(uri)
 }
 
@@ -381,8 +405,8 @@ func (s *Site) policyForURILocked(uri string) (string, error) {
 // MatchURI matches a preference against the policy covering a URI,
 // using the selected engine. This is the Figure 6 step.
 func (s *Site) MatchURI(prefXML, uri string, engine Engine) (Decision, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	name, err := s.policyForURILocked(uri)
 	if err != nil {
 		return Decision{}, err
@@ -393,8 +417,8 @@ func (s *Site) MatchURI(prefXML, uri string, engine Engine) (Decision, error) {
 // PolicyForCookie resolves which policy governs a cookie by name, via the
 // reference file's COOKIE-INCLUDE/COOKIE-EXCLUDE patterns.
 func (s *Site) PolicyForCookie(cookieName string) (string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.policyForCookieLocked(cookieName)
 }
 
@@ -418,8 +442,8 @@ func (s *Site) policyForCookieLocked(cookieName string) (string, error) {
 // the paper), driven by the reference file's cookie patterns instead of
 // compact-policy headers.
 func (s *Site) MatchCookie(prefXML, cookieName string, engine Engine) (Decision, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	name, err := s.policyForCookieLocked(cookieName)
 	if err != nil {
 		return Decision{}, err
@@ -429,8 +453,8 @@ func (s *Site) MatchCookie(prefXML, cookieName string, engine Engine) (Decision,
 
 // MatchPolicy matches a preference directly against a named policy.
 func (s *Site) MatchPolicy(prefXML, policyName string, engine Engine) (Decision, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if _, ok := s.policyXML[policyName]; !ok {
 		return Decision{}, fmt.Errorf("core: policy %q not installed", policyName)
 	}
@@ -463,102 +487,85 @@ func (s *Site) matchLocked(prefXML, policyName string, engine Engine) (Decision,
 
 // matchNative runs the client-centric baseline: the preference is
 // interpreted directly and the policy is fetched as text, parsed, and
-// augmented per match.
+// augmented per match. Only the preference parse goes through the
+// conversion cache; the per-match policy processing — the baseline's
+// defining cost — is kept faithful to the paper.
 func (s *Site) matchNative(prefXML, policyName string) (Decision, error) {
 	start := time.Now()
-	rs, err := appel.Parse(prefXML)
+	conv, err := s.nativeConversion(prefXML)
 	if err != nil {
 		return Decision{}, err
 	}
-	dec, err := s.native.Match(rs, s.policyXML[policyName])
+	dec, err := s.native.Match(conv.rs, s.policyXML[policyName])
 	if err != nil {
 		return Decision{}, err
 	}
 	return Decision{
 		Behavior:        dec.Behavior,
 		RuleIndex:       dec.RuleIndex,
-		RuleDescription: ruleDescription(rs, dec.RuleIndex),
+		RuleDescription: ruleDescription(conv.rs, dec.RuleIndex),
 		Prompt:          dec.Prompt,
 		Query:           time.Since(start),
 	}, nil
 }
 
-// matchSQL translates the preference to SQL over the optimized schema and
-// runs the rule queries in order.
+// matchSQL runs the preference as SQL over the optimized schema. The
+// translation is fetched from the conversion cache (prepared once with
+// the policy id as a parameter, serving every policy); a cache hit
+// reports near-zero Convert, leaving only query execution on the
+// per-visit path — the §6.3.2 compiled-preferences deployment.
 func (s *Site) matchSQL(prefXML, policyName string) (Decision, error) {
 	convertStart := time.Now()
-	rs, err := appel.Parse(prefXML)
-	if err != nil {
-		return Decision{}, err
-	}
-	queries, err := sqlgen.TranslateRulesetOptimized(rs, sqlgen.FixedPolicySubquery(s.optIDs[policyName]))
+	conv, err := s.sqlConversion(prefXML)
 	if err != nil {
 		return Decision{}, err
 	}
 	convert := time.Since(convertStart)
 
+	id := int64(s.optIDs[policyName])
 	queryStart := time.Now()
-	res, err := sqlgen.Match(s.optDB, queries)
-	if err != nil {
-		return Decision{}, err
+	for i, rule := range conv.rules {
+		fired, err := s.optDB.QueryExistsStmt(rule.stmt, reldb.Int(id))
+		if err != nil {
+			return Decision{}, fmt.Errorf("core: rule %d: %w", i+1, err)
+		}
+		if fired {
+			return Decision{
+				Behavior:        rule.behavior,
+				RuleIndex:       i,
+				RuleDescription: rule.ruleDescription,
+				Prompt:          rule.prompt,
+				Convert:         convert,
+				Query:           time.Since(queryStart),
+			}, nil
+		}
 	}
-	return Decision{
-		Behavior:        res.Behavior,
-		RuleIndex:       res.RuleIndex,
-		RuleDescription: ruleDescription(rs, res.RuleIndex),
-		Prompt:          res.Prompt,
-		Convert:         convert,
-		Query:           time.Since(queryStart),
-	}, nil
+	return Decision{}, sqlgen.ErrNoRuleFired
 }
 
-// matchXTable translates the preference to XQuery, then to SQL over the
-// generic schema through the XML-view layer, and runs it.
+// matchXTable runs the preference as XQuery translated to SQL over the
+// generic schema through the XML-view layer. The translation embeds the
+// policy id, so its cache entries are per (preference, policy).
 func (s *Site) matchXTable(prefXML, policyName string) (Decision, error) {
 	convertStart := time.Now()
-	rs, err := appel.Parse(prefXML)
+	conv, err := s.xtableConversion(prefXML, policyName, s.genIDs[policyName])
 	if err != nil {
 		return Decision{}, err
-	}
-	xqs, err := xqgen.TranslateRuleset(rs)
-	if err != nil {
-		return Decision{}, err
-	}
-	// The whole preference is prepared before any rule runs; a rule
-	// whose view-reconstructed SQL exceeds the engine's complexity
-	// limits fails here, the way XTABLE's Medium translation failed at
-	// DB2 prepare time in the paper's experiments.
-	type prepared struct {
-		stmt     reldb.Statement
-		behavior string
-		prompt   bool
-	}
-	stmts := make([]prepared, 0, len(xqs))
-	for i, xq := range xqs {
-		q, err := xtable.TranslateXQuery(xq.XQuery, sqlgen.FixedPolicySubquery(s.genIDs[policyName]), xtable.Options{})
-		if err != nil {
-			return Decision{}, err
-		}
-		stmt, err := s.genDB.Prepare(q.SQL)
-		if err != nil {
-			return Decision{}, fmt.Errorf("core: preparing rule %d: %w", i+1, err)
-		}
-		stmts = append(stmts, prepared{stmt: stmt, behavior: q.Behavior, prompt: xq.Prompt})
 	}
 	convert := time.Since(convertStart)
 
 	queryStart := time.Now()
-	for i, p := range stmts {
-		ok, err := s.genDB.QueryExistsStmt(p.stmt)
+	for i, rule := range conv.rules {
+		ok, err := s.genDB.QueryExistsStmt(rule.stmt)
 		if err != nil {
 			return Decision{}, fmt.Errorf("core: rule %d: %w", i+1, err)
 		}
 		if ok {
 			return Decision{
-				Behavior:        p.behavior,
+				Behavior:        rule.behavior,
 				RuleIndex:       i,
-				RuleDescription: ruleDescription(rs, i),
-				Prompt:          p.prompt,
+				RuleDescription: ruleDescription(conv.rs, i),
+				Prompt:          rule.prompt,
 				Convert:         convert,
 				Query:           time.Since(queryStart),
 			}, nil
@@ -567,15 +574,12 @@ func (s *Site) matchXTable(prefXML, policyName string) (Decision, error) {
 	return Decision{}, appelengine.ErrNoRuleFired
 }
 
-// matchXQueryNative translates the preference to XQuery and evaluates it
-// against the native XML store.
+// matchXQueryNative evaluates the preference's XQuery translation against
+// the native XML store. Translation and query parsing go through the
+// conversion cache; the policy is bound per match via the resolver alias.
 func (s *Site) matchXQueryNative(prefXML, policyName string) (Decision, error) {
 	convertStart := time.Now()
-	rs, err := appel.Parse(prefXML)
-	if err != nil {
-		return Decision{}, err
-	}
-	xqs, err := xqgen.TranslateRuleset(rs)
+	conv, err := s.xqueryConversion(prefXML)
 	if err != nil {
 		return Decision{}, err
 	}
@@ -585,12 +589,8 @@ func (s *Site) matchXQueryNative(prefXML, policyName string) (Decision, error) {
 	ev := xquery.NewEvaluator(s.xml.Resolver(map[string]string{
 		xqgen.ApplicableDocument: policyDoc(policyName),
 	}))
-	for i, xq := range xqs {
-		parsed, err := xquery.Parse(xq.XQuery)
-		if err != nil {
-			return Decision{}, err
-		}
-		out, err := ev.Run(parsed)
+	for i, rule := range conv.rules {
+		out, err := ev.Run(rule.query)
 		if err != nil {
 			return Decision{}, err
 		}
@@ -598,8 +598,8 @@ func (s *Site) matchXQueryNative(prefXML, policyName string) (Decision, error) {
 			return Decision{
 				Behavior:        out,
 				RuleIndex:       i,
-				RuleDescription: ruleDescription(rs, i),
-				Prompt:          xq.Prompt,
+				RuleDescription: ruleDescription(conv.rs, i),
+				Prompt:          rule.prompt,
 				Convert:         convert,
 				Query:           time.Since(queryStart),
 			}, nil
@@ -616,11 +616,14 @@ func ruleDescription(rs *appel.Ruleset, idx int) string {
 }
 
 // recordConflict feeds the site-owner analytics: block decisions are
-// tallied per policy and rule.
+// tallied per policy and rule. It takes only conflictMu, so matches
+// holding the shared side of mu can record concurrently.
 func (s *Site) recordConflict(d Decision) {
 	if !d.Blocked() {
 		return
 	}
+	s.conflictMu.Lock()
+	defer s.conflictMu.Unlock()
 	m, ok := s.conflicts[d.PolicyName]
 	if !ok {
 		m = map[string]int{}
@@ -637,8 +640,8 @@ func (s *Site) recordConflict(d Decision) {
 // policies conflict with which user preference rules — the information the
 // client-centric architecture cannot give site owners (Section 4.2).
 func (s *Site) Analytics() []ConflictStat {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.conflictMu.Lock()
+	defer s.conflictMu.Unlock()
 	var out []ConflictStat
 	for pol, rules := range s.conflicts {
 		for desc, n := range rules {
@@ -659,7 +662,7 @@ func (s *Site) Analytics() []ConflictStat {
 
 // ResetAnalytics clears the conflict statistics.
 func (s *Site) ResetAnalytics() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.conflictMu.Lock()
+	defer s.conflictMu.Unlock()
 	s.conflicts = map[string]map[string]int{}
 }

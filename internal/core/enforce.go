@@ -37,8 +37,8 @@ func (s *Site) AuthorizeUse(policyName, purpose, dataRef string) (UseDecision, e
 	if !p3p.IsPurpose(purpose) {
 		return UseDecision{}, fmt.Errorf("core: unknown purpose %q", purpose)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	id, ok := s.optIDs[policyName]
 	if !ok {
 		return UseDecision{}, fmt.Errorf("core: policy %q not installed", policyName)

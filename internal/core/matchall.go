@@ -1,0 +1,51 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// MatchAll fans one preference across every installed policy with a
+// bounded worker pool and returns the decisions ordered by policy name.
+// It is the batch face of the parallel read path: each worker matches
+// under the Site's shared lock, so throughput scales with cores, and the
+// conversion cache guarantees the preference is translated at most once
+// for the whole batch. Site owners use it to answer "which of my policies
+// would this preference block?" in one call (the Section 4.2 analytics
+// direction).
+func (s *Site) MatchAll(prefXML string, engine Engine) ([]Decision, error) {
+	names := s.PolicyNames()
+	if len(names) == 0 {
+		return nil, nil
+	}
+	decisions := make([]Decision, len(names))
+	errs := make([]error, len(names))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(names) {
+		workers = len(names)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(names) {
+					return
+				}
+				decisions[i], errs[i] = s.MatchPolicy(prefXML, names[i], engine)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return decisions, nil
+}

@@ -14,6 +14,7 @@ package basedata
 import (
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Element is one node in the base data schema hierarchy.
@@ -35,10 +36,14 @@ type Element struct {
 	parent *Element
 }
 
-// Schema is the built base data schema with a lookup table.
+// Schema is the built base data schema with a lookup table. The shared
+// Default instance is matched against concurrently (every native-engine
+// match augments through it), so the one mutable part — the leaf-expansion
+// memo — is guarded by its own lock.
 type Schema struct {
 	roots  []*Element
 	byRef  map[string]*Element
+	leafMu sync.RWMutex
 	leaves map[string][]*Element // memoized leaf expansion per ref
 }
 
@@ -263,7 +268,10 @@ func (s *Schema) CategoriesFor(ref string, declared []string) []string {
 // The expansion for each distinct ref is computed once and memoized.
 func (s *Schema) Leaves(ref string) []*Element {
 	r := normalizeRef(ref)
-	if cached, ok := s.leaves[r]; ok {
+	s.leafMu.RLock()
+	cached, ok := s.leaves[r]
+	s.leafMu.RUnlock()
+	if ok {
 		return cached
 	}
 	e := s.byRef[r]
@@ -281,7 +289,9 @@ func (s *Schema) Leaves(ref string) []*Element {
 		}
 		walk(e)
 	}
+	s.leafMu.Lock()
 	s.leaves[r] = out
+	s.leafMu.Unlock()
 	return out
 }
 

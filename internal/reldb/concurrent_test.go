@@ -1,0 +1,134 @@
+package reldb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// concurrentFixture builds two tables large enough (>= 8 rows) that
+// equality joins over their "(SELECT * FROM t)" views build derived hash
+// indexes, the other cache the parallel read path must keep race-free.
+func concurrentFixture(t testing.TB) *DB {
+	t.Helper()
+	db := New()
+	stmts := []string{
+		`CREATE TABLE Person (id INTEGER NOT NULL, city VARCHAR(32), PRIMARY KEY (id))`,
+		`CREATE TABLE Visit (person_id INTEGER NOT NULL, page VARCHAR(64))`,
+	}
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		if _, err := db.Exec(fmt.Sprintf(`INSERT INTO Person VALUES (%d, 'city%d')`, i, i%4)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Exec(fmt.Sprintf(`INSERT INTO Visit VALUES (%d, 'page%d')`, i, i%8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// TestConcurrentSelects races concurrent readers over the two read-path
+// caches — the DB-level bare-view cache and the per-snapshot derived hash
+// indexes — against a writer that keeps invalidating them and a goroutine
+// cycling Stats/ResetStats. Run under -race this is the reldb half of the
+// parallel read path's correctness argument.
+func TestConcurrentSelects(t *testing.T) {
+	db := concurrentFixture(t)
+	// The join over two bare-view subqueries exercises both caches: the
+	// subqueries hit the view cache, the equality predicate builds a
+	// derived hash index over the snapshot.
+	const joinSQL = `SELECT p.city FROM (SELECT * FROM Person) p, (SELECT * FROM Visit) v WHERE p.id = v.person_id`
+
+	readers := 8
+	iters := 40
+	if testing.Short() {
+		readers, iters = 4, 10
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+2)
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				rows, err := db.Query(joinSQL)
+				if err != nil {
+					errs <- err
+					return
+				}
+				// Every Visit row joins exactly one Person, and the writer
+				// only ever appends matched pairs, so the join can only grow.
+				if len(rows.Data) < 16 {
+					errs <- fmt.Errorf("join returned %d rows, want >= 16", len(rows.Data))
+					return
+				}
+				ok, err := db.QueryExists(`SELECT 1 FROM (SELECT * FROM Person) p WHERE p.id = ?`, Int(int64(i%16)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !ok {
+					errs <- fmt.Errorf("person %d missing", i%16)
+					return
+				}
+			}
+		}()
+	}
+
+	// Writer: appends matched Person/Visit pairs, bumping table versions so
+	// readers keep refilling the view cache mid-flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/2; i++ {
+			id := 100 + i
+			if _, err := db.Exec(fmt.Sprintf(`INSERT INTO Person VALUES (%d, 'new')`, id)); err != nil {
+				errs <- err
+				return
+			}
+			if _, err := db.Exec(fmt.Sprintf(`INSERT INTO Visit VALUES (%d, 'new')`, id)); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	// Stats cycler: the counters are updated from every reader at once.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			s := db.Stats()
+			if s.RowsScanned < 0 || s.Statements < 0 {
+				errs <- fmt.Errorf("negative stats: %+v", s)
+				return
+			}
+			if i%10 == 9 {
+				db.ResetStats()
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// After the dust settles the caches must still serve correct data.
+	rows, err := db.Query(joinSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 16 + iters/2
+	if len(rows.Data) != want {
+		t.Errorf("final join rows = %d, want %d", len(rows.Data), want)
+	}
+}

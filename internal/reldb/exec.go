@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Options configure a DB instance.
@@ -33,15 +34,31 @@ type Stats struct {
 	Statements   int64 // statements executed
 }
 
+// dbStats is the engine's live counter set. Counters are atomic so the
+// read path — which runs under a shared lock, many statements at once —
+// can increment them without write-lock serialization.
+type dbStats struct {
+	rowsScanned  atomic.Int64
+	indexLookups atomic.Int64
+	statements   atomic.Int64
+}
+
 // DB is an in-memory relational database. All methods are safe for
-// concurrent use; writes take an exclusive lock.
+// concurrent use: SELECTs run under a shared lock and proceed in
+// parallel; DDL and DML take the exclusive lock.
 type DB struct {
 	mu         sync.RWMutex
 	tables     map[string]*Table
 	opts       Options
 	maxDepth   int
 	maxSelects int
-	stats      Stats
+	stats      dbStats
+	// viewMu guards viewCache. It is separate from mu so that concurrent
+	// readers (holding mu.RLock) can fill the cache with double-checked
+	// locking: the first reader to need a stale view materializes it while
+	// the others wait on viewMu, then share the snapshot. Lock order is
+	// always mu before viewMu.
+	viewMu sync.Mutex
 	// viewCache holds materializations (and hash indexes) of bare
 	// "(SELECT * FROM t)" derived tables, keyed by table name and
 	// invalidated by the table's version counter. The XML-view
@@ -50,11 +67,34 @@ type DB struct {
 	viewCache map[string]*viewSnapshot
 }
 
-// viewSnapshot is one cached bare-view materialization.
+// viewSnapshot is one cached bare-view materialization. version and rows
+// are written once, before the snapshot is published; the lazily built
+// hash indexes over the rows have their own lock because concurrent
+// SELECTs build them on demand.
 type viewSnapshot struct {
 	version int64
 	rows    [][]Value
+	idxMu   sync.RWMutex
 	indexes map[string]map[string][]int // colset key -> value key -> row ids
+}
+
+// index returns the snapshot's hash index for the given column set,
+// building it (once) under double-checked locking.
+func (vs *viewSnapshot) index(colsetKey string, ords []int) map[string][]int {
+	vs.idxMu.RLock()
+	buckets := vs.indexes[colsetKey]
+	vs.idxMu.RUnlock()
+	if buckets != nil {
+		return buckets
+	}
+	vs.idxMu.Lock()
+	defer vs.idxMu.Unlock()
+	if buckets := vs.indexes[colsetKey]; buckets != nil {
+		return buckets
+	}
+	buckets = buildDerivedIndex(vs.rows, ords)
+	vs.indexes[colsetKey] = buckets
+	return buckets
 }
 
 // New returns an empty database with default options.
@@ -84,18 +124,21 @@ type Rows struct {
 	Data    [][]Value
 }
 
-// Stats returns a snapshot of the engine's work counters.
+// Stats returns a snapshot of the engine's work counters. The counters
+// are atomic, so this is safe to call while statements run concurrently.
 func (db *DB) Stats() Stats {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.stats
+	return Stats{
+		RowsScanned:  db.stats.rowsScanned.Load(),
+		IndexLookups: db.stats.indexLookups.Load(),
+		Statements:   db.stats.statements.Load(),
+	}
 }
 
 // ResetStats zeroes the work counters.
 func (db *DB) ResetStats() {
-	db.mu.Lock()
-	db.stats = Stats{}
-	db.mu.Unlock()
+	db.stats.rowsScanned.Store(0)
+	db.stats.indexLookups.Store(0)
+	db.stats.statements.Store(0)
 }
 
 // Table returns the named table, for introspection, or nil.
@@ -134,7 +177,7 @@ func (db *DB) Exec(sql string, params ...Value) (int, error) {
 func (db *DB) ExecStmt(stmt Statement, params ...Value) (int, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.stats.Statements++
+	db.stats.statements.Add(1)
 	switch s := stmt.(type) {
 	case *CreateTableStmt:
 		return 0, db.createTable(s)
@@ -146,6 +189,11 @@ func (db *DB) ExecStmt(stmt Statement, params ...Value) (int, error) {
 			return 0, fmt.Errorf("sql: table %s does not exist", s.Table)
 		}
 		delete(db.tables, key)
+		// A later table with the same name restarts its version counter,
+		// so a stale snapshot could alias it; drop the cache entry.
+		db.viewMu.Lock()
+		delete(db.viewCache, key)
+		db.viewMu.Unlock()
 		return 0, nil
 	case *InsertStmt:
 		return db.execInsert(s, params)
@@ -174,15 +222,16 @@ func (db *DB) Query(sql string, params ...Value) (*Rows, error) {
 
 // QueryStmt executes an already-parsed SELECT statement. Reusing a parsed
 // statement skips SQL parsing, which is what the conversion-cache ablation
-// benchmark measures.
+// benchmark measures. SELECTs take only the shared lock, so any number of
+// them run in parallel.
 func (db *DB) QueryStmt(stmt Statement, params ...Value) (*Rows, error) {
 	sel, ok := stmt.(*SelectStmt)
 	if !ok {
 		return nil, fmt.Errorf("sql: Query requires a SELECT, got %T", stmt)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.stats.Statements++
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	db.stats.statements.Add(1)
 	return db.execSelect(sel, nil, params, 0, newExecState())
 }
 
@@ -197,9 +246,9 @@ func (db *DB) QueryExists(sql string, params ...Value) (bool, error) {
 	if !ok {
 		return false, fmt.Errorf("sql: QueryExists requires a SELECT, got %T", stmt)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.stats.Statements++
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	db.stats.statements.Add(1)
 	rows, err := db.execSelect(sel, nil, params, 1, newExecState())
 	if err != nil {
 		return false, err
@@ -220,9 +269,9 @@ func (db *DB) QueryExistsStmt(stmt Statement, params ...Value) (bool, error) {
 	if !ok {
 		return false, fmt.Errorf("sql: QueryExistsStmt requires a SELECT, got %T", stmt)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.stats.Statements++
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	db.stats.statements.Add(1)
 	rows, err := db.execSelect(sel, nil, params, 1, newExecState())
 	if err != nil {
 		return false, err
@@ -321,7 +370,7 @@ func (db *DB) execUpdate(s *UpdateStmt, params []Value) (int, error) {
 	var idNums []int
 	var scanErr error
 	t.scan(func(id int, row []Value) bool {
-		db.stats.RowsScanned++
+		db.stats.rowsScanned.Add(1)
 		b.row = row
 		if s.Where != nil {
 			v, err := ctx.eval(s.Where)
@@ -371,7 +420,7 @@ func (db *DB) execDelete(s *DeleteStmt, params []Value) (int, error) {
 	var ids []int
 	var scanErr error
 	t.scan(func(id int, row []Value) bool {
-		db.stats.RowsScanned++
+		db.stats.rowsScanned.Add(1)
 		b.row = row
 		if s.Where != nil {
 			v, err := ctx.eval(s.Where)
@@ -437,7 +486,9 @@ type fromSource struct {
 
 // bareViewSnapshot serves "(SELECT * FROM t)" from the materialized-view
 // cache, refreshing it when the table has changed. The caller must hold
-// db.mu.
+// db.mu (shared or exclusive); the table therefore cannot mutate while
+// the snapshot is built. Concurrent readers that find the cache stale
+// serialize on viewMu: the first materializes, the rest reuse.
 func (db *DB) bareViewSnapshot(sel *SelectStmt) (*viewSnapshot, []string, bool) {
 	if db.opts.DisableViewCache || !cacheableDerived(sel) {
 		return nil, nil, false
@@ -451,6 +502,8 @@ func (db *DB) bareViewSnapshot(sel *SelectStmt) (*viewSnapshot, []string, bool) 
 		cols[i] = strings.ToLower(c.Name)
 	}
 	key := strings.ToLower(t.schema.Name)
+	db.viewMu.Lock()
+	defer db.viewMu.Unlock()
 	snap := db.viewCache[key]
 	if snap == nil || snap.version != t.version {
 		rows := make([][]Value, 0, t.live)
@@ -469,7 +522,9 @@ func newExecState() *execState { return &execState{} }
 // execSelect runs a SELECT. outer is the enclosing scope for correlated
 // subqueries (nil at top level). needRows > 0 allows stopping early once
 // that many output rows exist (only when no ordering/grouping/distinct
-// would be violated). The caller must hold db.mu.
+// would be violated). The caller must hold db.mu, shared or exclusive:
+// execution never mutates table state, and its two caches (the DB-level
+// view cache and the per-snapshot derived indexes) synchronize themselves.
 func (db *DB) execSelect(sel *SelectStmt, outer *env, params []Value, needRows int, st *execState) (*Rows, error) {
 	// Bind FROM items.
 	sources := make([]*fromSource, len(sel.From))
@@ -680,7 +735,7 @@ func (db *DB) execSelect(sel *SelectStmt, outer *env, params []Value, needRows i
 			}
 			var scanErr error
 			src.table.scan(func(_ int, row []Value) bool {
-				db.stats.RowsScanned++
+				db.stats.rowsScanned.Add(1)
 				src.binding.row = row
 				if err := join(i + 1); err != nil {
 					scanErr = err
@@ -700,7 +755,7 @@ func (db *DB) execSelect(sel *SelectStmt, outer *env, params []Value, needRows i
 			return nil
 		}
 		for _, row := range src.rows {
-			db.stats.RowsScanned++
+			db.stats.rowsScanned.Add(1)
 			src.binding.row = row
 			if err := join(i + 1); err != nil {
 				return err
@@ -846,7 +901,7 @@ func (db *DB) indexCandidates(src *fromSource, conjuncts []Expr, boundBefore []*
 		}
 		vals[i] = v
 	}
-	db.stats.IndexLookups++
+	db.stats.indexLookups.Add(1)
 	return src.table.lookup(ix, vals), true
 }
 
@@ -906,11 +961,9 @@ func (db *DB) derivedCandidates(src *fromSource, conjuncts []Expr, boundBefore [
 	var buckets map[string][]int
 	switch {
 	case src.view != nil:
-		buckets = src.view.indexes[colsetKey]
-		if buckets == nil {
-			buckets = buildDerivedIndex(src.rows, ords)
-			src.view.indexes[colsetKey] = buckets
-		}
+		// Shared across statements; the snapshot builds it under its own
+		// lock so concurrent SELECTs can race the build safely.
+		buckets = src.view.index(colsetKey, ords)
 	case src.derivedStmt != nil:
 		if st.derivedIdx == nil {
 			st.derivedIdx = map[*SelectStmt]map[string]map[string][]int{}
@@ -940,7 +993,7 @@ func (db *DB) derivedCandidates(src *fromSource, conjuncts []Expr, boundBefore [
 		}
 		vals[i] = v
 	}
-	db.stats.IndexLookups++
+	db.stats.indexLookups.Add(1)
 	return buckets[encodeKey(vals)], true
 }
 

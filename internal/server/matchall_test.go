@@ -1,0 +1,79 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"p3pdb/internal/appel"
+	"p3pdb/internal/core"
+	"p3pdb/internal/workload"
+)
+
+// TestMatchAllEndpoint posts one preference to /matchall and expects a
+// decision for every installed policy, sorted by name.
+func TestMatchAllEndpoint(t *testing.T) {
+	site, err := core.NewSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := workload.Generate(7)
+	for _, pol := range d.Policies[:5] {
+		if err := site.InstallPolicy(pol); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(New(site))
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Post(ts.URL+"/matchall?engine=sql", "application/xml",
+		strings.NewReader(appel.JanePreferenceXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if st := resp.Header.Get("Server-Timing"); !strings.Contains(st, "total;dur=") {
+		t.Errorf("Server-Timing = %q, want total;dur=", st)
+	}
+	var out MatchAllResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Decisions) != 5 {
+		t.Fatalf("got %d decisions, want 5", len(out.Decisions))
+	}
+	for i, dec := range out.Decisions {
+		if dec.Behavior == "" {
+			t.Errorf("decision %d has no behavior", i)
+		}
+		if i > 0 && out.Decisions[i-1].PolicyName > dec.PolicyName {
+			t.Errorf("decisions not sorted: %q > %q", out.Decisions[i-1].PolicyName, dec.PolicyName)
+		}
+	}
+}
+
+// TestServerTimingHeader checks the convert/query split is surfaced on
+// the single-match endpoints.
+func TestServerTimingHeader(t *testing.T) {
+	_, c := testServer(t)
+	installVolga(t, c)
+
+	resp, err := http.Post(c.base+"/matchpolicy?policy=volga&engine=sql", "application/xml",
+		strings.NewReader(appel.JanePreferenceXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	st := resp.Header.Get("Server-Timing")
+	if !strings.Contains(st, "convert;dur=") || !strings.Contains(st, "query;dur=") {
+		t.Errorf("Server-Timing = %q, want convert;dur= and query;dur=", st)
+	}
+}

@@ -38,6 +38,7 @@ func New(site *core.Site) *Server {
 	s.mux.HandleFunc("/match", s.handleMatch)
 	s.mux.HandleFunc("/matchpolicy", s.handleMatchPolicy)
 	s.mux.HandleFunc("/matchcookie", s.handleMatchCookie)
+	s.mux.HandleFunc("/matchall", s.handleMatchAll)
 	s.mux.HandleFunc("/analytics", s.handleAnalytics)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -186,6 +187,15 @@ type MatchResponse struct {
 	QueryMicros     int64  `json:"queryMicros"`
 }
 
+// setServerTiming reports the decision's conversion/query split as a
+// Server-Timing header (milliseconds), so thin clients and proxies see
+// where a match spent its time — and, on conversion-cache hits, that
+// convert dropped to ~zero.
+func setServerTiming(w http.ResponseWriter, d core.Decision) {
+	w.Header().Set("Server-Timing", fmt.Sprintf("convert;dur=%.3f, query;dur=%.3f",
+		float64(d.Convert.Microseconds())/1000, float64(d.Query.Microseconds())/1000))
+}
+
 func toResponse(d core.Decision) MatchResponse {
 	return MatchResponse{
 		Behavior:        d.Behavior,
@@ -237,6 +247,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := toResponse(d)
 	w.Header().Set("X-Match-Duration", time.Since(start).String())
+	setServerTiming(w, d)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -270,6 +281,7 @@ func (s *Server) matchWith(w http.ResponseWriter, r *http.Request,
 		writeError(w, status, err)
 		return
 	}
+	setServerTiming(w, d)
 	writeJSON(w, http.StatusOK, toResponse(d))
 }
 
@@ -299,6 +311,53 @@ func (s *Server) handleMatchCookie(w http.ResponseWriter, r *http.Request) {
 	s.matchWith(w, r, func(pref string, engine core.Engine) (core.Decision, error) {
 		return s.site.MatchCookie(pref, name, engine)
 	})
+}
+
+// MatchAllResponse is the JSON form of a batch match: one decision per
+// installed policy, ordered by policy name.
+type MatchAllResponse struct {
+	Decisions []MatchResponse `json:"decisions"`
+}
+
+// handleMatchAll implements POST /matchall?engine= with the APPEL
+// preference as the body: the preference is fanned across every installed
+// policy on a worker pool (core.MatchAll), exercising the parallel read
+// path in a single request. Site owners use it to preview which policies
+// a preference would block.
+func (s *Server) handleMatchAll(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	engineName := r.URL.Query().Get("engine")
+	if engineName == "" {
+		engineName = "sql"
+	}
+	engine, err := core.ParseEngine(engineName)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	pref, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	start := time.Now()
+	decisions, err := s.site.MatchAll(pref, engine)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, reldb.ErrTooComplex) {
+			status = http.StatusUnprocessableEntity
+		}
+		writeError(w, status, err)
+		return
+	}
+	resp := MatchAllResponse{Decisions: make([]MatchResponse, len(decisions))}
+	for i, d := range decisions {
+		resp.Decisions[i] = toResponse(d)
+	}
+	w.Header().Set("Server-Timing", fmt.Sprintf("total;dur=%.3f", float64(time.Since(start).Microseconds())/1000))
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleAnalytics implements GET /analytics: the site-owner view of which
