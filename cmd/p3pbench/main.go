@@ -30,6 +30,7 @@ func main() {
 	engine := flag.String("engine", "sql", "matching engine for the throughput table")
 	out := flag.String("out", "BENCH_throughput.json", "artifact path for the throughput table (empty to skip)")
 	matches := flag.Int("matches", 0, "matches per worker in the throughput table (0 = default)")
+	budget := flag.Int64("budget", 0, "per-match evaluator step budget (0 = unlimited); measures governed-deployment overhead")
 	flag.Parse()
 
 	if *table == "throughput" {
@@ -42,6 +43,7 @@ func main() {
 			Level:            *level,
 			Engine:           eng,
 			MatchesPerWorker: *matches,
+			Budget:           *budget,
 		})
 		if err != nil {
 			fatal(err)

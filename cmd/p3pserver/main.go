@@ -1,7 +1,7 @@
 // Command p3pserver runs the server-centric P3P matching service
 // (Figures 5 and 6 of the paper) over HTTP:
 //
-//	p3pserver [-addr=:8733] [-demo]
+//	p3pserver [-addr=:8733] [-demo] [-budget=N] [-timeout=D]
 //
 // With -demo the server starts preloaded with the synthesized 29-policy
 // corpus and its reference file, so clients can match immediately. The
@@ -15,16 +15,28 @@
 //	POST /match?uri=&engine= match the APPEL body; engines: native, sql,
 //	                         xtable, xquery
 //	GET  /analytics          site-owner conflict statistics
+//
+// Resource governance: -budget caps evaluator steps per match (503
+// budget-exceeded past it), -timeout bounds each matching request's
+// wall clock (504 past it), and the P3P_FAULTS environment variable (or
+// -faults) arms deterministic fault injection for failure drills, e.g.
+// P3P_FAULTS=reldb.query:error:after=3. The server shuts down
+// gracefully on SIGINT/SIGTERM, draining in-flight requests.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"p3pdb/internal/core"
+	"p3pdb/internal/faultkit"
 	"p3pdb/internal/server"
 	"p3pdb/internal/workload"
 )
@@ -33,9 +45,27 @@ func main() {
 	addr := flag.String("addr", ":8733", "listen address")
 	demo := flag.Bool("demo", false, "preload the synthesized Fortune-1000-style corpus")
 	seed := flag.Int64("seed", 42, "corpus seed for -demo")
+	budget := flag.Int64("budget", 0, "per-match evaluator step budget (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "per-request matching deadline (0 = none)")
+	policyTimeout := flag.Duration("policy-timeout", 0, "per-policy deadline inside /matchall (0 = none)")
+	faults := flag.String("faults", "", "fault-injection spec (overrides P3P_FAULTS)")
 	flag.Parse()
 
-	site, err := core.NewSite()
+	spec := *faults
+	if spec == "" {
+		spec = os.Getenv("P3P_FAULTS")
+	}
+	if spec != "" {
+		if err := faultkit.EnableFromEnv(spec); err != nil {
+			fatal(err)
+		}
+		log.Printf("fault injection armed: %s", spec)
+	}
+
+	site, err := core.NewSiteWithOptions(core.Options{
+		MatchBudget:      *budget,
+		PerPolicyTimeout: *policyTimeout,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -52,9 +82,30 @@ func main() {
 		log.Printf("preloaded %d policies; try: curl -X POST --data-binary @pref.xml 'http://localhost%s/match?uri=%s'",
 			len(d.Policies), *addr, d.URIFor(d.Policies[0].Name))
 	}
-	log.Printf("p3pserver listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, server.New(site)); err != nil {
+
+	srv := server.NewWithOptions(site, server.Options{RequestTimeout: *timeout}).HTTPServer(*addr)
+
+	// Serve until SIGINT/SIGTERM, then drain: stop accepting, let
+	// in-flight matches finish (their request contexts are canceled by
+	// the drain deadline if they overstay).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("p3pserver listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
 		fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("p3pserver shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			fatal(err)
+		}
 	}
 }
 

@@ -27,7 +27,9 @@ import (
 	"strings"
 
 	"p3pdb/internal/appel"
+	"p3pdb/internal/faultkit"
 	"p3pdb/internal/p3p/basedata"
+	"p3pdb/internal/resource"
 	"p3pdb/internal/xmldom"
 )
 
@@ -87,26 +89,47 @@ var ErrNoRuleFired = fmt.Errorf("appelengine: no rule fired; ruleset lacks a cat
 // Match evaluates the ruleset against a policy given as XML text,
 // performing the full client-side pipeline (parse, augment, evaluate).
 func (e *Engine) Match(rs *appel.Ruleset, policyXML string) (Decision, error) {
+	return e.MatchMeter(rs, policyXML, nil)
+}
+
+// MatchMeter is Match governed by a resource meter: rule evaluation
+// charges one step per element comparison and aborts with the meter's
+// typed error (budget exhaustion or cancellation) instead of returning a
+// partial decision. A nil meter means ungoverned.
+func (e *Engine) MatchMeter(rs *appel.Ruleset, policyXML string, m *resource.Meter) (Decision, error) {
 	doc, err := xmldom.ParseString(policyXML)
 	if err != nil {
 		return Decision{}, fmt.Errorf("appelengine: bad policy document: %w", err)
 	}
-	return e.MatchDOM(rs, doc)
+	return e.MatchDOMMeter(rs, doc, m)
 }
 
 // MatchDOM evaluates the ruleset against an already parsed policy element.
 // The document is augmented (unless disabled) and evaluated.
 func (e *Engine) MatchDOM(rs *appel.Ruleset, policy *xmldom.Node) (Decision, error) {
+	return e.MatchDOMMeter(rs, policy, nil)
+}
+
+// MatchDOMMeter is MatchDOM governed by a resource meter.
+func (e *Engine) MatchDOMMeter(rs *appel.Ruleset, policy *xmldom.Node, m *resource.Meter) (Decision, error) {
 	if policy.Name == "POLICIES" {
 		// A policy file; evaluation needs a specific policy.
 		return Decision{}, fmt.Errorf("appelengine: evidence must be a single POLICY, got POLICIES")
+	}
+	if err := faultkit.Inject(faultkit.PointAppelMatch); err != nil {
+		return Decision{}, err
 	}
 	evidence := policy
 	if !e.opts.SkipAugmentation {
 		evidence = e.Augment(policy)
 	}
+	mt := &matcher{e: e, m: m}
 	for i, r := range rs.Rules {
-		if e.ruleMatches(r, evidence) {
+		fired, err := mt.ruleMatches(r, evidence)
+		if err != nil {
+			return Decision{}, err
+		}
+		if fired {
 			return Decision{Behavior: r.Behavior, RuleIndex: i, Prompt: r.Prompt}, nil
 		}
 	}
@@ -220,79 +243,116 @@ func declaredCategories(data *xmldom.Node) []string {
 	return out
 }
 
+// matcher is one rule evaluation: the engine plus the resource meter the
+// recursion charges. The meter forces the boolean recursion to return
+// errors, so an exhausted budget aborts the match instead of truncating
+// it into a wrong decision.
+type matcher struct {
+	e *Engine
+	m *resource.Meter
+}
+
 // ruleMatches applies the rule's body to the evidence root. An empty body
 // matches unconditionally (the OTHERWISE shape).
-func (e *Engine) ruleMatches(r *appel.Rule, evidence *xmldom.Node) bool {
+func (mt *matcher) ruleMatches(r *appel.Rule, evidence *xmldom.Node) (bool, error) {
 	if len(r.Body) == 0 {
-		return true
+		return true, nil
 	}
 	// The rule behaves as an expression whose children are matched
 	// against the evidence root element.
-	return e.combine(r.EffectiveConnective(), r.Body, []*xmldom.Node{evidence})
+	return mt.combine(r.EffectiveConnective(), r.Body, []*xmldom.Node{evidence})
 }
 
 // exprMatches reports whether expression ex matches policy element el:
 // names equal, every attribute pattern satisfied, and the connective over
-// the subexpressions satisfied against el's children.
-func (e *Engine) exprMatches(ex *appel.Expr, el *xmldom.Node) bool {
+// the subexpressions satisfied against el's children. Each call charges
+// one step: an element-against-element comparison is the engine's unit
+// of work, the analogue of a visited row in the relational engines.
+func (mt *matcher) exprMatches(ex *appel.Expr, el *xmldom.Node) (bool, error) {
+	if err := mt.m.Step(1); err != nil {
+		return false, err
+	}
 	if ex.Name != el.Name {
-		return false
+		return false, nil
 	}
 	for _, a := range ex.Attrs {
 		if !attrMatches(a, el) {
-			return false
+			return false, nil
 		}
 	}
 	if len(ex.Children) == 0 {
-		return true
+		return true, nil
 	}
-	return e.combine(ex.EffectiveConnective(), ex.Children, el.Children)
+	return mt.combine(ex.EffectiveConnective(), ex.Children, el.Children)
 }
 
 // combine evaluates an APPEL connective: which of the subexpressions can
 // be found among the candidate elements, and — for the -exact forms —
 // whether every candidate element is matched by some subexpression.
-func (e *Engine) combine(connective string, subs []*appel.Expr, candidates []*xmldom.Node) bool {
-	found := func(ex *appel.Expr) bool {
+func (mt *matcher) combine(connective string, subs []*appel.Expr, candidates []*xmldom.Node) (bool, error) {
+	found := func(ex *appel.Expr) (bool, error) {
 		for _, c := range candidates {
-			if e.exprMatches(ex, c) {
-				return true
+			ok, err := mt.exprMatches(ex, c)
+			if err != nil || ok {
+				return ok, err
 			}
 		}
-		return false
+		return false, nil
 	}
-	all := func() bool {
+	all := func() (bool, error) {
 		for _, s := range subs {
-			if !found(s) {
-				return false
+			ok, err := found(s)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
 			}
 		}
-		return true
+		return true, nil
 	}
-	any := func() bool {
+	any := func() (bool, error) {
 		for _, s := range subs {
-			if found(s) {
-				return true
+			ok, err := found(s)
+			if err != nil || ok {
+				return ok, err
 			}
 		}
-		return false
+		return false, nil
 	}
 	// exact: every candidate element matches at least one subexpression,
 	// i.e. the policy contains only elements listed in the rule.
-	exact := func() bool {
+	exact := func() (bool, error) {
 		for _, c := range candidates {
 			matched := false
 			for _, s := range subs {
-				if e.exprMatches(s, c) {
+				ok, err := mt.exprMatches(s, c)
+				if err != nil {
+					return false, err
+				}
+				if ok {
 					matched = true
 					break
 				}
 			}
 			if !matched {
-				return false
+				return false, nil
 			}
 		}
-		return true
+		return true, nil
+	}
+	not := func(v bool, err error) (bool, error) {
+		if err != nil {
+			return false, err
+		}
+		return !v, nil
+	}
+	both := func(f, g func() (bool, error)) (bool, error) {
+		ok, err := f()
+		if err != nil || !ok {
+			return false, err
+		}
+		return g()
 	}
 	switch connective {
 	case appel.ConnAnd:
@@ -300,13 +360,13 @@ func (e *Engine) combine(connective string, subs []*appel.Expr, candidates []*xm
 	case appel.ConnOr:
 		return any()
 	case appel.ConnNonAnd:
-		return !all()
+		return not(all())
 	case appel.ConnNonOr:
-		return !any()
+		return not(any())
 	case appel.ConnAndExact:
-		return all() && exact()
+		return both(all, exact)
 	case appel.ConnOrExact:
-		return any() && exact()
+		return both(any, exact)
 	}
 	// Unknown connectives were rejected at parse time; treat defensively
 	// as "and".

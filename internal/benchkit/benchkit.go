@@ -27,6 +27,10 @@ type Config struct {
 	// Repeats is how many times each (preference, policy, engine) cell
 	// is measured; the mean is recorded. Default 3.
 	Repeats int
+	// Budget caps evaluator steps per match (core.Options.MatchBudget);
+	// zero leaves matching ungoverned. Lets the bench suites measure the
+	// metering overhead of a governed deployment.
+	Budget int64
 }
 
 func (c Config) withDefaults() Config {
@@ -100,7 +104,7 @@ type Results struct {
 func Setup(cfg Config) (*core.Site, *workload.Dataset, error) {
 	cfg = cfg.withDefaults()
 	d := workload.Generate(cfg.Seed)
-	site, err := core.NewSite()
+	site, err := core.NewSiteWithOptions(core.Options{MatchBudget: cfg.Budget})
 	if err != nil {
 		return nil, nil, err
 	}

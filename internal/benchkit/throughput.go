@@ -54,6 +54,8 @@ type ThroughputConfig struct {
 	// per measurement point (default 200), so elapsed time reflects
 	// contention rather than shrinking slices of a fixed total.
 	MatchesPerWorker int
+	// Budget caps evaluator steps per match; zero means ungoverned.
+	Budget int64
 }
 
 func (c ThroughputConfig) withDefaults() ThroughputConfig {
@@ -86,7 +88,7 @@ func workerCounts(max int) []int {
 // against a site loaded with the generated corpus.
 func RunThroughput(cfg ThroughputConfig) (*ThroughputResults, error) {
 	cfg = cfg.withDefaults()
-	site, d, err := Setup(Config{Seed: cfg.Seed})
+	site, d, err := Setup(Config{Seed: cfg.Seed, Budget: cfg.Budget})
 	if err != nil {
 		return nil, err
 	}

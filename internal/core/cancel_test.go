@@ -1,0 +1,171 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"p3pdb/internal/appel"
+	"p3pdb/internal/faultkit"
+	"p3pdb/internal/resource"
+	"p3pdb/internal/workload"
+)
+
+// TestMatchAllCancellationStopsPromptly: canceling the batch context
+// aborts a slow MatchAll long before it would finish, and the error
+// reports the cancellation.
+func TestMatchAllCancellationStopsPromptly(t *testing.T) {
+	t.Cleanup(faultkit.Reset)
+	s, d := corpusSite(t, Options{})
+	pref, _ := workload.PreferenceByLevel("High")
+
+	// Slow every per-policy conversion so the serial batch would take
+	// len(policies) * 40ms — far longer than the cancellation point.
+	if err := faultkit.Enable(faultkit.PointConvFill + ":latency:40ms"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(30*time.Millisecond, cancel)
+	start := time.Now()
+	decisions, err := s.MatchAllCtx(ctx, pref.XML, EngineXTable)
+	elapsed := time.Since(start)
+
+	if err == nil {
+		t.Fatal("canceled MatchAll returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not report cancellation: %v", err)
+	}
+	// Bound: in-flight per-policy matches may finish their injected
+	// sleep, but the pool must not start the remaining ~29 policies.
+	// Serial completion would need > 1s; allow generous slack for CI.
+	if full := time.Duration(len(d.Policies)) * 40 * time.Millisecond; elapsed >= full {
+		t.Fatalf("cancellation did not stop fan-out early: took %v (full batch ~%v)", elapsed, full)
+	}
+	if len(decisions) >= len(d.Policies) {
+		t.Fatalf("all %d policies completed despite cancellation", len(decisions))
+	}
+
+	// The Site remains fully usable after an aborted batch.
+	faultkit.Reset()
+	if _, err := s.MatchPolicy(pref.XML, d.Policies[0].Name, EngineSQL); err != nil {
+		t.Fatalf("site unusable after canceled batch: %v", err)
+	}
+	if all, err := s.MatchAll(pref.XML, EngineSQL); err != nil || len(all) != len(d.Policies) {
+		t.Fatalf("full batch after cancellation: %d decisions, %v", len(all), err)
+	}
+}
+
+// TestMatchCtxCancellationTyped: an already-canceled context aborts a
+// single match with the typed cancellation error, still unwrappable to
+// the context cause.
+func TestMatchCtxCancellationTyped(t *testing.T) {
+	s := siteWithVolga(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, engine := range []Engine{EngineSQL, EngineXTable, EngineXQuery, EngineNative} {
+		_, err := s.MatchPolicyCtx(ctx, appel.JanePreferenceXML, "volga", engine)
+		if !errors.Is(err, resource.ErrCanceled) {
+			t.Fatalf("%v: want ErrCanceled, got %v", engine, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: cause not context.Canceled: %v", engine, err)
+		}
+	}
+}
+
+// TestPerPolicyDeadline: a per-policy timeout shorter than an injected
+// per-policy latency fails each policy individually with a
+// deadline-exceeded error while the batch itself keeps going.
+func TestPerPolicyDeadline(t *testing.T) {
+	t.Cleanup(faultkit.Reset)
+	s, d := corpusSite(t, Options{PerPolicyTimeout: 5 * time.Millisecond})
+	pref, _ := workload.PreferenceByLevel("High")
+
+	// Warm the conversion caches so only evaluation remains, then slow
+	// evaluation itself: the xquery.eval point sits inside each rule
+	// evaluation, after the per-policy deadline starts ticking.
+	if _, err := s.MatchAll(pref.XML, EngineXQuery); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultkit.Enable(faultkit.PointXQueryEval + ":latency:30ms"); err != nil {
+		t.Fatal(err)
+	}
+	decisions, err := s.MatchAll(pref.XML, EngineXQuery)
+	if err == nil {
+		t.Fatal("want per-policy deadline failures, got none")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("aggregate does not unwrap to DeadlineExceeded: %v", err)
+	}
+	var pe *PolicyError
+	if !errors.As(err, &pe) {
+		t.Fatalf("aggregate lacks PolicyError detail: %v", err)
+	}
+	if len(decisions) >= len(d.Policies) {
+		t.Fatal("every policy succeeded despite the deadline")
+	}
+}
+
+// TestBudgetEquivalence is the governance property test: a budget large
+// enough to never trip must not change any decision. ∞ (zero) and 2^40
+// budgets are matched over every workload preference level, a corpus
+// cross-section, and every engine.
+func TestBudgetEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep is slow")
+	}
+	free, d := corpusSite(t, Options{})
+	capped, _ := corpusSite(t, Options{MatchBudget: 1 << 40})
+	policies := []string{
+		d.Policies[0].Name, d.Policies[7].Name, d.Policies[14].Name,
+		d.Policies[21].Name, d.Policies[28].Name,
+	}
+	for _, pref := range workload.JRCPreferences() {
+		for _, name := range policies {
+			for _, engine := range []Engine{EngineNative, EngineSQL, EngineXTable, EngineXQuery} {
+				a, errA := free.MatchPolicy(pref.XML, name, engine)
+				b, errB := capped.MatchPolicy(pref.XML, name, engine)
+				if (errA == nil) != (errB == nil) {
+					t.Fatalf("%s/%s/%v: error divergence: %v vs %v", pref.Level, name, engine, errA, errB)
+				}
+				if errA != nil {
+					continue // both fail identically (e.g. XTable too-complex)
+				}
+				if a.Behavior != b.Behavior || a.RuleIndex != b.RuleIndex {
+					t.Fatalf("%s/%s/%v: budget changed the decision: %s/%d vs %s/%d",
+						pref.Level, name, engine, a.Behavior, a.RuleIndex, b.Behavior, b.RuleIndex)
+				}
+			}
+		}
+	}
+}
+
+// TestCanceledBatchKeepsCompletedDecisions: cancellation mid-batch still
+// returns the decisions that completed before the cut.
+func TestCanceledBatchKeepsCompletedDecisions(t *testing.T) {
+	t.Cleanup(faultkit.Reset)
+	s, _ := corpusSite(t, Options{})
+	pref, _ := workload.PreferenceByLevel("Low")
+
+	// Let a handful of conversions through fast, then slow the rest so
+	// the cancellation lands while stragglers are still converting.
+	if err := faultkit.Enable(faultkit.PointConvFill + ":latency:40ms:after=4"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(20*time.Millisecond, cancel)
+	decisions, err := s.MatchAllCtx(ctx, pref.XML, EngineXTable)
+	if err == nil {
+		t.Fatal("want cancellation error")
+	}
+	if len(decisions) == 0 {
+		t.Fatal("cancellation dropped the decisions that had completed")
+	}
+	for _, d := range decisions {
+		if d.Behavior == "" {
+			t.Fatalf("empty decision survived aggregation: %+v", d)
+		}
+	}
+}

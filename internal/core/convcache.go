@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"p3pdb/internal/appel"
+	"p3pdb/internal/faultkit"
 	"p3pdb/internal/reldb"
 	"p3pdb/internal/sqlgen"
 	"p3pdb/internal/xqgen"
@@ -169,6 +170,9 @@ func (s *Site) nativeConversion(prefXML string) (*nativeConv, error) {
 	if v, ok := s.conv.get(k); ok {
 		return v.(*nativeConv), nil
 	}
+	if err := faultkit.Inject(faultkit.PointConvFill); err != nil {
+		return nil, err
+	}
 	rs, err := appel.Parse(prefXML)
 	if err != nil {
 		return nil, err
@@ -184,6 +188,9 @@ func (s *Site) sqlConversion(prefXML string) (*sqlConv, error) {
 	k := convKey{engine: EngineSQL, pref: prefXML}
 	if v, ok := s.conv.get(k); ok {
 		return v.(*sqlConv), nil
+	}
+	if err := faultkit.Inject(faultkit.PointConvFill); err != nil {
+		return nil, err
 	}
 	rs, err := appel.Parse(prefXML)
 	if err != nil {
@@ -204,6 +211,9 @@ func (s *Site) xtableConversion(prefXML, policyName string, policyID int) (*xtab
 	k := convKey{engine: EngineXTable, pref: prefXML, policy: policyName}
 	if v, ok := s.conv.get(k); ok {
 		return v.(*xtableConv), nil
+	}
+	if err := faultkit.Inject(faultkit.PointConvFill); err != nil {
+		return nil, err
 	}
 	rs, err := appel.Parse(prefXML)
 	if err != nil {
@@ -239,6 +249,9 @@ func (s *Site) xqueryConversion(prefXML string) (*xqueryConv, error) {
 	k := convKey{engine: EngineXQuery, pref: prefXML}
 	if v, ok := s.conv.get(k); ok {
 		return v.(*xqueryConv), nil
+	}
+	if err := faultkit.Inject(faultkit.PointConvFill); err != nil {
+		return nil, err
 	}
 	rs, err := appel.Parse(prefXML)
 	if err != nil {

@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -32,6 +33,7 @@ import (
 	"p3pdb/internal/p3p"
 	"p3pdb/internal/reffile"
 	"p3pdb/internal/reldb"
+	"p3pdb/internal/resource"
 	"p3pdb/internal/shred"
 	"p3pdb/internal/sqlgen"
 	"p3pdb/internal/xmlstore"
@@ -112,6 +114,19 @@ type Options struct {
 	// ConversionCacheSize bounds the conversion cache; zero means the
 	// engine default (256 entries).
 	ConversionCacheSize int
+	// MatchBudget bounds the work one preference match may perform,
+	// counted in evaluator steps (rows visited by the relational
+	// engines, nodes walked by the XQuery evaluator, element
+	// comparisons in the native engine). One budget spans all of a
+	// match's rule evaluations; exceeding it aborts the match with
+	// resource.ErrBudgetExceeded. Zero means unlimited. This is the
+	// worst-case bound a production deployment needs: an adversarial or
+	// merely deep APPEL rule otherwise translates into nested-EXISTS
+	// evaluation of unbounded cost on the page-access hot path.
+	MatchBudget int64
+	// PerPolicyTimeout bounds each per-policy match inside MatchAllCtx;
+	// zero means no per-policy deadline beyond the batch context's.
+	PerPolicyTimeout time.Duration
 }
 
 // Decision is the outcome of matching a preference against a policy.
@@ -177,6 +192,11 @@ type Site struct {
 	// nil when Options.DisableConversionCache is set.
 	conv *convCache
 
+	// matchBudget and perPolicyTimeout are the resource-governance
+	// knobs from Options, immutable after construction.
+	matchBudget      int64
+	perPolicyTimeout time.Duration
+
 	conflictMu sync.Mutex
 	conflicts  map[string]map[string]int // policy -> rule description -> blocks
 }
@@ -201,17 +221,19 @@ func NewSiteWithOptions(opts Options) (*Site, error) {
 		return nil, err
 	}
 	s := &Site{
-		optDB:     optDB,
-		optStore:  optStore,
-		genDB:     genDB,
-		genStore:  genStore,
-		refStore:  refStore,
-		xml:       xmlstore.New(),
-		native:    appelengine.NewWithOptions(appelengine.Options{SkipAugmentation: opts.SkipAugmentationInNative}),
-		policyXML: map[string]string{},
-		optIDs:    map[string]int{},
-		genIDs:    map[string]int{},
-		conflicts: map[string]map[string]int{},
+		optDB:            optDB,
+		optStore:         optStore,
+		genDB:            genDB,
+		genStore:         genStore,
+		refStore:         refStore,
+		matchBudget:      opts.MatchBudget,
+		perPolicyTimeout: opts.PerPolicyTimeout,
+		xml:              xmlstore.New(),
+		native:           appelengine.NewWithOptions(appelengine.Options{SkipAugmentation: opts.SkipAugmentationInNative}),
+		policyXML:        map[string]string{},
+		optIDs:           map[string]int{},
+		genIDs:           map[string]int{},
+		conflicts:        map[string]map[string]int{},
 	}
 	if !opts.DisableConversionCache {
 		s.conv = newConvCache(opts.ConversionCacheSize)
@@ -405,13 +427,21 @@ func (s *Site) policyForURILocked(uri string) (string, error) {
 // MatchURI matches a preference against the policy covering a URI,
 // using the selected engine. This is the Figure 6 step.
 func (s *Site) MatchURI(prefXML, uri string, engine Engine) (Decision, error) {
+	return s.MatchURICtx(context.Background(), prefXML, uri, engine)
+}
+
+// MatchURICtx is MatchURI governed by a context: cancellation or
+// deadline expiry aborts evaluation with a resource.ErrCanceled-wrapping
+// error, and the Site's match budget (Options.MatchBudget) aborts
+// runaway preferences with resource.ErrBudgetExceeded.
+func (s *Site) MatchURICtx(ctx context.Context, prefXML, uri string, engine Engine) (Decision, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	name, err := s.policyForURILocked(uri)
 	if err != nil {
 		return Decision{}, err
 	}
-	return s.matchLocked(prefXML, name, engine)
+	return s.matchLocked(ctx, prefXML, name, engine)
 }
 
 // PolicyForCookie resolves which policy governs a cookie by name, via the
@@ -442,37 +472,52 @@ func (s *Site) policyForCookieLocked(cookieName string) (string, error) {
 // the paper), driven by the reference file's cookie patterns instead of
 // compact-policy headers.
 func (s *Site) MatchCookie(prefXML, cookieName string, engine Engine) (Decision, error) {
+	return s.MatchCookieCtx(context.Background(), prefXML, cookieName, engine)
+}
+
+// MatchCookieCtx is MatchCookie governed by a context (see MatchURICtx).
+func (s *Site) MatchCookieCtx(ctx context.Context, prefXML, cookieName string, engine Engine) (Decision, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	name, err := s.policyForCookieLocked(cookieName)
 	if err != nil {
 		return Decision{}, err
 	}
-	return s.matchLocked(prefXML, name, engine)
+	return s.matchLocked(ctx, prefXML, name, engine)
 }
 
 // MatchPolicy matches a preference directly against a named policy.
 func (s *Site) MatchPolicy(prefXML, policyName string, engine Engine) (Decision, error) {
+	return s.MatchPolicyCtx(context.Background(), prefXML, policyName, engine)
+}
+
+// MatchPolicyCtx is MatchPolicy governed by a context (see MatchURICtx).
+func (s *Site) MatchPolicyCtx(ctx context.Context, prefXML, policyName string, engine Engine) (Decision, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if _, ok := s.policyXML[policyName]; !ok {
 		return Decision{}, fmt.Errorf("core: policy %q not installed", policyName)
 	}
-	return s.matchLocked(prefXML, policyName, engine)
+	return s.matchLocked(ctx, prefXML, policyName, engine)
 }
 
-func (s *Site) matchLocked(prefXML, policyName string, engine Engine) (Decision, error) {
+func (s *Site) matchLocked(ctx context.Context, prefXML, policyName string, engine Engine) (Decision, error) {
+	// One meter spans all of this match's rule evaluations, whatever the
+	// engine, so the budget bounds the whole preference rather than one
+	// statement. Nil (free) when there is neither a budget nor a
+	// cancellable context.
+	m := resource.NewMeter(ctx, s.matchBudget)
 	var d Decision
 	var err error
 	switch engine {
 	case EngineNative:
-		d, err = s.matchNative(prefXML, policyName)
+		d, err = s.matchNative(prefXML, policyName, m)
 	case EngineSQL:
-		d, err = s.matchSQL(prefXML, policyName)
+		d, err = s.matchSQL(ctx, prefXML, policyName, m)
 	case EngineXTable:
-		d, err = s.matchXTable(prefXML, policyName)
+		d, err = s.matchXTable(ctx, prefXML, policyName, m)
 	case EngineXQuery:
-		d, err = s.matchXQueryNative(prefXML, policyName)
+		d, err = s.matchXQueryNative(prefXML, policyName, m)
 	default:
 		return Decision{}, fmt.Errorf("core: unknown engine %d", engine)
 	}
@@ -490,13 +535,13 @@ func (s *Site) matchLocked(prefXML, policyName string, engine Engine) (Decision,
 // augmented per match. Only the preference parse goes through the
 // conversion cache; the per-match policy processing — the baseline's
 // defining cost — is kept faithful to the paper.
-func (s *Site) matchNative(prefXML, policyName string) (Decision, error) {
+func (s *Site) matchNative(prefXML, policyName string, m *resource.Meter) (Decision, error) {
 	start := time.Now()
 	conv, err := s.nativeConversion(prefXML)
 	if err != nil {
 		return Decision{}, err
 	}
-	dec, err := s.native.Match(conv.rs, s.policyXML[policyName])
+	dec, err := s.native.MatchMeter(conv.rs, s.policyXML[policyName], m)
 	if err != nil {
 		return Decision{}, err
 	}
@@ -514,7 +559,7 @@ func (s *Site) matchNative(prefXML, policyName string) (Decision, error) {
 // the policy id as a parameter, serving every policy); a cache hit
 // reports near-zero Convert, leaving only query execution on the
 // per-visit path — the §6.3.2 compiled-preferences deployment.
-func (s *Site) matchSQL(prefXML, policyName string) (Decision, error) {
+func (s *Site) matchSQL(ctx context.Context, prefXML, policyName string, m *resource.Meter) (Decision, error) {
 	convertStart := time.Now()
 	conv, err := s.sqlConversion(prefXML)
 	if err != nil {
@@ -522,10 +567,13 @@ func (s *Site) matchSQL(prefXML, policyName string) (Decision, error) {
 	}
 	convert := time.Since(convertStart)
 
+	// The match meter rides the context into the relational engine, so
+	// one budget spans every rule statement.
+	ctx = resource.WithMeter(ctx, m)
 	id := int64(s.optIDs[policyName])
 	queryStart := time.Now()
 	for i, rule := range conv.rules {
-		fired, err := s.optDB.QueryExistsStmt(rule.stmt, reldb.Int(id))
+		fired, err := s.optDB.QueryExistsStmtCtx(ctx, rule.stmt, reldb.Int(id))
 		if err != nil {
 			return Decision{}, fmt.Errorf("core: rule %d: %w", i+1, err)
 		}
@@ -546,7 +594,7 @@ func (s *Site) matchSQL(prefXML, policyName string) (Decision, error) {
 // matchXTable runs the preference as XQuery translated to SQL over the
 // generic schema through the XML-view layer. The translation embeds the
 // policy id, so its cache entries are per (preference, policy).
-func (s *Site) matchXTable(prefXML, policyName string) (Decision, error) {
+func (s *Site) matchXTable(ctx context.Context, prefXML, policyName string, m *resource.Meter) (Decision, error) {
 	convertStart := time.Now()
 	conv, err := s.xtableConversion(prefXML, policyName, s.genIDs[policyName])
 	if err != nil {
@@ -554,9 +602,10 @@ func (s *Site) matchXTable(prefXML, policyName string) (Decision, error) {
 	}
 	convert := time.Since(convertStart)
 
+	ctx = resource.WithMeter(ctx, m)
 	queryStart := time.Now()
 	for i, rule := range conv.rules {
-		ok, err := s.genDB.QueryExistsStmt(rule.stmt)
+		ok, err := s.genDB.QueryExistsStmtCtx(ctx, rule.stmt)
 		if err != nil {
 			return Decision{}, fmt.Errorf("core: rule %d: %w", i+1, err)
 		}
@@ -577,7 +626,7 @@ func (s *Site) matchXTable(prefXML, policyName string) (Decision, error) {
 // matchXQueryNative evaluates the preference's XQuery translation against
 // the native XML store. Translation and query parsing go through the
 // conversion cache; the policy is bound per match via the resolver alias.
-func (s *Site) matchXQueryNative(prefXML, policyName string) (Decision, error) {
+func (s *Site) matchXQueryNative(prefXML, policyName string, m *resource.Meter) (Decision, error) {
 	convertStart := time.Now()
 	conv, err := s.xqueryConversion(prefXML)
 	if err != nil {
@@ -588,7 +637,7 @@ func (s *Site) matchXQueryNative(prefXML, policyName string) (Decision, error) {
 	queryStart := time.Now()
 	ev := xquery.NewEvaluator(s.xml.Resolver(map[string]string{
 		xqgen.ApplicableDocument: policyDoc(policyName),
-	}))
+	})).WithMeter(m)
 	for i, rule := range conv.rules {
 		out, err := ev.Run(rule.query)
 		if err != nil {

@@ -6,9 +6,11 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+	"time"
 
 	"p3pdb/internal/p3p"
 	"p3pdb/internal/reldb"
+	"p3pdb/internal/resource"
 	"p3pdb/internal/workload"
 )
 
@@ -156,6 +158,124 @@ func randomDataGroupExpr(r *rand.Rand) string {
 		}
 	}
 	return "<DATA-GROUP" + connAttr(generalConnective(r)) + ">" + strings.Join(kids, "") + "</DATA-GROUP>"
+}
+
+// adversarialPreference builds a wide, deeply structured ruleset: many
+// rules, each nesting POLICY→STATEMENT→PURPOSE/DATA-GROUP/CATEGORIES
+// expressions with mixed connectives. Every translation multiplies it —
+// nested EXISTS chains in SQL, XML-view reconstructions per rule in
+// XTABLE, long path walks in XQuery — so evaluating it is expensive on
+// every engine, while each individual rule stays under the complexity
+// limits the XTABLE path enforces.
+func adversarialPreference(rules int) string {
+	var b strings.Builder
+	b.WriteString(`<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1"` + "\n" +
+		` xmlns="http://www.w3.org/2002/01/P3Pv1">` + "\n")
+	purposes := []string{"current", "admin", "develop", "contact", "telemarketing", "individual-decision"}
+	for i := 0; i < rules; i++ {
+		req := []string{"always", "opt-in", "opt-out"}[i%3]
+		var pv strings.Builder
+		for _, p := range purposes {
+			fmt.Fprintf(&pv, `<%s required="%s"/>`, p, req)
+		}
+		conn := []string{"and", "or", "non-and", "non-or"}[i%4]
+		fmt.Fprintf(&b,
+			`<appel:RULE behavior="block"><POLICY><STATEMENT appel:connective="%s">`+
+				`<PURPOSE appel:connective="and">%s</PURPOSE>`+
+				`<DATA-GROUP><DATA ref="#user.home-info.postal"><CATEGORIES appel:connective="or">`+
+				`<physical/><demographic/></CATEGORIES></DATA>`+
+				`<DATA ref="#dynamic.miscdata"><CATEGORIES><uniqueid/></CATEGORIES></DATA>`+
+				`</DATA-GROUP></STATEMENT></POLICY></appel:RULE>`+"\n",
+			conn, pv.String())
+	}
+	b.WriteString(`<appel:OTHERWISE behavior="request"/>` + "\n</appel:RULESET>")
+	return b.String()
+}
+
+// TestAdversarialDifferential: with no fault active, all engines agree
+// with the native baseline on the adversarial preference across a corpus
+// cross-section.
+func TestAdversarialDifferential(t *testing.T) {
+	d := workload.Generate(42)
+	s, err := NewSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	policies := []*p3p.Policy{d.Policies[0], d.Policies[14], d.Policies[28]}
+	for _, pol := range policies {
+		if err := s.InstallPolicy(pol); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, rules := range []int{1, 8, 24} {
+		pref := adversarialPreference(rules)
+		for _, pol := range policies {
+			base, err := s.MatchPolicy(pref, pol.Name, EngineNative)
+			if err != nil {
+				t.Fatalf("%d rules, native vs %s: %v", rules, pol.Name, err)
+			}
+			for _, engine := range []Engine{EngineSQL, EngineXTable, EngineXQuery} {
+				got, err := s.MatchPolicy(pref, pol.Name, engine)
+				if err != nil {
+					if engine == EngineXTable && errors.Is(err, reldb.ErrTooComplex) {
+						continue
+					}
+					t.Fatalf("%d rules, %v vs %s: %v", rules, engine, pol.Name, err)
+				}
+				if got.Behavior != base.Behavior || got.RuleIndex != base.RuleIndex {
+					t.Fatalf("%d rules: %v disagrees with native on %s: %s/%d vs %s/%d",
+						rules, engine, pol.Name, got.Behavior, got.RuleIndex, base.Behavior, base.RuleIndex)
+				}
+			}
+		}
+	}
+}
+
+// TestAdversarialPreferenceBudgetAborts is the acceptance gate for the
+// resource governor: the adversarial preference, matched under a small
+// budget, must abort with ErrBudgetExceeded — on the SQL, XTABLE, and
+// XQuery engines and the native baseline alike — and do so in bounded
+// time, proving the budget cuts evaluation off rather than letting it
+// run to completion. The same site without a budget completes the match,
+// so the abort is attributable to governance, not the preference.
+func TestAdversarialPreferenceBudgetAborts(t *testing.T) {
+	d := workload.Generate(42)
+	pref := adversarialPreference(40)
+	pol := d.Policies[28] // largest policy: most rows, widest documents
+
+	free, err := NewSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := NewSiteWithOptions(Options{MatchBudget: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*Site{free, capped} {
+		if err := s.InstallPolicy(pol); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, engine := range []Engine{EngineSQL, EngineXTable, EngineXQuery, EngineNative} {
+		if _, err := free.MatchPolicy(pref, pol.Name, engine); err != nil {
+			if engine == EngineXTable && errors.Is(err, reldb.ErrTooComplex) {
+				continue // then the budget test below is moot for XTable
+			}
+			t.Fatalf("%v ungoverned: %v", engine, err)
+		}
+		start := time.Now()
+		_, err := capped.MatchPolicy(pref, pol.Name, engine)
+		elapsed := time.Since(start)
+		if !errors.Is(err, resource.ErrBudgetExceeded) {
+			t.Fatalf("%v: want ErrBudgetExceeded under budget 50, got %v", engine, err)
+		}
+		// Bounded: the budget trips within the first handful of steps;
+		// anything near a second means evaluation ran on unmetered.
+		if elapsed > 5*time.Second {
+			t.Fatalf("%v: budget abort took %v, not bounded", engine, elapsed)
+		}
+	}
 }
 
 // TestRandomizedFiveWayDifferential matches randomized rulesets against

@@ -1,10 +1,25 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
+
+// PolicyError records one policy's failure inside a batch match, so
+// callers can tell which policies failed without losing the ones that
+// succeeded. It unwraps to the underlying cause, so errors.Is sees
+// through it (e.g. to resource.ErrBudgetExceeded).
+type PolicyError struct {
+	Policy string
+	Err    error
+}
+
+func (e *PolicyError) Error() string { return fmt.Sprintf("policy %s: %v", e.Policy, e.Err) }
+func (e *PolicyError) Unwrap() error { return e.Err }
 
 // MatchAll fans one preference across every installed policy with a
 // bounded worker pool and returns the decisions ordered by policy name.
@@ -15,12 +30,29 @@ import (
 // would this preference block?" in one call (the Section 4.2 analytics
 // direction).
 func (s *Site) MatchAll(prefXML string, engine Engine) ([]Decision, error) {
+	return s.MatchAllCtx(context.Background(), prefXML, engine)
+}
+
+// MatchAllCtx is MatchAll governed by a context. Cancellation stops the
+// fan-out early: workers stop claiming policies as soon as the context
+// ends, and in-flight matches abort at their next meter poll. Each
+// per-policy match additionally runs under Options.PerPolicyTimeout (if
+// set) and the Site's match budget, so one pathological policy cannot
+// starve the batch.
+//
+// Per-policy failures are aggregated, not fatal: the returned decisions
+// hold every successful match (still ordered by policy name), and the
+// returned error joins one *PolicyError per failure (plus the context's
+// error if it ended early). Both can be non-empty at once — callers that
+// want the old all-or-nothing behavior check err first.
+func (s *Site) MatchAllCtx(ctx context.Context, prefXML string, engine Engine) ([]Decision, error) {
 	names := s.PolicyNames()
 	if len(names) == 0 {
 		return nil, nil
 	}
 	decisions := make([]Decision, len(names))
 	errs := make([]error, len(names))
+	attempted := make([]bool, len(names))
 
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(names) {
@@ -32,20 +64,41 @@ func (s *Site) MatchAll(prefXML string, engine Engine) ([]Decision, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(names) {
 					return
 				}
-				decisions[i], errs[i] = s.MatchPolicy(prefXML, names[i], engine)
+				attempted[i] = true
+				pctx := ctx
+				if s.perPolicyTimeout > 0 {
+					var cancel context.CancelFunc
+					pctx, cancel = context.WithTimeout(ctx, s.perPolicyTimeout)
+					decisions[i], errs[i] = s.MatchPolicyCtx(pctx, prefXML, names[i], engine)
+					cancel()
+				} else {
+					decisions[i], errs[i] = s.MatchPolicyCtx(pctx, prefXML, names[i], engine)
+				}
 			}
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+
+	out := decisions[:0]
+	var failures []error
+	for i, name := range names {
+		switch {
+		case !attempted[i]:
+			// The batch context ended before a worker reached this
+			// policy; ctx.Err() below reports why.
+		case errs[i] != nil:
+			failures = append(failures, &PolicyError{Policy: name, Err: errs[i]})
+		default:
+			out = append(out, decisions[i])
 		}
 	}
-	return decisions, nil
+	if err := ctx.Err(); err != nil {
+		failures = append(failures, err)
+	}
+	return out, errors.Join(failures...)
 }

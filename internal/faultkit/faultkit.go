@@ -1,0 +1,223 @@
+// Package faultkit is a deterministic fault-injection layer for testing
+// the matching pipeline's degraded modes. Production code registers
+// *injection points* by calling Inject (or Latency) with a well-known
+// name at places where a real deployment could fail — query execution,
+// cache fills, request handling. With no faults enabled those calls are
+// a single atomic load, so the hooks cost nothing in normal operation.
+//
+// Tests (and operators, via the P3P_FAULTS environment variable or the
+// server's -faults flag) enable faults with a spec string:
+//
+//	point:mode[:arg][:after=N][:times=M][,point2:mode...]
+//
+// Modes:
+//
+//	error             Inject returns ErrInjected
+//	budget            Inject returns resource.ErrBudgetExceeded
+//	canceled          Inject returns resource.ErrCanceled
+//	latency:DURATION  Inject sleeps DURATION, then returns nil
+//
+// after=N arms the fault on its (N+1)th hit — so "reldb.query:error:after=2"
+// lets two statements through and fails the third, deterministically.
+// times=M disarms the fault after M firings (0 = forever). Injection
+// points that are not named in the spec never fire.
+//
+// The registry is process-global (the points live inside engine code
+// that has no test-configuration path) and safe for concurrent use;
+// tests serialize via Reset.
+package faultkit
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"p3pdb/internal/resource"
+)
+
+// ErrInjected is the error returned by an "error"-mode fault. Tests
+// assert on it with errors.Is to prove an injected failure surfaced as a
+// typed error rather than a partial result.
+var ErrInjected = errors.New("faultkit: injected fault")
+
+// Well-known injection points wired into the pipeline. Enabling a name
+// not listed here is not an error — the fault simply never fires — but
+// tests should prefer these constants.
+const (
+	PointRelDBQuery    = "reldb.query"     // reldb statement execution (Query/QueryExists/Exec)
+	PointConvFill      = "core.convfill"   // conversion-cache fill (parse/translate/prepare)
+	PointXQueryEval    = "xquery.eval"     // native XQuery evaluation
+	PointAppelMatch    = "appel.match"     // native APPEL engine evaluation
+	PointServerMatch   = "server.match"    // HTTP single-match handlers
+	PointServerLoadAll = "server.matchall" // HTTP batch-match handler
+)
+
+// fault is one armed injection point.
+type fault struct {
+	mode    string        // "error", "budget", "canceled", "latency"
+	sleep   time.Duration // for latency mode
+	after   int64         // skip the first N hits
+	times   int64         // fire at most M times; 0 = forever
+	hits    atomic.Int64  // total Inject calls seen
+	firings atomic.Int64  // times actually fired
+}
+
+var (
+	// enabled is the fast-path gate: Inject bails on one atomic load
+	// when no fault is armed anywhere.
+	enabled atomic.Bool
+
+	mu     sync.RWMutex
+	faults map[string]*fault
+)
+
+// Enable arms the faults described by spec, replacing any current set.
+// An empty spec disables everything.
+func Enable(spec string) error {
+	parsed, err := parseSpec(spec)
+	if err != nil {
+		return err
+	}
+	mu.Lock()
+	faults = parsed
+	mu.Unlock()
+	enabled.Store(len(parsed) > 0)
+	return nil
+}
+
+// Reset disarms every fault. Tests defer this.
+func Reset() {
+	mu.Lock()
+	faults = nil
+	mu.Unlock()
+	enabled.Store(false)
+}
+
+// EnableFromEnv arms faults from the P3P_FAULTS environment variable
+// value, if set. The caller passes the value so command wiring stays
+// explicit and testable.
+func EnableFromEnv(value string) error {
+	if value == "" {
+		return nil
+	}
+	return Enable(value)
+}
+
+// Active reports the armed fault points, sorted, for logging at startup.
+func Active() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]string, 0, len(faults))
+	for name := range faults {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Inject is the hook production code places at a failure point. It
+// returns nil (after an injected delay, for latency faults) unless a
+// fault is armed for name and due to fire, in which case it returns the
+// fault's typed error.
+func Inject(name string) error {
+	if !enabled.Load() {
+		return nil
+	}
+	mu.RLock()
+	f := faults[name]
+	mu.RUnlock()
+	if f == nil {
+		return nil
+	}
+	hit := f.hits.Add(1)
+	if hit <= f.after {
+		return nil
+	}
+	if f.times > 0 && f.firings.Load() >= f.times {
+		return nil
+	}
+	f.firings.Add(1)
+	switch f.mode {
+	case "latency":
+		time.Sleep(f.sleep)
+		return nil
+	case "budget":
+		return fmt.Errorf("%w (injected at %s)", resource.ErrBudgetExceeded, name)
+	case "canceled":
+		return fmt.Errorf("%w (injected at %s)", resource.ErrCanceled, name)
+	default: // "error"
+		return fmt.Errorf("%w at %s", ErrInjected, name)
+	}
+}
+
+// Firings reports how many times the named fault has fired, for tests
+// asserting determinism.
+func Firings(name string) int64 {
+	mu.RLock()
+	f := faults[name]
+	mu.RUnlock()
+	if f == nil {
+		return 0
+	}
+	return f.firings.Load()
+}
+
+func parseSpec(spec string) (map[string]*fault, error) {
+	out := map[string]*fault{}
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		parts := strings.Split(item, ":")
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("faultkit: %q: want point:mode[:arg][:after=N][:times=M]", item)
+		}
+		name := parts[0]
+		f := &fault{mode: parts[1]}
+		rest := parts[2:]
+		switch f.mode {
+		case "latency":
+			if len(rest) == 0 {
+				return nil, fmt.Errorf("faultkit: %q: latency needs a duration", item)
+			}
+			d, err := time.ParseDuration(rest[0])
+			if err != nil {
+				return nil, fmt.Errorf("faultkit: %q: %w", item, err)
+			}
+			f.sleep = d
+			rest = rest[1:]
+		case "error", "budget", "canceled":
+		default:
+			return nil, fmt.Errorf("faultkit: %q: unknown mode %q", item, f.mode)
+		}
+		for _, opt := range rest {
+			k, v, ok := strings.Cut(opt, "=")
+			if !ok {
+				return nil, fmt.Errorf("faultkit: %q: bad option %q", item, opt)
+			}
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("faultkit: %q: bad option value %q", item, opt)
+			}
+			switch k {
+			case "after":
+				f.after = n
+			case "times":
+				f.times = n
+			default:
+				return nil, fmt.Errorf("faultkit: %q: unknown option %q", item, k)
+			}
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("faultkit: point %q armed twice", name)
+		}
+		out[name] = f
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package faultkit
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"p3pdb/internal/resource"
+)
+
+func TestDisabledByDefault(t *testing.T) {
+	Reset()
+	if err := Inject("reldb.query"); err != nil {
+		t.Fatalf("no faults armed, got %v", err)
+	}
+}
+
+func TestErrorMode(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Enable("reldb.query:error"); err != nil {
+		t.Fatal(err)
+	}
+	err := Inject("reldb.query")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("got %v, want ErrInjected", err)
+	}
+	if err := Inject("other.point"); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+}
+
+func TestBudgetAndCanceledModes(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Enable("a:budget,b:canceled"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inject("a"); !errors.Is(err, resource.ErrBudgetExceeded) {
+		t.Fatalf("budget mode: got %v", err)
+	}
+	if err := Inject("b"); !errors.Is(err, resource.ErrCanceled) {
+		t.Fatalf("canceled mode: got %v", err)
+	}
+}
+
+func TestAfterIsDeterministic(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Enable("p:error:after=2"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := Inject("p"); err != nil {
+			t.Fatalf("hit %d should pass, got %v", i+1, err)
+		}
+	}
+	if err := Inject("p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("3rd hit should fire, got %v", err)
+	}
+	if Firings("p") != 1 {
+		t.Fatalf("firings = %d, want 1", Firings("p"))
+	}
+}
+
+func TestTimesDisarms(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Enable("p:error:times=2"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := Inject("p"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("firing %d: got %v", i+1, err)
+		}
+	}
+	if err := Inject("p"); err != nil {
+		t.Fatalf("after times=2 the fault should be spent, got %v", err)
+	}
+}
+
+func TestLatencyMode(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Enable("p:latency:20ms"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Inject("p"); err != nil {
+		t.Fatalf("latency mode returned error: %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("latency fault slept only %v", d)
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	t.Cleanup(Reset)
+	for _, bad := range []string{
+		"justapoint",
+		"p:wobble",
+		"p:latency",
+		"p:latency:notaduration",
+		"p:error:after=x",
+		"p:error:bogus=1",
+		"p:error,p:budget",
+	} {
+		if err := Enable(bad); err == nil {
+			t.Errorf("Enable(%q) accepted a bad spec", bad)
+		}
+	}
+	if err := Enable(""); err != nil {
+		t.Fatalf("empty spec should disable cleanly: %v", err)
+	}
+	if err := EnableFromEnv(""); err != nil {
+		t.Fatalf("empty env should be a no-op: %v", err)
+	}
+}
+
+func TestActiveLists(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Enable("b:error,a:latency:1ms"); err != nil {
+		t.Fatal(err)
+	}
+	got := Active()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Active() = %v, want [a b]", got)
+	}
+}

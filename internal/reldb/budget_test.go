@@ -1,0 +1,201 @@
+package reldb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"p3pdb/internal/faultkit"
+	"p3pdb/internal/resource"
+)
+
+// bigFixture builds a table large enough that a cross join visits many
+// rows, so small budgets trip mid-query.
+func bigFixture(t testing.TB, opts Options) *DB {
+	t.Helper()
+	db := NewWithOptions(opts)
+	if _, err := db.Exec(`CREATE TABLE Num (n INTEGER NOT NULL, PRIMARY KEY (n))`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i += 10 {
+		stmt := "INSERT INTO Num VALUES "
+		for j := 0; j < 10; j++ {
+			if j > 0 {
+				stmt += ", "
+			}
+			stmt += fmt.Sprintf("(%d)", i+j)
+		}
+		if _, err := db.Exec(stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// crossJoin visits ~100x100 rows — far beyond any small budget. The
+// arithmetic predicate defeats index selection, forcing nested-loop scans.
+const crossJoin = `SELECT a.n FROM Num a, Num b WHERE a.n + b.n = 1`
+
+func TestMaxQueryStepsAbortsStatement(t *testing.T) {
+	db := bigFixture(t, Options{MaxQuerySteps: 50})
+	_, err := db.Query(crossJoin)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+	// The alias resolves to the shared typed error.
+	if !errors.Is(err, resource.ErrBudgetExceeded) {
+		t.Fatalf("error does not unwrap to resource.ErrBudgetExceeded: %v", err)
+	}
+}
+
+func TestMaxQueryStepsZeroIsUnlimited(t *testing.T) {
+	db := bigFixture(t, Options{})
+	rows, err := db.Query(crossJoin)
+	if err != nil {
+		t.Fatalf("unbudgeted query failed: %v", err)
+	}
+	if len(rows.Data) != 2 {
+		t.Fatalf("want 2 rows (0+1, 1+0), got %d", len(rows.Data))
+	}
+}
+
+func TestBudgetLargeEnoughGivesSameAnswer(t *testing.T) {
+	free := bigFixture(t, Options{})
+	capped := bigFixture(t, Options{MaxQuerySteps: 1 << 30})
+	a, err := free.Query(crossJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := capped.Query(crossJoin)
+	if err != nil {
+		t.Fatalf("large budget must not alter the result: %v", err)
+	}
+	if len(a.Data) != len(b.Data) {
+		t.Fatalf("row counts differ: %d vs %d", len(a.Data), len(b.Data))
+	}
+}
+
+func TestQueryCtxCancellation(t *testing.T) {
+	db := bigFixture(t, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: the first meter poll must abort
+	_, err := db.QueryCtx(ctx, crossJoin)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cause should unwrap to context.Canceled: %v", err)
+	}
+}
+
+func TestQueryCtxDeadlineDistinguishable(t *testing.T) {
+	db := bigFixture(t, Options{})
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := db.QueryCtx(ctx, crossJoin)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cause should unwrap to context.DeadlineExceeded: %v", err)
+	}
+}
+
+// TestContextMeterOverridesStatementBudget: a caller-installed meter
+// governs the whole call and replaces the per-statement MaxQuerySteps, so
+// one match-wide budget can span many small statements.
+func TestContextMeterOverridesStatementBudget(t *testing.T) {
+	db := bigFixture(t, Options{MaxQuerySteps: 10}) // would abort alone
+	m := resource.NewMeter(context.Background(), 1<<30)
+	ctx := resource.WithMeter(context.Background(), m)
+	if _, err := db.QueryCtx(ctx, crossJoin); err != nil {
+		t.Fatalf("context meter should override the statement budget: %v", err)
+	}
+	if m.Steps() == 0 {
+		t.Fatal("context meter was never charged")
+	}
+
+	// And a small context meter aborts even with no statement budget.
+	db2 := bigFixture(t, Options{})
+	small := resource.NewMeter(context.Background(), 50)
+	_, err := db2.QueryCtx(resource.WithMeter(context.Background(), small), crossJoin)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded via context meter, got %v", err)
+	}
+}
+
+// TestMeterSpansStatements: one meter accumulates across statements, so a
+// sequence of statements exhausts a shared budget even though each one
+// alone would fit.
+func TestMeterSpansStatements(t *testing.T) {
+	db := bigFixture(t, Options{})
+	m := resource.NewMeter(context.Background(), 250)
+	ctx := resource.WithMeter(context.Background(), m)
+	var err error
+	for i := 0; i < 10 && err == nil; i++ {
+		_, err = db.QueryCtx(ctx, `SELECT n FROM Num WHERE n < 50`)
+	}
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("shared meter should exhaust across statements, got %v", err)
+	}
+}
+
+func TestExecCtxBudget(t *testing.T) {
+	db := bigFixture(t, Options{MaxQuerySteps: 10})
+	_, err := db.Exec(`UPDATE Num SET n = n WHERE n >= 0`)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded from UPDATE scan, got %v", err)
+	}
+}
+
+func TestQueryExistsCtxBudget(t *testing.T) {
+	db := bigFixture(t, Options{MaxQuerySteps: 50})
+	// No pair sums to 1000, so the existence probe cannot early-exit and
+	// must scan the whole cross product — tripping the budget.
+	_, err := db.QueryExists(`SELECT a.n FROM Num a, Num b WHERE a.n + b.n = 1000`)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+}
+
+// TestBudgetNeverTruncatesResults: a budget either aborts with the typed
+// error or the full result comes back — never a silently shortened row
+// set (which would be a wrong decision in the matching layers).
+func TestBudgetNeverTruncatesResults(t *testing.T) {
+	full := bigFixture(t, Options{})
+	want, err := full.Query(`SELECT n FROM Num WHERE n < 37`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for budget := int64(1); budget <= 512; budget *= 2 {
+		db := bigFixture(t, Options{MaxQuerySteps: budget})
+		rows, err := db.Query(`SELECT n FROM Num WHERE n < 37`)
+		if err != nil {
+			if !errors.Is(err, ErrBudgetExceeded) {
+				t.Fatalf("budget %d: unexpected error %v", budget, err)
+			}
+			continue
+		}
+		if len(rows.Data) != len(want.Data) {
+			t.Fatalf("budget %d: truncated result: %d rows, want %d",
+				budget, len(rows.Data), len(want.Data))
+		}
+	}
+}
+
+func TestRelDBFaultInjection(t *testing.T) {
+	t.Cleanup(faultkit.Reset)
+	db := bigFixture(t, Options{}) // before arming: Exec passes the same point
+	if err := faultkit.Enable(faultkit.PointRelDBQuery + ":error"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(`SELECT n FROM Num WHERE n = 1`); !errors.Is(err, faultkit.ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	faultkit.Reset()
+	if _, err := db.Query(`SELECT n FROM Num WHERE n = 1`); err != nil {
+		t.Fatalf("after Reset, query should succeed: %v", err)
+	}
+}

@@ -1,12 +1,27 @@
 package reldb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"p3pdb/internal/faultkit"
+	"p3pdb/internal/resource"
+)
+
+// Typed resource-governance errors, re-exported so reldb callers can
+// errors.Is against the package they already import. ErrBudgetExceeded
+// reports a statement that visited more rows than its step budget
+// allows; ErrCanceled reports a context that ended mid-statement (the
+// returned error also wraps the context's cause, so deadline expiry is
+// distinguishable from explicit cancellation).
+var (
+	ErrBudgetExceeded = resource.ErrBudgetExceeded
+	ErrCanceled       = resource.ErrCanceled
 )
 
 // Options configure a DB instance.
@@ -25,6 +40,13 @@ type Options struct {
 	// benchmarks to isolate the cost of the XML-view reconstruction
 	// layer.
 	DisableViewCache bool
+	// MaxQuerySteps bounds the work one statement may perform, counted
+	// in rows visited (by scans, index probes, and subquery
+	// re-evaluations). A statement that exceeds it aborts with
+	// ErrBudgetExceeded. Zero means unlimited. Callers that install a
+	// resource.Meter in the context govern the whole call themselves and
+	// override this per-statement budget.
+	MaxQuerySteps int64
 }
 
 // Stats counts engine work, for tests and ablation benchmarks.
@@ -163,21 +185,48 @@ func (db *DB) TableNames() []string {
 // HasTable reports whether the named table exists.
 func (db *DB) HasTable(name string) bool { return db.Table(name) != nil }
 
+// meterFor resolves the resource meter governing one statement: a meter
+// installed in the context (callers metering a whole multi-statement
+// operation) wins; otherwise a fresh per-statement meter is built from
+// the context and the engine's configured step budget. Nil when there is
+// nothing to govern, which keeps the ungoverned path free.
+func (db *DB) meterFor(ctx context.Context) *resource.Meter {
+	if m := resource.FromContext(ctx); m != nil {
+		return m
+	}
+	return resource.NewMeter(ctx, db.opts.MaxQuerySteps)
+}
+
 // Exec parses and executes a statement that returns no rows (DDL or DML)
 // and reports the number of rows affected.
 func (db *DB) Exec(sql string, params ...Value) (int, error) {
+	return db.ExecCtx(context.Background(), sql, params...)
+}
+
+// ExecCtx is Exec governed by a context: cancellation and the engine's
+// step budget abort DML row scans with a typed error.
+func (db *DB) ExecCtx(ctx context.Context, sql string, params ...Value) (int, error) {
 	stmt, err := parseWithLimit(sql, db.maxDepth, db.maxSelects)
 	if err != nil {
 		return 0, err
 	}
-	return db.ExecStmt(stmt, params...)
+	return db.ExecStmtCtx(ctx, stmt, params...)
 }
 
 // ExecStmt executes an already-parsed statement.
 func (db *DB) ExecStmt(stmt Statement, params ...Value) (int, error) {
+	return db.ExecStmtCtx(context.Background(), stmt, params...)
+}
+
+// ExecStmtCtx is ExecStmt governed by a context.
+func (db *DB) ExecStmtCtx(ctx context.Context, stmt Statement, params ...Value) (int, error) {
+	if err := faultkit.Inject(faultkit.PointRelDBQuery); err != nil {
+		return 0, err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.stats.statements.Add(1)
+	st := newExecState(db.meterFor(ctx))
 	switch s := stmt.(type) {
 	case *CreateTableStmt:
 		return 0, db.createTable(s)
@@ -196,13 +245,13 @@ func (db *DB) ExecStmt(stmt Statement, params ...Value) (int, error) {
 		db.viewMu.Unlock()
 		return 0, nil
 	case *InsertStmt:
-		return db.execInsert(s, params)
+		return db.execInsert(s, params, st)
 	case *UpdateStmt:
-		return db.execUpdate(s, params)
+		return db.execUpdate(s, params, st)
 	case *DeleteStmt:
-		return db.execDelete(s, params)
+		return db.execDelete(s, params, st)
 	case *SelectStmt:
-		rows, err := db.execSelect(s, nil, params, 0, newExecState())
+		rows, err := db.execSelect(s, nil, params, 0, st)
 		if err != nil {
 			return 0, err
 		}
@@ -213,11 +262,18 @@ func (db *DB) ExecStmt(stmt Statement, params ...Value) (int, error) {
 
 // Query parses and executes a SELECT and returns its rows.
 func (db *DB) Query(sql string, params ...Value) (*Rows, error) {
+	return db.QueryCtx(context.Background(), sql, params...)
+}
+
+// QueryCtx is Query governed by a context: cancellation (checked
+// periodically by the row evaluator) and the engine's step budget abort
+// execution with ErrCanceled / ErrBudgetExceeded.
+func (db *DB) QueryCtx(ctx context.Context, sql string, params ...Value) (*Rows, error) {
 	stmt, err := parseWithLimit(sql, db.maxDepth, db.maxSelects)
 	if err != nil {
 		return nil, err
 	}
-	return db.QueryStmt(stmt, params...)
+	return db.QueryStmtCtx(ctx, stmt, params...)
 }
 
 // QueryStmt executes an already-parsed SELECT statement. Reusing a parsed
@@ -225,35 +281,37 @@ func (db *DB) Query(sql string, params ...Value) (*Rows, error) {
 // benchmark measures. SELECTs take only the shared lock, so any number of
 // them run in parallel.
 func (db *DB) QueryStmt(stmt Statement, params ...Value) (*Rows, error) {
+	return db.QueryStmtCtx(context.Background(), stmt, params...)
+}
+
+// QueryStmtCtx is QueryStmt governed by a context.
+func (db *DB) QueryStmtCtx(ctx context.Context, stmt Statement, params ...Value) (*Rows, error) {
 	sel, ok := stmt.(*SelectStmt)
 	if !ok {
 		return nil, fmt.Errorf("sql: Query requires a SELECT, got %T", stmt)
 	}
+	if err := faultkit.Inject(faultkit.PointRelDBQuery); err != nil {
+		return nil, err
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	db.stats.statements.Add(1)
-	return db.execSelect(sel, nil, params, 0, newExecState())
+	return db.execSelect(sel, nil, params, 0, newExecState(db.meterFor(ctx)))
 }
 
 // QueryExists executes a SELECT and reports whether it produced any row,
 // stopping at the first. This is the primitive preference matching uses.
 func (db *DB) QueryExists(sql string, params ...Value) (bool, error) {
+	return db.QueryExistsCtx(context.Background(), sql, params...)
+}
+
+// QueryExistsCtx is QueryExists governed by a context.
+func (db *DB) QueryExistsCtx(ctx context.Context, sql string, params ...Value) (bool, error) {
 	stmt, err := parseWithLimit(sql, db.maxDepth, db.maxSelects)
 	if err != nil {
 		return false, err
 	}
-	sel, ok := stmt.(*SelectStmt)
-	if !ok {
-		return false, fmt.Errorf("sql: QueryExists requires a SELECT, got %T", stmt)
-	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	db.stats.statements.Add(1)
-	rows, err := db.execSelect(sel, nil, params, 1, newExecState())
-	if err != nil {
-		return false, err
-	}
-	return len(rows.Data) > 0, nil
+	return db.QueryExistsStmtCtx(ctx, stmt, params...)
 }
 
 // Prepare parses a statement under the engine's complexity limits without
@@ -265,14 +323,24 @@ func (db *DB) Prepare(sql string) (Statement, error) {
 
 // QueryExistsStmt is QueryExists over an already-prepared statement.
 func (db *DB) QueryExistsStmt(stmt Statement, params ...Value) (bool, error) {
+	return db.QueryExistsStmtCtx(context.Background(), stmt, params...)
+}
+
+// QueryExistsStmtCtx is QueryExistsStmt governed by a context. This is
+// the primitive the matching hot path calls once per preference rule; a
+// meter installed in the context spans all of a match's statements.
+func (db *DB) QueryExistsStmtCtx(ctx context.Context, stmt Statement, params ...Value) (bool, error) {
 	sel, ok := stmt.(*SelectStmt)
 	if !ok {
 		return false, fmt.Errorf("sql: QueryExistsStmt requires a SELECT, got %T", stmt)
 	}
+	if err := faultkit.Inject(faultkit.PointRelDBQuery); err != nil {
+		return false, err
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	db.stats.statements.Add(1)
-	rows, err := db.execSelect(sel, nil, params, 1, newExecState())
+	rows, err := db.execSelect(sel, nil, params, 1, newExecState(db.meterFor(ctx)))
 	if err != nil {
 		return false, err
 	}
@@ -307,7 +375,7 @@ func (db *DB) createIndex(s *CreateIndexStmt) error {
 	return t.addIndex(s.Name, s.Columns, s.Unique)
 }
 
-func (db *DB) execInsert(s *InsertStmt, params []Value) (int, error) {
+func (db *DB) execInsert(s *InsertStmt, params []Value, st *execState) (int, error) {
 	t, ok := db.tables[strings.ToLower(s.Table)]
 	if !ok {
 		return 0, fmt.Errorf("sql: table %s does not exist", s.Table)
@@ -323,7 +391,7 @@ func (db *DB) execInsert(s *InsertStmt, params []Value) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	ctx := &evalCtx{db: db, env: &env{}, params: params, st: newExecState()}
+	ctx := &evalCtx{db: db, env: &env{}, params: params, st: st}
 	n := 0
 	for _, exprRow := range s.Rows {
 		if len(exprRow) != len(ords) {
@@ -345,7 +413,7 @@ func (db *DB) execInsert(s *InsertStmt, params []Value) (int, error) {
 	return n, nil
 }
 
-func (db *DB) execUpdate(s *UpdateStmt, params []Value) (int, error) {
+func (db *DB) execUpdate(s *UpdateStmt, params []Value, st *execState) (int, error) {
 	t, ok := db.tables[strings.ToLower(s.Table)]
 	if !ok {
 		return 0, fmt.Errorf("sql: table %s does not exist", s.Table)
@@ -356,7 +424,7 @@ func (db *DB) execUpdate(s *UpdateStmt, params []Value) (int, error) {
 	}
 	b := &binding{name: strings.ToLower(t.schema.Name), cols: cols}
 	scope := &env{bindings: []*binding{b}}
-	ctx := &evalCtx{db: db, env: scope, params: params, st: newExecState()}
+	ctx := &evalCtx{db: db, env: scope, params: params, st: st}
 	setOrds := make([]int, len(s.Set))
 	for i, sc := range s.Set {
 		ord := t.schema.ColumnIndex(sc.Column)
@@ -371,6 +439,10 @@ func (db *DB) execUpdate(s *UpdateStmt, params []Value) (int, error) {
 	var scanErr error
 	t.scan(func(id int, row []Value) bool {
 		db.stats.rowsScanned.Add(1)
+		if err := st.step(1); err != nil {
+			scanErr = err
+			return false
+		}
 		b.row = row
 		if s.Where != nil {
 			v, err := ctx.eval(s.Where)
@@ -406,7 +478,7 @@ func (db *DB) execUpdate(s *UpdateStmt, params []Value) (int, error) {
 	return len(idNums), nil
 }
 
-func (db *DB) execDelete(s *DeleteStmt, params []Value) (int, error) {
+func (db *DB) execDelete(s *DeleteStmt, params []Value, st *execState) (int, error) {
 	t, ok := db.tables[strings.ToLower(s.Table)]
 	if !ok {
 		return 0, fmt.Errorf("sql: table %s does not exist", s.Table)
@@ -416,11 +488,15 @@ func (db *DB) execDelete(s *DeleteStmt, params []Value) (int, error) {
 		cols[i] = strings.ToLower(c.Name)
 	}
 	b := &binding{name: strings.ToLower(t.schema.Name), cols: cols}
-	ctx := &evalCtx{db: db, env: &env{bindings: []*binding{b}}, params: params, st: newExecState()}
+	ctx := &evalCtx{db: db, env: &env{bindings: []*binding{b}}, params: params, st: st}
 	var ids []int
 	var scanErr error
 	t.scan(func(id int, row []Value) bool {
 		db.stats.rowsScanned.Add(1)
+		if err := st.step(1); err != nil {
+			scanErr = err
+			return false
+		}
 		b.row = row
 		if s.Where != nil {
 			v, err := ctx.eval(s.Where)
@@ -459,7 +535,16 @@ type execState struct {
 	// make equality joins against materialized views hash probes instead
 	// of repeated scans.
 	derivedIdx map[*SelectStmt]map[string]map[string][]int
+	// meter is the statement's resource governor: the row evaluator
+	// charges it one step per row visited (and one per query block
+	// entered), aborting with ErrBudgetExceeded / ErrCanceled. Nil means
+	// ungoverned; charging a nil meter is a no-op.
+	meter *resource.Meter
 }
+
+// step charges n units of row-evaluator work against the statement's
+// meter.
+func (st *execState) step(n int64) error { return st.meter.Step(n) }
 
 // cacheableDerived reports whether a derived table can be memoized for
 // the whole statement: a bare projection of one base table with no
@@ -517,7 +602,7 @@ func (db *DB) bareViewSnapshot(sel *SelectStmt) (*viewSnapshot, []string, bool) 
 	return snap, cols, true
 }
 
-func newExecState() *execState { return &execState{} }
+func newExecState(m *resource.Meter) *execState { return &execState{meter: m} }
 
 // execSelect runs a SELECT. outer is the enclosing scope for correlated
 // subqueries (nil at top level). needRows > 0 allows stopping early once
@@ -526,6 +611,12 @@ func newExecState() *execState { return &execState{} }
 // execution never mutates table state, and its two caches (the DB-level
 // view cache and the per-snapshot derived indexes) synchronize themselves.
 func (db *DB) execSelect(sel *SelectStmt, outer *env, params []Value, needRows int, st *execState) (*Rows, error) {
+	// Each query block entered charges one step, so deeply nested
+	// subqueries consume budget even over empty tables, and the
+	// periodic context poll happens at least once per block.
+	if err := st.step(1); err != nil {
+		return nil, err
+	}
 	// Bind FROM items.
 	sources := make([]*fromSource, len(sel.From))
 	scope := &env{parent: outer}
@@ -726,6 +817,9 @@ func (db *DB) execSelect(sel *SelectStmt, outer *env, params []Value, needRows i
 					if row == nil {
 						continue
 					}
+					if err := st.step(1); err != nil {
+						return err
+					}
 					src.binding.row = row
 					if err := join(i + 1); err != nil {
 						return err
@@ -736,6 +830,10 @@ func (db *DB) execSelect(sel *SelectStmt, outer *env, params []Value, needRows i
 			var scanErr error
 			src.table.scan(func(_ int, row []Value) bool {
 				db.stats.rowsScanned.Add(1)
+				if err := st.step(1); err != nil {
+					scanErr = err
+					return false
+				}
 				src.binding.row = row
 				if err := join(i + 1); err != nil {
 					scanErr = err
@@ -747,6 +845,9 @@ func (db *DB) execSelect(sel *SelectStmt, outer *env, params []Value, needRows i
 		}
 		if ids, usable := db.derivedCandidates(src, conjuncts, sources[:i], outer, ctx, st); usable {
 			for _, id := range ids {
+				if err := st.step(1); err != nil {
+					return err
+				}
 				src.binding.row = src.rows[id]
 				if err := join(i + 1); err != nil {
 					return err
@@ -756,6 +857,9 @@ func (db *DB) execSelect(sel *SelectStmt, outer *env, params []Value, needRows i
 		}
 		for _, row := range src.rows {
 			db.stats.rowsScanned.Add(1)
+			if err := st.step(1); err != nil {
+				return err
+			}
 			src.binding.row = row
 			if err := join(i + 1); err != nil {
 				return err

@@ -1,0 +1,133 @@
+// Package resource governs the cost of a preference match. The paper's
+// server-centric architecture puts matching on the page-access hot path,
+// where an adversarial (or merely deep) APPEL rule translates into a
+// nested-EXISTS query whose evaluation cost is unbounded. A Meter bounds
+// it: evaluators charge a step per unit of work (a row visited, a node
+// walked, an element compared) and the meter aborts the evaluation with a
+// typed error once a configured budget is exhausted or the governing
+// context is done. Every engine shares the same meter type, so the typed
+// errors surface uniformly at the server layer regardless of which
+// evaluator hit the limit.
+package resource
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrBudgetExceeded reports that an evaluation charged more steps than
+// its budget allows. It is a permanent property of the (preference,
+// budget) pair, not a transient failure: retrying without raising the
+// budget will fail the same way. Servers map it to 503.
+var ErrBudgetExceeded = errors.New("resource: step budget exceeded")
+
+// ErrCanceled reports that the governing context ended mid-evaluation.
+// Errors returned for it wrap the context's cause, so
+// errors.Is(err, context.DeadlineExceeded) distinguishes a deadline from
+// an explicit cancellation. Servers map deadlines to 504.
+var ErrCanceled = errors.New("resource: evaluation canceled")
+
+// ctxCheckInterval is how many steps pass between context polls. Polling
+// a context costs an atomic load plus a channel select; charging steps
+// must stay cheap enough to sit inside a row-scan loop.
+const ctxCheckInterval = 256
+
+// Meter is a per-evaluation step counter with an optional budget and an
+// optional governing context. A nil *Meter is valid and charges nothing,
+// so unmetered call paths stay zero-cost. A Meter is used by one
+// goroutine at a time (each match builds its own); it is not for sharing
+// across concurrent evaluations.
+type Meter struct {
+	ctx        context.Context // nil means no cancellation source
+	budget     int64           // 0 means unlimited
+	steps      int64
+	sinceCheck int64
+}
+
+// NewMeter returns a meter charging against budget (0 = unlimited) and
+// honoring ctx cancellation (nil ctx = none). A nil meter is returned
+// when there is nothing to govern, keeping the charge path free.
+func NewMeter(ctx context.Context, budget int64) *Meter {
+	if budget <= 0 && (ctx == nil || ctx.Done() == nil) {
+		return nil
+	}
+	return &Meter{ctx: ctx, budget: budget}
+}
+
+// Step charges n units of work. It returns ErrBudgetExceeded once the
+// cumulative charge passes the budget, or an ErrCanceled-wrapping error
+// when the governing context has ended (polled every ctxCheckInterval
+// steps, and once immediately on the first charge so canceled contexts
+// surface promptly).
+func (m *Meter) Step(n int64) error {
+	if m == nil {
+		return nil
+	}
+	first := m.steps == 0
+	m.steps += n
+	if m.budget > 0 && m.steps > m.budget {
+		return fmt.Errorf("%w (budget %d)", ErrBudgetExceeded, m.budget)
+	}
+	if m.ctx != nil {
+		m.sinceCheck += n
+		if first || m.sinceCheck >= ctxCheckInterval {
+			m.sinceCheck = 0
+			if err := m.ctx.Err(); err != nil {
+				return fmt.Errorf("%w: %w", ErrCanceled, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Check polls only the governing context, for call sites that want
+// prompt cancellation without charging work (e.g. between statements).
+func (m *Meter) Check() error {
+	if m == nil || m.ctx == nil {
+		return nil
+	}
+	if err := m.ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return nil
+}
+
+// Steps reports the work charged so far.
+func (m *Meter) Steps() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.steps
+}
+
+// Budget reports the meter's budget (0 = unlimited).
+func (m *Meter) Budget() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.budget
+}
+
+// meterKey carries a Meter through a context.Context.
+type meterKey struct{}
+
+// WithMeter returns a context carrying m. Callers that meter a whole
+// multi-statement operation (one preference match runs one statement per
+// rule) install a shared meter this way; context-accepting entry points
+// then charge against it instead of creating their own.
+func WithMeter(ctx context.Context, m *Meter) context.Context {
+	if m == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, meterKey{}, m)
+}
+
+// FromContext returns the meter carried by ctx, or nil.
+func FromContext(ctx context.Context) *Meter {
+	if ctx == nil {
+		return nil
+	}
+	m, _ := ctx.Value(meterKey{}).(*Meter)
+	return m
+}

@@ -1,0 +1,88 @@
+package resource
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilMeterChargesNothing(t *testing.T) {
+	var m *Meter
+	if err := m.Step(1 << 30); err != nil {
+		t.Fatalf("nil meter Step: %v", err)
+	}
+	if err := m.Check(); err != nil {
+		t.Fatalf("nil meter Check: %v", err)
+	}
+	if m.Steps() != 0 || m.Budget() != 0 {
+		t.Fatalf("nil meter reports steps=%d budget=%d", m.Steps(), m.Budget())
+	}
+}
+
+func TestNewMeterReturnsNilWhenNothingToGovern(t *testing.T) {
+	if m := NewMeter(context.Background(), 0); m != nil {
+		t.Fatalf("NewMeter(Background, 0) = %v, want nil", m)
+	}
+	if m := NewMeter(nil, 0); m != nil {
+		t.Fatalf("NewMeter(nil, 0) = %v, want nil", m)
+	}
+	if m := NewMeter(nil, 10); m == nil {
+		t.Fatal("NewMeter(nil, 10) = nil, want meter")
+	}
+}
+
+func TestBudgetExceeded(t *testing.T) {
+	m := NewMeter(nil, 10)
+	for i := 0; i < 10; i++ {
+		if err := m.Step(1); err != nil {
+			t.Fatalf("step %d within budget: %v", i, err)
+		}
+	}
+	err := m.Step(1)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("11th step: got %v, want ErrBudgetExceeded", err)
+	}
+	if m.Steps() != 11 {
+		t.Fatalf("steps = %d, want 11", m.Steps())
+	}
+}
+
+func TestCancellationSurfacesPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := NewMeter(ctx, 0)
+	cancel()
+	err := m.Step(1) // first charge polls the context immediately
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v should wrap context.Canceled", err)
+	}
+}
+
+func TestDeadlineDistinguishableFromCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	deadCtx, dcancel := context.WithDeadline(ctx, time.Now().Add(-time.Second))
+	defer dcancel()
+	m := NewMeter(deadCtx, 0)
+	err := m.Check()
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want ErrCanceled wrapping DeadlineExceeded", err)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	m := NewMeter(nil, 5)
+	ctx := WithMeter(context.Background(), m)
+	if got := FromContext(ctx); got != m {
+		t.Fatalf("FromContext = %v, want %v", got, m)
+	}
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("FromContext(bare) = %v, want nil", got)
+	}
+	if got := WithMeter(context.Background(), nil); FromContext(got) != nil {
+		t.Fatal("WithMeter(nil) should carry no meter")
+	}
+}

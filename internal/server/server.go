@@ -7,6 +7,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -16,21 +17,42 @@ import (
 	"time"
 
 	"p3pdb/internal/core"
+	"p3pdb/internal/faultkit"
 	"p3pdb/internal/reldb"
+	"p3pdb/internal/resource"
 )
 
 // maxBodyBytes bounds request bodies; P3P documents are small.
 const maxBodyBytes = 1 << 20
 
+// defaultReadHeaderTimeout bounds how long a connection may dribble its
+// headers before the server gives up on it (slowloris protection).
+const defaultReadHeaderTimeout = 5 * time.Second
+
+// Options configure the HTTP layer's resource governance. The zero value
+// leaves requests ungoverned (beyond any Site-level budget).
+type Options struct {
+	// RequestTimeout, when positive, bounds each matching request: the
+	// request context is wrapped in a deadline, so a match that overruns
+	// is aborted in the engines and reported as 504.
+	RequestTimeout time.Duration
+}
+
 // Server handles the HTTP API for one site.
 type Server struct {
 	site *core.Site
 	mux  *http.ServeMux
+	opts Options
 }
 
-// New wraps a site.
+// New wraps a site with default options.
 func New(site *core.Site) *Server {
-	s := &Server{site: site, mux: http.NewServeMux()}
+	return NewWithOptions(site, Options{})
+}
+
+// NewWithOptions wraps a site.
+func NewWithOptions(site *core.Site, opts Options) *Server {
+	s := &Server{site: site, mux: http.NewServeMux(), opts: opts}
 	s.mux.HandleFunc("/policies", s.handlePolicies)
 	s.mux.HandleFunc("/policies/", s.handlePolicyByName)
 	s.mux.HandleFunc("/compact/", s.handleCompact)
@@ -51,9 +73,38 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// apiError is the JSON error envelope.
+// HTTPServer wraps the handler in an http.Server with sane timeouts —
+// the seed served with a bare ListenAndServe, which never times out
+// header reads and so holds a goroutine per stalled connection forever.
+// Write timeouts are deliberately left to the per-request deadline
+// (Options.RequestTimeout) so long-but-governed matches are not cut off
+// mid-response.
+func (s *Server) HTTPServer(addr string) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           s,
+		ReadHeaderTimeout: defaultReadHeaderTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// matchContext derives the context a matching request runs under,
+// applying the per-request timeout when configured.
+func (s *Server) matchContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.opts.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	}
+	return r.Context(), func() {}
+}
+
+// apiError is the JSON error envelope. Reason carries the governance
+// classification (budget-exceeded, deadline-exceeded, ...) so clients can
+// distinguish "spent too much" from "took too long" without parsing the
+// message text.
 type apiError struct {
-	Error string `json:"error"`
+	Error  string   `json:"error"`
+	Reason string   `json:"reason,omitempty"`
+	Errors []string `json:"errors,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -64,6 +115,45 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+// classifyMatchError maps a matching failure to its HTTP status and
+// governance reason. The distinctions clients care about:
+//
+//   - 503 budget-exceeded: the query spent its step budget — retrying
+//     without a bigger budget (or a simpler preference) will not help.
+//   - 504 deadline-exceeded: wall-clock ran out — a retry may succeed on
+//     a less loaded server.
+//   - 503 canceled: the caller (or shutdown) went away mid-match.
+//   - 503 fault-injected: a test fault fired (never in production).
+//   - 422 too-complex: the XTABLE path rejected an exact-heavy
+//     preference, reproducing the paper's blank Figure 21 cell.
+//   - 400 otherwise: the request itself was malformed.
+func classifyMatchError(err error) (status int, reason string) {
+	switch {
+	case errors.Is(err, resource.ErrBudgetExceeded):
+		return http.StatusServiceUnavailable, "budget-exceeded"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline-exceeded"
+	case errors.Is(err, resource.ErrCanceled), errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable, "canceled"
+	case errors.Is(err, faultkit.ErrInjected):
+		return http.StatusServiceUnavailable, "fault-injected"
+	case errors.Is(err, reldb.ErrTooComplex):
+		return http.StatusUnprocessableEntity, "too-complex"
+	}
+	return http.StatusBadRequest, ""
+}
+
+// writeMatchError reports a matching failure, with the governance reason
+// in both the JSON envelope and a Server-Timing aborted entry so proxies
+// and browser devtools see why the stage was cut short.
+func writeMatchError(w http.ResponseWriter, err error) {
+	status, reason := classifyMatchError(err)
+	if reason != "" {
+		w.Header().Set("Server-Timing", fmt.Sprintf("aborted;desc=%q", reason))
+	}
+	writeJSON(w, status, apiError{Error: err.Error(), Reason: reason})
 }
 
 func readBody(w http.ResponseWriter, r *http.Request) (string, bool) {
@@ -234,15 +324,16 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if err := faultkit.Inject(faultkit.PointServerMatch); err != nil {
+		writeMatchError(w, err)
+		return
+	}
+	ctx, cancel := s.matchContext(r)
+	defer cancel()
 	start := time.Now()
-	d, err := s.site.MatchURI(pref, uri, engine)
+	d, err := s.site.MatchURICtx(ctx, pref, uri, engine)
 	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, reldb.ErrTooComplex) {
-			// The XTABLE path can reject exact-heavy preferences.
-			status = http.StatusUnprocessableEntity
-		}
-		writeError(w, status, err)
+		writeMatchError(w, err)
 		return
 	}
 	resp := toResponse(d)
@@ -252,9 +343,10 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // matchWith factors the three matching endpoints: resolve the engine,
-// read the preference body, run the resolver-specific match.
+// read the preference body, run the resolver-specific match under the
+// request's (possibly deadline-bound) context.
 func (s *Server) matchWith(w http.ResponseWriter, r *http.Request,
-	match func(pref string, engine core.Engine) (core.Decision, error)) {
+	match func(ctx context.Context, pref string, engine core.Engine) (core.Decision, error)) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
 		return
@@ -272,13 +364,15 @@ func (s *Server) matchWith(w http.ResponseWriter, r *http.Request,
 	if !ok {
 		return
 	}
-	d, err := match(pref, engine)
+	if err := faultkit.Inject(faultkit.PointServerMatch); err != nil {
+		writeMatchError(w, err)
+		return
+	}
+	ctx, cancel := s.matchContext(r)
+	defer cancel()
+	d, err := match(ctx, pref, engine)
 	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, reldb.ErrTooComplex) {
-			status = http.StatusUnprocessableEntity
-		}
-		writeError(w, status, err)
+		writeMatchError(w, err)
 		return
 	}
 	setServerTiming(w, d)
@@ -294,8 +388,8 @@ func (s *Server) handleMatchPolicy(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing policy parameter"))
 		return
 	}
-	s.matchWith(w, r, func(pref string, engine core.Engine) (core.Decision, error) {
-		return s.site.MatchPolicy(pref, name, engine)
+	s.matchWith(w, r, func(ctx context.Context, pref string, engine core.Engine) (core.Decision, error) {
+		return s.site.MatchPolicyCtx(ctx, pref, name, engine)
 	})
 }
 
@@ -308,15 +402,18 @@ func (s *Server) handleMatchCookie(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing cookie parameter"))
 		return
 	}
-	s.matchWith(w, r, func(pref string, engine core.Engine) (core.Decision, error) {
-		return s.site.MatchCookie(pref, name, engine)
+	s.matchWith(w, r, func(ctx context.Context, pref string, engine core.Engine) (core.Decision, error) {
+		return s.site.MatchCookieCtx(ctx, pref, name, engine)
 	})
 }
 
 // MatchAllResponse is the JSON form of a batch match: one decision per
-// installed policy, ordered by policy name.
+// successfully matched policy, ordered by policy name, plus the failures
+// for the rest. A partially failed batch is still a 200 — per-policy
+// failures must not drop the decisions that did complete.
 type MatchAllResponse struct {
 	Decisions []MatchResponse `json:"decisions"`
+	Errors    []string        `json:"errors,omitempty"`
 }
 
 // handleMatchAll implements POST /matchall?engine= with the APPEL
@@ -342,22 +439,48 @@ func (s *Server) handleMatchAll(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if err := faultkit.Inject(faultkit.PointServerLoadAll); err != nil {
+		writeMatchError(w, err)
+		return
+	}
+	ctx, cancel := s.matchContext(r)
+	defer cancel()
 	start := time.Now()
-	decisions, err := s.site.MatchAll(pref, engine)
-	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, reldb.ErrTooComplex) {
-			status = http.StatusUnprocessableEntity
+	decisions, err := s.site.MatchAllCtx(ctx, pref, engine)
+	if err != nil && len(decisions) == 0 {
+		// Everything failed: report the dominant cause. The full
+		// per-policy breakdown rides along in errors.
+		status, reason := classifyMatchError(err)
+		if reason != "" {
+			w.Header().Set("Server-Timing", fmt.Sprintf("aborted;desc=%q", reason))
 		}
-		writeError(w, status, err)
+		writeJSON(w, status, apiError{Error: err.Error(), Reason: reason, Errors: splitJoined(err)})
 		return
 	}
 	resp := MatchAllResponse{Decisions: make([]MatchResponse, len(decisions))}
 	for i, d := range decisions {
 		resp.Decisions[i] = toResponse(d)
 	}
+	if err != nil {
+		resp.Errors = splitJoined(err)
+	}
 	w.Header().Set("Server-Timing", fmt.Sprintf("total;dur=%.3f", float64(time.Since(start).Microseconds())/1000))
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// splitJoined flattens an errors.Join result into its parts' messages.
+func splitJoined(err error) []string {
+	if err == nil {
+		return nil
+	}
+	if joined, ok := err.(interface{ Unwrap() []error }); ok {
+		var out []string
+		for _, e := range joined.Unwrap() {
+			out = append(out, e.Error())
+		}
+		return out
+	}
+	return []string{err.Error()}
 }
 
 // handleAnalytics implements GET /analytics: the site-owner view of which

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 
+	"p3pdb/internal/faultkit"
+	"p3pdb/internal/resource"
 	"p3pdb/internal/xmldom"
 )
 
@@ -93,6 +95,10 @@ func (v Value) stringSet() []string {
 // Evaluator evaluates generated queries against a document resolver.
 type Evaluator struct {
 	resolve func(string) (*xmldom.Node, error)
+	// meter, when set, is charged one step per node visited by path
+	// evaluation, bounding adversarially deep queries and honoring
+	// cancellation. Nil means ungoverned.
+	meter *resource.Meter
 }
 
 // NewEvaluator wraps a document resolver (typically xmlstore.Resolver).
@@ -100,10 +106,20 @@ func NewEvaluator(resolve func(string) (*xmldom.Node, error)) *Evaluator {
 	return &Evaluator{resolve: resolve}
 }
 
+// WithMeter sets the evaluator's resource meter and returns the
+// evaluator, for chaining at construction.
+func (ev *Evaluator) WithMeter(m *resource.Meter) *Evaluator {
+	ev.meter = m
+	return ev
+}
+
 // Run evaluates the query and returns the name of the constructed element:
 // Then when the condition holds, Else otherwise (empty string means the
 // empty sequence, i.e. the rule did not fire).
 func (ev *Evaluator) Run(q *Query) (string, error) {
+	if err := faultkit.Inject(faultkit.PointXQueryEval); err != nil {
+		return "", err
+	}
 	v, err := ev.eval(q.Cond, nil)
 	if err != nil {
 		return "", err
@@ -222,6 +238,12 @@ func (ev *Evaluator) evalPath(p *PathExpr, ctx *xmldom.Node) (Value, error) {
 		current = []*xmldom.Node{ctx}
 	}
 	for i, st := range p.Steps {
+		// Charge the nodes this step will examine; path evaluation is
+		// the evaluator's only unbounded loop (predicates recurse back
+		// through here), so this one charge point governs everything.
+		if err := ev.meter.Step(int64(len(current))); err != nil {
+			return Value{}, err
+		}
 		if st.Axis == AxisAttribute {
 			if i != len(p.Steps)-1 {
 				return Value{}, fmt.Errorf("xquery: attribute step must be final")
