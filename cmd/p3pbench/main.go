@@ -23,15 +23,47 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "table to print: all, fig19, shred, fig20, fig21, warmcold, xquery-native, ablate, throughput")
+	table := flag.String("table", "all", "table to print: all, fig19, shred, fig20, fig21, warmcold, xquery-native, ablate, throughput, obs")
 	seed := flag.Int64("seed", 42, "workload generation seed")
 	repeats := flag.Int("repeats", 3, "measurements per matrix cell")
-	level := flag.String("ablate-level", "High", "preference level for the ablation and throughput tables")
+	level := flag.String("ablate-level", "High", "preference level for the ablation, throughput, and obs tables")
 	engine := flag.String("engine", "sql", "matching engine for the throughput table")
-	out := flag.String("out", "BENCH_throughput.json", "artifact path for the throughput table (empty to skip)")
+	out := flag.String("out", "", "artifact path for the throughput/obs tables (default BENCH_throughput.json / BENCH_obs.json; \"none\" to skip)")
 	matches := flag.Int("matches", 0, "matches per worker in the throughput table (0 = default)")
 	budget := flag.Int64("budget", 0, "per-match evaluator step budget (0 = unlimited); measures governed-deployment overhead")
 	flag.Parse()
+
+	outPath := *out
+	if outPath == "" {
+		switch *table {
+		case "throughput":
+			outPath = "BENCH_throughput.json"
+		case "obs":
+			outPath = "BENCH_obs.json"
+		}
+	} else if outPath == "none" {
+		outPath = ""
+	}
+
+	if *table == "obs" {
+		r, err := benchkit.RunObs(benchkit.ObsConfig{
+			Seed:    *seed,
+			Level:   *level,
+			Repeats: *repeats,
+			Budget:  *budget,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(r.Render())
+		if outPath != "" {
+			if err := r.WriteJSON(outPath); err != nil {
+				fatal(err)
+			}
+			fmt.Println("wrote", outPath)
+		}
+		return
+	}
 
 	if *table == "throughput" {
 		eng, err := core.ParseEngine(*engine)
@@ -49,11 +81,11 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(r.Render())
-		if *out != "" {
-			if err := r.WriteJSON(*out); err != nil {
+		if outPath != "" {
+			if err := r.WriteJSON(outPath); err != nil {
 				fatal(err)
 			}
-			fmt.Println("wrote", *out)
+			fmt.Println("wrote", outPath)
 		}
 		return
 	}

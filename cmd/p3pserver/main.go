@@ -27,9 +27,12 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -37,6 +40,7 @@ import (
 
 	"p3pdb/internal/core"
 	"p3pdb/internal/faultkit"
+	"p3pdb/internal/obs"
 	"p3pdb/internal/server"
 	"p3pdb/internal/workload"
 )
@@ -49,7 +53,42 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-request matching deadline (0 = none)")
 	policyTimeout := flag.Duration("policy-timeout", 0, "per-policy deadline inside /matchall (0 = none)")
 	faults := flag.String("faults", "", "fault-injection spec (overrides P3P_FAULTS)")
+	debugAddr := flag.String("debug-addr", "", "separate listener for net/http/pprof, /debug/vars, and /metrics (empty = off)")
+	traceLog := flag.String("trace-log", "", `request-trace destination: a file path, or "-" for stderr (empty = tracing off)`)
 	flag.Parse()
+
+	if *traceLog != "" {
+		w := os.Stderr
+		if *traceLog != "-" {
+			f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		obs.SetTraceWriter(w)
+		log.Printf("request tracing on: one JSON line per request to %s", *traceLog)
+	}
+
+	if *debugAddr != "" {
+		obs.PublishExpvar()
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/debug/vars", expvar.Handler())
+		dmux.Handle("/metrics", obs.Handler(obs.Default))
+		go func() {
+			log.Printf("debug listener (pprof, expvar, metrics) on %s", *debugAddr)
+			dsrv := &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 5 * time.Second}
+			if err := dsrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
 
 	spec := *faults
 	if spec == "" {

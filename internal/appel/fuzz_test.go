@@ -1,10 +1,33 @@
 package appel
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// addCorpus seeds the fuzzer with every file in testdata/corpus —
+// realistic preference documents (the Jane examples, the workload
+// generator's three levels) that exercise nested connectives and
+// namespaced expressions.
+func addCorpus(f *testing.F) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "corpus"))
+	if err != nil {
+		f.Fatalf("seed corpus: %v", err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join("testdata", "corpus", e.Name()))
+		if err != nil {
+			f.Fatalf("seed corpus %s: %v", e.Name(), err)
+		}
+		f.Add(string(data))
+	}
+}
 
 // FuzzParse checks the APPEL parser never panics and that accepted
 // rulesets serialize and reparse.
 func FuzzParse(f *testing.F) {
+	addCorpus(f)
 	f.Add(JanePreferenceXML)
 	f.Add(JaneSimplifiedRuleXML)
 	f.Add(`<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1"><appel:OTHERWISE/></appel:RULESET>`)

@@ -28,6 +28,7 @@ import (
 
 	"p3pdb/internal/appel"
 	"p3pdb/internal/faultkit"
+	"p3pdb/internal/obs"
 	"p3pdb/internal/p3p/basedata"
 	"p3pdb/internal/resource"
 	"p3pdb/internal/xmldom"
@@ -110,6 +111,18 @@ func (e *Engine) MatchDOM(rs *appel.Ruleset, policy *xmldom.Node) (Decision, err
 	return e.MatchDOMMeter(rs, policy, nil)
 }
 
+// Observability counters for the native engine (obs registry,
+// DESIGN.md §8): matches attempted, element comparisons performed (the
+// engine's unit of work), and per-match policy augmentations. The
+// comparison count accumulates locally in the matcher (one goroutine
+// per match) and flushes once per match.
+var (
+	obsMatches       = obs.GetCounter("appel.matches")
+	obsMatchErrors   = obs.GetCounter("appel.match_errors")
+	obsComparisons   = obs.GetCounter("appel.comparisons")
+	obsAugmentations = obs.GetCounter("appel.augmentations")
+)
+
 // MatchDOMMeter is MatchDOM governed by a resource meter.
 func (e *Engine) MatchDOMMeter(rs *appel.Ruleset, policy *xmldom.Node, m *resource.Meter) (Decision, error) {
 	if policy.Name == "POLICIES" {
@@ -119,20 +132,25 @@ func (e *Engine) MatchDOMMeter(rs *appel.Ruleset, policy *xmldom.Node, m *resour
 	if err := faultkit.Inject(faultkit.PointAppelMatch); err != nil {
 		return Decision{}, err
 	}
+	obsMatches.Inc()
 	evidence := policy
 	if !e.opts.SkipAugmentation {
+		obsAugmentations.Inc()
 		evidence = e.Augment(policy)
 	}
 	mt := &matcher{e: e, m: m}
+	defer func() { obsComparisons.Add(mt.comparisons) }()
 	for i, r := range rs.Rules {
 		fired, err := mt.ruleMatches(r, evidence)
 		if err != nil {
+			obsMatchErrors.Inc()
 			return Decision{}, err
 		}
 		if fired {
 			return Decision{Behavior: r.Behavior, RuleIndex: i, Prompt: r.Prompt}, nil
 		}
 	}
+	obsMatchErrors.Inc()
 	return Decision{}, ErrNoRuleFired
 }
 
@@ -250,6 +268,9 @@ func declaredCategories(data *xmldom.Node) []string {
 type matcher struct {
 	e *Engine
 	m *resource.Meter
+	// comparisons counts element-against-element comparisons locally;
+	// MatchDOMMeter flushes it to the obs registry once per match.
+	comparisons int64
 }
 
 // ruleMatches applies the rule's body to the evidence root. An empty body
@@ -269,6 +290,7 @@ func (mt *matcher) ruleMatches(r *appel.Rule, evidence *xmldom.Node) (bool, erro
 // one step: an element-against-element comparison is the engine's unit
 // of work, the analogue of a visited row in the relational engines.
 func (mt *matcher) exprMatches(ex *appel.Expr, el *xmldom.Node) (bool, error) {
+	mt.comparisons++
 	if err := mt.m.Step(1); err != nil {
 		return false, err
 	}

@@ -1,0 +1,189 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"p3pdb/internal/core"
+	"p3pdb/internal/obs"
+	"p3pdb/internal/workload"
+)
+
+// The obs table closes the loop between the bench harness and the live
+// observability layer (DESIGN.md §8): it snapshots the obs registry
+// before and after a fixed matching workload and reports the counter
+// deltas next to wall-clock, per engine. If the deltas do not reconcile
+// with the number of matches the harness issued, the instrumentation is
+// lying — the Reconciled column makes that a checked invariant, and the
+// BENCH_obs.json artifact lets CI diff the accounting across PRs.
+
+// ObsConfig parameterizes an observability bench run.
+type ObsConfig struct {
+	// Seed generates the workload (default 42).
+	Seed int64
+	// Level is the preference level matched (default "High").
+	Level string
+	// Repeats is how many passes over the full policy corpus each engine
+	// performs (default 3).
+	Repeats int
+	// Budget caps evaluator steps per match; zero means ungoverned.
+	Budget int64
+}
+
+func (c ObsConfig) withDefaults() ObsConfig {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Level == "" {
+		c.Level = "High"
+	}
+	if c.Repeats == 0 {
+		c.Repeats = 3
+	}
+	return c
+}
+
+// ObsEngineRow is one engine's slice of the run: what the harness did
+// (Matches, ElapsedMS) against what the registry recorded during it.
+type ObsEngineRow struct {
+	Engine    string  `json:"engine"`
+	Matches   int64   `json:"matches"`
+	ElapsedMS float64 `json:"elapsedMs"`
+	// MatchTotal is the core.match.<engine>.total counter delta; it must
+	// equal Matches (Reconciled) or the instrumentation dropped events.
+	MatchTotal int64 `json:"matchTotal"`
+	Reconciled bool  `json:"reconciled"`
+	// Steps is the evaluator-step delta, the figure the paper's cost
+	// model counts (rows visited / nodes walked / comparisons).
+	Steps        int64 `json:"steps"`
+	LatencyP50US int64 `json:"latencyP50Us"`
+	LatencyP99US int64 `json:"latencyP99Us"`
+	// Counters holds every non-zero counter delta observed while this
+	// engine ran — cache hits, rows scanned, statements, and so on.
+	Counters map[string]int64 `json:"counters"`
+}
+
+// ObsResults is the full run, shaped for rendering and for the
+// BENCH_obs.json artifact.
+type ObsResults struct {
+	Seed     int64          `json:"seed"`
+	Level    string         `json:"level"`
+	Repeats  int            `json:"repeats"`
+	Policies int            `json:"policies"`
+	Rows     []ObsEngineRow `json:"rows"`
+	// Totals are the whole-run counter deltas (all engines plus warmup),
+	// the numbers GET /metrics would show after the same workload.
+	Totals map[string]int64 `json:"totals"`
+}
+
+func nonZeroCounters(s obs.Snapshot) map[string]int64 {
+	out := make(map[string]int64)
+	for name, v := range s.Counters {
+		if v != 0 {
+			out[name] = v
+		}
+	}
+	return out
+}
+
+// RunObs matches one preference against the whole corpus with every
+// engine, bracketing each engine's pass with registry snapshots.
+func RunObs(cfg ObsConfig) (*ObsResults, error) {
+	cfg = cfg.withDefaults()
+	site, d, err := Setup(Config{Seed: cfg.Seed, Budget: cfg.Budget})
+	if err != nil {
+		return nil, err
+	}
+	pref, ok := workload.PreferenceByLevel(cfg.Level)
+	if !ok {
+		return nil, fmt.Errorf("benchkit: no preference level %q", cfg.Level)
+	}
+	res := &ObsResults{
+		Seed:     cfg.Seed,
+		Level:    cfg.Level,
+		Repeats:  cfg.Repeats,
+		Policies: len(d.Policies),
+	}
+	runStart := obs.Default.Snapshot()
+	for _, engine := range core.Engines {
+		// Warm up outside the measured bracket so the per-engine deltas
+		// reflect steady-state matching, not first-touch cache fills.
+		for _, pol := range d.Policies {
+			if _, err := site.MatchPolicy(pref.XML, pol.Name, engine); err != nil {
+				return nil, fmt.Errorf("benchkit: warmup %s/%s: %w", engine.ShortName(), pol.Name, err)
+			}
+		}
+		before := obs.Default.Snapshot()
+		start := time.Now()
+		var matches int64
+		for rep := 0; rep < cfg.Repeats; rep++ {
+			for _, pol := range d.Policies {
+				if _, err := site.MatchPolicy(pref.XML, pol.Name, engine); err != nil {
+					return nil, fmt.Errorf("benchkit: obs %s/%s: %w", engine.ShortName(), pol.Name, err)
+				}
+				matches++
+			}
+		}
+		elapsed := time.Since(start)
+		delta := obs.Default.Snapshot().Delta(before)
+		short := engine.ShortName()
+		lat := delta.Histograms["core.match."+short+".latency_us"]
+		row := ObsEngineRow{
+			Engine:       short,
+			Matches:      matches,
+			ElapsedMS:    float64(elapsed.Microseconds()) / 1000,
+			MatchTotal:   delta.Counters["core.match."+short+".total"],
+			Steps:        delta.Counters["core.match."+short+".steps"],
+			LatencyP50US: lat.Quantile(0.50),
+			LatencyP99US: lat.Quantile(0.99),
+			Counters:     nonZeroCounters(delta),
+		}
+		row.Reconciled = row.MatchTotal == row.Matches
+		res.Rows = append(res.Rows, row)
+	}
+	res.Totals = nonZeroCounters(obs.Default.Snapshot().Delta(runStart))
+	return res, nil
+}
+
+// Render formats the obs table: the per-engine reconciliation block,
+// then the whole-run counter totals.
+func (r *ObsResults) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Observability deltas (%s preference, %d policies x %d repeats)\n",
+		r.Level, r.Policies, r.Repeats)
+	fmt.Fprintf(&b, "%8s %8s %11s %12s %12s %8s %8s %11s\n",
+		"engine", "matches", "elapsed ms", "match.total", "steps", "p50 us", "p99 us", "reconciled")
+	for _, row := range r.Rows {
+		rec := "yes"
+		if !row.Reconciled {
+			rec = "NO"
+		}
+		fmt.Fprintf(&b, "%8s %8d %11.1f %12d %12d %8d %8d %11s\n",
+			row.Engine, row.Matches, row.ElapsedMS, row.MatchTotal, row.Steps,
+			row.LatencyP50US, row.LatencyP99US, rec)
+	}
+	fmt.Fprintf(&b, "\nRun totals (counter deltas across warmup + all engines):\n")
+	names := make([]string, 0, len(r.Totals))
+	for name := range r.Totals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "  %-40s %d\n", name, r.Totals[name])
+	}
+	return b.String()
+}
+
+// WriteJSON writes the results as the machine-readable BENCH_obs.json
+// artifact CI uploads.
+func (r *ObsResults) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -7,6 +7,7 @@ import (
 
 	"p3pdb/internal/appel"
 	"p3pdb/internal/faultkit"
+	"p3pdb/internal/obs"
 	"p3pdb/internal/reldb"
 	"p3pdb/internal/sqlgen"
 	"p3pdb/internal/xqgen"
@@ -36,6 +37,15 @@ type convKey struct {
 // defaultConvCacheSize bounds the cache when Options leave it unset.
 const defaultConvCacheSize = 256
 
+// Conversion-cache observability (obs registry, DESIGN.md §8). Hits and
+// misses are counters; entries is a gauge moved by put/evict/purge
+// deltas, so it totals live entries across every Site in the process.
+var (
+	obsConvHits    = obs.GetCounter("core.convcache.hits")
+	obsConvMisses  = obs.GetCounter("core.convcache.misses")
+	obsConvEntries = obs.GetGauge("core.convcache.entries")
+)
+
 // convCache is a bounded FIFO cache of conversion artifacts. A plain
 // mutex suffices: entries are tiny to look up, and the expensive work
 // (translation) happens outside the lock.
@@ -64,8 +74,10 @@ func (c *convCache) get(k convKey) (any, bool) {
 	c.mu.Unlock()
 	if ok {
 		c.hits.Add(1)
+		obsConvHits.Inc()
 	} else {
 		c.misses.Add(1)
+		obsConvMisses.Inc()
 	}
 	return v, ok
 }
@@ -81,8 +93,10 @@ func (c *convCache) put(k convKey, v any) {
 			oldest := c.order[0]
 			c.order = c.order[1:]
 			delete(c.m, oldest)
+			obsConvEntries.Add(-1)
 		}
 		c.order = append(c.order, k)
+		obsConvEntries.Add(1)
 	}
 	c.m[k] = v
 }
@@ -96,14 +110,17 @@ func (c *convCache) purgePolicy(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	kept := c.order[:0]
+	purged := int64(0)
 	for _, k := range c.order {
 		if k.policy == name {
 			delete(c.m, k)
+			purged++
 			continue
 		}
 		kept = append(kept, k)
 	}
 	c.order = kept
+	obsConvEntries.Add(-purged)
 }
 
 func (c *convCache) size() int {

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"p3pdb/internal/obs"
 	"p3pdb/internal/workload"
 )
 
@@ -149,5 +150,60 @@ func TestConversionCacheBounded(t *testing.T) {
 	}
 	if _, _, size := s.ConversionCacheStats(); size > 2 {
 		t.Errorf("cache size %d exceeds bound 2", size)
+	}
+}
+
+// TestConversionCacheObsExport asserts the registry view of the cache
+// (core.convcache.* in the obs registry, what GET /metrics serves) stays
+// in lockstep with the Site's own counters: hit and miss deltas match
+// ConversionCacheStats exactly, the entries gauge grows with fills, and
+// a policy removal purges the policy-bound entries back out of the
+// gauge. The gauge is process-global (it sums every Site's cache), so
+// all assertions are on deltas around operations on this one site.
+func TestConversionCacheObsExport(t *testing.T) {
+	hitsC := obs.GetCounter("core.convcache.hits")
+	missesC := obs.GetCounter("core.convcache.misses")
+	entriesG := obs.GetGauge("core.convcache.entries")
+
+	h0, m0, e0 := hitsC.Value(), missesC.Value(), entriesG.Value()
+	s := newCacheTestSite(t, Options{})
+	pref, _ := workload.PreferenceByLevel("High")
+	names := s.PolicyNames()
+
+	// One XTable match per policy (policy-bound entries) plus a repeated
+	// SQL match (one policy-independent entry, then hits).
+	for _, name := range names {
+		if _, err := s.MatchPolicy(pref.XML, name, EngineXTable); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.MatchPolicy(pref.XML, names[0], EngineSQL); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	siteHits, siteMisses, siteSize := s.ConversionCacheStats()
+	if got := hitsC.Value() - h0; got != siteHits {
+		t.Errorf("obs hits delta = %d, site counter = %d", got, siteHits)
+	}
+	if got := missesC.Value() - m0; got != siteMisses {
+		t.Errorf("obs misses delta = %d, site counter = %d", got, siteMisses)
+	}
+	if got := entriesG.Value() - e0; got != int64(siteSize) {
+		t.Errorf("obs entries delta = %d, site size = %d", got, siteSize)
+	}
+
+	// Removing a policy purges its policy-bound entry; the gauge must
+	// follow the site's size down, not drift.
+	if err := s.RemovePolicy(names[0]); err != nil {
+		t.Fatal(err)
+	}
+	_, _, sizeAfter := s.ConversionCacheStats()
+	if sizeAfter != siteSize-1 {
+		t.Fatalf("site size after purge = %d, want %d", sizeAfter, siteSize-1)
+	}
+	if got := entriesG.Value() - e0; got != int64(sizeAfter) {
+		t.Errorf("obs entries delta after purge = %d, site size = %d", got, sizeAfter)
 	}
 }

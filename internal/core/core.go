@@ -30,6 +30,7 @@ import (
 	"p3pdb/internal/appel"
 	"p3pdb/internal/appelengine"
 	"p3pdb/internal/compact"
+	"p3pdb/internal/obs"
 	"p3pdb/internal/p3p"
 	"p3pdb/internal/reffile"
 	"p3pdb/internal/reldb"
@@ -501,12 +502,44 @@ func (s *Site) MatchPolicyCtx(ctx context.Context, prefXML, policyName string, e
 	return s.matchLocked(ctx, prefXML, policyName, engine)
 }
 
+// engineObs is one engine's observability instrument set, resolved once
+// at init so matchLocked only touches atomics.
+type engineObs struct {
+	total   *obs.Counter   // matches attempted
+	errs    *obs.Counter   // matches that returned an error
+	steps   *obs.Counter   // evaluator steps charged (governed matches)
+	latency *obs.Histogram // whole-match wall time, µs
+	convert *obs.Histogram // translation time, µs (successful matches)
+	query   *obs.Histogram // evaluation time, µs (successful matches)
+}
+
+// matchObs holds per-engine instruments, indexed by Engine. The names
+// ("core.match.sql.total", ...) are the reconciliation anchor: the
+// per-engine totals must add up to the server's request counts, which
+// the metrics invariant tests assert.
+var matchObs = func() [4]engineObs {
+	var a [4]engineObs
+	for _, e := range Engines {
+		n := "core.match." + e.ShortName()
+		a[e] = engineObs{
+			total:   obs.GetCounter(n + ".total"),
+			errs:    obs.GetCounter(n + ".errors"),
+			steps:   obs.GetCounter(n + ".steps"),
+			latency: obs.GetHistogram(n + ".latency_us"),
+			convert: obs.GetHistogram(n + ".convert_us"),
+			query:   obs.GetHistogram(n + ".query_us"),
+		}
+	}
+	return a
+}()
+
 func (s *Site) matchLocked(ctx context.Context, prefXML, policyName string, engine Engine) (Decision, error) {
 	// One meter spans all of this match's rule evaluations, whatever the
 	// engine, so the budget bounds the whole preference rather than one
 	// statement. Nil (free) when there is neither a budget nor a
 	// cancellable context.
 	m := resource.NewMeter(ctx, s.matchBudget)
+	start := time.Now()
 	var d Decision
 	var err error
 	switch engine {
@@ -521,9 +554,22 @@ func (s *Site) matchLocked(ctx context.Context, prefXML, policyName string, engi
 	default:
 		return Decision{}, fmt.Errorf("core: unknown engine %d", engine)
 	}
+	io := &matchObs[engine]
+	io.total.Inc()
+	io.steps.Add(m.Steps())
+	io.latency.ObserveDuration(time.Since(start))
+	// Annotate the request span (if the caller started one): all Span
+	// methods are nil-safe, so unobserved matches pay nothing here.
+	span := obs.SpanFromContext(ctx)
+	span.Annotate("engine", engine.ShortName())
+	span.Annotate("policy", policyName)
+	span.AddSteps(m.Steps())
 	if err != nil {
+		io.errs.Inc()
 		return Decision{}, err
 	}
+	io.convert.ObserveDuration(d.Convert)
+	io.query.ObserveDuration(d.Query)
 	d.PolicyName = policyName
 	d.Engine = engine
 	s.recordConflict(d)

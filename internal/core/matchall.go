@@ -7,6 +7,20 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"p3pdb/internal/obs"
+)
+
+// Worker-pool observability (obs registry, DESIGN.md §8): batches run,
+// per-policy matches fanned out, queue wait (batch start → worker claims
+// the policy, the time an item spent waiting for a worker slot), and
+// early stops (policies never attempted because the batch context ended).
+var (
+	obsBatches    = obs.GetCounter("core.matchall.batches")
+	obsBatchItems = obs.GetCounter("core.matchall.policies")
+	obsEarlyStops = obs.GetCounter("core.matchall.early_stops")
+	obsQueueWait  = obs.GetHistogram("core.matchall.queue_wait_us")
 )
 
 // PolicyError records one policy's failure inside a batch match, so
@@ -50,6 +64,7 @@ func (s *Site) MatchAllCtx(ctx context.Context, prefXML string, engine Engine) (
 	if len(names) == 0 {
 		return nil, nil
 	}
+	obsBatches.Inc()
 	decisions := make([]Decision, len(names))
 	errs := make([]error, len(names))
 	attempted := make([]bool, len(names))
@@ -58,6 +73,11 @@ func (s *Site) MatchAllCtx(ctx context.Context, prefXML string, engine Engine) (
 	if workers > len(names) {
 		workers = len(names)
 	}
+	// tracing gates the per-policy child spans: a span is a small
+	// allocation per policy, worth paying only when someone is reading
+	// the trace. Metrics (queue wait, counters) are always on.
+	tracing := obs.TracingEnabled()
+	batchStart := time.Now()
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -70,14 +90,28 @@ func (s *Site) MatchAllCtx(ctx context.Context, prefXML string, engine Engine) (
 					return
 				}
 				attempted[i] = true
+				obsBatchItems.Inc()
+				obsQueueWait.ObserveDuration(time.Since(batchStart))
 				pctx := ctx
+				var ps *obs.Span
+				if tracing {
+					pctx, ps = obs.StartSpan(pctx, "matchall.policy")
+				}
 				if s.perPolicyTimeout > 0 {
 					var cancel context.CancelFunc
-					pctx, cancel = context.WithTimeout(ctx, s.perPolicyTimeout)
+					pctx, cancel = context.WithTimeout(pctx, s.perPolicyTimeout)
 					decisions[i], errs[i] = s.MatchPolicyCtx(pctx, prefXML, names[i], engine)
 					cancel()
 				} else {
 					decisions[i], errs[i] = s.MatchPolicyCtx(pctx, prefXML, names[i], engine)
+				}
+				if ps != nil {
+					if errs[i] != nil {
+						ps.SetOutcome("error")
+					} else {
+						ps.SetOutcome("ok")
+					}
+					ps.End()
 				}
 			}
 		}()
@@ -91,6 +125,7 @@ func (s *Site) MatchAllCtx(ctx context.Context, prefXML string, engine Engine) (
 		case !attempted[i]:
 			// The batch context ended before a worker reached this
 			// policy; ctx.Err() below reports why.
+			obsEarlyStops.Inc()
 		case errs[i] != nil:
 			failures = append(failures, &PolicyError{Policy: name, Err: errs[i]})
 		default:

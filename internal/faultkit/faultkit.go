@@ -37,8 +37,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"p3pdb/internal/obs"
 	"p3pdb/internal/resource"
 )
+
+// obsInjections counts fault firings process-wide; per-point counts are
+// registered dynamically as "faultkit.injections.<point>" (firings are
+// rare, so the registry lookup is off any hot path).
+var obsInjections = obs.GetCounter("faultkit.injections")
 
 // ErrInjected is the error returned by an "error"-mode fault. Tests
 // assert on it with errors.Is to prove an injected failure surfaced as a
@@ -142,6 +148,8 @@ func Inject(name string) error {
 		return nil
 	}
 	f.firings.Add(1)
+	obsInjections.Inc()
+	obs.GetCounter("faultkit.injections." + name).Inc()
 	switch f.mode {
 	case "latency":
 		time.Sleep(f.sleep)

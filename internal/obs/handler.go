@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// Handler serves a registry's snapshot over HTTP: plain "name value"
+// text by default, the full JSON snapshot (histogram buckets included)
+// with ?format=json or an Accept header preferring application/json.
+// Mounted at GET /metrics by the server.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		snap := r.Snapshot()
+		if wantsJSON(req) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(snap)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(snap.Text()))
+	})
+}
+
+func wantsJSON(req *http.Request) bool {
+	if req.URL.Query().Get("format") == "json" {
+		return true
+	}
+	return strings.Contains(req.Header.Get("Accept"), "application/json")
+}

@@ -1,0 +1,431 @@
+// Package obs is the matching pipeline's always-on observability layer:
+// lock-cheap counters, gauges, and fixed-bucket histograms, plus the
+// per-request trace spans of span.go. The paper's evaluation (Sections
+// 6–7) is quantitative — where time and steps go inside a match — and
+// this package makes the same accounting visible in a live server, not
+// just in the offline bench harness.
+//
+// Design constraints, in order:
+//
+//  1. The hot path (a row scanned, a node walked, a cache probed) must
+//     pay one atomic add and allocate nothing. Metrics are therefore
+//     plain atomics behind stable pointers: packages resolve their
+//     instruments once, at init, and only touch atomics afterwards.
+//  2. Reads must not stall writers: Snapshot loads each atomic without
+//     any registry-wide stop-the-world, so totals are per-metric exact
+//     but only approximately simultaneous — fine for monitoring, and
+//     tests that need exact reconciliation quiesce the workload first.
+//  3. Everything is stdlib. /metrics renders the same snapshot as text
+//     ("name value" lines) and JSON; /debug/vars exposes it via expvar.
+//
+// Metric names are dotted paths, subsystem first: "reldb.rows_scanned",
+// "core.match.sql.total", "server.match.latency_us". The registry is
+// flat; dots are convention, not structure. DESIGN.md §8 is the name
+// taxonomy.
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// stripes spreads each hot instrument across this many cache-line-padded
+// slots. A single shared atomic becomes a contended cache line once many
+// cores write it per match (the parallel benchmarks do exactly that);
+// striping trades 8x memory for near-linear write scalability, and reads
+// sum the stripes.
+const stripes = 8
+
+// stripedInt64 is one padded slot: the counter value plus enough padding
+// to keep neighbouring slots on distinct 64-byte cache lines.
+type stripedInt64 struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// stripeIdx picks this goroutine's slot. There is no goroutine-local
+// storage in the stdlib, so it hashes the address of a stack variable:
+// stable within a goroutine (same frame depth, same address), spread
+// across goroutines (distinct stacks), and costs two ALU ops.
+func stripeIdx() int {
+	var b byte
+	return int((uintptr(unsafe.Pointer(&b)) >> 10) & (stripes - 1))
+}
+
+// Counter is a monotonically increasing striped atomic counter. The zero
+// value is ready to use, but instruments should come from a Registry so
+// they appear in snapshots.
+type Counter struct {
+	s [stripes]stripedInt64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.s[stripeIdx()].v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reports the current count: the sum of the stripes, each loaded
+// atomically (exact once writers quiesce, monotone always).
+func (c *Counter) Value() int64 {
+	var total int64
+	for i := range c.s {
+		total += c.s[i].v.Load()
+	}
+	return total
+}
+
+// Gauge is an atomic instantaneous value (cache entries, active
+// requests). Unlike a Counter it can go down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value reports the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the number of exponential histogram buckets: bucket i
+// counts observations v with 2^(i-1) < v <= 2^i (bucket 0 counts v <= 1),
+// and the last bucket absorbs everything larger. With 30 buckets a
+// microsecond-latency histogram spans 1µs to ~9min, and a step histogram
+// spans 1 to ~5e8 — both comfortably beyond anything the budgets allow.
+const histBuckets = 30
+
+// histStripe is one stripe of a histogram: its own count, sum, and
+// buckets, 256 bytes total so stripes start on distinct cache lines.
+type histStripe struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Histogram is a fixed-bucket exponential histogram, striped like
+// Counter. Observe is three atomic adds inside this goroutine's stripe;
+// there is no lock and no allocation. Negative observations clamp to
+// bucket 0.
+type Histogram struct {
+	s [stripes]histStripe
+}
+
+// bucketFor maps an observation to its bucket index.
+func bucketFor(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	// bits.Len64(v-1) is ceil(log2(v)) for v >= 2.
+	b := bits.Len64(uint64(v - 1))
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// BucketBound reports the inclusive upper bound of bucket i (the last
+// bucket's bound is the largest int64).
+func BucketBound(i int) int64 {
+	if i >= histBuckets-1 {
+		return 1<<63 - 1
+	}
+	return 1 << uint(i)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	st := &h.s[stripeIdx()]
+	st.count.Add(1)
+	st.sum.Add(v)
+	st.buckets[bucketFor(v)].Add(1)
+}
+
+// ObserveDuration records a duration in microseconds, the histogram unit
+// every *.latency_us metric uses.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Microseconds()) }
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 {
+	var total int64
+	for i := range h.s {
+		total += h.s[i].count.Load()
+	}
+	return total
+}
+
+// Sum reports the sum of observed values.
+func (h *Histogram) Sum() int64 {
+	var total int64
+	for i := range h.s {
+		total += h.s[i].sum.Load()
+	}
+	return total
+}
+
+// snapshot captures the histogram's atomics, summing the stripes.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	var buckets [histBuckets]int64
+	for i := range h.s {
+		st := &h.s[i]
+		s.Count += st.count.Load()
+		s.Sum += st.sum.Load()
+		for b := range st.buckets {
+			buckets[b] += st.buckets[b].Load()
+		}
+	}
+	for b, n := range buckets {
+		if n > 0 {
+			s.Buckets = append(s.Buckets, BucketCount{Le: BucketBound(b), Count: n})
+		}
+	}
+	return s
+}
+
+// Registry holds named instruments. Lookups (Counter/Gauge/Histogram)
+// are get-or-create and safe for concurrent use, but they take a lock —
+// callers on hot paths resolve instruments once and keep the pointer.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Default is the process-wide registry every pipeline package registers
+// into. Tests assert on deltas between snapshots, so sharing one
+// registry across sites in a process is safe.
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c := r.counters[name]; c != nil {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g := r.gauges[name]; g != nil {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h := r.histograms[name]; h != nil {
+		return h
+	}
+	h = &Histogram{}
+	r.histograms[name] = h
+	return h
+}
+
+// GetCounter returns the named counter or nil, without creating it.
+func (r *Registry) GetCounter(name string) *Counter {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.counters[name]
+}
+
+// Counter, Gauge, and Histogram resolve instruments in the Default
+// registry; pipeline packages call these from var initializers.
+func GetCounter(name string) *Counter     { return Default.Counter(name) }
+func GetGauge(name string) *Gauge         { return Default.Gauge(name) }
+func GetHistogram(name string) *Histogram { return Default.Histogram(name) }
+
+// BucketCount is one non-empty histogram bucket: Count observations at
+// most Le.
+type BucketCount struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is a histogram's state at snapshot time. Buckets
+// holds only non-empty buckets, cumulative nowhere: each bucket's Count
+// is that bucket's own.
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     int64         `json:"sum"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket
+// distribution, reporting the upper bound of the bucket the quantile
+// falls in. Zero when the histogram is empty.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if seen >= rank {
+			return b.Le
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].Le
+}
+
+// Mean reports the average observed value, zero when empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Snapshot is a point-in-time copy of a registry's instruments. Each
+// value is read atomically; values are not mutually simultaneous (see
+// the package comment).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every instrument's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// Delta returns the counter and histogram-count changes since prev
+// (this minus prev). Gauges are instantaneous, so the newer value is
+// kept as-is. Instruments absent from prev count from zero.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for name, v := range s.Counters {
+		d.Counters[name] = v - prev.Counters[name]
+	}
+	for name, v := range s.Gauges {
+		d.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		p := prev.Histograms[name]
+		prevCounts := make(map[int64]int64, len(p.Buckets))
+		for _, b := range p.Buckets {
+			prevCounts[b.Le] = b.Count
+		}
+		var buckets []BucketCount
+		for _, b := range h.Buckets {
+			if n := b.Count - prevCounts[b.Le]; n > 0 {
+				buckets = append(buckets, BucketCount{Le: b.Le, Count: n})
+			}
+		}
+		d.Histograms[name] = HistogramSnapshot{Count: h.Count - p.Count, Sum: h.Sum - p.Sum, Buckets: buckets}
+	}
+	return d
+}
+
+// Text renders the snapshot as sorted "name value" lines — counters and
+// gauges verbatim, histograms as .count/.sum/.p50/.p99 derived lines —
+// the format GET /metrics serves by default.
+func (s Snapshot) Text() string {
+	var lines []string
+	for name, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+	}
+	for name, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+	}
+	for name, h := range s.Histograms {
+		lines = append(lines,
+			fmt.Sprintf("%s.count %d", name, h.Count),
+			fmt.Sprintf("%s.sum %d", name, h.Sum),
+			fmt.Sprintf("%s.p50 %d", name, h.Quantile(0.50)),
+			fmt.Sprintf("%s.p99 %d", name, h.Quantile(0.99)),
+		)
+	}
+	sort.Strings(lines)
+	var b []byte
+	for _, l := range lines {
+		b = append(b, l...)
+		b = append(b, '\n')
+	}
+	return string(b)
+}
+
+// expvarOnce guards the one-time expvar publication: expvar.Publish
+// panics on duplicate names, and tests build many servers per process.
+var expvarOnce sync.Once
+
+// PublishExpvar exposes the Default registry under the "p3p" expvar,
+// so the standard /debug/vars page carries the pipeline's metrics next
+// to the runtime's memstats. Safe to call any number of times.
+func PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("p3p", expvar.Func(func() any { return Default.Snapshot() }))
+	})
+}

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.total") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+	g := r.Gauge("a.size")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3},
+		{8, 3}, {9, 4}, {1024, 10}, {1025, 11}, {1 << 40, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketFor(c.v); got != c.want {
+			t.Errorf("bucketFor(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Every value must land in a bucket whose bound is >= the value
+	// (the bucket invariant quantile estimation relies on).
+	for v := int64(1); v < 1<<20; v = v*3 + 1 {
+		if b := BucketBound(bucketFor(v)); b < v {
+			t.Fatalf("value %d landed in bucket with bound %d", v, b)
+		}
+	}
+}
+
+func TestHistogramSnapshotAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	if s.Count != 100 || s.Sum != 5050 {
+		t.Fatalf("count/sum = %d/%d, want 100/5050", s.Count, s.Sum)
+	}
+	if m := s.Mean(); m != 50.5 {
+		t.Fatalf("mean = %v, want 50.5", m)
+	}
+	// p50 of 1..100 falls in the bucket bounded by 64; p99 in 128.
+	if q := s.Quantile(0.5); q != 64 {
+		t.Fatalf("p50 = %d, want 64", q)
+	}
+	if q := s.Quantile(0.99); q != 128 {
+		t.Fatalf("p99 = %d, want 128", q)
+	}
+	h.ObserveDuration(3 * time.Millisecond)
+	if got := h.Sum(); got != 5050+3000 {
+		t.Fatalf("sum after ObserveDuration = %d, want %d", got, 5050+3000)
+	}
+}
+
+// TestConcurrentHammering is the metrics invariant test: many goroutines
+// hammer the same instruments (including racing get-or-create lookups)
+// and the totals must be exact. Run under -race in CI.
+func TestConcurrentHammering(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Resolve through the registry every time to race the
+				// get-or-create path too.
+				r.Counter("hammer.total").Inc()
+				r.Gauge("hammer.gauge").Add(1)
+				r.Histogram("hammer.hist").Observe(int64(i%1024 + 1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	const want = workers * perWorker
+	if got := r.Counter("hammer.total").Value(); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+	if got := r.Gauge("hammer.gauge").Value(); got != want {
+		t.Fatalf("gauge = %d, want %d", got, want)
+	}
+	h := r.Snapshot().Histograms["hammer.hist"]
+	if h.Count != want {
+		t.Fatalf("histogram count = %d, want %d", h.Count, want)
+	}
+	var bucketTotal int64
+	for _, b := range h.Buckets {
+		bucketTotal += b.Count
+	}
+	if bucketTotal != want {
+		t.Fatalf("bucket total = %d, want %d (observations lost between buckets)", bucketTotal, want)
+	}
+}
+
+// TestSnapshotWhileWriting asserts snapshots taken mid-write see
+// monotonically non-decreasing counters (no torn or negative reads).
+func TestSnapshotWhileWriting(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mono")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50000; i++ {
+			c.Inc()
+		}
+	}()
+	var last int64
+	for i := 0; i < 100; i++ {
+		v := r.Snapshot().Counters["mono"]
+		if v < last {
+			t.Fatalf("counter went backwards: %d after %d", v, last)
+		}
+		last = v
+	}
+	<-done
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("d.total")
+	h := r.Histogram("d.lat")
+	c.Add(3)
+	h.Observe(10)
+	before := r.Snapshot()
+	c.Add(7)
+	h.Observe(20)
+	h.Observe(30)
+	d := r.Snapshot().Delta(before)
+	if d.Counters["d.total"] != 7 {
+		t.Fatalf("counter delta = %d, want 7", d.Counters["d.total"])
+	}
+	if hd := d.Histograms["d.lat"]; hd.Count != 2 || hd.Sum != 50 {
+		t.Fatalf("histogram delta = %+v, want count 2 sum 50", hd)
+	}
+}
+
+func TestTextRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.total").Add(2)
+	r.Gauge("a.size").Set(9)
+	r.Histogram("c.lat").Observe(5)
+	text := r.Snapshot().Text()
+	for _, want := range []string{"a.size 9\n", "b.total 2\n", "c.lat.count 1\n", "c.lat.sum 5\n", "c.lat.p50 8\n"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text output missing %q:\n%s", want, text)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	if !sortedLines(lines) {
+		t.Fatalf("text output not sorted:\n%s", text)
+	}
+}
+
+func sortedLines(lines []string) bool {
+	for i := 1; i < len(lines); i++ {
+		if lines[i] < lines[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestHandlerTextAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h.total").Add(4)
+	r.Histogram("h.lat").Observe(100)
+	h := Handler(r)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "h.total 4") {
+		t.Fatalf("text response: %d %q", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if snap.Counters["h.total"] != 4 || snap.Histograms["h.lat"].Count != 1 {
+		t.Fatalf("JSON snapshot wrong: %+v", snap)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/metrics", nil))
+	if rec.Code != 405 {
+		t.Fatalf("POST /metrics = %d, want 405", rec.Code)
+	}
+}

@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// A Span is one timed stage of a request: name, start, duration, step
+// count, and outcome, plus small string attributes (engine, policy,
+// abort reason). Spans ride the context.Context the same way
+// resource.Meter does, so any pipeline stage can annotate the request
+// it is serving without threading a tracer through every signature.
+//
+// Spans form a tree: StartSpan under a context that already carries a
+// span attaches a child. When a *root* span ends and a trace writer is
+// installed (SetTraceWriter / the server's -trace-log flag), the whole
+// tree is emitted as one JSON line. With no writer installed the only
+// cost of an un-annotated span is a clock reading and one small
+// allocation; pipeline stages therefore annotate unconditionally.
+//
+// A Span's setters are safe for concurrent use (MatchAll workers
+// annotate children of one request span in parallel), but End must
+// happen-after every annotation of that span.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	dur      time.Duration
+	steps    int64
+	outcome  string
+	attrs    []spanAttr
+	children []*Span
+	parent   *Span
+	ended    bool
+}
+
+type spanAttr struct{ k, v string }
+
+// spanKey carries the active span through a context.
+type spanKey struct{}
+
+// StartSpan begins a span named name and returns a context carrying it.
+// If ctx already carries a span the new one is attached as its child;
+// otherwise it is a root span, and its End emits a trace line when
+// tracing is enabled.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	s := &Span{name: name, start: time.Now(), parent: SpanFromContext(ctx)}
+	if s.parent != nil {
+		s.parent.mu.Lock()
+		s.parent.children = append(s.parent.children, s)
+		s.parent.mu.Unlock()
+	}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// SpanFromContext returns the span carried by ctx, or nil. All Span
+// methods are nil-safe, so callers annotate without checking.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// SetOutcome records how the span ended ("ok", "budget-exceeded",
+// "deadline-exceeded", "error", ...). The last call wins.
+func (s *Span) SetOutcome(outcome string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.outcome = outcome
+	s.mu.Unlock()
+}
+
+// AddSteps adds evaluator work (resource.Meter steps) to the span.
+func (s *Span) AddSteps(n int64) {
+	if s == nil || n == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.steps += n
+	s.mu.Unlock()
+}
+
+// Annotate attaches one string attribute (engine, policy, uri, ...).
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, spanAttr{key, value})
+	s.mu.Unlock()
+}
+
+// End closes the span, fixing its duration. Ending a root span emits
+// the trace line if tracing is enabled; ending twice is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.dur = time.Since(s.start)
+	isRoot := s.parent == nil
+	s.mu.Unlock()
+	if isRoot {
+		emitTrace(s)
+	}
+}
+
+// Duration reports the span's duration (zero until End).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dur
+}
+
+// Steps reports the work recorded on the span so far.
+func (s *Span) Steps() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.steps
+}
+
+// Outcome reports the recorded outcome.
+func (s *Span) Outcome() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.outcome
+}
+
+// TraceLine is the JSON shape of one emitted span (and, recursively,
+// its children). One request = one root TraceLine = one output line.
+type TraceLine struct {
+	Span    string            `json:"span"`
+	StartUS int64             `json:"startUs"` // µs since Unix epoch
+	DurUS   int64             `json:"durUs"`
+	Steps   int64             `json:"steps,omitempty"`
+	Outcome string            `json:"outcome,omitempty"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+	Spans   []TraceLine       `json:"spans,omitempty"`
+}
+
+// traceLine converts the span tree to its JSON shape.
+func (s *Span) traceLine() TraceLine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tl := TraceLine{
+		Span:    s.name,
+		StartUS: s.start.UnixMicro(),
+		DurUS:   s.dur.Microseconds(),
+		Steps:   s.steps,
+		Outcome: s.outcome,
+	}
+	if len(s.attrs) > 0 {
+		tl.Attrs = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			tl.Attrs[a.k] = a.v
+		}
+	}
+	for _, c := range s.children {
+		tl.Spans = append(tl.Spans, c.traceLine())
+	}
+	return tl
+}
+
+// traceSink is the installed trace writer. An atomic pointer keeps the
+// disabled check (the common case) to one load; the mutex serializes
+// actual line writes so concurrent requests do not interleave bytes.
+var traceSink atomic.Pointer[lockedWriter]
+
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// SetTraceWriter installs w as the destination for per-request trace
+// lines (one JSON object per line). A nil w disables tracing.
+func SetTraceWriter(w io.Writer) {
+	if w == nil {
+		traceSink.Store(nil)
+		return
+	}
+	traceSink.Store(&lockedWriter{w: w})
+}
+
+// TracingEnabled reports whether a trace writer is installed.
+func TracingEnabled() bool { return traceSink.Load() != nil }
+
+func emitTrace(s *Span) {
+	lw := traceSink.Load()
+	if lw == nil {
+		return
+	}
+	line, err := json.Marshal(s.traceLine())
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	lw.mu.Lock()
+	_, _ = lw.w.Write(line)
+	lw.mu.Unlock()
+}

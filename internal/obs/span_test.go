@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanNilSafety(t *testing.T) {
+	var s *Span
+	s.SetOutcome("ok")
+	s.AddSteps(5)
+	s.Annotate("k", "v")
+	s.End()
+	if s.Duration() != 0 || s.Steps() != 0 || s.Outcome() != "" {
+		t.Fatal("nil span reported non-zero state")
+	}
+	if SpanFromContext(context.Background()) != nil {
+		t.Fatal("empty context carried a span")
+	}
+}
+
+func TestSpanTreeAndTraceEmission(t *testing.T) {
+	var buf bytes.Buffer
+	SetTraceWriter(&buf)
+	defer SetTraceWriter(nil)
+
+	ctx, root := StartSpan(context.Background(), "request")
+	root.Annotate("engine", "sql")
+	_, child := StartSpan(ctx, "match")
+	child.AddSteps(42)
+	child.SetOutcome("ok")
+	child.End()
+	root.SetOutcome("ok")
+
+	// A child ending must not emit; only the root does.
+	if buf.Len() != 0 {
+		t.Fatalf("child End emitted a trace line: %q", buf.String())
+	}
+	root.End()
+	root.End() // idempotent
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want exactly 1 trace line, got %d: %q", len(lines), buf.String())
+	}
+	var tl TraceLine
+	if err := json.Unmarshal([]byte(lines[0]), &tl); err != nil {
+		t.Fatalf("trace line is not JSON: %v", err)
+	}
+	if tl.Span != "request" || tl.Outcome != "ok" || tl.Attrs["engine"] != "sql" {
+		t.Fatalf("root line wrong: %+v", tl)
+	}
+	if len(tl.Spans) != 1 || tl.Spans[0].Span != "match" || tl.Spans[0].Steps != 42 {
+		t.Fatalf("child line wrong: %+v", tl.Spans)
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	SetTraceWriter(nil)
+	if TracingEnabled() {
+		t.Fatal("tracing enabled with no writer")
+	}
+	_, s := StartSpan(context.Background(), "r")
+	s.End() // must not panic or emit
+}
+
+// TestConcurrentSpanAnnotation mirrors the MatchAll shape: many workers
+// annotate children of one request span while the parent waits. Run
+// under -race.
+func TestConcurrentSpanAnnotation(t *testing.T) {
+	var buf bytes.Buffer
+	SetTraceWriter(&buf)
+	defer SetTraceWriter(nil)
+
+	ctx, root := StartSpan(context.Background(), "batch")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, s := StartSpan(ctx, "policy")
+			s.AddSteps(1)
+			root.AddSteps(1)
+			s.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	var tl TraceLine
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &tl); err != nil {
+		t.Fatalf("trace line is not JSON: %v", err)
+	}
+	if tl.Steps != 8 || len(tl.Spans) != 8 {
+		t.Fatalf("want 8 steps and 8 children, got %d/%d", tl.Steps, len(tl.Spans))
+	}
+}
+
+// TestConcurrentTraceLinesDoNotInterleave hammers root spans from many
+// goroutines; every output line must be valid standalone JSON.
+func TestConcurrentTraceLinesDoNotInterleave(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	SetTraceWriter(writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	}))
+	defer SetTraceWriter(nil)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_, s := StartSpan(context.Background(), "r")
+				s.SetOutcome("ok")
+				s.End()
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 8*50 {
+		t.Fatalf("want 400 lines, got %d", len(lines))
+	}
+	for _, l := range lines {
+		var tl TraceLine
+		if err := json.Unmarshal([]byte(l), &tl); err != nil {
+			t.Fatalf("interleaved/corrupt line %q: %v", l, err)
+		}
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

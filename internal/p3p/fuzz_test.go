@@ -1,10 +1,33 @@
 package p3p
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// addCorpus seeds the fuzzer with every file in testdata/corpus —
+// realistic documents drawn from the examples and the workload
+// generator, which reach far deeper into the parser than hand-minimized
+// literals.
+func addCorpus(f *testing.F) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "corpus"))
+	if err != nil {
+		f.Fatalf("seed corpus: %v", err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join("testdata", "corpus", e.Name()))
+		if err != nil {
+			f.Fatalf("seed corpus %s: %v", e.Name(), err)
+		}
+		f.Add(string(data))
+	}
+}
 
 // FuzzParsePolicies checks the policy parser never panics, and that any
 // policy it accepts and validates round-trips through serialization.
 func FuzzParsePolicies(f *testing.F) {
+	addCorpus(f)
 	f.Add(VolgaPolicyXML)
 	f.Add(`<POLICY name="p"><STATEMENT><NON-IDENTIFIABLE/></STATEMENT></POLICY>`)
 	f.Add(`<POLICIES><POLICY name="a"><STATEMENT><NON-IDENTIFIABLE/></STATEMENT></POLICY></POLICIES>`)

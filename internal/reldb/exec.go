@@ -10,7 +10,21 @@ import (
 	"sync/atomic"
 
 	"p3pdb/internal/faultkit"
+	"p3pdb/internal/obs"
 	"p3pdb/internal/resource"
+)
+
+// Process-wide observability counters (obs registry, DESIGN.md §8).
+// They aggregate across every DB in the process — per-instance numbers
+// stay available via DB.Stats — and are resolved once here so the hot
+// path only ever touches atomics.
+var (
+	obsStatements   = obs.GetCounter("reldb.statements")
+	obsRowsScanned  = obs.GetCounter("reldb.rows_scanned")
+	obsIndexLookups = obs.GetCounter("reldb.index_lookups")
+	obsViewHits     = obs.GetCounter("reldb.viewcache.hits")
+	obsViewMisses   = obs.GetCounter("reldb.viewcache.misses")
+	obsIndexBuilds  = obs.GetCounter("reldb.derivedindex.builds")
 )
 
 // Typed resource-governance errors, re-exported so reldb callers can
@@ -226,7 +240,9 @@ func (db *DB) ExecStmtCtx(ctx context.Context, stmt Statement, params ...Value) 
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.stats.statements.Add(1)
+	obsStatements.Inc()
 	st := newExecState(db.meterFor(ctx))
+	defer db.finish(st)
 	switch s := stmt.(type) {
 	case *CreateTableStmt:
 		return 0, db.createTable(s)
@@ -296,7 +312,10 @@ func (db *DB) QueryStmtCtx(ctx context.Context, stmt Statement, params ...Value)
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	db.stats.statements.Add(1)
-	return db.execSelect(sel, nil, params, 0, newExecState(db.meterFor(ctx)))
+	obsStatements.Inc()
+	st := newExecState(db.meterFor(ctx))
+	defer db.finish(st)
+	return db.execSelect(sel, nil, params, 0, st)
 }
 
 // QueryExists executes a SELECT and reports whether it produced any row,
@@ -340,7 +359,10 @@ func (db *DB) QueryExistsStmtCtx(ctx context.Context, stmt Statement, params ...
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	db.stats.statements.Add(1)
-	rows, err := db.execSelect(sel, nil, params, 1, newExecState(db.meterFor(ctx)))
+	obsStatements.Inc()
+	st := newExecState(db.meterFor(ctx))
+	defer db.finish(st)
+	rows, err := db.execSelect(sel, nil, params, 1, st)
 	if err != nil {
 		return false, err
 	}
@@ -438,7 +460,7 @@ func (db *DB) execUpdate(s *UpdateStmt, params []Value, st *execState) (int, err
 	var idNums []int
 	var scanErr error
 	t.scan(func(id int, row []Value) bool {
-		db.stats.rowsScanned.Add(1)
+		st.rows++
 		if err := st.step(1); err != nil {
 			scanErr = err
 			return false
@@ -492,7 +514,7 @@ func (db *DB) execDelete(s *DeleteStmt, params []Value, st *execState) (int, err
 	var ids []int
 	var scanErr error
 	t.scan(func(id int, row []Value) bool {
-		db.stats.rowsScanned.Add(1)
+		st.rows++
 		if err := st.step(1); err != nil {
 			scanErr = err
 			return false
@@ -540,6 +562,26 @@ type execState struct {
 	// entered), aborting with ErrBudgetExceeded / ErrCanceled. Nil means
 	// ungoverned; charging a nil meter is a no-op.
 	meter *resource.Meter
+	// rows and idxLookups accumulate this statement's work locally (the
+	// statement runs on one goroutine) and are flushed to the DB's
+	// atomic stats and the obs registry once, at statement end — one
+	// atomic add per statement instead of one per row.
+	rows       int64
+	idxLookups int64
+}
+
+// finish flushes a statement's locally accumulated work counters to the
+// DB's stats and the process-wide obs registry. Deferred by every
+// statement entry point.
+func (db *DB) finish(st *execState) {
+	if st.rows > 0 {
+		db.stats.rowsScanned.Add(st.rows)
+		obsRowsScanned.Add(st.rows)
+	}
+	if st.idxLookups > 0 {
+		db.stats.indexLookups.Add(st.idxLookups)
+		obsIndexLookups.Add(st.idxLookups)
+	}
 }
 
 // step charges n units of row-evaluator work against the statement's
@@ -591,6 +633,7 @@ func (db *DB) bareViewSnapshot(sel *SelectStmt) (*viewSnapshot, []string, bool) 
 	defer db.viewMu.Unlock()
 	snap := db.viewCache[key]
 	if snap == nil || snap.version != t.version {
+		obsViewMisses.Inc()
 		rows := make([][]Value, 0, t.live)
 		t.scan(func(_ int, row []Value) bool {
 			rows = append(rows, row)
@@ -598,6 +641,8 @@ func (db *DB) bareViewSnapshot(sel *SelectStmt) (*viewSnapshot, []string, bool) 
 		})
 		snap = &viewSnapshot{version: t.version, rows: rows, indexes: map[string]map[string][]int{}}
 		db.viewCache[key] = snap
+	} else {
+		obsViewHits.Inc()
 	}
 	return snap, cols, true
 }
@@ -829,7 +874,7 @@ func (db *DB) execSelect(sel *SelectStmt, outer *env, params []Value, needRows i
 			}
 			var scanErr error
 			src.table.scan(func(_ int, row []Value) bool {
-				db.stats.rowsScanned.Add(1)
+				st.rows++
 				if err := st.step(1); err != nil {
 					scanErr = err
 					return false
@@ -856,7 +901,7 @@ func (db *DB) execSelect(sel *SelectStmt, outer *env, params []Value, needRows i
 			return nil
 		}
 		for _, row := range src.rows {
-			db.stats.rowsScanned.Add(1)
+			st.rows++
 			if err := st.step(1); err != nil {
 				return err
 			}
@@ -1005,7 +1050,7 @@ func (db *DB) indexCandidates(src *fromSource, conjuncts []Expr, boundBefore []*
 		}
 		vals[i] = v
 	}
-	db.stats.indexLookups.Add(1)
+	ctx.st.idxLookups++
 	return src.table.lookup(ix, vals), true
 }
 
@@ -1097,11 +1142,12 @@ func (db *DB) derivedCandidates(src *fromSource, conjuncts []Expr, boundBefore [
 		}
 		vals[i] = v
 	}
-	db.stats.indexLookups.Add(1)
+	st.idxLookups++
 	return buckets[encodeKey(vals)], true
 }
 
 func buildDerivedIndex(rows [][]Value, ords []int) map[string][]int {
+	obsIndexBuilds.Inc()
 	buckets := make(map[string][]int, len(rows))
 	vals := make([]Value, len(ords))
 	for id, row := range rows {

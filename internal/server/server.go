@@ -10,14 +10,17 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"p3pdb/internal/core"
 	"p3pdb/internal/faultkit"
+	"p3pdb/internal/obs"
 	"p3pdb/internal/reldb"
 	"p3pdb/internal/resource"
 )
@@ -52,20 +55,88 @@ func New(site *core.Site) *Server {
 
 // NewWithOptions wraps a site.
 func NewWithOptions(site *core.Site, opts Options) *Server {
+	obs.PublishExpvar()
 	s := &Server{site: site, mux: http.NewServeMux(), opts: opts}
-	s.mux.HandleFunc("/policies", s.handlePolicies)
-	s.mux.HandleFunc("/policies/", s.handlePolicyByName)
-	s.mux.HandleFunc("/compact/", s.handleCompact)
-	s.mux.HandleFunc("/reference", s.handleReference)
-	s.mux.HandleFunc("/match", s.handleMatch)
-	s.mux.HandleFunc("/matchpolicy", s.handleMatchPolicy)
-	s.mux.HandleFunc("/matchcookie", s.handleMatchCookie)
-	s.mux.HandleFunc("/matchall", s.handleMatchAll)
-	s.mux.HandleFunc("/analytics", s.handleAnalytics)
+	s.mux.HandleFunc("/policies", instrument("policies", s.handlePolicies))
+	s.mux.HandleFunc("/policies/", instrument("policy", s.handlePolicyByName))
+	s.mux.HandleFunc("/compact/", instrument("compact", s.handleCompact))
+	s.mux.HandleFunc("/reference", instrument("reference", s.handleReference))
+	s.mux.HandleFunc("/match", instrument("match", s.handleMatch))
+	s.mux.HandleFunc("/matchpolicy", instrument("matchpolicy", s.handleMatchPolicy))
+	s.mux.HandleFunc("/matchcookie", instrument("matchcookie", s.handleMatchCookie))
+	s.mux.HandleFunc("/matchall", instrument("matchall", s.handleMatchAll))
+	s.mux.HandleFunc("/analytics", instrument("analytics", s.handleAnalytics))
+	s.mux.Handle("/metrics", obs.Handler(obs.Default))
+	s.mux.Handle("/debug/vars", expvar.Handler())
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	return s
+}
+
+// statusWriter captures the response status so the instrumentation can
+// count errors and tag spans without changing handler signatures.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// instrument wraps a handler with the server's observability (DESIGN.md
+// §8): a request counter, an error counter (4xx/5xx responses), and a
+// latency histogram, all named server.<handler>.*. When a trace writer is
+// installed it also opens a request root span carried on the request
+// context, so the engines' child spans and annotations hang off it; the
+// span's outcome defaults to ok/error by status, unless a governance
+// classification (writeMatchError) set something more precise.
+func instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	reqs := obs.GetCounter("server." + name + ".requests")
+	errs := obs.GetCounter("server." + name + ".errors")
+	lat := obs.GetHistogram("server." + name + ".latency_us")
+	return func(w http.ResponseWriter, r *http.Request) {
+		reqs.Inc()
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		var span *obs.Span
+		if obs.TracingEnabled() {
+			var ctx context.Context
+			ctx, span = obs.StartSpan(r.Context(), "server."+name)
+			r = r.WithContext(ctx)
+		}
+		h(sw, r)
+		lat.ObserveDuration(time.Since(start))
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		if status >= 400 {
+			errs.Inc()
+		}
+		if span != nil {
+			span.Annotate("status", strconv.Itoa(status))
+			if span.Outcome() == "" {
+				if status >= 400 {
+					span.SetOutcome("error")
+				} else {
+					span.SetOutcome("ok")
+				}
+			}
+			span.End()
+		}
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -147,11 +218,14 @@ func classifyMatchError(err error) (status int, reason string) {
 
 // writeMatchError reports a matching failure, with the governance reason
 // in both the JSON envelope and a Server-Timing aborted entry so proxies
-// and browser devtools see why the stage was cut short.
-func writeMatchError(w http.ResponseWriter, err error) {
+// and browser devtools see why the stage was cut short. The reason also
+// becomes the request span's outcome, so trace lines distinguish
+// budget-exceeded from deadline-exceeded without parsing messages.
+func writeMatchError(w http.ResponseWriter, r *http.Request, err error) {
 	status, reason := classifyMatchError(err)
 	if reason != "" {
 		w.Header().Set("Server-Timing", fmt.Sprintf("aborted;desc=%q", reason))
+		obs.SpanFromContext(r.Context()).SetOutcome(reason)
 	}
 	writeJSON(w, status, apiError{Error: err.Error(), Reason: reason})
 }
@@ -325,7 +399,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := faultkit.Inject(faultkit.PointServerMatch); err != nil {
-		writeMatchError(w, err)
+		writeMatchError(w, r, err)
 		return
 	}
 	ctx, cancel := s.matchContext(r)
@@ -333,7 +407,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	d, err := s.site.MatchURICtx(ctx, pref, uri, engine)
 	if err != nil {
-		writeMatchError(w, err)
+		writeMatchError(w, r, err)
 		return
 	}
 	resp := toResponse(d)
@@ -365,14 +439,14 @@ func (s *Server) matchWith(w http.ResponseWriter, r *http.Request,
 		return
 	}
 	if err := faultkit.Inject(faultkit.PointServerMatch); err != nil {
-		writeMatchError(w, err)
+		writeMatchError(w, r, err)
 		return
 	}
 	ctx, cancel := s.matchContext(r)
 	defer cancel()
 	d, err := match(ctx, pref, engine)
 	if err != nil {
-		writeMatchError(w, err)
+		writeMatchError(w, r, err)
 		return
 	}
 	setServerTiming(w, d)
@@ -440,7 +514,7 @@ func (s *Server) handleMatchAll(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := faultkit.Inject(faultkit.PointServerLoadAll); err != nil {
-		writeMatchError(w, err)
+		writeMatchError(w, r, err)
 		return
 	}
 	ctx, cancel := s.matchContext(r)
@@ -453,6 +527,7 @@ func (s *Server) handleMatchAll(w http.ResponseWriter, r *http.Request) {
 		status, reason := classifyMatchError(err)
 		if reason != "" {
 			w.Header().Set("Server-Timing", fmt.Sprintf("aborted;desc=%q", reason))
+			obs.SpanFromContext(r.Context()).SetOutcome(reason)
 		}
 		writeJSON(w, status, apiError{Error: err.Error(), Reason: reason, Errors: splitJoined(err)})
 		return

@@ -1,10 +1,32 @@
 package xmldom
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// addCorpus seeds the fuzzer with every file in testdata/corpus — full
+// P3P policies, APPEL preferences, and a reference file, so mutation
+// starts from documents with realistic nesting and namespace use.
+func addCorpus(f *testing.F) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "corpus"))
+	if err != nil {
+		f.Fatalf("seed corpus: %v", err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join("testdata", "corpus", e.Name()))
+		if err != nil {
+			f.Fatalf("seed corpus %s: %v", e.Name(), err)
+		}
+		f.Add(string(data))
+	}
+}
 
 // FuzzParseString checks the parser never panics and that anything it
 // accepts serializes and reparses to a structurally identical tree.
 func FuzzParseString(f *testing.F) {
+	addCorpus(f)
 	seeds := []string{
 		`<A/>`,
 		`<A a="1"><B>text</B></A>`,

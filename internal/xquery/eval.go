@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"p3pdb/internal/faultkit"
+	"p3pdb/internal/obs"
 	"p3pdb/internal/resource"
 	"p3pdb/internal/xmldom"
 )
@@ -99,7 +100,19 @@ type Evaluator struct {
 	// evaluation, bounding adversarially deep queries and honoring
 	// cancellation. Nil means ungoverned.
 	meter *resource.Meter
+	// visited counts nodes examined by path evaluation locally (an
+	// evaluator serves one goroutine); Run flushes the delta to the obs
+	// registry, keeping the per-node path free of shared atomics.
+	visited int64
 }
+
+// Observability counters for the native XQuery engine (obs registry,
+// DESIGN.md §8).
+var (
+	obsQueries      = obs.GetCounter("xquery.queries")
+	obsQueryErrors  = obs.GetCounter("xquery.query_errors")
+	obsNodesVisited = obs.GetCounter("xquery.nodes_visited")
+)
 
 // NewEvaluator wraps a document resolver (typically xmlstore.Resolver).
 func NewEvaluator(resolve func(string) (*xmldom.Node, error)) *Evaluator {
@@ -117,11 +130,16 @@ func (ev *Evaluator) WithMeter(m *resource.Meter) *Evaluator {
 // Then when the condition holds, Else otherwise (empty string means the
 // empty sequence, i.e. the rule did not fire).
 func (ev *Evaluator) Run(q *Query) (string, error) {
+	obsQueries.Inc()
+	before := ev.visited
+	defer func() { obsNodesVisited.Add(ev.visited - before) }()
 	if err := faultkit.Inject(faultkit.PointXQueryEval); err != nil {
+		obsQueryErrors.Inc()
 		return "", err
 	}
 	v, err := ev.eval(q.Cond, nil)
 	if err != nil {
+		obsQueryErrors.Inc()
 		return "", err
 	}
 	if v.ebv() {
@@ -241,6 +259,7 @@ func (ev *Evaluator) evalPath(p *PathExpr, ctx *xmldom.Node) (Value, error) {
 		// Charge the nodes this step will examine; path evaluation is
 		// the evaluator's only unbounded loop (predicates recurse back
 		// through here), so this one charge point governs everything.
+		ev.visited += int64(len(current))
 		if err := ev.meter.Step(int64(len(current))); err != nil {
 			return Value{}, err
 		}

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Coverage ratchet: fail if total statement coverage drops more than a
+# point below the committed baseline (coverage_baseline.txt). When
+# coverage rises, raise the baseline in the same PR so the floor follows.
+set -eu
+
+baseline=$(cat coverage_baseline.txt)
+go test -count=1 -coverprofile=coverage.out ./... > /dev/null
+total=$(go tool cover -func=coverage.out | awk '/^total:/ {gsub(/%/, "", $NF); print $NF}')
+echo "total coverage: ${total}% (baseline ${baseline}%)"
+ok=$(awk -v t="$total" -v b="$baseline" 'BEGIN { print (t >= b - 1.0) ? "yes" : "no" }')
+if [ "$ok" != "yes" ]; then
+    echo "coverage dropped more than 1pt below the ${baseline}% baseline" >&2
+    exit 1
+fi
