@@ -23,13 +23,13 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "table to print: all, fig19, shred, fig20, fig21, warmcold, xquery-native, ablate, throughput, obs")
+	table := flag.String("table", "all", "table to print: all, fig19, shred, fig20, fig21, warmcold, xquery-native, ablate, throughput, tenancy, obs")
 	seed := flag.Int64("seed", 42, "workload generation seed")
 	repeats := flag.Int("repeats", 3, "measurements per matrix cell")
 	level := flag.String("ablate-level", "High", "preference level for the ablation, throughput, and obs tables")
-	engine := flag.String("engine", "sql", "matching engine for the throughput table")
-	out := flag.String("out", "", "artifact path for the throughput/obs tables (default BENCH_throughput.json / BENCH_obs.json; \"none\" to skip)")
-	matches := flag.Int("matches", 0, "matches per worker in the throughput table (0 = default)")
+	engine := flag.String("engine", "sql", "matching engine for the throughput and tenancy tables")
+	out := flag.String("out", "", "artifact path for the throughput/tenancy/obs tables (default BENCH_<table>.json; \"none\" to skip)")
+	matches := flag.Int("matches", 0, "matches per worker in the throughput and tenancy tables (0 = default)")
 	budget := flag.Int64("budget", 0, "per-match evaluator step budget (0 = unlimited); measures governed-deployment overhead")
 	flag.Parse()
 
@@ -38,6 +38,8 @@ func main() {
 		switch *table {
 		case "throughput":
 			outPath = "BENCH_throughput.json"
+		case "tenancy":
+			outPath = "BENCH_tenancy.json"
 		case "obs":
 			outPath = "BENCH_obs.json"
 		}
@@ -76,6 +78,30 @@ func main() {
 			Engine:           eng,
 			MatchesPerWorker: *matches,
 			Budget:           *budget,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(r.Render())
+		if outPath != "" {
+			if err := r.WriteJSON(outPath); err != nil {
+				fatal(err)
+			}
+			fmt.Println("wrote", outPath)
+		}
+		return
+	}
+
+	if *table == "tenancy" {
+		eng, err := core.ParseEngine(*engine)
+		if err != nil {
+			fatal(err)
+		}
+		r, err := benchkit.RunTenancy(benchkit.TenancyConfig{
+			Seed:             *seed,
+			Level:            *level,
+			Engine:           eng,
+			MatchesPerWorker: *matches,
 		})
 		if err != nil {
 			fatal(err)

@@ -22,6 +22,14 @@
 // -faults) arms deterministic fault injection for failure drills, e.g.
 // P3P_FAULTS=reldb.query:error:after=3. The server shuts down
 // gracefully on SIGINT/SIGTERM, draining in-flight requests.
+//
+// Multi-tenant mode: -sites-dir points at a directory with one
+// subdirectory per tenant (each holding *.xml policy documents and an
+// optional reference.xml META file). Tenants load lazily, are reachable
+// under /sites/{name}/... or by Host header, and -max-sites bounds how
+// many stay resident (LRU eviction past it). SIGHUP re-reads every
+// resident tenant's directory and swaps its policy set atomically —
+// matches in flight keep their snapshot, so reload never blocks reads.
 package main
 
 import (
@@ -41,6 +49,7 @@ import (
 	"p3pdb/internal/core"
 	"p3pdb/internal/faultkit"
 	"p3pdb/internal/obs"
+	"p3pdb/internal/registry"
 	"p3pdb/internal/server"
 	"p3pdb/internal/workload"
 )
@@ -55,6 +64,8 @@ func main() {
 	faults := flag.String("faults", "", "fault-injection spec (overrides P3P_FAULTS)")
 	debugAddr := flag.String("debug-addr", "", "separate listener for net/http/pprof, /debug/vars, and /metrics (empty = off)")
 	traceLog := flag.String("trace-log", "", `request-trace destination: a file path, or "-" for stderr (empty = tracing off)`)
+	sitesDir := flag.String("sites-dir", "", "multi-tenant mode: directory of per-site policy directories")
+	maxSites := flag.Int("max-sites", 0, "resident-tenant bound for -sites-dir (0 = unbounded)")
 	flag.Parse()
 
 	if *traceLog != "" {
@@ -101,28 +112,55 @@ func main() {
 		log.Printf("fault injection armed: %s", spec)
 	}
 
-	site, err := core.NewSiteWithOptions(core.Options{
+	siteOpts := core.Options{
 		MatchBudget:      *budget,
 		PerPolicyTimeout: *policyTimeout,
-	})
-	if err != nil {
-		fatal(err)
 	}
-	if *demo {
-		d := workload.Generate(*seed)
-		for _, pol := range d.Policies {
-			if err := site.InstallPolicy(pol); err != nil {
-				fatal(err)
-			}
+	srvOpts := server.Options{RequestTimeout: *timeout}
+
+	var srv *http.Server
+	if *sitesDir != "" {
+		if *demo {
+			fatal(errors.New("-demo applies to single-site mode; populate -sites-dir directories instead"))
 		}
-		if err := site.InstallReferenceFile(d.RefFile); err != nil {
+		reg, err := registry.New(registry.Options{Dir: *sitesDir, Site: siteOpts, MaxSites: *maxSites})
+		if err != nil {
 			fatal(err)
 		}
-		log.Printf("preloaded %d policies; try: curl -X POST --data-binary @pref.xml 'http://localhost%s/match?uri=%s'",
-			len(d.Policies), *addr, d.URIFor(d.Policies[0].Name))
+		// SIGHUP hot-reloads every resident tenant from disk; each swap
+		// is atomic, so requests in flight finish on their old snapshot.
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				log.Printf("SIGHUP: reloading %d resident tenants", reg.Len())
+				if err := reg.ReloadAll(); err != nil {
+					log.Printf("reload: %v", err)
+				}
+			}
+		}()
+		log.Printf("multi-tenant mode: %d tenants under %s", len(reg.Names()), *sitesDir)
+		srv = server.NewMultiWithOptions(reg, srvOpts).HTTPServer(*addr)
+	} else {
+		site, err := core.NewSiteWithOptions(siteOpts)
+		if err != nil {
+			fatal(err)
+		}
+		if *demo {
+			d := workload.Generate(*seed)
+			for _, pol := range d.Policies {
+				if err := site.InstallPolicy(pol); err != nil {
+					fatal(err)
+				}
+			}
+			if err := site.InstallReferenceFile(d.RefFile); err != nil {
+				fatal(err)
+			}
+			log.Printf("preloaded %d policies; try: curl -X POST --data-binary @pref.xml 'http://localhost%s/match?uri=%s'",
+				len(d.Policies), *addr, d.URIFor(d.Policies[0].Name))
+		}
+		srv = server.NewWithOptions(site, srvOpts).HTTPServer(*addr)
 	}
-
-	srv := server.NewWithOptions(site, server.Options{RequestTimeout: *timeout}).HTTPServer(*addr)
 
 	// Serve until SIGINT/SIGTERM, then drain: stop accepting, let
 	// in-flight matches finish (their request contexts are canceled by

@@ -1,0 +1,222 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"p3pdb/internal/core"
+	"p3pdb/internal/workload"
+)
+
+// The tenancy experiment quantifies the snapshot-isolation claim behind
+// the multi-tenant server: policy reloads must not stall matching. It
+// measures per-match latency twice — once against a quiet site, once
+// while a background writer continuously replaces the whole policy set
+// (the registry's hot-reload path) — and reports the p50/p99 of each
+// phase plus their ratio. Under the old site-level lock every swap
+// would have blocked every reader for the full rebuild; with
+// copy-on-write snapshots the churn tail should stay within a small
+// factor of the quiet tail.
+
+// TenancyPhase is one measured phase of the experiment.
+type TenancyPhase struct {
+	Name      string  `json:"name"`
+	Matches   int     `json:"matches"`
+	P50Micros float64 `json:"p50Micros"`
+	P99Micros float64 `json:"p99Micros"`
+	// Swaps counts full policy-set replacements the background writer
+	// completed during the phase (zero in the read-only phase).
+	Swaps int64 `json:"swaps"`
+}
+
+// TenancyResults is the full experiment plus parameters, shaped for
+// rendering and the BENCH_tenancy.json artifact.
+type TenancyResults struct {
+	Seed       int64        `json:"seed"`
+	Level      string       `json:"level"`
+	Engine     string       `json:"engine"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Workers    int          `json:"workers"`
+	ReadOnly   TenancyPhase `json:"readOnly"`
+	Churn      TenancyPhase `json:"churn"`
+	// P99Ratio is churn p99 over read-only p99 — the cost of concurrent
+	// policy replacement on the matching tail.
+	P99Ratio float64 `json:"p99Ratio"`
+}
+
+// TenancyConfig parameterizes a tenancy run.
+type TenancyConfig struct {
+	// Seed generates the workload (default 42).
+	Seed int64
+	// Level is the preference level matched (default "High").
+	Level string
+	// Engine is the matching engine; the zero value is the native engine.
+	Engine core.Engine
+	// MatchesPerWorker is each reader's match count per phase (default 300).
+	MatchesPerWorker int
+	// Workers is the reader concurrency (default GOMAXPROCS).
+	Workers int
+}
+
+func (c TenancyConfig) withDefaults() TenancyConfig {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Level == "" {
+		c.Level = "High"
+	}
+	if c.MatchesPerWorker == 0 {
+		c.MatchesPerWorker = 300
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// quantile reads the q-quantile from an ascending slice of durations.
+func quantile(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i].Nanoseconds()) / 1000
+}
+
+// RunTenancy measures match latency with and without concurrent
+// policy-set churn.
+func RunTenancy(cfg TenancyConfig) (*TenancyResults, error) {
+	cfg = cfg.withDefaults()
+	site, d, err := Setup(Config{Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	pref, ok := workload.PreferenceByLevel(cfg.Level)
+	if !ok {
+		return nil, fmt.Errorf("benchkit: no preference level %q", cfg.Level)
+	}
+	// Warm up conversion caches so both phases measure query execution.
+	for _, pol := range d.Policies {
+		if _, err := site.MatchPolicy(pref.XML, pol.Name, cfg.Engine); err != nil {
+			return nil, fmt.Errorf("benchkit: warmup %s: %w", pol.Name, err)
+		}
+	}
+
+	res := &TenancyResults{
+		Seed:       cfg.Seed,
+		Level:      cfg.Level,
+		Engine:     cfg.Engine.ShortName(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    cfg.Workers,
+	}
+
+	runPhase := func(name string, churn bool) (TenancyPhase, error) {
+		var swaps atomic.Int64
+		stop := make(chan struct{})
+		var writerWG sync.WaitGroup
+		var writerErr atomic.Value
+		if churn {
+			writerWG.Add(1)
+			go func() {
+				defer writerWG.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					// The registry's hot-reload path: rebuild the whole
+					// policy set aside and publish it in one swap.
+					if err := site.ReplacePolicies(d.Policies, d.RefFile); err != nil {
+						writerErr.CompareAndSwap(nil, err)
+						return
+					}
+					swaps.Add(1)
+				}
+			}()
+		}
+
+		lats := make([][]time.Duration, cfg.Workers)
+		var firstErr atomic.Value
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				lats[w] = make([]time.Duration, 0, cfg.MatchesPerWorker)
+				for i := 0; i < cfg.MatchesPerWorker; i++ {
+					pol := d.Policies[(w*cfg.MatchesPerWorker+i)%len(d.Policies)]
+					start := time.Now()
+					if _, err := site.MatchPolicy(pref.XML, pol.Name, cfg.Engine); err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+					lats[w] = append(lats[w], time.Since(start))
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(stop)
+		writerWG.Wait()
+		if err, ok := firstErr.Load().(error); ok {
+			return TenancyPhase{}, fmt.Errorf("benchkit: tenancy %s phase: %w", name, err)
+		}
+		if err, ok := writerErr.Load().(error); ok {
+			return TenancyPhase{}, fmt.Errorf("benchkit: tenancy writer: %w", err)
+		}
+		var all []time.Duration
+		for _, l := range lats {
+			all = append(all, l...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		return TenancyPhase{
+			Name:      name,
+			Matches:   len(all),
+			P50Micros: quantile(all, 0.50),
+			P99Micros: quantile(all, 0.99),
+			Swaps:     swaps.Load(),
+		}, nil
+	}
+
+	if res.ReadOnly, err = runPhase("read-only", false); err != nil {
+		return nil, err
+	}
+	if res.Churn, err = runPhase("churn", true); err != nil {
+		return nil, err
+	}
+	if res.ReadOnly.P99Micros > 0 {
+		res.P99Ratio = res.Churn.P99Micros / res.ReadOnly.P99Micros
+	}
+	return res, nil
+}
+
+// Render formats the tenancy table.
+func (r *TenancyResults) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tenancy churn (%s preference, %s engine, %d readers, GOMAXPROCS=%d)\n",
+		r.Level, r.Engine, r.Workers, r.GOMAXPROCS)
+	fmt.Fprintf(&b, "%10s %9s %12s %12s %7s\n", "phase", "matches", "p50 us", "p99 us", "swaps")
+	for _, ph := range []TenancyPhase{r.ReadOnly, r.Churn} {
+		fmt.Fprintf(&b, "%10s %9d %12.1f %12.1f %7d\n",
+			ph.Name, ph.Matches, ph.P50Micros, ph.P99Micros, ph.Swaps)
+	}
+	fmt.Fprintf(&b, "churn p99 / read-only p99 = %.2fx\n", r.P99Ratio)
+	return b.String()
+}
+
+// WriteJSON writes the results as the machine-readable artifact
+// (BENCH_tenancy.json) that later PRs track for regressions.
+func (r *TenancyResults) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,77 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTenancySmoke runs a miniature tenancy experiment end to end: both
+// phases complete, the churn phase really swapped policy sets, and the
+// artifact round-trips. The 2x acceptance ratio is asserted loosely here
+// (correctness, not performance — CI machines are noisy); the committed
+// BENCH_tenancy.json records the measured ratio.
+func TestTenancySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tenancy experiment in -short mode")
+	}
+	r, err := RunTenancy(TenancyConfig{MatchesPerWorker: 40, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ReadOnly.Matches != 80 || r.Churn.Matches != 80 {
+		t.Errorf("phase matches = %d/%d, want 80/80", r.ReadOnly.Matches, r.Churn.Matches)
+	}
+	if r.ReadOnly.P50Micros <= 0 || r.Churn.P99Micros <= 0 {
+		t.Errorf("quantiles not measured: %+v", r)
+	}
+	if r.ReadOnly.P50Micros > r.ReadOnly.P99Micros || r.Churn.P50Micros > r.Churn.P99Micros {
+		t.Errorf("p50 above p99: %+v", r)
+	}
+	if r.ReadOnly.Swaps != 0 {
+		t.Errorf("read-only phase saw %d swaps", r.ReadOnly.Swaps)
+	}
+	if r.Churn.Swaps < 1 {
+		t.Error("churn phase completed no policy-set swaps")
+	}
+	if r.P99Ratio <= 0 {
+		t.Errorf("ratio = %v", r.P99Ratio)
+	}
+
+	out := r.Render()
+	for _, want := range []string{"read-only", "churn", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_tenancy.json")
+	if err := r.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TenancyResults
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Churn.Swaps != r.Churn.Swaps || back.Engine != r.Engine {
+		t.Errorf("artifact round-trip mismatch: %+v vs %+v", back, *r)
+	}
+}
+
+func TestTenancyRejectsUnknownLevel(t *testing.T) {
+	if _, err := RunTenancy(TenancyConfig{Level: "Nonexistent"}); err == nil {
+		t.Error("unknown preference level must fail")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Errorf("empty quantile = %v", q)
+	}
+}

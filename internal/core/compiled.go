@@ -63,7 +63,7 @@ func (s *Site) CompilePreference(prefXML string) (*CompiledPreference, error) {
 	if err != nil {
 		return nil, err
 	}
-	rules, err := compileRules(s.optDB, rs)
+	rules, err := compileRules(s.state.Load().optDB, rs)
 	if err != nil {
 		return nil, err
 	}
@@ -72,17 +72,19 @@ func (s *Site) CompilePreference(prefXML string) (*CompiledPreference, error) {
 
 // MatchCompiled evaluates a compiled preference against a named policy.
 // Only query execution remains on the per-visit path. Compiled matches
-// run concurrently with each other and with every other match.
+// run lock-free against the current snapshot, concurrently with each
+// other, with every other match, and with policy writes: the prepared
+// statements are database-independent ASTs, so a compilation outlives
+// the snapshot it was made against.
 func (s *Site) MatchCompiled(c *CompiledPreference, policyName string) (Decision, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	id, ok := s.optIDs[policyName]
+	st := s.state.Load()
+	id, ok := st.ids[policyName]
 	if !ok {
 		return Decision{}, fmt.Errorf("core: policy %q not installed", policyName)
 	}
 	start := time.Now()
 	for i, rule := range c.rules {
-		fired, err := s.optDB.QueryExistsStmt(rule.stmt, reldb.Int(int64(id)))
+		fired, err := st.optDB.QueryExistsStmt(rule.stmt, reldb.Int(int64(id)))
 		if err != nil {
 			return Decision{}, fmt.Errorf("core: rule %d: %w", i+1, err)
 		}

@@ -104,6 +104,17 @@ func (c *convCache) put(k convKey, v any) {
 // purgePolicy drops every entry bound to the named policy, called when
 // the policy is removed (its ids would otherwise go stale).
 func (c *convCache) purgePolicy(name string) {
+	c.purgeIf(func(k convKey) bool { return k.policy == name })
+}
+
+// purgePolicyBound drops every policy-bound entry (the XTABLE
+// translations), called when a bulk replace reassigns every policy id.
+// Policy-independent entries — the bulk of the cache — survive the swap.
+func (c *convCache) purgePolicyBound() {
+	c.purgeIf(func(k convKey) bool { return k.policy != "" })
+}
+
+func (c *convCache) purgeIf(drop func(convKey) bool) {
 	if c == nil {
 		return
 	}
@@ -112,7 +123,7 @@ func (c *convCache) purgePolicy(name string) {
 	kept := c.order[:0]
 	purged := int64(0)
 	for _, k := range c.order {
-		if k.policy == name {
+		if drop(k) {
 			delete(c.m, k)
 			purged++
 			continue
@@ -156,10 +167,14 @@ type sqlConv struct {
 }
 
 // xtableConv caches the XQuery→SQL view-reconstruction translation. The
-// generated SQL embeds the policy id, so entries are per policy.
+// generated SQL embeds the policy id, so entries are per policy and
+// record the id they were generated against: a hit whose id no longer
+// matches the snapshot's (the policy was re-installed under a new id) is
+// rebuilt instead of served.
 type xtableConv struct {
 	rs    *appel.Ruleset
 	rules []xtableRule
+	genID int
 }
 
 type xtableRule struct {
@@ -200,8 +215,10 @@ func (s *Site) nativeConversion(prefXML string) (*nativeConv, error) {
 }
 
 // sqlConversion translates and prepares a preference against the
-// optimized schema, through the cache.
-func (s *Site) sqlConversion(prefXML string) (*sqlConv, error) {
+// optimized schema, through the cache. The prepared statements are plain
+// parsed ASTs with the policy id as a parameter, bound to no database
+// instance, so entries stay valid across snapshot swaps.
+func (s *Site) sqlConversion(st *siteState, prefXML string) (*sqlConv, error) {
 	k := convKey{engine: EngineSQL, pref: prefXML}
 	if v, ok := s.conv.get(k); ok {
 		return v.(*sqlConv), nil
@@ -213,7 +230,7 @@ func (s *Site) sqlConversion(prefXML string) (*sqlConv, error) {
 	if err != nil {
 		return nil, err
 	}
-	rules, err := compileRules(s.optDB, rs)
+	rules, err := compileRules(st.optDB, rs)
 	if err != nil {
 		return nil, err
 	}
@@ -223,11 +240,16 @@ func (s *Site) sqlConversion(prefXML string) (*sqlConv, error) {
 }
 
 // xtableConversion translates a preference to SQL over the generic schema
-// through the XML-view layer for one policy, through the cache.
-func (s *Site) xtableConversion(prefXML, policyName string, policyID int) (*xtableConv, error) {
+// through the XML-view layer for one policy, through the cache. A cached
+// entry is only served when its embedded policy id still matches the
+// snapshot's — re-installation under a new id invalidates it in place.
+func (s *Site) xtableConversion(st *siteState, prefXML, policyName string) (*xtableConv, error) {
 	k := convKey{engine: EngineXTable, pref: prefXML, policy: policyName}
+	policyID := st.ids[policyName]
 	if v, ok := s.conv.get(k); ok {
-		return v.(*xtableConv), nil
+		if e := v.(*xtableConv); e.genID == policyID {
+			return e, nil
+		}
 	}
 	if err := faultkit.Inject(faultkit.PointConvFill); err != nil {
 		return nil, err
@@ -244,13 +266,13 @@ func (s *Site) xtableConversion(prefXML, policyName string, policyID int) (*xtab
 	// whose view-reconstructed SQL exceeds the engine's complexity
 	// limits fails here, the way XTABLE's Medium translation failed at
 	// DB2 prepare time in the paper's experiments.
-	e := &xtableConv{rs: rs}
+	e := &xtableConv{rs: rs, genID: policyID}
 	for i, xq := range xqs {
 		q, err := xtable.TranslateXQuery(xq.XQuery, sqlgen.FixedPolicySubquery(policyID), xtable.Options{})
 		if err != nil {
 			return nil, err
 		}
-		stmt, err := s.genDB.Prepare(q.SQL)
+		stmt, err := st.genDB.Prepare(q.SQL)
 		if err != nil {
 			return nil, fmt.Errorf("core: preparing rule %d: %w", i+1, err)
 		}

@@ -25,6 +25,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"p3pdb/internal/appel"
@@ -35,9 +36,7 @@ import (
 	"p3pdb/internal/reffile"
 	"p3pdb/internal/reldb"
 	"p3pdb/internal/resource"
-	"p3pdb/internal/shred"
 	"p3pdb/internal/sqlgen"
-	"p3pdb/internal/xmlstore"
 	"p3pdb/internal/xqgen"
 	"p3pdb/internal/xquery"
 )
@@ -168,26 +167,21 @@ type ConflictStat struct {
 // Site is a web site's installed privacy metadata plus the matching
 // engines.
 //
-// Concurrency: matching and every other read run under the shared side of
-// mu and proceed in parallel; policy install/remove take the exclusive
-// side. The conflict analytics — which matches write to — live under
-// their own mutex so a read-locked match can record a block, and the
-// conversion cache synchronizes itself.
+// Concurrency: the installed metadata lives in an immutable siteState
+// published through an atomic pointer. Matches load the pointer once and
+// run lock-free against that snapshot; installs, removes, and bulk
+// replaces build the successor state aside (state.go) and swap it in,
+// so hot policy reload never blocks the read path. The conflict
+// analytics — which matches write to — live under their own mutex, and
+// the conversion cache synchronizes itself and survives swaps.
 type Site struct {
-	mu sync.RWMutex
+	state   atomic.Pointer[siteState]
+	writeMu sync.Mutex
 
-	optDB    *reldb.DB
-	optStore *shred.OptimizedStore
-	genDB    *reldb.DB
-	genStore *shred.GenericStore
-	refStore *reffile.Store
-	xml      *xmlstore.Store
-	native   *appelengine.Engine
-
-	refFile   *reffile.RefFile
-	policyXML map[string]string // raw policy text, per policy name
-	optIDs    map[string]int
-	genIDs    map[string]int
+	// opts is retained to construct each snapshot's backends with the
+	// same engine options.
+	opts   Options
+	native *appelengine.Engine
 
 	// conv caches conversion artifacts per (engine, preference text);
 	// nil when Options.DisableConversionCache is set.
@@ -207,89 +201,55 @@ func NewSite() (*Site, error) { return NewSiteWithOptions(Options{}) }
 
 // NewSiteWithOptions returns an empty site.
 func NewSiteWithOptions(opts Options) (*Site, error) {
-	optDB := reldb.NewWithOptions(opts.DB)
-	genDB := reldb.NewWithOptions(opts.DB)
-	optStore, err := shred.NewOptimized(optDB)
-	if err != nil {
-		return nil, err
-	}
-	genStore, err := shred.NewGeneric(genDB)
-	if err != nil {
-		return nil, err
-	}
-	refStore, err := reffile.NewStore(optDB)
-	if err != nil {
-		return nil, err
-	}
 	s := &Site{
-		optDB:            optDB,
-		optStore:         optStore,
-		genDB:            genDB,
-		genStore:         genStore,
-		refStore:         refStore,
+		opts:             opts,
+		native:           appelengine.NewWithOptions(appelengine.Options{SkipAugmentation: opts.SkipAugmentationInNative}),
 		matchBudget:      opts.MatchBudget,
 		perPolicyTimeout: opts.PerPolicyTimeout,
-		xml:              xmlstore.New(),
-		native:           appelengine.NewWithOptions(appelengine.Options{SkipAugmentation: opts.SkipAugmentationInNative}),
-		policyXML:        map[string]string{},
-		optIDs:           map[string]int{},
-		genIDs:           map[string]int{},
 		conflicts:        map[string]map[string]int{},
 	}
 	if !opts.DisableConversionCache {
 		s.conv = newConvCache(opts.ConversionCacheSize)
 	}
+	st, err := s.materialize(newDraft())
+	if err != nil {
+		return nil, err
+	}
+	s.state.Store(st)
 	return s, nil
 }
 
 // InstallPolicy installs one parsed policy into every backend: shredded
 // into both relational schemas (with install-time augmentation), stored as
 // augmented XML in the native store, and kept as raw text for the
-// client-centric baseline. This is the Figure 5 step.
+// client-centric baseline. This is the Figure 5 step, performed as a
+// snapshot swap: in-flight matches keep the previous state.
 func (s *Site) InstallPolicy(pol *p3p.Policy) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.installPolicyLocked(pol)
-}
-
-func (s *Site) installPolicyLocked(pol *p3p.Policy) error {
-	if err := pol.MustValid(); err != nil {
-		return fmt.Errorf("core: %w", err)
-	}
-	if _, dup := s.optIDs[pol.Name]; dup {
-		return fmt.Errorf("core: policy %q already installed", pol.Name)
-	}
-	optID, err := s.optStore.InstallPolicy(pol)
-	if err != nil {
-		return err
-	}
-	genID, err := s.genStore.InstallPolicy(pol)
-	if err != nil {
-		return err
-	}
-	dom := pol.ToDOM()
-	s.xml.Put(policyDoc(pol.Name), s.native.Augment(dom))
-	s.policyXML[pol.Name] = dom.String()
-	s.optIDs[pol.Name] = optID
-	s.genIDs[pol.Name] = genID
-	return nil
+	return s.mutate(func(d *stateDraft) error { return d.addPolicy(pol) })
 }
 
 // InstallPolicyXML parses a policy document (POLICY or POLICIES) and
-// installs every policy in it, returning their names.
+// installs every policy in it, returning their names. The install is
+// all-or-nothing: a failure anywhere in the document leaves the site
+// state untouched, because the new snapshot is only published after
+// every policy installed cleanly.
 func (s *Site) InstallPolicyXML(doc string) ([]string, error) {
 	pols, err := p3p.ParsePolicies(doc)
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var names []string
-	for _, pol := range pols {
-		if err := s.installPolicyLocked(pol); err != nil {
-			return names, err
+	err = s.mutate(func(d *stateDraft) error {
+		for _, pol := range pols {
+			if err := d.addPolicy(pol); err != nil {
+				return err
+			}
+			names = append(names, pol.Name)
 		}
-		names = append(names, pol.Name)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return names, nil
 }
@@ -297,38 +257,53 @@ func (s *Site) InstallPolicyXML(doc string) ([]string, error) {
 // RemovePolicy removes a policy version from every backend, enabling the
 // policy versioning the paper lists among the architecture's advantages.
 func (s *Site) RemovePolicy(name string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	optID, ok := s.optIDs[name]
-	if !ok {
-		return fmt.Errorf("core: policy %q not installed", name)
-	}
-	if err := s.optStore.RemovePolicy(optID); err != nil {
+	if err := s.mutate(func(d *stateDraft) error { return d.removePolicy(name) }); err != nil {
 		return err
 	}
-	if err := s.genStore.RemovePolicy(s.genIDs[name]); err != nil {
-		return err
-	}
-	s.xml.Delete(policyDoc(name))
-	delete(s.policyXML, name)
-	delete(s.optIDs, name)
-	delete(s.genIDs, name)
 	// Cached XTABLE translations embed this policy's id; drop them so a
-	// reinstall under the same name cannot serve stale queries.
+	// reinstall under the same name cannot serve stale queries. (Ids are
+	// never reused, and xtable cache hits re-validate the id, so this is
+	// hygiene rather than a correctness requirement.)
 	s.conv.purgePolicy(name)
+	return nil
+}
+
+// ReplacePolicies atomically replaces the site's entire installed policy
+// set — and its reference file — in one snapshot swap: the hot-reload
+// primitive a multi-tenant host uses when a site's deployed policy
+// directory changes. Matches running during the call complete against
+// the old set; matches starting after it see only the new set. A nil rf
+// leaves the site without a reference file. On any failure the previous
+// state is kept in full.
+func (s *Site) ReplacePolicies(pols []*p3p.Policy, rf *reffile.RefFile) error {
+	err := s.mutate(func(d *stateDraft) error {
+		d.policies = map[string]*p3p.Policy{}
+		d.ids = map[string]int{}
+		d.order = nil
+		d.refFile = nil
+		for _, pol := range pols {
+			if err := d.addPolicy(pol); err != nil {
+				return err
+			}
+		}
+		if rf != nil {
+			return d.setRefFile(rf)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Every policy id was reassigned; the id-bound XTABLE entries are
+	// all stale now. Policy-independent entries stay.
+	s.conv.purgePolicyBound()
 	return nil
 }
 
 // InstallReferenceFile installs the site's reference file, resolving every
 // POLICY-REF against the installed policies.
 func (s *Site) InstallReferenceFile(rf *reffile.RefFile) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, err := s.refStore.Install(rf, s.optStore); err != nil {
-		return err
-	}
-	s.refFile = rf
-	return nil
+	return s.mutate(func(d *stateDraft) error { return d.setRefFile(rf) })
 }
 
 // InstallReferenceFileXML parses and installs a reference file document.
@@ -342,10 +317,9 @@ func (s *Site) InstallReferenceFileXML(doc string) error {
 
 // PolicyNames returns the installed policy names, sorted.
 func (s *Site) PolicyNames() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	names := make([]string, 0, len(s.policyXML))
-	for n := range s.policyXML {
+	st := s.state.Load()
+	names := make([]string, 0, len(st.policyXML))
+	for n := range st.policyXML {
 		names = append(names, n)
 	}
 	sort.Strings(names)
@@ -355,9 +329,8 @@ func (s *Site) PolicyNames() []string {
 // PolicyXML returns the raw text of an installed policy (what a
 // client-centric agent would fetch).
 func (s *Site) PolicyXML(name string) (string, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	xml, ok := s.policyXML[name]
+	st := s.state.Load()
+	xml, ok := st.policyXML[name]
 	if !ok {
 		return "", fmt.Errorf("core: policy %q not installed", name)
 	}
@@ -368,9 +341,8 @@ func (s *Site) PolicyXML(name string) (string, error) {
 // policy, the token summary IE6-era agents evaluated for cookie decisions
 // (Section 3.2 of the paper).
 func (s *Site) CompactPolicy(name string) (string, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	xml, ok := s.policyXML[name]
+	st := s.state.Load()
+	xml, ok := st.policyXML[name]
 	if !ok {
 		return "", fmt.Errorf("core: policy %q not installed", name)
 	}
@@ -385,44 +357,28 @@ func (s *Site) CompactPolicy(name string) (string, error) {
 // the hybrid architecture's clients cache so that URI resolution happens
 // client-side while matching stays on the server (Section 4.2).
 func (s *Site) ReferenceFileXML() (string, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.refFile == nil {
+	st := s.state.Load()
+	if st.refFile == nil {
 		return "", fmt.Errorf("core: no reference file installed")
 	}
-	return s.refFile.String(), nil
+	return st.refFile.String(), nil
 }
 
-// DB exposes the optimized-schema database for inspection and the
-// analytics example.
-func (s *Site) DB() *reldb.DB { return s.optDB }
+// DB exposes the optimized-schema database of the current snapshot for
+// inspection and the analytics example. The returned database is frozen:
+// later policy writes publish a new snapshot with a new database rather
+// than mutating this one.
+func (s *Site) DB() *reldb.DB { return s.state.Load().optDB }
 
-// GenericDB exposes the generic-schema database.
-func (s *Site) GenericDB() *reldb.DB { return s.genDB }
+// GenericDB exposes the generic-schema database of the current snapshot.
+func (s *Site) GenericDB() *reldb.DB { return s.state.Load().genDB }
 
 func policyDoc(name string) string { return "policy:" + name }
 
 // PolicyForURI resolves which policy governs a URI, via the reference
 // file.
 func (s *Site) PolicyForURI(uri string) (string, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.policyForURILocked(uri)
-}
-
-func (s *Site) policyForURILocked(uri string) (string, error) {
-	if s.refFile == nil {
-		return "", fmt.Errorf("core: no reference file installed")
-	}
-	pr := s.refFile.PolicyForURI(uri)
-	if pr == nil {
-		return "", fmt.Errorf("core: no policy covers %q", uri)
-	}
-	name := pr.PolicyName()
-	if _, ok := s.policyXML[name]; !ok {
-		return "", fmt.Errorf("core: reference file names uninstalled policy %q", name)
-	}
-	return name, nil
+	return s.state.Load().policyForURI(uri)
 }
 
 // MatchURI matches a preference against the policy covering a URI,
@@ -436,36 +392,18 @@ func (s *Site) MatchURI(prefXML, uri string, engine Engine) (Decision, error) {
 // error, and the Site's match budget (Options.MatchBudget) aborts
 // runaway preferences with resource.ErrBudgetExceeded.
 func (s *Site) MatchURICtx(ctx context.Context, prefXML, uri string, engine Engine) (Decision, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	name, err := s.policyForURILocked(uri)
+	st := s.state.Load()
+	name, err := st.policyForURI(uri)
 	if err != nil {
 		return Decision{}, err
 	}
-	return s.matchLocked(ctx, prefXML, name, engine)
+	return s.match(ctx, st, prefXML, name, engine)
 }
 
 // PolicyForCookie resolves which policy governs a cookie by name, via the
 // reference file's COOKIE-INCLUDE/COOKIE-EXCLUDE patterns.
 func (s *Site) PolicyForCookie(cookieName string) (string, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.policyForCookieLocked(cookieName)
-}
-
-func (s *Site) policyForCookieLocked(cookieName string) (string, error) {
-	if s.refFile == nil {
-		return "", fmt.Errorf("core: no reference file installed")
-	}
-	pr := s.refFile.PolicyForCookie(cookieName)
-	if pr == nil {
-		return "", fmt.Errorf("core: no policy covers cookie %q", cookieName)
-	}
-	name := pr.PolicyName()
-	if _, ok := s.policyXML[name]; !ok {
-		return "", fmt.Errorf("core: reference file names uninstalled policy %q", name)
-	}
-	return name, nil
+	return s.state.Load().policyForCookie(cookieName)
 }
 
 // MatchCookie matches a preference against the policy covering a cookie:
@@ -478,13 +416,12 @@ func (s *Site) MatchCookie(prefXML, cookieName string, engine Engine) (Decision,
 
 // MatchCookieCtx is MatchCookie governed by a context (see MatchURICtx).
 func (s *Site) MatchCookieCtx(ctx context.Context, prefXML, cookieName string, engine Engine) (Decision, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	name, err := s.policyForCookieLocked(cookieName)
+	st := s.state.Load()
+	name, err := st.policyForCookie(cookieName)
 	if err != nil {
 		return Decision{}, err
 	}
-	return s.matchLocked(ctx, prefXML, name, engine)
+	return s.match(ctx, st, prefXML, name, engine)
 }
 
 // MatchPolicy matches a preference directly against a named policy.
@@ -494,16 +431,20 @@ func (s *Site) MatchPolicy(prefXML, policyName string, engine Engine) (Decision,
 
 // MatchPolicyCtx is MatchPolicy governed by a context (see MatchURICtx).
 func (s *Site) MatchPolicyCtx(ctx context.Context, prefXML, policyName string, engine Engine) (Decision, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if _, ok := s.policyXML[policyName]; !ok {
+	return s.matchPolicyState(ctx, s.state.Load(), prefXML, policyName, engine)
+}
+
+// matchPolicyState is MatchPolicyCtx against a caller-chosen snapshot,
+// so a batch (MatchAllCtx) evaluates every policy against the same one.
+func (s *Site) matchPolicyState(ctx context.Context, st *siteState, prefXML, policyName string, engine Engine) (Decision, error) {
+	if _, ok := st.policyXML[policyName]; !ok {
 		return Decision{}, fmt.Errorf("core: policy %q not installed", policyName)
 	}
-	return s.matchLocked(ctx, prefXML, policyName, engine)
+	return s.match(ctx, st, prefXML, policyName, engine)
 }
 
 // engineObs is one engine's observability instrument set, resolved once
-// at init so matchLocked only touches atomics.
+// at init so match only touches atomics.
 type engineObs struct {
 	total   *obs.Counter   // matches attempted
 	errs    *obs.Counter   // matches that returned an error
@@ -533,7 +474,10 @@ var matchObs = func() [4]engineObs {
 	return a
 }()
 
-func (s *Site) matchLocked(ctx context.Context, prefXML, policyName string, engine Engine) (Decision, error) {
+// match runs one preference match against one snapshot. This is the hot
+// path: it acquires no site-level lock — everything it reads hangs off
+// the immutable st.
+func (s *Site) match(ctx context.Context, st *siteState, prefXML, policyName string, engine Engine) (Decision, error) {
 	// One meter spans all of this match's rule evaluations, whatever the
 	// engine, so the budget bounds the whole preference rather than one
 	// statement. Nil (free) when there is neither a budget nor a
@@ -544,13 +488,13 @@ func (s *Site) matchLocked(ctx context.Context, prefXML, policyName string, engi
 	var err error
 	switch engine {
 	case EngineNative:
-		d, err = s.matchNative(prefXML, policyName, m)
+		d, err = s.matchNative(st, prefXML, policyName, m)
 	case EngineSQL:
-		d, err = s.matchSQL(ctx, prefXML, policyName, m)
+		d, err = s.matchSQL(ctx, st, prefXML, policyName, m)
 	case EngineXTable:
-		d, err = s.matchXTable(ctx, prefXML, policyName, m)
+		d, err = s.matchXTable(ctx, st, prefXML, policyName, m)
 	case EngineXQuery:
-		d, err = s.matchXQueryNative(prefXML, policyName, m)
+		d, err = s.matchXQueryNative(st, prefXML, policyName, m)
 	default:
 		return Decision{}, fmt.Errorf("core: unknown engine %d", engine)
 	}
@@ -581,13 +525,13 @@ func (s *Site) matchLocked(ctx context.Context, prefXML, policyName string, engi
 // augmented per match. Only the preference parse goes through the
 // conversion cache; the per-match policy processing — the baseline's
 // defining cost — is kept faithful to the paper.
-func (s *Site) matchNative(prefXML, policyName string, m *resource.Meter) (Decision, error) {
+func (s *Site) matchNative(st *siteState, prefXML, policyName string, m *resource.Meter) (Decision, error) {
 	start := time.Now()
 	conv, err := s.nativeConversion(prefXML)
 	if err != nil {
 		return Decision{}, err
 	}
-	dec, err := s.native.MatchMeter(conv.rs, s.policyXML[policyName], m)
+	dec, err := s.native.MatchMeter(conv.rs, st.policyXML[policyName], m)
 	if err != nil {
 		return Decision{}, err
 	}
@@ -605,9 +549,9 @@ func (s *Site) matchNative(prefXML, policyName string, m *resource.Meter) (Decis
 // the policy id as a parameter, serving every policy); a cache hit
 // reports near-zero Convert, leaving only query execution on the
 // per-visit path — the §6.3.2 compiled-preferences deployment.
-func (s *Site) matchSQL(ctx context.Context, prefXML, policyName string, m *resource.Meter) (Decision, error) {
+func (s *Site) matchSQL(ctx context.Context, st *siteState, prefXML, policyName string, m *resource.Meter) (Decision, error) {
 	convertStart := time.Now()
-	conv, err := s.sqlConversion(prefXML)
+	conv, err := s.sqlConversion(st, prefXML)
 	if err != nil {
 		return Decision{}, err
 	}
@@ -616,10 +560,10 @@ func (s *Site) matchSQL(ctx context.Context, prefXML, policyName string, m *reso
 	// The match meter rides the context into the relational engine, so
 	// one budget spans every rule statement.
 	ctx = resource.WithMeter(ctx, m)
-	id := int64(s.optIDs[policyName])
+	id := int64(st.ids[policyName])
 	queryStart := time.Now()
 	for i, rule := range conv.rules {
-		fired, err := s.optDB.QueryExistsStmtCtx(ctx, rule.stmt, reldb.Int(id))
+		fired, err := st.optDB.QueryExistsStmtCtx(ctx, rule.stmt, reldb.Int(id))
 		if err != nil {
 			return Decision{}, fmt.Errorf("core: rule %d: %w", i+1, err)
 		}
@@ -639,10 +583,11 @@ func (s *Site) matchSQL(ctx context.Context, prefXML, policyName string, m *reso
 
 // matchXTable runs the preference as XQuery translated to SQL over the
 // generic schema through the XML-view layer. The translation embeds the
-// policy id, so its cache entries are per (preference, policy).
-func (s *Site) matchXTable(ctx context.Context, prefXML, policyName string, m *resource.Meter) (Decision, error) {
+// policy id, so its cache entries are per (preference, policy) and
+// re-validated against the snapshot's id on every hit.
+func (s *Site) matchXTable(ctx context.Context, st *siteState, prefXML, policyName string, m *resource.Meter) (Decision, error) {
 	convertStart := time.Now()
-	conv, err := s.xtableConversion(prefXML, policyName, s.genIDs[policyName])
+	conv, err := s.xtableConversion(st, prefXML, policyName)
 	if err != nil {
 		return Decision{}, err
 	}
@@ -651,7 +596,7 @@ func (s *Site) matchXTable(ctx context.Context, prefXML, policyName string, m *r
 	ctx = resource.WithMeter(ctx, m)
 	queryStart := time.Now()
 	for i, rule := range conv.rules {
-		ok, err := s.genDB.QueryExistsStmtCtx(ctx, rule.stmt)
+		ok, err := st.genDB.QueryExistsStmtCtx(ctx, rule.stmt)
 		if err != nil {
 			return Decision{}, fmt.Errorf("core: rule %d: %w", i+1, err)
 		}
@@ -672,7 +617,7 @@ func (s *Site) matchXTable(ctx context.Context, prefXML, policyName string, m *r
 // matchXQueryNative evaluates the preference's XQuery translation against
 // the native XML store. Translation and query parsing go through the
 // conversion cache; the policy is bound per match via the resolver alias.
-func (s *Site) matchXQueryNative(prefXML, policyName string, m *resource.Meter) (Decision, error) {
+func (s *Site) matchXQueryNative(st *siteState, prefXML, policyName string, m *resource.Meter) (Decision, error) {
 	convertStart := time.Now()
 	conv, err := s.xqueryConversion(prefXML)
 	if err != nil {
@@ -681,7 +626,7 @@ func (s *Site) matchXQueryNative(prefXML, policyName string, m *resource.Meter) 
 	convert := time.Since(convertStart)
 
 	queryStart := time.Now()
-	ev := xquery.NewEvaluator(s.xml.Resolver(map[string]string{
+	ev := xquery.NewEvaluator(st.xml.Resolver(map[string]string{
 		xqgen.ApplicableDocument: policyDoc(policyName),
 	})).WithMeter(m)
 	for i, rule := range conv.rules {
@@ -711,8 +656,8 @@ func ruleDescription(rs *appel.Ruleset, idx int) string {
 }
 
 // recordConflict feeds the site-owner analytics: block decisions are
-// tallied per policy and rule. It takes only conflictMu, so matches
-// holding the shared side of mu can record concurrently.
+// tallied per policy and rule. It takes only conflictMu, so lock-free
+// matches can record concurrently.
 func (s *Site) recordConflict(d Decision) {
 	if !d.Blocked() {
 		return

@@ -37,9 +37,8 @@ func (s *Site) AuthorizeUse(policyName, purpose, dataRef string) (UseDecision, e
 	if !p3p.IsPurpose(purpose) {
 		return UseDecision{}, fmt.Errorf("core: unknown purpose %q", purpose)
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	id, ok := s.optIDs[policyName]
+	st := s.state.Load()
+	id, ok := st.ids[policyName]
 	if !ok {
 		return UseDecision{}, fmt.Errorf("core: policy %q not installed", policyName)
 	}
@@ -47,7 +46,7 @@ func (s *Site) AuthorizeUse(policyName, purpose, dataRef string) (UseDecision, e
 	if len(ref) == 0 || ref[0] != '#' {
 		ref = "#" + ref
 	}
-	rows, err := s.optDB.Query(`
+	rows, err := st.optDB.Query(`
 		SELECT p.required, s.retention
 		FROM Statement s, Purpose p
 		WHERE s.policy_id = ? AND p.policy_id = s.policy_id

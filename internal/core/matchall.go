@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,12 +38,13 @@ func (e *PolicyError) Unwrap() error { return e.Err }
 
 // MatchAll fans one preference across every installed policy with a
 // bounded worker pool and returns the decisions ordered by policy name.
-// It is the batch face of the parallel read path: each worker matches
-// under the Site's shared lock, so throughput scales with cores, and the
-// conversion cache guarantees the preference is translated at most once
-// for the whole batch. Site owners use it to answer "which of my policies
-// would this preference block?" in one call (the Section 4.2 analytics
-// direction).
+// It is the batch face of the parallel read path: the batch loads the
+// site snapshot once and every worker matches lock-free against it —
+// the whole batch reflects exactly one policy set even when installs
+// land mid-batch — and the conversion cache guarantees the preference
+// is translated at most once for the whole batch. Site owners use it to
+// answer "which of my policies would this preference block?" in one
+// call (the Section 4.2 analytics direction).
 func (s *Site) MatchAll(prefXML string, engine Engine) ([]Decision, error) {
 	return s.MatchAllCtx(context.Background(), prefXML, engine)
 }
@@ -60,7 +62,15 @@ func (s *Site) MatchAll(prefXML string, engine Engine) ([]Decision, error) {
 // error if it ended early). Both can be non-empty at once — callers that
 // want the old all-or-nothing behavior check err first.
 func (s *Site) MatchAllCtx(ctx context.Context, prefXML string, engine Engine) ([]Decision, error) {
-	names := s.PolicyNames()
+	// One snapshot for the whole batch: a concurrent install/remove/
+	// replace publishes a successor state, which this batch deliberately
+	// does not see — no torn mix of old and new policies.
+	st := s.state.Load()
+	names := make([]string, 0, len(st.policyXML))
+	for n := range st.policyXML {
+		names = append(names, n)
+	}
+	sort.Strings(names)
 	if len(names) == 0 {
 		return nil, nil
 	}
@@ -100,10 +110,10 @@ func (s *Site) MatchAllCtx(ctx context.Context, prefXML string, engine Engine) (
 				if s.perPolicyTimeout > 0 {
 					var cancel context.CancelFunc
 					pctx, cancel = context.WithTimeout(pctx, s.perPolicyTimeout)
-					decisions[i], errs[i] = s.MatchPolicyCtx(pctx, prefXML, names[i], engine)
+					decisions[i], errs[i] = s.matchPolicyState(pctx, st, prefXML, names[i], engine)
 					cancel()
 				} else {
-					decisions[i], errs[i] = s.MatchPolicyCtx(pctx, prefXML, names[i], engine)
+					decisions[i], errs[i] = s.matchPolicyState(pctx, st, prefXML, names[i], engine)
 				}
 				if ps != nil {
 					if errs[i] != nil {

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+
+	"p3pdb/internal/p3p"
+	"p3pdb/internal/reffile"
+	"p3pdb/internal/reldb"
+	"p3pdb/internal/shred"
+	"p3pdb/internal/xmlstore"
+)
+
+// siteState is the immutable interior of a Site: every backend the
+// matching engines read, bundled into one snapshot. A state is built
+// aside, fully populated, and then published through the Site's atomic
+// pointer; after publication it is never mutated, so matches that loaded
+// it keep a consistent view for their whole evaluation — installs,
+// removes, and bulk replaces swap in a successor state without blocking
+// them. This is the same published-snapshot discipline an XML content
+// store uses for hot deploys, applied to the paper's three policy
+// representations at once.
+type siteState struct {
+	optDB    *reldb.DB
+	optStore *shred.OptimizedStore
+	genDB    *reldb.DB
+	genStore *shred.GenericStore
+	refStore *reffile.Store
+	xml      *xmlstore.Store
+
+	refFile *reffile.RefFile
+
+	// policies holds the parsed policies (shared across snapshots — they
+	// are not mutated after install), policyXML their rendered documents,
+	// ids the policy id used by both relational schemas, and order the
+	// install order, which rebuilds preserve so ids stay stable.
+	policies  map[string]*p3p.Policy
+	policyXML map[string]string
+	ids       map[string]int
+	order     []string
+	// nextID continues across snapshots and removals, so a policy id is
+	// never reused: a stale id-bound artifact can miss, never alias.
+	nextID int
+}
+
+// policyForURI resolves which policy governs a URI within this snapshot.
+func (st *siteState) policyForURI(uri string) (string, error) {
+	if st.refFile == nil {
+		return "", fmt.Errorf("core: no reference file installed")
+	}
+	pr := st.refFile.PolicyForURI(uri)
+	if pr == nil {
+		return "", fmt.Errorf("core: no policy covers %q", uri)
+	}
+	name := pr.PolicyName()
+	if _, ok := st.policyXML[name]; !ok {
+		return "", fmt.Errorf("core: reference file names uninstalled policy %q", name)
+	}
+	return name, nil
+}
+
+// policyForCookie resolves which policy governs a cookie by name within
+// this snapshot.
+func (st *siteState) policyForCookie(cookieName string) (string, error) {
+	if st.refFile == nil {
+		return "", fmt.Errorf("core: no reference file installed")
+	}
+	pr := st.refFile.PolicyForCookie(cookieName)
+	if pr == nil {
+		return "", fmt.Errorf("core: no policy covers cookie %q", cookieName)
+	}
+	name := pr.PolicyName()
+	if _, ok := st.policyXML[name]; !ok {
+		return "", fmt.Errorf("core: reference file names uninstalled policy %q", name)
+	}
+	return name, nil
+}
+
+// stateDraft is the mutable sketch a writer edits before the next
+// snapshot is materialized. It carries only the logical content (parsed
+// policies, ids, the reference file); the physical backends are rebuilt
+// from it by materialize.
+type stateDraft struct {
+	policies map[string]*p3p.Policy
+	ids      map[string]int
+	order    []string
+	refFile  *reffile.RefFile
+	nextID   int
+}
+
+func newDraft() *stateDraft {
+	return &stateDraft{
+		policies: map[string]*p3p.Policy{},
+		ids:      map[string]int{},
+		nextID:   1,
+	}
+}
+
+// draft copies the snapshot's logical content into an editable sketch.
+func (st *siteState) draft() *stateDraft {
+	d := &stateDraft{
+		policies: make(map[string]*p3p.Policy, len(st.policies)),
+		ids:      make(map[string]int, len(st.ids)),
+		order:    append([]string(nil), st.order...),
+		refFile:  st.refFile,
+		nextID:   st.nextID,
+	}
+	for n, p := range st.policies {
+		d.policies[n] = p
+	}
+	for n, id := range st.ids {
+		d.ids[n] = id
+	}
+	return d
+}
+
+func (d *stateDraft) addPolicy(pol *p3p.Policy) error {
+	if err := pol.MustValid(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if _, dup := d.policies[pol.Name]; dup {
+		return fmt.Errorf("core: policy %q already installed", pol.Name)
+	}
+	d.policies[pol.Name] = pol
+	d.ids[pol.Name] = d.nextID
+	d.nextID++
+	d.order = append(d.order, pol.Name)
+	return nil
+}
+
+func (d *stateDraft) removePolicy(name string) error {
+	if _, ok := d.policies[name]; !ok {
+		return fmt.Errorf("core: policy %q not installed", name)
+	}
+	delete(d.policies, name)
+	delete(d.ids, name)
+	for i, n := range d.order {
+		if n == name {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+func (d *stateDraft) setRefFile(rf *reffile.RefFile) error {
+	for _, pr := range rf.PolicyRefs {
+		if _, ok := d.policies[pr.PolicyName()]; !ok {
+			return fmt.Errorf("core: reference file names uninstalled policy %q", pr.PolicyName())
+		}
+	}
+	d.refFile = rf
+	return nil
+}
+
+// materialize builds a fresh, fully-populated siteState from a draft:
+// new relational databases for both schemas, new XML store, every policy
+// re-shredded under its preserved id, and the reference file mirrored
+// into the Figure 16 tables. The current snapshot is never touched, so a
+// failure anywhere leaves the site exactly as it was — the all-or-nothing
+// guarantee — and a success is published with a single atomic store.
+//
+// The cost is O(installed policies) per write. Policy writes are the
+// cold administrative path; what the rebuild buys is a read path that
+// never takes a site-level lock and never observes a half-applied
+// change.
+func (s *Site) materialize(d *stateDraft) (*siteState, error) {
+	optDB := reldb.NewWithOptions(s.opts.DB)
+	genDB := reldb.NewWithOptions(s.opts.DB)
+	optStore, err := shred.NewOptimized(optDB)
+	if err != nil {
+		return nil, err
+	}
+	genStore, err := shred.NewGeneric(genDB)
+	if err != nil {
+		return nil, err
+	}
+	refStore, err := reffile.NewStore(optDB)
+	if err != nil {
+		return nil, err
+	}
+	st := &siteState{
+		optDB:     optDB,
+		optStore:  optStore,
+		genDB:     genDB,
+		genStore:  genStore,
+		refStore:  refStore,
+		xml:       xmlstore.New(),
+		refFile:   d.refFile,
+		policies:  d.policies,
+		policyXML: make(map[string]string, len(d.policies)),
+		ids:       d.ids,
+		order:     d.order,
+		nextID:    d.nextID,
+	}
+	for _, name := range d.order {
+		pol := d.policies[name]
+		id := d.ids[name]
+		if _, err := optStore.InstallPolicyAt(pol, id); err != nil {
+			return nil, err
+		}
+		if _, err := genStore.InstallPolicyAt(pol, id); err != nil {
+			return nil, err
+		}
+		dom := pol.ToDOM()
+		st.xml.Put(policyDoc(name), s.native.Augment(dom))
+		st.policyXML[name] = dom.String()
+	}
+	if d.refFile != nil {
+		// The relational mirror only stores refs that resolve; the
+		// in-memory RefFile keeps the full document. A POLICY-REF can
+		// dangle after its policy is removed — resolution reports that
+		// per lookup, as it always has.
+		inst := &reffile.RefFile{}
+		for _, pr := range d.refFile.PolicyRefs {
+			if _, ok := d.ids[pr.PolicyName()]; ok {
+				inst.PolicyRefs = append(inst.PolicyRefs, pr)
+			}
+		}
+		if len(inst.PolicyRefs) > 0 {
+			if _, err := refStore.Install(inst, optStore); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return st, nil
+}
+
+// mutate is the single write path: it serializes writers, drafts from
+// the current snapshot, applies the edit, materializes the successor
+// aside, and publishes it atomically. Matches in flight keep whatever
+// snapshot they loaded; new matches see the successor.
+func (s *Site) mutate(edit func(*stateDraft) error) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	d := s.state.Load().draft()
+	if err := edit(d); err != nil {
+		return err
+	}
+	next, err := s.materialize(d)
+	if err != nil {
+		return err
+	}
+	s.state.Store(next)
+	return nil
+}

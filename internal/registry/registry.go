@@ -1,0 +1,436 @@
+// Package registry hosts many tenant Sites in one process: the
+// multi-tenant face of the server-centric architecture. A hosting
+// provider serves policies for thousands of sites whose policy sets
+// churn while matching traffic never stops; the registry gives each
+// tenant name its own core.Site (whose snapshot-swapped interior makes
+// per-tenant hot reload non-blocking), loads tenants lazily from a
+// per-site directory layout, and evicts cold tenants under an LRU cap.
+//
+// The on-disk layout under Options.Dir is one directory per tenant:
+//
+//	sites/
+//	  example.com/
+//	    policies.xml      any *.xml: a POLICY or POLICIES document
+//	    reference.xml     optional: the META reference file
+//	  other.example/
+//	    ...
+//
+// Every .xml file except reference.xml is installed as a policy
+// document; reference.xml, when present, becomes the tenant's reference
+// file. Loading and reloading go through Site.ReplacePolicies, so a
+// reload is one atomic snapshot swap: requests in flight finish against
+// the old policy set, and a broken directory leaves the tenant serving
+// its previous state.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"p3pdb/internal/core"
+	"p3pdb/internal/obs"
+	"p3pdb/internal/p3p"
+	"p3pdb/internal/reffile"
+)
+
+// ErrUnknownSite reports a tenant name with no loaded site and no
+// directory to load it from. Servers map it to a JSON 404.
+var ErrUnknownSite = errors.New("registry: unknown site")
+
+// Registry-level observability: tenant loads from disk, LRU evictions,
+// and the resident-site gauge.
+var (
+	obsLoads     = obs.GetCounter("registry.loads")
+	obsEvictions = obs.GetCounter("registry.evictions")
+	obsSites     = obs.GetGauge("registry.sites")
+)
+
+// Options configure a Registry.
+type Options struct {
+	// Dir is the root of the per-site directory layout; empty disables
+	// lazy loading (tenants exist only via Create).
+	Dir string
+	// Site passes options (budgets, cache sizes, DB ablations) to every
+	// site the registry constructs.
+	Site core.Options
+	// MaxSites bounds resident tenants; past it the least-recently-used
+	// tenant is evicted. Zero means unbounded. Eviction only drops the
+	// registry's reference: requests already holding the site finish
+	// normally, and the next Get reloads it from disk.
+	MaxSites int
+}
+
+// entry is one resident tenant. Entries are stored fully loaded, so the
+// lookup fast path never observes a half-constructed site.
+type entry struct {
+	site     *core.Site
+	lastUsed atomic.Int64
+	reqs     *obs.Counter // per-tenant request label
+}
+
+// flight is one in-progress tenant load; concurrent Gets for the same
+// name wait on it instead of loading twice.
+type flight struct {
+	done chan struct{}
+	site *core.Site
+	err  error
+}
+
+// Registry is a concurrent named-tenant map. Lookups of resident
+// tenants touch only a sync.Map and atomics; the mutex guards loads,
+// creates, removes, and eviction.
+type Registry struct {
+	opts Options
+
+	entries sync.Map // name -> *entry
+	clock   atomic.Int64
+	ready   atomic.Bool
+
+	mu       sync.Mutex
+	count    int
+	inflight map[string]*flight
+}
+
+// New returns a registry. With Options.Dir set, the directory must
+// exist; tenants inside it load lazily on first Get.
+func New(opts Options) (*Registry, error) {
+	if opts.Dir != "" {
+		fi, err := os.Stat(opts.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("registry: sites dir: %w", err)
+		}
+		if !fi.IsDir() {
+			return nil, fmt.Errorf("registry: sites dir %s is not a directory", opts.Dir)
+		}
+	}
+	r := &Registry{opts: opts, inflight: map[string]*flight{}}
+	r.ready.Store(true)
+	return r, nil
+}
+
+// Ready reports whether the registry finished its initial setup; the
+// server's /readyz endpoint exposes it.
+func (r *Registry) Ready() bool { return r.ready.Load() }
+
+// ValidName reports whether a tenant name is acceptable: host-shaped
+// (letters, digits, dot, dash, underscore), with no path traversal.
+func ValidName(name string) bool {
+	if name == "" || len(name) > 128 || name[0] == '.' {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return !strings.Contains(name, "..")
+}
+
+// Normalize canonicalizes a tenant name (lower-cased, port stripped, so
+// a Host header can be used directly) and validates it.
+func Normalize(name string) (string, error) {
+	name = strings.ToLower(name)
+	if i := strings.LastIndexByte(name, ':'); i >= 0 {
+		name = name[:i]
+	}
+	if !ValidName(name) {
+		return "", fmt.Errorf("registry: invalid site name %q", name)
+	}
+	return name, nil
+}
+
+// Get returns the named tenant's site, loading it from the directory
+// layout on first use. Resident lookups are the hot path: one sync.Map
+// read plus two atomics.
+func (r *Registry) Get(name string) (*core.Site, error) {
+	name, err := Normalize(name)
+	if err != nil {
+		return nil, err
+	}
+	if v, ok := r.entries.Load(name); ok {
+		e := v.(*entry)
+		e.lastUsed.Store(r.clock.Add(1))
+		e.reqs.Inc()
+		return e.site, nil
+	}
+	return r.loadSlow(name)
+}
+
+// Lookup returns the named tenant's site only if it is already
+// resident; it never loads and never counts as a use.
+func (r *Registry) Lookup(name string) (*core.Site, bool) {
+	name, err := Normalize(name)
+	if err != nil {
+		return nil, false
+	}
+	v, ok := r.entries.Load(name)
+	if !ok {
+		return nil, false
+	}
+	return v.(*entry).site, true
+}
+
+// loadSlow loads a tenant from disk, collapsing concurrent loads of the
+// same name into one.
+func (r *Registry) loadSlow(name string) (*core.Site, error) {
+	r.mu.Lock()
+	if v, ok := r.entries.Load(name); ok { // raced with another load
+		r.mu.Unlock()
+		e := v.(*entry)
+		e.lastUsed.Store(r.clock.Add(1))
+		e.reqs.Inc()
+		return e.site, nil
+	}
+	if fl, ok := r.inflight[name]; ok {
+		r.mu.Unlock()
+		<-fl.done
+		return fl.site, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	r.inflight[name] = fl
+	r.mu.Unlock()
+
+	site, err := r.loadFromDir(name)
+
+	r.mu.Lock()
+	delete(r.inflight, name)
+	if err == nil {
+		r.storeLocked(name, site)
+		obsLoads.Inc()
+	}
+	r.mu.Unlock()
+
+	fl.site, fl.err = site, err
+	close(fl.done)
+	return site, err
+}
+
+// storeLocked publishes a loaded tenant and evicts past the LRU cap.
+// Caller holds r.mu.
+func (r *Registry) storeLocked(name string, site *core.Site) {
+	e := &entry{
+		site: site,
+		reqs: obs.GetCounter("registry.tenant." + name + ".requests"),
+	}
+	e.lastUsed.Store(r.clock.Add(1))
+	if _, loaded := r.entries.Swap(name, e); !loaded {
+		r.count++
+		obsSites.Add(1)
+	}
+	for r.opts.MaxSites > 0 && r.count > r.opts.MaxSites {
+		coldName, ok := r.coldest(name)
+		if !ok {
+			break
+		}
+		r.entries.Delete(coldName)
+		r.count--
+		obsSites.Add(-1)
+		obsEvictions.Inc()
+	}
+}
+
+// coldest finds the least-recently-used resident tenant other than keep.
+func (r *Registry) coldest(keep string) (string, bool) {
+	var (
+		name  string
+		min   int64
+		found bool
+	)
+	r.entries.Range(func(k, v any) bool {
+		if k.(string) == keep {
+			return true
+		}
+		used := v.(*entry).lastUsed.Load()
+		if !found || used < min {
+			name, min, found = k.(string), used, true
+		}
+		return true
+	})
+	return name, found
+}
+
+// loadFromDir builds a fresh site from the tenant's directory.
+func (r *Registry) loadFromDir(name string) (*core.Site, error) {
+	if r.opts.Dir == "" {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownSite, name)
+	}
+	dir := filepath.Join(r.opts.Dir, name)
+	fi, err := os.Stat(dir)
+	if err != nil || !fi.IsDir() {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownSite, name)
+	}
+	site, err := core.NewSiteWithOptions(r.opts.Site)
+	if err != nil {
+		return nil, err
+	}
+	if err := loadInto(site, dir); err != nil {
+		return nil, fmt.Errorf("registry: site %s: %w", name, err)
+	}
+	return site, nil
+}
+
+// loadInto reads a tenant directory and replaces the site's policy set
+// with its contents in one snapshot swap.
+func loadInto(site *core.Site, dir string) error {
+	names, err := filepath.Glob(filepath.Join(dir, "*.xml"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(names)
+	var pols []*p3p.Policy
+	var rf *reffile.RefFile
+	for _, path := range names {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if filepath.Base(path) == "reference.xml" {
+			rf, err = reffile.Parse(string(data))
+			if err != nil {
+				return fmt.Errorf("%s: %w", filepath.Base(path), err)
+			}
+			continue
+		}
+		ps, err := p3p.ParsePolicies(string(data))
+		if err != nil {
+			return fmt.Errorf("%s: %w", filepath.Base(path), err)
+		}
+		pols = append(pols, ps...)
+	}
+	return site.ReplacePolicies(pols, rf)
+}
+
+// Create registers an empty dynamic tenant (one with no backing
+// directory), for the admin API. It fails if the name is already
+// resident.
+func (r *Registry) Create(name string) (*core.Site, error) {
+	name, err := Normalize(name)
+	if err != nil {
+		return nil, err
+	}
+	site, err := core.NewSiteWithOptions(r.opts.Site)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries.Load(name); ok {
+		return nil, fmt.Errorf("registry: site %q already exists", name)
+	}
+	r.storeLocked(name, site)
+	return site, nil
+}
+
+// Remove drops a tenant from the registry. Requests already holding the
+// site finish against it; a dir-backed tenant reloads on next Get.
+func (r *Registry) Remove(name string) error {
+	name, err := Normalize(name)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries.Load(name); !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownSite, name)
+	}
+	r.entries.Delete(name)
+	r.count--
+	obsSites.Add(-1)
+	return nil
+}
+
+// Reload re-reads a resident dir-backed tenant's directory and swaps
+// its policy set in place — the same *Site keeps serving, so matches in
+// flight are untouched and the swap is atomic. Tenants that are not
+// resident reload lazily on their next Get anyway.
+func (r *Registry) Reload(name string) error {
+	name, err := Normalize(name)
+	if err != nil {
+		return err
+	}
+	v, ok := r.entries.Load(name)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownSite, name)
+	}
+	if r.opts.Dir == "" {
+		return fmt.Errorf("registry: site %s has no backing directory", name)
+	}
+	dir := filepath.Join(r.opts.Dir, name)
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		return fmt.Errorf("%w: %s", ErrUnknownSite, name)
+	}
+	return loadInto(v.(*entry).site, dir)
+}
+
+// ReloadAll reloads every resident dir-backed tenant (the SIGHUP path),
+// joining per-tenant failures; a tenant whose directory vanished is
+// dropped. Tenants keep serving their previous snapshot when their
+// reload fails.
+func (r *Registry) ReloadAll() error {
+	if r.opts.Dir == "" {
+		return nil
+	}
+	var errs []error
+	for _, name := range r.residentNames() {
+		dir := filepath.Join(r.opts.Dir, name)
+		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+			_ = r.Remove(name)
+			continue
+		}
+		if err := r.Reload(name); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func (r *Registry) residentNames() []string {
+	var names []string
+	r.entries.Range(func(k, _ any) bool {
+		names = append(names, k.(string))
+		return true
+	})
+	sort.Strings(names)
+	return names
+}
+
+// Names lists every known tenant: resident ones plus directories in the
+// layout not yet loaded, sorted.
+func (r *Registry) Names() []string {
+	seen := map[string]bool{}
+	for _, n := range r.residentNames() {
+		seen[n] = true
+	}
+	if r.opts.Dir != "" {
+		if des, err := os.ReadDir(r.opts.Dir); err == nil {
+			for _, de := range des {
+				if de.IsDir() && ValidName(de.Name()) {
+					seen[strings.ToLower(de.Name())] = true
+				}
+			}
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len reports the number of resident tenants.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}

@@ -1,0 +1,205 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"p3pdb/internal/core"
+	"p3pdb/internal/registry"
+)
+
+// MultiServer fronts a registry of tenant sites with one HTTP listener:
+// the hosting-provider form of the server-centric architecture, where a
+// single matching service answers for many sites. Requests reach a
+// tenant two ways:
+//
+//   - Path routing: /sites/{name}/... strips the prefix and delegates
+//     the rest to the tenant's single-site API (/sites/a.example/match,
+//     /sites/a.example/policies, ...).
+//   - Host routing: any other path resolves the Host header (port
+//     stripped, case-folded) to a tenant, so pointing a site's DNS at
+//     the service just works.
+//
+// /sites itself is the tenant admin API, and /healthz, /readyz, and
+// /metrics answer for the process rather than any one tenant.
+type MultiServer struct {
+	reg  *registry.Registry
+	opts Options
+	mux  *http.ServeMux
+
+	// handlers caches one single-site Server per tenant. An entry is
+	// keyed to the *core.Site it wrapped: when the registry hands back a
+	// different instance (the tenant was evicted and reloaded), the
+	// cached handler is rebuilt, so a stale Server can never serve a
+	// dropped tenant's policies.
+	handlers sync.Map // name -> *tenantHandler
+}
+
+type tenantHandler struct {
+	site *core.Site
+	srv  *Server
+}
+
+// NewMulti wraps a registry with default options.
+func NewMulti(reg *registry.Registry) *MultiServer {
+	return NewMultiWithOptions(reg, Options{})
+}
+
+// NewMultiWithOptions wraps a registry.
+func NewMultiWithOptions(reg *registry.Registry, opts Options) *MultiServer {
+	m := &MultiServer{reg: reg, opts: opts, mux: http.NewServeMux()}
+	m.mux.HandleFunc("/sites", instrument("sites", m.handleSites))
+	m.mux.HandleFunc("/sites/", instrument("site", m.handleSite))
+	m.mux.HandleFunc("/healthz", handleHealthz)
+	m.mux.HandleFunc("/readyz", m.handleReadyz)
+	m.mux.HandleFunc("/", m.handleByHost)
+	return m
+}
+
+// ServeHTTP implements http.Handler.
+func (m *MultiServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	m.mux.ServeHTTP(w, r)
+}
+
+// handleHealthz reports liveness; shared with the single-site server.
+func handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz reports readiness: the process should only receive
+// traffic once the registry finished loading.
+func (m *MultiServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !m.reg.Ready() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "not-ready"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// writeTenantError reports a tenant-resolution failure: unknown tenants
+// are a JSON 404 with a machine-readable reason, bad names a 400.
+func writeTenantError(w http.ResponseWriter, err error) {
+	if errors.Is(err, registry.ErrUnknownSite) {
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error(), Reason: "unknown-tenant"})
+		return
+	}
+	writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error(), Reason: "invalid-tenant"})
+}
+
+// tenant resolves a name through the registry and returns the tenant's
+// cached single-site handler, rebuilding it if the site instance changed.
+func (m *MultiServer) tenant(name string) (*Server, error) {
+	site, err := m.reg.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	if v, ok := m.handlers.Load(name); ok {
+		if h := v.(*tenantHandler); h.site == site {
+			return h.srv, nil
+		}
+	}
+	h := &tenantHandler{site: site, srv: NewWithOptions(site, m.opts)}
+	m.handlers.Store(name, h)
+	return h.srv, nil
+}
+
+// handleSites implements the admin listing: GET /sites returns every
+// known tenant (resident and on disk).
+func (m *MultiServer) handleSites(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	writeJSON(w, http.StatusOK, m.reg.Names())
+}
+
+// handleSite dispatches /sites/{name} and /sites/{name}/...:
+//
+//   - PUT /sites/{name}: create an empty dynamic tenant (populate it
+//     through its /policies endpoint).
+//   - DELETE /sites/{name}: drop the tenant from the registry.
+//   - POST /sites/{name}: re-read the tenant's directory and swap its
+//     policy set atomically (the per-tenant face of SIGHUP).
+//   - /sites/{name}/...: strip the prefix and delegate to the tenant's
+//     single-site API.
+func (m *MultiServer) handleSite(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/sites/")
+	name, sub, nested := strings.Cut(rest, "/")
+	if name == "" {
+		writeError(w, http.StatusNotFound, fmt.Errorf("missing site name"))
+		return
+	}
+	if !nested {
+		m.handleSiteAdmin(w, r, name)
+		return
+	}
+	srv, err := m.tenant(name)
+	if err != nil {
+		writeTenantError(w, err)
+		return
+	}
+	r2 := r.Clone(r.Context())
+	r2.URL.Path = "/" + sub
+	if r.URL.RawPath != "" {
+		r2.URL.RawPath = ""
+	}
+	srv.ServeHTTP(w, r2)
+}
+
+func (m *MultiServer) handleSiteAdmin(w http.ResponseWriter, r *http.Request, name string) {
+	switch r.Method {
+	case http.MethodPut:
+		if _, err := m.reg.Create(name); err != nil {
+			if errors.Is(err, registry.ErrUnknownSite) {
+				writeTenantError(w, err)
+				return
+			}
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"site": name})
+	case http.MethodDelete:
+		if err := m.reg.Remove(name); err != nil {
+			writeTenantError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case http.MethodPost:
+		if err := m.reg.Reload(name); err != nil {
+			if errors.Is(err, registry.ErrUnknownSite) {
+				writeTenantError(w, err)
+				return
+			}
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	}
+}
+
+// handleByHost routes every non-admin path by the request's Host header.
+func (m *MultiServer) handleByHost(w http.ResponseWriter, r *http.Request) {
+	srv, err := m.tenant(r.Host)
+	if err != nil {
+		writeTenantError(w, err)
+		return
+	}
+	srv.ServeHTTP(w, r)
+}
+
+// HTTPServer wraps the handler in an http.Server with the same timeout
+// posture as the single-site server.
+func (m *MultiServer) HTTPServer(addr string) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           m,
+		ReadHeaderTimeout: defaultReadHeaderTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+}

@@ -68,8 +68,11 @@ func NewWithOptions(site *core.Site, opts Options) *Server {
 	s.mux.HandleFunc("/analytics", instrument("analytics", s.handleAnalytics))
 	s.mux.Handle("/metrics", obs.Handler(obs.Default))
 	s.mux.Handle("/debug/vars", expvar.Handler())
-	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
+	s.mux.HandleFunc("/healthz", handleHealthz)
+	// A single-site server has no lazy loading: once constructed it is
+	// ready, so readiness degenerates to liveness.
+	s.mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
 	return s
 }

@@ -179,11 +179,20 @@ func (g *GenericStore) insertRow(t GenericTable, id int, fks []int, attrs map[st
 // the foreign key of each row is the concatenated primary key of its
 // parent's row.
 func (g *GenericStore) InstallPolicy(pol *p3p.Policy) (int, error) {
+	return g.InstallPolicyAt(pol, g.nextID)
+}
+
+// InstallPolicyAt is InstallPolicy with the policy id chosen by the
+// caller, used by snapshot rebuilds to preserve ids across state swaps
+// (see OptimizedStore.InstallPolicyAt). The id must be unused; the
+// store's auto-assign sequence continues past it.
+func (g *GenericStore) InstallPolicyAt(pol *p3p.Policy, policyID int) (int, error) {
 	if err := pol.MustValid(); err != nil {
 		return 0, fmt.Errorf("shred: invalid policy: %w", err)
 	}
-	policyID := g.nextID
-	g.nextID++
+	if policyID >= g.nextID {
+		g.nextID = policyID + 1
+	}
 
 	err := g.insertRow(g.tables["POLICY"], policyID, nil, map[string]string{
 		"name": pol.Name, "discuri": pol.Discuri, "opturi": pol.Opturi,

@@ -107,14 +107,25 @@ func (s *OptimizedStore) DB() *reldb.DB { return s.db }
 // InstallPolicy validates, augments, and shreds one policy, returning its
 // assigned policy id.
 func (s *OptimizedStore) InstallPolicy(pol *p3p.Policy) (int, error) {
+	return s.InstallPolicyAt(pol, s.nextID)
+}
+
+// InstallPolicyAt is InstallPolicy with the policy id chosen by the
+// caller. Snapshot rebuilds (core's copy-on-write state swap) use it to
+// give each policy the same id it held in the previous snapshot, so that
+// id-bound artifacts — cached XTABLE translations, in-flight compiled
+// preferences — stay valid across swaps. The id must be unused; the
+// store's auto-assign sequence continues past it.
+func (s *OptimizedStore) InstallPolicyAt(pol *p3p.Policy, id int) (int, error) {
 	if err := pol.MustValid(); err != nil {
 		return 0, fmt.Errorf("shred: invalid policy: %w", err)
 	}
-	if id, err := s.PolicyID(pol.Name); err == nil {
-		return 0, fmt.Errorf("shred: policy %q already installed as id %d", pol.Name, id)
+	if prev, err := s.PolicyID(pol.Name); err == nil {
+		return 0, fmt.Errorf("shred: policy %q already installed as id %d", pol.Name, prev)
 	}
-	id := s.nextID
-	s.nextID++
+	if id >= s.nextID {
+		s.nextID = id + 1
+	}
 
 	entityName := ""
 	if pol.Entity != nil {
