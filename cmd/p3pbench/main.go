@@ -23,13 +23,14 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "table to print: all, fig19, shred, fig20, fig21, warmcold, xquery-native, ablate, throughput, tenancy, obs")
+	table := flag.String("table", "all", "table to print: all, fig19, shred, fig20, fig21, warmcold, xquery-native, ablate, throughput, tenancy, obs, durability")
 	seed := flag.Int64("seed", 42, "workload generation seed")
 	repeats := flag.Int("repeats", 3, "measurements per matrix cell")
 	level := flag.String("ablate-level", "High", "preference level for the ablation, throughput, and obs tables")
 	engine := flag.String("engine", "sql", "matching engine for the throughput and tenancy tables")
-	out := flag.String("out", "", "artifact path for the throughput/tenancy/obs tables (default BENCH_<table>.json; \"none\" to skip)")
+	out := flag.String("out", "", "artifact path for the throughput/tenancy/obs/durability tables (default BENCH_<table>.json; \"none\" to skip)")
 	matches := flag.Int("matches", 0, "matches per worker in the throughput and tenancy tables (0 = default)")
+	mutations := flag.Int("mutations", 0, "install/remove pairs per phase in the durability table (0 = default)")
 	budget := flag.Int64("budget", 0, "per-match evaluator step budget (0 = unlimited); measures governed-deployment overhead")
 	flag.Parse()
 
@@ -42,6 +43,8 @@ func main() {
 			outPath = "BENCH_tenancy.json"
 		case "obs":
 			outPath = "BENCH_obs.json"
+		case "durability":
+			outPath = "BENCH_durability.json"
 		}
 	} else if outPath == "none" {
 		outPath = ""
@@ -53,6 +56,24 @@ func main() {
 			Level:   *level,
 			Repeats: *repeats,
 			Budget:  *budget,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(r.Render())
+		if outPath != "" {
+			if err := r.WriteJSON(outPath); err != nil {
+				fatal(err)
+			}
+			fmt.Println("wrote", outPath)
+		}
+		return
+	}
+
+	if *table == "durability" {
+		r, err := benchkit.RunDurability(benchkit.DurabilityConfig{
+			Seed:      *seed,
+			Mutations: *mutations,
 		})
 		if err != nil {
 			fatal(err)

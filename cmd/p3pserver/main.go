@@ -30,6 +30,17 @@
 // many stay resident (LRU eviction past it). SIGHUP re-reads every
 // resident tenant's directory and swaps its policy set atomically —
 // matches in flight keep their snapshot, so reload never blocks reads.
+//
+// Durability: -durable points at a state directory and turns admin
+// mutations into write-ahead-logged operations — every policy install,
+// removal, and reference-file change is on disk before its 2xx, and a
+// killed server recovers the exact acknowledged state on restart from
+// its snapshot checkpoint plus log tail. -fsync picks the sync policy
+// (always, interval, never) and -checkpoint-every how many logged
+// records trigger an automatic snapshot. With -durable, SIGHUP
+// checkpoints every resident tenant instead of re-reading directories
+// (the log, not the sites-dir, is the source of truth), and GET
+// /durability (or /sites/{name}/durability) reports the log position.
 package main
 
 import (
@@ -47,6 +58,7 @@ import (
 	"time"
 
 	"p3pdb/internal/core"
+	"p3pdb/internal/durable"
 	"p3pdb/internal/faultkit"
 	"p3pdb/internal/obs"
 	"p3pdb/internal/registry"
@@ -66,6 +78,10 @@ func main() {
 	traceLog := flag.String("trace-log", "", `request-trace destination: a file path, or "-" for stderr (empty = tracing off)`)
 	sitesDir := flag.String("sites-dir", "", "multi-tenant mode: directory of per-site policy directories")
 	maxSites := flag.Int("max-sites", 0, "resident-tenant bound for -sites-dir (0 = unbounded)")
+	durableDir := flag.String("durable", "", "durable state directory: write-ahead-log every admin mutation and recover on restart (empty = in-memory only)")
+	fsyncMode := flag.String("fsync", "always", "WAL sync policy with -durable: always, interval, or never")
+	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "group-commit period for -fsync=interval")
+	checkpointEvery := flag.Int("checkpoint-every", 256, "logged records between automatic snapshot checkpoints (-1 disables)")
 	flag.Parse()
 
 	if *traceLog != "" {
@@ -118,27 +134,66 @@ func main() {
 	}
 	srvOpts := server.Options{RequestTimeout: *timeout}
 
+	var store *durable.Store
+	if *durableDir != "" {
+		policy, err := durable.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			fatal(err)
+		}
+		store, err = durable.Open(*durableDir, durable.Options{
+			Fsync:           policy,
+			FsyncInterval:   *fsyncInterval,
+			CheckpointEvery: *checkpointEvery,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		log.Printf("durable mode: WAL + checkpoints under %s (fsync=%s, checkpoint-every=%d)",
+			*durableDir, policy, *checkpointEvery)
+	}
+
+	// onShutdown collects the final durability work (checkpoint + close)
+	// run after the listener drains.
+	var onShutdown func()
+
 	var srv *http.Server
 	if *sitesDir != "" {
 		if *demo {
 			fatal(errors.New("-demo applies to single-site mode; populate -sites-dir directories instead"))
 		}
-		reg, err := registry.New(registry.Options{Dir: *sitesDir, Site: siteOpts, MaxSites: *maxSites})
+		reg, err := registry.New(registry.Options{Dir: *sitesDir, Site: siteOpts, MaxSites: *maxSites, Durable: store})
 		if err != nil {
 			fatal(err)
 		}
-		// SIGHUP hot-reloads every resident tenant from disk; each swap
-		// is atomic, so requests in flight finish on their old snapshot.
+		// SIGHUP: with durability on, checkpoint every resident tenant
+		// (the log is the source of truth; a snapshot bounds recovery
+		// time). Without it, hot-reload every tenant from disk; each
+		// swap is atomic, so requests in flight finish on their old
+		// snapshot.
 		hup := make(chan os.Signal, 1)
 		signal.Notify(hup, syscall.SIGHUP)
 		go func() {
 			for range hup {
+				if store != nil {
+					log.Printf("SIGHUP: checkpointing %d resident tenants", reg.Len())
+					if err := reg.CheckpointAll(); err != nil {
+						log.Printf("checkpoint: %v", err)
+					}
+					continue
+				}
 				log.Printf("SIGHUP: reloading %d resident tenants", reg.Len())
 				if err := reg.ReloadAll(); err != nil {
 					log.Printf("reload: %v", err)
 				}
 			}
 		}()
+		if store != nil {
+			onShutdown = func() {
+				if err := reg.Close(); err != nil {
+					log.Printf("durable close: %v", err)
+				}
+			}
+		}
 		log.Printf("multi-tenant mode: %d tenants under %s", len(reg.Names()), *sitesDir)
 		srv = server.NewMultiWithOptions(reg, srvOpts).HTTPServer(*addr)
 	} else {
@@ -146,7 +201,40 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if *demo {
+		if store != nil {
+			journal, err := store.OpenTenant("default")
+			if err != nil {
+				fatal(err)
+			}
+			if err := journal.ReplayInto(site); err != nil {
+				fatal(err)
+			}
+			if n := len(site.PolicyNames()); n > 0 {
+				log.Printf("recovered %d policies from %s (LSN %d)", n, *durableDir, journal.Status().LSN)
+			}
+			srvOpts.Journal = journal
+			// SIGHUP checkpoints the single site, mirroring multi-tenant
+			// mode.
+			hup := make(chan os.Signal, 1)
+			signal.Notify(hup, syscall.SIGHUP)
+			go func() {
+				for range hup {
+					log.Printf("SIGHUP: checkpointing")
+					if err := journal.Checkpoint(site); err != nil {
+						log.Printf("checkpoint: %v", err)
+					}
+				}
+			}()
+			onShutdown = func() {
+				if err := journal.Checkpoint(site); err != nil && !errors.Is(err, durable.ErrClosed) {
+					log.Printf("durable checkpoint: %v", err)
+				}
+				if err := journal.Close(); err != nil {
+					log.Printf("durable close: %v", err)
+				}
+			}
+		}
+		if *demo && len(site.PolicyNames()) == 0 {
 			d := workload.Generate(*seed)
 			for _, pol := range d.Policies {
 				if err := site.InstallPolicy(pol); err != nil {
@@ -155,6 +243,13 @@ func main() {
 			}
 			if err := site.InstallReferenceFile(d.RefFile); err != nil {
 				fatal(err)
+			}
+			if srvOpts.Journal != nil {
+				// The preload rode outside the journal; checkpoint so it
+				// is durable as one snapshot.
+				if err := srvOpts.Journal.Checkpoint(site); err != nil {
+					fatal(err)
+				}
 			}
 			log.Printf("preloaded %d policies; try: curl -X POST --data-binary @pref.xml 'http://localhost%s/match?uri=%s'",
 				len(d.Policies), *addr, d.URIFor(d.Policies[0].Name))
@@ -182,6 +277,9 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			fatal(err)
+		}
+		if onShutdown != nil {
+			onShutdown()
 		}
 	}
 }

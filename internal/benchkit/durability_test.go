@@ -1,0 +1,75 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDurabilitySmoke runs a miniature durability experiment end to end:
+// every fsync phase completes, the WAL really grew, recovery replays,
+// and the artifact round-trips. The 2x acceptance ratio is asserted
+// loosely here (correctness, not performance — CI machines are noisy);
+// the committed BENCH_durability.json records the measured ratio.
+func TestDurabilitySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("durability experiment in -short mode")
+	}
+	r, err := RunDurability(DurabilityConfig{
+		Mutations:      3,
+		RecoveryCounts: []int{10},
+		Dir:            t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Phases) != 4 {
+		t.Fatalf("phases = %d, want in-memory + 3 fsync policies", len(r.Phases))
+	}
+	for _, ph := range r.Phases {
+		if ph.Mutations != 6 {
+			t.Errorf("%s mutations = %d, want 6", ph.Name, ph.Mutations)
+		}
+		if ph.P50Micros <= 0 || ph.P50Micros > ph.P99Micros {
+			t.Errorf("%s quantiles broken: %+v", ph.Name, ph)
+		}
+		if journaled := ph.Name != "in-memory"; journaled != (ph.LogBytes > 0) {
+			t.Errorf("%s log bytes = %d", ph.Name, ph.LogBytes)
+		}
+		if ph.Name != "in-memory" && ph.WriteAmp <= 1 {
+			t.Errorf("%s write amp = %v, framing cannot shrink the payload", ph.Name, ph.WriteAmp)
+		}
+	}
+	if r.P99RatioInterval <= 0 {
+		t.Errorf("interval ratio = %v", r.P99RatioInterval)
+	}
+	if len(r.Recovery) != 1 || r.Recovery[0].Mutations != 10 ||
+		r.Recovery[0].LogBytes <= 0 || r.Recovery[0].RecoverMillis <= 0 {
+		t.Errorf("recovery point = %+v", r.Recovery)
+	}
+
+	out := r.Render()
+	for _, want := range []string{"in-memory", "fsync=always", "recover ms", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_durability.json")
+	if err := r.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back DurabilityResults
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.P99RatioInterval != r.P99RatioInterval || len(back.Recovery) != len(r.Recovery) {
+		t.Errorf("artifact round-trip mismatch: %+v vs %+v", back, *r)
+	}
+}

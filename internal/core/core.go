@@ -364,6 +364,83 @@ func (s *Site) ReferenceFileXML() (string, error) {
 	return st.refFile.String(), nil
 }
 
+// StateExport is a consistent copy of a site's installed documents —
+// every policy's rendered XML in install order plus the reference file —
+// read from one snapshot. The durability layer checkpoints it and
+// rebuilds sites from it; install order is preserved so a recovered
+// site assigns policy ids in the same sequence.
+type StateExport struct {
+	// Order lists policy names in install order.
+	Order []string
+	// PolicyXML maps each installed policy name to its document.
+	PolicyXML map[string]string
+	// ReferenceXML is the reference-file document, empty when none is
+	// installed.
+	ReferenceXML string
+}
+
+// ExportState captures the site's current logical state from a single
+// snapshot load: policies and reference file are mutually consistent
+// even under concurrent writers.
+func (s *Site) ExportState() StateExport {
+	st := s.state.Load()
+	exp := StateExport{
+		Order:     append([]string(nil), st.order...),
+		PolicyXML: make(map[string]string, len(st.policyXML)),
+	}
+	for n, xml := range st.policyXML {
+		exp.PolicyXML[n] = xml
+	}
+	if st.refFile != nil {
+		exp.ReferenceXML = st.refFile.String()
+	}
+	return exp
+}
+
+// RestoreState rebuilds the site's entire state from an export captured
+// by ExportState, in one all-or-nothing snapshot swap. Unlike
+// ReplacePolicies it does not re-validate the reference file against the
+// policy set: RemovePolicy legitimately leaves POLICY-REFs dangling
+// (resolution reports them per lookup), so any state ExportState could
+// observe must restore verbatim — the durability layer's checkpoints and
+// rollbacks depend on that.
+func (s *Site) RestoreState(exp StateExport) error {
+	var pols []*p3p.Policy
+	for _, name := range exp.Order {
+		ps, err := p3p.ParsePolicies(exp.PolicyXML[name])
+		if err != nil {
+			return fmt.Errorf("core: restore policy %s: %w", name, err)
+		}
+		pols = append(pols, ps...)
+	}
+	var rf *reffile.RefFile
+	if exp.ReferenceXML != "" {
+		var err error
+		rf, err = reffile.Parse(exp.ReferenceXML)
+		if err != nil {
+			return fmt.Errorf("core: restore reference file: %w", err)
+		}
+	}
+	err := s.mutate(func(d *stateDraft) error {
+		d.policies = map[string]*p3p.Policy{}
+		d.ids = map[string]int{}
+		d.order = nil
+		for _, pol := range pols {
+			if err := d.addPolicy(pol); err != nil {
+				return err
+			}
+		}
+		d.refFile = rf
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Every policy id was reassigned, as in ReplacePolicies.
+	s.conv.purgePolicyBound()
+	return nil
+}
+
 // DB exposes the optimized-schema database of the current snapshot for
 // inspection and the analytics example. The returned database is frozen:
 // later policy writes publish a new snapshot with a new database rather

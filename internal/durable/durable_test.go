@@ -1,0 +1,406 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"p3pdb/internal/core"
+)
+
+// polDoc builds a minimal valid policy document.
+func polDoc(name string) string {
+	return fmt.Sprintf(`<POLICY name=%q><STATEMENT><NON-IDENTIFIABLE/></STATEMENT></POLICY>`, name)
+}
+
+// refDoc covers /a/* with policy a.
+const refDoc = `<META><POLICY-REFERENCES><POLICY-REF about="#a"><INCLUDE>/a/*</INCLUDE></POLICY-REF></POLICY-REFERENCES></META>`
+
+func newStore(t *testing.T, opts Options) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func openTenant(t *testing.T, s *Store, name string) *Tenant {
+	t.Helper()
+	tn, err := s.OpenTenant(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tn.Close() })
+	return tn
+}
+
+func newSite(t *testing.T) *core.Site {
+	t.Helper()
+	site, err := core.NewSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return site
+}
+
+// mustEqualState asserts two sites expose the same logical state.
+func mustEqualState(t *testing.T, want, got *core.Site) {
+	t.Helper()
+	we, ge := want.ExportState(), got.ExportState()
+	if !reflect.DeepEqual(we.Order, ge.Order) {
+		t.Fatalf("order: want %v, got %v", we.Order, ge.Order)
+	}
+	if !reflect.DeepEqual(we.PolicyXML, ge.PolicyXML) {
+		t.Fatalf("policy XML diverged:\nwant %v\ngot  %v", we.PolicyXML, ge.PolicyXML)
+	}
+	if we.ReferenceXML != ge.ReferenceXML {
+		t.Fatalf("reference: want %q, got %q", we.ReferenceXML, ge.ReferenceXML)
+	}
+}
+
+// TestMutateCloseReopenReplay is the core durability contract: every
+// acknowledged mutation survives a close/reopen cycle.
+func TestMutateCloseReopenReplay(t *testing.T) {
+	store := newStore(t, Options{Fsync: FsyncNever, CheckpointEvery: -1})
+	site := newSite(t)
+	tn := openTenant(t, store, "a.example")
+
+	if _, err := tn.InstallPolicyXML(site, polDoc("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn.InstallPolicyXML(site, polDoc("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.InstallReferenceFileXML(site, refDoc); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.RemovePolicy(site, "b"); err != nil {
+		t.Fatal(err)
+	}
+	st := tn.Status()
+	if st.LSN != 4 || st.RecordsSinceCheckpoint != 4 || st.LogBytes == 0 {
+		t.Fatalf("status after 4 mutations: %+v", st)
+	}
+	if err := tn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	tn2 := openTenant(t, store, "a.example")
+	if got := tn2.Status().LSN; got != 4 {
+		t.Fatalf("recovered LSN = %d, want 4", got)
+	}
+	fresh := newSite(t)
+	if err := tn2.ReplayInto(fresh); err != nil {
+		t.Fatal(err)
+	}
+	mustEqualState(t, site, fresh)
+	if err := tn2.ReplayInto(fresh); err == nil {
+		t.Fatal("second ReplayInto should fail")
+	}
+}
+
+// TestCheckpointTruncatesLog verifies checkpoint resets the log and that
+// recovery from snapshot + tail reproduces the full state.
+func TestCheckpointTruncatesLog(t *testing.T) {
+	store := newStore(t, Options{Fsync: FsyncAlways, CheckpointEvery: -1})
+	site := newSite(t)
+	tn := openTenant(t, store, "t")
+
+	if _, err := tn.InstallPolicyXML(site, polDoc("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn.InstallPolicyXML(site, polDoc("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.Checkpoint(site); err != nil {
+		t.Fatal(err)
+	}
+	st := tn.Status()
+	if st.LogBytes != 0 || st.RecordsSinceCheckpoint != 0 || st.CheckpointLSN != 2 || st.LSN != 2 {
+		t.Fatalf("status after checkpoint: %+v", st)
+	}
+
+	// Mutations past the checkpoint land in the fresh log.
+	if err := tn.RemovePolicy(site, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if tn.Status().LogBytes == 0 {
+		t.Fatal("post-checkpoint mutation did not grow the log")
+	}
+	if err := tn.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tn2 := openTenant(t, store, "t")
+	fresh := newSite(t)
+	if err := tn2.ReplayInto(fresh); err != nil {
+		t.Fatal(err)
+	}
+	mustEqualState(t, site, fresh)
+	if got := tn2.Status().LSN; got != 3 {
+		t.Fatalf("recovered LSN = %d, want 3", got)
+	}
+}
+
+// TestDanglingReferenceSurvivesCheckpoint: removing a policy the
+// reference file names is legal (the ref dangles, resolution reports it
+// per lookup) — so a checkpoint of that state must replay verbatim
+// instead of failing reference validation.
+func TestDanglingReferenceSurvivesCheckpoint(t *testing.T) {
+	store := newStore(t, Options{Fsync: FsyncNever, CheckpointEvery: -1})
+	site := newSite(t)
+	tn := openTenant(t, store, "t")
+	if _, err := tn.InstallPolicyXML(site, polDoc("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.InstallReferenceFileXML(site, refDoc); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.RemovePolicy(site, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.Checkpoint(site); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tn2 := openTenant(t, store, "t")
+	fresh := newSite(t)
+	if err := tn2.ReplayInto(fresh); err != nil {
+		t.Fatalf("dangling-ref snapshot refused: %v", err)
+	}
+	mustEqualState(t, site, fresh)
+}
+
+// TestMaybeCheckpoint triggers the automatic checkpoint threshold.
+func TestMaybeCheckpoint(t *testing.T) {
+	store := newStore(t, Options{Fsync: FsyncNever, CheckpointEvery: 3})
+	site := newSite(t)
+	tn := openTenant(t, store, "t")
+	for i, name := range []string{"a", "b", "c"} {
+		if _, err := tn.InstallPolicyXML(site, polDoc(name)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tn.MaybeCheckpoint(site); err != nil {
+			t.Fatal(err)
+		}
+		st := tn.Status()
+		if i < 2 && st.CheckpointLSN != 0 {
+			t.Fatalf("checkpoint fired early at mutation %d: %+v", i+1, st)
+		}
+		if i == 2 && (st.CheckpointLSN != 3 || st.LogBytes != 0) {
+			t.Fatalf("checkpoint did not fire at threshold: %+v", st)
+		}
+	}
+}
+
+// TestReplace logs a whole-set replacement as one record.
+func TestReplace(t *testing.T) {
+	store := newStore(t, Options{Fsync: FsyncNever, CheckpointEvery: -1})
+	site := newSite(t)
+	tn := openTenant(t, store, "t")
+	if _, err := tn.InstallPolicyXML(site, polDoc("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.Replace(site, []string{polDoc("a"), polDoc("b")}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if names := site.PolicyNames(); len(names) != 2 {
+		t.Fatalf("after replace: %v", names)
+	}
+	if err := tn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tn2 := openTenant(t, store, "t")
+	fresh := newSite(t)
+	if err := tn2.ReplayInto(fresh); err != nil {
+		t.Fatal(err)
+	}
+	mustEqualState(t, site, fresh)
+
+	// A malformed document in the new set fails before anything is
+	// applied or logged.
+	if err := tn2.Replace(fresh, []string{"<not-a-policy/>"}, ""); err == nil {
+		t.Fatal("Replace with garbage should fail")
+	}
+	mustEqualState(t, site, fresh)
+}
+
+// TestClosedJournal maps mutations after Close to AppendError(ErrClosed).
+func TestClosedJournal(t *testing.T) {
+	store := newStore(t, Options{Fsync: FsyncNever})
+	site := newSite(t)
+	tn := openTenant(t, store, "t")
+	if err := tn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := tn.InstallPolicyXML(site, polDoc("a"))
+	var ae *AppendError
+	if !errors.As(err, &ae) || !errors.Is(err, ErrClosed) {
+		t.Fatalf("mutation on closed journal: %v", err)
+	}
+	if err := tn.Checkpoint(site); !errors.Is(err, ErrClosed) {
+		t.Fatalf("checkpoint on closed journal: %v", err)
+	}
+}
+
+// TestRequestErrorsAreNotAppendErrors keeps the 400/503 split typed: a
+// bad document or missing policy is the caller's fault, not the log's.
+func TestRequestErrorsAreNotAppendErrors(t *testing.T) {
+	store := newStore(t, Options{Fsync: FsyncNever})
+	site := newSite(t)
+	tn := openTenant(t, store, "t")
+	var ae *AppendError
+	if _, err := tn.InstallPolicyXML(site, "<garbage"); err == nil || errors.As(err, &ae) {
+		t.Fatalf("bad document: %v", err)
+	}
+	if err := tn.RemovePolicy(site, "ghost"); err == nil || errors.As(err, &ae) {
+		t.Fatalf("missing policy: %v", err)
+	}
+	if st := tn.Status(); st.LSN != 0 || st.LogBytes != 0 {
+		t.Fatalf("failed mutations reached the log: %+v", st)
+	}
+}
+
+// TestMidLogCorruptionRefused flips a byte inside an interior record and
+// expects ErrCorrupt, not silent prefix recovery.
+func TestMidLogCorruptionRefused(t *testing.T) {
+	store := newStore(t, Options{Fsync: FsyncNever, CheckpointEvery: -1})
+	site := newSite(t)
+	tn := openTenant(t, store, "t")
+	for _, name := range []string{"a", "b", "c"} {
+		if _, err := tn.InstallPolicyXML(site, polDoc(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(store.Dir(), "t", logName)
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[20] ^= 0xFF // inside the first record's payload
+	if err := os.WriteFile(logPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.OpenTenant("t"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("OpenTenant over mid-log damage: %v", err)
+	}
+}
+
+// TestSnapshotCorruptionRefused damages the checkpoint file.
+func TestSnapshotCorruptionRefused(t *testing.T) {
+	store := newStore(t, Options{Fsync: FsyncNever, CheckpointEvery: -1})
+	site := newSite(t)
+	tn := openTenant(t, store, "t")
+	if _, err := tn.InstallPolicyXML(site, polDoc("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.Checkpoint(site); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(store.Dir(), "t", snapName)
+	data, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xFF
+	if err := os.WriteFile(snapPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.OpenTenant("t"); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("OpenTenant over damaged snapshot: %v", err)
+	}
+}
+
+// TestIntervalFsyncFlushes exercises the group-commit timer path.
+func TestIntervalFsyncFlushes(t *testing.T) {
+	store := newStore(t, Options{Fsync: FsyncInterval, FsyncInterval: 5 * time.Millisecond, CheckpointEvery: -1})
+	site := newSite(t)
+	tn := openTenant(t, store, "t")
+	if _, err := tn.InstallPolicyXML(site, polDoc("a")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		tn.mu.Lock()
+		flushed := !tn.needSync
+		tn.mu.Unlock()
+		if flushed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("interval fsync never flushed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := tn.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreTenantDirectory covers HasTenant, TenantNames, RemoveTenant.
+func TestStoreTenantDirectory(t *testing.T) {
+	store := newStore(t, Options{Fsync: FsyncNever})
+	if store.HasTenant("a") {
+		t.Fatal("HasTenant before any state")
+	}
+	site := newSite(t)
+	for _, name := range []string{"b.example", "a.example"} {
+		tn := openTenant(t, store, name)
+		if _, err := tn.InstallPolicyXML(site, polDoc("p")); err != nil {
+			t.Fatal(err)
+		}
+		if err := tn.RemovePolicy(site, "p"); err != nil {
+			t.Fatal(err)
+		}
+		if err := tn.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := store.TenantNames(); !reflect.DeepEqual(got, []string{"a.example", "b.example"}) {
+		t.Fatalf("TenantNames = %v", got)
+	}
+	if !store.HasTenant("a.example") {
+		t.Fatal("HasTenant after mutations")
+	}
+	if err := store.RemoveTenant("a.example"); err != nil {
+		t.Fatal(err)
+	}
+	if store.HasTenant("a.example") {
+		t.Fatal("HasTenant after RemoveTenant")
+	}
+	if got := store.TenantNames(); !reflect.DeepEqual(got, []string{"b.example"}) {
+		t.Fatalf("TenantNames after remove = %v", got)
+	}
+}
+
+// TestParseFsyncPolicy round-trips the flag spelling.
+func TestParseFsyncPolicy(t *testing.T) {
+	for _, p := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncNever} {
+		got, err := ParseFsyncPolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParseFsyncPolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Fatal("ParseFsyncPolicy should reject unknown spellings")
+	}
+	if s := FsyncPolicy(99).String(); s != "FsyncPolicy(99)" {
+		t.Fatalf("String() for invalid policy: %q", s)
+	}
+}

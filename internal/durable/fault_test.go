@@ -1,0 +1,166 @@
+package durable
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"p3pdb/internal/faultkit"
+)
+
+// TestShortWriteRollsBack arms the durable.write point: the append tears
+// mid-frame, the mutation reports AppendError, the site rolls back, and
+// the log remains a clean prefix that later appends extend safely.
+func TestShortWriteRollsBack(t *testing.T) {
+	t.Cleanup(faultkit.Reset)
+	store := newStore(t, Options{Fsync: FsyncNever, CheckpointEvery: -1})
+	site := newSite(t)
+	tn := openTenant(t, store, "t")
+	if _, err := tn.InstallPolicyXML(site, polDoc("a")); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := faultkit.Enable(faultkit.PointDurableWrite + ":error:times=1"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := tn.InstallPolicyXML(site, polDoc("b"))
+	var ae *AppendError
+	if !errors.As(err, &ae) || !errors.Is(err, faultkit.ErrInjected) {
+		t.Fatalf("short write surfaced as %v", err)
+	}
+	if names := site.PolicyNames(); len(names) != 1 || names[0] != "a" {
+		t.Fatalf("site not rolled back: %v", names)
+	}
+	if st := tn.Status(); st.LSN != 1 {
+		t.Fatalf("failed append advanced the LSN: %+v", st)
+	}
+
+	// The torn bytes were truncated away, so the journal keeps working
+	// and recovery sees only acknowledged records.
+	if _, err := tn.InstallPolicyXML(site, polDoc("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tn2 := openTenant(t, store, "t")
+	if tn2.Torn() {
+		t.Fatal("recovery saw a torn tail after rollback truncation")
+	}
+	fresh := newSite(t)
+	if err := tn2.ReplayInto(fresh); err != nil {
+		t.Fatal(err)
+	}
+	mustEqualState(t, site, fresh)
+}
+
+// TestFsyncFaultAlwaysRollsBack: under FsyncAlways an append whose sync
+// fails was never acknowledged, so it must not survive into the log.
+func TestFsyncFaultAlwaysRollsBack(t *testing.T) {
+	t.Cleanup(faultkit.Reset)
+	store := newStore(t, Options{Fsync: FsyncAlways, CheckpointEvery: -1})
+	site := newSite(t)
+	tn := openTenant(t, store, "t")
+	if _, err := tn.InstallPolicyXML(site, polDoc("a")); err != nil {
+		t.Fatal(err)
+	}
+	before := tn.Status()
+
+	if err := faultkit.Enable(faultkit.PointDurableFsync + ":error:times=1"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := tn.InstallPolicyXML(site, polDoc("b"))
+	var ae *AppendError
+	if !errors.As(err, &ae) {
+		t.Fatalf("fsync failure surfaced as %v", err)
+	}
+	if names := site.PolicyNames(); len(names) != 1 {
+		t.Fatalf("site not rolled back: %v", names)
+	}
+	if st := tn.Status(); st.LSN != before.LSN || st.LogBytes != before.LogBytes {
+		t.Fatalf("unacknowledged record left in the log: %+v vs %+v", st, before)
+	}
+
+	// A retry after the fault clears must succeed and recover cleanly —
+	// the regression this guards: if the failed record had stayed in the
+	// log, this retry would double-install on replay.
+	if _, err := tn.InstallPolicyXML(site, polDoc("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tn2 := openTenant(t, store, "t")
+	fresh := newSite(t)
+	if err := tn2.ReplayInto(fresh); err != nil {
+		t.Fatal(err)
+	}
+	mustEqualState(t, site, fresh)
+}
+
+// TestRenameFaultFailsCheckpoint: a failed snapshot rename leaves the old
+// checkpoint and the intact log, so nothing is lost.
+func TestRenameFaultFailsCheckpoint(t *testing.T) {
+	t.Cleanup(faultkit.Reset)
+	store := newStore(t, Options{Fsync: FsyncNever, CheckpointEvery: -1})
+	site := newSite(t)
+	tn := openTenant(t, store, "t")
+	if _, err := tn.InstallPolicyXML(site, polDoc("a")); err != nil {
+		t.Fatal(err)
+	}
+	before := tn.Status()
+
+	if err := faultkit.Enable(faultkit.PointDurableRename + ":error:times=1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.Checkpoint(site); !errors.Is(err, faultkit.ErrInjected) {
+		t.Fatalf("checkpoint under rename fault: %v", err)
+	}
+	if st := tn.Status(); st.CheckpointLSN != before.CheckpointLSN || st.LogBytes != before.LogBytes {
+		t.Fatalf("failed checkpoint mutated durable state: %+v vs %+v", st, before)
+	}
+
+	// Recovery ignores the leftover temp file and replays the log.
+	if err := tn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	faultkit.Reset()
+	tn2 := openTenant(t, store, "t")
+	fresh := newSite(t)
+	if err := tn2.ReplayInto(fresh); err != nil {
+		t.Fatal(err)
+	}
+	mustEqualState(t, site, fresh)
+}
+
+// TestFsyncFaultIntervalSurfacesInStatus: a failing group-commit sync is
+// reported on /durability rather than swallowed.
+func TestFsyncFaultIntervalSurfacesInStatus(t *testing.T) {
+	t.Cleanup(faultkit.Reset)
+	store := newStore(t, Options{Fsync: FsyncInterval, FsyncInterval: 5 * time.Millisecond, CheckpointEvery: -1})
+	site := newSite(t)
+	tn := openTenant(t, store, "t")
+	if err := faultkit.Enable(faultkit.PointDurableFsync + ":error"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn.InstallPolicyXML(site, polDoc("a")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for tn.Status().SyncError == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("sync error never surfaced in Status")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Once the fault clears the next tick flushes and clears the error.
+	faultkit.Reset()
+	deadline = time.Now().Add(2 * time.Second)
+	for tn.Status().SyncError != "" {
+		if time.Now().After(deadline) {
+			t.Fatal("sync error never cleared after recovery")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

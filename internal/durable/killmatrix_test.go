@@ -1,0 +1,308 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"p3pdb/internal/core"
+	"p3pdb/internal/faultkit"
+)
+
+// The kill-matrix: simulate a kill -9 at every byte of the write-ahead
+// log (and of the post-checkpoint tail) and assert recovery always
+// lands on a durable prefix of the acknowledged history — never a torn
+// state, never ErrCorrupt, never a mutation the prefix does not
+// contain. This is the test the torn-vs-corrupt recovery rule exists
+// for: byte-truncation is exactly what a crash produces, so it must
+// always classify as a clean prefix plus (at most) a torn tail.
+
+// killHistory is the scripted mutation sequence the matrix replays.
+type killStep struct {
+	op   string
+	name string // OpRemove
+	doc  string // OpInstall / OpReference
+}
+
+var killHistory = []killStep{
+	{op: OpInstall, doc: polDoc("a")},
+	{op: OpInstall, doc: polDoc("b")},
+	{op: OpReference, doc: refDoc},
+	{op: OpRemove, name: "b"},
+	{op: OpInstall, doc: polDoc("c")},
+}
+
+// applyStep runs one scripted step through the journal.
+func applyStep(tn *Tenant, site *core.Site, s killStep) error {
+	switch s.op {
+	case OpInstall:
+		_, err := tn.InstallPolicyXML(site, s.doc)
+		return err
+	case OpRemove:
+		return tn.RemovePolicy(site, s.name)
+	case OpReference:
+		return tn.InstallReferenceFileXML(site, s.doc)
+	}
+	return fmt.Errorf("unknown step %q", s.op)
+}
+
+// runHistory executes the scripted history against a fresh tenant and
+// returns the log image plus the expected site state after each prefix
+// of k acknowledged records (expected[0] is the empty site).
+func runHistory(t *testing.T, store *Store, name string) (data []byte, expected []core.StateExport) {
+	t.Helper()
+	site := newSite(t)
+	tn := openTenant(t, store, name)
+	expected = append(expected, site.ExportState())
+	for _, s := range killHistory {
+		if err := applyStep(tn, site, s); err != nil {
+			t.Fatal(err)
+		}
+		expected = append(expected, site.ExportState())
+	}
+	if err := tn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(store.Dir(), name, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, expected
+}
+
+// frameBoundaries returns the cumulative end offset of each frame.
+func frameBoundaries(t *testing.T, data []byte) []int64 {
+	t.Helper()
+	res, err := scanLog(data)
+	if err != nil || res.torn {
+		t.Fatalf("history log does not scan clean: %+v, %v", res, err)
+	}
+	bounds := []int64{0}
+	off := int64(0)
+	for range res.records {
+		n := int64(binary.LittleEndian.Uint32(data[off : off+4]))
+		off += frameHeaderSize + n
+		bounds = append(bounds, off)
+	}
+	return bounds
+}
+
+// prefixRecords reports how many complete frames fit in b bytes, given
+// the frame boundaries.
+func prefixRecords(bounds []int64, b int64) int {
+	k := 0
+	for k+1 < len(bounds) && bounds[k+1] <= b {
+		k++
+	}
+	return k
+}
+
+// mustMatchExport asserts a recovered site equals an expected export.
+func mustMatchExport(t *testing.T, crashAt int64, want core.StateExport, got *core.Site) {
+	t.Helper()
+	ge := got.ExportState()
+	if len(ge.Order) != len(want.Order) {
+		t.Fatalf("crash at byte %d: recovered %v, want %v", crashAt, ge.Order, want.Order)
+	}
+	for i, name := range want.Order {
+		if ge.Order[i] != name || ge.PolicyXML[name] != want.PolicyXML[name] {
+			t.Fatalf("crash at byte %d: policy %q diverged", crashAt, name)
+		}
+	}
+	if ge.ReferenceXML != want.ReferenceXML {
+		t.Fatalf("crash at byte %d: reference file diverged", crashAt)
+	}
+}
+
+// permissivePref fires its OTHERWISE rule against any policy.
+const permissivePref = `<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1" xmlns="http://www.w3.org/2002/01/P3Pv1"><appel:OTHERWISE behavior="request"/></appel:RULESET>`
+
+// assertServesAcrossEngines asserts the recovered site answers match
+// requests for exactly the expected policy set on all four engines.
+func assertServesAcrossEngines(t *testing.T, crashAt int64, want core.StateExport, got *core.Site) {
+	t.Helper()
+	for _, engine := range core.Engines {
+		for _, name := range want.Order {
+			dec, err := got.MatchPolicy(permissivePref, name, engine)
+			if err != nil {
+				t.Fatalf("crash at byte %d: %v match %s: %v", crashAt, engine, name, err)
+			}
+			if dec.Behavior != "request" {
+				t.Fatalf("crash at byte %d: %v match %s: behavior %q", crashAt, engine, name, dec.Behavior)
+			}
+		}
+		// A policy beyond the durable prefix must not be served.
+		if _, err := got.MatchPolicy(permissivePref, "ghost", engine); err == nil {
+			t.Fatalf("crash at byte %d: %v served an uninstalled policy", crashAt, engine)
+		}
+	}
+}
+
+// recoverPrefix simulates the crash: a fresh tenant directory holding
+// the truncated log (and optionally a snapshot), opened and replayed.
+func recoverPrefix(t *testing.T, opts Options, snapshot, logPrefix []byte) (*Tenant, *core.Site) {
+	t.Helper()
+	store := newStore(t, opts)
+	dir := filepath.Join(store.Dir(), "t")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if snapshot != nil {
+		if err := os.WriteFile(filepath.Join(dir, snapName), snapshot, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, logName), logPrefix, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tn, err := store.OpenTenant("t")
+	if err != nil {
+		t.Fatalf("OpenTenant over %d-byte prefix: %v", len(logPrefix), err)
+	}
+	t.Cleanup(func() { tn.Close() })
+	site := newSite(t)
+	if err := tn.ReplayInto(site); err != nil {
+		t.Fatalf("replay over %d-byte prefix: %v", len(logPrefix), err)
+	}
+	return tn, site
+}
+
+// TestKillMatrixEveryByte truncates the log at every byte offset and
+// asserts recovery reproduces exactly the last durable prefix.
+func TestKillMatrixEveryByte(t *testing.T) {
+	opts := Options{Fsync: FsyncNever, CheckpointEvery: -1}
+	data, expected := runHistory(t, newStore(t, opts), "t")
+	bounds := frameBoundaries(t, data)
+	if len(bounds) != len(killHistory)+1 {
+		t.Fatalf("history produced %d frames, want %d", len(bounds)-1, len(killHistory))
+	}
+
+	for b := int64(0); b <= int64(len(data)); b++ {
+		k := prefixRecords(bounds, b)
+		tn, site := recoverPrefix(t, opts, nil, data[:b])
+		mustMatchExport(t, b, expected[k], site)
+		atBoundary := b == bounds[k]
+		if tn.Torn() == atBoundary {
+			t.Fatalf("crash at byte %d: torn=%v, at frame boundary=%v", b, tn.Torn(), atBoundary)
+		}
+		if got := tn.Status().LSN; got != uint64(k) {
+			t.Fatalf("crash at byte %d: recovered LSN %d, want %d", b, got, k)
+		}
+		// Spot-check actual serving on every frame boundary: the
+		// recovered tenant must answer for exactly the durable prefix on
+		// all four engines.
+		if atBoundary {
+			assertServesAcrossEngines(t, b, expected[k], site)
+		}
+	}
+}
+
+// TestKillMatrixSnapshotPlusTail repeats the matrix with a checkpoint in
+// the history: recovery is snapshot + truncated tail, and a crash at any
+// tail byte lands on snapshot-state + the tail's durable prefix.
+func TestKillMatrixSnapshotPlusTail(t *testing.T) {
+	opts := Options{Fsync: FsyncNever, CheckpointEvery: -1}
+	store := newStore(t, opts)
+	site := newSite(t)
+	tn := openTenant(t, store, "t")
+
+	const checkpointAfter = 3
+	var expected []core.StateExport
+	for i, s := range killHistory {
+		if err := applyStep(tn, site, s); err != nil {
+			t.Fatal(err)
+		}
+		if i == checkpointAfter-1 {
+			if err := tn.Checkpoint(site); err != nil {
+				t.Fatal(err)
+			}
+			expected = append(expected, site.ExportState()) // tail prefix 0
+		}
+		if i >= checkpointAfter {
+			expected = append(expected, site.ExportState())
+		}
+	}
+	if err := tn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snapshot, err := os.ReadFile(filepath.Join(store.Dir(), "t", snapName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := os.ReadFile(filepath.Join(store.Dir(), "t", logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := frameBoundaries(t, tail)
+	if len(bounds) != len(killHistory)-checkpointAfter+1 {
+		t.Fatalf("tail has %d frames, want %d", len(bounds)-1, len(killHistory)-checkpointAfter)
+	}
+
+	for b := int64(0); b <= int64(len(tail)); b++ {
+		k := prefixRecords(bounds, b)
+		tn2, got := recoverPrefix(t, opts, snapshot, tail[:b])
+		mustMatchExport(t, b, expected[k], got)
+		if lsn := tn2.Status().LSN; lsn != uint64(checkpointAfter+k) {
+			t.Fatalf("crash at tail byte %d: recovered LSN %d, want %d", b, lsn, checkpointAfter+k)
+		}
+	}
+}
+
+// TestKillMatrixWithFaults drives the same history with a short-write or
+// fsync fault injected at every step: the faulted mutation rolls back,
+// the rest of the history lands, and recovery serves exactly the
+// acknowledged set.
+func TestKillMatrixWithFaults(t *testing.T) {
+	t.Cleanup(faultkit.Reset)
+	cases := []struct {
+		point string
+		opts  Options
+	}{
+		{faultkit.PointDurableWrite, Options{Fsync: FsyncNever, CheckpointEvery: -1}},
+		{faultkit.PointDurableFsync, Options{Fsync: FsyncAlways, CheckpointEvery: -1}},
+	}
+	for _, tc := range cases {
+		for failAt := 0; failAt < len(killHistory); failAt++ {
+			t.Run(fmt.Sprintf("%s@%d", tc.point, failAt), func(t *testing.T) {
+				faultkit.Reset()
+				store := newStore(t, tc.opts)
+				site := newSite(t)
+				tn := openTenant(t, store, "t")
+				if err := faultkit.Enable(fmt.Sprintf("%s:error:after=%d:times=1", tc.point, failAt)); err != nil {
+					t.Fatal(err)
+				}
+				faulted := 0
+				for _, s := range killHistory {
+					err := applyStep(tn, site, s)
+					var ae *AppendError
+					if errors.As(err, &ae) {
+						faulted++
+					} else if err != nil {
+						// A rolled-back install can make a later remove a
+						// plain request error (the policy never landed);
+						// that is correct client-visible behavior.
+						continue
+					}
+				}
+				if faulted != 1 {
+					t.Fatalf("expected exactly one faulted mutation, got %d", faulted)
+				}
+				faultkit.Reset()
+				if err := tn.Close(); err != nil {
+					t.Fatal(err)
+				}
+
+				tn2 := openTenant(t, store, "t")
+				fresh := newSite(t)
+				if err := tn2.ReplayInto(fresh); err != nil {
+					t.Fatal(err)
+				}
+				mustEqualState(t, site, fresh)
+				assertServesAcrossEngines(t, int64(failAt), site.ExportState(), fresh)
+			})
+		}
+	}
+}

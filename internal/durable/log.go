@@ -1,0 +1,209 @@
+package durable
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"p3pdb/internal/faultkit"
+)
+
+// The write-ahead log is a headerless sequence of framed records:
+//
+//	[4B little-endian payload length][4B CRC32C of payload][payload]
+//
+// The payload is one JSON-encoded Record. Framing carries no pointers
+// between records, so a log is valid iff it is a concatenation of valid
+// frames — which makes the recovery rule simple: scan frames until the
+// first one that fails, and decide whether the failure is a torn tail
+// (the broken frame runs into EOF: truncate it away and keep going) or
+// mid-log corruption (valid bytes exist past the broken frame: refuse
+// the log with ErrCorrupt rather than silently dropping acknowledged
+// mutations).
+
+// frameHeaderSize is the fixed per-record overhead.
+const frameHeaderSize = 8
+
+// maxRecordSize bounds one record's payload. The server caps request
+// bodies at 1 MiB; a full-set replace of a large corpus stays well under
+// this, and anything bigger in a length prefix is damage, not data.
+const maxRecordSize = 64 << 20
+
+// castagnoli is the CRC32C table (the checksum RocksDB and ext4 use for
+// exactly this job: cheap, hardware-assisted, good burst detection).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a mid-log CRC or framing failure: a record failed
+// its checksum while valid data exists beyond it, so the damage cannot
+// be explained by a torn final write. Recovery refuses the log rather
+// than resurrecting an arbitrary prefix.
+var ErrCorrupt = errors.New("durable: log corrupt")
+
+// Log mutation operations.
+const (
+	// OpInstall installs the policies of one POLICY/POLICIES document
+	// (core.Site.InstallPolicyXML).
+	OpInstall = "install"
+	// OpRemove removes one named policy (core.Site.RemovePolicy).
+	OpRemove = "remove"
+	// OpReference installs the reference file (InstallReferenceFileXML).
+	OpReference = "reffile"
+	// OpReplace replaces the whole policy set and reference file in one
+	// snapshot swap (core.Site.ReplacePolicies).
+	OpReplace = "replace"
+)
+
+// Record is one logged site mutation. LSN is the tenant's monotonic
+// log-sequence number; it survives checkpoints (a record whose LSN is
+// already covered by the snapshot is skipped on replay, which is what
+// makes a crash between snapshot rename and log truncation harmless).
+type Record struct {
+	LSN  uint64   `json:"lsn"`
+	Op   string   `json:"op"`
+	Name string   `json:"name,omitempty"` // OpRemove: the policy name
+	Doc  string   `json:"doc,omitempty"`  // OpInstall/OpReference: the XML document
+	Docs []string `json:"docs,omitempty"` // OpReplace: every policy document
+	Ref  string   `json:"ref,omitempty"`  // OpReplace: the reference file, "" for none
+}
+
+// encodeRecord frames one record.
+func encodeRecord(rec *Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) > maxRecordSize {
+		return nil, fmt.Errorf("durable: record of %d bytes exceeds the %d-byte frame bound", len(payload), maxRecordSize)
+	}
+	frame := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	copy(frame[frameHeaderSize:], payload)
+	return frame, nil
+}
+
+// scanResult is what scanning a log file yields: the decodable records,
+// the byte offset the log is valid up to, and whether a torn tail was
+// truncated away to get there.
+type scanResult struct {
+	records  []Record
+	validLen int64
+	torn     bool
+}
+
+// scanLog reads every record of a log file. A broken frame that runs
+// into EOF is a torn tail: the scan stops at its start and reports
+// torn=true. A broken frame with data beyond it is ErrCorrupt.
+func scanLog(data []byte) (scanResult, error) {
+	res := scanResult{}
+	off := int64(0)
+	size := int64(len(data))
+	for off < size {
+		rest := size - off
+		if rest < frameHeaderSize {
+			res.torn = true
+			break
+		}
+		n := int64(binary.LittleEndian.Uint32(data[off : off+4]))
+		stored := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		end := off + frameHeaderSize + n
+		if n > maxRecordSize || end > size {
+			// The frame claims bytes the file does not have (or an
+			// implausible length from a torn header write): torn iff
+			// nothing but this broken frame remains — and by
+			// construction it extends to or past EOF, so it does.
+			res.torn = true
+			break
+		}
+		payload := data[off+frameHeaderSize : end]
+		if crc32.Checksum(payload, castagnoli) != stored {
+			// A full frame is present but its bytes are wrong. If the
+			// frame is the last thing in the file this is still
+			// explainable as a torn write (length landed, payload
+			// didn't); anywhere else it is unambiguous corruption.
+			if end == size {
+				res.torn = true
+				break
+			}
+			return res, fmt.Errorf("%w: CRC mismatch in record at byte %d with %d valid bytes beyond it", ErrCorrupt, off, size-end)
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			if end == size {
+				res.torn = true
+				break
+			}
+			return res, fmt.Errorf("%w: undecodable record at byte %d: %v", ErrCorrupt, off, err)
+		}
+		res.records = append(res.records, rec)
+		off = end
+		res.validLen = off
+	}
+	return res, nil
+}
+
+// appendFrame writes one framed record at the end of the log file,
+// honouring the faultkit short-write point: an armed durable.write fault
+// leaves a torn frame on disk (the first half of the bytes), exactly
+// what a crash mid-write produces, then surfaces the injected error.
+func appendFrame(f *os.File, frame []byte) (int64, error) {
+	if err := faultkit.Inject(faultkit.PointDurableWrite); err != nil {
+		_, _ = f.Write(frame[:len(frame)/2])
+		return int64(len(frame) / 2), fmt.Errorf("durable: short write: %w", err)
+	}
+	n, err := f.Write(frame)
+	if err != nil {
+		return int64(n), fmt.Errorf("durable: log write: %w", err)
+	}
+	return int64(n), nil
+}
+
+// syncFile fsyncs through the faultkit durable.fsync point, so tests can
+// drill the "disk lied about durability" failure mode.
+func syncFile(f *os.File) error {
+	if err := faultkit.Inject(faultkit.PointDurableFsync); err != nil {
+		return fmt.Errorf("durable: fsync: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("durable: fsync: %w", err)
+	}
+	obsFsyncs.Inc()
+	return nil
+}
+
+// readAll reads a whole file, tolerating its absence (an empty log and a
+// missing log recover identically).
+func readAll(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable (the step that makes temp-file+rename atomic across power
+// loss, not just across crashes).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		// Some filesystems refuse directory fsync; data-file fsync
+		// already happened, so degrade rather than fail the mutation.
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,28 @@
+package durable
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAppendErrorWraps(t *testing.T) {
+	inner := errors.New("disk on fire")
+	ae := &AppendError{Err: inner}
+	if ae.Error() != "disk on fire" {
+		t.Errorf("Error() = %q", ae.Error())
+	}
+	if !errors.Is(ae, inner) {
+		t.Error("AppendError does not unwrap to its cause")
+	}
+}
+
+func TestTenantName(t *testing.T) {
+	store := newStore(t, Options{Fsync: FsyncNever})
+	journal := openTenant(t, store, "acme")
+	if journal.Name() != "acme" {
+		t.Errorf("Name() = %q", journal.Name())
+	}
+	if journal.Torn() {
+		t.Error("fresh journal reports a torn tail")
+	}
+}

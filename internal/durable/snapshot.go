@@ -1,0 +1,115 @@
+package durable
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"p3pdb/internal/faultkit"
+)
+
+// A snapshot checkpoint is the tenant's full logical state — every
+// installed policy document in install order plus the reference file —
+// written as one atomically-renamed file:
+//
+//	[8B magic "P3PSNAP1"][4B CRC32C of body][JSON body]
+//
+// The body embeds the LSN the snapshot covers; recovery loads the
+// snapshot and then replays only log records with a higher LSN, so a
+// crash anywhere between snapshot rename and log truncation replays
+// into exactly the same state.
+
+// snapMagic identifies (and versions) the snapshot file format.
+var snapMagic = []byte("P3PSNAP1")
+
+const (
+	snapName = "snapshot.json"
+	snapTemp = "snapshot.tmp"
+	logName  = "wal.log"
+)
+
+// ErrSnapshotCorrupt reports a snapshot file whose magic or checksum
+// does not verify. Unlike a torn log tail this is never survivable —
+// the log past the snapshot LSN was truncated trusting it.
+var ErrSnapshotCorrupt = errors.New("durable: snapshot corrupt")
+
+// Snapshot is the checkpointed logical state of one tenant.
+type Snapshot struct {
+	// LSN is the last log record the snapshot covers.
+	LSN uint64 `json:"lsn"`
+	// Order lists policy names in install order; Policies maps each to
+	// its rendered XML document.
+	Order    []string          `json:"order"`
+	Policies map[string]string `json:"policies"`
+	// Reference is the reference-file document, empty when none is
+	// installed.
+	Reference string `json:"reference,omitempty"`
+}
+
+// writeSnapshot persists a snapshot with the temp-file + rename + dir
+// fsync protocol, so a crash at any step leaves either the old snapshot
+// or the new one, never a mix.
+func writeSnapshot(dir string, snap *Snapshot) error {
+	body, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, len(snapMagic)+4+len(body))
+	buf = append(buf, snapMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(body, castagnoli))
+	buf = append(buf, body...)
+
+	tmp := filepath.Join(dir, snapTemp)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := syncFile(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := faultkit.Inject(faultkit.PointDurableRename); err != nil {
+		return fmt.Errorf("durable: snapshot rename: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, snapName)); err != nil {
+		return fmt.Errorf("durable: snapshot rename: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// readSnapshot loads a tenant's snapshot; a missing file yields a nil
+// snapshot (the tenant checkpoints lazily), a damaged one
+// ErrSnapshotCorrupt.
+func readSnapshot(dir string) (*Snapshot, error) {
+	data, err := readAll(filepath.Join(dir, snapName))
+	if err != nil {
+		return nil, err
+	}
+	if data == nil {
+		return nil, nil
+	}
+	if len(data) < len(snapMagic)+4 || string(data[:len(snapMagic)]) != string(snapMagic) {
+		return nil, fmt.Errorf("%w: bad header", ErrSnapshotCorrupt)
+	}
+	stored := binary.LittleEndian.Uint32(data[len(snapMagic) : len(snapMagic)+4])
+	body := data[len(snapMagic)+4:]
+	if crc32.Checksum(body, castagnoli) != stored {
+		return nil, fmt.Errorf("%w: CRC mismatch", ErrSnapshotCorrupt)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	}
+	return &snap, nil
+}

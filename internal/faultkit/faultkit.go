@@ -61,6 +61,9 @@ const (
 	PointAppelMatch    = "appel.match"     // native APPEL engine evaluation
 	PointServerMatch   = "server.match"    // HTTP single-match handlers
 	PointServerLoadAll = "server.matchall" // HTTP batch-match handler
+	PointDurableWrite  = "durable.write"   // WAL append: fires as a short (torn) write
+	PointDurableFsync  = "durable.fsync"   // WAL/snapshot fsync failure
+	PointDurableRename = "durable.rename"  // snapshot temp-file rename failure
 )
 
 // fault is one armed injection point.

@@ -1,0 +1,245 @@
+package registry
+
+import (
+	"errors"
+	"testing"
+
+	"p3pdb/internal/durable"
+)
+
+// newDurableRegistry builds a registry over a sites dir and a durable
+// store, returning both so tests can simulate restarts by constructing a
+// second registry over the same store.
+func newDurableRegistry(t *testing.T, root, stateDir string, maxSites int) (*Registry, *durable.Store) {
+	t.Helper()
+	store, err := durable.Open(stateDir, durable.Options{Fsync: durable.FsyncNever, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(Options{Dir: root, MaxSites: maxSites, Durable: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r, store
+}
+
+// TestRestartDoesNotResurrectDeletedPolicies is the regression test for
+// the pre-durability bug: admin mutations only touched the in-memory
+// snapshot, so a restart (or Reload) silently resurrected deleted
+// policies from the sites directory. With a durable store the log
+// outranks the directory.
+func TestRestartDoesNotResurrectDeletedPolicies(t *testing.T) {
+	root, stateDir := t.TempDir(), t.TempDir()
+	writeSiteDir(t, root, "example.com")
+
+	r1, store := newDurableRegistry(t, root, stateDir, 0)
+	site, journal, err := r1.GetWithJournal("example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if journal == nil {
+		t.Fatal("durable registry loaded a tenant without a journal")
+	}
+	// The admin deletion, routed durably.
+	if err := journal.RemovePolicy(site, "volga"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: a fresh registry over the same durable store and the
+	// unchanged sites directory, which still holds policies.xml.
+	r2, err := New(Options{Dir: root, Durable: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	site2, err := r2.Get("example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := site2.PolicyNames(); len(names) != 0 {
+		t.Fatalf("deleted policy resurrected from sites dir after restart: %v", names)
+	}
+}
+
+// TestDynamicTenantSurvivesRestart: a tenant created through the admin
+// API (no backing directory) exists again after a restart.
+func TestDynamicTenantSurvivesRestart(t *testing.T) {
+	root, stateDir := t.TempDir(), t.TempDir()
+	r1, store := newDurableRegistry(t, root, stateDir, 0)
+	site, err := r1.Create("dyn.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := `<POLICY name="p"><STATEMENT><NON-IDENTIFIABLE/></STATEMENT></POLICY>`
+	if _, err := r1.Journal("dyn.example").InstallPolicyXML(site, doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := New(Options{Dir: root, Durable: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	names := r2.Names()
+	if len(names) != 1 || names[0] != "dyn.example" {
+		t.Fatalf("Names after restart = %v", names)
+	}
+	site2, err := r2.Get("dyn.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pn := site2.PolicyNames(); len(pn) != 1 || pn[0] != "p" {
+		t.Fatalf("recovered dynamic tenant policies = %v", pn)
+	}
+}
+
+// TestRemoveErasesDurableState: removing a dynamic tenant is durable —
+// it does not come back after a restart.
+func TestRemoveErasesDurableState(t *testing.T) {
+	root, stateDir := t.TempDir(), t.TempDir()
+	r1, store := newDurableRegistry(t, root, stateDir, 0)
+	if _, err := r1.Create("dyn.example"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Remove("dyn.example"); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := New(Options{Dir: root, Durable: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if _, err := r2.Get("dyn.example"); !errors.Is(err, ErrUnknownSite) {
+		t.Fatalf("removed tenant still loads: %v", err)
+	}
+	if n := len(r2.Names()); n != 0 {
+		t.Fatalf("removed tenant still listed: %v", r2.Names())
+	}
+}
+
+// TestEvictionCheckpoints: LRU eviction checkpoints the tenant, so the
+// next load replays a snapshot, not a log tail, and loses nothing.
+func TestEvictionCheckpoints(t *testing.T) {
+	root, stateDir := t.TempDir(), t.TempDir()
+	writeSiteDir(t, root, "a.example")
+	writeSiteDir(t, root, "b.example")
+	r, _ := newDurableRegistry(t, root, stateDir, 1)
+
+	site, journal, err := r.GetWithJournal("a.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := journal.RemovePolicy(site, "volga"); err != nil {
+		t.Fatal(err)
+	}
+	// Loading b evicts a (MaxSites=1), checkpointing and closing its
+	// journal on the way out.
+	if _, err := r.Get("b.example"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len after eviction = %d", r.Len())
+	}
+	// A durable mutation through the stale journal is refused, not lost.
+	if err := journal.RemovePolicy(site, "ghost"); !errors.Is(err, durable.ErrClosed) {
+		t.Fatalf("mutation on evicted journal: %v", err)
+	}
+
+	// Reloading a recovers from the eviction checkpoint: no volga, and
+	// no log tail to replay.
+	site2, journal2, err := r.GetWithJournal("a.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := site2.PolicyNames(); len(names) != 0 {
+		t.Fatalf("eviction lost the deletion: %v", names)
+	}
+	if st := journal2.Status(); st.RecordsSinceCheckpoint != 0 || st.LogBytes != 0 {
+		t.Fatalf("eviction checkpoint did not truncate the log: %+v", st)
+	}
+}
+
+// TestReloadLogsDirAsReplace: an explicit dir reload is the one
+// operation where the directory outranks the log — and it lands in the
+// log, so the re-read state survives the next restart too.
+func TestReloadLogsDirAsReplace(t *testing.T) {
+	root, stateDir := t.TempDir(), t.TempDir()
+	writeSiteDir(t, root, "example.com")
+	r1, store := newDurableRegistry(t, root, stateDir, 0)
+	site, journal, err := r1.GetWithJournal("example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := journal.RemovePolicy(site, "volga"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Reload("example.com"); err != nil {
+		t.Fatal(err)
+	}
+	if names := site.PolicyNames(); len(names) != 1 || names[0] != "volga" {
+		t.Fatalf("reload did not re-read the directory: %v", names)
+	}
+	if err := r1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := New(Options{Dir: root, Durable: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	site2, err := r2.Get("example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := site2.PolicyNames(); len(names) != 1 || names[0] != "volga" {
+		t.Fatalf("logged replace lost across restart: %v", names)
+	}
+}
+
+// TestReloadAllKeepsDurableDynamicTenants: the SIGHUP sweep must not
+// drop (and durably erase) log-backed tenants that have no directory.
+func TestReloadAllKeepsDurableDynamicTenants(t *testing.T) {
+	root, stateDir := t.TempDir(), t.TempDir()
+	r, _ := newDurableRegistry(t, root, stateDir, 0)
+	if _, err := r.Create("dyn.example"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ReloadAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get("dyn.example"); err != nil {
+		t.Fatalf("ReloadAll dropped a durable dynamic tenant: %v", err)
+	}
+}
+
+// TestCheckpointAllTruncatesLogs covers the SIGHUP checkpoint sweep.
+func TestCheckpointAllTruncatesLogs(t *testing.T) {
+	root, stateDir := t.TempDir(), t.TempDir()
+	writeSiteDir(t, root, "example.com")
+	r, _ := newDurableRegistry(t, root, stateDir, 0)
+	site, journal, err := r.GetWithJournal("example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := journal.RemovePolicy(site, "volga"); err != nil {
+		t.Fatal(err)
+	}
+	if journal.Status().LogBytes == 0 {
+		t.Fatal("mutation did not reach the log")
+	}
+	if err := r.CheckpointAll(); err != nil {
+		t.Fatal(err)
+	}
+	if st := journal.Status(); st.LogBytes != 0 || st.RecordsSinceCheckpoint != 0 {
+		t.Fatalf("CheckpointAll left the log unswept: %+v", st)
+	}
+}

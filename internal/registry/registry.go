@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 
 	"p3pdb/internal/core"
+	"p3pdb/internal/durable"
 	"p3pdb/internal/obs"
 	"p3pdb/internal/p3p"
 	"p3pdb/internal/reffile"
@@ -46,9 +47,11 @@ var ErrUnknownSite = errors.New("registry: unknown site")
 // Registry-level observability: tenant loads from disk, LRU evictions,
 // and the resident-site gauge.
 var (
-	obsLoads     = obs.GetCounter("registry.loads")
-	obsEvictions = obs.GetCounter("registry.evictions")
-	obsSites     = obs.GetGauge("registry.sites")
+	obsLoads          = obs.GetCounter("registry.loads")
+	obsEvictions      = obs.GetCounter("registry.evictions")
+	obsSites          = obs.GetGauge("registry.sites")
+	obsRecoveries     = obs.GetCounter("registry.durable_recoveries")
+	obsCheckpointErrs = obs.GetCounter("registry.checkpoint_errors")
 )
 
 // Options configure a Registry.
@@ -64,12 +67,20 @@ type Options struct {
 	// registry's reference: requests already holding the site finish
 	// normally, and the next Get reloads it from disk.
 	MaxSites int
+	// Durable, when set, makes every tenant's mutations survive a
+	// restart: tenants with durable state recover from their snapshot
+	// and write-ahead log (which then outranks the sites directory as
+	// the source of truth), tenants first seen in the sites directory
+	// are bootstrapped with an initial checkpoint, and eviction
+	// checkpoints the tenant before dropping it.
+	Durable *durable.Store
 }
 
 // entry is one resident tenant. Entries are stored fully loaded, so the
 // lookup fast path never observes a half-constructed site.
 type entry struct {
 	site     *core.Site
+	journal  *durable.Tenant // nil without Options.Durable
 	lastUsed atomic.Int64
 	reqs     *obs.Counter // per-tenant request label
 }
@@ -200,12 +211,12 @@ func (r *Registry) loadSlow(name string) (*core.Site, error) {
 	r.inflight[name] = fl
 	r.mu.Unlock()
 
-	site, err := r.loadFromDir(name)
+	site, journal, err := r.loadTenant(name)
 
 	r.mu.Lock()
 	delete(r.inflight, name)
 	if err == nil {
-		r.storeLocked(name, site)
+		r.storeLocked(name, site, journal)
 		obsLoads.Inc()
 	}
 	r.mu.Unlock()
@@ -216,11 +227,14 @@ func (r *Registry) loadSlow(name string) (*core.Site, error) {
 }
 
 // storeLocked publishes a loaded tenant and evicts past the LRU cap.
-// Caller holds r.mu.
-func (r *Registry) storeLocked(name string, site *core.Site) {
+// An evicted tenant is checkpointed first (its whole state lands in one
+// snapshot file), so re-loading it later replays no log at all. Caller
+// holds r.mu.
+func (r *Registry) storeLocked(name string, site *core.Site, journal *durable.Tenant) {
 	e := &entry{
-		site: site,
-		reqs: obs.GetCounter("registry.tenant." + name + ".requests"),
+		site:    site,
+		journal: journal,
+		reqs:    obs.GetCounter("registry.tenant." + name + ".requests"),
 	}
 	e.lastUsed.Store(r.clock.Add(1))
 	if _, loaded := r.entries.Swap(name, e); !loaded {
@@ -232,11 +246,28 @@ func (r *Registry) storeLocked(name string, site *core.Site) {
 		if !ok {
 			break
 		}
+		if v, ok := r.entries.Load(coldName); ok {
+			r.retireLocked(v.(*entry))
+		}
 		r.entries.Delete(coldName)
 		r.count--
 		obsSites.Add(-1)
 		obsEvictions.Inc()
 	}
+}
+
+// retireLocked checkpoints and closes a tenant's journal as it leaves
+// the registry. Requests still holding the site keep matching against
+// it; only new durable mutations are refused (ErrClosed) until the
+// tenant is re-loaded.
+func (r *Registry) retireLocked(e *entry) {
+	if e.journal == nil {
+		return
+	}
+	if err := e.journal.Checkpoint(e.site); err != nil && !errors.Is(err, durable.ErrClosed) {
+		obsCheckpointErrs.Inc()
+	}
+	_ = e.journal.Close()
 }
 
 // coldest finds the least-recently-used resident tenant other than keep.
@@ -259,60 +290,125 @@ func (r *Registry) coldest(keep string) (string, bool) {
 	return name, found
 }
 
-// loadFromDir builds a fresh site from the tenant's directory.
-func (r *Registry) loadFromDir(name string) (*core.Site, error) {
+// loadTenant builds a fresh site for a tenant, preferring durable state
+// over the sites directory: a tenant that has ever checkpointed or
+// logged a mutation recovers from its snapshot + log tail, so admin
+// deletions survive restarts even while the original XML files still
+// sit in the sites directory. A tenant first seen in the directory is
+// bootstrapped into the durable store with an initial checkpoint.
+func (r *Registry) loadTenant(name string) (*core.Site, *durable.Tenant, error) {
+	if r.opts.Durable != nil && r.opts.Durable.HasTenant(name) {
+		journal, err := r.opts.Durable.OpenTenant(name)
+		if err != nil {
+			return nil, nil, fmt.Errorf("registry: site %s: %w", name, err)
+		}
+		site, err := core.NewSiteWithOptions(r.opts.Site)
+		if err != nil {
+			journal.Close()
+			return nil, nil, err
+		}
+		if err := journal.ReplayInto(site); err != nil {
+			journal.Close()
+			return nil, nil, fmt.Errorf("registry: site %s: %w", name, err)
+		}
+		obsRecoveries.Inc()
+		return site, journal, nil
+	}
+
 	if r.opts.Dir == "" {
-		return nil, fmt.Errorf("%w: %s", ErrUnknownSite, name)
+		return nil, nil, fmt.Errorf("%w: %s", ErrUnknownSite, name)
 	}
 	dir := filepath.Join(r.opts.Dir, name)
 	fi, err := os.Stat(dir)
 	if err != nil || !fi.IsDir() {
-		return nil, fmt.Errorf("%w: %s", ErrUnknownSite, name)
+		return nil, nil, fmt.Errorf("%w: %s", ErrUnknownSite, name)
 	}
 	site, err := core.NewSiteWithOptions(r.opts.Site)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := loadInto(site, dir); err != nil {
-		return nil, fmt.Errorf("registry: site %s: %w", name, err)
+		return nil, nil, fmt.Errorf("registry: site %s: %w", name, err)
 	}
-	return site, nil
+	var journal *durable.Tenant
+	if r.opts.Durable != nil {
+		journal, err = r.opts.Durable.OpenTenant(name)
+		if err != nil {
+			return nil, nil, fmt.Errorf("registry: site %s: %w", name, err)
+		}
+		if err := journal.Checkpoint(site); err != nil {
+			journal.Close()
+			return nil, nil, fmt.Errorf("registry: site %s: bootstrap checkpoint: %w", name, err)
+		}
+	}
+	return site, journal, nil
+}
+
+// readSiteDir reads a tenant directory's raw documents: every *.xml as
+// a policy document except reference.xml, which is returned separately.
+// files names each returned doc for error reporting.
+func readSiteDir(dir string) (docs, files []string, ref string, err error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.xml"))
+	if err != nil {
+		return nil, nil, "", err
+	}
+	sort.Strings(names)
+	for _, path := range names {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		if filepath.Base(path) == "reference.xml" {
+			ref = string(data)
+			continue
+		}
+		docs = append(docs, string(data))
+		files = append(files, filepath.Base(path))
+	}
+	return docs, files, ref, nil
+}
+
+// parseSiteDocs parses raw dir documents into installable policies and
+// the reference file.
+func parseSiteDocs(docs, files []string, ref string) ([]*p3p.Policy, *reffile.RefFile, error) {
+	var pols []*p3p.Policy
+	for i, doc := range docs {
+		ps, err := p3p.ParsePolicies(doc)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", files[i], err)
+		}
+		pols = append(pols, ps...)
+	}
+	var rf *reffile.RefFile
+	if ref != "" {
+		var err error
+		rf, err = reffile.Parse(ref)
+		if err != nil {
+			return nil, nil, fmt.Errorf("reference.xml: %w", err)
+		}
+	}
+	return pols, rf, nil
 }
 
 // loadInto reads a tenant directory and replaces the site's policy set
 // with its contents in one snapshot swap.
 func loadInto(site *core.Site, dir string) error {
-	names, err := filepath.Glob(filepath.Join(dir, "*.xml"))
+	docs, files, ref, err := readSiteDir(dir)
 	if err != nil {
 		return err
 	}
-	sort.Strings(names)
-	var pols []*p3p.Policy
-	var rf *reffile.RefFile
-	for _, path := range names {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return err
-		}
-		if filepath.Base(path) == "reference.xml" {
-			rf, err = reffile.Parse(string(data))
-			if err != nil {
-				return fmt.Errorf("%s: %w", filepath.Base(path), err)
-			}
-			continue
-		}
-		ps, err := p3p.ParsePolicies(string(data))
-		if err != nil {
-			return fmt.Errorf("%s: %w", filepath.Base(path), err)
-		}
-		pols = append(pols, ps...)
+	pols, rf, err := parseSiteDocs(docs, files, ref)
+	if err != nil {
+		return err
 	}
 	return site.ReplacePolicies(pols, rf)
 }
 
 // Create registers an empty dynamic tenant (one with no backing
-// directory), for the admin API. It fails if the name is already
-// resident.
+// directory), for the admin API. With a durable store the tenant's
+// journal is opened immediately, so the tenant exists again after a
+// restart even before its first policy install. It fails if the name is
+// already resident.
 func (r *Registry) Create(name string) (*core.Site, error) {
 	name, err := Normalize(name)
 	if err != nil {
@@ -327,12 +423,31 @@ func (r *Registry) Create(name string) (*core.Site, error) {
 	if _, ok := r.entries.Load(name); ok {
 		return nil, fmt.Errorf("registry: site %q already exists", name)
 	}
-	r.storeLocked(name, site)
+	var journal *durable.Tenant
+	if r.opts.Durable != nil {
+		if r.opts.Durable.HasTenant(name) {
+			return nil, fmt.Errorf("registry: site %q already exists durably", name)
+		}
+		journal, err = r.opts.Durable.OpenTenant(name)
+		if err != nil {
+			return nil, err
+		}
+		// An empty checkpoint marks the tenant as existing: HasTenant
+		// answers true on the next restart.
+		if err := journal.Checkpoint(site); err != nil {
+			journal.Close()
+			return nil, err
+		}
+	}
+	r.storeLocked(name, site, journal)
 	return site, nil
 }
 
-// Remove drops a tenant from the registry. Requests already holding the
-// site finish against it; a dir-backed tenant reloads on next Get.
+// Remove drops a tenant from the registry — and, with a durable store,
+// deletes its durable state: a dynamic tenant is durably gone, while a
+// dir-backed tenant re-bootstraps from its directory on the next Get
+// (the documented pre-durability semantics). Requests already holding
+// the site finish against it.
 func (r *Registry) Remove(name string) error {
 	name, err := Normalize(name)
 	if err != nil {
@@ -340,12 +455,25 @@ func (r *Registry) Remove(name string) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.entries.Load(name); !ok {
+	v, ok := r.entries.Load(name)
+	if !ok {
+		// Not resident, but possibly durable (e.g. evicted): removing it
+		// must still erase the durable state, or it would resurrect.
+		if r.opts.Durable != nil && r.opts.Durable.HasTenant(name) {
+			return r.opts.Durable.RemoveTenant(name)
+		}
 		return fmt.Errorf("%w: %s", ErrUnknownSite, name)
+	}
+	e := v.(*entry)
+	if e.journal != nil {
+		_ = e.journal.Close()
 	}
 	r.entries.Delete(name)
 	r.count--
 	obsSites.Add(-1)
+	if r.opts.Durable != nil {
+		return r.opts.Durable.RemoveTenant(name)
+	}
 	return nil
 }
 
@@ -369,7 +497,101 @@ func (r *Registry) Reload(name string) error {
 	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
 		return fmt.Errorf("%w: %s", ErrUnknownSite, name)
 	}
-	return loadInto(v.(*entry).site, dir)
+	e := v.(*entry)
+	if e.journal != nil {
+		// A dir re-read is the one operation where the directory
+		// explicitly outranks the log; the resulting set is logged as a
+		// replace record so the log stays the recovery truth afterwards.
+		docs, files, ref, err := readSiteDir(dir)
+		if err != nil {
+			return err
+		}
+		if _, _, err := parseSiteDocs(docs, files, ref); err != nil {
+			return err
+		}
+		return e.journal.Replace(e.site, docs, ref)
+	}
+	return loadInto(e.site, dir)
+}
+
+// Journal returns a resident tenant's durable journal, nil when the
+// tenant is not resident or durability is off.
+func (r *Registry) Journal(name string) *durable.Tenant {
+	name, err := Normalize(name)
+	if err != nil {
+		return nil
+	}
+	v, ok := r.entries.Load(name)
+	if !ok {
+		return nil
+	}
+	return v.(*entry).journal
+}
+
+// GetWithJournal returns the named tenant's site and its journal from
+// one entry read, so a caller building a handler can never pair one
+// load's site with a different load's journal.
+func (r *Registry) GetWithJournal(name string) (*core.Site, *durable.Tenant, error) {
+	name, err := Normalize(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	if v, ok := r.entries.Load(name); ok {
+		e := v.(*entry)
+		e.lastUsed.Store(r.clock.Add(1))
+		e.reqs.Inc()
+		return e.site, e.journal, nil
+	}
+	// Load and re-read the published entry. A concurrent evict can drop
+	// it between the two steps; retry a few times before giving up.
+	for attempt := 0; attempt < 3; attempt++ {
+		if _, err := r.loadSlow(name); err != nil {
+			return nil, nil, err
+		}
+		if v, ok := r.entries.Load(name); ok {
+			e := v.(*entry)
+			return e.site, e.journal, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("registry: site %s evicted during load", name)
+}
+
+// CheckpointAll snapshots every resident tenant's durable state (the
+// SIGHUP and shutdown path), joining per-tenant failures. Without a
+// durable store it is a no-op.
+func (r *Registry) CheckpointAll() error {
+	var errs []error
+	r.entries.Range(func(k, v any) bool {
+		e := v.(*entry)
+		if e.journal != nil {
+			if err := e.journal.Checkpoint(e.site); err != nil && !errors.Is(err, durable.ErrClosed) {
+				obsCheckpointErrs.Inc()
+				errs = append(errs, fmt.Errorf("registry: checkpoint %s: %w", k.(string), err))
+			}
+		}
+		return true
+	})
+	return errors.Join(errs...)
+}
+
+// Close checkpoints and closes every resident tenant's journal. The
+// registry stays usable for reads; further durable mutations fail with
+// durable.ErrClosed.
+func (r *Registry) Close() error {
+	var errs []error
+	r.entries.Range(func(k, v any) bool {
+		e := v.(*entry)
+		if e.journal != nil {
+			if err := e.journal.Checkpoint(e.site); err != nil && !errors.Is(err, durable.ErrClosed) {
+				errs = append(errs, err)
+			}
+			if err := e.journal.Close(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		return true
+	})
+	return errors.Join(errs...)
 }
 
 // ReloadAll reloads every resident dir-backed tenant (the SIGHUP path),
@@ -384,7 +606,12 @@ func (r *Registry) ReloadAll() error {
 	for _, name := range r.residentNames() {
 		dir := filepath.Join(r.opts.Dir, name)
 		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
-			_ = r.Remove(name)
+			// No directory to reload from. A journaled tenant is
+			// log-backed (a dynamic create, or its dir was retired):
+			// leave it serving its durable state rather than erasing it.
+			if r.Journal(name) == nil {
+				_ = r.Remove(name)
+			}
 			continue
 		}
 		if err := r.Reload(name); err != nil {
@@ -404,8 +631,8 @@ func (r *Registry) residentNames() []string {
 	return names
 }
 
-// Names lists every known tenant: resident ones plus directories in the
-// layout not yet loaded, sorted.
+// Names lists every known tenant: resident ones, directories in the
+// layout not yet loaded, and tenants with durable state, sorted.
 func (r *Registry) Names() []string {
 	seen := map[string]bool{}
 	for _, n := range r.residentNames() {
@@ -417,6 +644,13 @@ func (r *Registry) Names() []string {
 				if de.IsDir() && ValidName(de.Name()) {
 					seen[strings.ToLower(de.Name())] = true
 				}
+			}
+		}
+	}
+	if r.opts.Durable != nil {
+		for _, n := range r.opts.Durable.TenantNames() {
+			if ValidName(n) {
+				seen[strings.ToLower(n)] = true
 			}
 		}
 	}

@@ -1,0 +1,344 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"p3pdb/internal/core"
+	"p3pdb/internal/durable"
+	"p3pdb/internal/faultkit"
+	"p3pdb/internal/registry"
+)
+
+const tinyPolicyDoc = `<POLICY name="p"><STATEMENT><NON-IDENTIFIABLE/></STATEMENT></POLICY>`
+
+// durableServer builds a single-site server journaled into a durable
+// store, returning the store so tests can restart against it.
+func durableServer(t *testing.T, stateDir string) (*httptest.Server, *core.Site, *durable.Tenant, *durable.Store) {
+	t.Helper()
+	store, err := durable.Open(stateDir, durable.Options{Fsync: durable.FsyncNever, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	site, err := core.NewSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal, err := store.OpenTenant("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { journal.Close() })
+	if err := journal.ReplayInto(site); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewWithOptions(site, Options{Journal: journal}))
+	t.Cleanup(ts.Close)
+	return ts, site, journal, store
+}
+
+// TestAdminMutationsSurviveRestart: a 2xx from the admin API means the
+// mutation is in the log, so a restarted server serves it.
+func TestAdminMutationsSurviveRestart(t *testing.T) {
+	stateDir := t.TempDir()
+	ts, _, journal, store := durableServer(t, stateDir)
+	c := NewClient(ts.URL)
+
+	if _, err := c.InstallPolicies(tinyPolicyDoc); err != nil {
+		t.Fatal(err)
+	}
+	if st := journal.Status(); st.LSN != 1 {
+		t.Fatalf("2xx without a logged record: %+v", st)
+	}
+	if err := journal.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": recover a fresh site from the same store.
+	journal2, err := store.OpenTenant("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer journal2.Close()
+	site2, err := core.NewSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := journal2.ReplayInto(site2); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(NewWithOptions(site2, Options{Journal: journal2}))
+	defer ts2.Close()
+	names, err := NewClient(ts2.URL).Policies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "p" {
+		t.Fatalf("restarted server policies = %v", names)
+	}
+}
+
+// TestDurabilityEndpoint: GET /durability reports the journal position.
+func TestDurabilityEndpoint(t *testing.T) {
+	ts, _, _, _ := durableServer(t, t.TempDir())
+	c := NewClient(ts.URL)
+	if _, err := c.InstallPolicies(tinyPolicyDoc); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/durability")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /durability: %d", resp.StatusCode)
+	}
+	var st durable.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Tenant != "default" || st.LSN != 1 || st.LogBytes == 0 || st.Fsync != "never" {
+		t.Fatalf("durability status = %+v", st)
+	}
+}
+
+// TestNoDurabilityRouteWithoutJournal: the endpoint only exists when the
+// server is journaled.
+func TestNoDurabilityRouteWithoutJournal(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, err := http.Get(ts.URL + "/durability")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /durability without journal: %d", resp.StatusCode)
+	}
+}
+
+// TestAppendFailureIs503: a mutation the log cannot accept must not be
+// acknowledged — the client sees a 503 with reason durability-failed and
+// the site still serves its previous state.
+func TestAppendFailureIs503(t *testing.T) {
+	t.Cleanup(faultkit.Reset)
+	ts, site, _, _ := durableServer(t, t.TempDir())
+
+	if err := faultkit.Enable(faultkit.PointDurableWrite + ":error:times=1"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/policies", "application/xml", strings.NewReader(tinyPolicyDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("append failure returned %d, want 503", resp.StatusCode)
+	}
+	var apiErr struct {
+		Reason string `json:"reason"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+		t.Fatal(err)
+	}
+	if apiErr.Reason != "durability-failed" {
+		t.Fatalf("reason = %q", apiErr.Reason)
+	}
+	if names := site.PolicyNames(); len(names) != 0 {
+		t.Fatalf("failed mutation left state behind: %v", names)
+	}
+
+	// A bad document is still the client's fault, not the log's.
+	resp2, err := http.Post(ts.URL+"/policies", "application/xml", strings.NewReader("<garbage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad document returned %d, want 400", resp2.StatusCode)
+	}
+}
+
+// TestDeleteDurable: DELETE routes through the journal; an unknown name
+// is still a 404.
+func TestDeleteDurable(t *testing.T) {
+	ts, _, journal, _ := durableServer(t, t.TempDir())
+	c := NewClient(ts.URL)
+	if _, err := c.InstallPolicies(tinyPolicyDoc); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/policies/p", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE: %d", resp.StatusCode)
+	}
+	if st := journal.Status(); st.LSN != 2 {
+		t.Fatalf("delete not logged: %+v", st)
+	}
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/policies/ghost", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("DELETE ghost: %d", resp.StatusCode)
+	}
+}
+
+// TestAutoCheckpointOverHTTP: CheckpointEvery mutations through the
+// admin API cut a snapshot without any explicit call.
+func TestAutoCheckpointOverHTTP(t *testing.T) {
+	store, err := durable.Open(t.TempDir(), durable.Options{Fsync: durable.FsyncNever, CheckpointEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	site, err := core.NewSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal, err := store.OpenTenant("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer journal.Close()
+	if err := journal.ReplayInto(site); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewWithOptions(site, Options{Journal: journal}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	if _, err := c.InstallPolicies(tinyPolicyDoc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.InstallPolicies(`<POLICY name="q"><STATEMENT><NON-IDENTIFIABLE/></STATEMENT></POLICY>`); err != nil {
+		t.Fatal(err)
+	}
+	if st := journal.Status(); st.CheckpointLSN != 2 || st.LogBytes != 0 {
+		t.Fatalf("auto checkpoint did not fire: %+v", st)
+	}
+}
+
+// TestMultiServerDurability: tenant admin mutations through the
+// multi-tenant API are durable, /sites/{name}/durability answers, and a
+// rebuilt registry over the same store serves the mutated state.
+func TestMultiServerDurability(t *testing.T) {
+	root, stateDir := t.TempDir(), t.TempDir()
+	store, err := durable.Open(stateDir, durable.Options{Fsync: durable.FsyncNever, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := registry.New(registry.Options{Dir: root, Durable: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewMulti(reg))
+	defer ts.Close()
+
+	// Create a dynamic tenant and install a policy through its API.
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/sites/dyn.example", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT /sites: %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/sites/dyn.example/policies", "application/xml", strings.NewReader(tinyPolicyDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST policies: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/sites/dyn.example/durability")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st durable.Status
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tenant != "dyn.example" || st.LSN != 1 {
+		t.Fatalf("tenant durability status = %+v", st)
+	}
+
+	// POST /durability is not a thing; the status endpoint is read-only.
+	resp, err = http.Post(ts.URL+"/sites/dyn.example/durability", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /durability: %d", resp.StatusCode)
+	}
+
+	// A second durable tenant, created and immediately deleted — the
+	// deletion must hold across the restart below.
+	req, _ = http.NewRequest(http.MethodPut, ts.URL+"/sites/gone.example", nil)
+	if resp, err = http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/sites/gone.example", nil)
+	if resp, err = http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE /sites: %d", resp.StatusCode)
+	}
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart the hosting process: same store, fresh registry + server.
+	reg2, err := registry.New(registry.Options{Dir: root, Durable: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg2.Close()
+	ts2 := httptest.NewServer(NewMulti(reg2))
+	defer ts2.Close()
+	resp, err = http.Get(ts2.URL + "/sites/dyn.example/policies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	err = json.NewDecoder(resp.Body).Decode(&names)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "p" {
+		t.Fatalf("restarted multi-tenant policies = %v", names)
+	}
+
+	// The restarted listing has the surviving tenant and not the deleted
+	// one.
+	resp, err = http.Get(ts2.URL + "/sites")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sites []string
+	err = json.NewDecoder(resp.Body).Decode(&sites)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 1 || sites[0] != "dyn.example" {
+		t.Fatalf("GET /sites after restart = %v", sites)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"p3pdb/internal/core"
+	"p3pdb/internal/obs"
 	"p3pdb/internal/registry"
 )
 
@@ -54,6 +55,7 @@ func NewMultiWithOptions(reg *registry.Registry, opts Options) *MultiServer {
 	m := &MultiServer{reg: reg, opts: opts, mux: http.NewServeMux()}
 	m.mux.HandleFunc("/sites", instrument("sites", m.handleSites))
 	m.mux.HandleFunc("/sites/", instrument("site", m.handleSite))
+	m.mux.Handle("/metrics", obs.Handler(obs.Default))
 	m.mux.HandleFunc("/healthz", handleHealthz)
 	m.mux.HandleFunc("/readyz", m.handleReadyz)
 	m.mux.HandleFunc("/", m.handleByHost)
@@ -91,9 +93,11 @@ func writeTenantError(w http.ResponseWriter, err error) {
 }
 
 // tenant resolves a name through the registry and returns the tenant's
-// cached single-site handler, rebuilding it if the site instance changed.
+// cached single-site handler, rebuilding it if the site instance changed
+// (eviction + reload also rotates the journal, so a rebuilt handler
+// always logs to the live journal, never an evicted tenant's closed one).
 func (m *MultiServer) tenant(name string) (*Server, error) {
-	site, err := m.reg.Get(name)
+	site, journal, err := m.reg.GetWithJournal(name)
 	if err != nil {
 		return nil, err
 	}
@@ -102,7 +106,9 @@ func (m *MultiServer) tenant(name string) (*Server, error) {
 			return h.srv, nil
 		}
 	}
-	h := &tenantHandler{site: site, srv: NewWithOptions(site, m.opts)}
+	opts := m.opts
+	opts.Journal = journal
+	h := &tenantHandler{site: site, srv: NewWithOptions(site, opts)}
 	m.handlers.Store(name, h)
 	return h.srv, nil
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"p3pdb/internal/core"
+	"p3pdb/internal/durable"
 	"p3pdb/internal/faultkit"
 	"p3pdb/internal/obs"
 	"p3pdb/internal/reldb"
@@ -39,6 +40,12 @@ type Options struct {
 	// request context is wrapped in a deadline, so a match that overruns
 	// is aborted in the engines and reported as 504.
 	RequestTimeout time.Duration
+	// Journal, when set, makes the admin mutation endpoints durable:
+	// POST/PUT /policies, DELETE /policies/{name}, and POST /reference
+	// are applied and logged to the tenant's write-ahead log before the
+	// 2xx is sent, a checkpoint is cut automatically past the configured
+	// record count, and GET /durability reports the log position.
+	Journal *durable.Tenant
 }
 
 // Server handles the HTTP API for one site.
@@ -66,6 +73,9 @@ func NewWithOptions(site *core.Site, opts Options) *Server {
 	s.mux.HandleFunc("/matchcookie", instrument("matchcookie", s.handleMatchCookie))
 	s.mux.HandleFunc("/matchall", instrument("matchall", s.handleMatchAll))
 	s.mux.HandleFunc("/analytics", instrument("analytics", s.handleAnalytics))
+	if opts.Journal != nil {
+		s.mux.HandleFunc("/durability", instrument("durability", s.handleDurability))
+	}
 	s.mux.Handle("/metrics", obs.Handler(obs.Default))
 	s.mux.Handle("/debug/vars", expvar.Handler())
 	s.mux.HandleFunc("/healthz", handleHealthz)
@@ -247,8 +257,33 @@ type InstallResponse struct {
 	Installed []string `json:"installed"`
 }
 
+// journalErrors counts admin mutations that failed at the durability
+// layer (logged-and-rolled-back), distinct from plain bad requests.
+var obsJournalErrs = obs.GetCounter("server.durability.journal_errors")
+
+// writeJournalError reports a mutation that could not be made durable:
+// the site was rolled back, so the client must retry — a 503, not a 400.
+func writeJournalError(w http.ResponseWriter, err error) {
+	obsJournalErrs.Inc()
+	writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error(), Reason: "durability-failed"})
+}
+
+// afterMutation cuts an automatic checkpoint when the journal's record
+// count since the last one crossed the configured threshold. Checkpoint
+// failure does not undo the (already durable) mutation; it is surfaced
+// as a counter and retried on the next mutation.
+func (s *Server) afterMutation() {
+	if s.opts.Journal == nil {
+		return
+	}
+	if err := s.opts.Journal.MaybeCheckpoint(s.site); err != nil {
+		obs.GetCounter("server.durability.checkpoint_errors").Inc()
+	}
+}
+
 // handlePolicies implements POST /policies (install a POLICY or POLICIES
-// document) and GET /policies (list installed names).
+// document) and GET /policies (list installed names). With a journal the
+// install is durable — applied and logged — before the 201 is sent.
 func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost, http.MethodPut:
@@ -256,17 +291,36 @@ func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			return
 		}
-		names, err := s.site.InstallPolicyXML(body)
+		var names []string
+		var err error
+		if s.opts.Journal != nil {
+			names, err = s.opts.Journal.InstallPolicyXML(s.site, body)
+		} else {
+			names, err = s.site.InstallPolicyXML(body)
+		}
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeMutationError(w, err)
 			return
 		}
+		s.afterMutation()
 		writeJSON(w, http.StatusCreated, InstallResponse{Installed: names})
 	case http.MethodGet:
 		writeJSON(w, http.StatusOK, s.site.PolicyNames())
 	default:
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
 	}
+}
+
+// writeMutationError classifies an admin-mutation failure: a durability
+// failure (valid mutation, rolled back because it could not be logged)
+// is a retryable 503; anything else is the client's bad request.
+func writeMutationError(w http.ResponseWriter, err error) {
+	var ae *durable.AppendError
+	if errors.As(err, &ae) {
+		writeJournalError(w, err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, err)
 }
 
 // handlePolicyByName implements GET /policies/{name} (fetch the policy
@@ -287,10 +341,22 @@ func (s *Server) handlePolicyByName(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/xml")
 		fmt.Fprint(w, xml)
 	case http.MethodDelete:
-		if err := s.site.RemovePolicy(name); err != nil {
+		var err error
+		if s.opts.Journal != nil {
+			err = s.opts.Journal.RemovePolicy(s.site, name)
+		} else {
+			err = s.site.RemovePolicy(name)
+		}
+		if err != nil {
+			var ae *durable.AppendError
+			if errors.As(err, &ae) {
+				writeJournalError(w, err)
+				return
+			}
 			writeError(w, http.StatusNotFound, err)
 			return
 		}
+		s.afterMutation()
 		w.WriteHeader(http.StatusNoContent)
 	default:
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
@@ -307,10 +373,17 @@ func (s *Server) handleReference(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			return
 		}
-		if err := s.site.InstallReferenceFileXML(body); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+		var err error
+		if s.opts.Journal != nil {
+			err = s.opts.Journal.InstallReferenceFileXML(s.site, body)
+		} else {
+			err = s.site.InstallReferenceFileXML(body)
+		}
+		if err != nil {
+			writeMutationError(w, err)
 			return
 		}
+		s.afterMutation()
 		w.WriteHeader(http.StatusNoContent)
 	case http.MethodGet:
 		xml, err := s.site.ReferenceFileXML()
@@ -559,6 +632,17 @@ func splitJoined(err error) []string {
 		return out
 	}
 	return []string{err.Error()}
+}
+
+// handleDurability implements GET /durability: the tenant's durable
+// position — LSN, log bytes, last checkpoint — as JSON. In multi-tenant
+// mode it is reached as GET /sites/{name}/durability.
+func (s *Server) handleDurability(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.opts.Journal.Status())
 }
 
 // handleAnalytics implements GET /analytics: the site-owner view of which
