@@ -17,21 +17,27 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"p3pdb/internal/benchkit"
 	"p3pdb/internal/core"
 )
 
 func main() {
-	table := flag.String("table", "all", "table to print: all, fig19, shred, fig20, fig21, warmcold, xquery-native, ablate, throughput, tenancy, obs, durability")
+	table := flag.String("table", "all", "table to print: all, fig19, shred, fig20, fig21, warmcold, xquery-native, ablate, throughput, decisioncache, tenancy, obs, durability")
 	seed := flag.Int64("seed", 42, "workload generation seed")
 	repeats := flag.Int("repeats", 3, "measurements per matrix cell")
-	level := flag.String("ablate-level", "High", "preference level for the ablation, throughput, and obs tables")
-	engine := flag.String("engine", "sql", "matching engine for the throughput and tenancy tables")
-	out := flag.String("out", "", "artifact path for the throughput/tenancy/obs/durability tables (default BENCH_<table>.json; \"none\" to skip)")
-	matches := flag.Int("matches", 0, "matches per worker in the throughput and tenancy tables (0 = default)")
+	level := flag.String("ablate-level", "High", "preference level for the ablation, throughput, decisioncache, and obs tables")
+	engine := flag.String("engine", "sql", "matching engine for the throughput, decisioncache, and tenancy tables")
+	out := flag.String("out", "", "artifact path for the throughput/decisioncache/tenancy/obs/durability tables (default BENCH_<table>.json; \"none\" to skip)")
+	matches := flag.Int("matches", 0, "matches per worker (throughput, tenancy) or total matches per row (decisioncache); 0 = default")
 	mutations := flag.Int("mutations", 0, "install/remove pairs per phase in the durability table (0 = default)")
 	budget := flag.Int64("budget", 0, "per-match evaluator step budget (0 = unlimited); measures governed-deployment overhead")
+	noDecisionCache := flag.Bool("no-decision-cache", false, "disable the decision cache in the throughput table (measures the engine pipeline)")
+	zipfS := flag.Float64("zipf", 1.1, "Zipf skew for the decisioncache table (must be > 1)")
+	distinct := flag.Int("distinct", 0, "largest distinct-preference universe in the decisioncache table (0 = default 10/100/1000 sweep)")
+	minSpeedup4 := flag.Float64("min-speedup4", 0, "throughput gate: fail unless speedupVs1 at 4 workers reaches this floor (enforced only when the machine has >= 4 CPUs)")
+	minHitRate := flag.Float64("min-hitrate", 0, "decisioncache gate: fail unless the largest universe's hit rate reaches this floor")
 	flag.Parse()
 
 	outPath := *out
@@ -39,6 +45,8 @@ func main() {
 		switch *table {
 		case "throughput":
 			outPath = "BENCH_throughput.json"
+		case "decisioncache":
+			outPath = "BENCH_decisioncache.json"
 		case "tenancy":
 			outPath = "BENCH_tenancy.json"
 		case "obs":
@@ -94,11 +102,12 @@ func main() {
 			fatal(err)
 		}
 		r, err := benchkit.RunThroughput(benchkit.ThroughputConfig{
-			Seed:             *seed,
-			Level:            *level,
-			Engine:           eng,
-			MatchesPerWorker: *matches,
-			Budget:           *budget,
+			Seed:                 *seed,
+			Level:                *level,
+			Engine:               eng,
+			MatchesPerWorker:     *matches,
+			Budget:               *budget,
+			DisableDecisionCache: *noDecisionCache,
 		})
 		if err != nil {
 			fatal(err)
@@ -109,6 +118,41 @@ func main() {
 				fatal(err)
 			}
 			fmt.Println("wrote", outPath)
+		}
+		if *minSpeedup4 > 0 {
+			gateThroughput(r, *minSpeedup4)
+		}
+		return
+	}
+
+	if *table == "decisioncache" {
+		eng, err := core.ParseEngine(*engine)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := benchkit.DecisionCacheConfig{
+			Seed:    *seed,
+			Level:   *level,
+			Engine:  eng,
+			ZipfS:   *zipfS,
+			Matches: *matches,
+		}
+		if *distinct > 0 {
+			cfg.DistinctPrefs = []int{*distinct}
+		}
+		r, err := benchkit.RunDecisionCache(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(r.Render())
+		if outPath != "" {
+			if err := r.WriteJSON(outPath); err != nil {
+				fatal(err)
+			}
+			fmt.Println("wrote", outPath)
+		}
+		if *minHitRate > 0 {
+			gateDecisionCache(r, *minHitRate)
 		}
 		return
 	}
@@ -174,6 +218,47 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown table %q", *table))
 	}
+}
+
+// gateThroughput enforces the 4-worker scale-out floor. Parallel speedup
+// only exists where parallel hardware does: on machines with fewer than
+// 4 CPUs the gate reports itself skipped instead of failing on physics
+// (the artifact still records numCpu so the skip is auditable).
+func gateThroughput(r *benchkit.ThroughputResults, floor float64) {
+	if runtime.NumCPU() < 4 {
+		fmt.Printf("speedup gate skipped: %d CPU(s) < 4, no parallel speedup is measurable\n", runtime.NumCPU())
+		return
+	}
+	for _, row := range r.Rows {
+		if row.Workers == 4 {
+			if row.SpeedupVs1 < floor {
+				fatal(fmt.Errorf("throughput gate: speedupVs1 at 4 workers = %.2fx, floor %.2fx", row.SpeedupVs1, floor))
+			}
+			fmt.Printf("speedup gate passed: %.2fx at 4 workers (floor %.2fx)\n", row.SpeedupVs1, floor)
+			return
+		}
+	}
+	fatal(fmt.Errorf("throughput gate: no 4-worker row measured (GOMAXPROCS=%d)", r.GOMAXPROCS))
+}
+
+// gateDecisionCache enforces the hit-rate floor on the largest
+// distinct-preference universe measured.
+func gateDecisionCache(r *benchkit.DecisionCacheResults, floor float64) {
+	if len(r.Rows) == 0 {
+		fatal(fmt.Errorf("decisioncache gate: no rows measured"))
+	}
+	largest := r.Rows[0]
+	for _, row := range r.Rows[1:] {
+		if row.DistinctPrefs > largest.DistinctPrefs {
+			largest = row
+		}
+	}
+	if largest.HitRate < floor {
+		fatal(fmt.Errorf("decisioncache gate: hit rate at %d distinct = %.1f%%, floor %.1f%%",
+			largest.DistinctPrefs, largest.HitRate*100, floor*100))
+	}
+	fmt.Printf("hit-rate gate passed: %.1f%% at %d distinct (floor %.1f%%)\n",
+		largest.HitRate*100, largest.DistinctPrefs, floor*100)
 }
 
 func fatal(err error) {

@@ -23,6 +23,13 @@
 // P3P_FAULTS=reldb.query:error:after=3. The server shuts down
 // gracefully on SIGINT/SIGTERM, draining in-flight requests.
 //
+// Caching: repeat matches are served from a per-site lock-free decision
+// cache keyed by (preference, policy, engine, snapshot generation);
+// policy writes invalidate it wholesale by publishing a new generation.
+// -decision-cache sizes it in slots (0 = the 4096 default, -1 disables);
+// responses served from it carry "cached": true and zero convert/query
+// times. The conversion cache below it is always on.
+//
 // Multi-tenant mode: -sites-dir points at a directory with one
 // subdirectory per tenant (each holding *.xml policy documents and an
 // optional reference.xml META file). Tenants load lazily, are reachable
@@ -82,6 +89,7 @@ func main() {
 	fsyncMode := flag.String("fsync", "always", "WAL sync policy with -durable: always, interval, or never")
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "group-commit period for -fsync=interval")
 	checkpointEvery := flag.Int("checkpoint-every", 256, "logged records between automatic snapshot checkpoints (-1 disables)")
+	decisionCache := flag.Int("decision-cache", 0, "decision-cache slots per site, rounded up to a power of two (0 = default 4096, -1 = disabled)")
 	flag.Parse()
 
 	if *traceLog != "" {
@@ -131,6 +139,12 @@ func main() {
 	siteOpts := core.Options{
 		MatchBudget:      *budget,
 		PerPolicyTimeout: *policyTimeout,
+	}
+	switch {
+	case *decisionCache < 0:
+		siteOpts.DisableDecisionCache = true
+	case *decisionCache > 0:
+		siteOpts.DecisionCacheSize = *decisionCache
 	}
 	srvOpts := server.Options{RequestTimeout: *timeout}
 

@@ -31,6 +31,13 @@ type Config struct {
 	// zero leaves matching ungoverned. Lets the bench suites measure the
 	// metering overhead of a governed deployment.
 	Budget int64
+	// DisableDecisionCache turns off the decision cache on the site under
+	// test, so benches can measure the full engine pipeline (and the
+	// cache's own benefit, by difference).
+	DisableDecisionCache bool
+	// DecisionCacheSize overrides the decision cache's slot count; zero
+	// keeps the default.
+	DecisionCacheSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -104,7 +111,11 @@ type Results struct {
 func Setup(cfg Config) (*core.Site, *workload.Dataset, error) {
 	cfg = cfg.withDefaults()
 	d := workload.Generate(cfg.Seed)
-	site, err := core.NewSiteWithOptions(core.Options{MatchBudget: cfg.Budget})
+	site, err := core.NewSiteWithOptions(core.Options{
+		MatchBudget:          cfg.Budget,
+		DisableDecisionCache: cfg.DisableDecisionCache,
+		DecisionCacheSize:    cfg.DecisionCacheSize,
+	})
 	if err != nil {
 		return nil, nil, err
 	}

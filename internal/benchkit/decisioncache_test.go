@@ -1,0 +1,82 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDecisionCacheSmoke runs a miniature decision-cache experiment end
+// to end: rows come back for every universe size, the Zipf draw over a
+// small skewed universe produces a high hit rate, and the artifact
+// round-trips. Speedups are asserted only for sign (correctness, not
+// performance — CI machines are noisy); the committed
+// BENCH_decisioncache.json records the measured ratios.
+func TestDecisionCacheSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("decision-cache experiment in -short mode")
+	}
+	r, err := RunDecisionCache(DecisionCacheConfig{
+		Matches:       400,
+		DistinctPrefs: []int{5, 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Matches != 400 {
+			t.Errorf("%d distinct: matches = %d, want 400", row.DistinctPrefs, row.Matches)
+		}
+		if row.MatchesPerSec <= 0 || row.UncachedMatchesPerSec <= 0 || row.SpeedupVsUncached <= 0 {
+			t.Errorf("%d distinct: unmeasured throughput: %+v", row.DistinctPrefs, row)
+		}
+		// 400 Zipf-skewed draws over <= 20 distinct preferences revisit
+		// constantly; only the compulsory cold misses hold the rate down.
+		if row.HitRate < 0.5 || row.HitRate > 1 {
+			t.Errorf("%d distinct: hit rate = %v, want in [0.5, 1]", row.DistinctPrefs, row.HitRate)
+		}
+	}
+	// The smaller universe cannot hit less often than the larger one by
+	// more than noise allows; with identical sequences it is >= exactly.
+	if r.Rows[0].HitRate < r.Rows[1].HitRate {
+		t.Errorf("hit rate grew with universe size: %v < %v", r.Rows[0].HitRate, r.Rows[1].HitRate)
+	}
+	if hr, ok := r.HitRateAt(20); !ok || hr != r.Rows[1].HitRate {
+		t.Errorf("HitRateAt(20) = %v, %v", hr, ok)
+	}
+	if _, ok := r.HitRateAt(999); ok {
+		t.Error("HitRateAt(999) found a row")
+	}
+
+	out := r.Render()
+	for _, want := range []string{"distinct", "hit rate", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_decisioncache.json")
+	if err := r.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back DecisionCacheResults
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumCPU != r.NumCPU || len(back.Rows) != len(r.Rows) || back.ZipfS != r.ZipfS {
+		t.Errorf("artifact round-trip mismatch: %+v vs %+v", back, r)
+	}
+
+	if _, err := RunDecisionCache(DecisionCacheConfig{DistinctPrefs: []int{1}}); err == nil {
+		t.Error("universe of 1 accepted")
+	}
+}

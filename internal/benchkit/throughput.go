@@ -29,17 +29,27 @@ type ThroughputRow struct {
 	MatchesPerSec float64 `json:"matchesPerSec"`
 	// SpeedupVs1 is this row's matches/sec over the single-worker row's.
 	SpeedupVs1 float64 `json:"speedupVs1"`
+	// AllocsPerOp and BytesPerOp are heap allocations and bytes per match
+	// (runtime.MemStats deltas over the row), the per-match churn that
+	// turns into GC pauses shared by every worker at scale-out.
+	AllocsPerOp float64 `json:"allocsPerOp"`
+	BytesPerOp  float64 `json:"bytesPerOp"`
 }
 
 // ThroughputResults is the full table plus the run's parameters, shaped
 // for both rendering and the BENCH_throughput.json artifact future PRs
 // diff against.
 type ThroughputResults struct {
-	Seed       int64           `json:"seed"`
-	Level      string          `json:"level"`
-	Engine     string          `json:"engine"`
-	GOMAXPROCS int             `json:"gomaxprocs"`
-	Rows       []ThroughputRow `json:"rows"`
+	Seed       int64  `json:"seed"`
+	Level      string `json:"level"`
+	Engine     string `json:"engine"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// NumCPU records the machine's core count: a speedup table measured
+	// on fewer cores than GOMAXPROCS cannot show parallel speedup, and
+	// the CI gate reads this field to know whether to enforce one.
+	NumCPU        int             `json:"numCpu"`
+	DecisionCache bool            `json:"decisionCache"`
+	Rows          []ThroughputRow `json:"rows"`
 }
 
 // ThroughputConfig parameterizes a throughput run.
@@ -56,6 +66,11 @@ type ThroughputConfig struct {
 	MatchesPerWorker int
 	// Budget caps evaluator steps per match; zero means ungoverned.
 	Budget int64
+	// DisableDecisionCache measures the engine pipeline instead of the
+	// decision cache's steady state. The default (cache on) reflects a
+	// deployed server: a fixed preference repeated across visits is
+	// exactly the repeat traffic the cache absorbs.
+	DisableDecisionCache bool
 }
 
 func (c ThroughputConfig) withDefaults() ThroughputConfig {
@@ -88,7 +103,11 @@ func workerCounts(max int) []int {
 // against a site loaded with the generated corpus.
 func RunThroughput(cfg ThroughputConfig) (*ThroughputResults, error) {
 	cfg = cfg.withDefaults()
-	site, d, err := Setup(Config{Seed: cfg.Seed, Budget: cfg.Budget})
+	site, d, err := Setup(Config{
+		Seed:                 cfg.Seed,
+		Budget:               cfg.Budget,
+		DisableDecisionCache: cfg.DisableDecisionCache,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -104,15 +123,19 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResults, error) {
 	}
 
 	res := &ThroughputResults{
-		Seed:       cfg.Seed,
-		Level:      cfg.Level,
-		Engine:     cfg.Engine.ShortName(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:          cfg.Seed,
+		Level:         cfg.Level,
+		Engine:        cfg.Engine.ShortName(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		DecisionCache: !cfg.DisableDecisionCache,
 	}
 	for _, workers := range workerCounts(res.GOMAXPROCS) {
 		total := workers * cfg.MatchesPerWorker
 		var firstErr atomic.Value
 		var wg sync.WaitGroup
+		var memBefore runtime.MemStats
+		runtime.ReadMemStats(&memBefore)
 		start := time.Now()
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
@@ -129,6 +152,8 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResults, error) {
 		}
 		wg.Wait()
 		elapsed := time.Since(start)
+		var memAfter runtime.MemStats
+		runtime.ReadMemStats(&memAfter)
 		if err, ok := firstErr.Load().(error); ok {
 			return nil, fmt.Errorf("benchkit: throughput at %d workers: %w", workers, err)
 		}
@@ -137,6 +162,8 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResults, error) {
 			Matches:       total,
 			ElapsedMS:     float64(elapsed.Microseconds()) / 1000,
 			MatchesPerSec: float64(total) / elapsed.Seconds(),
+			AllocsPerOp:   float64(memAfter.Mallocs-memBefore.Mallocs) / float64(total),
+			BytesPerOp:    float64(memAfter.TotalAlloc-memBefore.TotalAlloc) / float64(total),
 		}
 		if len(res.Rows) > 0 {
 			row.SpeedupVs1 = row.MatchesPerSec / res.Rows[0].MatchesPerSec
@@ -151,12 +178,18 @@ func RunThroughput(cfg ThroughputConfig) (*ThroughputResults, error) {
 // Render formats the throughput table.
 func (r *ThroughputResults) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Throughput (%s preference, %s engine, GOMAXPROCS=%d)\n",
-		r.Level, r.Engine, r.GOMAXPROCS)
-	fmt.Fprintf(&b, "%8s %10s %12s %14s %10s\n", "workers", "matches", "elapsed ms", "matches/sec", "speedup")
+	cache := "decision cache on"
+	if !r.DecisionCache {
+		cache = "decision cache off"
+	}
+	fmt.Fprintf(&b, "Throughput (%s preference, %s engine, GOMAXPROCS=%d, NumCPU=%d, %s)\n",
+		r.Level, r.Engine, r.GOMAXPROCS, r.NumCPU, cache)
+	fmt.Fprintf(&b, "%8s %10s %12s %14s %10s %11s %11s\n",
+		"workers", "matches", "elapsed ms", "matches/sec", "speedup", "allocs/op", "bytes/op")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "%8d %10d %12.1f %14.0f %9.2fx\n",
-			row.Workers, row.Matches, row.ElapsedMS, row.MatchesPerSec, row.SpeedupVs1)
+		fmt.Fprintf(&b, "%8d %10d %12.1f %14.0f %9.2fx %11.0f %11.0f\n",
+			row.Workers, row.Matches, row.ElapsedMS, row.MatchesPerSec, row.SpeedupVs1,
+			row.AllocsPerOp, row.BytesPerOp)
 	}
 	return b.String()
 }

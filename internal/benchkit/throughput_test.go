@@ -1,0 +1,110 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWorkerCounts(t *testing.T) {
+	for _, tc := range []struct {
+		max  int
+		want []int
+	}{
+		{1, []int{1}},
+		{2, []int{1, 2}},
+		{4, []int{1, 2, 4}},
+		{6, []int{1, 2, 4, 6}},
+		{8, []int{1, 2, 4, 8}},
+	} {
+		got := workerCounts(tc.max)
+		if len(got) != len(tc.want) {
+			t.Errorf("workerCounts(%d) = %v, want %v", tc.max, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("workerCounts(%d) = %v, want %v", tc.max, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+// TestThroughputSmoke runs a miniature throughput experiment end to end:
+// every worker count yields a row with sane fields (including the
+// allocations-per-match columns), the machine facts the CI gate reads
+// are recorded, and the artifact round-trips. Speedups are asserted only
+// for sign — the committed BENCH_throughput.json records the measured
+// scaling and scripts/bench_gate.sh enforces the floor where the
+// hardware can express it.
+func TestThroughputSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput experiment in -short mode")
+	}
+	r, err := RunThroughput(ThroughputConfig{MatchesPerWorker: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatal("no rows measured")
+	}
+	if r.GOMAXPROCS < 1 || r.NumCPU < 1 {
+		t.Errorf("machine facts unrecorded: GOMAXPROCS=%d NumCPU=%d", r.GOMAXPROCS, r.NumCPU)
+	}
+	if !r.DecisionCache {
+		t.Error("default run reports decision cache off")
+	}
+	if r.Rows[0].Workers != 1 || r.Rows[0].SpeedupVs1 != 1 {
+		t.Errorf("first row must be the 1-worker baseline: %+v", r.Rows[0])
+	}
+	for _, row := range r.Rows {
+		if row.Matches != row.Workers*30 {
+			t.Errorf("%d workers: matches = %d, want %d", row.Workers, row.Matches, row.Workers*30)
+		}
+		if row.MatchesPerSec <= 0 || row.ElapsedMS <= 0 || row.SpeedupVs1 <= 0 {
+			t.Errorf("%d workers: unmeasured row: %+v", row.Workers, row)
+		}
+		if row.AllocsPerOp < 0 || row.BytesPerOp < 0 {
+			t.Errorf("%d workers: negative allocation columns: %+v", row.Workers, row)
+		}
+	}
+
+	// The cache-off variant must report itself so artifacts are
+	// distinguishable.
+	off, err := RunThroughput(ThroughputConfig{MatchesPerWorker: 5, DisableDecisionCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.DecisionCache {
+		t.Error("cache-off run reports decision cache on")
+	}
+
+	out := r.Render()
+	for _, want := range []string{"workers", "matches/sec", "allocs/op", "decision cache on"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(off.Render(), "decision cache off") {
+		t.Error("cache-off render missing its label")
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_throughput.json")
+	if err := r.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ThroughputResults
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumCPU != r.NumCPU || len(back.Rows) != len(r.Rows) || !back.DecisionCache {
+		t.Errorf("artifact round-trip mismatch: %+v vs %+v", back, r)
+	}
+}

@@ -80,7 +80,13 @@ func TestMatchCtxCancellationTyped(t *testing.T) {
 // deadline-exceeded error while the batch itself keeps going.
 func TestPerPolicyDeadline(t *testing.T) {
 	t.Cleanup(faultkit.Reset)
-	s, d := corpusSite(t, Options{PerPolicyTimeout: 5 * time.Millisecond})
+	// The decision cache would serve the warmed repeat batch without ever
+	// reaching the injected evaluation latency; disable it so the second
+	// MatchAll actually evaluates under the deadline.
+	s, d := corpusSite(t, Options{
+		PerPolicyTimeout:     5 * time.Millisecond,
+		DisableDecisionCache: true,
+	})
 	pref, _ := workload.PreferenceByLevel("High")
 
 	// Warm the conversion caches so only evaluation remains, then slow

@@ -105,11 +105,15 @@ func TestCompiledFasterThanFullPipeline(t *testing.T) {
 		t.Skip("timing comparison")
 	}
 	d := workload.Generate(42)
-	// Disable the conversion cache: with it on, MatchPolicy itself skips
-	// per-match conversion and the two paths tie (see
-	// TestCachedDecisionsMatchUncached). This test pins the *uncached*
-	// pipeline as the thing compilation beats.
-	s, err := NewSiteWithOptions(Options{DisableConversionCache: true})
+	// Disable both caches: with the conversion cache on, MatchPolicy
+	// skips per-match conversion, and with the decision cache on, repeat
+	// matches skip the engines entirely — either way the two paths tie
+	// (see TestCachedDecisionsMatchUncached). This test pins the
+	// *uncached* pipeline as the thing compilation beats.
+	s, err := NewSiteWithOptions(Options{
+		DisableConversionCache: true,
+		DisableDecisionCache:   true,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

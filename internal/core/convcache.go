@@ -46,32 +46,75 @@ var (
 	obsConvEntries = obs.GetGauge("core.convcache.entries")
 )
 
-// convCache is a bounded FIFO cache of conversion artifacts. A plain
-// mutex suffices: entries are tiny to look up, and the expensive work
-// (translation) happens outside the lock.
+// maxConvShards caps the shard count: past ~16 ways the contention win
+// flattens while the fixed per-shard overhead keeps growing.
+const maxConvShards = 16
+
+// convCache is a bounded FIFO cache of conversion artifacts, sharded by
+// key hash so concurrent matchers contend only when their preferences
+// land on the same shard. Under one worker it behaves exactly like the
+// old single-mutex cache; under N workers the lock a lookup takes is
+// 1/shards as hot. Each shard keeps its own FIFO order and its own slice
+// of the global bound, so the total entry count never exceeds max and
+// eviction stays oldest-first within a shard.
 type convCache struct {
-	mu     sync.Mutex
-	max    int
-	m      map[convKey]any
-	order  []convKey
+	shards []convShard
 	hits   atomic.Int64
 	misses atomic.Int64
+}
+
+// convShard is one lock's worth of the cache: a bounded FIFO map,
+// exactly the old whole-cache structure at 1/shards scale.
+type convShard struct {
+	mu    sync.Mutex
+	max   int
+	m     map[convKey]any
+	order []convKey
 }
 
 func newConvCache(max int) *convCache {
 	if max <= 0 {
 		max = defaultConvCacheSize
 	}
-	return &convCache{max: max, m: map[convKey]any{}}
+	n := maxConvShards
+	if n > max {
+		n = max // never let shard quotas round down to zero
+	}
+	perShard := max / n
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &convCache{shards: make([]convShard, n)}
+	for i := range c.shards {
+		c.shards[i] = convShard{max: perShard, m: map[convKey]any{}}
+	}
+	return c
+}
+
+// shard picks the home shard for a key. FNV-1a over every key field:
+// cheap, deterministic, and spreads the (engine, pref, policy) triples
+// that differ only in one field.
+func (c *convCache) shard(k convKey) *convShard {
+	h := uint32(2166136261)
+	for _, s := range [2]string{k.pref, k.policy} {
+		for i := 0; i < len(s); i++ {
+			h ^= uint32(s[i])
+			h *= 16777619
+		}
+	}
+	h ^= uint32(k.engine)
+	h *= 16777619
+	return &c.shards[h%uint32(len(c.shards))]
 }
 
 func (c *convCache) get(k convKey) (any, bool) {
 	if c == nil {
 		return nil, false
 	}
-	c.mu.Lock()
-	v, ok := c.m[k]
-	c.mu.Unlock()
+	sh := c.shard(k)
+	sh.mu.Lock()
+	v, ok := sh.m[k]
+	sh.mu.Unlock()
 	if ok {
 		c.hits.Add(1)
 		obsConvHits.Inc()
@@ -86,19 +129,20 @@ func (c *convCache) put(k convKey, v any) {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, exists := c.m[k]; !exists {
-		if len(c.order) >= c.max {
-			oldest := c.order[0]
-			c.order = c.order[1:]
-			delete(c.m, oldest)
+	sh := c.shard(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, exists := sh.m[k]; !exists {
+		if len(sh.order) >= sh.max {
+			oldest := sh.order[0]
+			sh.order = sh.order[1:]
+			delete(sh.m, oldest)
 			obsConvEntries.Add(-1)
 		}
-		c.order = append(c.order, k)
+		sh.order = append(sh.order, k)
 		obsConvEntries.Add(1)
 	}
-	c.m[k] = v
+	sh.m[k] = v
 }
 
 // purgePolicy drops every entry bound to the named policy, called when
@@ -118,29 +162,40 @@ func (c *convCache) purgeIf(drop func(convKey) bool) {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	kept := c.order[:0]
-	purged := int64(0)
-	for _, k := range c.order {
-		if drop(k) {
-			delete(c.m, k)
-			purged++
-			continue
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		kept := sh.order[:0]
+		purged := int64(0)
+		for _, k := range sh.order {
+			if drop(k) {
+				delete(sh.m, k)
+				purged++
+				continue
+			}
+			kept = append(kept, k)
 		}
-		kept = append(kept, k)
+		sh.order = kept
+		// The gauge delta is applied under this shard's lock, so the
+		// process-wide entries gauge tracks live entries exactly even
+		// while other shards churn.
+		obsConvEntries.Add(-purged)
+		sh.mu.Unlock()
 	}
-	c.order = kept
-	obsConvEntries.Add(-purged)
 }
 
 func (c *convCache) size() int {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.m)
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // ConversionCacheStats reports the Site's conversion-cache hit/miss

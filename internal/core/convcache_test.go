@@ -2,6 +2,7 @@ package core
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -30,7 +31,10 @@ func newCacheTestSite(t *testing.T, opts Options) *Site {
 // lookup, so Decision.Convert is effectively zero while the first match
 // paid the full translate-and-prepare cost.
 func TestConversionCacheHitConvertNearZero(t *testing.T) {
-	s := newCacheTestSite(t, Options{})
+	// The decision cache would serve the repeat match before the engines
+	// (and the conversion cache) ever run; disable it so the repeat
+	// exercises the conversion layer this test is about.
+	s := newCacheTestSite(t, Options{DisableDecisionCache: true})
 	pref, _ := workload.PreferenceByLevel("High")
 	name := s.PolicyNames()[0]
 
@@ -62,8 +66,11 @@ func TestConversionCacheHitConvertNearZero(t *testing.T) {
 // invisible: decisions served from cached conversions are identical,
 // field for field, to a cache-disabled site's (timings excluded).
 func TestCachedDecisionsMatchUncached(t *testing.T) {
-	cached := newCacheTestSite(t, Options{})
-	uncached := newCacheTestSite(t, Options{DisableConversionCache: true})
+	cached := newCacheTestSite(t, Options{DisableDecisionCache: true})
+	uncached := newCacheTestSite(t, Options{
+		DisableConversionCache: true,
+		DisableDecisionCache:   true,
+	})
 	if _, _, size := uncached.ConversionCacheStats(); size != 0 {
 		t.Fatalf("disabled cache reports size %d", size)
 	}
@@ -205,5 +212,76 @@ func TestConversionCacheObsExport(t *testing.T) {
 	}
 	if got := entriesG.Value() - e0; got != int64(sizeAfter) {
 		t.Errorf("obs entries delta after purge = %d, site size = %d", got, sizeAfter)
+	}
+}
+
+// TestConversionCacheObsGaugeExactSharded churns the sharded cache —
+// concurrent fills, per-shard FIFO evictions, and a mid-churn policy
+// purge — and asserts the core.convcache.entries gauge still equals the
+// site's entry count exactly. Every gauge move happens under the owning
+// shard's lock, so fills and evictions racing across shards must never
+// make it drift.
+func TestConversionCacheObsGaugeExactSharded(t *testing.T) {
+	entriesG := obs.GetGauge("core.convcache.entries")
+	e0 := entriesG.Value()
+
+	const bound = 32 // 16 shards x 2 entries: churn forces per-shard evictions
+	s, err := NewSiteWithOptions(Options{
+		ConversionCacheSize: bound,
+		// Distinct preference texts would mostly bypass the decision cache
+		// anyway, but disable it so repeats also exercise the conversion
+		// layer under test.
+		DisableDecisionCache: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := workload.Generate(42)
+	for _, pol := range d.Policies[:6] {
+		if err := s.InstallPolicy(pol); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prefs := workload.PreferenceVariants("High", 48)
+
+	// Seed a policy-bound entry for the policy the writer will purge.
+	if _, err := s.MatchPolicy(prefs[0].XML, d.Policies[0].Name, EngineXTable); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, pref := range prefs {
+				// Policies [1:6] only: the writer is removing policy 0.
+				name := d.Policies[1+(i+w)%5].Name
+				engine := EngineSQL
+				if i%2 == 1 {
+					engine = EngineXTable
+				}
+				if _, err := s.MatchPolicy(pref.XML, name, engine); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := s.RemovePolicy(d.Policies[0].Name); err != nil {
+			t.Errorf("remove: %v", err)
+		}
+	}()
+	wg.Wait()
+
+	_, _, size := s.ConversionCacheStats()
+	if size > bound {
+		t.Errorf("cache size %d exceeds bound %d", size, bound)
+	}
+	if got := entriesG.Value() - e0; got != int64(size) {
+		t.Errorf("obs entries delta = %d after churn, site size = %d (gauge drift)", got, size)
 	}
 }

@@ -22,6 +22,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strings"
 	"sync"
@@ -31,13 +32,14 @@ import (
 	"p3pdb/internal/appel"
 	"p3pdb/internal/appelengine"
 	"p3pdb/internal/compact"
+	"p3pdb/internal/decision"
+	"p3pdb/internal/faultkit"
 	"p3pdb/internal/obs"
 	"p3pdb/internal/p3p"
 	"p3pdb/internal/reffile"
 	"p3pdb/internal/reldb"
 	"p3pdb/internal/resource"
 	"p3pdb/internal/sqlgen"
-	"p3pdb/internal/xqgen"
 	"p3pdb/internal/xquery"
 )
 
@@ -114,6 +116,15 @@ type Options struct {
 	// ConversionCacheSize bounds the conversion cache; zero means the
 	// engine default (256 entries).
 	ConversionCacheSize int
+	// DisableDecisionCache turns off the per-Site decision cache, so
+	// every match — repeat or not — runs through an engine. The engines
+	// stay the source of truth for ablations, differential tests, and
+	// deployments that want per-match step accounting.
+	DisableDecisionCache bool
+	// DecisionCacheSize bounds the decision cache in slots (rounded up
+	// to a power of two); zero means the engine default
+	// (decision.DefaultSlots).
+	DecisionCacheSize int
 	// MatchBudget bounds the work one preference match may perform,
 	// counted in evaluator steps (rows visited by the relational
 	// engines, nodes walked by the XQuery evaluator, element
@@ -150,6 +161,9 @@ type Decision struct {
 	// Query is the time spent evaluating the translated (or native)
 	// preference against the policy.
 	Query time.Duration
+	// Cached reports that the decision was served from the decision
+	// cache: the engines never ran, and Convert and Query are zero.
+	Cached bool
 }
 
 // Blocked reports whether the site should withhold the page.
@@ -187,13 +201,38 @@ type Site struct {
 	// nil when Options.DisableConversionCache is set.
 	conv *convCache
 
+	// decisions caches whole match outcomes per (preference, policy,
+	// engine, snapshot generation); nil when
+	// Options.DisableDecisionCache is set. A hit skips the engines
+	// entirely; the generation key invalidates every entry the moment a
+	// policy write publishes a new snapshot.
+	decisions *decision.Cache
+
 	// matchBudget and perPolicyTimeout are the resource-governance
 	// knobs from Options, immutable after construction.
 	matchBudget      int64
 	perPolicyTimeout time.Duration
 
-	conflictMu sync.Mutex
-	conflicts  map[string]map[string]int // policy -> rule description -> blocks
+	// conflicts is the site-owner analytics tally (policy -> rule
+	// description -> blocks), sharded by policy so that a worst-case
+	// all-blocking workload does not serialize the otherwise lock-free
+	// read path on one analytics mutex.
+	conflicts [conflictShards]conflictShard
+}
+
+// conflictShards spreads the analytics tally; blocks on distinct
+// policies land on distinct mutexes.
+const conflictShards = 8
+
+type conflictShard struct {
+	mu sync.Mutex
+	m  map[string]map[string]int
+}
+
+func conflictShardFor(policy string) int {
+	h := fnv.New32a()
+	h.Write([]byte(policy))
+	return int(h.Sum32() % conflictShards)
 }
 
 // NewSite returns an empty site with default options.
@@ -206,10 +245,15 @@ func NewSiteWithOptions(opts Options) (*Site, error) {
 		native:           appelengine.NewWithOptions(appelengine.Options{SkipAugmentation: opts.SkipAugmentationInNative}),
 		matchBudget:      opts.MatchBudget,
 		perPolicyTimeout: opts.PerPolicyTimeout,
-		conflicts:        map[string]map[string]int{},
+	}
+	for i := range s.conflicts {
+		s.conflicts[i].m = map[string]map[string]int{}
 	}
 	if !opts.DisableConversionCache {
 		s.conv = newConvCache(opts.ConversionCacheSize)
+	}
+	if !opts.DisableDecisionCache {
+		s.decisions = decision.New(opts.DecisionCacheSize)
 	}
 	st, err := s.materialize(newDraft())
 	if err != nil {
@@ -551,10 +595,90 @@ var matchObs = func() [4]engineObs {
 	return a
 }()
 
+// obsDecForcedMiss counts decision-cache lookups skipped by an armed
+// decision.lookup fault (the forced-miss drill).
+var obsDecForcedMiss = obs.GetCounter("decision.forced_misses")
+
+// decisionLookup probes the decision cache for a completed match against
+// this exact snapshot. On a hit it performs the same per-engine
+// observability accounting as an engine match — totals and latency move,
+// convert and query record zero — so the metrics reconciliation
+// invariants hold whether or not the engines ran. An armed
+// decision.lookup fault forces a miss instead of failing the match,
+// proving the engine fallback stays correct when the cache degrades.
+func (s *Site) decisionLookup(ctx context.Context, st *siteState, prefXML, policyName string, engine Engine) (Decision, bool) {
+	if s.decisions == nil {
+		return Decision{}, false
+	}
+	if err := faultkit.Inject(faultkit.PointDecisionLookup); err != nil {
+		obsDecForcedMiss.Inc()
+		return Decision{}, false
+	}
+	start := time.Now()
+	out, ok := s.decisions.Get(decision.Key{
+		Gen: st.gen, Engine: uint8(engine), Policy: policyName, Pref: prefXML,
+	})
+	if !ok {
+		return Decision{}, false
+	}
+	d := Decision{
+		Behavior:        out.Behavior,
+		RuleIndex:       out.RuleIndex,
+		RuleDescription: out.RuleDescription,
+		Prompt:          out.Prompt,
+		PolicyName:      policyName,
+		Engine:          engine,
+		Cached:          true,
+	}
+	io := &matchObs[engine]
+	io.total.Inc()
+	io.latency.ObserveDuration(time.Since(start))
+	io.convert.Observe(0)
+	io.query.Observe(0)
+	span := obs.SpanFromContext(ctx)
+	span.Annotate("engine", engine.ShortName())
+	span.Annotate("policy", policyName)
+	span.Annotate("decision_cache", "hit")
+	s.recordConflict(d)
+	return d, true
+}
+
+// decisionStore publishes a successful engine decision for future
+// lookups against the same snapshot.
+func (s *Site) decisionStore(st *siteState, prefXML, policyName string, engine Engine, d Decision) {
+	if s.decisions == nil {
+		return
+	}
+	s.decisions.Put(decision.Key{
+		Gen: st.gen, Engine: uint8(engine), Policy: policyName, Pref: prefXML,
+	}, decision.Outcome{
+		Behavior:        d.Behavior,
+		RuleIndex:       d.RuleIndex,
+		RuleDescription: d.RuleDescription,
+		Prompt:          d.Prompt,
+	})
+}
+
+// DecisionCacheStats reports the Site's decision-cache hit/miss/store
+// counters and current live-entry count. All zeros when the cache is
+// disabled.
+func (s *Site) DecisionCacheStats() (hits, misses, stores int64, size int) {
+	if s.decisions == nil {
+		return 0, 0, 0, 0
+	}
+	hits, misses, stores = s.decisions.Stats()
+	return hits, misses, stores, s.decisions.Len()
+}
+
 // match runs one preference match against one snapshot. This is the hot
 // path: it acquires no site-level lock — everything it reads hangs off
-// the immutable st.
+// the immutable st. Repeat matches are answered by the decision cache
+// without touching an engine; only the first occurrence of a
+// (preference, policy, engine) triple per snapshot pays for evaluation.
 func (s *Site) match(ctx context.Context, st *siteState, prefXML, policyName string, engine Engine) (Decision, error) {
+	if d, ok := s.decisionLookup(ctx, st, prefXML, policyName, engine); ok {
+		return d, nil
+	}
 	// One meter spans all of this match's rule evaluations, whatever the
 	// engine, so the budget bounds the whole preference rather than one
 	// statement. Nil (free) when there is neither a budget nor a
@@ -594,6 +718,7 @@ func (s *Site) match(ctx context.Context, st *siteState, prefXML, policyName str
 	d.PolicyName = policyName
 	d.Engine = engine
 	s.recordConflict(d)
+	s.decisionStore(st, prefXML, policyName, engine, d)
 	return d, nil
 }
 
@@ -703,9 +828,10 @@ func (s *Site) matchXQueryNative(st *siteState, prefXML, policyName string, m *r
 	convert := time.Since(convertStart)
 
 	queryStart := time.Now()
-	ev := xquery.NewEvaluator(st.xml.Resolver(map[string]string{
-		xqgen.ApplicableDocument: policyDoc(policyName),
-	})).WithMeter(m)
+	// The per-policy resolver was prebuilt at snapshot materialization,
+	// so binding the policy costs a map lookup instead of an alias map
+	// and closure allocation per match.
+	ev := xquery.NewEvaluator(st.resolvers[policyName]).WithMeter(m)
 	for i, rule := range conv.rules {
 		out, err := ev.Run(rule.query)
 		if err != nil {
@@ -733,18 +859,21 @@ func ruleDescription(rs *appel.Ruleset, idx int) string {
 }
 
 // recordConflict feeds the site-owner analytics: block decisions are
-// tallied per policy and rule. It takes only conflictMu, so lock-free
-// matches can record concurrently.
+// tallied per policy and rule. The tally is sharded by policy, so
+// concurrent blocked matches on distinct policies take distinct mutexes
+// and the lock-free read path stays parallel even when every decision
+// blocks.
 func (s *Site) recordConflict(d Decision) {
 	if !d.Blocked() {
 		return
 	}
-	s.conflictMu.Lock()
-	defer s.conflictMu.Unlock()
-	m, ok := s.conflicts[d.PolicyName]
+	sh := &s.conflicts[conflictShardFor(d.PolicyName)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	m, ok := sh.m[d.PolicyName]
 	if !ok {
 		m = map[string]int{}
-		s.conflicts[d.PolicyName] = m
+		sh.m[d.PolicyName] = m
 	}
 	desc := d.RuleDescription
 	if desc == "" {
@@ -757,13 +886,16 @@ func (s *Site) recordConflict(d Decision) {
 // policies conflict with which user preference rules — the information the
 // client-centric architecture cannot give site owners (Section 4.2).
 func (s *Site) Analytics() []ConflictStat {
-	s.conflictMu.Lock()
-	defer s.conflictMu.Unlock()
 	var out []ConflictStat
-	for pol, rules := range s.conflicts {
-		for desc, n := range rules {
-			out = append(out, ConflictStat{PolicyName: pol, RuleDescription: desc, Count: n})
+	for i := range s.conflicts {
+		sh := &s.conflicts[i]
+		sh.mu.Lock()
+		for pol, rules := range sh.m {
+			for desc, n := range rules {
+				out = append(out, ConflictStat{PolicyName: pol, RuleDescription: desc, Count: n})
+			}
 		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Count != out[j].Count {
@@ -779,7 +911,10 @@ func (s *Site) Analytics() []ConflictStat {
 
 // ResetAnalytics clears the conflict statistics.
 func (s *Site) ResetAnalytics() {
-	s.conflictMu.Lock()
-	defer s.conflictMu.Unlock()
-	s.conflicts = map[string]map[string]int{}
+	for i := range s.conflicts {
+		sh := &s.conflicts[i]
+		sh.mu.Lock()
+		sh.m = map[string]map[string]int{}
+		sh.mu.Unlock()
+	}
 }

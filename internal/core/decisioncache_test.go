@@ -1,0 +1,292 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"p3pdb/internal/appel"
+	"p3pdb/internal/faultkit"
+	"p3pdb/internal/p3p"
+	"p3pdb/internal/workload"
+)
+
+// volgaBlockXML reinstalls under the name "volga" a policy that Jane's
+// preference blocks (telemarketing to the public, kept indefinitely),
+// where the real Volga policy yields "request". The behavior flip makes
+// stale decision-cache entries observable: any cached "request" served
+// after this version is published is a correctness bug, not a perf bug.
+const volgaBlockXML = `<POLICY name="volga" discuri="http://volga.example.com/privacy.html">
+  <STATEMENT>
+    <PURPOSE><telemarketing/></PURPOSE>
+    <RECIPIENT><public/></RECIPIENT>
+    <RETENTION><indefinitely/></RETENTION>
+    <DATA-GROUP><DATA ref="#user.name"/></DATA-GROUP>
+  </STATEMENT>
+</POLICY>`
+
+// TestDecisionCacheHitSkipsEngines matches the same (preference, policy,
+// engine) twice and asserts the repeat is served from the decision
+// cache: Cached is set, the conversion cache sees no traffic (the
+// engines never ran), and every decision field the caller acts on is
+// identical to the engine-computed original.
+func TestDecisionCacheHitSkipsEngines(t *testing.T) {
+	s, d := corpusSite(t, Options{})
+	pref, ok := workload.PreferenceByLevel("High")
+	if !ok {
+		t.Fatal("no High preference in workload")
+	}
+	policy := d.Policies[0].Name
+
+	for _, engine := range []Engine{EngineNative, EngineSQL, EngineXTable, EngineXQuery} {
+		first, err := s.MatchPolicy(pref.XML, policy, engine)
+		if err != nil {
+			t.Fatalf("%v: first match: %v", engine, err)
+		}
+		if first.Cached {
+			t.Fatalf("%v: first match claims Cached", engine)
+		}
+
+		convHits, convMisses, _ := s.ConversionCacheStats()
+		second, err := s.MatchPolicy(pref.XML, policy, engine)
+		if err != nil {
+			t.Fatalf("%v: second match: %v", engine, err)
+		}
+		if !second.Cached {
+			t.Fatalf("%v: repeat match not served from decision cache", engine)
+		}
+		if second.Convert != 0 || second.Query != 0 {
+			t.Errorf("%v: cached decision has nonzero times: convert=%v query=%v",
+				engine, second.Convert, second.Query)
+		}
+		if h, m, _ := s.ConversionCacheStats(); h != convHits || m != convMisses {
+			t.Errorf("%v: cache hit still touched the conversion cache: hits %d->%d misses %d->%d",
+				engine, convHits, h, convMisses, m)
+		}
+		if second.Behavior != first.Behavior || second.RuleIndex != first.RuleIndex ||
+			second.RuleDescription != first.RuleDescription || second.Prompt != first.Prompt ||
+			second.PolicyName != first.PolicyName || second.Engine != first.Engine {
+			t.Errorf("%v: cached decision differs from engine decision:\n  engine: %+v\n  cached: %+v",
+				engine, first, second)
+		}
+	}
+
+	hits, misses, stores, size := s.DecisionCacheStats()
+	if hits < 4 {
+		t.Errorf("decision-cache hits = %d, want >= 4 (one per engine)", hits)
+	}
+	if misses < 4 || stores < 4 || size < 4 {
+		t.Errorf("decision-cache misses=%d stores=%d size=%d, want >= 4 each", misses, stores, size)
+	}
+}
+
+// TestDecisionCacheInvalidatedByPolicyWrite is the staleness drill: a
+// decision cached against snapshot N must never be served once a policy
+// write publishes snapshot N+1. The policy is replaced by a same-named
+// version with the opposite behavior, so a stale entry is directly
+// visible as the wrong answer.
+func TestDecisionCacheInvalidatedByPolicyWrite(t *testing.T) {
+	s := siteWithVolga(t)
+
+	d, err := s.MatchPolicy(appel.JanePreferenceXML, "volga", EngineSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Behavior != "request" {
+		t.Fatalf("volga v1 behavior = %q, want request", d.Behavior)
+	}
+	if d, err = s.MatchPolicy(appel.JanePreferenceXML, "volga", EngineSQL); err != nil {
+		t.Fatal(err)
+	} else if !d.Cached {
+		t.Fatal("repeat match against v1 not cached")
+	}
+
+	// Remove + reinstall under the same name: two generation bumps.
+	if err := s.RemovePolicy("volga"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InstallPolicyXML(volgaBlockXML); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err = s.MatchPolicy(appel.JanePreferenceXML, "volga", EngineSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cached {
+		t.Error("first match after policy write served from cache (stale generation)")
+	}
+	if d.Behavior != "block" {
+		t.Errorf("volga v2 behavior = %q, want block (stale v1 decision served?)", d.Behavior)
+	}
+
+	// ReplacePolicies is the atomic-swap write path (hot reload); it must
+	// invalidate just the same.
+	pols, err := p3p.ParsePolicies(p3p.VolgaPolicyXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReplacePolicies(pols, nil); err != nil {
+		t.Fatal(err)
+	}
+	d, err = s.MatchPolicy(appel.JanePreferenceXML, "volga", EngineSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cached {
+		t.Error("first match after ReplacePolicies served from cache")
+	}
+	if d.Behavior != "request" {
+		t.Errorf("behavior after swap back = %q, want request", d.Behavior)
+	}
+}
+
+// TestDecisionCacheWriteWhileReadChurn alternates two same-named policy
+// versions with opposite behaviors while reader goroutines hammer the
+// match path. Run under -race this exercises the lock-free cache's
+// publish/lookup concurrency; the writer's assertion after every swap
+// catches any stale decision crossing a generation boundary.
+func TestDecisionCacheWriteWhileReadChurn(t *testing.T) {
+	s := siteWithVolga(t)
+	volgaV1, err := p3p.ParsePolicies(p3p.VolgaPolicyXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	volgaV2, err := p3p.ParsePolicies(volgaBlockXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				d, err := s.MatchPolicy(appel.JanePreferenceXML, "volga", EngineSQL)
+				if err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				// Readers race the swap, so either version's answer is
+				// legal — but nothing else is.
+				if d.Behavior != "request" && d.Behavior != "block" {
+					t.Errorf("reader: behavior %q is neither version's answer", d.Behavior)
+					return
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < 25; i++ {
+		pols, want := volgaV1, "request"
+		if i%2 == 0 {
+			pols, want = volgaV2, "block"
+		}
+		if err := s.ReplacePolicies(pols, nil); err != nil {
+			t.Fatal(err)
+		}
+		// After the swap returns, the new snapshot is published: the
+		// writer's own match must see the new version, never a cached
+		// decision from the old generation.
+		d, err := s.MatchPolicy(appel.JanePreferenceXML, "volga", EngineSQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Behavior != want {
+			t.Fatalf("swap %d: behavior = %q, want %q (stale cached decision)", i, d.Behavior, want)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestDecisionCacheForcedMissFallback arms the decision.lookup fault
+// point and asserts the cache degrades to the engine path instead of
+// failing: repeats are recomputed (not Cached), still correct, and the
+// forced misses are counted. Disarming restores cache hits.
+func TestDecisionCacheForcedMissFallback(t *testing.T) {
+	faultkit.Reset()
+	t.Cleanup(faultkit.Reset)
+	s := siteWithVolga(t)
+
+	if _, err := s.MatchPolicy(appel.JanePreferenceXML, "volga", EngineNative); err != nil {
+		t.Fatal(err)
+	}
+	if d, err := s.MatchPolicy(appel.JanePreferenceXML, "volga", EngineNative); err != nil {
+		t.Fatal(err)
+	} else if !d.Cached {
+		t.Fatal("repeat match not cached before fault armed")
+	}
+
+	if err := faultkit.Enable(faultkit.PointDecisionLookup + ":error"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.MatchPolicy(appel.JanePreferenceXML, "volga", EngineNative)
+	if err != nil {
+		t.Fatalf("armed decision.lookup fault failed the match: %v", err)
+	}
+	if d.Cached {
+		t.Error("armed decision.lookup fault did not force a miss")
+	}
+	if d.Behavior != "request" {
+		t.Errorf("engine fallback behavior = %q, want request", d.Behavior)
+	}
+	if n := faultkit.Firings(faultkit.PointDecisionLookup); n == 0 {
+		t.Error("decision.lookup fault never fired")
+	}
+
+	faultkit.Reset()
+	if d, err := s.MatchPolicy(appel.JanePreferenceXML, "volga", EngineNative); err != nil {
+		t.Fatal(err)
+	} else if !d.Cached {
+		t.Error("cache hits did not resume after fault disarmed")
+	}
+}
+
+// TestDecisionCacheDisabled asserts DisableDecisionCache really turns
+// the cache off: repeats recompute and the stats stay zero.
+func TestDecisionCacheDisabled(t *testing.T) {
+	s, d := corpusSite(t, Options{DisableDecisionCache: true})
+	pref, ok := workload.PreferenceByLevel("Low")
+	if !ok {
+		t.Fatal("no Low preference in workload")
+	}
+	for i := 0; i < 3; i++ {
+		dec, err := s.MatchPolicy(pref.XML, d.Policies[0].Name, EngineSQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Cached {
+			t.Fatal("disabled decision cache served a hit")
+		}
+	}
+	if hits, misses, stores, size := s.DecisionCacheStats(); hits != 0 || misses != 0 || stores != 0 || size != 0 {
+		t.Errorf("disabled cache stats = %d/%d/%d/%d, want all zero", hits, misses, stores, size)
+	}
+}
+
+// TestDecisionCacheErrorsNotCached matches a preference that fails to
+// parse and asserts the error repeats (never replaced by a cached
+// decision) and nothing was stored.
+func TestDecisionCacheErrorsNotCached(t *testing.T) {
+	s := siteWithVolga(t)
+	_, _, stores0, _ := s.DecisionCacheStats()
+	for i := 0; i < 2; i++ {
+		if _, err := s.MatchPolicy("<not appel>", "volga", EngineNative); err == nil {
+			t.Fatal("malformed preference matched")
+		}
+	}
+	if _, _, stores, _ := s.DecisionCacheStats(); stores != stores0 {
+		t.Errorf("failed matches stored %d decisions", stores-stores0)
+	}
+	if !strings.Contains(volgaBlockXML, `name="volga"`) {
+		t.Fatal("fixture lost its policy name") // guards the flip fixture above
+	}
+}

@@ -2,13 +2,23 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"p3pdb/internal/p3p"
 	"p3pdb/internal/reffile"
 	"p3pdb/internal/reldb"
 	"p3pdb/internal/shred"
+	"p3pdb/internal/xmldom"
 	"p3pdb/internal/xmlstore"
+	"p3pdb/internal/xqgen"
 )
+
+// stateGen issues snapshot generation numbers, unique process-wide and
+// monotonic per Site. The generation is the decision cache's snapshot
+// identity: entries embed the generation they were computed against, so
+// publishing a successor snapshot invalidates every prior entry without
+// touching the cache.
+var stateGen atomic.Uint64
 
 // siteState is the immutable interior of a Site: every backend the
 // matching engines read, bundled into one snapshot. A state is built
@@ -40,6 +50,15 @@ type siteState struct {
 	// nextID continues across snapshots and removals, so a policy id is
 	// never reused: a stale id-bound artifact can miss, never alias.
 	nextID int
+
+	// gen is this snapshot's generation number (stateGen), the decision
+	// cache's snapshot identity.
+	gen uint64
+
+	// resolvers holds one prebuilt XQuery document resolver per policy,
+	// so the native-XQuery match path binds its policy without allocating
+	// an alias map and closure per match.
+	resolvers map[string]func(string) (*xmldom.Node, error)
 }
 
 // policyForURI resolves which policy governs a URI within this snapshot.
@@ -191,6 +210,8 @@ func (s *Site) materialize(d *stateDraft) (*siteState, error) {
 		ids:       d.ids,
 		order:     d.order,
 		nextID:    d.nextID,
+		gen:       stateGen.Add(1),
+		resolvers: make(map[string]func(string) (*xmldom.Node, error), len(d.policies)),
 	}
 	for _, name := range d.order {
 		pol := d.policies[name]
@@ -204,6 +225,9 @@ func (s *Site) materialize(d *stateDraft) (*siteState, error) {
 		dom := pol.ToDOM()
 		st.xml.Put(policyDoc(name), s.native.Augment(dom))
 		st.policyXML[name] = dom.String()
+		st.resolvers[name] = st.xml.Resolver(map[string]string{
+			xqgen.ApplicableDocument: policyDoc(name),
+		})
 	}
 	if d.refFile != nil {
 		// The relational mirror only stores refs that resolve; the
@@ -222,6 +246,13 @@ func (s *Site) materialize(d *stateDraft) (*siteState, error) {
 			}
 		}
 	}
+	// The snapshot is fully populated and about to be published
+	// read-only. Freezing its databases lets every subsequent SELECT
+	// skip the shared lock: matching takes no lock at all against a
+	// published snapshot, which is what lets throughput scale with
+	// cores instead of serializing on one RWMutex cache line.
+	optDB.Freeze()
+	genDB.Freeze()
 	return st, nil
 }
 

@@ -1,0 +1,211 @@
+// Package decision is the read path's terminal cache: a lock-free,
+// bounded map from (preference text, policy, engine, site-snapshot
+// generation) to the match outcome. A site's policy set changes rarely
+// while millions of users re-present the same few thousand distinct
+// preferences, so in steady state almost every match is a repeat — the
+// FGAC scalable-enforcement observation applied to P3P. A hit skips the
+// engines entirely: no APPEL parse, no SQL/XQuery evaluation, just one
+// hash and a handful of atomic loads.
+//
+// Invalidation rides the snapshot swap for free. The cache key embeds
+// the generation number core assigns each published site snapshot;
+// installing, removing, or replacing policies publishes a new snapshot
+// with a new generation, so every entry cached against the old snapshot
+// simply stops matching. Stale entries are never served — they linger in
+// their slots until overwritten, which bounds memory without any purge
+// pass or writer coordination.
+//
+// Concurrency: the cache is an open-addressed table of atomic entry
+// pointers. Get is a bounded probe of atomic loads; Put publishes an
+// immutable entry with one atomic store. Neither takes a lock, so
+// readers never serialize against each other or against writers — the
+// property the single-mutex conversion cache could not give the
+// multi-core read path. Races lose at most a cache fill, never
+// correctness: every served entry's key is compared in full (the whole
+// preference text, not a hash), so collisions cannot alias.
+package decision
+
+import (
+	"hash/maphash"
+	"sync/atomic"
+
+	"p3pdb/internal/obs"
+)
+
+// DefaultSlots bounds the cache when the caller leaves the size unset.
+// At one entry per distinct (preference, policy, engine) triple this
+// comfortably holds the few thousand distinct preferences a site sees,
+// while capping worst-case memory at slots * (entry + preference text).
+const DefaultSlots = 4096
+
+// probeWindow is how many consecutive slots a key may occupy. Small
+// enough that a Get is a handful of loads, large enough that hash
+// clustering rarely evicts a live entry.
+const probeWindow = 8
+
+// Process-wide observability (obs registry, DESIGN.md §8). Per-cache
+// numbers stay available via Stats.
+var (
+	obsHits       = obs.GetCounter("decision.hits")
+	obsMisses     = obs.GetCounter("decision.misses")
+	obsStores     = obs.GetCounter("decision.stores")
+	obsOverwrites = obs.GetCounter("decision.overwrites")
+)
+
+// Key identifies one cached decision. Gen is the site-snapshot
+// generation the decision was computed against; a snapshot swap changes
+// Gen, so old entries can never be served afterwards. Pref is the full
+// preference text — lookups compare it verbatim, making hash collisions
+// harmless.
+type Key struct {
+	Gen    uint64
+	Engine uint8
+	Policy string
+	Pref   string
+}
+
+// Outcome is the engine-independent payload of a cached decision.
+type Outcome struct {
+	Behavior        string
+	RuleIndex       int
+	RuleDescription string
+	Prompt          bool
+}
+
+// entry pairs a key with its outcome. Entries are immutable after
+// publication; replacement stores a fresh entry pointer.
+type entry struct {
+	key Key
+	out Outcome
+}
+
+// Cache is the lock-free decision cache. The zero value is not usable;
+// construct with New.
+type Cache struct {
+	slots []atomic.Pointer[entry]
+	mask  uint64
+	seed  maphash.Seed
+	// victim rotates the overwrite slot when a probe window is full of
+	// live entries, so pathological clustering degrades to round-robin
+	// replacement instead of pinning one slot.
+	victim atomic.Uint64
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	stores atomic.Int64
+}
+
+// New returns a cache with at least the given number of slots, rounded
+// up to a power of two. size <= 0 selects DefaultSlots.
+func New(size int) *Cache {
+	if size <= 0 {
+		size = DefaultSlots
+	}
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	if n < probeWindow {
+		n = probeWindow
+	}
+	return &Cache{
+		slots: make([]atomic.Pointer[entry], n),
+		mask:  uint64(n - 1),
+		seed:  maphash.MakeSeed(),
+	}
+}
+
+// hash mixes every key field, so one preference matched against many
+// policies (or engines, or snapshot generations) spreads across the
+// table.
+func (c *Cache) hash(k Key) uint64 {
+	var h maphash.Hash
+	h.SetSeed(c.seed)
+	h.WriteString(k.Pref)
+	h.WriteString(k.Policy)
+	h.WriteByte(k.Engine)
+	var g [8]byte
+	for i := 0; i < 8; i++ {
+		g[i] = byte(k.Gen >> (8 * i))
+	}
+	h.Write(g[:])
+	return h.Sum64()
+}
+
+// Get looks the key up. It is wait-free: at most probeWindow atomic
+// loads and full-key compares.
+func (c *Cache) Get(k Key) (Outcome, bool) {
+	h := c.hash(k)
+	for i := uint64(0); i < probeWindow; i++ {
+		e := c.slots[(h+i)&c.mask].Load()
+		if e != nil && e.key == k {
+			c.hits.Add(1)
+			obsHits.Inc()
+			return e.out, true
+		}
+	}
+	c.misses.Add(1)
+	obsMisses.Inc()
+	return Outcome{}, false
+}
+
+// Put publishes the outcome for the key. Slot choice inside the probe
+// window prefers, in order: the key's own slot (refresh), an empty
+// slot, a stale slot (an entry from an older snapshot generation, dead
+// weight by construction), and finally a rotating victim — the cache is
+// bounded, so something must go. A racing Put to the same slot loses at
+// most one fill; entries are immutable, so readers always see a
+// complete one.
+func (c *Cache) Put(k Key, o Outcome) {
+	e := &entry{key: k, out: o}
+	h := c.hash(k)
+	empty, stale := -1, -1
+	for i := uint64(0); i < probeWindow; i++ {
+		idx := int((h + i) & c.mask)
+		cur := c.slots[idx].Load()
+		switch {
+		case cur == nil:
+			if empty < 0 {
+				empty = idx
+			}
+		case cur.key == k:
+			c.slots[idx].Store(e)
+			c.stores.Add(1)
+			obsStores.Inc()
+			return
+		case cur.key.Gen < k.Gen && stale < 0:
+			stale = idx
+		}
+	}
+	idx := empty
+	if idx < 0 {
+		idx = stale
+	}
+	if idx < 0 {
+		idx = int((h + c.victim.Add(1)%probeWindow) & c.mask)
+		obsOverwrites.Inc()
+	}
+	c.slots[idx].Store(e)
+	c.stores.Add(1)
+	obsStores.Inc()
+}
+
+// Len counts live entries, scanning every slot. For tests and metrics;
+// not on any hot path.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.slots {
+		if c.slots[i].Load() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Slots reports the table's capacity in entries.
+func (c *Cache) Slots() int { return len(c.slots) }
+
+// Stats reports this cache's hit, miss, and store counters.
+func (c *Cache) Stats() (hits, misses, stores int64) {
+	return c.hits.Load(), c.misses.Load(), c.stores.Load()
+}

@@ -1,0 +1,126 @@
+package decision
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func key(gen uint64, pref, policy string) Key {
+	return Key{Gen: gen, Engine: 1, Policy: policy, Pref: pref}
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New(64)
+	k := key(1, "<ruleset/>", "volga")
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	want := Outcome{Behavior: "request", RuleIndex: 2, RuleDescription: "ok", Prompt: true}
+	c.Put(k, want)
+	got, ok := c.Get(k)
+	if !ok || got != want {
+		t.Fatalf("got %+v ok=%v, want %+v", got, ok, want)
+	}
+
+	// Same preference under a different generation, policy, or engine is
+	// a distinct key.
+	if _, ok := c.Get(key(2, "<ruleset/>", "volga")); ok {
+		t.Error("stale generation served")
+	}
+	if _, ok := c.Get(key(1, "<ruleset/>", "other")); ok {
+		t.Error("wrong policy served")
+	}
+	k2 := k
+	k2.Engine = 3
+	if _, ok := c.Get(k2); ok {
+		t.Error("wrong engine served")
+	}
+}
+
+func TestPutRefreshesInPlace(t *testing.T) {
+	c := New(64)
+	k := key(1, "p", "pol")
+	c.Put(k, Outcome{Behavior: "request"})
+	c.Put(k, Outcome{Behavior: "block"})
+	got, ok := c.Get(k)
+	if !ok || got.Behavior != "block" {
+		t.Fatalf("got %+v ok=%v, want refreshed block", got, ok)
+	}
+	if n := c.Len(); n != 1 {
+		t.Fatalf("Len = %d after double put of one key, want 1", n)
+	}
+}
+
+func TestBoundedAndSizedUp(t *testing.T) {
+	c := New(100)
+	if c.Slots() != 128 {
+		t.Fatalf("Slots = %d, want next power of two 128", c.Slots())
+	}
+	for i := 0; i < 10*c.Slots(); i++ {
+		c.Put(key(1, fmt.Sprintf("pref-%d", i), "pol"), Outcome{Behavior: "request"})
+	}
+	if n := c.Len(); n > c.Slots() {
+		t.Fatalf("Len = %d exceeds %d slots", n, c.Slots())
+	}
+}
+
+func TestStaleGenerationsAreEvictionVictims(t *testing.T) {
+	c := New(probeWindow) // single probe window: every key collides
+	for i := 0; i < probeWindow; i++ {
+		c.Put(key(1, fmt.Sprintf("old-%d", i), "pol"), Outcome{Behavior: "request"})
+	}
+	// A new-generation put with a full table must land somewhere and
+	// still be retrievable, displacing a stale entry rather than being
+	// dropped.
+	k := key(2, "fresh", "pol")
+	c.Put(k, Outcome{Behavior: "block"})
+	if got, ok := c.Get(k); !ok || got.Behavior != "block" {
+		t.Fatalf("fresh entry not stored over stale generation: %+v ok=%v", got, ok)
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	c := New(64)
+	k := key(1, "p", "pol")
+	c.Get(k)
+	c.Put(k, Outcome{Behavior: "request"})
+	c.Get(k)
+	c.Get(k)
+	hits, misses, stores := c.Stats()
+	if hits != 2 || misses != 1 || stores != 1 {
+		t.Fatalf("stats = %d/%d/%d, want 2 hits, 1 miss, 1 store", hits, misses, stores)
+	}
+}
+
+// TestConcurrentHammering races readers and writers over a small table
+// (run with -race). Entries are immutable, so any served outcome must be
+// exactly what some Put published for that full key.
+func TestConcurrentHammering(t *testing.T) {
+	c := New(256)
+	const goroutines = 8
+	const ops = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				gen := uint64(1 + i%3)
+				k := key(gen, fmt.Sprintf("pref-%d", i%50), fmt.Sprintf("pol-%d", g%4))
+				want := fmt.Sprintf("b-%d-%s-%s", k.Gen, k.Pref, k.Policy)
+				if i%2 == 0 {
+					c.Put(k, Outcome{Behavior: want})
+					continue
+				}
+				if out, ok := c.Get(k); ok && out.Behavior != want {
+					t.Errorf("key %+v served foreign outcome %q", k, out.Behavior)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > c.Slots() {
+		t.Fatalf("Len = %d exceeds %d slots", n, c.Slots())
+	}
+}

@@ -64,6 +64,11 @@ const (
 	PointDurableWrite  = "durable.write"   // WAL append: fires as a short (torn) write
 	PointDurableFsync  = "durable.fsync"   // WAL/snapshot fsync failure
 	PointDurableRename = "durable.rename"  // snapshot temp-file rename failure
+	// PointDecisionLookup guards the decision-cache probe. An armed fault
+	// does not fail the match: it forces a cache miss, so drills can prove
+	// the engine fallback path stays correct when the cache is cold,
+	// degraded, or lying about its availability.
+	PointDecisionLookup = "decision.lookup"
 )
 
 // fault is one armed injection point.

@@ -38,6 +38,11 @@ var (
 	ErrCanceled       = resource.ErrCanceled
 )
 
+// ErrFrozen reports a write attempted against a frozen database. Site
+// snapshots freeze their databases at publication; all policy writes go
+// through a successor snapshot instead.
+var ErrFrozen = errors.New("reldb: database is frozen")
+
 // Options configure a DB instance.
 type Options struct {
 	// DisableIndexes forces full scans even where an index would apply.
@@ -89,48 +94,68 @@ type DB struct {
 	maxDepth   int
 	maxSelects int
 	stats      dbStats
-	// viewMu guards viewCache. It is separate from mu so that concurrent
-	// readers (holding mu.RLock) can fill the cache with double-checked
-	// locking: the first reader to need a stale view materializes it while
-	// the others wait on viewMu, then share the snapshot. Lock order is
-	// always mu before viewMu.
+	// frozen marks the database immutable. Site snapshots freeze their
+	// databases once fully populated: from then on SELECTs skip the
+	// shared lock entirely — even an uncontended RWMutex.RLock is an
+	// atomic read-modify-write on one shared word, which is the cache
+	// line every core fights over when matching scales out — and writes
+	// fail with ErrFrozen instead of mutating published state.
+	frozen atomic.Bool
+	// viewMu serializes view-cache fills and invalidations. Readers
+	// never take it: they load the viewCache pointer. The first reader
+	// to need a missing or stale view materializes it under viewMu and
+	// publishes a copied map; the rest reuse. Lock order is always mu
+	// before viewMu.
 	viewMu sync.Mutex
 	// viewCache holds materializations (and hash indexes) of bare
 	// "(SELECT * FROM t)" derived tables, keyed by table name and
 	// invalidated by the table's version counter. The XML-view
 	// reconstruction layer of the XTABLE path re-derives the same views
 	// in every statement; this is the engine's materialized-view cache.
-	viewCache map[string]*viewSnapshot
+	// The map behind the pointer is immutable — fills copy-on-write —
+	// so lookups are one atomic load, shared-lock-free.
+	viewCache atomic.Pointer[map[string]*viewSnapshot]
 }
 
 // viewSnapshot is one cached bare-view materialization. version and rows
 // are written once, before the snapshot is published; the lazily built
-// hash indexes over the rows have their own lock because concurrent
-// SELECTs build them on demand.
+// hash indexes over the rows are published through an atomic pointer so
+// concurrent SELECTs probe them without locking.
 type viewSnapshot struct {
 	version int64
 	rows    [][]Value
-	idxMu   sync.RWMutex
-	indexes map[string]map[string][]int // colset key -> value key -> row ids
+	// idxMu serializes index builds only; readers load the indexes
+	// pointer and never block.
+	idxMu   sync.Mutex
+	indexes atomic.Pointer[map[string]map[string][]int] // colset key -> value key -> row ids
 }
 
 // index returns the snapshot's hash index for the given column set,
-// building it (once) under double-checked locking.
+// building it (once) under idxMu and publishing it copy-on-write.
 func (vs *viewSnapshot) index(colsetKey string, ords []int) map[string][]int {
-	vs.idxMu.RLock()
-	buckets := vs.indexes[colsetKey]
-	vs.idxMu.RUnlock()
-	if buckets != nil {
+	if buckets := (*vs.indexes.Load())[colsetKey]; buckets != nil {
 		return buckets
 	}
 	vs.idxMu.Lock()
 	defer vs.idxMu.Unlock()
-	if buckets := vs.indexes[colsetKey]; buckets != nil {
+	cur := *vs.indexes.Load()
+	if buckets := cur[colsetKey]; buckets != nil {
 		return buckets
 	}
-	buckets = buildDerivedIndex(vs.rows, ords)
-	vs.indexes[colsetKey] = buckets
+	buckets := buildDerivedIndex(vs.rows, ords)
+	next := make(map[string]map[string][]int, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[colsetKey] = buckets
+	vs.indexes.Store(&next)
 	return buckets
+}
+
+func newViewSnapshot(version int64, rows [][]Value) *viewSnapshot {
+	vs := &viewSnapshot{version: version, rows: rows}
+	vs.indexes.Store(&map[string]map[string][]int{})
+	return vs
 }
 
 // New returns an empty database with default options.
@@ -143,8 +168,8 @@ func NewWithOptions(opts Options) *DB {
 		opts:       opts,
 		maxDepth:   opts.MaxSubqueryDepth,
 		maxSelects: opts.MaxSubqueries,
-		viewCache:  map[string]*viewSnapshot{},
 	}
+	d.viewCache.Store(&map[string]*viewSnapshot{})
 	if d.maxDepth == 0 {
 		d.maxDepth = defaultMaxSubqueryDepth
 	}
@@ -159,6 +184,15 @@ type Rows struct {
 	Columns []string
 	Data    [][]Value
 }
+
+// Freeze marks the database immutable. Reads from a frozen database
+// skip the shared lock — matching against a published site snapshot
+// takes no lock at all — and writes fail with ErrFrozen. Freezing is
+// one-way; the caller must not mutate tables after calling it.
+func (db *DB) Freeze() { db.frozen.Store(true) }
+
+// Frozen reports whether the database has been frozen.
+func (db *DB) Frozen() bool { return db.frozen.Load() }
 
 // Stats returns a snapshot of the engine's work counters. The counters
 // are atomic, so this is safe to call while statements run concurrently.
@@ -237,6 +271,9 @@ func (db *DB) ExecStmtCtx(ctx context.Context, stmt Statement, params ...Value) 
 	if err := faultkit.Inject(faultkit.PointRelDBQuery); err != nil {
 		return 0, err
 	}
+	if db.frozen.Load() {
+		return 0, ErrFrozen
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.stats.statements.Add(1)
@@ -255,9 +292,19 @@ func (db *DB) ExecStmtCtx(ctx context.Context, stmt Statement, params ...Value) 
 		}
 		delete(db.tables, key)
 		// A later table with the same name restarts its version counter,
-		// so a stale snapshot could alias it; drop the cache entry.
+		// so a stale snapshot could alias it; drop the cache entry
+		// (copy-on-write, so in-flight readers keep a coherent map).
 		db.viewMu.Lock()
-		delete(db.viewCache, key)
+		cur := *db.viewCache.Load()
+		if _, cached := cur[key]; cached {
+			next := make(map[string]*viewSnapshot, len(cur))
+			for k, v := range cur {
+				if k != key {
+					next[k] = v
+				}
+			}
+			db.viewCache.Store(&next)
+		}
 		db.viewMu.Unlock()
 		return 0, nil
 	case *InsertStmt:
@@ -309,8 +356,13 @@ func (db *DB) QueryStmtCtx(ctx context.Context, stmt Statement, params ...Value)
 	if err := faultkit.Inject(faultkit.PointRelDBQuery); err != nil {
 		return nil, err
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	// A frozen database cannot mutate, so the shared lock buys nothing
+	// and its cache-line traffic is exactly what multi-core matching
+	// must not pay.
+	if !db.frozen.Load() {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+	}
 	db.stats.statements.Add(1)
 	obsStatements.Inc()
 	st := newExecState(db.meterFor(ctx))
@@ -356,8 +408,10 @@ func (db *DB) QueryExistsStmtCtx(ctx context.Context, stmt Statement, params ...
 	if err := faultkit.Inject(faultkit.PointRelDBQuery); err != nil {
 		return false, err
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	if !db.frozen.Load() {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+	}
 	db.stats.statements.Add(1)
 	obsStatements.Inc()
 	st := newExecState(db.meterFor(ctx))
@@ -571,8 +625,9 @@ type execState struct {
 }
 
 // finish flushes a statement's locally accumulated work counters to the
-// DB's stats and the process-wide obs registry. Deferred by every
-// statement entry point.
+// DB's stats and the process-wide obs registry, then returns the state
+// to the pool. Deferred by every statement entry point; the statement
+// must not retain the state past this call.
 func (db *DB) finish(st *execState) {
 	if st.rows > 0 {
 		db.stats.rowsScanned.Add(st.rows)
@@ -582,6 +637,11 @@ func (db *DB) finish(st *execState) {
 		db.stats.indexLookups.Add(st.idxLookups)
 		obsIndexLookups.Add(st.idxLookups)
 	}
+	clear(st.derived)
+	clear(st.derivedIdx)
+	st.meter = nil
+	st.rows, st.idxLookups = 0, 0
+	execStatePool.Put(st)
 }
 
 // step charges n units of row-evaluator work against the statement's
@@ -613,9 +673,12 @@ type fromSource struct {
 
 // bareViewSnapshot serves "(SELECT * FROM t)" from the materialized-view
 // cache, refreshing it when the table has changed. The caller must hold
-// db.mu (shared or exclusive); the table therefore cannot mutate while
-// the snapshot is built. Concurrent readers that find the cache stale
-// serialize on viewMu: the first materializes, the rest reuse.
+// db.mu (shared or exclusive) or the database must be frozen; the table
+// therefore cannot mutate while the snapshot is built. The hit path is
+// one atomic load and a map lookup — no lock — so the XTABLE engine's
+// per-rule view probes never serialize readers. Concurrent readers that
+// find the cache stale serialize on viewMu: the first materializes and
+// publishes a copied map, the rest reuse.
 func (db *DB) bareViewSnapshot(sel *SelectStmt) (*viewSnapshot, []string, bool) {
 	if db.opts.DisableViewCache || !cacheableDerived(sel) {
 		return nil, nil, false
@@ -629,9 +692,14 @@ func (db *DB) bareViewSnapshot(sel *SelectStmt) (*viewSnapshot, []string, bool) 
 		cols[i] = strings.ToLower(c.Name)
 	}
 	key := strings.ToLower(t.schema.Name)
+	if snap := (*db.viewCache.Load())[key]; snap != nil && snap.version == t.version {
+		obsViewHits.Inc()
+		return snap, cols, true
+	}
 	db.viewMu.Lock()
 	defer db.viewMu.Unlock()
-	snap := db.viewCache[key]
+	cur := *db.viewCache.Load()
+	snap := cur[key]
 	if snap == nil || snap.version != t.version {
 		obsViewMisses.Inc()
 		rows := make([][]Value, 0, t.live)
@@ -639,15 +707,31 @@ func (db *DB) bareViewSnapshot(sel *SelectStmt) (*viewSnapshot, []string, bool) 
 			rows = append(rows, row)
 			return true
 		})
-		snap = &viewSnapshot{version: t.version, rows: rows, indexes: map[string]map[string][]int{}}
-		db.viewCache[key] = snap
+		snap = newViewSnapshot(t.version, rows)
+		next := make(map[string]*viewSnapshot, len(cur)+1)
+		for k, v := range cur {
+			next[k] = v
+		}
+		next[key] = snap
+		db.viewCache.Store(&next)
 	} else {
 		obsViewHits.Inc()
 	}
 	return snap, cols, true
 }
 
-func newExecState(m *resource.Meter) *execState { return &execState{meter: m} }
+// execStatePool recycles per-statement state. The matching hot path runs
+// one statement per preference rule; without the pool each statement
+// allocates a fresh execState (and, for XTABLE, its derived-cache maps),
+// which at scale-out turns into allocator and GC pressure shared across
+// every worker.
+var execStatePool = sync.Pool{New: func() any { return new(execState) }}
+
+func newExecState(m *resource.Meter) *execState {
+	st := execStatePool.Get().(*execState)
+	st.meter = m
+	return st
+}
 
 // execSelect runs a SELECT. outer is the enclosing scope for correlated
 // subqueries (nil at top level). needRows > 0 allows stopping early once

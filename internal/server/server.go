@@ -425,6 +425,10 @@ type MatchResponse struct {
 	Engine          string `json:"engine"`
 	ConvertMicros   int64  `json:"convertMicros"`
 	QueryMicros     int64  `json:"queryMicros"`
+	// Cached reports the decision was served from the decision cache:
+	// the engines never ran, so convert and query are zero by
+	// construction, not by speed.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // setServerTiming reports the decision's conversion/query split as a
@@ -446,6 +450,7 @@ func toResponse(d core.Decision) MatchResponse {
 		Engine:          d.Engine.ShortName(),
 		ConvertMicros:   d.Convert.Microseconds(),
 		QueryMicros:     d.Query.Microseconds(),
+		Cached:          d.Cached,
 	}
 }
 

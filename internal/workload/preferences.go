@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"strconv"
 	"strings"
 
 	"p3pdb/internal/appel"
@@ -132,6 +133,31 @@ func PreferenceByLevel(level string) (Preference, bool) {
 		}
 	}
 	return Preference{}, false
+}
+
+// PreferenceVariants returns n semantically identical copies of one
+// level's preference whose serialized texts all differ (a numbered XML
+// comment rides inside the ruleset). Caches keyed on preference text —
+// the conversion and decision caches — see n distinct keys while every
+// engine sees the same rules, which is exactly the shape a cache
+// benchmark needs: a controllable universe of distinct keys with
+// identical evaluation cost.
+func PreferenceVariants(level string, n int) []Preference {
+	base, ok := PreferenceByLevel(level)
+	if !ok {
+		panic("workload: unknown preference level " + level)
+	}
+	idx := strings.LastIndex(base.XML, "</appel:RULESET>")
+	head, tail := base.XML[:idx], base.XML[idx:]
+	out := make([]Preference, n)
+	for i := range out {
+		out[i] = Preference{
+			Level:   base.Level,
+			Ruleset: base.Ruleset,
+			XML:     head + "  <!-- variant " + strconv.Itoa(i) + " -->\n" + tail,
+		}
+	}
+	return out
 }
 
 func buildPreference(level string) Preference {

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Scale-out bench gates: regenerate the throughput and decision-cache
+# artifacts and fail the build when either regresses below its floor.
+#
+#   - throughput: speedupVs1 at 4 workers must reach MIN_SPEEDUP4.
+#     p3pbench enforces this only on machines with >= 4 CPUs (parallel
+#     speedup does not exist on fewer); the artifact records numCpu so a
+#     skipped gate is auditable.
+#   - decisioncache: the Zipf hit rate at the largest distinct-preference
+#     universe (1000) must reach MIN_HITRATE.
+#
+# Mirrors scripts/coverage_ratchet.sh: floors only move in the same PR
+# that justifies moving them.
+set -eu
+
+MIN_SPEEDUP4=${MIN_SPEEDUP4:-2.5}
+MIN_HITRATE=${MIN_HITRATE:-0.90}
+
+echo "== throughput gate (floor ${MIN_SPEEDUP4}x at 4 workers) =="
+go run ./cmd/p3pbench -table=throughput -min-speedup4="$MIN_SPEEDUP4"
+
+echo "== decision-cache gate (floor ${MIN_HITRATE} hit rate at 1000 distinct) =="
+go run ./cmd/p3pbench -table=decisioncache -min-hitrate="$MIN_HITRATE"
