@@ -24,13 +24,13 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "table to print: all, fig19, shred, fig20, fig21, warmcold, xquery-native, ablate, throughput, decisioncache, tenancy, obs, durability")
+	table := flag.String("table", "all", "table to print: all, fig19, shred, fig20, fig21, warmcold, xquery-native, ablate, throughput, decisioncache, tenancy, obs, durability, e2e")
 	seed := flag.Int64("seed", 42, "workload generation seed")
 	repeats := flag.Int("repeats", 3, "measurements per matrix cell")
 	level := flag.String("ablate-level", "High", "preference level for the ablation, throughput, decisioncache, and obs tables")
 	engine := flag.String("engine", "sql", "matching engine for the throughput, decisioncache, and tenancy tables")
 	out := flag.String("out", "", "artifact path for the throughput/decisioncache/tenancy/obs/durability tables (default BENCH_<table>.json; \"none\" to skip)")
-	matches := flag.Int("matches", 0, "matches per worker (throughput, tenancy) or total matches per row (decisioncache); 0 = default")
+	matches := flag.Int("matches", 0, "matches per worker (throughput, tenancy), requests per agent (e2e), or total matches per row (decisioncache); 0 = default")
 	mutations := flag.Int("mutations", 0, "install/remove pairs per phase in the durability table (0 = default)")
 	budget := flag.Int64("budget", 0, "per-match evaluator step budget (0 = unlimited); measures governed-deployment overhead")
 	noDecisionCache := flag.Bool("no-decision-cache", false, "disable the decision cache in the throughput table (measures the engine pipeline)")
@@ -38,6 +38,7 @@ func main() {
 	distinct := flag.Int("distinct", 0, "largest distinct-preference universe in the decisioncache table (0 = default 10/100/1000 sweep)")
 	minSpeedup4 := flag.Float64("min-speedup4", 0, "throughput gate: fail unless speedupVs1 at 4 workers reaches this floor (enforced only when the machine has >= 4 CPUs)")
 	minHitRate := flag.Float64("min-hitrate", 0, "decisioncache gate: fail unless the largest universe's hit rate reaches this floor")
+	minFastpath := flag.Float64("min-fastpath", 0, "e2e gate: fail unless the protocol loop's fast-path hit rate reaches this floor")
 	flag.Parse()
 
 	outPath := *out
@@ -53,6 +54,8 @@ func main() {
 			outPath = "BENCH_obs.json"
 		case "durability":
 			outPath = "BENCH_durability.json"
+		case "e2e":
+			outPath = "BENCH_e2e.json"
 		}
 	} else if outPath == "none" {
 		outPath = ""
@@ -153,6 +156,32 @@ func main() {
 		}
 		if *minHitRate > 0 {
 			gateDecisionCache(r, *minHitRate)
+		}
+		return
+	}
+
+	if *table == "e2e" {
+		eng, err := core.ParseEngine(*engine)
+		if err != nil {
+			fatal(err)
+		}
+		r, err := benchkit.RunE2E(benchkit.E2EConfig{
+			Seed:              *seed,
+			Engine:            eng,
+			RequestsPerWorker: *matches,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(r.Render())
+		if outPath != "" {
+			if err := r.WriteJSON(outPath); err != nil {
+				fatal(err)
+			}
+			fmt.Println("wrote", outPath)
+		}
+		if *minFastpath > 0 {
+			gateE2E(r, *minFastpath)
 		}
 		return
 	}
@@ -259,6 +288,18 @@ func gateDecisionCache(r *benchkit.DecisionCacheResults, floor float64) {
 	}
 	fmt.Printf("hit-rate gate passed: %.1f%% at %d distinct (floor %.1f%%)\n",
 		largest.HitRate*100, largest.DistinctPrefs, floor*100)
+}
+
+// gateE2E enforces the fast-path hit-rate floor: the compact summary
+// must keep deciding the bulk of the mixed-attitude population without
+// the full engine, or the protocol loop has regressed.
+func gateE2E(r *benchkit.E2EResults, floor float64) {
+	if r.FastPathHitRate < floor {
+		fatal(fmt.Errorf("e2e gate: fast-path hit rate %.1f%%, floor %.1f%%",
+			r.FastPathHitRate*100, floor*100))
+	}
+	fmt.Printf("fast-path gate passed: %.1f%% (floor %.1f%%)\n",
+		r.FastPathHitRate*100, floor*100)
 }
 
 func fatal(err error) {

@@ -1,0 +1,92 @@
+// Command p3pload is the closed-loop user-agent driver for the protocol
+// loop: a population of simulated visitors hitting a multi-tenant
+// matching server over HTTP, each page visit (and a fraction of cookie
+// presentations) resolved through the site's reference file, pre-decided
+// by the compact-policy fast path where the visitor's preference level
+// admits it, and fully matched otherwise.
+//
+//	p3pload                           # self-host and drive the loop
+//	p3pload -workers=32 -requests=500 # heavier population
+//	p3pload -addr=http://localhost:8733 -setup
+//	                                  # seed tenants on a running p3pserver
+//	                                  # -multi instance, then drive it
+//	p3pload -out=BENCH_e2e.json -min-fastpath=0.70
+//	                                  # write the artifact and gate on the
+//	                                  # fast-path hit rate
+//
+// The traffic model is fixed: Zipf-skewed page popularity per tenant and
+// a 60/25/15 apathetic/mild/paranoid attitude mix (see
+// internal/benchkit/e2e.go for why).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"p3pdb/internal/benchkit"
+	"p3pdb/internal/core"
+)
+
+func main() {
+	addr := flag.String("addr", "", "base URL of a running multi-tenant server; empty self-hosts in process")
+	setup := flag.Bool("setup", false, "create and seed the e2e tenants on the target server before driving (requires -addr)")
+	seed := flag.Int64("seed", 42, "workload and traffic seed")
+	tenants := flag.Int("tenants", 4, "number of hosted sites")
+	workers := flag.Int("workers", 8, "concurrent user agents")
+	requests := flag.Int("requests", 300, "requests per agent")
+	cookies := flag.Float64("cookies", 0.25, "fraction of checks presenting a cookie")
+	zipfS := flag.Float64("zipf", 1.1, "Zipf skew of page popularity (> 1)")
+	engine := flag.String("engine", "sql", "fallback matching engine")
+	out := flag.String("out", "", "write the results as a JSON artifact")
+	minFastpath := flag.Float64("min-fastpath", 0, "fail unless the fast-path hit rate reaches this floor")
+	flag.Parse()
+
+	eng, err := core.ParseEngine(*engine)
+	if err != nil {
+		fatal(err)
+	}
+	if *setup {
+		if *addr == "" {
+			fatal(fmt.Errorf("-setup requires -addr (self-hosted runs seed themselves)"))
+		}
+		if err := benchkit.E2ESeedRemote(*addr, *seed, *tenants); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("seeded %d tenants on %s\n", *tenants, *addr)
+	}
+
+	r, err := benchkit.RunE2E(benchkit.E2EConfig{
+		Seed:              *seed,
+		Tenants:           *tenants,
+		Workers:           *workers,
+		RequestsPerWorker: *requests,
+		CookieFraction:    *cookies,
+		ZipfS:             *zipfS,
+		Engine:            eng,
+		Addr:              *addr,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(r.Render())
+	if *out != "" {
+		if err := r.WriteJSON(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *out)
+	}
+	if *minFastpath > 0 {
+		if r.FastPathHitRate < *minFastpath {
+			fatal(fmt.Errorf("fast-path gate: hit rate %.1f%%, floor %.1f%%",
+				r.FastPathHitRate*100, *minFastpath*100))
+		}
+		fmt.Printf("fast-path gate passed: %.1f%% (floor %.1f%%)\n",
+			r.FastPathHitRate*100, *minFastpath*100)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "p3pload:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,354 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"p3pdb/internal/core"
+	"p3pdb/internal/registry"
+	"p3pdb/internal/server"
+	"p3pdb/internal/workload"
+)
+
+// The e2e experiment closes the protocol loop the paper's architecture
+// implies but its evaluation never measures: a population of user agents
+// hitting a multi-tenant server over real HTTP, each page visit and
+// cookie resolved through the reference file, pre-decided by the compact
+// summary when the visitor's preference admits it, and fully matched
+// otherwise. The table reports what the in-process tables cannot — wire
+// latency, the fast-path hit rate under a realistic attitude mix, and
+// how both split by preference level.
+
+// e2eLevels is the visitor attitude mix: most of the population runs an
+// apathetic agent, a quarter the mild default, a tail paranoid — the
+// distribution IE6-era telemetry reported for cookie-prompt settings.
+var e2eLevels = []struct {
+	Name string
+	Frac float64
+}{
+	{"apathetic", 0.60},
+	{"mild", 0.25},
+	{"paranoid", 0.15},
+}
+
+// E2ERow is one preference level's slice of the run.
+type E2ERow struct {
+	Level        string  `json:"level"`
+	Requests     int     `json:"requests"`
+	FastPathHits int     `json:"fastPathHits"`
+	HitRate      float64 `json:"hitRate"`
+	Allowed      int     `json:"allowed"`
+	P50Micros    float64 `json:"p50Micros"`
+	P99Micros    float64 `json:"p99Micros"`
+}
+
+// E2EResults is the closed-loop table plus run parameters, shaped for
+// rendering and the BENCH_e2e.json artifact CI gates on.
+type E2EResults struct {
+	Seed              int64   `json:"seed"`
+	Tenants           int     `json:"tenants"`
+	Workers           int     `json:"workers"`
+	RequestsPerWorker int     `json:"requestsPerWorker"`
+	CookieFraction    float64 `json:"cookieFraction"`
+	ZipfS             float64 `json:"zipfS"`
+	Engine            string  `json:"engine"`
+	Requests          int     `json:"requests"`
+	RequestsPerSec    float64 `json:"requestsPerSec"`
+	ElapsedMS         float64 `json:"elapsedMs"`
+	// FastPathHitRate is the fraction of all checks the compact summary
+	// decided without running a full engine — the number the fast path
+	// exists to maximize, gated in CI.
+	FastPathHitRate float64  `json:"fastPathHitRate"`
+	Rows            []E2ERow `json:"rows"`
+}
+
+// E2EConfig parameterizes a closed-loop run.
+type E2EConfig struct {
+	// Seed generates tenant workloads and traffic (default 42).
+	Seed int64
+	// Tenants is the number of hosted sites (default 4).
+	Tenants int
+	// Workers is the number of concurrent user agents (default 8).
+	Workers int
+	// RequestsPerWorker is each agent's closed-loop request count
+	// (default 300).
+	RequestsPerWorker int
+	// CookieFraction is the share of checks that present a cookie
+	// alongside the page URL (default 0.25).
+	CookieFraction float64
+	// ZipfS skews page popularity across each tenant's URI space; must
+	// be > 1 (default 1.1).
+	ZipfS float64
+	// Engine is the fallback matching engine; the zero value is native.
+	Engine core.Engine
+	// Addr, when non-empty, targets an already-running server (e.g.
+	// "http://localhost:8733") instead of self-hosting; its tenants must
+	// be named e2e-0.example ... e2e-N.example and seeded with the
+	// workload (p3pload -setup does this).
+	Addr string
+}
+
+func (c E2EConfig) withDefaults() E2EConfig {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Tenants == 0 {
+		c.Tenants = 4
+	}
+	if c.Workers == 0 {
+		c.Workers = 8
+	}
+	if c.RequestsPerWorker == 0 {
+		c.RequestsPerWorker = 300
+	}
+	if c.CookieFraction == 0 {
+		c.CookieFraction = 0.25
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.1
+	}
+	return c
+}
+
+// E2ETenantName names the i-th hosted tenant; p3pload and the bench use
+// the same scheme so an external server can be pre-seeded.
+func E2ETenantName(i int) string {
+	return fmt.Sprintf("e2e-%d.example", i)
+}
+
+// E2ESetupTenants creates and seeds the closed-loop tenants on a
+// registry: tenant i carries the workload generated from seed+i.
+func E2ESetupTenants(reg *registry.Registry, seed int64, tenants int) error {
+	for i := 0; i < tenants; i++ {
+		site, err := reg.Create(E2ETenantName(i))
+		if err != nil {
+			return err
+		}
+		d := workload.Generate(seed + int64(i))
+		if err := site.ReplacePolicies(d.Policies, d.RefFile); err != nil {
+			return fmt.Errorf("benchkit: seeding %s: %w", E2ETenantName(i), err)
+		}
+	}
+	return nil
+}
+
+// E2ESeedRemote provisions the closed-loop tenants on an external
+// server through the admin API: PUT /sites/{name}, then the tenant's
+// own /policies and /reference endpoints — the HTTP face of
+// E2ESetupTenants, used by p3pload -setup.
+func E2ESeedRemote(base string, seed int64, tenants int) error {
+	admin := server.NewClient(base)
+	for i := 0; i < tenants; i++ {
+		name := E2ETenantName(i)
+		if err := admin.CreateSite(name); err != nil {
+			return fmt.Errorf("benchkit: creating %s: %w", name, err)
+		}
+		c := server.NewClient(base + "/sites/" + name)
+		d := workload.Generate(seed + int64(i))
+		for _, pol := range d.Policies {
+			if _, err := c.InstallPolicies(d.PolicyXML[pol.Name]); err != nil {
+				return fmt.Errorf("benchkit: seeding %s with %s: %w", name, pol.Name, err)
+			}
+		}
+		if err := c.InstallReferenceFile(d.RefFile.String()); err != nil {
+			return fmt.Errorf("benchkit: seeding %s reference file: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// e2eSample is one request's outcome, recorded worker-locally.
+type e2eSample struct {
+	level   int
+	fast    bool
+	allowed bool
+	micros  float64
+}
+
+// RunE2E drives the closed loop and aggregates the table.
+func RunE2E(cfg E2EConfig) (*E2EResults, error) {
+	cfg = cfg.withDefaults()
+	base := cfg.Addr
+	if base == "" {
+		reg, err := registry.New(registry.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if err := E2ESetupTenants(reg, cfg.Seed, cfg.Tenants); err != nil {
+			return nil, err
+		}
+		ts := httptest.NewServer(server.NewMulti(reg))
+		defer ts.Close()
+		base = ts.URL
+	}
+
+	// Per-tenant datasets name the URIs and cookies; per-tenant clients
+	// carry the /sites/{name} prefix.
+	clients := make([]*server.Client, cfg.Tenants)
+	datasets := make([]*workload.Dataset, cfg.Tenants)
+	for i := 0; i < cfg.Tenants; i++ {
+		clients[i] = server.NewClient(base + "/sites/" + E2ETenantName(i))
+		datasets[i] = workload.Generate(cfg.Seed + int64(i))
+	}
+	engine := cfg.Engine.ShortName()
+
+	// Warm up: one check per (tenant, level) pays conversion caching.
+	for i, c := range clients {
+		for _, lv := range e2eLevels {
+			uri := datasets[i].URIFor(datasets[i].Policies[0].Name)
+			if _, _, err := c.Check(server.CheckRequest{URL: uri, Level: lv.Name, Engine: engine}); err != nil {
+				return nil, fmt.Errorf("benchkit: e2e warmup %s/%s: %w", E2ETenantName(i), lv.Name, err)
+			}
+		}
+	}
+
+	samples := make([][]e2eSample, cfg.Workers)
+	errs := make([]error, cfg.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + 1000 + int64(w)))
+			npol := len(datasets[0].Policies)
+			zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(npol-1))
+			local := make([]e2eSample, 0, cfg.RequestsPerWorker)
+			for i := 0; i < cfg.RequestsPerWorker; i++ {
+				tenant := rng.Intn(cfg.Tenants)
+				d := datasets[tenant]
+				pol := d.Policies[int(zipf.Uint64())].Name
+				level := pickLevel(rng.Float64())
+				req := server.CheckRequest{
+					URL:    d.URIFor(pol),
+					Level:  e2eLevels[level].Name,
+					Engine: engine,
+				}
+				if rng.Float64() < cfg.CookieFraction {
+					req.Cookie = d.CookieFor(pol)
+				}
+				t0 := time.Now()
+				res, _, err := clients[tenant].Check(req)
+				if err != nil {
+					errs[w] = fmt.Errorf("benchkit: e2e %s %s/%s: %w", e2eLevels[level].Name, E2ETenantName(tenant), pol, err)
+					return
+				}
+				fast := res.URL.FastPath && (res.Cookie == nil || res.Cookie.FastPath)
+				local = append(local, e2eSample{
+					level:   level,
+					fast:    fast,
+					allowed: res.Allowed,
+					micros:  float64(time.Since(t0).Nanoseconds()) / 1000,
+				})
+			}
+			samples[w] = local
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &E2EResults{
+		Seed:              cfg.Seed,
+		Tenants:           cfg.Tenants,
+		Workers:           cfg.Workers,
+		RequestsPerWorker: cfg.RequestsPerWorker,
+		CookieFraction:    cfg.CookieFraction,
+		ZipfS:             cfg.ZipfS,
+		Engine:            engine,
+		ElapsedMS:         float64(elapsed.Microseconds()) / 1000,
+	}
+	perLevel := make([][]float64, len(e2eLevels))
+	rows := make([]E2ERow, len(e2eLevels))
+	for i, lv := range e2eLevels {
+		rows[i].Level = lv.Name
+	}
+	totalFast := 0
+	for _, local := range samples {
+		for _, s := range local {
+			rows[s.level].Requests++
+			if s.fast {
+				rows[s.level].FastPathHits++
+				totalFast++
+			}
+			if s.allowed {
+				rows[s.level].Allowed++
+			}
+			perLevel[s.level] = append(perLevel[s.level], s.micros)
+			res.Requests++
+		}
+	}
+	for i := range rows {
+		if rows[i].Requests > 0 {
+			rows[i].HitRate = float64(rows[i].FastPathHits) / float64(rows[i].Requests)
+		}
+		rows[i].P50Micros = percentile(perLevel[i], 0.50)
+		rows[i].P99Micros = percentile(perLevel[i], 0.99)
+	}
+	res.Rows = rows
+	if res.Requests > 0 {
+		res.FastPathHitRate = float64(totalFast) / float64(res.Requests)
+		res.RequestsPerSec = float64(res.Requests) / elapsed.Seconds()
+	}
+	return res, nil
+}
+
+func pickLevel(u float64) int {
+	acc := 0.0
+	for i, lv := range e2eLevels {
+		acc += lv.Frac
+		if u < acc {
+			return i
+		}
+	}
+	return len(e2eLevels) - 1
+}
+
+// percentile returns the p-quantile of micros (nearest-rank); 0 when
+// empty.
+func percentile(vals []float64, p float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Render formats the e2e table.
+func (r *E2EResults) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Protocol loop e2e (%d tenants, %d workers x %d requests, %.0f%% cookies, zipf %.2f, %s fallback)\n",
+		r.Tenants, r.Workers, r.RequestsPerWorker, r.CookieFraction*100, r.ZipfS, r.Engine)
+	fmt.Fprintf(&b, "%d requests in %.1f ms = %.0f req/sec, fast-path hit rate %.1f%%\n",
+		r.Requests, r.ElapsedMS, r.RequestsPerSec, r.FastPathHitRate*100)
+	fmt.Fprintf(&b, "%10s %10s %10s %9s %9s %12s %12s\n",
+		"level", "requests", "fast hits", "hit rate", "allowed", "p50 micros", "p99 micros")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%10s %10d %10d %8.1f%% %9d %12.0f %12.0f\n",
+			row.Level, row.Requests, row.FastPathHits, row.HitRate*100, row.Allowed,
+			row.P50Micros, row.P99Micros)
+	}
+	return b.String()
+}
+
+// WriteJSON writes the machine-readable artifact (BENCH_e2e.json).
+func (r *E2EResults) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

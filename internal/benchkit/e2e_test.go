@@ -1,0 +1,275 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"p3pdb/internal/core"
+	"p3pdb/internal/p3p"
+	"p3pdb/internal/reffile"
+	"p3pdb/internal/registry"
+	"p3pdb/internal/server"
+)
+
+// TestE2ESmoke runs a miniature closed loop end to end: real HTTP
+// against self-hosted tenants, every row measured, the apathetic slice
+// fully fast-pathed (its preference has no block rules), and the
+// artifact round-tripping.
+func TestE2ESmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e experiment in -short mode")
+	}
+	r, err := RunE2E(E2EConfig{Tenants: 2, Workers: 4, RequestsPerWorker: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Requests != 4*40 {
+		t.Errorf("requests = %d, want %d", r.Requests, 4*40)
+	}
+	if r.RequestsPerSec <= 0 || r.ElapsedMS <= 0 {
+		t.Errorf("unmeasured run: %+v", r)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(r.Rows))
+	}
+	sum := 0
+	for _, row := range r.Rows {
+		sum += row.Requests
+		if row.Requests == 0 {
+			t.Errorf("%s: no traffic; the mix must cover every level", row.Level)
+			continue
+		}
+		if row.P50Micros <= 0 || row.P99Micros < row.P50Micros {
+			t.Errorf("%s: bad percentiles: %+v", row.Level, row)
+		}
+		if row.HitRate < 0 || row.HitRate > 1 {
+			t.Errorf("%s: hit rate %f", row.Level, row.HitRate)
+		}
+		if row.Level == "apathetic" && row.HitRate != 1 {
+			// Very Low has zero block rules: every check must fast-path.
+			t.Errorf("apathetic hit rate = %f, want 1", row.HitRate)
+		}
+	}
+	if sum != r.Requests {
+		t.Errorf("row requests sum %d != total %d", sum, r.Requests)
+	}
+	if r.FastPathHitRate <= 0 {
+		t.Error("no fast-path hits in the mixed population")
+	}
+
+	out := r.Render()
+	for _, want := range []string{"req/sec", "hit rate", "apathetic", "paranoid", "p99 micros"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_e2e.json")
+	if err := r.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back E2EResults
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Requests != r.Requests || len(back.Rows) != len(r.Rows) {
+		t.Errorf("artifact round-trip mismatch: %+v vs %+v", back, r)
+	}
+}
+
+// TestE2EHelpers pins the run's plumbing: default resolution, the
+// attitude-mix sampler's boundaries, percentile edge cases, and the
+// artifact writer's failure mode.
+func TestE2EHelpers(t *testing.T) {
+	def := E2EConfig{}.withDefaults()
+	if def.Seed != 42 || def.Tenants != 4 || def.Workers != 8 ||
+		def.RequestsPerWorker != 300 || def.CookieFraction != 0.25 || def.ZipfS != 1.1 {
+		t.Errorf("defaults: %+v", def)
+	}
+	if got := (E2EConfig{ZipfS: 0.5}).withDefaults().ZipfS; got != 1.1 {
+		t.Errorf("zipf <= 1 must fall back to the default, got %f", got)
+	}
+	if E2ETenantName(3) != "e2e-3.example" {
+		t.Errorf("tenant name: %s", E2ETenantName(3))
+	}
+	if pickLevel(0) != 0 || pickLevel(0.7) != 1 || pickLevel(0.99) != 2 || pickLevel(1.5) != 2 {
+		t.Error("attitude sampler boundaries moved")
+	}
+	if percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile must be 0")
+	}
+	if got := percentile([]float64{3, 1, 2}, 0.5); got != 2 {
+		t.Errorf("p50 of {1,2,3} = %f", got)
+	}
+	r := &E2EResults{}
+	if err := r.WriteJSON(filepath.Join(t.TempDir(), "missing", "x.json")); err == nil {
+		t.Error("unwritable artifact path: want error")
+	}
+}
+
+// TestE2ERemoteSeeding drives the external-server path p3pload -setup
+// uses: provision tenants over the admin API, then point the bench at
+// the already-running server instead of self-hosting.
+func TestE2ERemoteSeeding(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e experiment in -short mode")
+	}
+	reg, err := registry.New(registry.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.NewMulti(reg))
+	t.Cleanup(ts.Close)
+	if err := E2ESeedRemote(ts.URL, 42, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Provisioning an already-created tenant is not an error (the admin
+	// PUT tolerates the conflict), so a crashed setup can be re-driven.
+	if err := server.NewClient(ts.URL).CreateSite(E2ETenantName(0)); err != nil {
+		t.Fatalf("re-creating tenant: %v", err)
+	}
+	r, err := RunE2E(E2EConfig{Addr: ts.URL, Tenants: 2, Workers: 2, RequestsPerWorker: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Requests != 2*20 || r.FastPathHitRate <= 0 {
+		t.Errorf("remote run unmeasured: %+v", r)
+	}
+}
+
+// churnPolicy builds the two variants the churn test flips between:
+// first-party-only (the mild preference's fast path proves it safe) and
+// public-sharing (the compact summary discloses PUB, the fast path
+// declines, and the full engine blocks).
+func churnPolicy(public bool) *p3p.Policy {
+	st := &p3p.Statement{
+		Purposes:   []p3p.PurposeValue{{Value: "current"}},
+		Recipients: []p3p.RecipientValue{{Value: "ours"}},
+		Retention:  "stated-purpose",
+		DataGroups: []*p3p.DataGroup{{Data: []*p3p.Data{
+			{Ref: "#dynamic.clickstream"},
+		}}},
+	}
+	if public {
+		st.Recipients = append(st.Recipients, p3p.RecipientValue{Value: "public"})
+	}
+	return &p3p.Policy{
+		Name:       "acme",
+		Discuri:    "http://www.acme.example.com/privacy.html",
+		Entity:     &p3p.Entity{Name: "Acme", City: "Armonk", Country: "USA", Email: "privacy@acme.example.com"},
+		Access:     "none",
+		Statements: []*p3p.Statement{st},
+	}
+}
+
+var churnRefFile = &reffile.RefFile{PolicyRefs: []*reffile.PolicyRef{{
+	About:    "/P3P/Policies.xml#acme",
+	Includes: []string{"/acme/*"},
+}}}
+
+// TestE2EChurnUnderRace serves checks while a writer republishes the
+// site's policy, flipping it between a variant the fast path proves
+// safe and one it must decline. Run under -race this is the
+// write-while-serving drill; the assertions prove the protocol loop's
+// outputs — CP header, fast-path verdict, generation — move together
+// with the snapshot, and that a generation never shows two headers.
+func TestE2EChurnUnderRace(t *testing.T) {
+	site, err := core.NewSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := site.ReplacePolicies([]*p3p.Policy{churnPolicy(false)}, churnRefFile); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(site))
+	t.Cleanup(ts.Close)
+
+	stop := make(chan struct{})
+	writerErr := make(chan error, 1)
+	go func() {
+		defer close(writerErr)
+		for i := 1; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := site.ReplacePolicies([]*p3p.Policy{churnPolicy(i%2 == 1)}, churnRefFile); err != nil {
+				writerErr <- err
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	type obs struct {
+		gen     uint64
+		cp      string
+		fast    bool
+		allowed bool
+	}
+	const readers, checks = 4, 120
+	seen := make([][]obs, readers)
+	var wg sync.WaitGroup
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := server.NewClient(ts.URL)
+			for i := 0; i < checks; i++ {
+				res, cp, err := c.Check(server.CheckRequest{URL: "/acme/index.html", Level: "mild"})
+				if err != nil {
+					t.Errorf("reader %d: %v", w, err)
+					return
+				}
+				seen[w] = append(seen[w], obs{res.Generation, cp, res.URL.FastPath, res.Allowed})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	if err := <-writerErr; err != nil {
+		t.Fatal(err)
+	}
+
+	gens := map[uint64]string{}
+	outcomes := map[[2]bool]int{}
+	for _, col := range seen {
+		for _, o := range col {
+			if prev, ok := gens[o.gen]; ok && prev != o.cp {
+				t.Fatalf("generation %d served two CP headers: %q and %q", o.gen, prev, o.cp)
+			}
+			gens[o.gen] = o.cp
+			outcomes[[2]bool{o.fast, o.allowed}]++
+			if o.fast && !o.allowed {
+				t.Fatalf("fast path returned a non-allow: %+v", o)
+			}
+		}
+	}
+	if len(gens) < 2 {
+		t.Fatalf("checks observed %d generation(s); the writer never flipped mid-run", len(gens))
+	}
+	cps := map[string]bool{}
+	for _, cp := range gens {
+		cps[cp] = true
+	}
+	if len(cps) < 2 {
+		t.Errorf("CP header never changed across %d generations", len(gens))
+	}
+	if outcomes[[2]bool{true, true}] == 0 {
+		t.Error("no fast-path allows: the first-party variant never got the fast path")
+	}
+	if outcomes[[2]bool{false, false}] == 0 {
+		t.Error("no full-engine blocks: the public variant never fell back and blocked")
+	}
+}

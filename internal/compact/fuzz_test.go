@@ -1,0 +1,119 @@
+package compact
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"p3pdb/internal/p3p"
+)
+
+// seedCorpus loads the checked-in header corpus: real-shaped CP values,
+// casing and whitespace variants, and known-bad tokens. The nightly fuzz
+// job grows coverage from these.
+func seedCorpus(f *testing.F) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "corpus"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join("testdata", "corpus", e.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(strings.TrimRight(string(data), "\n"))
+	}
+}
+
+// FuzzParse hardens the header decoder: arbitrary CP strings must parse
+// or error, never panic, and every accepted summary must survive the
+// reconstruction loop (ToPolicy, ToEvidence, FromPolicy, re-Parse).
+func FuzzParse(f *testing.F) {
+	seedCorpus(f)
+	f.Add("")
+	f.Add("DSP NID TST")
+	f.Add(strings.Repeat("CUR ", 2000))
+	f.Add("CUR\x00OUR")
+	f.Fuzz(func(t *testing.T, cp string) {
+		sum, err := Parse(cp)
+		if err != nil {
+			return
+		}
+		pol := sum.ToPolicy("fuzz")
+		if pol.String() == "" {
+			t.Fatalf("reconstructed policy serializes empty for %q", cp)
+		}
+		if sum.ToEvidence("fuzz").ToDOM() == nil {
+			t.Fatalf("no evidence DOM for %q", cp)
+		}
+		cp2, err := FromPolicy(pol, nil)
+		if err != nil {
+			t.Fatalf("reconstruction of %q does not re-encode: %v", cp, err)
+		}
+		if _, err := Parse(cp2); err != nil {
+			t.Fatalf("re-encoded %q -> %q does not re-parse: %v", cp, cp2, err)
+		}
+	})
+}
+
+// FuzzFromPolicy hardens the encoder: policies assembled from arbitrary
+// vocabulary strings must encode or error, never panic, and every
+// encoding must be a header Parse accepts.
+func FuzzFromPolicy(f *testing.F) {
+	f.Add("all", "current", "", "ours", "", "stated-purpose", "financial", "#user.name", false, false, "correct")
+	f.Add("nonident", "telemarketing", "opt-in", "public", "opt-out", "indefinitely", "health", "#dynamic.miscdata", true, true, "law")
+	f.Add("none", "other-purpose", "opt-out", "unrelated", "always", "no-retention", "other-category", "#dynamic.clickstream", false, true, "money")
+	f.Add("", "admin", "bogus", "delivery", "", "business-practices", "location", "not-a-ref", true, false, "none")
+	f.Fuzz(func(t *testing.T, access, purpose, purposeReq, recipient, recipientReq, retention, category, ref string, nonIdent, disputes bool, remedy string) {
+		pol := &p3p.Policy{
+			Name:   "fuzz",
+			Access: access,
+			Statements: []*p3p.Statement{
+				{
+					NonIdentifiable: nonIdent,
+					Retention:       retention,
+					Purposes: []p3p.PurposeValue{
+						{Value: "current"},
+						{Value: purpose, Required: purposeReq},
+					},
+					Recipients: []p3p.RecipientValue{
+						{Value: "ours"},
+						{Value: recipient, Required: recipientReq},
+					},
+					DataGroups: []*p3p.DataGroup{{Data: []*p3p.Data{
+						{Ref: ref, Categories: []string{category}},
+						{Ref: "#dynamic.miscdata", Categories: []string{category}},
+					}}},
+				},
+				{
+					Purposes:   []p3p.PurposeValue{{Value: purpose, Required: "opt-in"}},
+					Recipients: []p3p.RecipientValue{{Value: "ours"}},
+					Retention:  "stated-purpose",
+				},
+			},
+		}
+		if disputes {
+			pol.Disputes = []*p3p.Dispute{{ResolutionType: "service", Remedies: []string{remedy}}}
+		}
+		cp, err := FromPolicy(pol, nil)
+		if err != nil {
+			return
+		}
+		sum, err := Parse(cp)
+		if err != nil {
+			t.Fatalf("encoder emitted unparseable header %q: %v", cp, err)
+		}
+		// The statement list always carries the "current" purpose, so
+		// the union must disclose it.
+		found := false
+		for _, p := range sum.Purposes {
+			if p.Value == "current" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("encoding %q lost the current purpose", cp)
+		}
+	})
+}

@@ -1,0 +1,104 @@
+package compact_test
+
+// The round-trip property behind the protocol loop's fast path: a
+// compact policy is a lossy summary, but it must be lossy in the safe
+// direction. Reconstructing a policy from its header tokens
+// (Parse(FromPolicy(p)).ToPolicy) may overstate what a site collects,
+// never understate it — so a preference that blocks the original must
+// still block the reconstruction, under every matching engine.
+//
+// That implication only holds on the monotone fragment SummarySafe
+// admits: exact connectives can flip either way under
+// over-approximation, and rules naming specific DATA refs lose their
+// target when the reconstruction collapses data to category-bearing
+// miscdata. The differential therefore doubles as a boundary check on
+// SummarySafe itself — every observed violation must come from a
+// preference the fast path already refuses. An external test package
+// so the differential can drive internal/core.
+
+import (
+	"testing"
+
+	"p3pdb/internal/compact"
+	"p3pdb/internal/core"
+	"p3pdb/internal/p3p"
+	"p3pdb/internal/workload"
+)
+
+func TestRoundTripNeverMorePermissive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full reconstruction differential in -short mode")
+	}
+	d := workload.Generate(11)
+
+	recon := make([]*p3p.Policy, 0, len(d.Policies))
+	for _, pol := range d.Policies {
+		cp, err := compact.FromPolicy(pol, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name, err)
+		}
+		sum, err := compact.Parse(cp)
+		if err != nil {
+			t.Fatalf("%s: header %q does not parse: %v", pol.Name, cp, err)
+		}
+		rp := sum.ToPolicy(pol.Name)
+		// ToPolicy omits entity and discuri; the matcher does not read
+		// them, but installation validation may. Carry them over.
+		rp.Entity, rp.Discuri = pol.Entity, pol.Discuri
+		recon = append(recon, rp)
+	}
+
+	orig, err := core.NewSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.ReplacePolicies(d.Policies, d.RefFile); err != nil {
+		t.Fatal(err)
+	}
+	rsite, err := core.NewSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rsite.ReplacePolicies(recon, d.RefFile); err != nil {
+		t.Fatal(err)
+	}
+
+	pairs, safePairs, unsafeViolations := 0, 0, 0
+	for _, pref := range d.Preferences {
+		safe := compact.SummarySafe(pref.Ruleset)
+		for _, pol := range d.Policies {
+			for _, engine := range core.Engines {
+				od, err := orig.MatchPolicy(pref.XML, pol.Name, engine)
+				if err != nil {
+					continue // engine-specific rejection (xtable too-complex)
+				}
+				rd, rerr := rsite.MatchPolicy(pref.XML, pol.Name, engine)
+				if rerr != nil {
+					// The reconstruction is a strict simplification (one
+					// statement, one data element); an engine that handles
+					// the original must handle it.
+					t.Errorf("%s/%s/%v: reconstruction fails to match: %v",
+						pref.Level, pol.Name, engine, rerr)
+					continue
+				}
+				pairs++
+				if safe {
+					safePairs++
+				}
+				if od.Blocked() && !rd.Blocked() {
+					if safe {
+						t.Errorf("%s/%s/%v: original blocked (rule %d) but reconstruction allowed (rule %d): more permissive under a safe preference",
+							pref.Level, pol.Name, engine, od.RuleIndex, rd.RuleIndex)
+					} else {
+						unsafeViolations++
+					}
+				}
+			}
+		}
+	}
+	if pairs == 0 || safePairs == 0 {
+		t.Fatalf("differential compared too little: %d pairs, %d safe", pairs, safePairs)
+	}
+	t.Logf("compared %d triples (%d under safe preferences), %d violations outside the safe fragment",
+		pairs, safePairs, unsafeViolations)
+}

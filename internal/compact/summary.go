@@ -1,0 +1,186 @@
+package compact
+
+import (
+	"p3pdb/internal/appel"
+	"p3pdb/internal/p3p"
+)
+
+// This file supports the compact-policy fast path (DESIGN.md §11): the
+// server evaluates a preference's block rules against a synthetic
+// *evidence* policy derived from the compact summary, and treats "no
+// block rule fires" as proof that full matching cannot block either.
+// That implication only holds when every block rule sits inside a
+// restricted pattern fragment — SummarySafe decides membership — and
+// when the evidence over-approximates every original statement —
+// ToEvidence constructs it that way.
+
+// ToEvidence reconstructs a conservative evidence policy from the
+// summary for fast-path evaluation. Unlike ToPolicy (which builds the
+// single-statement form the paper's engines evaluate), the evidence is
+// shaped to *over-approximate* the original policy under the safe
+// pattern fragment: one statement per retention value (so a retention
+// pattern fires iff the original disclosed that retention), and every
+// statement carries the full union of purposes, recipients, the
+// non-identifiable marker, and an unconditional data element bearing
+// the union of categories. Any element a safe block rule could have
+// matched in the original policy has a counterpart here.
+func (s *Summary) ToEvidence(name string) *p3p.Policy {
+	purposes := make([]p3p.PurposeValue, 0, len(s.Purposes))
+	for _, p := range s.Purposes {
+		pv := p3p.PurposeValue{Value: p.Value}
+		if p.Required != "always" {
+			pv.Required = p.Required
+		}
+		purposes = append(purposes, pv)
+	}
+	recipients := make([]p3p.RecipientValue, 0, len(s.Recipients))
+	for _, r := range s.Recipients {
+		rv := p3p.RecipientValue{Value: r.Value}
+		if r.Required != "always" {
+			rv.Required = r.Required
+		}
+		recipients = append(recipients, rv)
+	}
+	// One statement per retention; a single retention-free statement
+	// when the summary discloses none. Every statement repeats the full
+	// unions: a pattern that matched inside any original statement must
+	// find its elements inside whichever statement it lands on.
+	retentions := s.Retentions
+	if len(retentions) == 0 {
+		retentions = []string{""}
+	}
+	pol := &p3p.Policy{Name: name, Access: s.Access, TestOnly: s.Test}
+	for _, ret := range retentions {
+		st := &p3p.Statement{
+			NonIdentifiable: s.NonIdentifiable,
+			Retention:       ret,
+			Purposes:        purposes,
+			Recipients:      recipients,
+			// The data element is unconditional: the compact form drops
+			// statements' data references, so the evidence must assume
+			// data was collected even when the category union is empty —
+			// otherwise a bare <DATA ref="*"> pattern could underfire.
+			DataGroups: []*p3p.DataGroup{{Data: []*p3p.Data{{
+				Ref:        "#dynamic.miscdata",
+				Categories: append([]string(nil), s.Categories...),
+			}}}},
+		}
+		pol.Statements = append(pol.Statements, st)
+	}
+	if s.Disputes {
+		pol.Disputes = []*p3p.Dispute{{ResolutionType: "service", Remedies: s.Remedies}}
+	}
+	return pol
+}
+
+// summarySafeNames is the element vocabulary the safe pattern fragment
+// may mention: the structural elements the evidence reconstructs plus
+// every vocabulary value the compact token tables carry (anything else —
+// ENTITY, EXTENSION, CONSEQUENCE, unknown categories — is not preserved
+// by summarization, so a pattern naming it could underfire).
+var summarySafeNames = func() map[string]bool {
+	m := map[string]bool{
+		"POLICY": true, "STATEMENT": true, "PURPOSE": true,
+		"RECIPIENT": true, "RETENTION": true, "DATA-GROUP": true,
+		"DATA": true, "CATEGORIES": true, "NON-IDENTIFIABLE": true,
+		"ACCESS": true, "DISPUTES-GROUP": true, "DISPUTES": true,
+		"REMEDIES": true, "TEST": true,
+	}
+	for _, tbl := range []map[string]string{
+		accessTokens, purposeTokens, recipientTokens,
+		retentionTokens, categoryTokens, remedyTokens,
+	} {
+		for name := range tbl {
+			m[name] = true
+		}
+	}
+	return m
+}()
+
+// SummarySafe reports whether a ruleset is eligible for the compact
+// fast path: evaluating its block rules against ToEvidence output and
+// seeing none fire proves full evaluation cannot block. Three
+// obligations, each guarding one way the implication could break:
+//
+//   - The final rule must be a catch-all (empty body, the OTHERWISE
+//     shape), so full evaluation never errors with "no rule fired"
+//     where the fast path would have allowed.
+//   - Block rules use only the monotone connectives (and/or). The
+//     evidence is an over-approximation, so monotone patterns can only
+//     over-fire on it (a harmless forced fallback); the exact and
+//     negated connectives can under-fire, which would turn a full-match
+//     block into a wrong fast allow.
+//   - Block-rule patterns mention only summarized elements, and only
+//     the attribute patterns summarization preserves: required limited
+//     to */always (the union keeps the strongest binding, so a weaker
+//     pattern value could underfire after merging), optional limited to
+//     */no (the evidence never writes optional), and DATA ref limited
+//     to the wildcard (statement-level data references are exactly what
+//     the compact form discards).
+//
+// Rules with non-block behaviors are unrestricted: the fast path only
+// proves "full matching does not block", and a non-block rule firing
+// first can only make full matching allow.
+func SummarySafe(rs *appel.Ruleset) bool {
+	if rs == nil || len(rs.Rules) == 0 {
+		return false
+	}
+	if len(rs.Rules[len(rs.Rules)-1].Body) != 0 {
+		return false
+	}
+	for _, r := range rs.Rules {
+		if r.Behavior != "block" {
+			continue
+		}
+		switch r.EffectiveConnective() {
+		case appel.ConnAnd, appel.ConnOr:
+		default:
+			return false
+		}
+		for _, e := range r.Body {
+			if !exprSummarySafe(e) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func exprSummarySafe(e *appel.Expr) bool {
+	if !summarySafeNames[e.Name] {
+		return false
+	}
+	switch e.EffectiveConnective() {
+	case appel.ConnAnd, appel.ConnOr:
+	default:
+		return false
+	}
+	for _, a := range e.Attrs {
+		switch {
+		case a.Name == "required" && (a.Value == "*" || a.Value == "always"):
+		case a.Name == "optional" && (a.Value == "*" || a.Value == "no"):
+		case e.Name == "DATA" && a.Name == "ref" && a.Value == "*":
+		default:
+			return false
+		}
+	}
+	for _, c := range e.Children {
+		if !exprSummarySafe(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// BlockRules extracts the block-behavior rules of a ruleset, in order,
+// as a standalone ruleset for fast-path evaluation. The rules are
+// shared, not copied: rulesets are immutable after parse.
+func BlockRules(rs *appel.Ruleset) *appel.Ruleset {
+	out := &appel.Ruleset{}
+	for _, r := range rs.Rules {
+		if r.Behavior == "block" {
+			out.Rules = append(out.Rules, r)
+		}
+	}
+	return out
+}

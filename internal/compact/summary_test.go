@@ -1,0 +1,76 @@
+package compact
+
+import (
+	"testing"
+
+	"p3pdb/internal/appel"
+)
+
+const blockRulesFixture = `<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1"
+    xmlns="http://www.w3.org/2002/01/P3Pv1">
+  <appel:RULE behavior="block" description="no telemarketing">
+    <POLICY><STATEMENT><PURPOSE appel:connective="or"><telemarketing/></PURPOSE></STATEMENT></POLICY>
+  </appel:RULE>
+  <appel:RULE behavior="limited" description="warn on sharing">
+    <POLICY><STATEMENT><RECIPIENT appel:connective="or"><public/></RECIPIENT></STATEMENT></POLICY>
+  </appel:RULE>
+  <appel:RULE behavior="block" description="no indefinite retention">
+    <POLICY><STATEMENT><RETENTION appel:connective="or"><indefinitely/></RETENTION></STATEMENT></POLICY>
+  </appel:RULE>
+  <appel:OTHERWISE behavior="request"/>
+</appel:RULESET>`
+
+// TestBlockRules checks the filter the fast path evaluates: block rules
+// only, original order, non-block behaviors dropped.
+func TestBlockRules(t *testing.T) {
+	rs, err := appel.Parse(blockRulesFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := BlockRules(rs)
+	if len(blocks.Rules) != 2 {
+		t.Fatalf("block rules = %d, want 2", len(blocks.Rules))
+	}
+	for i, want := range []string{"no telemarketing", "no indefinite retention"} {
+		if blocks.Rules[i].Behavior != "block" || blocks.Rules[i].Description != want {
+			t.Errorf("rule %d = %q/%q, want block/%q",
+				i, blocks.Rules[i].Behavior, blocks.Rules[i].Description, want)
+		}
+	}
+	if !SummarySafe(rs) {
+		t.Error("fixture's block rules are monotone; SummarySafe must admit it")
+	}
+	if SummarySafe(nil) || SummarySafe(&appel.Ruleset{}) {
+		t.Error("nil/empty rulesets must be unsafe")
+	}
+}
+
+// TestSummarySafeRejections covers the fragment's boundary from the
+// package's own side (the fuller eligibility matrix lives in
+// internal/core's conformance tests): a missing catch-all and a
+// non-monotone block connective each disqualify the whole ruleset.
+func TestSummarySafeRejections(t *testing.T) {
+	for name, src := range map[string]string{
+		"no catch-all": `<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1"
+		    xmlns="http://www.w3.org/2002/01/P3Pv1">
+		  <appel:RULE behavior="block">
+		    <POLICY><STATEMENT><PURPOSE appel:connective="or"><telemarketing/></PURPOSE></STATEMENT></POLICY>
+		  </appel:RULE>
+		</appel:RULESET>`,
+		"exact block connective": `<appel:RULESET xmlns:appel="http://www.w3.org/2002/01/APPELv1"
+		    xmlns="http://www.w3.org/2002/01/P3Pv1">
+		  <appel:RULE behavior="block">
+		    <POLICY><STATEMENT><PURPOSE appel:connective="or-exact"><current/></PURPOSE></STATEMENT></POLICY>
+		  </appel:RULE>
+		  <appel:OTHERWISE behavior="request"/>
+		</appel:RULESET>`,
+	} {
+		rs, err := appel.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if SummarySafe(rs) {
+			t.Errorf("%s: must be unsafe", name)
+		}
+	}
+}

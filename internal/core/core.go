@@ -31,7 +31,6 @@ import (
 
 	"p3pdb/internal/appel"
 	"p3pdb/internal/appelengine"
-	"p3pdb/internal/compact"
 	"p3pdb/internal/decision"
 	"p3pdb/internal/faultkit"
 	"p3pdb/internal/obs"
@@ -384,17 +383,19 @@ func (s *Site) PolicyXML(name string) (string, error) {
 // CompactPolicy returns the compact (CP-header) form of an installed
 // policy, the token summary IE6-era agents evaluated for cookie decisions
 // (Section 3.2 of the paper).
+// The form is computed once at snapshot publication (state.go) and
+// stored on the immutable siteState, so serving the P3P header is a map
+// read, not a per-request conversion.
 func (s *Site) CompactPolicy(name string) (string, error) {
 	st := s.state.Load()
-	xml, ok := st.policyXML[name]
+	cs, ok := st.compact[name]
 	if !ok {
 		return "", fmt.Errorf("core: policy %q not installed", name)
 	}
-	pol, err := p3p.ParsePolicy(xml)
-	if err != nil {
-		return "", err
+	if cs.cp == "" && cs.err != nil {
+		return "", cs.err
 	}
-	return compact.FromPolicy(pol, nil)
+	return cs.cp, nil
 }
 
 // ReferenceFileXML returns the installed reference file document, which

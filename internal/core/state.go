@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"p3pdb/internal/compact"
 	"p3pdb/internal/p3p"
 	"p3pdb/internal/reffile"
 	"p3pdb/internal/reldb"
@@ -51,6 +52,12 @@ type siteState struct {
 	// never reused: a stale id-bound artifact can miss, never alias.
 	nextID int
 
+	// compact holds each policy's compact (CP-header) form and the
+	// pre-augmented evidence document the fast path evaluates block
+	// rules against, both computed once at snapshot publication so the
+	// per-request path only reads them.
+	compact map[string]*compactSummary
+
 	// gen is this snapshot's generation number (stateGen), the decision
 	// cache's snapshot identity.
 	gen uint64
@@ -92,6 +99,17 @@ func (st *siteState) policyForCookie(cookieName string) (string, error) {
 		return "", fmt.Errorf("core: reference file names uninstalled policy %q", name)
 	}
 	return name, nil
+}
+
+// compactSummary is one policy's compact-policy material: the CP header
+// value, the augmented evidence document derived from it (what the fast
+// path evaluates block rules against — see compact.ToEvidence), and the
+// reason either is unavailable. A nil evidence disables the fast path
+// for the policy; a non-empty cp still serves the header.
+type compactSummary struct {
+	cp       string
+	evidence *xmldom.Node
+	err      error
 }
 
 // stateDraft is the mutable sketch a writer edits before the next
@@ -210,6 +228,7 @@ func (s *Site) materialize(d *stateDraft) (*siteState, error) {
 		ids:       d.ids,
 		order:     d.order,
 		nextID:    d.nextID,
+		compact:   make(map[string]*compactSummary, len(d.policies)),
 		gen:       stateGen.Add(1),
 		resolvers: make(map[string]func(string) (*xmldom.Node, error), len(d.policies)),
 	}
@@ -228,6 +247,7 @@ func (s *Site) materialize(d *stateDraft) (*siteState, error) {
 		st.resolvers[name] = st.xml.Resolver(map[string]string{
 			xqgen.ApplicableDocument: policyDoc(name),
 		})
+		st.compact[name] = s.compactSummaryFor(pol)
 	}
 	if d.refFile != nil {
 		// The relational mirror only stores refs that resolve; the
@@ -254,6 +274,31 @@ func (s *Site) materialize(d *stateDraft) (*siteState, error) {
 	optDB.Freeze()
 	genDB.Freeze()
 	return st, nil
+}
+
+// compactSummaryFor computes a policy's compact form and fast-path
+// evidence at snapshot-publication time. Failures are recorded, not
+// fatal: a policy whose vocabulary the compact token tables cannot
+// express still installs and matches normally — it just has no CP
+// header and never takes the fast path.
+func (s *Site) compactSummaryFor(pol *p3p.Policy) *compactSummary {
+	cs := &compactSummary{}
+	cp, err := compact.FromPolicy(pol, nil)
+	if err != nil {
+		cs.err = err
+		return cs
+	}
+	cs.cp = cp
+	sum, err := compact.Parse(cp)
+	if err != nil {
+		cs.err = err
+		return cs
+	}
+	// Pre-augment the evidence once: the fast path evaluates block rules
+	// with augmentation skipped, so per-check cost is rule evaluation
+	// alone.
+	cs.evidence = s.native.Augment(sum.ToEvidence(pol.Name).ToDOM())
+	return cs
 }
 
 // mutate is the single write path: it serializes writers, drafts from

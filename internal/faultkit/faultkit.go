@@ -69,6 +69,11 @@ const (
 	// the engine fallback path stays correct when the cache is cold,
 	// degraded, or lying about its availability.
 	PointDecisionLookup = "decision.lookup"
+	// PointFastpathSummary guards the compact-summary pre-decision in
+	// Site.Check. An armed fault does not fail the check: it forces the
+	// fallback to the full engine, the drill that proves fast-path
+	// outages degrade to correct (slower) matching.
+	PointFastpathSummary = "fastpath.summary"
 )
 
 // fault is one armed injection point.

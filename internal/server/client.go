@@ -103,6 +103,76 @@ func (c *Client) CanVisit(uri string) (MatchResponse, error) {
 	return out, nil
 }
 
+// CheckRequest names one protocol-loop check: a URL and/or a cookie,
+// and either a server-side preference level or the user's own APPEL
+// document.
+type CheckRequest struct {
+	URL    string
+	Cookie string
+	// Level names a server-side preference (an agent attitude —
+	// apathetic, mild, paranoid — or a JRC profile). Ignored when
+	// Preference is set.
+	Level string
+	// Preference, when non-empty, is POSTed as the APPEL body.
+	Preference string
+	// Engine overrides the client's fallback engine for this check.
+	Engine string
+}
+
+// Check runs the protocol loop (reference-file lookup, compact fast
+// path, full-match fallback) for a page visit and/or cookie. The second
+// return is the P3P response header carrying the applicable policy's
+// compact form.
+func (c *Client) Check(req CheckRequest) (CheckResponse, string, error) {
+	q := url.Values{}
+	if req.URL != "" {
+		q.Set("url", req.URL)
+	}
+	if req.Cookie != "" {
+		q.Set("cookie", req.Cookie)
+	}
+	engine := req.Engine
+	if engine == "" {
+		engine = c.Engine
+	}
+	q.Set("engine", engine)
+	method, body := http.MethodGet, ""
+	if req.Preference != "" {
+		method, body = http.MethodPost, req.Preference
+	} else if req.Level != "" {
+		q.Set("level", req.Level)
+	}
+	resp, err := c.do(method, "/check?"+q.Encode(), body)
+	if err != nil {
+		return CheckResponse{}, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return CheckResponse{}, "", decodeError(resp)
+	}
+	defer resp.Body.Close()
+	cp := resp.Header.Get("P3P")
+	var out CheckResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return CheckResponse{}, "", err
+	}
+	return out, cp, nil
+}
+
+// CreateSite provisions an empty dynamic tenant through the
+// multi-tenant admin API (PUT /sites/{name}); an existing tenant of the
+// same name is not an error.
+func (c *Client) CreateSite(name string) error {
+	resp, err := c.do(http.MethodPut, "/sites/"+url.PathEscape(name), "")
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusConflict {
+		return decodeError(resp)
+	}
+	resp.Body.Close()
+	return nil
+}
+
 // FetchPolicy downloads a policy document (the client-centric fetch used
 // by the hybrid architecture).
 func (c *Client) FetchPolicy(name string) (string, error) {

@@ -68,6 +68,7 @@ func NewWithOptions(site *core.Site, opts Options) *Server {
 	s.mux.HandleFunc("/policies/", instrument("policy", s.handlePolicyByName))
 	s.mux.HandleFunc("/compact/", instrument("compact", s.handleCompact))
 	s.mux.HandleFunc("/reference", instrument("reference", s.handleReference))
+	s.mux.HandleFunc("/check", instrument("check", s.handleCheck))
 	s.mux.HandleFunc("/match", instrument("match", s.handleMatch))
 	s.mux.HandleFunc("/matchpolicy", instrument("matchpolicy", s.handleMatchPolicy))
 	s.mux.HandleFunc("/matchcookie", instrument("matchcookie", s.handleMatchCookie))
@@ -337,6 +338,12 @@ func (s *Server) handlePolicyByName(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			writeError(w, http.StatusNotFound, err)
 			return
+		}
+		// Policy fetches carry the compact form the way a P3P-enabled
+		// site would: in the standard response header, so header-only
+		// agents never need the document body.
+		if cp, cperr := s.site.CompactPolicy(name); cperr == nil && cp != "" {
+			w.Header().Set("P3P", fmt.Sprintf("CP=%q", cp))
 		}
 		w.Header().Set("Content-Type", "application/xml")
 		fmt.Fprint(w, xml)

@@ -116,6 +116,11 @@ func Generate(seed int64) *Dataset {
 			About:    "/P3P/Policies.xml#" + pol.Name,
 			Includes: []string{"/" + pol.Name + "/*"},
 			Excludes: []string{"/" + pol.Name + "/internal/*"},
+			// Each site's cookies are prefixed with its policy name, so
+			// the protocol loop's cookie checks resolve through the
+			// reference file like IE6's cookie matching did.
+			CookieIncludes: []string{pol.Name + "-*"},
+			CookieExcludes: []string{pol.Name + "-internal-*"},
 		})
 	}
 	d.RefFile = rf
@@ -127,6 +132,12 @@ func Generate(seed int64) *Dataset {
 // reference-file path.
 func (d *Dataset) URIFor(policyName string) string {
 	return "/" + policyName + "/index.html"
+}
+
+// CookieFor returns a cookie name covered by the named policy, for
+// driving the reference file's cookie patterns.
+func (d *Dataset) CookieFor(policyName string) string {
+	return policyName + "-session"
 }
 
 // slug converts a company name into a policy name.

@@ -8,6 +8,8 @@
 #     skipped gate is auditable.
 #   - decisioncache: the Zipf hit rate at the largest distinct-preference
 #     universe (1000) must reach MIN_HITRATE.
+#   - e2e: the protocol loop's compact fast path must decide at least
+#     MIN_FASTPATH of the mixed-attitude population over real HTTP.
 #
 # Mirrors scripts/coverage_ratchet.sh: floors only move in the same PR
 # that justifies moving them.
@@ -15,9 +17,13 @@ set -eu
 
 MIN_SPEEDUP4=${MIN_SPEEDUP4:-2.5}
 MIN_HITRATE=${MIN_HITRATE:-0.90}
+MIN_FASTPATH=${MIN_FASTPATH:-0.70}
 
 echo "== throughput gate (floor ${MIN_SPEEDUP4}x at 4 workers) =="
 go run ./cmd/p3pbench -table=throughput -min-speedup4="$MIN_SPEEDUP4"
 
 echo "== decision-cache gate (floor ${MIN_HITRATE} hit rate at 1000 distinct) =="
 go run ./cmd/p3pbench -table=decisioncache -min-hitrate="$MIN_HITRATE"
+
+echo "== e2e fast-path gate (floor ${MIN_FASTPATH} hit rate) =="
+go run ./cmd/p3pbench -table=e2e -min-fastpath="$MIN_FASTPATH"
