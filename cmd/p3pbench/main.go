@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "table to print: all, fig19, shred, fig20, fig21, warmcold, xquery-native, ablate, throughput, decisioncache, tenancy, obs, durability, e2e")
+	table := flag.String("table", "all", "table to print: all, fig19, shred, fig20, fig21, warmcold, xquery-native, ablate, throughput, decisioncache, tenancy, obs, durability, e2e, replication")
 	seed := flag.Int64("seed", 42, "workload generation seed")
 	repeats := flag.Int("repeats", 3, "measurements per matrix cell")
 	level := flag.String("ablate-level", "High", "preference level for the ablation, throughput, decisioncache, and obs tables")
@@ -39,6 +39,8 @@ func main() {
 	minSpeedup4 := flag.Float64("min-speedup4", 0, "throughput gate: fail unless speedupVs1 at 4 workers reaches this floor (enforced only when the machine has >= 4 CPUs)")
 	minHitRate := flag.Float64("min-hitrate", 0, "decisioncache gate: fail unless the largest universe's hit rate reaches this floor")
 	minFastpath := flag.Float64("min-fastpath", 0, "e2e gate: fail unless the protocol loop's fast-path hit rate reaches this floor")
+	minNodeSpeedup2 := flag.Float64("min-node-speedup2", 0, "replication gate: fail unless speedupVs1 at 2 nodes reaches this floor (enforced only when the machine has >= 2 CPUs)")
+	maxLagP99 := flag.Float64("max-lag-p99", 0, "replication gate: fail if the write-to-applied lag p99 exceeds this many milliseconds")
 	flag.Parse()
 
 	outPath := *out
@@ -56,6 +58,8 @@ func main() {
 			outPath = "BENCH_durability.json"
 		case "e2e":
 			outPath = "BENCH_e2e.json"
+		case "replication":
+			outPath = "BENCH_replication.json"
 		}
 	} else if outPath == "none" {
 		outPath = ""
@@ -186,6 +190,35 @@ func main() {
 		return
 	}
 
+	if *table == "replication" {
+		eng, err := core.ParseEngine(*engine)
+		if err != nil {
+			fatal(err)
+		}
+		r, err := benchkit.RunReplication(benchkit.ReplicationConfig{
+			Seed:              *seed,
+			Engine:            eng,
+			RequestsPerWorker: *matches,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(r.Render())
+		if outPath != "" {
+			if err := r.WriteJSON(outPath); err != nil {
+				fatal(err)
+			}
+			fmt.Println("wrote", outPath)
+		}
+		if *minNodeSpeedup2 > 0 {
+			gateReplicationSpeedup(r, *minNodeSpeedup2)
+		}
+		if *maxLagP99 > 0 {
+			gateReplicationLag(r, *maxLagP99)
+		}
+		return
+	}
+
 	if *table == "tenancy" {
 		eng, err := core.ParseEngine(*engine)
 		if err != nil {
@@ -255,15 +288,15 @@ func main() {
 // (the artifact still records numCpu so the skip is auditable).
 func gateThroughput(r *benchkit.ThroughputResults, floor float64) {
 	if runtime.NumCPU() < 4 {
-		fmt.Printf("speedup gate skipped: %d CPU(s) < 4, no parallel speedup is measurable\n", runtime.NumCPU())
+		fmt.Printf("speedup gate skipped: numCpu=%d < 4, no parallel speedup is measurable\n", runtime.NumCPU())
 		return
 	}
 	for _, row := range r.Rows {
 		if row.Workers == 4 {
 			if row.SpeedupVs1 < floor {
-				fatal(fmt.Errorf("throughput gate: speedupVs1 at 4 workers = %.2fx, floor %.2fx", row.SpeedupVs1, floor))
+				fatal(fmt.Errorf("throughput gate: speedupVs1 at 4 workers = %.2fx, floor %.2fx (numCpu=%d)", row.SpeedupVs1, floor, r.NumCPU))
 			}
-			fmt.Printf("speedup gate passed: %.2fx at 4 workers (floor %.2fx)\n", row.SpeedupVs1, floor)
+			fmt.Printf("speedup gate passed: %.2fx at 4 workers (floor %.2fx, numCpu=%d)\n", row.SpeedupVs1, floor, r.NumCPU)
 			return
 		}
 	}
@@ -300,6 +333,39 @@ func gateE2E(r *benchkit.E2EResults, floor float64) {
 	}
 	fmt.Printf("fast-path gate passed: %.1f%% (floor %.1f%%)\n",
 		r.FastPathHitRate*100, floor*100)
+}
+
+// gateReplicationSpeedup enforces the 2-node scale-out floor. Like the
+// 4-worker throughput gate, it reports itself skipped on machines
+// without parallel hardware (the artifact records numCpu so the skip
+// stays auditable).
+func gateReplicationSpeedup(r *benchkit.ReplicationResults, floor float64) {
+	if runtime.NumCPU() < 2 {
+		fmt.Printf("node-speedup gate skipped: numCpu=%d < 2, no parallel speedup is measurable\n", runtime.NumCPU())
+		return
+	}
+	for _, row := range r.Rows {
+		if row.Nodes == 2 {
+			if row.SpeedupVs1 < floor {
+				fatal(fmt.Errorf("replication gate: speedupVs1 at 2 nodes = %.2fx, floor %.2fx (numCpu=%d)",
+					row.SpeedupVs1, floor, r.NumCPU))
+			}
+			fmt.Printf("node-speedup gate passed: %.2fx at 2 nodes (floor %.2fx, numCpu=%d)\n",
+				row.SpeedupVs1, floor, r.NumCPU)
+			return
+		}
+	}
+	fatal(fmt.Errorf("replication gate: no 2-node row measured"))
+}
+
+// gateReplicationLag bounds the write-to-applied p99: a follower that
+// falls whole checkpoints behind would fail here long before users
+// noticed stale decisions.
+func gateReplicationLag(r *benchkit.ReplicationResults, ceilingMs float64) {
+	if r.LagP99Ms > ceilingMs {
+		fatal(fmt.Errorf("replication gate: lag p99 %.2f ms exceeds ceiling %.2f ms", r.LagP99Ms, ceilingMs))
+	}
+	fmt.Printf("lag gate passed: p99 %.2f ms (ceiling %.2f ms)\n", r.LagP99Ms, ceilingMs)
 }
 
 func fatal(err error) {

@@ -1,0 +1,92 @@
+// Command p3prouter fronts a replicated p3pdb deployment: one write
+// leader plus read-only followers tailing its WAL (DESIGN.md §12).
+//
+//	p3prouter -leader=http://leader:8733 \
+//	          -replica=http://r1:8734 -replica=http://r2:8735 \
+//	          [-addr=:8732] [-max-lag=0] [-probe=500ms]
+//
+// Writes (policy installs, reference-file changes, tenant admin) always
+// go to the leader; reads spread across caught-up backends by
+// rendezvous-hashing the tenant name with a bounded-load cap. Backends
+// are health-checked on /readyz and lag-checked on /replication/status;
+// when the leader stops answering, reads drain onto followers that had
+// caught up to its last reported LSN, and writes return 503 until the
+// leader returns. The router's own endpoints live under /router/
+// (healthz, readyz, status) so they never shadow tenant paths.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"p3pdb/internal/router"
+)
+
+type listFlag []string
+
+func (l *listFlag) String() string { return strings.Join(*l, ",") }
+func (l *listFlag) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8732", "listen address")
+	leader := flag.String("leader", "", "base URL of the write leader (required)")
+	var replicas listFlag
+	flag.Var(&replicas, "replica", "base URL of a read-only follower (repeatable)")
+	maxLag := flag.Uint64("max-lag", 0, "records a follower may lag the leader's last known LSN and still serve reads")
+	probe := flag.Duration("probe", 500*time.Millisecond, "backend health/lag probe interval")
+	bound := flag.Float64("bound", 1.25, "bounded-load factor: per-backend in-flight cap relative to the mean")
+	flag.Parse()
+
+	if *leader == "" {
+		fatal(errors.New("-leader is required"))
+	}
+	rt, err := router.New(router.Options{
+		Leader:        *leader,
+		Replicas:      replicas,
+		ProbeInterval: *probe,
+		MaxLag:        *maxLag,
+		BoundFactor:   *bound,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	rt.Start()
+	defer rt.Stop()
+
+	srv := rt.HTTPServer(*addr)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("p3prouter listening on %s (leader %s, %d replicas)", *addr, *leader, len(replicas))
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("p3prouter shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "p3prouter:", err)
+	os.Exit(1)
+}

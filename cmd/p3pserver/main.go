@@ -61,6 +61,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -69,6 +70,7 @@ import (
 	"p3pdb/internal/faultkit"
 	"p3pdb/internal/obs"
 	"p3pdb/internal/registry"
+	"p3pdb/internal/replica"
 	"p3pdb/internal/server"
 	"p3pdb/internal/workload"
 )
@@ -90,6 +92,9 @@ func main() {
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "group-commit period for -fsync=interval")
 	checkpointEvery := flag.Int("checkpoint-every", 256, "logged records between automatic snapshot checkpoints (-1 disables)")
 	decisionCache := flag.Int("decision-cache", 0, "decision-cache slots per site, rounded up to a power of two (0 = default 4096, -1 = disabled)")
+	follow := flag.String("follow", "", "follower mode: tail this leader URL's WAL and serve read-only matches (excludes -demo, -sites-dir, -durable)")
+	followTenants := flag.String("follow-tenants", "", "comma-separated tenants to replicate with -follow (empty = discover from leader)")
+	followMaxLag := flag.Uint64("follow-max-lag", 0, "records a follower may lag and still report ready with -follow")
 	flag.Parse()
 
 	if *traceLog != "" {
@@ -147,6 +152,14 @@ func main() {
 		siteOpts.DecisionCacheSize = *decisionCache
 	}
 	srvOpts := server.Options{RequestTimeout: *timeout}
+
+	if *follow != "" {
+		if *demo || *sitesDir != "" || *durableDir != "" {
+			fatal(errors.New("-follow runs a read-only replica; it excludes -demo, -sites-dir, and -durable"))
+		}
+		runFollower(*addr, *follow, *followTenants, *followMaxLag, siteOpts)
+		return
+	}
 
 	var store *durable.Store
 	if *durableDir != "" {
@@ -295,6 +308,48 @@ func main() {
 		if onShutdown != nil {
 			onShutdown()
 		}
+	}
+}
+
+// runFollower runs the read-only replica face (DESIGN.md §12): tail the
+// leader's WAL per tenant, serve matches from local snapshots, reject
+// writes with a 403 pointing back at the leader.
+func runFollower(addr, leader, tenants string, maxLag uint64, siteOpts core.Options) {
+	opts := replica.Options{Leader: leader, MaxReadyLag: maxLag, Site: siteOpts}
+	if tenants != "" {
+		for _, name := range strings.Split(tenants, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				opts.Tenants = append(opts.Tenants, name)
+			}
+		}
+	}
+	node, err := replica.New(opts)
+	if err != nil {
+		fatal(err)
+	}
+	if err := node.Start(); err != nil {
+		fatal(err)
+	}
+	srv := node.HTTPServer(addr)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("p3pserver follower listening on %s (leader %s)", addr, leader)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("p3pserver follower shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			fatal(err)
+		}
+		node.Stop()
 	}
 }
 

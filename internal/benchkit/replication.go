@@ -1,0 +1,416 @@
+package benchkit
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"p3pdb/internal/core"
+	"p3pdb/internal/durable"
+	"p3pdb/internal/registry"
+	"p3pdb/internal/replica"
+	"p3pdb/internal/router"
+	"p3pdb/internal/server"
+	"p3pdb/internal/workload"
+)
+
+// The replication experiment measures what DESIGN.md §12 buys: read
+// throughput that scales with node count. Each row stands up a leader
+// plus n-1 caught-up followers (all in-process, real HTTP via
+// httptest), fronts them with the router, and drives a closed-loop
+// /check workload across the fleet. A second phase measures replication
+// lag: the wall time from a policy write acknowledged by the leader to
+// the follower having applied it, tailing with long-polls.
+
+// ReplicationRow is one node count's measurement.
+type ReplicationRow struct {
+	Nodes          int     `json:"nodes"`
+	Requests       int     `json:"requests"`
+	MatchesPerSec  float64 `json:"matchesPerSec"`
+	SpeedupVs1     float64 `json:"speedupVs1"`
+	ElapsedMS      float64 `json:"elapsedMs"`
+	RouterFanout   int     `json:"routerFanout"`
+	ReplicaRecords uint64  `json:"replicaRecords"`
+}
+
+// ReplicationResults is the scaling table plus the lag distribution,
+// shaped for rendering and the BENCH_replication.json artifact.
+type ReplicationResults struct {
+	Seed              int64            `json:"seed"`
+	Tenants           int              `json:"tenants"`
+	Workers           int              `json:"workers"`
+	RequestsPerWorker int              `json:"requestsPerWorker"`
+	Engine            string           `json:"engine"`
+	NumCPU            int              `json:"numCpu"`
+	GOMAXPROCS        int              `json:"gomaxprocs"`
+	Rows              []ReplicationRow `json:"rows"`
+	LagSamples        int              `json:"lagSamples"`
+	LagP50Ms          float64          `json:"lagP50Ms"`
+	LagP99Ms          float64          `json:"lagP99Ms"`
+}
+
+// ReplicationConfig parameterizes the experiment.
+type ReplicationConfig struct {
+	// Seed generates tenant workloads and traffic (default 42).
+	Seed int64
+	// Tenants is the number of hosted sites (default 4).
+	Tenants int
+	// Workers is the number of concurrent closed-loop clients
+	// (default 4).
+	Workers int
+	// RequestsPerWorker is each client's request count (default 150).
+	RequestsPerWorker int
+	// Nodes are the fleet sizes measured (default 1, 2, 4).
+	Nodes []int
+	// Engine is the fallback matching engine; zero value is native.
+	Engine core.Engine
+	// LagSamples is how many timed write→applied round trips the lag
+	// phase records (default 40).
+	LagSamples int
+}
+
+func (c ReplicationConfig) withDefaults() ReplicationConfig {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Tenants == 0 {
+		c.Tenants = 4
+	}
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.RequestsPerWorker == 0 {
+		c.RequestsPerWorker = 150
+	}
+	if len(c.Nodes) == 0 {
+		c.Nodes = []int{1, 2, 4}
+	}
+	if c.LagSamples == 0 {
+		c.LagSamples = 40
+	}
+	return c
+}
+
+// replCluster is one leader + followers + router, all in-process.
+type replCluster struct {
+	reg       *registry.Registry
+	leader    *httptest.Server
+	followers []*replica.Node
+	servers   []*httptest.Server
+	rt        *router.Router
+	front     *httptest.Server
+}
+
+func (cl *replCluster) close() {
+	if cl.front != nil {
+		cl.front.Close()
+	}
+	if cl.rt != nil {
+		cl.rt.Stop()
+	}
+	for _, n := range cl.followers {
+		n.Stop()
+	}
+	for _, ts := range cl.servers {
+		ts.Close()
+	}
+	if cl.leader != nil {
+		cl.leader.Close()
+	}
+	if cl.reg != nil {
+		_ = cl.reg.Close()
+	}
+}
+
+// startCluster builds an n-node fleet: a durable leader seeded over the
+// admin API (so every install rides the journal the followers tail),
+// n-1 followers synced to the head, and the router probed once.
+func startCluster(cfg ReplicationConfig, nodes int, dir string) (*replCluster, error) {
+	cl := &replCluster{}
+	store, err := durable.Open(dir, durable.Options{Fsync: durable.FsyncNever, CheckpointEvery: -1})
+	if err != nil {
+		return nil, err
+	}
+	cl.reg, err = registry.New(registry.Options{Durable: store})
+	if err != nil {
+		return nil, err
+	}
+	cl.leader = httptest.NewServer(server.NewMulti(cl.reg))
+	if err := E2ESeedRemote(cl.leader.URL, cfg.Seed, cfg.Tenants); err != nil {
+		cl.close()
+		return nil, err
+	}
+	names := make([]string, cfg.Tenants)
+	for i := range names {
+		names[i] = E2ETenantName(i)
+	}
+
+	replicaURLs := make([]string, 0, nodes-1)
+	for i := 1; i < nodes; i++ {
+		node, err := replica.New(replica.Options{
+			Leader:  cl.leader.URL,
+			Tenants: names,
+			Site:    core.Options{},
+		})
+		if err != nil {
+			cl.close()
+			return nil, err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err = node.Sync(ctx)
+		cancel()
+		if err != nil {
+			cl.close()
+			return nil, fmt.Errorf("benchkit: follower %d catch-up: %w", i, err)
+		}
+		cl.followers = append(cl.followers, node)
+		ts := httptest.NewServer(node)
+		cl.servers = append(cl.servers, ts)
+		replicaURLs = append(replicaURLs, ts.URL)
+	}
+
+	cl.rt, err = router.New(router.Options{Leader: cl.leader.URL, Replicas: replicaURLs})
+	if err != nil {
+		cl.close()
+		return nil, err
+	}
+	cl.rt.Probe()
+	cl.front = httptest.NewServer(cl.rt)
+	return cl, nil
+}
+
+// RunReplication drives the scaling table and the lag phase.
+func RunReplication(cfg ReplicationConfig) (*ReplicationResults, error) {
+	cfg = cfg.withDefaults()
+	res := &ReplicationResults{
+		Seed:              cfg.Seed,
+		Tenants:           cfg.Tenants,
+		Workers:           cfg.Workers,
+		RequestsPerWorker: cfg.RequestsPerWorker,
+		Engine:            cfg.Engine.ShortName(),
+		NumCPU:            runtime.NumCPU(),
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		LagSamples:        cfg.LagSamples,
+	}
+
+	var base float64
+	for _, nodes := range cfg.Nodes {
+		dir, err := os.MkdirTemp("", "p3p-repl-")
+		if err != nil {
+			return nil, err
+		}
+		row, err := runReplicationRow(cfg, nodes, dir)
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, err
+		}
+		if base == 0 {
+			base = row.MatchesPerSec
+		}
+		if base > 0 {
+			row.SpeedupVs1 = row.MatchesPerSec / base
+		}
+		res.Rows = append(res.Rows, *row)
+	}
+
+	lags, err := runReplicationLag(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.LagP50Ms = percentile(lags, 0.50)
+	res.LagP99Ms = percentile(lags, 0.99)
+	return res, nil
+}
+
+func runReplicationRow(cfg ReplicationConfig, nodes int, dir string) (*ReplicationRow, error) {
+	cl, err := startCluster(cfg, nodes, dir)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.close()
+
+	engine := cfg.Engine.ShortName()
+	clients := make([]*server.Client, cfg.Tenants)
+	datasets := make([]*dataset, cfg.Tenants)
+	for i := 0; i < cfg.Tenants; i++ {
+		clients[i] = server.NewClient(cl.front.URL + "/sites/" + E2ETenantName(i))
+		d := workloadFor(cfg.Seed + int64(i))
+		datasets[i] = d
+		// Warm every backend's conversion caches for this tenant before
+		// the timed window.
+		for _, lv := range []string{"apathetic", "mild", "paranoid"} {
+			if _, _, err := clients[i].Check(server.CheckRequest{URL: d.uris[0], Level: lv, Engine: engine}); err != nil {
+				return nil, fmt.Errorf("benchkit: replication warmup %s: %w", E2ETenantName(i), err)
+			}
+		}
+	}
+
+	errs := make([]error, cfg.Workers)
+	var total int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + 2000 + int64(w)))
+			for i := 0; i < cfg.RequestsPerWorker; i++ {
+				tenant := rng.Intn(cfg.Tenants)
+				d := datasets[tenant]
+				uri := d.uris[rng.Intn(len(d.uris))]
+				level := []string{"apathetic", "mild", "paranoid"}[rng.Intn(3)]
+				if _, _, err := clients[tenant].Check(server.CheckRequest{URL: uri, Level: level, Engine: engine}); err != nil {
+					errs[w] = fmt.Errorf("benchkit: replication check %s: %w", E2ETenantName(tenant), err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	total = int64(cfg.Workers * cfg.RequestsPerWorker)
+
+	var applied uint64
+	for _, n := range cl.followers {
+		for _, ts := range n.Status() {
+			applied += ts.AppliedLSN
+		}
+	}
+	return &ReplicationRow{
+		Nodes:          nodes,
+		Requests:       int(total),
+		MatchesPerSec:  float64(total) / elapsed.Seconds(),
+		ElapsedMS:      float64(elapsed.Microseconds()) / 1000,
+		RouterFanout:   nodes,
+		ReplicaRecords: applied,
+	}, nil
+}
+
+// runReplicationLag times write→applied round trips on a 2-node fleet
+// with the follower tailing via long-poll, the deployment's steady
+// state.
+func runReplicationLag(cfg ReplicationConfig) ([]float64, error) {
+	dir, err := os.MkdirTemp("", "p3p-repl-lag-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	cl, err := startCluster(cfg, 2, dir)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.close()
+	node := cl.followers[0]
+	if err := node.Start(); err != nil {
+		return nil, err
+	}
+
+	name := E2ETenantName(0)
+	leaderClient := server.NewClient(cl.leader.URL + "/sites/" + name)
+	d := workloadFor(cfg.Seed)
+	journal := cl.reg.Journal(name)
+	if journal == nil {
+		return nil, fmt.Errorf("benchkit: leader tenant %s has no journal", name)
+	}
+
+	// Policy installs are create-only, so the timed writes alternate
+	// remove/install of the same policy — both ride the journal and each
+	// bumps the LSN the follower must chase.
+	httpc := &http.Client{Timeout: 10 * time.Second}
+	lags := make([]float64, 0, cfg.LagSamples)
+	for i := 0; i < cfg.LagSamples; i++ {
+		if i%2 == 0 {
+			req, err := http.NewRequest(http.MethodDelete,
+				cl.leader.URL+"/sites/"+name+"/policies/"+d.names[0], nil)
+			if err != nil {
+				return nil, err
+			}
+			resp, err := httpc.Do(req)
+			if err != nil {
+				return nil, fmt.Errorf("benchkit: lag-phase remove: %w", err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode >= 300 {
+				return nil, fmt.Errorf("benchkit: lag-phase remove: status %s", resp.Status)
+			}
+		} else if _, err := leaderClient.InstallPolicies(d.policyXML[0]); err != nil {
+			return nil, fmt.Errorf("benchkit: lag-phase install: %w", err)
+		}
+		target := journal.Status().LSN
+		t0 := time.Now()
+		for {
+			caught := false
+			for _, ts := range node.Status() {
+				if ts.Tenant == name && ts.AppliedLSN >= target {
+					caught = true
+					break
+				}
+			}
+			if caught {
+				break
+			}
+			if time.Since(t0) > 10*time.Second {
+				return nil, fmt.Errorf("benchkit: follower never applied LSN %d", target)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		lags = append(lags, float64(time.Since(t0).Nanoseconds())/1e6)
+	}
+	return lags, nil
+}
+
+// dataset is the slim slice of a workload the replication loop needs.
+type dataset struct {
+	uris      []string
+	names     []string
+	policyXML []string
+}
+
+func workloadFor(seed int64) *dataset {
+	d := workload.Generate(seed)
+	ds := &dataset{}
+	for _, pol := range d.Policies {
+		ds.uris = append(ds.uris, d.URIFor(pol.Name))
+		ds.names = append(ds.names, pol.Name)
+		ds.policyXML = append(ds.policyXML, d.PolicyXML[pol.Name])
+	}
+	return ds
+}
+
+// Render formats the replication table.
+func (r *ReplicationResults) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Replication scale-out (%d tenants, %d workers x %d requests, %s fallback, %d CPUs)\n",
+		r.Tenants, r.Workers, r.RequestsPerWorker, r.Engine, r.NumCPU)
+	fmt.Fprintf(&b, "%7s %10s %14s %10s %12s %14s\n",
+		"nodes", "requests", "matches/sec", "speedup", "elapsed ms", "records")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%7d %10d %14.0f %9.2fx %12.1f %14d\n",
+			row.Nodes, row.Requests, row.MatchesPerSec, row.SpeedupVs1, row.ElapsedMS, row.ReplicaRecords)
+	}
+	fmt.Fprintf(&b, "replication lag over %d writes: p50 %.2f ms, p99 %.2f ms\n",
+		r.LagSamples, r.LagP50Ms, r.LagP99Ms)
+	return b.String()
+}
+
+// WriteJSON writes the machine-readable artifact (BENCH_replication.json).
+func (r *ReplicationResults) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

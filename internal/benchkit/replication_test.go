@@ -1,0 +1,73 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"p3pdb/internal/core"
+)
+
+// TestReplicationSmoke runs a shrunken replication table — 2 tenants,
+// 1 worker, 1/2-node fleets, a couple of lag samples — end to end
+// through leader, WAL stream, follower apply, and router, and checks
+// the result shape plus render/artifact paths.
+func TestReplicationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full in-process fleet in -short mode")
+	}
+	res, err := RunReplication(ReplicationConfig{
+		Tenants:           2,
+		Workers:           1,
+		RequestsPerWorker: 4,
+		Nodes:             []int{1, 2},
+		Engine:            core.EngineSQL,
+		LagSamples:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows: %+v", res.Rows)
+	}
+	for i, row := range res.Rows {
+		if row.Requests != 1*4 || row.MatchesPerSec <= 0 {
+			t.Fatalf("row %d wrong: %+v", i, row)
+		}
+	}
+	if res.Rows[0].Nodes != 1 || res.Rows[0].SpeedupVs1 != 1 {
+		t.Fatalf("baseline row wrong: %+v", res.Rows[0])
+	}
+	if res.Rows[1].RouterFanout != 2 || res.Rows[1].ReplicaRecords == 0 {
+		t.Fatalf("2-node row never touched the follower: %+v", res.Rows[1])
+	}
+	if res.LagSamples != 2 || res.LagP50Ms <= 0 || res.LagP99Ms < res.LagP50Ms {
+		t.Fatalf("lag distribution wrong: %d samples, p50=%v p99=%v",
+			res.LagSamples, res.LagP50Ms, res.LagP99Ms)
+	}
+
+	rendered := res.Render()
+	for _, want := range []string{"Replication", "nodes", "lag"} {
+		if !strings.Contains(rendered, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, rendered)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_replication.json")
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ReplicationResults
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != 2 || back.LagSamples != 2 {
+		t.Fatalf("artifact round trip wrong: %+v", back)
+	}
+}

@@ -205,6 +205,10 @@ type Tenant struct {
 	needSync bool // interval mode: bytes appended since last sync
 	syncErr  error
 
+	// changed is closed and replaced whenever a record is appended, so
+	// WAL streamers can long-poll for new records without spinning.
+	changed chan struct{}
+
 	// recovered state, consumed by ReplayInto.
 	pending         *Snapshot
 	pendingRecords  []Record
@@ -263,6 +267,7 @@ func (s *Store) OpenTenant(name string) (*Tenant, error) {
 		f:              f,
 		logBytes:       res.validLen,
 		torn:           res.torn,
+		changed:        make(chan struct{}),
 		pending:        snap,
 		pendingRecords: res.records,
 	}
@@ -405,6 +410,8 @@ func (t *Tenant) appendLocked(rec *Record) error {
 	t.logBytes = prev + n
 	t.lsn++
 	t.since++
+	close(t.changed)
+	t.changed = make(chan struct{})
 	obsAppends.Inc()
 	obsBytes.Add(n)
 	if t.opts.Fsync == FsyncInterval {
@@ -630,6 +637,15 @@ func (t *Tenant) ReplayInto(site *core.Site) error {
 	return nil
 }
 
+// ApplyRecord replays one logged mutation through the site's public
+// write path. It is the follower half of replication: each record lands
+// as one all-or-nothing snapshot swap, so a follower killed (or a stream
+// cut) between records always serves a state some leader acknowledgement
+// produced, never a partial one.
+func ApplyRecord(site *core.Site, rec *Record) error {
+	return applyRecord(site, rec)
+}
+
 // applyRecord replays one logged mutation through the site's public
 // write path.
 func applyRecord(site *core.Site, rec *Record) error {
@@ -647,6 +663,9 @@ func applyRecord(site *core.Site, rec *Record) error {
 			return err
 		}
 		return site.ReplacePolicies(pols, rf)
+	case OpState:
+		exp := core.StateExport{Order: orderOf(rec.Docs), PolicyXML: docsMap(rec.Docs), ReferenceXML: rec.Ref}
+		return site.RestoreState(exp)
 	}
 	return fmt.Errorf("durable: unknown op %q", rec.Op)
 }

@@ -55,6 +55,15 @@ const (
 	// OpReplace replaces the whole policy set and reference file in one
 	// snapshot swap (core.Site.ReplacePolicies).
 	OpReplace = "replace"
+	// OpState carries a tenant's full checkpointed state on the
+	// replication stream (core.Site.RestoreState). It is never written
+	// to a local log — the snapshot file plays that role — but a leader
+	// whose checkpoint truncated the log sends one as the stream's first
+	// record so a follower starting below the checkpoint LSN can
+	// bootstrap. RestoreState (not ReplacePolicies) because a checkpoint
+	// may legitimately carry a reference file with dangling POLICY-REFs
+	// left by a RemovePolicy.
+	OpState = "state"
 )
 
 // Record is one logged site mutation. LSN is the tenant's monotonic
@@ -69,6 +78,11 @@ type Record struct {
 	Docs []string `json:"docs,omitempty"` // OpReplace: every policy document
 	Ref  string   `json:"ref,omitempty"`  // OpReplace: the reference file, "" for none
 }
+
+// EncodeRecord frames one record for the wire: the replication stream
+// ships the same [length][CRC32C][JSON] frames the on-disk log uses, so
+// a follower classifies stream damage with exactly the recovery rules.
+func EncodeRecord(rec *Record) ([]byte, error) { return encodeRecord(rec) }
 
 // encodeRecord frames one record.
 func encodeRecord(rec *Record) ([]byte, error) {

@@ -1,0 +1,150 @@
+package durable
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+)
+
+// WAL shipping (DESIGN.md §12): a leader serves a tenant's log as a
+// stream of the same CRC32C frames the on-disk log holds, prefixed with
+// one OpState record when the requested LSN predates the newest
+// checkpoint (checkpoints truncate the log, so the records below the
+// checkpoint LSN no longer exist to ship — the snapshot stands in for
+// them). The follower parses the stream with StreamReader, whose
+// torn-vs-corrupt classification mirrors scanLog exactly: a broken frame
+// at the end of the stream is a torn (cut) stream to be retried, a
+// broken frame with data beyond it is corruption to be counted and
+// refused.
+
+// ErrStreamTorn reports a replication stream that ended inside a frame:
+// the connection (or the leader) went away mid-record. Like a torn log
+// tail it is not damage — the follower simply reconnects from its last
+// applied LSN.
+var ErrStreamTorn = errors.New("durable: stream torn")
+
+// StreamReader incrementally parses a stream of framed records.
+type StreamReader struct {
+	br *bufio.Reader
+}
+
+// NewStreamReader wraps a WAL stream body.
+func NewStreamReader(r io.Reader) *StreamReader {
+	return &StreamReader{br: bufio.NewReader(r)}
+}
+
+// atEnd reports whether the stream has no bytes beyond the current
+// position — the discriminator between a torn tail and mid-stream
+// corruption, same as scanLog's end == size test.
+func (sr *StreamReader) atEnd() bool {
+	_, err := sr.br.Peek(1)
+	return err != nil
+}
+
+// Next returns the next record, io.EOF at a clean frame boundary,
+// ErrStreamTorn when the stream ends inside a frame, and ErrCorrupt when
+// a frame fails its checksum (or decode) with data beyond it.
+func (sr *StreamReader) Next() (*Record, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(sr.br, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: %v", ErrStreamTorn, err)
+	}
+	if _, err := io.ReadFull(sr.br, hdr[1:]); err != nil {
+		return nil, fmt.Errorf("%w: stream ended inside a frame header", ErrStreamTorn)
+	}
+	n := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+	stored := binary.LittleEndian.Uint32(hdr[4:8])
+	if n > maxRecordSize {
+		// Mirrors scanLog: an implausible length is a torn header write,
+		// not decodable damage.
+		return nil, fmt.Errorf("%w: implausible frame length %d", ErrStreamTorn, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(sr.br, payload); err != nil {
+		return nil, fmt.Errorf("%w: stream ended inside a %d-byte payload", ErrStreamTorn, n)
+	}
+	if crc32.Checksum(payload, castagnoli) != stored {
+		if sr.atEnd() {
+			return nil, fmt.Errorf("%w: CRC mismatch in final frame", ErrStreamTorn)
+		}
+		return nil, fmt.Errorf("%w: CRC mismatch with data beyond the frame", ErrCorrupt)
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		if sr.atEnd() {
+			return nil, fmt.Errorf("%w: undecodable final frame: %v", ErrStreamTorn, err)
+		}
+		return nil, fmt.Errorf("%w: undecodable record: %v", ErrCorrupt, err)
+	}
+	return &rec, nil
+}
+
+// StateRecord converts a checkpoint snapshot into the OpState record the
+// WAL stream ships in its place.
+func StateRecord(snap *Snapshot) *Record {
+	docs := make([]string, 0, len(snap.Order))
+	for _, name := range snap.Order {
+		docs = append(docs, snap.Policies[name])
+	}
+	return &Record{LSN: snap.LSN, Op: OpState, Docs: docs, Ref: snap.Reference}
+}
+
+// ReadFrom returns what a follower at LSN from still needs: the
+// checkpoint snapshot iff from predates it (the log below the checkpoint
+// LSN has been truncated away), every log record with a higher LSN, and
+// the tenant's current LSN. The log is re-read from disk under the
+// journal lock, so the slice is a consistent acknowledged prefix.
+func (t *Tenant) ReadFrom(from uint64) (*Snapshot, []Record, uint64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, nil, 0, ErrClosed
+	}
+	var snap *Snapshot
+	if from < t.snapLSN {
+		s, err := readSnapshot(t.dir)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		if s == nil {
+			return nil, nil, 0, fmt.Errorf("durable: checkpoint at LSN %d but no snapshot on disk", t.snapLSN)
+		}
+		snap = s
+		from = s.LSN
+	}
+	var recs []Record
+	if t.lsn > from {
+		data, err := readAll(filepath.Join(t.dir, logName))
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		res, err := scanLog(data)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		for _, rec := range res.records {
+			if rec.LSN > from {
+				recs = append(recs, rec)
+			}
+		}
+	}
+	return snap, recs, t.lsn, nil
+}
+
+// Changed returns a channel closed on the next record append, for
+// long-polling WAL streamers. Each append rotates the channel, so grab
+// it before ReadFrom: a record landing between the two shows up in
+// ReadFrom's result, and one landing after closes the channel you hold.
+func (t *Tenant) Changed() <-chan struct{} {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.changed
+}

@@ -74,6 +74,15 @@ const (
 	// fallback to the full engine, the drill that proves fast-path
 	// outages degrade to correct (slower) matching.
 	PointFastpathSummary = "fastpath.summary"
+	// PointReplicaStream guards the leader's WAL stream endpoint: an
+	// armed fault cuts the response mid-frame (a torn stream), the
+	// failure a dying leader or dropped connection produces.
+	PointReplicaStream = "replica.stream"
+	// PointReplicaApply guards the follower's record apply: an armed
+	// fault aborts the sync round before the record lands, so drills can
+	// prove a stuck follower never advances its applied LSN or serves
+	// partial state.
+	PointReplicaApply = "replica.apply"
 )
 
 // fault is one armed injection point.

@@ -44,6 +44,12 @@ import (
 // directory to load it from. Servers map it to a JSON 404.
 var ErrUnknownSite = errors.New("registry: unknown site")
 
+// ErrReadOnly reports a write against a read-only (replica) registry:
+// tenants materialize only through Install — the replication apply path
+// — never through admin mutations. Servers map it to a typed 403
+// pointing at the leader.
+var ErrReadOnly = errors.New("registry: read-only replica")
+
 // Registry-level observability: tenant loads from disk, LRU evictions,
 // and the resident-site gauge.
 var (
@@ -74,6 +80,10 @@ type Options struct {
 	// are bootstrapped with an initial checkpoint, and eviction
 	// checkpoints the tenant before dropping it.
 	Durable *durable.Store
+	// ReadOnly makes the registry a replica: Create, Remove, and Reload
+	// fail with ErrReadOnly, and tenants appear only via Install (the
+	// replication apply path).
+	ReadOnly bool
 }
 
 // entry is one resident tenant. Entries are stored fully loaded, so the
@@ -410,6 +420,9 @@ func loadInto(site *core.Site, dir string) error {
 // restart even before its first policy install. It fails if the name is
 // already resident.
 func (r *Registry) Create(name string) (*core.Site, error) {
+	if r.opts.ReadOnly {
+		return nil, ErrReadOnly
+	}
 	name, err := Normalize(name)
 	if err != nil {
 		return nil, err
@@ -449,6 +462,9 @@ func (r *Registry) Create(name string) (*core.Site, error) {
 // (the documented pre-durability semantics). Requests already holding
 // the site finish against it.
 func (r *Registry) Remove(name string) error {
+	if r.opts.ReadOnly {
+		return ErrReadOnly
+	}
 	name, err := Normalize(name)
 	if err != nil {
 		return err
@@ -482,6 +498,9 @@ func (r *Registry) Remove(name string) error {
 // flight are untouched and the swap is atomic. Tenants that are not
 // resident reload lazily on their next Get anyway.
 func (r *Registry) Reload(name string) error {
+	if r.opts.ReadOnly {
+		return ErrReadOnly
+	}
 	name, err := Normalize(name)
 	if err != nil {
 		return err
@@ -512,6 +531,32 @@ func (r *Registry) Reload(name string) error {
 		return e.journal.Replace(e.site, docs, ref)
 	}
 	return loadInto(e.site, dir)
+}
+
+// Install returns the named tenant's site, creating an empty in-memory
+// one (no journal, no backing directory) if absent. It is the
+// replication apply path: followers materialize tenants from the
+// leader's WAL stream rather than from disk, which is why — unlike
+// Create — it works on a ReadOnly registry and is idempotent.
+func (r *Registry) Install(name string) (*core.Site, error) {
+	name, err := Normalize(name)
+	if err != nil {
+		return nil, err
+	}
+	if v, ok := r.entries.Load(name); ok {
+		return v.(*entry).site, nil
+	}
+	site, err := core.NewSiteWithOptions(r.opts.Site)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.entries.Load(name); ok { // raced with another Install
+		return v.(*entry).site, nil
+	}
+	r.storeLocked(name, site, nil)
+	return site, nil
 }
 
 // Journal returns a resident tenant's durable journal, nil when the

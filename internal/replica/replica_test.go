@@ -1,0 +1,529 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"p3pdb/internal/durable"
+	"p3pdb/internal/faultkit"
+	"p3pdb/internal/registry"
+	"p3pdb/internal/server"
+)
+
+// polDoc builds a minimal valid policy document.
+func polDoc(name string) string {
+	return fmt.Sprintf(`<POLICY name=%q><STATEMENT><NON-IDENTIFIABLE/></STATEMENT></POLICY>`, name)
+}
+
+// refDocFor covers /{name}/* with each named policy.
+func refDocFor(names ...string) string {
+	var b strings.Builder
+	b.WriteString(`<META><POLICY-REFERENCES>`)
+	for _, n := range names {
+		fmt.Fprintf(&b, `<POLICY-REF about="#%s"><INCLUDE>/%s/*</INCLUDE></POLICY-REF>`, n, n)
+	}
+	b.WriteString(`</POLICY-REFERENCES></META>`)
+	return b.String()
+}
+
+// newLeader stands up a durable multi-tenant leader over real HTTP.
+func newLeader(t *testing.T) (*registry.Registry, *httptest.Server) {
+	t.Helper()
+	store, err := durable.Open(t.TempDir(), durable.Options{Fsync: durable.FsyncNever, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := registry.New(registry.Options{Durable: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.NewMulti(reg))
+	t.Cleanup(func() {
+		ts.Close()
+		reg.Close()
+	})
+	return reg, ts
+}
+
+// seedTenant creates a tenant on the leader and installs policies and a
+// reference file through the admin API so everything rides the journal.
+func seedTenant(t *testing.T, base, name string, policies ...string) {
+	t.Helper()
+	if err := server.NewClient(base).CreateSite(name); err != nil {
+		t.Fatal(err)
+	}
+	c := server.NewClient(base + "/sites/" + name)
+	for _, p := range policies {
+		if _, err := c.InstallPolicies(polDoc(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.InstallReferenceFile(refDocFor(policies...)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// syncedNode builds a follower for the named tenants and runs one
+// catch-up round.
+func syncedNode(t *testing.T, leader string, tenants ...string) *Node {
+	t.Helper()
+	node, err := New(Options{Leader: leader, Tenants: tenants})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := node.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(node.Stop)
+	return node
+}
+
+// get fetches a URL and returns status and body.
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestFollowerTailsLeader is the basic protocol loop: a follower syncs
+// a journaled tenant, serves the same policy list read-only, and picks
+// up later writes on the next round.
+func TestFollowerTailsLeader(t *testing.T) {
+	_, leader := newLeader(t)
+	seedTenant(t, leader.URL, "a.example", "p1", "p2")
+
+	node := syncedNode(t, leader.URL, "a.example")
+	fs := httptest.NewServer(node)
+	defer fs.Close()
+
+	status, body := get(t, fs.URL+"/sites/a.example/policies")
+	if status != http.StatusOK {
+		t.Fatalf("follower /policies: %d %s", status, body)
+	}
+	_, want := get(t, leader.URL+"/sites/a.example/policies")
+	if !bytes.Equal(body, want) {
+		t.Fatalf("policy lists diverge: follower %s leader %s", body, want)
+	}
+
+	// A later write reaches the follower on its next sync round.
+	c := server.NewClient(leader.URL + "/sites/a.example")
+	if _, err := c.InstallPolicies(polDoc("p3")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := node.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	status, body = get(t, fs.URL+"/sites/a.example/policies")
+	if status != http.StatusOK || !strings.Contains(string(body), "p3") {
+		t.Fatalf("follower missed p3: %d %s", status, body)
+	}
+
+	// Decisions come from local state: a check on the follower answers
+	// without the leader (closed below to prove it).
+	leader.Close()
+	fc := server.NewClient(fs.URL + "/sites/a.example")
+	res, cp, err := fc.Check(server.CheckRequest{URL: "/p1/index.html", Level: "mild"})
+	if err != nil {
+		t.Fatalf("follower check after leader death: %v", err)
+	}
+	if res.URL == nil || res.URL.PolicyName != "p1" || cp == "" {
+		t.Fatalf("follower check resolved wrong: %+v (cp %q)", res, cp)
+	}
+}
+
+// TestFollowerRejectsWrites checks the typed 403: every mutation on a
+// follower is refused with a machine-readable reason and the leader's
+// URL, for both the tenant API and tenant admin.
+func TestFollowerRejectsWrites(t *testing.T) {
+	_, leader := newLeader(t)
+	seedTenant(t, leader.URL, "a.example", "p1")
+	node := syncedNode(t, leader.URL, "a.example")
+	fs := httptest.NewServer(node)
+	defer fs.Close()
+
+	assertReadOnly := func(method, path, body string) {
+		t.Helper()
+		req, err := http.NewRequest(method, fs.URL+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusForbidden {
+			t.Fatalf("%s %s: status %d, want 403", method, path, resp.StatusCode)
+		}
+		var e struct {
+			Reason string `json:"reason"`
+			Leader string `json:"leader"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatal(err)
+		}
+		if e.Reason != "read-only-replica" {
+			t.Fatalf("%s %s: reason %q", method, path, e.Reason)
+		}
+		if e.Leader != leader.URL {
+			t.Fatalf("%s %s: leader %q, want %q", method, path, e.Leader, leader.URL)
+		}
+	}
+	assertReadOnly(http.MethodPost, "/sites/a.example/policies", polDoc("p9"))
+	assertReadOnly(http.MethodDelete, "/sites/a.example/policies/p1", "")
+	assertReadOnly(http.MethodPost, "/sites/a.example/reference", refDocFor("p1"))
+	assertReadOnly(http.MethodPut, "/sites/new.example", "")
+	assertReadOnly(http.MethodDelete, "/sites/a.example", "")
+
+	// Reads still answer.
+	if status, body := get(t, fs.URL+"/sites/a.example/policies"); status != http.StatusOK {
+		t.Fatalf("read after rejected writes: %d %s", status, body)
+	}
+}
+
+// TestFollowerStateBootstrap covers the checkpoint-truncated log: a
+// fresh follower whose cursor predates the snapshot receives the state
+// as one OpState record and lands on the exact LSN.
+func TestFollowerStateBootstrap(t *testing.T) {
+	reg, leader := newLeader(t)
+	seedTenant(t, leader.URL, "a.example", "p1", "p2", "p3")
+	if err := reg.CheckpointAll(); err != nil {
+		t.Fatal(err)
+	}
+	// The checkpoint truncated the log: records 1..N no longer exist to
+	// ship, so the follower must bootstrap from the shipped snapshot.
+	node := syncedNode(t, leader.URL, "a.example")
+	st := node.Status()
+	if len(st) != 1 || !st[0].Synced {
+		t.Fatalf("follower not synced: %+v", st)
+	}
+	want := reg.Journal("a.example").Status().LSN
+	if st[0].AppliedLSN != want {
+		t.Fatalf("applied %d, want leader LSN %d", st[0].AppliedLSN, want)
+	}
+	fs := httptest.NewServer(node)
+	defer fs.Close()
+	status, body := get(t, fs.URL+"/sites/a.example/policies")
+	if status != http.StatusOK {
+		t.Fatalf("bootstrap read: %d %s", status, body)
+	}
+	for _, p := range []string{"p1", "p2", "p3"} {
+		if !strings.Contains(string(body), p) {
+			t.Fatalf("bootstrap missing %s: %s", p, body)
+		}
+	}
+}
+
+// TestFollowerReadyzLagGate checks readiness gating: a follower that
+// has not completed a catch-up round reports 503, and flips ready once
+// synced.
+func TestFollowerReadyzLagGate(t *testing.T) {
+	_, leader := newLeader(t)
+	seedTenant(t, leader.URL, "a.example", "p1")
+	node, err := New(Options{Leader: leader.URL, Tenants: []string{"a.example"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+	fs := httptest.NewServer(node)
+	defer fs.Close()
+
+	status, body := get(t, fs.URL+"/readyz")
+	if status != http.StatusServiceUnavailable || !strings.Contains(string(body), "replica-lagging") {
+		t.Fatalf("unsynced follower readyz: %d %s", status, body)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := node.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if status, body = get(t, fs.URL+"/readyz"); status != http.StatusOK {
+		t.Fatalf("synced follower readyz: %d %s", status, body)
+	}
+
+	// /replication/status reports the follower role and position.
+	var rs server.ReplicationStatus
+	_, body = get(t, fs.URL+"/replication/status")
+	if err := json.Unmarshal(body, &rs); err != nil {
+		t.Fatal(err)
+	}
+	if rs.Role != "follower" || !rs.Ready || rs.Tenants["a.example"].Lag != 0 {
+		t.Fatalf("replication status wrong: %s", body)
+	}
+}
+
+// fakeLeader serves a crafted WAL image for one tenant, byte-exact, so
+// the kill matrix can hand the follower every truncation and corruption
+// a dying leader can produce.
+func fakeLeader(t *testing.T, image []byte, lsn uint64) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/sites/x.example/wal", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-WAL-LSN", fmt.Sprint(lsn))
+		_, _ = w.Write(image)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestFollowerKillMatrix feeds the follower a shipped stream truncated
+// at every byte boundary and corrupted at every frame: the follower
+// must classify torn vs corrupt exactly like local recovery, apply
+// whole records only, and never advance its cursor past what it
+// verifiably applied.
+func TestFollowerKillMatrix(t *testing.T) {
+	recs := []durable.Record{
+		{LSN: 1, Op: durable.OpInstall, Name: "p1", Doc: polDoc("p1")},
+		{LSN: 2, Op: durable.OpInstall, Name: "p2", Doc: polDoc("p2")},
+		{LSN: 3, Op: durable.OpReference, Doc: refDocFor("p1", "p2")},
+	}
+	var image []byte
+	var edges []int // byte offset where each record's frame ends
+	for i := range recs {
+		frame, err := durable.EncodeRecord(&recs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		image = append(image, frame...)
+		edges = append(edges, len(image))
+	}
+	wholeAt := func(cut int) uint64 {
+		var n uint64
+		for _, e := range edges {
+			if cut >= e {
+				n++
+			}
+		}
+		return n
+	}
+
+	for cut := 0; cut <= len(image); cut++ {
+		ts := fakeLeader(t, image[:cut], 3)
+		node, err := New(Options{Leader: ts.URL, Tenants: []string{"x.example"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err = node.Sync(ctx)
+		cancel()
+		want := wholeAt(cut)
+		atEdge := want == 3 || (cut == 0)
+		if cut == 0 || want == 3 {
+			// Nothing shipped or everything shipped: both are clean ends.
+			if cut == len(image) && err != nil {
+				t.Fatalf("cut %d: clean stream errored: %v", cut, err)
+			}
+		}
+		if !atEdge {
+			for _, e := range edges {
+				if cut == e {
+					atEdge = true
+					break
+				}
+			}
+		}
+		if !atEdge && !errors.Is(err, durable.ErrStreamTorn) {
+			t.Fatalf("cut %d: want torn, got %v", cut, err)
+		}
+		st := node.Status()[0]
+		if st.AppliedLSN != want {
+			t.Fatalf("cut %d: applied %d, want %d", cut, st.AppliedLSN, want)
+		}
+		// The follower's state is a consistent prefix: exactly the whole
+		// records, nothing partial.
+		names := node.Registry()
+		site, gerr := names.Get("x.example")
+		if gerr != nil {
+			t.Fatal(gerr)
+		}
+		got := site.PolicyNames()
+		if uint64(len(got)) != min(want, 2) {
+			t.Fatalf("cut %d: %d policies for %d applied records", cut, len(got), want)
+		}
+		node.Stop()
+	}
+
+	// Corruption: flip a byte inside frame 1 with valid frames beyond —
+	// the follower must call it corrupt (bit rot), not torn, and apply
+	// nothing.
+	mut := append([]byte(nil), image...)
+	mut[edges[0]/2] ^= 0xff
+	ts := fakeLeader(t, mut, 3)
+	node, err := New(Options{Leader: ts.URL, Tenants: []string{"x.example"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err = node.Sync(ctx)
+	if !errors.Is(err, durable.ErrCorrupt) {
+		t.Fatalf("corrupt stream: want ErrCorrupt, got %v", err)
+	}
+	if st := node.Status()[0]; st.AppliedLSN != 0 || st.Synced {
+		t.Fatalf("corrupt stream advanced the cursor: %+v", st)
+	}
+}
+
+// TestFollowerStreamFaults arms the stream-drop and apply-failure
+// points: the follower must ride through injected failures — each round
+// classifies the cut stream as torn, retries from its cursor — and
+// still converge to the leader's exact position.
+func TestFollowerStreamFaults(t *testing.T) {
+	faultkit.Reset()
+	t.Cleanup(faultkit.Reset)
+	_, leader := newLeader(t)
+	seedTenant(t, leader.URL, "a.example", "p1", "p2")
+
+	if err := faultkit.Enable(faultkit.PointReplicaStream + ":error:times=2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultkit.Enable(faultkit.PointReplicaApply + ":error:after=1:times=1"); err != nil {
+		t.Fatal(err)
+	}
+	node, err := New(Options{Leader: leader.URL, Tenants: []string{"a.example"}, PollInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := node.Status()
+		if len(st) == 1 && st[0].Synced && st[0].Lag == 0 && st[0].AppliedLSN > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never converged through faults: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestFollowerChurnRace is the -race drill: the leader replaces
+// policies while the follower tails and concurrent readers hit its
+// matching and status endpoints.
+func TestFollowerChurnRace(t *testing.T) {
+	_, leader := newLeader(t)
+	seedTenant(t, leader.URL, "a.example", "p1")
+	node, err := New(Options{Leader: leader.URL, Tenants: []string{"a.example"}, PollInterval: time.Millisecond, Wait: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+	fs := httptest.NewServer(node)
+	defer fs.Close()
+
+	const writes = 30
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := server.NewClient(leader.URL + "/sites/a.example")
+		for i := 0; i < writes; i++ {
+			name := fmt.Sprintf("churn-%d", i%5)
+			if i%3 == 2 {
+				req, _ := http.NewRequest(http.MethodDelete, leader.URL+"/sites/a.example/policies/"+name, nil)
+				resp, err := http.DefaultClient.Do(req)
+				if err == nil {
+					resp.Body.Close()
+				}
+				continue
+			}
+			_, _ = c.InstallPolicies(polDoc(name))
+		}
+	}()
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := server.NewClient(fs.URL + "/sites/a.example")
+			for i := 0; i < 50; i++ {
+				// Reads race the tail loop's snapshot swaps; any decision
+				// is fine, data races are what the drill hunts.
+				_, _, _ = c.Check(server.CheckRequest{URL: "/p1/index.html", Level: "mild"})
+				if resp, err := http.Get(fs.URL + "/replication/status"); err == nil {
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// After the churn settles, the follower converges to the leader.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := node.Status()
+		if len(st) == 1 && st[0].Synced && st[0].Lag == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never converged after churn: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDiscoverTenants starts a follower with no pinned tenant list:
+// Discover must pull the leader's tenant set and track every name.
+func TestDiscoverTenants(t *testing.T) {
+	_, leader := newLeader(t)
+	for _, name := range []string{"a.example", "b.example"} {
+		seedTenant(t, leader.URL, name, "p1")
+	}
+	node, err := New(Options{Leader: leader.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(node.Stop)
+	if err := node.Discover(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := node.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := node.Status()
+	if len(st) != 2 {
+		t.Fatalf("discovered tenants: %+v", st)
+	}
+	for _, ts := range st {
+		if !ts.Synced || ts.AppliedLSN == 0 {
+			t.Fatalf("tenant %s not caught up: %+v", ts.Tenant, ts)
+		}
+	}
+	if srv := node.HTTPServer(":0"); srv.Handler == nil || srv.Addr != ":0" {
+		t.Fatalf("HTTPServer wrapper wrong: %+v", srv)
+	}
+}

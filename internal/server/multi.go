@@ -55,6 +55,7 @@ func NewMultiWithOptions(reg *registry.Registry, opts Options) *MultiServer {
 	m := &MultiServer{reg: reg, opts: opts, mux: http.NewServeMux()}
 	m.mux.HandleFunc("/sites", instrument("sites", m.handleSites))
 	m.mux.HandleFunc("/sites/", instrument("site", m.handleSite))
+	m.mux.HandleFunc("/replication/status", instrument("replication", m.handleReplication))
 	m.mux.Handle("/metrics", obs.Handler(obs.Default))
 	m.mux.HandleFunc("/healthz", handleHealthz)
 	m.mux.HandleFunc("/readyz", m.handleReadyz)
@@ -160,6 +161,10 @@ func (m *MultiServer) handleSiteAdmin(w http.ResponseWriter, r *http.Request, na
 	switch r.Method {
 	case http.MethodPut:
 		if _, err := m.reg.Create(name); err != nil {
+			if errors.Is(err, registry.ErrReadOnly) {
+				writeReadOnly(w, m.opts.Leader)
+				return
+			}
 			if errors.Is(err, registry.ErrUnknownSite) {
 				writeTenantError(w, err)
 				return
@@ -170,12 +175,20 @@ func (m *MultiServer) handleSiteAdmin(w http.ResponseWriter, r *http.Request, na
 		writeJSON(w, http.StatusCreated, map[string]string{"site": name})
 	case http.MethodDelete:
 		if err := m.reg.Remove(name); err != nil {
+			if errors.Is(err, registry.ErrReadOnly) {
+				writeReadOnly(w, m.opts.Leader)
+				return
+			}
 			writeTenantError(w, err)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 	case http.MethodPost:
 		if err := m.reg.Reload(name); err != nil {
+			if errors.Is(err, registry.ErrReadOnly) {
+				writeReadOnly(w, m.opts.Leader)
+				return
+			}
 			if errors.Is(err, registry.ErrUnknownSite) {
 				writeTenantError(w, err)
 				return

@@ -44,8 +44,17 @@ type Options struct {
 	// POST/PUT /policies, DELETE /policies/{name}, and POST /reference
 	// are applied and logged to the tenant's write-ahead log before the
 	// 2xx is sent, a checkpoint is cut automatically past the configured
-	// record count, and GET /durability reports the log position.
+	// record count, and GET /durability reports the log position. It
+	// also enables GET /wal, the leader half of replication (DESIGN.md
+	// §12): the log streamed as CRC-framed records from a given LSN.
 	Journal *durable.Tenant
+	// ReadOnly makes this the follower face of replication: every admin
+	// mutation is rejected with a typed 403 naming Leader, while the
+	// read and matching endpoints keep serving from local snapshots.
+	ReadOnly bool
+	// Leader is the leader's base URL, reported in read-only rejections
+	// so clients know where writes go.
+	Leader string
 }
 
 // Server handles the HTTP API for one site.
@@ -76,6 +85,7 @@ func NewWithOptions(site *core.Site, opts Options) *Server {
 	s.mux.HandleFunc("/analytics", instrument("analytics", s.handleAnalytics))
 	if opts.Journal != nil {
 		s.mux.HandleFunc("/durability", instrument("durability", s.handleDurability))
+		s.mux.HandleFunc("/wal", instrument("wal", s.handleWAL))
 	}
 	s.mux.Handle("/metrics", obs.Handler(obs.Default))
 	s.mux.Handle("/debug/vars", expvar.Handler())
@@ -190,6 +200,10 @@ type apiError struct {
 	Error  string   `json:"error"`
 	Reason string   `json:"reason,omitempty"`
 	Errors []string `json:"errors,omitempty"`
+	// Leader names the leader's base URL on read-only-replica
+	// rejections, so a client holding a follower address can redirect
+	// its write without out-of-band configuration.
+	Leader string `json:"leader,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -288,6 +302,9 @@ func (s *Server) afterMutation() {
 func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost, http.MethodPut:
+		if s.rejectReadOnly(w) {
+			return
+		}
 		body, ok := readBody(w, r)
 		if !ok {
 			return
@@ -310,6 +327,26 @@ func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
 	}
+}
+
+// rejectReadOnly guards a mutation endpoint on a follower: writes are
+// rejected with a typed 403 naming the leader. Returns true when the
+// request was rejected.
+func (s *Server) rejectReadOnly(w http.ResponseWriter) bool {
+	if !s.opts.ReadOnly {
+		return false
+	}
+	writeReadOnly(w, s.opts.Leader)
+	return true
+}
+
+// writeReadOnly is the shared read-only-replica rejection envelope.
+func writeReadOnly(w http.ResponseWriter, leader string) {
+	writeJSON(w, http.StatusForbidden, apiError{
+		Error:  "read-only replica: send writes to the leader",
+		Reason: "read-only-replica",
+		Leader: leader,
+	})
 }
 
 // writeMutationError classifies an admin-mutation failure: a durability
@@ -348,6 +385,9 @@ func (s *Server) handlePolicyByName(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/xml")
 		fmt.Fprint(w, xml)
 	case http.MethodDelete:
+		if s.rejectReadOnly(w) {
+			return
+		}
 		var err error
 		if s.opts.Journal != nil {
 			err = s.opts.Journal.RemovePolicy(s.site, name)
@@ -376,6 +416,9 @@ func (s *Server) handlePolicyByName(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReference(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost, http.MethodPut:
+		if s.rejectReadOnly(w) {
+			return
+		}
 		body, ok := readBody(w, r)
 		if !ok {
 			return

@@ -1,0 +1,217 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"net/http/httptest"
+
+	"p3pdb/internal/durable"
+	"p3pdb/internal/faultkit"
+	"p3pdb/internal/registry"
+)
+
+// streamWAL fetches /wal and drains the framed response, returning the
+// records, the X-WAL-LSN header, and the stream's terminal error.
+func streamWAL(t *testing.T, base, query string) ([]durable.Record, uint64, error) {
+	t.Helper()
+	resp, err := http.Get(base + "/wal" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("/wal%s: %d %s", query, resp.StatusCode, body)
+	}
+	var lsn uint64
+	fmt.Sscan(resp.Header.Get("X-WAL-LSN"), &lsn)
+	sr := durable.NewStreamReader(resp.Body)
+	var recs []durable.Record
+	for {
+		rec, err := sr.Next()
+		if err != nil {
+			if err == io.EOF {
+				err = nil
+			}
+			return recs, lsn, err
+		}
+		recs = append(recs, *rec)
+	}
+}
+
+// TestWALStream covers the leader's stream endpoint: full history from
+// zero, cursor skipping, the snapshot-bootstrap record after a
+// checkpoint truncates the log, and parameter validation.
+func TestWALStream(t *testing.T) {
+	ts, site, journal, _ := durableServer(t, t.TempDir())
+	c := NewClient(ts.URL)
+	if _, err := c.InstallPolicies(tinyPolicyDoc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.InstallPolicies(`<POLICY name="q"><STATEMENT><NON-IDENTIFIABLE/></STATEMENT></POLICY>`); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, lsn, err := streamWAL(t, ts.URL, "?from=0")
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	if len(recs) != 2 || recs[0].Op != durable.OpInstall || !strings.Contains(recs[1].Doc, `name="q"`) {
+		t.Fatalf("full stream wrong: %+v", recs)
+	}
+	if lsn != journal.Status().LSN {
+		t.Fatalf("X-WAL-LSN %d, journal head %d", lsn, journal.Status().LSN)
+	}
+
+	// A cursor at the first record's LSN ships only the second.
+	recs, _, err = streamWAL(t, ts.URL, fmt.Sprintf("?from=%d", recs[0].LSN))
+	if err != nil || len(recs) != 1 || !strings.Contains(recs[0].Doc, `name="q"`) {
+		t.Fatalf("cursor stream wrong: %+v, %v", recs, err)
+	}
+
+	// Checkpoint truncates the log: a from-zero follower now gets one
+	// OpState record carrying the whole snapshot instead of history.
+	if err := journal.Checkpoint(site); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err = streamWAL(t, ts.URL, "?from=0")
+	if err != nil {
+		t.Fatalf("post-checkpoint stream: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Op != durable.OpState || len(recs[0].Docs) != 2 {
+		t.Fatalf("expected one state record with 2 policies: %+v", recs)
+	}
+	// A caught-up cursor gets an empty, headers-only stream.
+	recs, lsn, err = streamWAL(t, ts.URL, fmt.Sprintf("?from=%d", lsn))
+	if err != nil || len(recs) != 0 || lsn == 0 {
+		t.Fatalf("caught-up stream: %+v lsn=%d %v", recs, lsn, err)
+	}
+
+	for _, q := range []string{"?from=nope", "?wait=nope"} {
+		resp, err := http.Get(ts.URL + "/wal" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("/wal%s: %d, want 400", q, resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/wal", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /wal: %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestWALStreamLongPoll checks wait= blocks until a record lands and
+// ships it, rather than returning empty and forcing a reconnect.
+func TestWALStreamLongPoll(t *testing.T) {
+	ts, _, journal, _ := durableServer(t, t.TempDir())
+	c := NewClient(ts.URL)
+	if _, err := c.InstallPolicies(tinyPolicyDoc); err != nil {
+		t.Fatal(err)
+	}
+	head := journal.Status().LSN
+
+	type result struct {
+		recs []durable.Record
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		recs, _, err := streamWAL(t, ts.URL, fmt.Sprintf("?from=%d&wait=10s", head))
+		done <- result{recs, err}
+	}()
+	// Let the poller park, then land a record.
+	time.Sleep(50 * time.Millisecond)
+	if _, err := c.InstallPolicies(`<POLICY name="late"><STATEMENT><NON-IDENTIFIABLE/></STATEMENT></POLICY>`); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-done:
+		if r.err != nil || len(r.recs) != 1 || !strings.Contains(r.recs[0].Doc, `name="late"`) {
+			t.Fatalf("long-poll result: %+v, %v", r.recs, r.err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("long-poll never returned")
+	}
+
+	// An expired wait with nothing new returns an empty stream.
+	recs, _, err := streamWAL(t, ts.URL, fmt.Sprintf("?from=%d&wait=10ms", journal.Status().LSN))
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("expired wait: %+v, %v", recs, err)
+	}
+}
+
+// TestWALStreamFaultCutsMidFrame arms the replica.stream point: the
+// response carries half a frame, which the stream reader must classify
+// as torn — the shape a dying leader leaves a follower holding.
+func TestWALStreamFaultCutsMidFrame(t *testing.T) {
+	ts, _, _, _ := durableServer(t, t.TempDir())
+	c := NewClient(ts.URL)
+	if _, err := c.InstallPolicies(tinyPolicyDoc); err != nil {
+		t.Fatal(err)
+	}
+	faultkit.Reset()
+	t.Cleanup(faultkit.Reset)
+	if err := faultkit.Enable(faultkit.PointReplicaStream + ":error:times=1"); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := streamWAL(t, ts.URL, "?from=0")
+	if err == nil || !strings.Contains(err.Error(), "torn") {
+		t.Fatalf("cut stream: %d records, err %v (want torn)", len(recs), err)
+	}
+}
+
+// TestReplicationStatusLeader covers the leader's /replication/status:
+// one entry per journaled resident tenant, role leader.
+func TestReplicationStatusLeader(t *testing.T) {
+	store, err := durable.Open(t.TempDir(), durable.Options{Fsync: durable.FsyncNever, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := registry.New(registry.Options{Durable: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { reg.Close() })
+	ts := httptest.NewServer(NewMulti(reg))
+	t.Cleanup(ts.Close)
+	if err := NewClient(ts.URL).CreateSite("a.example"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewClient(ts.URL + "/sites/a.example").InstallPolicies(tinyPolicyDoc); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/replication/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st ReplicationStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Role != "leader" || !st.Ready {
+		t.Fatalf("leader status: %+v", st)
+	}
+	tr, ok := st.Tenants["a.example"]
+	if !ok || tr.LSN == 0 || !tr.Synced {
+		t.Fatalf("tenant position: %+v", st.Tenants)
+	}
+	// The per-tenant alias serves the same stream.
+	recs, _, err := streamWAL(t, ts.URL+"/sites/a.example", "?from=0")
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("multi-tenant wal: %+v, %v", recs, err)
+	}
+}

@@ -10,6 +10,10 @@
 #     universe (1000) must reach MIN_HITRATE.
 #   - e2e: the protocol loop's compact fast path must decide at least
 #     MIN_FASTPATH of the mixed-attitude population over real HTTP.
+#   - replication: 2-node matches/sec must reach MIN_NODE_SPEEDUP2 x the
+#     1-node rate (again only where >= 2 CPUs exist), and replication lag
+#     p99 must stay under MAX_LAG_P99 milliseconds. The lag gate runs on
+#     every machine: lag measures apply cost, not parallelism.
 #
 # Mirrors scripts/coverage_ratchet.sh: floors only move in the same PR
 # that justifies moving them.
@@ -18,6 +22,19 @@ set -eu
 MIN_SPEEDUP4=${MIN_SPEEDUP4:-2.5}
 MIN_HITRATE=${MIN_HITRATE:-0.90}
 MIN_FASTPATH=${MIN_FASTPATH:-0.70}
+MIN_NODE_SPEEDUP2=${MIN_NODE_SPEEDUP2:-1.6}
+MAX_LAG_P99=${MAX_LAG_P99:-2000}
+
+# Surface the CPU budget before any gate runs so a self-skipped speedup
+# gate is visible in the build log, not just in the JSON artifact.
+NUM_CPU=$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo unknown)
+echo "== bench gates on numCpu=${NUM_CPU} =="
+if [ "${NUM_CPU}" != "unknown" ] && [ "${NUM_CPU}" -lt 4 ]; then
+	echo "note: numCpu=${NUM_CPU} < 4 -- the 4-worker speedup gate will self-skip (recorded in BENCH_throughput.json)"
+fi
+if [ "${NUM_CPU}" != "unknown" ] && [ "${NUM_CPU}" -lt 2 ]; then
+	echo "note: numCpu=${NUM_CPU} < 2 -- the 2-node replication speedup gate will self-skip (recorded in BENCH_replication.json)"
+fi
 
 echo "== throughput gate (floor ${MIN_SPEEDUP4}x at 4 workers) =="
 go run ./cmd/p3pbench -table=throughput -min-speedup4="$MIN_SPEEDUP4"
@@ -27,3 +44,6 @@ go run ./cmd/p3pbench -table=decisioncache -min-hitrate="$MIN_HITRATE"
 
 echo "== e2e fast-path gate (floor ${MIN_FASTPATH} hit rate) =="
 go run ./cmd/p3pbench -table=e2e -min-fastpath="$MIN_FASTPATH"
+
+echo "== replication gate (floor ${MIN_NODE_SPEEDUP2}x at 2 nodes, lag p99 ceiling ${MAX_LAG_P99}ms) =="
+go run ./cmd/p3pbench -table=replication -min-node-speedup2="$MIN_NODE_SPEEDUP2" -max-lag-p99="$MAX_LAG_P99"
