@@ -41,6 +41,8 @@ func main() {
 	minFastpath := flag.Float64("min-fastpath", 0, "e2e gate: fail unless the protocol loop's fast-path hit rate reaches this floor")
 	minNodeSpeedup2 := flag.Float64("min-node-speedup2", 0, "replication gate: fail unless speedupVs1 at 2 nodes reaches this floor (enforced only when the machine has >= 2 CPUs)")
 	maxLagP99 := flag.Float64("max-lag-p99", 0, "replication gate: fail if the write-to-applied lag p99 exceeds this many milliseconds")
+	maxRecovery10k := flag.Float64("max-recovery-10k-ms", 0, "durability gate: fail if replaying a 10000-record log exceeds this many milliseconds")
+	maxDurableP50 := flag.Float64("max-durable-p50-ratio", 0, "durability gate: fail if the fsync=interval mutation p50 exceeds this multiple of the in-memory p50")
 	flag.Parse()
 
 	outPath := *out
@@ -99,6 +101,12 @@ func main() {
 				fatal(err)
 			}
 			fmt.Println("wrote", outPath)
+		}
+		if *maxRecovery10k > 0 {
+			gateRecovery(r, *maxRecovery10k)
+		}
+		if *maxDurableP50 > 0 {
+			gateDurableP50(r, *maxDurableP50)
 		}
 		return
 	}
@@ -366,6 +374,35 @@ func gateReplicationLag(r *benchkit.ReplicationResults, ceilingMs float64) {
 		fatal(fmt.Errorf("replication gate: lag p99 %.2f ms exceeds ceiling %.2f ms", r.LagP99Ms, ceilingMs))
 	}
 	fmt.Printf("lag gate passed: p99 %.2f ms (ceiling %.2f ms)\n", r.LagP99Ms, ceilingMs)
+}
+
+// gateRecovery bounds cold recovery of a 10k-record log — the batched
+// replay's headline number: one ApplyBatch over the whole tail instead
+// of one snapshot rebuild per record.
+func gateRecovery(r *benchkit.DurabilityResults, ceilingMs float64) {
+	for _, rp := range r.Recovery {
+		if rp.Mutations == 10000 {
+			if rp.RecoverMillis > ceilingMs {
+				fatal(fmt.Errorf("durability gate: 10k-record recovery %.1f ms exceeds ceiling %.1f ms", rp.RecoverMillis, ceilingMs))
+			}
+			fmt.Printf("recovery gate passed: 10k records in %.1f ms (ceiling %.1f ms)\n", rp.RecoverMillis, ceilingMs)
+			return
+		}
+	}
+	fatal(fmt.Errorf("durability gate: no 10000-record recovery row measured"))
+}
+
+// gateDurableP50 bounds the group-commit tax at the median: a durable
+// mutation under fsync=interval should coalesce its fsync with its
+// neighbors and stay within the ceiling multiple of the in-memory path.
+func gateDurableP50(r *benchkit.DurabilityResults, ceiling float64) {
+	if r.P50RatioInterval == 0 {
+		fatal(fmt.Errorf("durability gate: no fsync=interval p50 ratio measured"))
+	}
+	if r.P50RatioInterval > ceiling {
+		fatal(fmt.Errorf("durability gate: fsync=interval p50 is %.2fx in-memory, ceiling %.2fx", r.P50RatioInterval, ceiling))
+	}
+	fmt.Printf("durable-p50 gate passed: %.2fx in-memory (ceiling %.2fx)\n", r.P50RatioInterval, ceiling)
 }
 
 func fatal(err error) {

@@ -92,6 +92,8 @@ func main() {
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "group-commit period for -fsync=interval")
 	checkpointEvery := flag.Int("checkpoint-every", 256, "logged records between automatic snapshot checkpoints (-1 disables)")
 	decisionCache := flag.Int("decision-cache", 0, "decision-cache slots per site, rounded up to a power of two (0 = default 4096, -1 = disabled)")
+	recoveryParallel := flag.Int("recovery-parallel", 0, "tenant-recovery workers for -sites-dir startup and SIGHUP reload (0 = one per CPU, 1 = serial)")
+	recoveryWarm := flag.Bool("recovery-warm", true, "with -sites-dir, load every known tenant before serving instead of lazily on first request")
 	follow := flag.String("follow", "", "follower mode: tail this leader URL's WAL and serve read-only matches (excludes -demo, -sites-dir, -durable)")
 	followTenants := flag.String("follow-tenants", "", "comma-separated tenants to replicate with -follow (empty = discover from leader)")
 	followMaxLag := flag.Uint64("follow-max-lag", 0, "records a follower may lag and still report ready with -follow")
@@ -188,9 +190,22 @@ func main() {
 		if *demo {
 			fatal(errors.New("-demo applies to single-site mode; populate -sites-dir directories instead"))
 		}
-		reg, err := registry.New(registry.Options{Dir: *sitesDir, Site: siteOpts, MaxSites: *maxSites, Durable: store})
+		reg, err := registry.New(registry.Options{
+			Dir:                 *sitesDir,
+			Site:                siteOpts,
+			MaxSites:            *maxSites,
+			Durable:             store,
+			RecoveryParallelism: *recoveryParallel,
+		})
 		if err != nil {
 			fatal(err)
+		}
+		if *recoveryWarm {
+			start := time.Now()
+			if err := reg.LoadAll(); err != nil {
+				log.Printf("tenant warm-up: %v", err)
+			}
+			log.Printf("warmed %d tenants in %s", reg.Len(), time.Since(start).Round(time.Millisecond))
 		}
 		// SIGHUP: with durability on, checkpoint every resident tenant
 		// (the log is the source of truth; a snapshot bounds recovery

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"p3pdb/internal/core"
@@ -18,8 +19,19 @@ import (
 // mutation costs under each fsync policy versus the in-memory path, how
 // long crash recovery takes as the log grows, and the log's write
 // amplification (physical WAL bytes per logical document byte). This is
-// the cost side of PR 5's durability claim; the acceptance bar is
-// fsync=interval mutation p99 within 2x of in-memory.
+// the cost side of PR 5's durability claim; the acceptance bars are
+// fsync=interval mutation p99 AND p50 within 2x of in-memory.
+//
+// Every phase runs Writers concurrent admin writers in a closed loop,
+// not one serial writer. That is the honest shape for group commit: a
+// lone fsync=interval writer necessarily pays one real fsync per
+// acknowledged mutation (that is what "a 2xx means the record was
+// synced" costs), so its ratio to in-memory is fixed at roughly
+// fsync/apply regardless of batching. Coalescing only pays when
+// concurrent writers share the fsync — exactly the multi-admin /
+// multi-tenant-proxy load the interval policy exists for — and the
+// in-memory baseline uses the same writer pool, so the ratio isolates
+// the durability cost rather than the queueing.
 
 // DurabilityPhase is one measured mutation-latency configuration.
 type DurabilityPhase struct {
@@ -40,29 +52,44 @@ type RecoveryPoint struct {
 	Mutations int `json:"mutations"`
 	// LogBytes is the log size the replay scanned.
 	LogBytes int64 `json:"logBytes"`
-	// RecoverMillis is open + scan + replay into a fresh site.
+	// RecoverMillis is open + scan + replay into a fresh site. The
+	// replay is the batched path: every tail record lands through one
+	// ApplyBatch (one snapshot rebuild), so this prices scan + parse +
+	// bulk re-shred rather than per-record rebuilds.
 	RecoverMillis float64 `json:"recoverMillis"`
+	// MillisPerRecord is RecoverMillis over the records replayed — the
+	// per-record cost of the batched replay.
+	MillisPerRecord float64 `json:"millisPerRecord"`
 }
 
 // DurabilityResults is the full experiment, shaped for rendering and the
 // BENCH_durability.json artifact.
 type DurabilityResults struct {
-	Seed       int64             `json:"seed"`
-	GOMAXPROCS int               `json:"gomaxprocs"`
-	Phases     []DurabilityPhase `json:"phases"`
+	Seed       int64 `json:"seed"`
+	GOMAXPROCS int   `json:"gomaxprocs"`
+	// Writers is the concurrent admin writers per phase (the group-commit
+	// coalescing population).
+	Writers int               `json:"writers"`
+	Phases  []DurabilityPhase `json:"phases"`
 	Recovery   []RecoveryPoint   `json:"recovery"`
 	// P99RatioInterval is fsync=interval mutation p99 over the in-memory
 	// p99 — the acceptance-criterion number.
 	P99RatioInterval float64 `json:"p99RatioInterval"`
+	// P50RatioInterval is the same ratio at the median: with true group
+	// commit the typical durable mutation should cost within 2x of the
+	// in-memory path (the MAX_DURABLE_P50_RATIO gate).
+	P50RatioInterval float64 `json:"p50RatioInterval"`
 }
 
 // DurabilityConfig parameterizes a durability run.
 type DurabilityConfig struct {
 	// Seed generates the workload (default 42).
 	Seed int64
-	// Mutations is the install/remove pairs measured per phase
-	// (default 50, i.e. 100 logged records).
+	// Mutations is the install/remove pairs measured per writer per
+	// phase (default 50, i.e. 100 logged records per writer).
 	Mutations int
+	// Writers is the concurrent admin writers per phase (default 4).
+	Writers int
 	// RecoveryCounts are the log lengths (in records) to measure
 	// recovery at (default 1000 and 10000).
 	RecoveryCounts []int
@@ -76,6 +103,9 @@ func (c DurabilityConfig) withDefaults() DurabilityConfig {
 	}
 	if c.Mutations == 0 {
 		c.Mutations = 50
+	}
+	if c.Writers == 0 {
+		c.Writers = 4
 	}
 	if len(c.RecoveryCounts) == 0 {
 		c.RecoveryCounts = []int{1000, 10000}
@@ -114,42 +144,78 @@ func RunDurability(cfg DurabilityConfig) (*DurabilityResults, error) {
 		defer os.RemoveAll(dir)
 	}
 
-	res := &DurabilityResults{Seed: cfg.Seed, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	res := &DurabilityResults{Seed: cfg.Seed, GOMAXPROCS: runtime.GOMAXPROCS(0), Writers: cfg.Writers}
 
 	// The mutation under test: install one extra corpus policy, then
 	// remove it — the canonical admin churn pair. One pair's logical
 	// payload is the installed document (the remove carries no document),
 	// so write amplification prices the framing, JSON escaping, and the
-	// remove record against the XML the admin actually shipped.
+	// remove record against the XML the admin actually shipped. Each
+	// writer churns its own renamed copy of the document so the
+	// concurrent install/remove pairs never collide on a policy name.
 	churnPol := d.Policies[len(d.Policies)-1]
 	churnDoc := d.PolicyXML[churnPol.Name]
-	logicalBytes := int64(len(churnDoc))
+	nameAttr := fmt.Sprintf("name=%q", churnPol.Name)
+	if !strings.Contains(churnDoc, nameAttr) {
+		return nil, fmt.Errorf("benchkit: churn document does not carry %s", nameAttr)
+	}
+	workerName := func(w int) string { return fmt.Sprintf("%s-w%d", churnPol.Name, w) }
+	var logicalBytes int64
+	workerDocs := make([]string, cfg.Writers)
+	for w := range workerDocs {
+		workerDocs[w] = strings.Replace(churnDoc, nameAttr, fmt.Sprintf("name=%q", workerName(w)), 1)
+		logicalBytes += int64(len(workerDocs[w]))
+	}
 
 	measure := func(name string, journal *durable.Tenant, site *core.Site) (DurabilityPhase, error) {
-		lats := make([]time.Duration, 0, 2*cfg.Mutations)
 		var startBytes int64
 		if journal != nil {
 			startBytes = journal.Status().LogBytes
 		}
-		for i := 0; i < cfg.Mutations; i++ {
-			start := time.Now()
-			if journal != nil {
-				if _, err := journal.InstallPolicyXML(site, churnDoc); err != nil {
-					return DurabilityPhase{}, fmt.Errorf("benchkit: %s install: %w", name, err)
+		workerLats := make([][]time.Duration, cfg.Writers)
+		errs := make([]error, cfg.Writers)
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				doc, pol := workerDocs[w], workerName(w)
+				lats := make([]time.Duration, 0, 2*cfg.Mutations)
+				for i := 0; i < cfg.Mutations; i++ {
+					start := time.Now()
+					var err error
+					if journal != nil {
+						_, err = journal.InstallPolicyXML(site, doc)
+					} else {
+						_, err = site.InstallPolicyXML(doc)
+					}
+					if err != nil {
+						errs[w] = fmt.Errorf("benchkit: %s install: %w", name, err)
+						return
+					}
+					lats = append(lats, time.Since(start))
+					start = time.Now()
+					if journal != nil {
+						err = journal.RemovePolicy(site, pol)
+					} else {
+						err = site.RemovePolicy(pol)
+					}
+					if err != nil {
+						errs[w] = fmt.Errorf("benchkit: %s remove: %w", name, err)
+						return
+					}
+					lats = append(lats, time.Since(start))
 				}
-			} else if _, err := site.InstallPolicyXML(churnDoc); err != nil {
-				return DurabilityPhase{}, fmt.Errorf("benchkit: %s install: %w", name, err)
+				workerLats[w] = lats
+			}(w)
+		}
+		wg.Wait()
+		var lats []time.Duration
+		for w := range workerLats {
+			if errs[w] != nil {
+				return DurabilityPhase{}, errs[w]
 			}
-			lats = append(lats, time.Since(start))
-			start = time.Now()
-			if journal != nil {
-				if err := journal.RemovePolicy(site, churnPol.Name); err != nil {
-					return DurabilityPhase{}, fmt.Errorf("benchkit: %s remove: %w", name, err)
-				}
-			} else if err := site.RemovePolicy(churnPol.Name); err != nil {
-				return DurabilityPhase{}, fmt.Errorf("benchkit: %s remove: %w", name, err)
-			}
-			lats = append(lats, time.Since(start))
+			lats = append(lats, workerLats[w]...)
 		}
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 		ph := DurabilityPhase{
@@ -211,8 +277,13 @@ func RunDurability(cfg DurabilityConfig) (*DurabilityResults, error) {
 			return nil, cerr
 		}
 		res.Phases = append(res.Phases, ph)
-		if policy == durable.FsyncInterval && mem.P99Micros > 0 {
-			res.P99RatioInterval = ph.P99Micros / mem.P99Micros
+		if policy == durable.FsyncInterval {
+			if mem.P99Micros > 0 {
+				res.P99RatioInterval = ph.P99Micros / mem.P99Micros
+			}
+			if mem.P50Micros > 0 {
+				res.P50RatioInterval = ph.P50Micros / mem.P50Micros
+			}
 		}
 	}
 
@@ -278,11 +349,15 @@ func RunDurability(cfg DurabilityConfig) (*DurabilityResults, error) {
 		if err := journal.Close(); err != nil {
 			return nil, err
 		}
-		res.Recovery = append(res.Recovery, RecoveryPoint{
+		rp := RecoveryPoint{
 			Mutations:     (n / 2) * 2,
 			LogBytes:      logBytes,
 			RecoverMillis: float64(elapsed.Microseconds()) / 1000,
-		})
+		}
+		if rp.Mutations > 0 {
+			rp.MillisPerRecord = rp.RecoverMillis / float64(rp.Mutations)
+		}
+		res.Recovery = append(res.Recovery, rp)
 	}
 
 	return res, nil
@@ -291,7 +366,7 @@ func RunDurability(cfg DurabilityConfig) (*DurabilityResults, error) {
 // Render formats the durability table.
 func (r *DurabilityResults) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Durability cost (admin mutation latency, GOMAXPROCS=%d)\n", r.GOMAXPROCS)
+	fmt.Fprintf(&b, "Durability cost (admin mutation latency, %d concurrent writers, GOMAXPROCS=%d)\n", r.Writers, r.GOMAXPROCS)
 	fmt.Fprintf(&b, "%16s %10s %12s %12s %12s %9s\n", "phase", "mutations", "p50 us", "p99 us", "log bytes", "amp")
 	for _, ph := range r.Phases {
 		amp := "-"
@@ -301,11 +376,12 @@ func (r *DurabilityResults) Render() string {
 		fmt.Fprintf(&b, "%16s %10d %12.1f %12.1f %12d %9s\n",
 			ph.Name, ph.Mutations, ph.P50Micros, ph.P99Micros, ph.LogBytes, amp)
 	}
-	fmt.Fprintf(&b, "fsync=interval p99 / in-memory p99 = %.2fx\n\n", r.P99RatioInterval)
-	fmt.Fprintf(&b, "Crash recovery (cold open + snapshot/log replay into a fresh site)\n")
-	fmt.Fprintf(&b, "%10s %12s %14s\n", "mutations", "log bytes", "recover ms")
+	fmt.Fprintf(&b, "fsync=interval p99 / in-memory p99 = %.2fx\n", r.P99RatioInterval)
+	fmt.Fprintf(&b, "fsync=interval p50 / in-memory p50 = %.2fx\n\n", r.P50RatioInterval)
+	fmt.Fprintf(&b, "Crash recovery (cold open + batched snapshot/log replay into a fresh site)\n")
+	fmt.Fprintf(&b, "%10s %12s %14s %14s\n", "mutations", "log bytes", "recover ms", "ms/record")
 	for _, rp := range r.Recovery {
-		fmt.Fprintf(&b, "%10d %12d %14.1f\n", rp.Mutations, rp.LogBytes, rp.RecoverMillis)
+		fmt.Fprintf(&b, "%10d %12d %14.1f %14.3f\n", rp.Mutations, rp.LogBytes, rp.RecoverMillis, rp.MillisPerRecord)
 	}
 	return b.String()
 }

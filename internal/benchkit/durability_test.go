@@ -28,9 +28,10 @@ func TestDurabilitySmoke(t *testing.T) {
 	if len(r.Phases) != 4 {
 		t.Fatalf("phases = %d, want in-memory + 3 fsync policies", len(r.Phases))
 	}
+	// 3 install/remove pairs per writer, default 4 writers.
 	for _, ph := range r.Phases {
-		if ph.Mutations != 6 {
-			t.Errorf("%s mutations = %d, want 6", ph.Name, ph.Mutations)
+		if ph.Mutations != 6*r.Writers {
+			t.Errorf("%s mutations = %d, want %d", ph.Name, ph.Mutations, 6*r.Writers)
 		}
 		if ph.P50Micros <= 0 || ph.P50Micros > ph.P99Micros {
 			t.Errorf("%s quantiles broken: %+v", ph.Name, ph)

@@ -15,6 +15,7 @@ import (
 
 	"p3pdb/internal/core"
 	"p3pdb/internal/durable"
+	"p3pdb/internal/obs"
 	"p3pdb/internal/registry"
 	"p3pdb/internal/replica"
 	"p3pdb/internal/router"
@@ -55,6 +56,12 @@ type ReplicationResults struct {
 	LagSamples        int              `json:"lagSamples"`
 	LagP50Ms          float64          `json:"lagP50Ms"`
 	LagP99Ms          float64          `json:"lagP99Ms"`
+	// Follower batch-apply shape over the whole experiment: how many
+	// batch applies landed, how many records they carried, and the mean
+	// records per batch — the coalescing the batched drain buys.
+	ApplyBatches      int64   `json:"applyBatches"`
+	ApplyBatchRecords int64   `json:"applyBatchRecords"`
+	MeanApplyBatch    float64 `json:"meanApplyBatch"`
 }
 
 // ReplicationConfig parameterizes the experiment.
@@ -201,6 +208,9 @@ func RunReplication(cfg ReplicationConfig) (*ReplicationResults, error) {
 		LagSamples:        cfg.LagSamples,
 	}
 
+	batchesStart := obs.GetCounter("replica.apply_batches").Value()
+	recordsStart := obs.GetCounter("replica.apply_batch_records").Value()
+
 	var base float64
 	for _, nodes := range cfg.Nodes {
 		dir, err := os.MkdirTemp("", "p3p-repl-")
@@ -227,6 +237,11 @@ func RunReplication(cfg ReplicationConfig) (*ReplicationResults, error) {
 	}
 	res.LagP50Ms = percentile(lags, 0.50)
 	res.LagP99Ms = percentile(lags, 0.99)
+	res.ApplyBatches = obs.GetCounter("replica.apply_batches").Value() - batchesStart
+	res.ApplyBatchRecords = obs.GetCounter("replica.apply_batch_records").Value() - recordsStart
+	if res.ApplyBatches > 0 {
+		res.MeanApplyBatch = float64(res.ApplyBatchRecords) / float64(res.ApplyBatches)
+	}
 	return res, nil
 }
 
@@ -403,6 +418,8 @@ func (r *ReplicationResults) Render() string {
 	}
 	fmt.Fprintf(&b, "replication lag over %d writes: p50 %.2f ms, p99 %.2f ms\n",
 		r.LagSamples, r.LagP50Ms, r.LagP99Ms)
+	fmt.Fprintf(&b, "follower batch applies: %d batches, %d records (mean %.1f records/batch)\n",
+		r.ApplyBatches, r.ApplyBatchRecords, r.MeanApplyBatch)
 	return b.String()
 }
 

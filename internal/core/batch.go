@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+
+	"p3pdb/internal/p3p"
+	"p3pdb/internal/reffile"
+)
+
+// Mutation is one logical site edit — install, remove, reference-file
+// swap, bulk replace, or state restore — in a form that can be batched.
+// ApplyBatch applies any number of them onto a single draft and
+// publishes one successor snapshot, so replaying N logged records costs
+// one backend rebuild instead of N. The existing single-write methods
+// are one-element batches of these same values.
+type Mutation struct {
+	edit func(*stateDraft) error
+	// purgeNames lists policies whose id-bound conversion-cache entries
+	// must drop after a successful publish (removes: a reinstall under
+	// the same name must not serve stale translations).
+	purgeNames []string
+	// purgeBound drops every id-bound entry after a successful publish
+	// (replace/restore reassign every policy id).
+	purgeBound bool
+}
+
+// InstallPolicyMutation installs one parsed policy.
+func InstallPolicyMutation(pol *p3p.Policy) Mutation {
+	return Mutation{edit: func(d *stateDraft) error { return d.addPolicy(pol) }}
+}
+
+// InstallPoliciesMutation installs several parsed policies as one edit
+// (the shape of one logged install record, whose document may hold a
+// POLICIES list).
+func InstallPoliciesMutation(pols []*p3p.Policy) Mutation {
+	return Mutation{edit: func(d *stateDraft) error {
+		for _, pol := range pols {
+			if err := d.addPolicy(pol); err != nil {
+				return err
+			}
+		}
+		return nil
+	}}
+}
+
+// RemovePolicyMutation removes one named policy.
+func RemovePolicyMutation(name string) Mutation {
+	return Mutation{
+		edit:       func(d *stateDraft) error { return d.removePolicy(name) },
+		purgeNames: []string{name},
+	}
+}
+
+// InstallReferenceFileMutation installs the site's reference file.
+func InstallReferenceFileMutation(rf *reffile.RefFile) Mutation {
+	return Mutation{edit: func(d *stateDraft) error { return d.setRefFile(rf) }}
+}
+
+// ReplacePoliciesMutation replaces the entire policy set and reference
+// file (nil rf leaves the site without one). Reference-file validation
+// runs against the new set, as in ReplacePolicies.
+func ReplacePoliciesMutation(pols []*p3p.Policy, rf *reffile.RefFile) Mutation {
+	return Mutation{
+		edit: func(d *stateDraft) error {
+			d.policies = map[string]*p3p.Policy{}
+			d.ids = map[string]int{}
+			d.order = nil
+			d.refFile = nil
+			for _, pol := range pols {
+				if err := d.addPolicy(pol); err != nil {
+					return err
+				}
+			}
+			if rf != nil {
+				return d.setRefFile(rf)
+			}
+			return nil
+		},
+		purgeBound: true,
+	}
+}
+
+// RestoreStateMutation rebuilds the whole state from an export, without
+// re-validating the reference file against the policy set (RemovePolicy
+// legitimately leaves POLICY-REFs dangling; see RestoreState). Parse
+// failures surface here, before anything joins a batch.
+func RestoreStateMutation(exp StateExport) (Mutation, error) {
+	var pols []*p3p.Policy
+	for _, name := range exp.Order {
+		ps, err := p3p.ParsePolicies(exp.PolicyXML[name])
+		if err != nil {
+			return Mutation{}, fmt.Errorf("core: restore policy %s: %w", name, err)
+		}
+		pols = append(pols, ps...)
+	}
+	var rf *reffile.RefFile
+	if exp.ReferenceXML != "" {
+		var err error
+		rf, err = reffile.Parse(exp.ReferenceXML)
+		if err != nil {
+			return Mutation{}, fmt.Errorf("core: restore reference file: %w", err)
+		}
+	}
+	return Mutation{
+		edit: func(d *stateDraft) error {
+			d.policies = map[string]*p3p.Policy{}
+			d.ids = map[string]int{}
+			d.order = nil
+			for _, pol := range pols {
+				if err := d.addPolicy(pol); err != nil {
+					return err
+				}
+			}
+			d.refFile = rf
+			return nil
+		},
+		purgeBound: true,
+	}, nil
+}
+
+// ApplyBatch applies the mutations in order onto one draft of the
+// current snapshot, materializes once, and publishes once. All-or-
+// nothing across the whole batch: an edit error or rebuild failure
+// leaves the site exactly as it was and the error names the offending
+// mutation. This is the bulk half of the write path — recovery replay
+// and follower apply feed whole log tails through it, paying one
+// backend rebuild for N records.
+func (s *Site) ApplyBatch(muts []Mutation) error {
+	if len(muts) == 0 {
+		return nil
+	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	d := s.state.Load().draft()
+	for i := range muts {
+		if err := muts[i].edit(d); err != nil {
+			if len(muts) > 1 {
+				return fmt.Errorf("core: batch mutation %d of %d: %w", i+1, len(muts), err)
+			}
+			return err
+		}
+	}
+	next, err := s.materialize(d)
+	if err != nil {
+		return err
+	}
+	s.state.Store(next)
+	// Sweep artifact-cache entries for policies the new snapshot no
+	// longer holds, so removed or replaced policies don't pin their
+	// fragments and DOMs forever. materialize guarantees every policy
+	// in next has an entry, so a size match means nothing is stale.
+	if len(s.artifacts) > len(next.policies) {
+		live := make(map[*p3p.Policy]struct{}, len(next.policies))
+		for _, p := range next.policies {
+			live[p] = struct{}{}
+		}
+		for p := range s.artifacts {
+			if _, ok := live[p]; !ok {
+				delete(s.artifacts, p)
+			}
+		}
+	}
+	for i := range muts {
+		if muts[i].purgeBound {
+			s.conv.purgePolicyBound()
+		}
+		for _, name := range muts[i].purgeNames {
+			s.conv.purgePolicy(name)
+		}
+	}
+	return nil
+}

@@ -200,6 +200,13 @@ type Site struct {
 	// nil when Options.DisableConversionCache is set.
 	conv *convCache
 
+	// artifacts caches per-policy materialization products (shred
+	// fragments, augmented DOM, compact summary) across snapshot
+	// rebuilds, keyed by the immutable parsed-policy pointer. Guarded
+	// by writeMu; swept after each publish to the policies the new
+	// snapshot holds. See policyArtifacts in state.go.
+	artifacts map[*p3p.Policy]*policyArtifacts
+
 	// decisions caches whole match outcomes per (preference, policy,
 	// engine, snapshot generation); nil when
 	// Options.DisableDecisionCache is set. A hit skips the engines
@@ -268,7 +275,7 @@ func NewSiteWithOptions(opts Options) (*Site, error) {
 // client-centric baseline. This is the Figure 5 step, performed as a
 // snapshot swap: in-flight matches keep the previous state.
 func (s *Site) InstallPolicy(pol *p3p.Policy) error {
-	return s.mutate(func(d *stateDraft) error { return d.addPolicy(pol) })
+	return s.ApplyBatch([]Mutation{InstallPolicyMutation(pol)})
 }
 
 // InstallPolicyXML parses a policy document (POLICY or POLICIES) and
@@ -281,18 +288,12 @@ func (s *Site) InstallPolicyXML(doc string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	var names []string
-	err = s.mutate(func(d *stateDraft) error {
-		for _, pol := range pols {
-			if err := d.addPolicy(pol); err != nil {
-				return err
-			}
-			names = append(names, pol.Name)
-		}
-		return nil
-	})
-	if err != nil {
+	if err := s.ApplyBatch([]Mutation{InstallPoliciesMutation(pols)}); err != nil {
 		return nil, err
+	}
+	names := make([]string, len(pols))
+	for i, pol := range pols {
+		names[i] = pol.Name
 	}
 	return names, nil
 }
@@ -300,15 +301,12 @@ func (s *Site) InstallPolicyXML(doc string) ([]string, error) {
 // RemovePolicy removes a policy version from every backend, enabling the
 // policy versioning the paper lists among the architecture's advantages.
 func (s *Site) RemovePolicy(name string) error {
-	if err := s.mutate(func(d *stateDraft) error { return d.removePolicy(name) }); err != nil {
-		return err
-	}
-	// Cached XTABLE translations embed this policy's id; drop them so a
-	// reinstall under the same name cannot serve stale queries. (Ids are
-	// never reused, and xtable cache hits re-validate the id, so this is
-	// hygiene rather than a correctness requirement.)
-	s.conv.purgePolicy(name)
-	return nil
+	// The mutation carries a conversion-cache purge for this policy:
+	// cached XTABLE translations embed its id, and a reinstall under the
+	// same name must not serve stale queries. (Ids are never reused, and
+	// xtable cache hits re-validate the id, so this is hygiene rather
+	// than a correctness requirement.)
+	return s.ApplyBatch([]Mutation{RemovePolicyMutation(name)})
 }
 
 // ReplacePolicies atomically replaces the site's entire installed policy
@@ -319,28 +317,9 @@ func (s *Site) RemovePolicy(name string) error {
 // leaves the site without a reference file. On any failure the previous
 // state is kept in full.
 func (s *Site) ReplacePolicies(pols []*p3p.Policy, rf *reffile.RefFile) error {
-	err := s.mutate(func(d *stateDraft) error {
-		d.policies = map[string]*p3p.Policy{}
-		d.ids = map[string]int{}
-		d.order = nil
-		d.refFile = nil
-		for _, pol := range pols {
-			if err := d.addPolicy(pol); err != nil {
-				return err
-			}
-		}
-		if rf != nil {
-			return d.setRefFile(rf)
-		}
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	// Every policy id was reassigned; the id-bound XTABLE entries are
-	// all stale now. Policy-independent entries stay.
-	s.conv.purgePolicyBound()
-	return nil
+	// The mutation purges every id-bound XTABLE entry after the publish:
+	// each policy id was reassigned. Policy-independent entries stay.
+	return s.ApplyBatch([]Mutation{ReplacePoliciesMutation(pols, rf)})
 }
 
 // InstallReferenceFile installs the site's reference file, resolving every
@@ -450,40 +429,13 @@ func (s *Site) ExportState() StateExport {
 // observe must restore verbatim — the durability layer's checkpoints and
 // rollbacks depend on that.
 func (s *Site) RestoreState(exp StateExport) error {
-	var pols []*p3p.Policy
-	for _, name := range exp.Order {
-		ps, err := p3p.ParsePolicies(exp.PolicyXML[name])
-		if err != nil {
-			return fmt.Errorf("core: restore policy %s: %w", name, err)
-		}
-		pols = append(pols, ps...)
-	}
-	var rf *reffile.RefFile
-	if exp.ReferenceXML != "" {
-		var err error
-		rf, err = reffile.Parse(exp.ReferenceXML)
-		if err != nil {
-			return fmt.Errorf("core: restore reference file: %w", err)
-		}
-	}
-	err := s.mutate(func(d *stateDraft) error {
-		d.policies = map[string]*p3p.Policy{}
-		d.ids = map[string]int{}
-		d.order = nil
-		for _, pol := range pols {
-			if err := d.addPolicy(pol); err != nil {
-				return err
-			}
-		}
-		d.refFile = rf
-		return nil
-	})
+	m, err := RestoreStateMutation(exp)
 	if err != nil {
 		return err
 	}
-	// Every policy id was reassigned, as in ReplacePolicies.
-	s.conv.purgePolicyBound()
-	return nil
+	// The mutation purges every id-bound conversion-cache entry, as in
+	// ReplacePolicies.
+	return s.ApplyBatch([]Mutation{m})
 }
 
 // DB exposes the optimized-schema database of the current snapshot for

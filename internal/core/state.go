@@ -6,6 +6,7 @@ import (
 
 	"p3pdb/internal/compact"
 	"p3pdb/internal/p3p"
+	"p3pdb/internal/p3p/basedata"
 	"p3pdb/internal/reffile"
 	"p3pdb/internal/reldb"
 	"p3pdb/internal/shred"
@@ -110,6 +111,23 @@ type compactSummary struct {
 	cp       string
 	evidence *xmldom.Node
 	err      error
+}
+
+// policyArtifacts caches one policy's materialization products across
+// snapshot rebuilds. Policies are immutable after parse, so everything
+// derived from the policy alone — its shred fragments, augmented DOM,
+// rendered document, and compact summary — is identical in every
+// snapshot the policy appears in; rebuilding them per publish is what
+// made each write O(installed policies × shred cost). Keyed by the
+// parsed policy pointer in Site.artifacts; the fragments also embed the
+// policy id and are rebuilt if a bulk replace reassigns it. Guarded by
+// Site.writeMu: only materialize reads or writes the cache.
+type policyArtifacts struct {
+	optFrag   *shred.Fragment
+	genFrag   *shred.Fragment
+	augmented *xmldom.Node
+	xmlStr    string
+	compact   *compactSummary
 }
 
 // stateDraft is the mutable sketch a writer edits before the next
@@ -232,22 +250,48 @@ func (s *Site) materialize(d *stateDraft) (*siteState, error) {
 		gen:       stateGen.Add(1),
 		resolvers: make(map[string]func(string) (*xmldom.Node, error), len(d.policies)),
 	}
+	if s.artifacts == nil {
+		s.artifacts = map[*p3p.Policy]*policyArtifacts{}
+	}
 	for _, name := range d.order {
 		pol := d.policies[name]
 		id := d.ids[name]
-		if _, err := optStore.InstallPolicyAt(pol, id); err != nil {
+		// Reuse (or build once) everything derived from the policy
+		// alone. Parsed policies are immutable and the engines treat
+		// published DOM nodes as read-only — concurrent matches already
+		// share them within one snapshot — so sharing the augmented DOM
+		// and compact evidence across snapshots is safe.
+		art := s.artifacts[pol]
+		if art == nil {
+			dom := pol.ToDOM()
+			art = &policyArtifacts{
+				augmented: s.native.Augment(dom),
+				xmlStr:    dom.String(),
+				compact:   s.compactSummaryFor(pol),
+			}
+			s.artifacts[pol] = art
+		}
+		if art.optFrag == nil || art.optFrag.PolicyID() != id {
+			var err error
+			if art.optFrag, err = shred.BuildOptimizedFragment(basedata.Default(), pol, id); err != nil {
+				return nil, err
+			}
+			if art.genFrag, err = shred.BuildGenericFragment(basedata.Default(), pol, id); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := optStore.InstallFragment(art.optFrag); err != nil {
 			return nil, err
 		}
-		if _, err := genStore.InstallPolicyAt(pol, id); err != nil {
+		if _, err := genStore.InstallFragment(art.genFrag); err != nil {
 			return nil, err
 		}
-		dom := pol.ToDOM()
-		st.xml.Put(policyDoc(name), s.native.Augment(dom))
-		st.policyXML[name] = dom.String()
+		st.xml.Put(policyDoc(name), art.augmented)
+		st.policyXML[name] = art.xmlStr
 		st.resolvers[name] = st.xml.Resolver(map[string]string{
 			xqgen.ApplicableDocument: policyDoc(name),
 		})
-		st.compact[name] = s.compactSummaryFor(pol)
+		st.compact[name] = art.compact
 	}
 	if d.refFile != nil {
 		// The relational mirror only stores refs that resolve; the
@@ -301,21 +345,11 @@ func (s *Site) compactSummaryFor(pol *p3p.Policy) *compactSummary {
 	return cs
 }
 
-// mutate is the single write path: it serializes writers, drafts from
-// the current snapshot, applies the edit, materializes the successor
-// aside, and publishes it atomically. Matches in flight keep whatever
-// snapshot they loaded; new matches see the successor.
+// mutate is the single-edit write path: a one-element batch through
+// ApplyBatch (batch.go), which serializes writers, drafts from the
+// current snapshot, applies the edit, materializes the successor aside,
+// and publishes it atomically. Matches in flight keep whatever snapshot
+// they loaded; new matches see the successor.
 func (s *Site) mutate(edit func(*stateDraft) error) error {
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
-	d := s.state.Load().draft()
-	if err := edit(d); err != nil {
-		return err
-	}
-	next, err := s.materialize(d)
-	if err != nil {
-		return err
-	}
-	s.state.Store(next)
-	return nil
+	return s.ApplyBatch([]Mutation{{edit: edit}})
 }

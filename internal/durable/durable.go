@@ -23,9 +23,12 @@
 //     be silently lost.
 //
 // The Tenant is also the durable mutation front-door: its mutation
-// methods apply the change to the site and append the record under one
-// lock, so a checkpoint can never capture a site state whose mutations
-// are not yet in the log (which would double-apply them on replay).
+// methods run a group-apply pipeline — concurrent mutations register in
+// a queue, and whoever wins the journal lock applies everything queued
+// as one core.ApplyBatch (one snapshot rebuild), appends the records,
+// and shares one fsync. Apply and append happen under one lock, so a
+// checkpoint can never capture a site state whose mutations are not yet
+// in the log (which would double-apply them on replay).
 package durable
 
 import (
@@ -33,11 +36,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
 
 	"p3pdb/internal/core"
+	"p3pdb/internal/faultkit"
 	"p3pdb/internal/obs"
 	"p3pdb/internal/p3p"
 	"p3pdb/internal/reffile"
@@ -53,6 +58,8 @@ var (
 	obsReplayed    = obs.GetCounter("durable.replayed_records")
 	obsTorn        = obs.GetCounter("durable.torn_tail_truncations")
 	obsRollbacks   = obs.GetCounter("durable.append_rollbacks")
+	obsGroups      = obs.GetCounter("durable.apply_groups")
+	obsGroupMuts   = obs.GetCounter("durable.apply_group_mutations")
 	obsOpenLogs    = obs.GetGauge("durable.open_logs")
 )
 
@@ -76,9 +83,12 @@ const (
 	// FsyncAlways syncs after every appended record: a 2xx means the
 	// mutation survives power loss. The slowest and strongest setting.
 	FsyncAlways FsyncPolicy = iota
-	// FsyncInterval syncs on a background timer (Options.FsyncInterval):
-	// a crash can lose at most the last interval's acknowledgements, the
-	// classic group-commit trade.
+	// FsyncInterval is true group commit: an acknowledgement waits for
+	// the coalesced fsync covering its record, so a 2xx still survives
+	// power loss — concurrent mutations share one fsync (and one
+	// snapshot rebuild) instead of paying one each. The background
+	// timer (Options.FsyncInterval) is a hygiene backstop, not the ack
+	// path.
 	FsyncInterval
 	// FsyncNever leaves syncing to the OS: survives process kills (the
 	// page cache persists) but not power loss.
@@ -115,8 +125,8 @@ func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
 type Options struct {
 	// Fsync is the log sync policy; the zero value is FsyncAlways.
 	Fsync FsyncPolicy
-	// FsyncInterval is the background sync period for FsyncInterval;
-	// zero means 100ms.
+	// FsyncInterval is the hygiene sync period for FsyncInterval (the
+	// ack path is the group commit itself); zero means 100ms.
 	FsyncInterval time.Duration
 	// CheckpointEvery triggers an automatic snapshot checkpoint after
 	// this many logged records; zero means 256. Negative disables
@@ -202,8 +212,28 @@ type Tenant struct {
 	logBytes int64
 	since    int  // records since the last checkpoint
 	torn     bool // recovery truncated a torn tail
-	needSync bool // interval mode: bytes appended since last sync
 	syncErr  error
+
+	// appendSeq counts appended records; syncedSeq the count covered by
+	// the last successful fsync. They replace a bare needs-sync flag so
+	// a sync that started before later appends never claims to cover
+	// them.
+	appendSeq uint64
+	syncedSeq uint64
+
+	// batch is the open group-commit window (FsyncInterval only): the
+	// first group since the last fsync opens it, capturing the
+	// rollback point; every group until the batch commits joins it.
+	// One fsync acknowledges every mutation in the window, and one
+	// failed fsync fails them all.
+	batch *commitBatch
+
+	// qmu guards queue, the group-apply registration list: a mutation
+	// registers here before contending for mu, so whoever wins the
+	// lock applies everything registered so far as one group — one
+	// snapshot rebuild and one log pass for N concurrent writers.
+	qmu   sync.Mutex
+	queue []*mutOp
 
 	// changed is closed and replaced whenever a record is appended, so
 	// WAL streamers can long-poll for new records without spinning.
@@ -289,7 +319,43 @@ func (s *Store) OpenTenant(name string) (*Tenant, error) {
 	return t, nil
 }
 
-// syncLoop is the interval-fsync group-commit timer.
+// commitBatch is one group-commit window: the appends acknowledged by a
+// single coalesced fsync. The rollback fields capture the tenant's
+// position before the batch's first record, so a failed fsync can
+// truncate every record in the window away and roll the site back to
+// the last acknowledged state — no waiter gets a 2xx that rides a dead
+// fsync, and none keeps state the log does not hold.
+type commitBatch struct {
+	ops []*mutOp
+
+	site      *core.Site
+	prevExp   core.StateExport
+	prevBytes int64
+	prevLSN   uint64
+	prevSince int
+}
+
+// mutOp is one durable mutation in flight through the group-apply
+// pipeline: its log record, its site edit in batchable form, and the
+// channel its writer waits on for the durable outcome.
+type mutOp struct {
+	site *core.Site
+	rec  *Record
+	mut  core.Mutation
+	err  error
+	done chan struct{}
+}
+
+// resolve delivers the mutation's final outcome to its waiting writer.
+func (o *mutOp) resolve(err error) {
+	o.err = err
+	close(o.done)
+}
+
+// syncLoop is interval mode's hygiene timer: batches are normally
+// committed by their leader append, so the ticker only resolves
+// anything a leader never got to (and keeps the legacy "flush within
+// one interval" property for unsynced bytes).
 func (t *Tenant) syncLoop() {
 	defer close(t.syncDone)
 	ticker := time.NewTicker(t.opts.FsyncInterval)
@@ -299,18 +365,83 @@ func (t *Tenant) syncLoop() {
 		case <-t.stopSync:
 			return
 		case <-ticker.C:
-			t.mu.Lock()
-			if !t.closed && t.needSync {
-				if err := syncFile(t.f); err != nil {
-					t.syncErr = err
-				} else {
-					t.needSync = false
-					t.syncErr = nil
-				}
-			}
-			t.mu.Unlock()
 		}
+		t.mu.Lock()
+		if !t.closed {
+			_ = t.commitLocked()
+		}
+		t.mu.Unlock()
 	}
+}
+
+// needsSyncLocked reports whether records were appended since the last
+// successful fsync.
+func (t *Tenant) needsSyncLocked() bool { return t.appendSeq != t.syncedSeq }
+
+// commitLocked performs one coalesced fsync and resolves the open
+// commit batch. Holding t.mu across the fsync means no append can slip
+// into the window after it is judged: appends blocked on the lock open
+// the next batch and ride the next fsync. On success every waiter in
+// the batch is acknowledged; on failure the whole window is truncated
+// from the log, the site rolled back to the batch's first-record
+// snapshot, and every waiter fails with the fsync's error. Returns the
+// fsync error, if any.
+func (t *Tenant) commitLocked() error {
+	b := t.batch
+	t.batch = nil
+	if b == nil {
+		// No waiters: hygiene flush for any unsynced bytes (none in
+		// steady state, since every interval-mode append waits).
+		if !t.needsSyncLocked() || t.opts.Fsync == FsyncNever {
+			return nil
+		}
+		target := t.appendSeq
+		if err := syncFile(t.f); err != nil {
+			t.syncErr = err
+			return err
+		}
+		t.syncedSeq = target
+		t.syncErr = nil
+		return nil
+	}
+	target := t.appendSeq
+	err := faultkit.Inject(faultkit.PointDurableGroupCommit)
+	if err == nil {
+		err = syncFile(t.f)
+	}
+	if err == nil {
+		t.syncedSeq = target
+		t.syncErr = nil
+		for _, op := range b.ops {
+			op.resolve(nil)
+		}
+		return nil
+	}
+	t.syncErr = err
+	// The coalesced fsync failed: none of the batch's records may stay
+	// acknowledged. Truncate the window away so the on-disk log remains
+	// a clean prefix of acknowledged records, and roll the site back so
+	// memory never runs ahead of the log.
+	if terr := t.f.Truncate(b.prevBytes); terr == nil {
+		_, _ = t.f.Seek(b.prevBytes, 0)
+	} else {
+		// The unacknowledged window is stuck on disk; refuse further
+		// appends, as in appendLocked.
+		t.closed = true
+		_ = t.f.Close()
+		err = errors.Join(err, terr)
+	}
+	t.logBytes = b.prevBytes
+	t.lsn = b.prevLSN
+	t.since = b.prevSince
+	t.syncedSeq = t.appendSeq
+	if rerr := restore(b.site, b.prevExp); rerr != nil {
+		err = errors.Join(err, fmt.Errorf("durable: rollback failed, memory ahead of log: %w", rerr))
+	}
+	for _, op := range b.ops {
+		op.resolve(&AppendError{Err: err})
+	}
+	return err
 }
 
 // Name returns the tenant name the journal was opened under.
@@ -351,20 +482,22 @@ func (t *Tenant) Status() Status {
 	return st
 }
 
-// Close stops the sync timer, flushes the log, and closes the file.
-// Safe to call twice.
+// Close resolves any open commit batch, stops the sync timer, flushes
+// the log, and closes the file. Safe to call twice.
 func (t *Tenant) Close() error {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		return nil
 	}
-	t.closed = true
-	var err error
-	if t.needSync && t.opts.Fsync != FsyncNever {
-		err = syncFile(t.f)
+	// Resolve the open batch (fsync and acknowledge, or roll back) so
+	// no waiter hangs on a closed journal.
+	err := t.commitLocked()
+	var cerr error
+	if !t.closed {
+		t.closed = true
+		cerr = t.f.Close()
 	}
-	cerr := t.f.Close()
 	t.mu.Unlock()
 	if t.stopSync != nil {
 		close(t.stopSync)
@@ -380,7 +513,11 @@ func (t *Tenant) Close() error {
 // acknowledged — the record's bytes are truncated away so the on-disk
 // log remains a clean prefix of acknowledged records; otherwise a
 // rolled-back mutation would resurrect on replay.
-func (t *Tenant) appendLocked(rec *Record) error {
+//
+// sync=false defers FsyncAlways's per-record fsync to the caller, which
+// must issue one covering fsync for the run of appends (the batched
+// group path) and roll the whole run back if it fails.
+func (t *Tenant) appendLocked(rec *Record, sync bool) error {
 	if t.closed {
 		return ErrClosed
 	}
@@ -391,7 +528,7 @@ func (t *Tenant) appendLocked(rec *Record) error {
 	}
 	prev := t.logBytes
 	n, err := appendFrame(t.f, frame)
-	if err == nil && t.opts.Fsync == FsyncAlways {
+	if err == nil && sync && t.opts.Fsync == FsyncAlways {
 		err = syncFile(t.f)
 	}
 	if err != nil {
@@ -410,13 +547,15 @@ func (t *Tenant) appendLocked(rec *Record) error {
 	t.logBytes = prev + n
 	t.lsn++
 	t.since++
+	t.appendSeq++
+	if sync && t.opts.Fsync == FsyncAlways {
+		// The fsync above covered this append.
+		t.syncedSeq = t.appendSeq
+	}
 	close(t.changed)
 	t.changed = make(chan struct{})
 	obsAppends.Inc()
 	obsBytes.Add(n)
-	if t.opts.Fsync == FsyncInterval {
-		t.needSync = true
-	}
 	return nil
 }
 
@@ -451,58 +590,245 @@ func parseExport(order []string, docs map[string]string, ref string) ([]*p3p.Pol
 	return pols, rf, nil
 }
 
-// apply runs one site mutation and logs its record under the journal
-// lock: the mutation is durable (per the fsync policy) before apply
-// returns, and a concurrent Checkpoint can never capture applied-but-
-// unlogged state. If the append fails the site is rolled back to the
-// pre-mutation export, so an error response never leaves memory ahead
-// of the log.
-func (t *Tenant) apply(site *core.Site, rec *Record, mutate func() error) error {
+// apply queues one mutation for the group-apply pipeline and waits for
+// its durable outcome. A mutation registers in the queue before
+// contending for the journal lock, so whoever wins the lock drains
+// everything registered so far as one group: the applies collapse into
+// a single core.ApplyBatch (one snapshot rebuild for N concurrent
+// writers), the records append in queue order, and under FsyncInterval
+// the whole group joins the open commit batch, whose coalesced fsync
+// resolves every writer with that fsync's real outcome.
+//
+// The contract is unchanged from the one-mutation-at-a-time design: the
+// mutation is durable (per the fsync policy) before apply returns, a
+// concurrent Checkpoint can never capture applied-but-unlogged state,
+// and on any durability failure the site is rolled back, so an error
+// response never leaves memory ahead of the log.
+func (t *Tenant) apply(site *core.Site, rec *Record, mut core.Mutation) error {
+	op := &mutOp{site: site, rec: rec, mut: mut, done: make(chan struct{})}
+	t.qmu.Lock()
+	t.queue = append(t.queue, op)
+	t.qmu.Unlock()
+
+	// Yield between registering and contending: writers woken together
+	// (say, by the previous group's resolution) all register before the
+	// first of them wins the lock, so the winner drains them as one
+	// group. Without this the wake-up train processes one mutation per
+	// lock acquisition and the batch never widens; for a lone writer
+	// the yield is a no-op.
+	runtime.Gosched()
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed {
-		return &AppendError{Err: ErrClosed}
+	var created *commitBatch
+	select {
+	case <-op.done:
+		// An earlier lock winner already carried this mutation through
+		// its group; nothing left to do under the lock.
+	default:
+		created = t.processQueueLocked()
 	}
-	exp := site.ExportState()
-	if err := mutate(); err != nil {
-		return err
-	}
-	if err := t.appendLocked(rec); err != nil {
-		if rerr := restore(site, exp); rerr != nil {
-			err = errors.Join(err, fmt.Errorf("durable: rollback failed, memory ahead of log: %w", rerr))
+	t.mu.Unlock()
+	if created != nil {
+		// The batch's creator commits it. The yield is the coalescing
+		// window: writers already blocked on the lock get scheduled,
+		// append, and join the batch before the creator re-acquires it —
+		// without it the creator barges back in ahead of the waiters it
+		// just woke (acute on one CPU) and every batch holds one group.
+		// A lone writer's yield is a no-op, so the serial path stays one
+		// append + one fsync with no goroutine handoff. The sync loop's
+		// ticker remains as hygiene for anything a creator never got to.
+		runtime.Gosched()
+		t.mu.Lock()
+		if t.batch == created {
+			_ = t.commitLocked()
 		}
-		return &AppendError{Err: err}
+		t.mu.Unlock()
 	}
-	return nil
+	<-op.done
+	return op.err
+}
+
+// processQueueLocked drains the registration queue and carries every
+// queued mutation through apply + append as one group, resolving each
+// writer (or, under FsyncInterval, parking it on the commit batch).
+// Returns the commit batch this call opened, if any, so the caller can
+// commit it after releasing the lock.
+//
+// The group takes the batched path — one ApplyBatch, one snapshot
+// rebuild — when every mutation targets the same site. If that batch
+// fails (it is all-or-nothing, so one bad mutation poisons it), the
+// group falls back to per-mutation applies, reproducing exactly the
+// outcome of the unbatched design: a bad mutation fails alone with its
+// own error, the rest proceed.
+func (t *Tenant) processQueueLocked() *commitBatch {
+	t.qmu.Lock()
+	ops := t.queue
+	t.queue = nil
+	t.qmu.Unlock()
+	if len(ops) == 0 {
+		return nil
+	}
+	if t.closed {
+		for _, op := range ops {
+			op.resolve(&AppendError{Err: ErrClosed})
+		}
+		return nil
+	}
+
+	obsGroups.Inc()
+	obsGroupMuts.Add(int64(len(ops)))
+
+	site := ops[0].site
+	prevExp := site.ExportState()
+	prevBytes, prevLSN, prevSince := t.logBytes, t.lsn, t.since
+	prevSeq := t.appendSeq
+
+	batched := len(ops) > 1
+	for _, op := range ops {
+		if op.site != site {
+			batched = false
+			break
+		}
+	}
+	if batched {
+		muts := make([]core.Mutation, len(ops))
+		for i, op := range ops {
+			muts[i] = op.mut
+		}
+		batched = site.ApplyBatch(muts) == nil
+	}
+
+	applied := ops
+	if batched {
+		// One rebuild covered every mutation; now log them. The group's
+		// applies published as one snapshot, so a failure mid-group
+		// cannot leave the earlier ones acknowledged: the whole group
+		// rolls back — log truncated to the group start, site restored —
+		// and every writer in it fails.
+		var err error
+		for _, op := range ops {
+			if err = t.appendLocked(op.rec, false); err != nil {
+				break
+			}
+		}
+		if err == nil && t.opts.Fsync == FsyncAlways {
+			// One covering fsync acknowledges the whole group — the same
+			// guarantee as per-record syncs (no record is acknowledged
+			// before it is stable) at a fraction of the cost.
+			target := t.appendSeq
+			if err = syncFile(t.f); err == nil {
+				t.syncedSeq = target
+			}
+		}
+		if err != nil {
+			// appendLocked already truncated its own frame (or sealed
+			// the journal if it could not); peel back the group's
+			// earlier records the same way.
+			if !t.closed {
+				if terr := t.f.Truncate(prevBytes); terr == nil {
+					_, _ = t.f.Seek(prevBytes, 0)
+				} else {
+					t.closed = true
+					_ = t.f.Close()
+					err = errors.Join(err, terr)
+				}
+			}
+			t.logBytes = prevBytes
+			t.lsn = prevLSN
+			t.since = prevSince
+			if t.batch == nil {
+				// Nothing older is awaiting a sync, so the truncated
+				// prefix is fully covered; with an open batch, leave
+				// the counters pending for its fsync.
+				t.appendSeq = prevSeq
+				t.syncedSeq = prevSeq
+			}
+			if rerr := restore(site, prevExp); rerr != nil {
+				err = errors.Join(err, fmt.Errorf("durable: rollback failed, memory ahead of log: %w", rerr))
+			}
+			for _, o := range ops {
+				o.resolve(&AppendError{Err: err})
+			}
+			return nil
+		}
+	} else {
+		// Serial path: each mutation applies and logs independently, with
+		// its own rollback point, so each writer sees exactly the error
+		// and side effects the unbatched path produced.
+		applied = make([]*mutOp, 0, len(ops))
+		for _, op := range ops {
+			exp := op.site.ExportState()
+			if err := op.site.ApplyBatch([]core.Mutation{op.mut}); err != nil {
+				op.resolve(err)
+				continue
+			}
+			if err := t.appendLocked(op.rec, true); err != nil {
+				if rerr := restore(op.site, exp); rerr != nil {
+					err = errors.Join(err, fmt.Errorf("durable: rollback failed, memory ahead of log: %w", rerr))
+				}
+				op.resolve(&AppendError{Err: err})
+				continue
+			}
+			applied = append(applied, op)
+		}
+	}
+
+	if len(applied) == 0 {
+		return nil
+	}
+	if t.opts.Fsync != FsyncInterval {
+		// FsyncAlways synced inside appendLocked; FsyncNever leaves
+		// syncing to the OS. Either way the group is acknowledged.
+		for _, op := range applied {
+			op.resolve(nil)
+		}
+		return nil
+	}
+	var created *commitBatch
+	if t.batch == nil {
+		created = &commitBatch{
+			site:      site,
+			prevExp:   prevExp,
+			prevBytes: prevBytes,
+			prevLSN:   prevLSN,
+			prevSince: prevSince,
+		}
+		t.batch = created
+	}
+	t.batch.ops = append(t.batch.ops, applied...)
+	return created
 }
 
 // InstallPolicyXML durably installs a policy document: applied to the
-// site, then logged, before returning.
+// site, then logged, before returning. The document is parsed here, so
+// a malformed document fails before it ever reaches the pipeline (the
+// same unwrapped parse error the site method returns).
 func (t *Tenant) InstallPolicyXML(site *core.Site, doc string) ([]string, error) {
-	var names []string
-	err := t.apply(site, &Record{Op: OpInstall, Doc: doc}, func() error {
-		var err error
-		names, err = site.InstallPolicyXML(doc)
-		return err
-	})
+	pols, err := p3p.ParsePolicies(doc)
 	if err != nil {
 		return nil, err
+	}
+	if err := t.apply(site, &Record{Op: OpInstall, Doc: doc}, core.InstallPoliciesMutation(pols)); err != nil {
+		return nil, err
+	}
+	names := make([]string, len(pols))
+	for i, pol := range pols {
+		names[i] = pol.Name
 	}
 	return names, nil
 }
 
 // RemovePolicy durably removes a named policy.
 func (t *Tenant) RemovePolicy(site *core.Site, name string) error {
-	return t.apply(site, &Record{Op: OpRemove, Name: name}, func() error {
-		return site.RemovePolicy(name)
-	})
+	return t.apply(site, &Record{Op: OpRemove, Name: name}, core.RemovePolicyMutation(name))
 }
 
 // InstallReferenceFileXML durably installs the reference file.
 func (t *Tenant) InstallReferenceFileXML(site *core.Site, doc string) error {
-	return t.apply(site, &Record{Op: OpReference, Doc: doc}, func() error {
-		return site.InstallReferenceFileXML(doc)
-	})
+	rf, err := reffile.Parse(doc)
+	if err != nil {
+		return err
+	}
+	return t.apply(site, &Record{Op: OpReference, Doc: doc}, core.InstallReferenceFileMutation(rf))
 }
 
 // Replace durably replaces the whole policy set (and reference file,
@@ -513,9 +839,7 @@ func (t *Tenant) Replace(site *core.Site, docs []string, ref string) error {
 	if err != nil {
 		return err
 	}
-	return t.apply(site, &Record{Op: OpReplace, Docs: docs, Ref: ref}, func() error {
-		return site.ReplacePolicies(pols, rf)
-	})
+	return t.apply(site, &Record{Op: OpReplace, Docs: docs, Ref: ref}, core.ReplacePoliciesMutation(pols, rf))
 }
 
 // orderOf and docsMap adapt a bare document list to parseExport's
@@ -550,6 +874,16 @@ func (t *Tenant) checkpointLocked(site *core.Site) error {
 	if t.closed {
 		return ErrClosed
 	}
+	// Resolve any open commit batch first: its waiters are owed the
+	// outcome of a real fsync, and a rollback must happen before the
+	// snapshot captures the site (the waiters see their own error; the
+	// checkpoint then covers whichever state survived).
+	_ = t.commitLocked()
+	if t.closed {
+		// The batch's rollback could not restore a clean log prefix and
+		// sealed the journal.
+		return ErrClosed
+	}
 	exp := site.ExportState()
 	snap := &Snapshot{
 		LSN:       t.lsn,
@@ -562,11 +896,12 @@ func (t *Tenant) checkpointLocked(site *core.Site) error {
 	// up to N lost from an unsynced log (harmless here because the
 	// snapshot embeds the state — but the invariant keeps reasoning
 	// local).
-	if t.needSync && t.opts.Fsync != FsyncNever {
+	if t.needsSyncLocked() && t.opts.Fsync != FsyncNever {
+		target := t.appendSeq
 		if err := syncFile(t.f); err != nil {
 			return err
 		}
-		t.needSync = false
+		t.syncedSeq = target
 	}
 	if err := writeSnapshot(t.dir, snap); err != nil {
 		return err
@@ -614,27 +949,69 @@ func (t *Tenant) ReplayInto(site *core.Site) error {
 	snap, records := t.pending, t.pendingRecords
 	t.pending, t.pendingRecords = nil, nil
 
-	if snap != nil {
-		exp := core.StateExport{Order: snap.Order, PolicyXML: snap.Policies, ReferenceXML: snap.Reference}
-		if err := site.RestoreState(exp); err != nil {
-			return fmt.Errorf("durable: snapshot replay: %w", err)
+	// Fast path: translate the snapshot and every live tail record into
+	// one mutation batch, so the whole recovery costs a single snapshot
+	// rebuild instead of one per record. Any failure — a record that
+	// refuses to translate or a batch apply error — falls back to the
+	// serial path, which reproduces the pre-batching error formats and
+	// prefix-applied semantics exactly. (ApplyBatch is all-or-nothing,
+	// so a failed batch leaves the site untouched for the retry.)
+	replayed, batchErr := t.replayBatch(site, snap, records)
+	if batchErr != nil {
+		replayed = 0
+		if snap != nil {
+			exp := core.StateExport{Order: snap.Order, PolicyXML: snap.Policies, ReferenceXML: snap.Reference}
+			if err := site.RestoreState(exp); err != nil {
+				return fmt.Errorf("durable: snapshot replay: %w", err)
+			}
 		}
-	}
-	replayed := 0
-	for _, rec := range records {
-		if rec.LSN <= t.snapLSN {
-			// Covered by the snapshot: a crash landed between snapshot
-			// rename and log truncation.
-			continue
+		for i := range records {
+			rec := &records[i]
+			if rec.LSN <= t.snapLSN {
+				// Covered by the snapshot: a crash landed between
+				// snapshot rename and log truncation.
+				continue
+			}
+			if err := applyRecord(site, rec); err != nil {
+				return fmt.Errorf("durable: replaying record %d (%s): %w", rec.LSN, rec.Op, err)
+			}
+			replayed++
 		}
-		if err := applyRecord(site, &rec); err != nil {
-			return fmt.Errorf("durable: replaying record %d (%s): %w", rec.LSN, rec.Op, err)
-		}
-		replayed++
 	}
 	obsRecoveries.Inc()
 	obsReplayed.Add(int64(replayed))
 	return nil
+}
+
+// replayBatch is ReplayInto's bulk path: snapshot restore plus the log
+// tail as one core.ApplyBatch. Returns the number of tail records it
+// covered; any error means nothing was applied.
+func (t *Tenant) replayBatch(site *core.Site, snap *Snapshot, records []Record) (int, error) {
+	muts := make([]core.Mutation, 0, len(records)+1)
+	if snap != nil {
+		m, err := core.RestoreStateMutation(core.StateExport{Order: snap.Order, PolicyXML: snap.Policies, ReferenceXML: snap.Reference})
+		if err != nil {
+			return 0, err
+		}
+		muts = append(muts, m)
+	}
+	replayed := 0
+	for i := range records {
+		rec := &records[i]
+		if rec.LSN <= t.snapLSN {
+			continue
+		}
+		m, err := MutationForRecord(rec)
+		if err != nil {
+			return 0, err
+		}
+		muts = append(muts, m)
+		replayed++
+	}
+	if err := site.ApplyBatch(muts); err != nil {
+		return 0, err
+	}
+	return replayed, nil
 }
 
 // ApplyRecord replays one logged mutation through the site's public
@@ -644,6 +1021,73 @@ func (t *Tenant) ReplayInto(site *core.Site) error {
 // produced, never a partial one.
 func ApplyRecord(site *core.Site, rec *Record) error {
 	return applyRecord(site, rec)
+}
+
+// MutationForRecord translates one logged mutation into a core.Mutation
+// so that many records can land through a single batch apply (one
+// snapshot rebuild for the lot). Parsing happens here, eagerly, so a
+// malformed record fails before any edit touches a draft.
+func MutationForRecord(rec *Record) (core.Mutation, error) {
+	switch rec.Op {
+	case OpInstall:
+		pols, err := p3p.ParsePolicies(rec.Doc)
+		if err != nil {
+			return core.Mutation{}, err
+		}
+		return core.InstallPoliciesMutation(pols), nil
+	case OpRemove:
+		return core.RemovePolicyMutation(rec.Name), nil
+	case OpReference:
+		rf, err := reffile.Parse(rec.Doc)
+		if err != nil {
+			return core.Mutation{}, err
+		}
+		return core.InstallReferenceFileMutation(rf), nil
+	case OpReplace:
+		pols, rf, err := parseExport(orderOf(rec.Docs), docsMap(rec.Docs), rec.Ref)
+		if err != nil {
+			return core.Mutation{}, err
+		}
+		return core.ReplacePoliciesMutation(pols, rf), nil
+	case OpState:
+		exp := core.StateExport{Order: orderOf(rec.Docs), PolicyXML: docsMap(rec.Docs), ReferenceXML: rec.Ref}
+		return core.RestoreStateMutation(exp)
+	}
+	return core.Mutation{}, fmt.Errorf("durable: unknown op %q", rec.Op)
+}
+
+// ApplyRecords replays a run of logged mutations through one snapshot
+// swap — the follower's batch-drain path. If the batch refuses to
+// translate or apply, it falls back to serial per-record apply so
+// callers observe the same error and the same applied prefix as the
+// one-record path (ApplyBatch is all-or-nothing, so the fallback starts
+// from untouched state). Returns how many records were applied.
+func ApplyRecords(site *core.Site, recs []*Record) (int, error) {
+	if len(recs) == 1 {
+		if err := applyRecord(site, recs[0]); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	}
+	muts := make([]core.Mutation, 0, len(recs))
+	batched := true
+	for _, rec := range recs {
+		m, err := MutationForRecord(rec)
+		if err != nil {
+			batched = false
+			break
+		}
+		muts = append(muts, m)
+	}
+	if batched && site.ApplyBatch(muts) == nil {
+		return len(recs), nil
+	}
+	for i, rec := range recs {
+		if err := applyRecord(site, rec); err != nil {
+			return i, err
+		}
+	}
+	return len(recs), nil
 }
 
 // applyRecord replays one logged mutation through the site's public

@@ -338,7 +338,7 @@ func TestIntervalFsyncFlushes(t *testing.T) {
 	deadline := time.Now().Add(2 * time.Second)
 	for {
 		tn.mu.Lock()
-		flushed := !tn.needSync
+		flushed := !tn.needsSyncLocked()
 		tn.mu.Unlock()
 		if flushed {
 			break

@@ -2,6 +2,8 @@ package durable
 
 import (
 	"errors"
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -133,8 +135,9 @@ func TestRenameFaultFailsCheckpoint(t *testing.T) {
 	mustEqualState(t, site, fresh)
 }
 
-// TestFsyncFaultIntervalSurfacesInStatus: a failing group-commit sync is
-// reported on /durability rather than swallowed.
+// TestFsyncFaultIntervalSurfacesInStatus: a failing group-commit sync
+// fails the waiting append — no acknowledgement rides a dead fsync —
+// and is reported on /durability rather than swallowed.
 func TestFsyncFaultIntervalSurfacesInStatus(t *testing.T) {
 	t.Cleanup(faultkit.Reset)
 	store := newStore(t, Options{Fsync: FsyncInterval, FsyncInterval: 5 * time.Millisecond, CheckpointEvery: -1})
@@ -143,24 +146,87 @@ func TestFsyncFaultIntervalSurfacesInStatus(t *testing.T) {
 	if err := faultkit.Enable(faultkit.PointDurableFsync + ":error"); err != nil {
 		t.Fatal(err)
 	}
+	var appendErr *AppendError
+	if _, err := tn.InstallPolicyXML(site, polDoc("a")); !errors.As(err, &appendErr) {
+		t.Fatalf("install under fsync fault: %v", err)
+	}
+	if tn.Status().SyncError == "" {
+		t.Fatal("sync error not surfaced in Status")
+	}
+	if got := site.PolicyNames(); len(got) != 0 {
+		t.Fatalf("failed append left state applied: %v", got)
+	}
+
+	// Once the fault clears the next append commits and clears the error.
+	faultkit.Reset()
 	if _, err := tn.InstallPolicyXML(site, polDoc("a")); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(2 * time.Second)
-	for tn.Status().SyncError == "" {
-		if time.Now().After(deadline) {
-			t.Fatal("sync error never surfaced in Status")
+	if st := tn.Status(); st.SyncError != "" {
+		t.Fatalf("sync error not cleared after recovery: %q", st.SyncError)
+	}
+}
+
+// TestGroupCommitFaultFailsEveryWaiter arms the durable.groupcommit
+// point: one dead coalesced fsync must fail every append riding the
+// batch with a typed AppendError — no acknowledgement may outlive its
+// fsync — and must roll the site and the log back to the batch's start.
+func TestGroupCommitFaultFailsEveryWaiter(t *testing.T) {
+	t.Cleanup(faultkit.Reset)
+	store := newStore(t, Options{Fsync: FsyncInterval, FsyncInterval: time.Hour, CheckpointEvery: -1})
+	site := newSite(t)
+	tn := openTenant(t, store, "t")
+	if err := faultkit.Enable(faultkit.PointDurableGroupCommit + ":error"); err != nil {
+		t.Fatal(err)
+	}
+	const writers = 8
+	errs := make([]error, writers)
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = tn.InstallPolicyXML(site, polDoc(fmt.Sprintf("p%d", i)))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		var ae *AppendError
+		if !errors.As(err, &ae) {
+			t.Fatalf("writer %d: want AppendError, got %v", i, err)
 		}
-		time.Sleep(2 * time.Millisecond)
+		if !errors.Is(err, faultkit.ErrInjected) {
+			t.Fatalf("writer %d: injected fault not surfaced: %v", i, err)
+		}
+	}
+	if got := site.PolicyNames(); len(got) != 0 {
+		t.Fatalf("failed group commits left state applied: %v", got)
+	}
+	st := tn.Status()
+	if st.LogBytes != 0 {
+		t.Fatalf("failed group commits left %d log bytes", st.LogBytes)
+	}
+	if st.SyncError == "" {
+		t.Fatal("group-commit failure not surfaced in Status")
 	}
 
-	// Once the fault clears the next tick flushes and clears the error.
+	// The journal survives a failed batch: with the fault cleared, the
+	// next append commits, clears the sync error, and recovery replays
+	// exactly the acknowledged state.
 	faultkit.Reset()
-	deadline = time.Now().Add(2 * time.Second)
-	for tn.Status().SyncError != "" {
-		if time.Now().After(deadline) {
-			t.Fatal("sync error never cleared after recovery")
-		}
-		time.Sleep(2 * time.Millisecond)
+	if _, err := tn.InstallPolicyXML(site, polDoc("ok")); err != nil {
+		t.Fatal(err)
 	}
+	if st := tn.Status(); st.SyncError != "" {
+		t.Fatalf("sync error not cleared: %q", st.SyncError)
+	}
+	if err := tn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tn2 := openTenant(t, store, "t")
+	fresh := newSite(t)
+	if err := tn2.ReplayInto(fresh); err != nil {
+		t.Fatal(err)
+	}
+	mustEqualState(t, site, fresh)
 }

@@ -64,6 +64,11 @@ const (
 	PointDurableWrite  = "durable.write"   // WAL append: fires as a short (torn) write
 	PointDurableFsync  = "durable.fsync"   // WAL/snapshot fsync failure
 	PointDurableRename = "durable.rename"  // snapshot temp-file rename failure
+	// PointDurableGroupCommit guards the coalesced fsync of the
+	// interval-mode group-commit path: an armed fault fails one whole
+	// commit batch, which must fail every append waiting on it — no
+	// acknowledgement may ride a dead fsync.
+	PointDurableGroupCommit = "durable.groupcommit"
 	// PointDecisionLookup guards the decision-cache probe. An armed fault
 	// does not fail the match: it forces a cache miss, so drills can prove
 	// the engine fallback path stays correct when the cache is cold,

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -84,6 +85,10 @@ type Options struct {
 	// fail with ErrReadOnly, and tenants appear only via Install (the
 	// replication apply path).
 	ReadOnly bool
+	// RecoveryParallelism bounds the worker pool LoadAll and ReloadAll
+	// use to recover or reload tenants concurrently. Zero means one
+	// worker per CPU; 1 recovers serially.
+	RecoveryParallelism int
 }
 
 // entry is one resident tenant. Entries are stored fully loaded, so the
@@ -639,16 +644,67 @@ func (r *Registry) Close() error {
 	return errors.Join(errs...)
 }
 
-// ReloadAll reloads every resident dir-backed tenant (the SIGHUP path),
-// joining per-tenant failures; a tenant whose directory vanished is
-// dropped. Tenants keep serving their previous snapshot when their
-// reload fails.
+// workers returns the recovery pool width: RecoveryParallelism, or one
+// worker per CPU when unset, never more than the work items.
+func (r *Registry) workers(items int) int {
+	n := r.opts.RecoveryParallelism
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > items {
+		n = items
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// forEachTenant runs fn over names under the bounded recovery pool and
+// joins the per-tenant errors in name order (deterministic regardless of
+// scheduling).
+func (r *Registry) forEachTenant(names []string, fn func(name string) error) error {
+	if len(names) == 0 {
+		return nil
+	}
+	errs := make([]error, len(names))
+	sem := make(chan struct{}, r.workers(len(names)))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, name string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(name)
+		}(i, name)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// LoadAll eagerly loads every known tenant — durable recoveries and
+// directory bootstraps — under the recovery pool, so a restarted host
+// pays its tenants' recovery cost concurrently at startup instead of
+// serially on first request. Per-tenant failures are joined; the
+// registry stays usable (a failed tenant just isn't resident).
+func (r *Registry) LoadAll() error {
+	return r.forEachTenant(r.Names(), func(name string) error {
+		_, err := r.loadSlow(name)
+		return err
+	})
+}
+
+// ReloadAll reloads every resident dir-backed tenant (the SIGHUP path)
+// under the recovery pool, joining per-tenant failures; a tenant whose
+// directory vanished is dropped. Tenants keep serving their previous
+// snapshot when their reload fails, and each tenant's swap stays atomic
+// — parallelism only overlaps distinct tenants' parse/shred work.
 func (r *Registry) ReloadAll() error {
 	if r.opts.Dir == "" {
 		return nil
 	}
-	var errs []error
-	for _, name := range r.residentNames() {
+	return r.forEachTenant(r.residentNames(), func(name string) error {
 		dir := filepath.Join(r.opts.Dir, name)
 		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
 			// No directory to reload from. A journaled tenant is
@@ -657,13 +713,10 @@ func (r *Registry) ReloadAll() error {
 			if r.Journal(name) == nil {
 				_ = r.Remove(name)
 			}
-			continue
+			return nil
 		}
-		if err := r.Reload(name); err != nil {
-			errs = append(errs, err)
-		}
-	}
-	return errors.Join(errs...)
+		return r.Reload(name)
+	})
 }
 
 func (r *Registry) residentNames() []string {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -249,6 +250,38 @@ func (db *DB) meterFor(ctx context.Context) *resource.Meter {
 // and reports the number of rows affected.
 func (db *DB) Exec(sql string, params ...Value) (int, error) {
 	return db.ExecCtx(context.Background(), sql, params...)
+}
+
+// InsertRows bulk-appends pre-ordered rows to the named table, bypassing
+// SQL parsing and expression evaluation entirely. Each row must carry one
+// value per schema column in schema order; validation and index
+// maintenance match INSERT exactly. Rows whose values already have their
+// column's exact kind are stored without copying — the table aliases the
+// slice, so callers must treat submitted rows as immutable from then on
+// (cached shred fragments are; that is what lets one fragment feed every
+// rebuilt snapshot). Returns the number of rows inserted before any
+// error.
+func (db *DB) InsertRows(table string, rows [][]Value) (int, error) {
+	if db.frozen.Load() {
+		return 0, ErrFrozen
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[strings.ToLower(table)]
+	if !ok {
+		return 0, fmt.Errorf("sql: table %s does not exist", table)
+	}
+	db.stats.statements.Add(1)
+	obsStatements.Inc()
+	t.rows = slices.Grow(t.rows, len(rows))
+	n := 0
+	for _, row := range rows {
+		if err := t.insertShared(row); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
 }
 
 // ExecCtx is Exec governed by a context: cancellation and the engine's

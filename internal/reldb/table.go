@@ -16,11 +16,12 @@ type index struct {
 }
 
 func (ix *index) keyForRow(row []Value) string {
-	vals := make([]Value, len(ix.columns))
-	for i, c := range ix.columns {
-		vals[i] = row[c]
+	var scratch [64]byte
+	b := scratch[:0]
+	for _, c := range ix.columns {
+		b = appendKeyValue(b, row[c])
 	}
-	return encodeKey(vals)
+	return string(b)
 }
 
 // Table is a heap of rows plus any number of hash indexes. Deleted rows are
@@ -33,6 +34,16 @@ type Table struct {
 	// version increments on every mutation; caches over the table's
 	// contents (materialized views) key on it.
 	version int64
+	// keyScratch holds each index's encoded key for the row being
+	// inserted, reused across inserts so the bulk-load path encodes
+	// every key exactly once. Writers already serialize on db.mu.
+	keyScratch []indexKey
+}
+
+// indexKey pairs an index with the encoded key of the in-flight row.
+type indexKey struct {
+	ix  *index
+	key string
 }
 
 func newTable(schema *TableSchema) *Table {
@@ -112,6 +123,47 @@ func (t *Table) insert(row []Value) error {
 	for _, ix := range t.indexes {
 		key := ix.keyForRow(stored)
 		ix.buckets[key] = append(ix.buckets[key], id)
+	}
+	return nil
+}
+
+// insertShared appends a row without copying or coercing it, the bulk-
+// load path for immutable pre-typed rows (shred fragments). Every value
+// must already carry its column's exact kind; a row with any lossless
+// mismatch falls back to the copying insert. The caller must never
+// mutate the slice afterwards — the table aliases it (tombstoning and
+// updates replace whole rows, never edit them in place, so aliasing is
+// safe).
+func (t *Table) insertShared(row []Value) error {
+	if len(row) != len(t.schema.Columns) {
+		return fmt.Errorf("reldb: table %s: got %d values, want %d", t.schema.Name, len(row), len(t.schema.Columns))
+	}
+	for i, v := range row {
+		col := t.schema.Columns[i]
+		if v.IsNull() {
+			if !col.Nullable {
+				return fmt.Errorf("reldb: column %s is NOT NULL (table %s)", col.Name, t.schema.Name)
+			}
+			continue
+		}
+		if v.Kind() != col.Type {
+			return t.insert(row)
+		}
+	}
+	t.keyScratch = t.keyScratch[:0]
+	for _, ix := range t.indexes {
+		key := ix.keyForRow(row)
+		if ix.unique && len(ix.buckets[key]) > 0 {
+			return fmt.Errorf("reldb: table %s: duplicate key for index %s", t.schema.Name, ix.name)
+		}
+		t.keyScratch = append(t.keyScratch, indexKey{ix, key})
+	}
+	id := len(t.rows)
+	t.rows = append(t.rows, row)
+	t.live++
+	t.version++
+	for _, ik := range t.keyScratch {
+		ik.ix.buckets[ik.key] = append(ik.ix.buckets[ik.key], id)
 	}
 	return nil
 }

@@ -202,30 +202,38 @@ func isNumeric(k Kind) bool { return k == KindInt || k == KindFloat }
 // arity: each component is prefixed by its kind tag and terminated by a 0
 // byte, with 0 bytes in strings escaped.
 func encodeKey(vals []Value) string {
-	var b strings.Builder
+	var scratch [64]byte
+	b := scratch[:0]
 	for _, v := range vals {
-		b.WriteByte(byte(v.kind) + '0')
-		switch v.kind {
-		case KindInt:
-			b.WriteString(strconv.FormatInt(v.i, 10))
-		case KindFloat:
-			b.WriteString(strconv.FormatFloat(v.f, 'g', -1, 64))
-		case KindString:
-			for i := 0; i < len(v.s); i++ {
-				c := v.s[i]
-				if c == 0 || c == 1 {
-					b.WriteByte(1)
-				}
-				b.WriteByte(c)
-			}
-		case KindBool:
-			if v.b {
-				b.WriteByte('t')
-			} else {
-				b.WriteByte('f')
-			}
-		}
-		b.WriteByte(0)
+		b = appendKeyValue(b, v)
 	}
-	return b.String()
+	return string(b)
+}
+
+// appendKeyValue appends one value's key encoding to b. Factored out so
+// the insert hot path can encode keys straight from a row's indexed
+// ordinals without gathering them into a temporary slice first.
+func appendKeyValue(b []byte, v Value) []byte {
+	b = append(b, byte(v.kind)+'0')
+	switch v.kind {
+	case KindInt:
+		b = strconv.AppendInt(b, v.i, 10)
+	case KindFloat:
+		b = strconv.AppendFloat(b, v.f, 'g', -1, 64)
+	case KindString:
+		for i := 0; i < len(v.s); i++ {
+			c := v.s[i]
+			if c == 0 || c == 1 {
+				b = append(b, 1)
+			}
+			b = append(b, c)
+		}
+	case KindBool:
+		if v.b {
+			b = append(b, 't')
+		} else {
+			b = append(b, 'f')
+		}
+	}
+	return append(b, 0)
 }

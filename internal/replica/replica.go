@@ -51,6 +51,10 @@ var (
 	obsApplyFails = obs.GetCounter("replica.apply_failures")
 	obsRounds     = obs.GetCounter("replica.sync_rounds")
 	obsLag        = obs.GetGauge("replica.max_lag_records")
+	// Batch-apply shape: records-per-batch mean is batch_records /
+	// apply_batches, the replication bench's coalescing measure.
+	obsBatches      = obs.GetCounter("replica.apply_batches")
+	obsBatchRecords = obs.GetCounter("replica.apply_batch_records")
 )
 
 // Options configure a follower node.
@@ -317,8 +321,17 @@ func (n *Node) syncTenant(ctx context.Context, ts *tenantState, wait time.Durati
 			}
 		}
 	}
+	// Drain the whole contiguous run the leader sent before applying
+	// anything: every record in the run then lands through chunked batch
+	// applies — one snapshot rebuild per chunk instead of one per record,
+	// which is what keeps follower lag bounded when the leader bursts.
+	// A stream error or an injected apply fault truncates the run at that
+	// point; the records before it still apply (the pre-batching
+	// behavior), the faulted record and everything after it do not.
 	sr := durable.NewStreamReader(resp.Body)
 	applied := ts.applied.Load()
+	var run []*durable.Record
+	var deferredErr error
 	for {
 		rec, err := sr.Next()
 		if err == io.EOF {
@@ -330,30 +343,64 @@ func (n *Node) syncTenant(ctx context.Context, ts *tenantState, wait time.Durati
 			} else {
 				obsTorn.Inc()
 			}
-			return err
+			deferredErr = err
+			break
 		}
 		if rec.LSN <= applied {
 			continue
 		}
 		if err := faultkit.Inject(faultkit.PointReplicaApply); err != nil {
 			obsApplyFails.Inc()
-			return fmt.Errorf("applying record %d: %w", rec.LSN, err)
+			deferredErr = fmt.Errorf("applying record %d: %w", rec.LSN, err)
+			break
 		}
-		if err := durable.ApplyRecord(ts.site, rec); err != nil {
-			obsApplyFails.Inc()
-			return fmt.Errorf("applying record %d (%s): %w", rec.LSN, rec.Op, err)
-		}
-		applied = rec.LSN
-		ts.applied.Store(applied)
-		if rec.Op == durable.OpState {
-			obsResyncs.Inc()
-		} else {
-			obsApplied.Inc()
-		}
+		run = append(run, rec)
+	}
+	if err := applyRun(ts, run); err != nil {
+		return err
+	}
+	if deferredErr != nil {
+		return deferredErr
 	}
 	ts.synced.Store(true)
 	ts.lastErr.Store("")
 	n.updateLagGauge()
+	return nil
+}
+
+// maxApplyBatch bounds how many records land in one batch apply: chunks
+// keep the follower publishing intermediate states on a long catch-up
+// (readers see progress) and bound the work a failed batch discards.
+const maxApplyBatch = 256
+
+// applyRun lands a drained run of records through chunked batch applies,
+// advancing the applied LSN after each chunk.
+func applyRun(ts *tenantState, run []*durable.Record) error {
+	for len(run) > 0 {
+		chunk := run
+		if len(chunk) > maxApplyBatch {
+			chunk = chunk[:maxApplyBatch]
+		}
+		run = run[len(chunk):]
+		n, err := durable.ApplyRecords(ts.site, chunk)
+		if n > 0 {
+			ts.applied.Store(chunk[n-1].LSN)
+			obsBatches.Inc()
+			obsBatchRecords.Add(int64(n))
+			for _, rec := range chunk[:n] {
+				if rec.Op == durable.OpState {
+					obsResyncs.Inc()
+				} else {
+					obsApplied.Inc()
+				}
+			}
+		}
+		if err != nil {
+			obsApplyFails.Inc()
+			bad := chunk[n]
+			return fmt.Errorf("applying record %d (%s): %w", bad.LSN, bad.Op, err)
+		}
+	}
 	return nil
 }
 

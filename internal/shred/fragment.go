@@ -1,0 +1,251 @@
+package shred
+
+import (
+	"fmt"
+
+	"p3pdb/internal/p3p"
+	"p3pdb/internal/p3p/basedata"
+	"p3pdb/internal/reldb"
+)
+
+// Fragment is the precomputed shred output for one (policy, id) pair:
+// full-width rows per table, in schema column order, ready for bulk
+// insertion. A fragment is immutable once built — reldb copies rows on
+// insert — so core's snapshot rebuilds cache one fragment per resident
+// policy and replay it into every rebuilt database without re-running
+// augmentation, leaf expansion, or SQL parsing. The batched-recovery and
+// follower-apply paths lean on this: rebuild cost becomes a bulk append
+// instead of thousands of parsed INSERT statements.
+type Fragment struct {
+	id     int
+	name   string
+	tables []fragmentTable
+}
+
+type fragmentTable struct {
+	name string
+	rows [][]reldb.Value
+}
+
+// PolicyID returns the policy id the fragment was shredded at.
+func (f *Fragment) PolicyID() int { return f.id }
+
+// Name returns the policy name.
+func (f *Fragment) Name() string { return f.name }
+
+// installInto bulk-appends every table's rows into db.
+func (f *Fragment) installInto(db *reldb.DB) error {
+	for _, t := range f.tables {
+		if len(t.rows) == 0 {
+			continue
+		}
+		if _, err := db.InsertRows(t.name, t.rows); err != nil {
+			return fmt.Errorf("shred: installing %s rows for policy %q: %w", t.name, f.name, err)
+		}
+	}
+	return nil
+}
+
+// BuildOptimizedFragment shreds one policy into optimized-schema (Figure
+// 14) rows at the given policy id. The output depends only on (schema,
+// pol, id), so callers may cache it for as long as those stay fixed.
+func BuildOptimizedFragment(schema *basedata.Schema, pol *p3p.Policy, id int) (*Fragment, error) {
+	if err := pol.MustValid(); err != nil {
+		return nil, fmt.Errorf("shred: invalid policy: %w", err)
+	}
+	entityName := ""
+	if pol.Entity != nil {
+		entityName = pol.Entity.Name
+	}
+	pid := reldb.Int(int64(id))
+	policyRows := [][]reldb.Value{{
+		pid, reldb.Str(pol.Name), nullable(pol.Discuri), nullable(pol.Opturi),
+		nullable(entityName), nullable(pol.Access), boolInt(pol.TestOnly),
+	}}
+	var stmtRows, purposeRows, recipientRows, dgRows, dataRows [][]reldb.Value
+	for si, st := range pol.Statements {
+		sid := reldb.Int(int64(si + 1))
+		stmtRows = append(stmtRows, []reldb.Value{
+			pid, sid, nullable(st.Consequence), nullable(st.Retention), boolInt(st.NonIdentifiable),
+		})
+		for _, pv := range st.Purposes {
+			purposeRows = append(purposeRows, []reldb.Value{pid, sid, reldb.Str(pv.Value), reldb.Str(pv.EffectiveRequired())})
+		}
+		for _, rv := range st.Recipients {
+			recipientRows = append(recipientRows, []reldb.Value{pid, sid, reldb.Str(rv.Value), reldb.Str(rv.EffectiveRequired())})
+		}
+		for gi, dg := range st.DataGroups {
+			dgid := reldb.Int(int64(gi + 1))
+			dgRows = append(dgRows, []reldb.Value{pid, sid, dgid, nullable(dg.Base)})
+			dataID := 0
+			for _, d := range dg.Data {
+				for _, leaf := range ExpandData(schema, d) {
+					dataID++
+					cats := leaf.Categories
+					if len(cats) == 0 {
+						cats = []string{""}
+					}
+					for _, cat := range cats {
+						dataRows = append(dataRows, []reldb.Value{
+							pid, sid, dgid, reldb.Int(int64(dataID)),
+							reldb.Str(leaf.Ref), reldb.Str(d.Ref),
+							boolInt(d.Optional), reldb.Str(cat),
+						})
+					}
+				}
+			}
+		}
+	}
+	return &Fragment{id: id, name: pol.Name, tables: []fragmentTable{
+		{"Policy", policyRows},
+		{"Statement", stmtRows},
+		{"Purpose", purposeRows},
+		{"Recipient", recipientRows},
+		{"Datagroup", dgRows},
+		{"Data", dataRows},
+	}}, nil
+}
+
+// genericFragmentTables is the shared registry for generic fragment
+// builds; GenericRegistry copies per call, so build it once.
+var genericFragmentTables = GenericRegistry()
+
+// genericRow builds one full-width generic-schema row: id, fk chain, attr
+// columns in registry order (Null when absent), then text_value if the
+// element carries character data. This is insertRow's column order with
+// the SQL layer skipped.
+func genericRow(t GenericTable, id int, fks []int, attrs map[string]string, text string) []reldb.Value {
+	vals := make([]reldb.Value, 0, 1+len(t.parents)+len(t.attrs)+1)
+	vals = append(vals, reldb.Int(int64(id)))
+	for _, fk := range fks {
+		vals = append(vals, reldb.Int(int64(fk)))
+	}
+	for _, a := range t.attrs {
+		if v, ok := attrs[a]; ok {
+			vals = append(vals, reldb.Str(v))
+		} else {
+			vals = append(vals, reldb.Null)
+		}
+	}
+	if t.hasText {
+		vals = append(vals, nullable(text))
+	}
+	return vals
+}
+
+// BuildGenericFragment shreds one policy into generic-schema (Figure 8 /
+// Figure 10) rows at the given policy id.
+func BuildGenericFragment(schema *basedata.Schema, pol *p3p.Policy, policyID int) (*Fragment, error) {
+	if err := pol.MustValid(); err != nil {
+		return nil, fmt.Errorf("shred: invalid policy: %w", err)
+	}
+	rows := map[string][][]reldb.Value{}
+	add := func(element string, id int, fks []int, attrs map[string]string, text string) error {
+		t, ok := genericFragmentTables[element]
+		if !ok {
+			return fmt.Errorf("shred: no generic table for element %q", element)
+		}
+		rows[element] = append(rows[element], genericRow(t, id, fks, attrs, text))
+		return nil
+	}
+
+	if err := add("POLICY", policyID, nil, map[string]string{
+		"name": pol.Name, "discuri": pol.Discuri, "opturi": pol.Opturi,
+	}, ""); err != nil {
+		return nil, err
+	}
+	for si, st := range pol.Statements {
+		stmtID := si + 1
+		if err := add("STATEMENT", stmtID, []int{policyID}, nil, ""); err != nil {
+			return nil, err
+		}
+		under := []int{stmtID, policyID}
+		if st.Consequence != "" {
+			if err := add("CONSEQUENCE", 1, under, nil, st.Consequence); err != nil {
+				return nil, err
+			}
+		}
+		if st.NonIdentifiable {
+			if err := add("NON-IDENTIFIABLE", 1, under, nil, ""); err != nil {
+				return nil, err
+			}
+		}
+		if len(st.Purposes) > 0 {
+			if err := add("PURPOSE", 1, under, nil, ""); err != nil {
+				return nil, err
+			}
+			for vi, pv := range st.Purposes {
+				if err := add(pv.Value, vi+1, append([]int{1}, under...),
+					map[string]string{"required": pv.EffectiveRequired()}, ""); err != nil {
+					return nil, fmt.Errorf("shred: no generic table for purpose %q", pv.Value)
+				}
+			}
+		}
+		if len(st.Recipients) > 0 {
+			if err := add("RECIPIENT", 1, under, nil, ""); err != nil {
+				return nil, err
+			}
+			for vi, rv := range st.Recipients {
+				if err := add(rv.Value, vi+1, append([]int{1}, under...),
+					map[string]string{"required": rv.EffectiveRequired()}, ""); err != nil {
+					return nil, fmt.Errorf("shred: no generic table for recipient %q", rv.Value)
+				}
+			}
+		}
+		if st.Retention != "" {
+			if err := add("RETENTION", 1, under, nil, ""); err != nil {
+				return nil, err
+			}
+			if err := add(st.Retention, 1, append([]int{1}, under...), nil, ""); err != nil {
+				return nil, fmt.Errorf("shred: no generic table for retention %q", st.Retention)
+			}
+		}
+		for gi, dg := range st.DataGroups {
+			dgID := gi + 1
+			attrs := map[string]string{}
+			if dg.Base != "" {
+				attrs["base"] = dg.Base
+			}
+			if err := add("DATA-GROUP", dgID, under, attrs, ""); err != nil {
+				return nil, err
+			}
+			underDG := append([]int{dgID}, under...)
+			dataID := 0
+			for _, d := range dg.Data {
+				for _, leaf := range ExpandData(schema, d) {
+					dataID++
+					dattrs := map[string]string{"ref": leaf.Ref, "optional": "no"}
+					if d.Optional {
+						dattrs["optional"] = "yes"
+					}
+					if err := add("DATA", dataID, underDG, dattrs, ""); err != nil {
+						return nil, err
+					}
+					if len(leaf.Categories) == 0 {
+						continue
+					}
+					underData := append([]int{dataID}, underDG...)
+					if err := add("CATEGORIES", 1, underData, nil, ""); err != nil {
+						return nil, err
+					}
+					underCats := append([]int{1}, underData...)
+					for ci, cat := range leaf.Categories {
+						if err := add(cat, ci+1, underCats, nil, ""); err != nil {
+							return nil, fmt.Errorf("shred: no generic table for category %q", cat)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Deterministic table order: follow the registry's declaration order
+	// so installs touch tables in a stable sequence.
+	var tables []fragmentTable
+	for _, t := range genericRegistry() {
+		if rs := rows[t.element]; len(rs) > 0 {
+			tables = append(tables, fragmentTable{name: t.TableName(), rows: rs})
+		}
+	}
+	return &Fragment{id: policyID, name: pol.Name, tables: tables}, nil
+}

@@ -143,36 +143,6 @@ func NewGeneric(db *reldb.DB) (*GenericStore, error) {
 // DB exposes the underlying database.
 func (g *GenericStore) DB() *reldb.DB { return g.db }
 
-// insertRow inserts one element row: id, fk chain values, then attrs.
-func (g *GenericStore) insertRow(t GenericTable, id int, fks []int, attrs map[string]string, text string) error {
-	cols := []string{t.IDColumn()}
-	vals := []reldb.Value{reldb.Int(int64(id))}
-	for i, fk := range t.FKColumns() {
-		cols = append(cols, fk)
-		vals = append(vals, reldb.Int(int64(fks[i])))
-	}
-	for _, a := range t.attrs {
-		cols = append(cols, Ident(a))
-		if v, ok := attrs[a]; ok {
-			vals = append(vals, reldb.Str(v))
-		} else {
-			vals = append(vals, reldb.Null)
-		}
-	}
-	if t.hasText {
-		cols = append(cols, "text_value")
-		vals = append(vals, nullable(text))
-	}
-	marks := make([]string, len(vals))
-	for i := range marks {
-		marks[i] = "?"
-	}
-	sql := fmt.Sprintf("INSERT INTO %s (%s) VALUES (%s)",
-		t.TableName(), strings.Join(cols, ", "), strings.Join(marks, ", "))
-	_, err := g.db.Exec(sql, vals...)
-	return err
-}
-
 // InstallPolicy augments and shreds one policy into the generic schema,
 // returning its policy id. This is the Figure 10 population algorithm
 // specialized to the P3P vocabulary: ids are assigned per parent scope and
@@ -187,122 +157,23 @@ func (g *GenericStore) InstallPolicy(pol *p3p.Policy) (int, error) {
 // (see OptimizedStore.InstallPolicyAt). The id must be unused; the
 // store's auto-assign sequence continues past it.
 func (g *GenericStore) InstallPolicyAt(pol *p3p.Policy, policyID int) (int, error) {
-	if err := pol.MustValid(); err != nil {
-		return 0, fmt.Errorf("shred: invalid policy: %w", err)
-	}
-	if policyID >= g.nextID {
-		g.nextID = policyID + 1
-	}
-
-	err := g.insertRow(g.tables["POLICY"], policyID, nil, map[string]string{
-		"name": pol.Name, "discuri": pol.Discuri, "opturi": pol.Opturi,
-	}, "")
+	frag, err := BuildGenericFragment(g.schema, pol, policyID)
 	if err != nil {
 		return 0, err
 	}
+	return g.InstallFragment(frag)
+}
 
-	for si, st := range pol.Statements {
-		stmtID := si + 1
-		fkStmt := []int{policyID}
-		if err := g.insertRow(g.tables["STATEMENT"], stmtID, fkStmt, nil, ""); err != nil {
-			return 0, err
-		}
-		under := []int{stmtID, policyID}
-		if st.Consequence != "" {
-			if err := g.insertRow(g.tables["CONSEQUENCE"], 1, under, nil, st.Consequence); err != nil {
-				return 0, err
-			}
-		}
-		if st.NonIdentifiable {
-			if err := g.insertRow(g.tables["NON-IDENTIFIABLE"], 1, under, nil, ""); err != nil {
-				return 0, err
-			}
-		}
-		if len(st.Purposes) > 0 {
-			if err := g.insertRow(g.tables["PURPOSE"], 1, under, nil, ""); err != nil {
-				return 0, err
-			}
-			for vi, pv := range st.Purposes {
-				t, ok := g.tables[pv.Value]
-				if !ok {
-					return 0, fmt.Errorf("shred: no generic table for purpose %q", pv.Value)
-				}
-				if err := g.insertRow(t, vi+1, append([]int{1}, under...),
-					map[string]string{"required": pv.EffectiveRequired()}, ""); err != nil {
-					return 0, err
-				}
-			}
-		}
-		if len(st.Recipients) > 0 {
-			if err := g.insertRow(g.tables["RECIPIENT"], 1, under, nil, ""); err != nil {
-				return 0, err
-			}
-			for vi, rv := range st.Recipients {
-				t, ok := g.tables[rv.Value]
-				if !ok {
-					return 0, fmt.Errorf("shred: no generic table for recipient %q", rv.Value)
-				}
-				if err := g.insertRow(t, vi+1, append([]int{1}, under...),
-					map[string]string{"required": rv.EffectiveRequired()}, ""); err != nil {
-					return 0, err
-				}
-			}
-		}
-		if st.Retention != "" {
-			if err := g.insertRow(g.tables["RETENTION"], 1, under, nil, ""); err != nil {
-				return 0, err
-			}
-			t, ok := g.tables[st.Retention]
-			if !ok {
-				return 0, fmt.Errorf("shred: no generic table for retention %q", st.Retention)
-			}
-			if err := g.insertRow(t, 1, append([]int{1}, under...), nil, ""); err != nil {
-				return 0, err
-			}
-		}
-		for gi, dg := range st.DataGroups {
-			dgID := gi + 1
-			attrs := map[string]string{}
-			if dg.Base != "" {
-				attrs["base"] = dg.Base
-			}
-			if err := g.insertRow(g.tables["DATA-GROUP"], dgID, under, attrs, ""); err != nil {
-				return 0, err
-			}
-			underDG := append([]int{dgID}, under...)
-			dataID := 0
-			for _, d := range dg.Data {
-				for _, leaf := range ExpandData(g.schema, d) {
-					dataID++
-					dattrs := map[string]string{"ref": leaf.Ref, "optional": "no"}
-					if d.Optional {
-						dattrs["optional"] = "yes"
-					}
-					if err := g.insertRow(g.tables["DATA"], dataID, underDG, dattrs, ""); err != nil {
-						return 0, err
-					}
-					if len(leaf.Categories) == 0 {
-						continue
-					}
-					underData := append([]int{dataID}, underDG...)
-					if err := g.insertRow(g.tables["CATEGORIES"], 1, underData, nil, ""); err != nil {
-						return 0, err
-					}
-					underCats := append([]int{1}, underData...)
-					for ci, cat := range leaf.Categories {
-						t, ok := g.tables[cat]
-						if !ok {
-							return 0, fmt.Errorf("shred: no generic table for category %q", cat)
-						}
-						if err := g.insertRow(t, ci+1, underCats, nil, ""); err != nil {
-							return 0, err
-						}
-					}
-				}
-			}
-		}
+// InstallFragment bulk-appends a prebuilt generic-schema fragment (see
+// OptimizedStore.InstallFragment).
+func (g *GenericStore) InstallFragment(frag *Fragment) (int, error) {
+	if frag.id >= g.nextID {
+		g.nextID = frag.id + 1
 	}
-	return policyID, nil
+	if err := frag.installInto(g.db); err != nil {
+		return 0, err
+	}
+	return frag.id, nil
 }
 
 // RemovePolicy deletes every row belonging to a policy from all element

@@ -15,6 +15,7 @@ package shred
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"p3pdb/internal/p3p"
 	"p3pdb/internal/p3p/basedata"
@@ -117,91 +118,43 @@ func (s *OptimizedStore) InstallPolicy(pol *p3p.Policy) (int, error) {
 // preferences — stay valid across swaps. The id must be unused; the
 // store's auto-assign sequence continues past it.
 func (s *OptimizedStore) InstallPolicyAt(pol *p3p.Policy, id int) (int, error) {
-	if err := pol.MustValid(); err != nil {
-		return 0, fmt.Errorf("shred: invalid policy: %w", err)
-	}
-	if prev, err := s.PolicyID(pol.Name); err == nil {
-		return 0, fmt.Errorf("shred: policy %q already installed as id %d", pol.Name, prev)
-	}
-	if id >= s.nextID {
-		s.nextID = id + 1
-	}
-
-	entityName := ""
-	if pol.Entity != nil {
-		entityName = pol.Entity.Name
-	}
-	_, err := s.db.Exec(
-		`INSERT INTO Policy (policy_id, name, discuri, opturi, entity_name, access, test)
-		 VALUES (?, ?, ?, ?, ?, ?, ?)`,
-		reldb.Int(int64(id)), reldb.Str(pol.Name), nullable(pol.Discuri), nullable(pol.Opturi),
-		nullable(entityName), nullable(pol.Access), boolInt(pol.TestOnly))
+	frag, err := BuildOptimizedFragment(s.schema, pol, id)
 	if err != nil {
 		return 0, err
 	}
-
-	for si, st := range pol.Statements {
-		stmtID := si + 1
-		_, err := s.db.Exec(
-			`INSERT INTO Statement (policy_id, statement_id, consequence, retention, non_identifiable)
-			 VALUES (?, ?, ?, ?, ?)`,
-			reldb.Int(int64(id)), reldb.Int(int64(stmtID)),
-			nullable(st.Consequence), nullable(st.Retention), boolInt(st.NonIdentifiable))
-		if err != nil {
-			return 0, err
-		}
-		for _, pv := range st.Purposes {
-			if _, err := s.db.Exec(
-				`INSERT INTO Purpose VALUES (?, ?, ?, ?)`,
-				reldb.Int(int64(id)), reldb.Int(int64(stmtID)),
-				reldb.Str(pv.Value), reldb.Str(pv.EffectiveRequired())); err != nil {
-				return 0, err
-			}
-		}
-		for _, rv := range st.Recipients {
-			if _, err := s.db.Exec(
-				`INSERT INTO Recipient VALUES (?, ?, ?, ?)`,
-				reldb.Int(int64(id)), reldb.Int(int64(stmtID)),
-				reldb.Str(rv.Value), reldb.Str(rv.EffectiveRequired())); err != nil {
-				return 0, err
-			}
-		}
-		for gi, dg := range st.DataGroups {
-			dgID := gi + 1
-			if _, err := s.db.Exec(
-				`INSERT INTO Datagroup VALUES (?, ?, ?, ?)`,
-				reldb.Int(int64(id)), reldb.Int(int64(stmtID)),
-				reldb.Int(int64(dgID)), nullable(dg.Base)); err != nil {
-				return 0, err
-			}
-			dataID := 0
-			for _, d := range dg.Data {
-				for _, leaf := range ExpandData(s.schema, d) {
-					dataID++
-					cats := leaf.Categories
-					if len(cats) == 0 {
-						cats = []string{""}
-					}
-					for _, cat := range cats {
-						if _, err := s.db.Exec(
-							`INSERT INTO Data VALUES (?, ?, ?, ?, ?, ?, ?, ?)`,
-							reldb.Int(int64(id)), reldb.Int(int64(stmtID)),
-							reldb.Int(int64(dgID)), reldb.Int(int64(dataID)),
-							reldb.Str(leaf.Ref), reldb.Str(d.Ref),
-							boolInt(d.Optional), reldb.Str(cat)); err != nil {
-							return 0, err
-						}
-					}
-				}
-			}
-		}
-	}
-	return id, nil
+	return s.InstallFragment(frag)
 }
+
+// InstallFragment bulk-appends a prebuilt shred fragment. Snapshot
+// rebuilds pass fragments cached from the previous snapshot, turning the
+// per-rebuild shred cost into a validated bulk append.
+func (s *OptimizedStore) InstallFragment(frag *Fragment) (int, error) {
+	if prev, err := s.PolicyID(frag.name); err == nil {
+		return 0, fmt.Errorf("shred: policy %q already installed as id %d", frag.name, prev)
+	}
+	if frag.id >= s.nextID {
+		s.nextID = frag.id + 1
+	}
+	if err := frag.installInto(s.db); err != nil {
+		return 0, err
+	}
+	return frag.id, nil
+}
+
+// policyIDStmt is the parsed PolicyID lookup, shared across stores:
+// statements are immutable ASTs, and parsing per lookup would dominate
+// the bulk-install fast path.
+var policyIDStmt = sync.OnceValue(func() reldb.Statement {
+	stmt, err := reldb.Parse(`SELECT policy_id FROM Policy WHERE Policy.name = ?`)
+	if err != nil {
+		panic(err)
+	}
+	return stmt
+})
 
 // PolicyID looks up the id assigned to a named policy.
 func (s *OptimizedStore) PolicyID(name string) (int, error) {
-	rows, err := s.db.Query(`SELECT policy_id FROM Policy WHERE Policy.name = ?`, reldb.Str(name))
+	rows, err := s.db.QueryStmt(policyIDStmt(), reldb.Str(name))
 	if err != nil {
 		return 0, err
 	}

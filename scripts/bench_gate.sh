@@ -13,7 +13,14 @@
 #   - replication: 2-node matches/sec must reach MIN_NODE_SPEEDUP2 x the
 #     1-node rate (again only where >= 2 CPUs exist), and replication lag
 #     p99 must stay under MAX_LAG_P99 milliseconds. The lag gate runs on
-#     every machine: lag measures apply cost, not parallelism.
+#     every machine: lag measures apply cost, not parallelism. The 50ms
+#     ceiling prices the batched follower drain; pre-batching lag ran to
+#     ~226ms p99.
+#   - durability: recovering a 10k-record log must finish inside
+#     MAX_RECOVERY_10K_MS (the batched-replay bound), and the median
+#     fsync=interval mutation must cost at most MAX_DURABLE_P50_RATIO x
+#     the in-memory median (the group-commit bound). Both run on every
+#     machine: they measure replay and coalescing, not parallelism.
 #
 # Mirrors scripts/coverage_ratchet.sh: floors only move in the same PR
 # that justifies moving them.
@@ -23,18 +30,22 @@ MIN_SPEEDUP4=${MIN_SPEEDUP4:-2.5}
 MIN_HITRATE=${MIN_HITRATE:-0.90}
 MIN_FASTPATH=${MIN_FASTPATH:-0.70}
 MIN_NODE_SPEEDUP2=${MIN_NODE_SPEEDUP2:-1.6}
-MAX_LAG_P99=${MAX_LAG_P99:-2000}
+MAX_LAG_P99=${MAX_LAG_P99:-50}
+MAX_RECOVERY_10K_MS=${MAX_RECOVERY_10K_MS:-1000}
+MAX_DURABLE_P50_RATIO=${MAX_DURABLE_P50_RATIO:-2.0}
 
 # Surface the CPU budget before any gate runs so a self-skipped speedup
 # gate is visible in the build log, not just in the JSON artifact.
 NUM_CPU=$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo unknown)
 echo "== bench gates on numCpu=${NUM_CPU} =="
-if [ "${NUM_CPU}" != "unknown" ] && [ "${NUM_CPU}" -lt 4 ]; then
-	echo "note: numCpu=${NUM_CPU} < 4 -- the 4-worker speedup gate will self-skip (recorded in BENCH_throughput.json)"
-fi
-if [ "${NUM_CPU}" != "unknown" ] && [ "${NUM_CPU}" -lt 2 ]; then
-	echo "note: numCpu=${NUM_CPU} < 2 -- the 2-node replication speedup gate will self-skip (recorded in BENCH_replication.json)"
-fi
+# note_self_skip <min-cpus> <gate description> <artifact>
+note_self_skip() {
+	if [ "${NUM_CPU}" != "unknown" ] && [ "${NUM_CPU}" -lt "$1" ]; then
+		echo "note: numCpu=${NUM_CPU} < $1 -- $2 will self-skip (recorded in $3)"
+	fi
+}
+note_self_skip 4 "the 4-worker speedup gate" BENCH_throughput.json
+note_self_skip 2 "the 2-node replication speedup gate" BENCH_replication.json
 
 echo "== throughput gate (floor ${MIN_SPEEDUP4}x at 4 workers) =="
 go run ./cmd/p3pbench -table=throughput -min-speedup4="$MIN_SPEEDUP4"
@@ -47,3 +58,6 @@ go run ./cmd/p3pbench -table=e2e -min-fastpath="$MIN_FASTPATH"
 
 echo "== replication gate (floor ${MIN_NODE_SPEEDUP2}x at 2 nodes, lag p99 ceiling ${MAX_LAG_P99}ms) =="
 go run ./cmd/p3pbench -table=replication -min-node-speedup2="$MIN_NODE_SPEEDUP2" -max-lag-p99="$MAX_LAG_P99"
+
+echo "== durability gate (10k recovery ceiling ${MAX_RECOVERY_10K_MS}ms, durable p50 ceiling ${MAX_DURABLE_P50_RATIO}x in-memory) =="
+go run ./cmd/p3pbench -table=durability -max-recovery-10k-ms="$MAX_RECOVERY_10K_MS" -max-durable-p50-ratio="$MAX_DURABLE_P50_RATIO"
