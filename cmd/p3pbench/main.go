@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "table to print: all, fig19, shred, fig20, fig21, warmcold, xquery-native, ablate, throughput, decisioncache, tenancy, obs, durability, e2e, replication")
+	table := flag.String("table", "all", "table to print: all, fig19, shred, fig20, fig21, warmcold, xquery-native, ablate, throughput, decisioncache, tenancy, obs, durability, e2e, replication, prefindex")
 	seed := flag.Int64("seed", 42, "workload generation seed")
 	repeats := flag.Int("repeats", 3, "measurements per matrix cell")
 	level := flag.String("ablate-level", "High", "preference level for the ablation, throughput, decisioncache, and obs tables")
@@ -43,6 +43,8 @@ func main() {
 	maxLagP99 := flag.Float64("max-lag-p99", 0, "replication gate: fail if the write-to-applied lag p99 exceeds this many milliseconds")
 	maxRecovery10k := flag.Float64("max-recovery-10k-ms", 0, "durability gate: fail if replaying a 10000-record log exceeds this many milliseconds")
 	maxDurableP50 := flag.Float64("max-durable-p50-ratio", 0, "durability gate: fail if the fsync=interval mutation p50 exceeds this multiple of the in-memory p50")
+	minWarmHit := flag.Float64("min-warm-hit", 0, "prefindex gate: fail unless the 1000-resident row's post-swap warm hit rate reaches this floor")
+	maxWarmP99Ratio := flag.Float64("max-warm-p99-ratio", 0, "prefindex gate: fail if the 1000-resident row's warm/cold post-swap p99 ratio exceeds this ceiling")
 	flag.Parse()
 
 	outPath := *out
@@ -62,6 +64,8 @@ func main() {
 			outPath = "BENCH_e2e.json"
 		case "replication":
 			outPath = "BENCH_replication.json"
+		case "prefindex":
+			outPath = "BENCH_prefindex.json"
 		}
 	} else if outPath == "none" {
 		outPath = ""
@@ -223,6 +227,36 @@ func main() {
 		}
 		if *maxLagP99 > 0 {
 			gateReplicationLag(r, *maxLagP99)
+		}
+		return
+	}
+
+	if *table == "prefindex" {
+		cfg := benchkit.PrefindexConfig{
+			Seed:    *seed,
+			Level:   *level,
+			ZipfS:   *zipfS,
+			Matches: *matches,
+		}
+		if *distinct > 0 {
+			cfg.ResidentPrefs = []int{*distinct}
+		}
+		r, err := benchkit.RunPrefindex(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(r.Render())
+		if outPath != "" {
+			if err := r.WriteJSON(outPath); err != nil {
+				fatal(err)
+			}
+			fmt.Println("wrote", outPath)
+		}
+		if *minWarmHit > 0 {
+			gatePrefindexWarmHit(r, *minWarmHit)
+		}
+		if *maxWarmP99Ratio > 0 {
+			gatePrefindexP99(r, *maxWarmP99Ratio)
 		}
 		return
 	}
@@ -403,6 +437,47 @@ func gateDurableP50(r *benchkit.DurabilityResults, ceiling float64) {
 		fatal(fmt.Errorf("durability gate: fsync=interval p50 is %.2fx in-memory, ceiling %.2fx", r.P50RatioInterval, ceiling))
 	}
 	fmt.Printf("durable-p50 gate passed: %.2fx in-memory (ceiling %.2fx)\n", r.P50RatioInterval, ceiling)
+}
+
+// prefindexGateRow picks the row the prefindex gates judge: the largest
+// universe measured (1000 resident preferences in the default sweep).
+func prefindexGateRow(r *benchkit.PrefindexResults) benchkit.PrefindexRow {
+	if len(r.Rows) == 0 {
+		fatal(fmt.Errorf("prefindex gate: no rows measured"))
+	}
+	largest := r.Rows[0]
+	for _, row := range r.Rows[1:] {
+		if row.ResidentPrefs > largest.ResidentPrefs {
+			largest = row
+		}
+	}
+	return largest
+}
+
+// gatePrefindexWarmHit enforces the post-swap warm hit-rate floor: the
+// pre-warm must have the decision cache already answering the Zipf mix
+// when the snapshot publishes.
+func gatePrefindexWarmHit(r *benchkit.PrefindexResults, floor float64) {
+	row := prefindexGateRow(r)
+	if row.WarmHitRate < floor {
+		fatal(fmt.Errorf("prefindex gate: warm hit rate at %d resident = %.1f%%, floor %.1f%%",
+			row.ResidentPrefs, row.WarmHitRate*100, floor*100))
+	}
+	fmt.Printf("warm-hit gate passed: %.1f%% at %d resident (floor %.1f%%)\n",
+		row.WarmHitRate*100, row.ResidentPrefs, floor*100)
+}
+
+// gatePrefindexP99 bounds the post-swap warm p99 against the cold p99 —
+// the acceptance bar that pre-warming actually removes the post-publish
+// latency cliff.
+func gatePrefindexP99(r *benchkit.PrefindexResults, ceiling float64) {
+	row := prefindexGateRow(r)
+	if row.WarmColdP99Ratio > ceiling {
+		fatal(fmt.Errorf("prefindex gate: warm/cold p99 ratio at %d resident = %.2fx, ceiling %.2fx",
+			row.ResidentPrefs, row.WarmColdP99Ratio, ceiling))
+	}
+	fmt.Printf("warm-p99 gate passed: %.2fx at %d resident (ceiling %.2fx)\n",
+		row.WarmColdP99Ratio, row.ResidentPrefs, ceiling)
 }
 
 func fatal(err error) {

@@ -1,0 +1,318 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"p3pdb/internal/core"
+	"p3pdb/internal/workload"
+)
+
+// The prefindex experiment measures the preference index + pre-warm
+// subsystem end to end: with n preference rulesets resident, a full
+// policy-set swap (same names, new content — the worst case: nothing
+// carries forward) pre-warms the decision cache before the snapshot
+// publishes. The table reports, per universe size, what the pre-warm
+// selected versus the exhaustive rule count, what the publish cost
+// versus an unindexed full re-match, and what the first post-swap
+// requests cost on the pre-warmed site versus an identical site without
+// resident preferences (Zipf-distributed keys, the decision-cache
+// experiment's request mix).
+
+// PrefindexConfig parameterizes a prefindex run.
+type PrefindexConfig struct {
+	// Seed generates the two policy universes (swap is Seed -> Seed+1)
+	// and the Zipf draw (default 42).
+	Seed int64
+	// Level is the preference level the resident variants are derived
+	// from (default "High").
+	Level string
+	// ZipfS is the Zipf skew parameter, > 1 (default 1.1).
+	ZipfS float64
+	// Matches is how many post-swap matches each row measures (default
+	// 2000).
+	Matches int
+	// ResidentPrefs lists the universe sizes measured, one row each
+	// (default 10, 100, 1000).
+	ResidentPrefs []int
+}
+
+func (c PrefindexConfig) withDefaults() PrefindexConfig {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Level == "" {
+		c.Level = "High"
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.1
+	}
+	if c.Matches == 0 {
+		c.Matches = 2000
+	}
+	if len(c.ResidentPrefs) == 0 {
+		c.ResidentPrefs = []int{10, 100, 1000}
+	}
+	return c
+}
+
+// PrefindexRow is one universe-size point of the experiment.
+type PrefindexRow struct {
+	ResidentPrefs int `json:"residentPrefs"`
+	Policies      int `json:"policies"`
+	Matches       int `json:"matches"`
+	// Selectivity is selected rules over total resident rules during the
+	// swap's pre-warm — the index's whole point. 1.0 means the index
+	// degenerated to exhaustive evaluation.
+	Selectivity float64 `json:"selectivity"`
+	// Evaluated / NoRule / Skipped are the swap pre-warm's pair counts.
+	Evaluated int64 `json:"evaluated"`
+	NoRule    int64 `json:"noRule"`
+	Skipped   int64 `json:"skipped"`
+	// SwapWarmMicros is the wall time of the policy swap on the site with
+	// resident preferences (includes the pre-warm); SwapColdMicros the
+	// same swap with none. The difference is what pre-warming costs.
+	SwapWarmMicros float64 `json:"swapWarmMicros"`
+	SwapColdMicros float64 `json:"swapColdMicros"`
+	// FullRematchMicros is the unindexed alternative: every resident
+	// preference exhaustively matched against every policy after the
+	// swap, on an identical uncached site.
+	FullRematchMicros float64 `json:"fullRematchMicros"`
+	// WarmHitRate is the decision-cache hit rate of the post-swap request
+	// sequence on the pre-warmed site.
+	WarmHitRate float64 `json:"warmHitRate"`
+	// Warm/Cold p50 and p99 of the identical post-swap Zipf sequence.
+	WarmP50Micros float64 `json:"warmP50Micros"`
+	WarmP99Micros float64 `json:"warmP99Micros"`
+	ColdP50Micros float64 `json:"coldP50Micros"`
+	ColdP99Micros float64 `json:"coldP99Micros"`
+	// WarmColdP99Ratio is warm p99 over cold p99 — the acceptance bar
+	// (<= 0.5 at 1000 resident preferences).
+	WarmColdP99Ratio float64 `json:"warmColdP99Ratio"`
+}
+
+// PrefindexResults is the full table plus the run's parameters, shaped
+// for rendering and the BENCH_prefindex.json artifact.
+type PrefindexResults struct {
+	Seed       int64          `json:"seed"`
+	Level      string         `json:"level"`
+	Engine     string         `json:"engine"`
+	ZipfS      float64        `json:"zipfS"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	NumCPU     int            `json:"numCpu"`
+	Rows       []PrefindexRow `json:"rows"`
+}
+
+// WarmHitAt returns the post-swap warm hit rate of the row with the
+// given universe size, for the CI gate. ok is false when the run had no
+// such row.
+func (r *PrefindexResults) WarmHitAt(resident int) (float64, bool) {
+	for _, row := range r.Rows {
+		if row.ResidentPrefs == resident {
+			return row.WarmHitRate, true
+		}
+	}
+	return 0, false
+}
+
+// P99RatioAt returns the warm/cold p99 ratio of the row with the given
+// universe size.
+func (r *PrefindexResults) P99RatioAt(resident int) (float64, bool) {
+	for _, row := range r.Rows {
+		if row.ResidentPrefs == resident {
+			return row.WarmColdP99Ratio, true
+		}
+	}
+	return 0, false
+}
+
+// prefindexSite builds a site with the two caches sized for the largest
+// universe and the first policy universe installed.
+func prefindexSite(d *workload.Dataset, disableDecisions bool) (*core.Site, error) {
+	site, err := core.NewSiteWithOptions(core.Options{
+		DecisionCacheSize:    16384,
+		ConversionCacheSize:  4096,
+		DisableDecisionCache: disableDecisions,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := site.ReplacePolicies(d.Policies, d.RefFile); err != nil {
+		return nil, err
+	}
+	return site, nil
+}
+
+// registerAll registers the resident preferences as one batch, so the
+// registration publish runs a single pre-warm pass.
+func registerAll(site *core.Site, prefs []workload.Preference) error {
+	muts := make([]core.Mutation, 0, len(prefs))
+	for i, p := range prefs {
+		m, err := core.RegisterPreferenceMutation(fmt.Sprintf("resident-%d", i), p.XML, []string{"sql"})
+		if err != nil {
+			return err
+		}
+		muts = append(muts, m)
+	}
+	return site.ApplyBatch(muts)
+}
+
+// zipfLatencies replays the Zipf-distributed post-swap sequence and
+// returns the ascending per-match latencies. Both sites replay the
+// byte-identical sequence: the rng is rebuilt from the same seed.
+func zipfLatencies(site *core.Site, prefs []workload.Preference, policy string,
+	matches int, seed int64, zipfS float64) ([]time.Duration, error) {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, zipfS, 1, uint64(len(prefs)-1))
+	lats := make([]time.Duration, 0, matches)
+	for i := 0; i < matches; i++ {
+		pref := prefs[zipf.Uint64()]
+		start := time.Now()
+		if _, err := site.MatchPolicy(pref.XML, policy, core.EngineSQL); err != nil {
+			return nil, fmt.Errorf("benchkit: prefindex match %d: %w", i, err)
+		}
+		lats = append(lats, time.Since(start))
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return lats, nil
+}
+
+// RunPrefindex measures the preference index + pre-warm subsystem.
+func RunPrefindex(cfg PrefindexConfig) (*PrefindexResults, error) {
+	cfg = cfg.withDefaults()
+	res := &PrefindexResults{
+		Seed:       cfg.Seed,
+		Level:      cfg.Level,
+		Engine:     "sql",
+		ZipfS:      cfg.ZipfS,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	d1 := workload.Generate(cfg.Seed)
+	d2 := workload.Generate(cfg.Seed + 1)
+	for _, resident := range cfg.ResidentPrefs {
+		if resident < 2 {
+			return nil, fmt.Errorf("benchkit: prefindex universe must have >= 2 preferences, got %d", resident)
+		}
+		prefs := workload.PreferenceVariants(cfg.Level, resident)
+
+		warm, err := prefindexSite(d1, false)
+		if err != nil {
+			return nil, err
+		}
+		if err := registerAll(warm, prefs); err != nil {
+			return nil, err
+		}
+		cold, err := prefindexSite(d1, false)
+		if err != nil {
+			return nil, err
+		}
+		rematch, err := prefindexSite(d1, true)
+		if err != nil {
+			return nil, err
+		}
+
+		// The swap: same policy names, new content, so nothing carries
+		// forward and every warm decision comes from index-selected
+		// evaluation.
+		start := time.Now()
+		if err := warm.ReplacePolicies(d2.Policies, d2.RefFile); err != nil {
+			return nil, err
+		}
+		swapWarm := time.Since(start)
+		start = time.Now()
+		if err := cold.ReplacePolicies(d2.Policies, d2.RefFile); err != nil {
+			return nil, err
+		}
+		swapCold := time.Since(start)
+		if err := rematch.ReplacePolicies(d2.Policies, d2.RefFile); err != nil {
+			return nil, err
+		}
+
+		// The unindexed alternative: exhaustively re-match every resident
+		// preference against every policy.
+		start = time.Now()
+		for _, p := range prefs {
+			for _, pol := range d2.Policies {
+				if _, err := rematch.MatchPolicy(p.XML, pol.Name, core.EngineSQL); err != nil {
+					return nil, fmt.Errorf("benchkit: prefindex re-match: %w", err)
+				}
+			}
+		}
+		fullRematch := time.Since(start)
+
+		_, last := warm.PrewarmStats()
+		row := PrefindexRow{
+			ResidentPrefs:     resident,
+			Policies:          len(d2.Policies),
+			Matches:           cfg.Matches,
+			Evaluated:         last.Evaluated,
+			NoRule:            last.NoRule,
+			Skipped:           last.Skipped,
+			SwapWarmMicros:    float64(swapWarm.Microseconds()),
+			SwapColdMicros:    float64(swapCold.Microseconds()),
+			FullRematchMicros: float64(fullRematch.Microseconds()),
+		}
+		if last.TotalRules > 0 {
+			row.Selectivity = float64(last.SelectedRules) / float64(last.TotalRules)
+		}
+
+		// Post-swap request mix: the identical Zipf sequence against the
+		// pre-warmed and the cold site.
+		policy := d2.Policies[0].Name
+		before := warm.DecisionCacheDetail()
+		warmLats, err := zipfLatencies(warm, prefs, policy, cfg.Matches, cfg.Seed, cfg.ZipfS)
+		if err != nil {
+			return nil, err
+		}
+		after := warm.DecisionCacheDetail()
+		coldLats, err := zipfLatencies(cold, prefs, policy, cfg.Matches, cfg.Seed, cfg.ZipfS)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Matches > 0 {
+			row.WarmHitRate = float64(after.Hits-before.Hits) / float64(cfg.Matches)
+		}
+		row.WarmP50Micros = quantile(warmLats, 0.50)
+		row.WarmP99Micros = quantile(warmLats, 0.99)
+		row.ColdP50Micros = quantile(coldLats, 0.50)
+		row.ColdP99Micros = quantile(coldLats, 0.99)
+		if row.ColdP99Micros > 0 {
+			row.WarmColdP99Ratio = row.WarmP99Micros / row.ColdP99Micros
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render formats the prefindex table.
+func (r *PrefindexResults) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Preference index + pre-warm (%s preference, %s engine, Zipf s=%.2f, full-content swap)\n",
+		r.Level, r.Engine, r.ZipfS)
+	fmt.Fprintf(&b, "%9s %6s %11s %10s %10s %12s %9s %9s %9s %7s\n",
+		"resident", "eval", "selectivity", "swap warm", "swap cold", "full rematch", "warm hit", "warm p99", "cold p99", "ratio")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%9d %6d %10.1f%% %8.1fms %8.1fms %10.1fms %8.1f%% %7.0fus %7.0fus %6.2fx\n",
+			row.ResidentPrefs, row.Evaluated, row.Selectivity*100,
+			row.SwapWarmMicros/1000, row.SwapColdMicros/1000, row.FullRematchMicros/1000,
+			row.WarmHitRate*100, row.WarmP99Micros, row.ColdP99Micros, row.WarmColdP99Ratio)
+	}
+	return b.String()
+}
+
+// WriteJSON writes the results as the machine-readable artifact
+// (BENCH_prefindex.json) that CI gates and later PRs track.
+func (r *PrefindexResults) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

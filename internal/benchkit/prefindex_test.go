@@ -1,0 +1,91 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPrefindexSmoke runs a miniature prefindex experiment end to end:
+// the swap pre-warm evaluates pairs, the index stays selective, the
+// pre-warmed site answers the whole post-swap Zipf mix from cache, and
+// the artifact round-trips. Latency ratios are asserted only loosely
+// (correctness, not performance — CI machines are noisy); the committed
+// BENCH_prefindex.json records the measured numbers.
+func TestPrefindexSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("prefindex experiment in -short mode")
+	}
+	r, err := RunPrefindex(PrefindexConfig{
+		Matches:       300,
+		ResidentPrefs: []int{5, 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Evaluated == 0 || row.Policies == 0 {
+			t.Errorf("%d resident: swap pre-warm evaluated nothing: %+v", row.ResidentPrefs, row)
+		}
+		if row.Selectivity <= 0 || row.Selectivity >= 1 {
+			t.Errorf("%d resident: selectivity = %v, want in (0, 1)", row.ResidentPrefs, row.Selectivity)
+		}
+		// Every (resident preference, policy) SQL pair was pre-seeded
+		// before the swap published, so the post-swap mix misses nothing.
+		if row.WarmHitRate != 1 {
+			t.Errorf("%d resident: warm hit rate = %v, want 1.0", row.ResidentPrefs, row.WarmHitRate)
+		}
+		if row.SwapWarmMicros <= 0 || row.SwapColdMicros <= 0 || row.FullRematchMicros <= 0 {
+			t.Errorf("%d resident: unmeasured swap costs: %+v", row.ResidentPrefs, row)
+		}
+		if row.WarmP99Micros <= 0 || row.ColdP99Micros <= 0 {
+			t.Errorf("%d resident: unmeasured latencies: %+v", row.ResidentPrefs, row)
+		}
+		// Warm requests are cache hits, cold ones include engine runs: the
+		// ratio must at least be favorable, even on a noisy machine.
+		if row.WarmColdP99Ratio >= 1 {
+			t.Errorf("%d resident: warm p99 not below cold p99: %+v", row.ResidentPrefs, row)
+		}
+	}
+	if hr, ok := r.WarmHitAt(20); !ok || hr != r.Rows[1].WarmHitRate {
+		t.Errorf("WarmHitAt(20) = %v, %v", hr, ok)
+	}
+	if _, ok := r.WarmHitAt(999); ok {
+		t.Error("WarmHitAt(999) found a row")
+	}
+	if ratio, ok := r.P99RatioAt(5); !ok || ratio != r.Rows[0].WarmColdP99Ratio {
+		t.Errorf("P99RatioAt(5) = %v, %v", ratio, ok)
+	}
+
+	out := r.Render()
+	for _, want := range []string{"resident", "selectivity", "warm hit", "ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_prefindex.json")
+	if err := r.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PrefindexResults
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumCPU != r.NumCPU || len(back.Rows) != len(r.Rows) || back.ZipfS != r.ZipfS {
+		t.Errorf("artifact round-trip mismatch: %+v vs %+v", back, r)
+	}
+
+	if _, err := RunPrefindex(PrefindexConfig{ResidentPrefs: []int{1}}); err == nil {
+		t.Error("universe of 1 accepted")
+	}
+}

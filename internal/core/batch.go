@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"p3pdb/internal/p3p"
+	"p3pdb/internal/prefindex"
 	"p3pdb/internal/reffile"
 )
 
@@ -101,6 +102,18 @@ func RestoreStateMutation(exp StateExport) (Mutation, error) {
 			return Mutation{}, fmt.Errorf("core: restore reference file: %w", err)
 		}
 	}
+	// Registered preferences restore explicitly: the durability layer's
+	// rollback path rebuilds a site from an export, and silently dropping
+	// registrations there would un-register preferences on an unrelated
+	// failed policy write.
+	prefs := prefindex.NewSet()
+	for _, pe := range exp.Prefs {
+		p, err := prefindex.Compile(pe.Name, pe.XML, pe.Engines)
+		if err != nil {
+			return Mutation{}, fmt.Errorf("core: restore preference %s: %w", pe.Name, err)
+		}
+		prefs = prefs.With(p)
+	}
 	return Mutation{
 		edit: func(d *stateDraft) error {
 			d.policies = map[string]*p3p.Policy{}
@@ -112,6 +125,7 @@ func RestoreStateMutation(exp StateExport) (Mutation, error) {
 				}
 			}
 			d.refFile = rf
+			d.prefs = prefs
 			return nil
 		},
 		purgeBound: true,
@@ -131,7 +145,8 @@ func (s *Site) ApplyBatch(muts []Mutation) error {
 	}
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	d := s.state.Load().draft()
+	prev := s.state.Load()
+	d := prev.draft()
 	for i := range muts {
 		if err := muts[i].edit(d); err != nil {
 			if len(muts) > 1 {
@@ -144,6 +159,12 @@ func (s *Site) ApplyBatch(muts []Mutation) error {
 	if err != nil {
 		return err
 	}
+	// Pre-warm the decision cache against the successor snapshot before
+	// it is published: carried-forward and index-selected decisions are
+	// keyed by next's generation, which no reader can observe yet, so
+	// the first visitor after the swap lands on a warm cache instead of
+	// a miss storm (prewarm.go).
+	s.prewarm(prev, next)
 	s.state.Store(next)
 	// Sweep artifact-cache entries for policies the new snapshot no
 	// longer holds, so removed or replaced policies don't pin their

@@ -219,6 +219,17 @@ type Site struct {
 	matchBudget      int64
 	perPolicyTimeout time.Duration
 
+	// decForcedMisses counts this Site's decision-cache lookups skipped
+	// by an armed decision.lookup fault. Kept apart from the cache's own
+	// miss counter so the warm-rate metric only reflects natural misses.
+	decForcedMisses atomic.Int64
+
+	// prewarmMu guards the pre-warm tallies (prewarm.go); writes happen
+	// under writeMu, reads come from metrics handlers.
+	prewarmMu   sync.Mutex
+	prewarmCum  PrewarmStats
+	prewarmLast PrewarmStats
+
 	// conflicts is the site-owner analytics tally (policy -> rule
 	// description -> blocks), sharded by policy so that a worst-case
 	// all-blocking workload does not serialize the otherwise lock-free
@@ -401,6 +412,17 @@ type StateExport struct {
 	// ReferenceXML is the reference-file document, empty when none is
 	// installed.
 	ReferenceXML string
+	// Prefs lists the registered preference rulesets in registration
+	// order; restores rebuild the preference index from them.
+	Prefs []PrefExport
+}
+
+// PrefExport is one registered preference in an export: its name, the
+// verbatim APPEL document, and the engines it pre-warms under.
+type PrefExport struct {
+	Name    string
+	XML     string
+	Engines []string
 }
 
 // ExportState captures the site's current logical state from a single
@@ -417,6 +439,11 @@ func (s *Site) ExportState() StateExport {
 	}
 	if st.refFile != nil {
 		exp.ReferenceXML = st.refFile.String()
+	}
+	for _, p := range st.prefs.Prefs() {
+		exp.Prefs = append(exp.Prefs, PrefExport{
+			Name: p.Name, XML: p.XML, Engines: append([]string(nil), p.Engines...),
+		})
 	}
 	return exp
 }
@@ -565,6 +592,7 @@ func (s *Site) decisionLookup(ctx context.Context, st *siteState, prefXML, polic
 	}
 	if err := faultkit.Inject(faultkit.PointDecisionLookup); err != nil {
 		obsDecForcedMiss.Inc()
+		s.decForcedMisses.Add(1)
 		return Decision{}, false
 	}
 	start := time.Now()
@@ -621,6 +649,39 @@ func (s *Site) DecisionCacheStats() (hits, misses, stores int64, size int) {
 	}
 	hits, misses, stores = s.decisions.Stats()
 	return hits, misses, stores, s.decisions.Len()
+}
+
+// DecisionCacheDetail is the honest breakdown of the Site's
+// decision-cache traffic: Misses counts only natural misses (a lookup
+// that probed the cache and found nothing), ForcedMisses the lookups an
+// armed decision.lookup fault skipped, and Preseeds the entries the
+// pre-warm pass stored ahead of a snapshot swap. Warm-rate metrics must
+// use Misses, not Misses+ForcedMisses — a drill that forces misses would
+// otherwise slander the pre-warm pass.
+type DecisionCacheDetail struct {
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	ForcedMisses int64 `json:"forcedMisses"`
+	Stores       int64 `json:"stores"`
+	Preseeds     int64 `json:"preseeds"`
+	Size         int   `json:"size"`
+}
+
+// DecisionCacheDetail reports the decision-cache breakdown; zero when
+// the cache is disabled.
+func (s *Site) DecisionCacheDetail() DecisionCacheDetail {
+	if s.decisions == nil {
+		return DecisionCacheDetail{}
+	}
+	hits, misses, stores := s.decisions.Stats()
+	return DecisionCacheDetail{
+		Hits:         hits,
+		Misses:       misses,
+		ForcedMisses: s.decForcedMisses.Load(),
+		Stores:       stores,
+		Preseeds:     s.decisions.Preseeds(),
+		Size:         s.decisions.Len(),
+	}
 }
 
 // match runs one preference match against one snapshot. This is the hot

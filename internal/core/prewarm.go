@@ -1,0 +1,421 @@
+package core
+
+// Pre-warm: incremental policy evaluation over the registered preference
+// rulesets, run inside ApplyBatch between materializing the successor
+// snapshot and publishing it. Every decision produced here is keyed by
+// the successor's generation, which no reader can observe until the
+// atomic swap — so the cache a visitor sees the instant the new snapshot
+// publishes is already warm, instead of the whole hot set faulting
+// through the engines at once (the post-publication miss storm).
+//
+// Two mechanisms fill the cache:
+//
+//   - Carry-forward: every decision cached against the previous
+//     generation whose policy document is byte-identical in the
+//     successor is re-keyed as-is. A decision is a pure function of
+//     (preference text, policy text, engine), so unchanged text means an
+//     unchanged decision — this covers organic (unregistered) traffic
+//     across registrations and no-op republishes for free.
+//
+//   - Index-selected evaluation: for registered preferences, the
+//     prefindex predicate index selects, per changed policy, the rules
+//     that could possibly fire, and only those are evaluated — through
+//     the same conversion cache and engine code paths an organic match
+//     uses, so a pre-warmed decision is byte-identical to the one the
+//     engine would compute after the swap. Pairs whose conversion or
+//     evaluation errors are skipped, never cached: the organic path
+//     would surface the same error, uncached, and keeping the cache free
+//     of them preserves that.
+//
+// The pass deliberately bypasses match(): per-engine core.match.*
+// counters and conflict analytics move only for real visitor traffic,
+// which the metrics reconciliation invariants (server tests) depend on.
+// Pre-warm work is accounted under core.prewarm.* instead.
+
+import (
+	"context"
+	"fmt"
+
+	"p3pdb/internal/appel"
+	"p3pdb/internal/appelengine"
+	"p3pdb/internal/decision"
+	"p3pdb/internal/obs"
+	"p3pdb/internal/prefindex"
+	"p3pdb/internal/reldb"
+	"p3pdb/internal/resource"
+	"p3pdb/internal/sqlgen"
+	"p3pdb/internal/xquery"
+)
+
+var (
+	obsPrewarmPublishes = obs.GetCounter("core.prewarm.publishes")
+	obsPrewarmCarried   = obs.GetCounter("core.prewarm.carried")
+	obsPrewarmEvaluated = obs.GetCounter("core.prewarm.evaluated")
+	obsPrewarmStatic    = obs.GetCounter("core.prewarm.static")
+	obsPrewarmSkipped   = obs.GetCounter("core.prewarm.skipped")
+	obsPrewarmSelected  = obs.GetCounter("core.prewarm.selected_rules")
+	obsPrewarmTotal     = obs.GetCounter("core.prewarm.total_rules")
+)
+
+// PrewarmStats tallies the pre-warm pass: decisions carried forward,
+// decisions produced by index-selected evaluation, and the selectivity
+// evidence (selected vs. total rules across evaluated pairs).
+type PrewarmStats struct {
+	// Publishes counts snapshot publications that ran the pass.
+	Publishes int64 `json:"publishes"`
+	// Carried counts decisions re-keyed from the previous generation
+	// because their policy document was unchanged.
+	Carried int64 `json:"carried"`
+	// Evaluated counts decisions produced by index-selected evaluation.
+	Evaluated int64 `json:"evaluated"`
+	// Static counts evaluated decisions whose selection the index proved
+	// static (first selectable rule fires unconditionally).
+	Static int64 `json:"static"`
+	// Residual counts evaluated decisions forced exhaustive by an armed
+	// prefindex.select fault.
+	Residual int64 `json:"residual"`
+	// NoRule counts (preference, policy) pairs the index proved fire no
+	// rule at all; nothing is cached for them, matching the engines'
+	// uncached no-rule-fired error.
+	NoRule int64 `json:"noRule"`
+	// Skipped counts (preference, policy, engine) evaluations abandoned
+	// on a conversion or evaluation error.
+	Skipped int64 `json:"skipped"`
+	// SelectedRules and TotalRules accumulate, over evaluated pairs, how
+	// many rules the index selected vs. how many the rulesets hold — the
+	// selectivity ratio the bench table reports.
+	SelectedRules int64 `json:"selectedRules"`
+	TotalRules    int64 `json:"totalRules"`
+}
+
+// PrewarmStats reports the cumulative pre-warm tallies and those of the
+// most recent snapshot publication.
+func (s *Site) PrewarmStats() (cumulative, last PrewarmStats) {
+	s.prewarmMu.Lock()
+	defer s.prewarmMu.Unlock()
+	return s.prewarmCum, s.prewarmLast
+}
+
+// RegisterPreferenceMutation registers (or replaces) a preference
+// ruleset under a name, in batchable form. The APPEL document is parsed,
+// validated, and witness-indexed here, so malformed registrations fail
+// before anything joins a batch. engines lists the engines to pre-warm
+// under by short name; empty defaults to "sql" (the paper's deployment
+// engine).
+func RegisterPreferenceMutation(name, xml string, engines []string) (Mutation, error) {
+	if len(engines) == 0 {
+		engines = []string{"sql"}
+	}
+	norm := make([]string, 0, len(engines))
+	seen := map[string]bool{}
+	for _, e := range engines {
+		eng, err := ParseEngine(e)
+		if err != nil {
+			return Mutation{}, err
+		}
+		if sn := eng.ShortName(); !seen[sn] {
+			seen[sn] = true
+			norm = append(norm, sn)
+		}
+	}
+	p, err := prefindex.Compile(name, xml, norm)
+	if err != nil {
+		return Mutation{}, fmt.Errorf("core: register preference %q: %w", name, err)
+	}
+	return Mutation{edit: func(d *stateDraft) error {
+		d.prefs = d.prefs.With(p)
+		return nil
+	}}, nil
+}
+
+// RegisterPreferenceXML registers (or replaces) a preference ruleset and
+// publishes a successor snapshot, pre-warming the new preference against
+// every installed policy before the swap.
+func (s *Site) RegisterPreferenceXML(name, xml string, engines []string) error {
+	m, err := RegisterPreferenceMutation(name, xml, engines)
+	if err != nil {
+		return err
+	}
+	return s.ApplyBatch([]Mutation{m})
+}
+
+// RegisteredPreference describes one registered preference for listings.
+type RegisteredPreference struct {
+	Name    string   `json:"name"`
+	Engines []string `json:"engines"`
+	Rules   int      `json:"rules"`
+}
+
+// RegisteredPreferences lists the registered preferences in registration
+// order.
+func (s *Site) RegisteredPreferences() []RegisteredPreference {
+	var out []RegisteredPreference
+	for _, p := range s.state.Load().prefs.Prefs() {
+		out = append(out, RegisteredPreference{
+			Name:    p.Name,
+			Engines: append([]string(nil), p.Engines...),
+			Rules:   len(p.Rules.Rules),
+		})
+	}
+	return out
+}
+
+// prewarm fills the decision cache for the not-yet-published successor
+// snapshot. Called from ApplyBatch under writeMu, after materialize and
+// before the atomic publish; next's generation is invisible to readers
+// throughout, so every Preseed lands before the first post-swap lookup
+// can probe for it.
+func (s *Site) prewarm(prev, next *siteState) {
+	if s.decisions == nil {
+		return
+	}
+	var t PrewarmStats
+	t.Publishes = 1
+	// Carry forward every previous-generation decision whose policy
+	// document is unchanged: same preference text, same policy text,
+	// same engine — same decision, by construction.
+	for _, e := range s.decisions.EntriesAt(prev.gen) {
+		xml, ok := next.policyXML[e.Key.Policy]
+		if !ok || xml != prev.policyXML[e.Key.Policy] {
+			continue
+		}
+		k := e.Key
+		k.Gen = next.gen
+		s.decisions.Preseed(k, e.Out)
+		t.Carried++
+	}
+	// Index-selected evaluation over the registered preferences. Work is
+	// limited to (every preference x changed policies) plus (newly
+	// registered preferences x all policies); everything else was either
+	// carried forward or was never cached before.
+	if set := next.prefs; set.Len() > 0 {
+		newPref := map[string]bool{}
+		for _, p := range set.Prefs() {
+			if old, ok := prev.prefs.Get(p.Name); !ok || old != p {
+				newPref[p.Name] = true
+			}
+		}
+		for _, polName := range next.order {
+			changed := prev.policyXML[polName] != next.policyXML[polName]
+			if !changed && len(newPref) == 0 {
+				continue
+			}
+			art := s.artifacts[next.policies[polName]]
+			if art.terms == nil {
+				art.terms = prefindex.PolicyTerms(art.augmented)
+			}
+			for _, sel := range set.Select(art.terms) {
+				if !changed && !newPref[sel.Pref.Name] {
+					continue
+				}
+				s.prewarmPair(next, polName, sel, &t)
+			}
+		}
+	}
+	obsPrewarmPublishes.Inc()
+	obsPrewarmCarried.Add(t.Carried)
+	obsPrewarmEvaluated.Add(t.Evaluated)
+	obsPrewarmStatic.Add(t.Static)
+	obsPrewarmSkipped.Add(t.Skipped)
+	obsPrewarmSelected.Add(t.SelectedRules)
+	obsPrewarmTotal.Add(t.TotalRules)
+	s.prewarmMu.Lock()
+	s.prewarmCum.Publishes += t.Publishes
+	s.prewarmCum.Carried += t.Carried
+	s.prewarmCum.Evaluated += t.Evaluated
+	s.prewarmCum.Static += t.Static
+	s.prewarmCum.Residual += t.Residual
+	s.prewarmCum.NoRule += t.NoRule
+	s.prewarmCum.Skipped += t.Skipped
+	s.prewarmCum.SelectedRules += t.SelectedRules
+	s.prewarmCum.TotalRules += t.TotalRules
+	s.prewarmLast = t
+	s.prewarmMu.Unlock()
+}
+
+// prewarmPair evaluates one (preference, policy) selection under each of
+// the preference's engines and preseeds the outcomes.
+func (s *Site) prewarmPair(st *siteState, policy string, sel prefindex.Selection, t *PrewarmStats) {
+	if sel.NoRule {
+		// Every rule provably cannot fire. The organic match would
+		// return the engine's no-rule-fired error, which is never
+		// cached — so there is nothing to warm, and skipping keeps the
+		// cache's contents identical to what organic traffic builds.
+		t.NoRule++
+		return
+	}
+	for _, en := range sel.Pref.Engines {
+		eng, err := ParseEngine(en)
+		if err != nil {
+			continue
+		}
+		k := decision.Key{Gen: st.gen, Engine: uint8(eng), Policy: policy, Pref: sel.Pref.XML}
+		if _, ok := s.decisions.Peek(k); ok {
+			continue // already carried forward
+		}
+		out, err := s.prewarmEval(st, sel, policy, eng)
+		if err != nil {
+			// Conversion or evaluation failed — including the engine's
+			// own no-rule-fired. The organic path surfaces the same
+			// outcome uncached; caching nothing preserves that exactly.
+			t.Skipped++
+			continue
+		}
+		s.decisions.Preseed(k, out)
+		t.Evaluated++
+		if sel.Static {
+			t.Static++
+		}
+		if sel.Residual {
+			t.Residual++
+		}
+		t.SelectedRules += int64(sel.Selected)
+		t.TotalRules += int64(len(sel.Mask))
+	}
+}
+
+// prewarmEval runs one masked evaluation through the selected engine's
+// organic code path: same conversion cache, same statement execution,
+// same decision fields. The mask only skips rules the index proved
+// cannot fire, and engines return the first firing rule in order, so the
+// masked decision is identical to the exhaustive one.
+func (s *Site) prewarmEval(st *siteState, sel prefindex.Selection, policy string, engine Engine) (decision.Outcome, error) {
+	m := resource.NewMeter(context.Background(), s.matchBudget)
+	switch engine {
+	case EngineNative:
+		return s.prewarmNative(st, sel.Pref, policy, sel.Mask, m)
+	case EngineSQL:
+		return s.prewarmSQL(st, sel.Pref, policy, sel.Mask, m)
+	case EngineXTable:
+		return s.prewarmXTable(st, sel.Pref, policy, sel.Mask, m)
+	case EngineXQuery:
+		return s.prewarmXQuery(st, sel.Pref, policy, sel.Mask, m)
+	}
+	return decision.Outcome{}, fmt.Errorf("core: unknown engine %d", engine)
+}
+
+// maskFor guards against a conversion whose rule count disagrees with
+// the index's (it cannot happen — both parse the same document — but a
+// silent mismatch must degrade to exhaustive evaluation, never to
+// skipping the wrong rule).
+func maskFor(mask []bool, n int) []bool {
+	if len(mask) != n {
+		return nil
+	}
+	return mask
+}
+
+func (s *Site) prewarmNative(st *siteState, p *prefindex.Pref, policy string, mask []bool, m *resource.Meter) (decision.Outcome, error) {
+	conv, err := s.nativeConversion(p.XML)
+	if err != nil {
+		return decision.Outcome{}, err
+	}
+	rs := conv.rs
+	var remap []int
+	if mask = maskFor(mask, len(rs.Rules)); mask != nil {
+		sub := &appel.Ruleset{}
+		for i, on := range mask {
+			if on {
+				sub.Rules = append(sub.Rules, rs.Rules[i])
+				remap = append(remap, i)
+			}
+		}
+		rs = sub
+	}
+	dec, err := s.native.MatchMeter(rs, st.policyXML[policy], m)
+	if err != nil {
+		return decision.Outcome{}, err
+	}
+	idx := dec.RuleIndex
+	if remap != nil {
+		idx = remap[dec.RuleIndex]
+	}
+	return decision.Outcome{
+		Behavior:        dec.Behavior,
+		RuleIndex:       idx,
+		RuleDescription: ruleDescription(conv.rs, idx),
+		Prompt:          dec.Prompt,
+	}, nil
+}
+
+func (s *Site) prewarmSQL(st *siteState, p *prefindex.Pref, policy string, mask []bool, m *resource.Meter) (decision.Outcome, error) {
+	conv, err := s.sqlConversion(st, p.XML)
+	if err != nil {
+		return decision.Outcome{}, err
+	}
+	mask = maskFor(mask, len(conv.rules))
+	ctx := resource.WithMeter(context.Background(), m)
+	id := int64(st.ids[policy])
+	for i, rule := range conv.rules {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		fired, err := st.optDB.QueryExistsStmtCtx(ctx, rule.stmt, reldb.Int(id))
+		if err != nil {
+			return decision.Outcome{}, err
+		}
+		if fired {
+			return decision.Outcome{
+				Behavior:        rule.behavior,
+				RuleIndex:       i,
+				RuleDescription: rule.ruleDescription,
+				Prompt:          rule.prompt,
+			}, nil
+		}
+	}
+	return decision.Outcome{}, sqlgen.ErrNoRuleFired
+}
+
+func (s *Site) prewarmXTable(st *siteState, p *prefindex.Pref, policy string, mask []bool, m *resource.Meter) (decision.Outcome, error) {
+	conv, err := s.xtableConversion(st, p.XML, policy)
+	if err != nil {
+		return decision.Outcome{}, err
+	}
+	mask = maskFor(mask, len(conv.rules))
+	ctx := resource.WithMeter(context.Background(), m)
+	for i, rule := range conv.rules {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		fired, err := st.genDB.QueryExistsStmtCtx(ctx, rule.stmt)
+		if err != nil {
+			return decision.Outcome{}, err
+		}
+		if fired {
+			return decision.Outcome{
+				Behavior:        rule.behavior,
+				RuleIndex:       i,
+				RuleDescription: ruleDescription(conv.rs, i),
+				Prompt:          rule.prompt,
+			}, nil
+		}
+	}
+	return decision.Outcome{}, appelengine.ErrNoRuleFired
+}
+
+func (s *Site) prewarmXQuery(st *siteState, p *prefindex.Pref, policy string, mask []bool, m *resource.Meter) (decision.Outcome, error) {
+	conv, err := s.xqueryConversion(p.XML)
+	if err != nil {
+		return decision.Outcome{}, err
+	}
+	mask = maskFor(mask, len(conv.rules))
+	ev := xquery.NewEvaluator(st.resolvers[policy]).WithMeter(m)
+	for i, rule := range conv.rules {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		out, err := ev.Run(rule.query)
+		if err != nil {
+			return decision.Outcome{}, err
+		}
+		if out != "" {
+			return decision.Outcome{
+				Behavior:        out,
+				RuleIndex:       i,
+				RuleDescription: ruleDescription(conv.rs, i),
+				Prompt:          rule.prompt,
+			}, nil
+		}
+	}
+	return decision.Outcome{}, appelengine.ErrNoRuleFired
+}

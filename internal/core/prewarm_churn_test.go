@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"p3pdb/internal/workload"
+)
+
+// TestPrewarmChurnDrill interleaves preference registration, bulk policy
+// replacement (each triggering a pre-warm), and concurrent match traffic
+// under -race. Two policy universes with the same names but different
+// content alternate; every decision served during the churn must be
+// exactly the decision one of the two universes produces, and once the
+// churn quiesces on universe 2, every decision must be universe 2's —
+// a stale-generation decision surviving a swap would surface here as a
+// universe-1 ruling after the final publish.
+func TestPrewarmChurnDrill(t *testing.T) {
+	d1 := workload.Generate(101)
+	d2 := workload.Generate(102)
+
+	oracle := func(ds *workload.Dataset) *Site {
+		s, err := NewSiteWithOptions(Options{DisableDecisionCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.ReplacePolicies(ds.Policies, ds.RefFile); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	o1, o2 := oracle(d1), oracle(d2)
+
+	// Pick a (preference, policy) pair whose ruling differs between the
+	// universes, so serving a stale decision is detectable.
+	var prefXML, polName string
+	var dec1, dec2 Decision
+	for _, p := range d1.Preferences {
+		for _, pol := range d1.Policies {
+			a, errA := o1.MatchPolicy(p.XML, pol.Name, EngineSQL)
+			b, errB := o2.MatchPolicy(p.XML, pol.Name, EngineSQL)
+			if errA == nil && errB == nil && (a.Behavior != b.Behavior || a.RuleIndex != b.RuleIndex) {
+				prefXML, polName, dec1, dec2 = p.XML, pol.Name, a, b
+				break
+			}
+		}
+		if polName != "" {
+			break
+		}
+	}
+	if polName == "" {
+		t.Fatal("no (preference, policy) pair distinguishes the two universes")
+	}
+
+	s, err := NewSiteWithOptions(Options{ConversionCacheSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReplacePolicies(d1.Policies, d1.RefFile); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterPreferenceXML("churn-pref", prefXML, []string{"sql"}); err != nil {
+		t.Fatal(err)
+	}
+
+	same := func(d Decision, want Decision) bool {
+		return d.Behavior == want.Behavior && d.RuleIndex == want.RuleIndex
+	}
+
+	rounds := 14
+	if testing.Short() {
+		rounds = 4
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Writer: alternate the universes and keep registering fresh
+	// preference variants, so registration-driven and replace-driven
+	// pre-warms interleave with the readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer stop.Store(true)
+		variants := workload.PreferenceVariants(d1.Preferences[0].Level, rounds)
+		for i := 0; i < rounds; i++ {
+			ds := d1
+			if i%2 == 0 {
+				ds = d2
+			}
+			if err := s.ReplacePolicies(ds.Policies, ds.RefFile); err != nil {
+				t.Errorf("replace round %d: %v", i, err)
+				return
+			}
+			if err := s.RegisterPreferenceXML(fmt.Sprintf("v%d", i), variants[i].XML, []string{"sql"}); err != nil {
+				t.Errorf("register round %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				d, err := s.MatchPolicy(prefXML, polName, EngineSQL)
+				if err != nil {
+					t.Errorf("match during churn: %v", err)
+					return
+				}
+				if !same(d, dec1) && !same(d, dec2) {
+					t.Errorf("churn served a decision from no universe: %+v (want %+v or %+v)", d, dec1, dec2)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Quiesce on universe 2: from here on only its ruling may be served,
+	// and the pre-warm must have seeded it before the swap published.
+	if err := s.ReplacePolicies(d2.Policies, d2.RefFile); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		d, err := s.MatchPolicy(prefXML, polName, EngineSQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !same(d, dec2) {
+			t.Fatalf("stale decision after quiesce: %+v, want %+v", d, dec2)
+		}
+	}
+	d, err := s.MatchPolicy(prefXML, polName, EngineSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Cached {
+		t.Fatal("post-quiesce decision was not served from the pre-warmed cache")
+	}
+}

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"p3pdb/internal/faultkit"
+	"p3pdb/internal/obs"
+	"p3pdb/internal/workload"
+)
+
+// prewarmOracle pairs a warm site (decision cache on, preferences
+// registered) with an oracle site (no decision cache) holding the same
+// policies: the oracle always computes decisions exhaustively through
+// the engines, so any warm/oracle divergence is a pre-warm bug.
+func prewarmSites(t *testing.T) (warm, oracle *Site) {
+	t.Helper()
+	var err error
+	if warm, err = NewSiteWithOptions(Options{ConversionCacheSize: 2048}); err != nil {
+		t.Fatal(err)
+	}
+	if oracle, err = NewSiteWithOptions(Options{DisableDecisionCache: true, ConversionCacheSize: 2048}); err != nil {
+		t.Fatal(err)
+	}
+	return warm, oracle
+}
+
+var prewarmEngines = []string{"native", "sql", "xtable", "xquery"}
+
+// TestPrewarmDifferentialConformance is the tentpole's correctness bar:
+// across the conformance corpus, all four engines, faults armed or not,
+// every decision the pre-warm pass seeds must be byte-identical to what
+// exhaustive engine evaluation produces — and every pair the oracle can
+// decide must actually be seeded (over-selection allowed, under-selection
+// never).
+func TestPrewarmDifferentialConformance(t *testing.T) {
+	for _, armed := range []bool{false, true} {
+		name := "index"
+		if armed {
+			name = "residual-forced"
+		}
+		t.Run(name, func(t *testing.T) {
+			faultkit.Reset()
+			defer faultkit.Reset()
+			if armed {
+				if err := faultkit.Enable(faultkit.PointPrefindexSelect + ":error"); err != nil {
+					t.Fatal(err)
+				}
+			}
+			warm, oracle := prewarmSites(t)
+			preferences := readConformanceDir(t, "preferences")
+			for stem, prefXML := range preferences {
+				if err := warm.RegisterPreferenceXML(stem, prefXML, prewarmEngines); err != nil {
+					t.Fatalf("register %s: %v", stem, err)
+				}
+			}
+			// Installing after registration makes every policy "changed",
+			// so each install pre-warms it against every registered
+			// preference before the swap publishes.
+			var policyNames []string
+			for stem, xml := range readConformanceDir(t, "policies") {
+				names, err := warm.InstallPolicyXML(xml)
+				if err != nil {
+					t.Fatalf("install %s: %v", stem, err)
+				}
+				if _, err := oracle.InstallPolicyXML(xml); err != nil {
+					t.Fatalf("oracle install %s: %v", stem, err)
+				}
+				policyNames = append(policyNames, names...)
+			}
+			for prefStem, prefXML := range preferences {
+				for _, polName := range policyNames {
+					for _, en := range prewarmEngines {
+						eng, _ := ParseEngine(en)
+						want, wantErr := oracle.MatchPolicy(prefXML, polName, eng)
+						got, gotErr := warm.MatchPolicy(prefXML, polName, eng)
+						if (wantErr == nil) != (gotErr == nil) {
+							t.Fatalf("%s vs %s [%s]: oracle err=%v, warm err=%v",
+								prefStem, polName, en, wantErr, gotErr)
+						}
+						if wantErr != nil {
+							continue
+						}
+						if !got.Cached {
+							t.Errorf("%s vs %s [%s]: decidable pair was not pre-warmed",
+								prefStem, polName, en)
+						}
+						if got.Behavior != want.Behavior || got.RuleIndex != want.RuleIndex ||
+							got.RuleDescription != want.RuleDescription || got.Prompt != want.Prompt {
+							t.Errorf("%s vs %s [%s]: warm %s/rule %d (%q, prompt=%v) != oracle %s/rule %d (%q, prompt=%v)",
+								prefStem, polName, en,
+								got.Behavior, got.RuleIndex, got.RuleDescription, got.Prompt,
+								want.Behavior, want.RuleIndex, want.RuleDescription, want.Prompt)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPrewarmDifferentialWorkload runs the same invariant over the
+// generated workload corpus with a bulk replace: after swapping every
+// policy's content, the registered preferences' decisions against the
+// new generation must be pre-seeded and identical to the oracle's.
+func TestPrewarmDifferentialWorkload(t *testing.T) {
+	warm, oracle := prewarmSites(t)
+	d1 := workload.Generate(41)
+	if err := warm.ReplacePolicies(d1.Policies, d1.RefFile); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range d1.Preferences {
+		if err := warm.RegisterPreferenceXML(fmt.Sprintf("level-%s", p.Level), p.XML, prewarmEngines); err != nil {
+			t.Fatalf("register %d: %v", i, err)
+		}
+	}
+	// Same policy names, different content: the carry-forward cannot
+	// cover the swap, so every seeded decision below came from
+	// index-selected evaluation.
+	d2 := workload.Generate(42)
+	if err := warm.ReplacePolicies(d2.Policies, d2.RefFile); err != nil {
+		t.Fatal(err)
+	}
+	if err := oracle.ReplacePolicies(d2.Policies, d2.RefFile); err != nil {
+		t.Fatal(err)
+	}
+	_, last := warm.PrewarmStats()
+	if last.Evaluated == 0 {
+		t.Fatalf("replace evaluated nothing: %+v", last)
+	}
+	if last.SelectedRules >= last.TotalRules {
+		t.Errorf("index selected every rule (%d/%d): no selectivity", last.SelectedRules, last.TotalRules)
+	}
+	for _, p := range d1.Preferences {
+		for _, pol := range d2.Policies {
+			for _, en := range prewarmEngines {
+				eng, _ := ParseEngine(en)
+				want, wantErr := oracle.MatchPolicy(p.XML, pol.Name, eng)
+				got, gotErr := warm.MatchPolicy(p.XML, pol.Name, eng)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("%s vs %s [%s]: oracle err=%v, warm err=%v", p.Level, pol.Name, en, wantErr, gotErr)
+				}
+				if wantErr != nil {
+					continue
+				}
+				if !got.Cached {
+					t.Errorf("%s vs %s [%s]: not pre-warmed after replace", p.Level, pol.Name, en)
+				}
+				if got.Behavior != want.Behavior || got.RuleIndex != want.RuleIndex ||
+					got.RuleDescription != want.RuleDescription || got.Prompt != want.Prompt {
+					t.Errorf("%s vs %s [%s]: warm %+v != oracle %+v", p.Level, pol.Name, en, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPrewarmCarryForward: organic decisions for unregistered
+// preferences must survive a preference registration (which bumps the
+// generation without touching any policy document).
+func TestPrewarmCarryForward(t *testing.T) {
+	s, err := NewSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := workload.Generate(7)
+	if err := s.ReplacePolicies(ds.Policies, ds.RefFile); err != nil {
+		t.Fatal(err)
+	}
+	pref := ds.Preferences[0]
+	pol := ds.Policies[0].Name
+	if _, err := s.MatchPolicy(pref.XML, pol, EngineSQL); err != nil {
+		t.Fatal(err)
+	}
+	// Registration publishes a new generation; the organic decision
+	// above must ride across as a carried pre-seed.
+	other := ds.Preferences[1]
+	if err := s.RegisterPreferenceXML("reg", other.XML, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, last := s.PrewarmStats()
+	if last.Carried == 0 {
+		t.Fatalf("registration carried nothing forward: %+v", last)
+	}
+	d, err := s.MatchPolicy(pref.XML, pol, EngineSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Cached {
+		t.Fatal("organic decision was lost across the registration swap")
+	}
+}
+
+// TestPrewarmDoesNotMoveMatchCounters: the pass bypasses match(), so the
+// per-engine core.match.* totals — reconciled against server request
+// counts by the metrics invariant tests — must not move.
+func TestPrewarmDoesNotMoveMatchCounters(t *testing.T) {
+	before := make([]int64, len(Engines))
+	for i, e := range Engines {
+		before[i] = obs.GetCounter("core.match." + e.ShortName() + ".total").Value()
+	}
+	s, err := NewSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := workload.Generate(11)
+	if err := s.RegisterPreferenceXML("p", ds.Preferences[0].XML, prewarmEngines); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReplacePolicies(ds.Policies, ds.RefFile); err != nil {
+		t.Fatal(err)
+	}
+	if _, last := s.PrewarmStats(); last.Evaluated == 0 {
+		t.Fatalf("nothing evaluated: %+v", last)
+	}
+	for i, e := range Engines {
+		if after := obs.GetCounter("core.match." + e.ShortName() + ".total").Value(); after != before[i] {
+			t.Errorf("pre-warm moved core.match.%s.total by %d", e.ShortName(), after-before[i])
+		}
+	}
+}
+
+// TestForcedMissAccounting: an armed decision.lookup fault must count as
+// a forced miss, not a natural one — the honesty bar for the warm-rate
+// metric.
+func TestForcedMissAccounting(t *testing.T) {
+	faultkit.Reset()
+	defer faultkit.Reset()
+	s, err := NewSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := workload.Generate(13)
+	if err := s.ReplacePolicies(ds.Policies, ds.RefFile); err != nil {
+		t.Fatal(err)
+	}
+	pref, pol := ds.Preferences[0].XML, ds.Policies[0].Name
+	if _, err := s.MatchPolicy(pref, pol, EngineSQL); err != nil {
+		t.Fatal(err)
+	}
+	base := s.DecisionCacheDetail()
+	if err := faultkit.Enable(faultkit.PointDecisionLookup + ":error"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.MatchPolicy(pref, pol, EngineSQL); err != nil {
+		t.Fatal(err)
+	}
+	det := s.DecisionCacheDetail()
+	if det.ForcedMisses != base.ForcedMisses+1 {
+		t.Errorf("forced misses %d -> %d, want +1", base.ForcedMisses, det.ForcedMisses)
+	}
+	if det.Misses != base.Misses {
+		t.Errorf("a forced miss leaked into natural misses: %d -> %d", base.Misses, det.Misses)
+	}
+}
+
+// TestRegisterPreferenceValidation: malformed documents and unknown
+// engines must fail registration without publishing anything.
+func TestRegisterPreferenceValidation(t *testing.T) {
+	s, err := NewSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterPreferenceXML("bad", "<not-appel/>", nil); err == nil {
+		t.Error("malformed ruleset registered")
+	}
+	ds := workload.Generate(3)
+	if err := s.RegisterPreferenceXML("p", ds.Preferences[0].XML, []string{"warp-drive"}); err == nil {
+		t.Error("unknown engine accepted")
+	}
+	if got := s.RegisteredPreferences(); len(got) != 0 {
+		t.Errorf("failed registrations left residue: %+v", got)
+	}
+	if err := s.RegisterPreferenceXML("p", ds.Preferences[0].XML, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := s.RegisteredPreferences()
+	if len(got) != 1 || got[0].Name != "p" || len(got[0].Engines) != 1 || got[0].Engines[0] != "sql" {
+		t.Errorf("default registration wrong: %+v", got)
+	}
+}
+
+// TestRestoreStatePreservesPrefs: the durability layer's rollback path
+// rebuilds sites from exports; registrations must round-trip.
+func TestRestoreStatePreservesPrefs(t *testing.T) {
+	s, err := NewSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := workload.Generate(5)
+	if err := s.ReplacePolicies(ds.Policies, ds.RefFile); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterPreferenceXML("keep", ds.Preferences[2].XML, []string{"sql", "native"}); err != nil {
+		t.Fatal(err)
+	}
+	exp := s.ExportState()
+	if len(exp.Prefs) != 1 || exp.Prefs[0].Name != "keep" {
+		t.Fatalf("export lost prefs: %+v", exp.Prefs)
+	}
+	restored, err := NewSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RestoreState(exp); err != nil {
+		t.Fatal(err)
+	}
+	got := restored.RegisteredPreferences()
+	if len(got) != 1 || got[0].Name != "keep" || len(got[0].Engines) != 2 {
+		t.Fatalf("restore lost prefs: %+v", got)
+	}
+	// The restored registration must pre-warm on the next policy write.
+	d2 := workload.Generate(6)
+	if err := restored.ReplacePolicies(d2.Policies, d2.RefFile); err != nil {
+		t.Fatal(err)
+	}
+	if _, last := restored.PrewarmStats(); last.Evaluated == 0 {
+		t.Fatalf("restored prefs did not pre-warm: %+v", last)
+	}
+}

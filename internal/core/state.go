@@ -7,6 +7,7 @@ import (
 	"p3pdb/internal/compact"
 	"p3pdb/internal/p3p"
 	"p3pdb/internal/p3p/basedata"
+	"p3pdb/internal/prefindex"
 	"p3pdb/internal/reffile"
 	"p3pdb/internal/reldb"
 	"p3pdb/internal/shred"
@@ -58,6 +59,12 @@ type siteState struct {
 	// rules against, both computed once at snapshot publication so the
 	// per-request path only reads them.
 	compact map[string]*compactSummary
+
+	// prefs is the immutable set of registered preference rulesets plus
+	// the predicate index over them (internal/prefindex). Snapshots share
+	// the set; registration publishes a successor snapshot holding a
+	// copy-on-write successor set.
+	prefs *prefindex.Set
 
 	// gen is this snapshot's generation number (stateGen), the decision
 	// cache's snapshot identity.
@@ -128,6 +135,11 @@ type policyArtifacts struct {
 	augmented *xmldom.Node
 	xmlStr    string
 	compact   *compactSummary
+	// terms is the policy's witness-term universe for the preference
+	// index, derived from the augmented DOM. Computed lazily by the
+	// pre-warm pass (under writeMu), so sites with no registered
+	// preferences never pay for it.
+	terms map[string]struct{}
 }
 
 // stateDraft is the mutable sketch a writer edits before the next
@@ -140,6 +152,9 @@ type stateDraft struct {
 	order    []string
 	refFile  *reffile.RefFile
 	nextID   int
+	// prefs rides through policy edits untouched (the Set is immutable;
+	// registration replaces the pointer with a successor set).
+	prefs *prefindex.Set
 }
 
 func newDraft() *stateDraft {
@@ -147,6 +162,7 @@ func newDraft() *stateDraft {
 		policies: map[string]*p3p.Policy{},
 		ids:      map[string]int{},
 		nextID:   1,
+		prefs:    prefindex.NewSet(),
 	}
 }
 
@@ -158,6 +174,7 @@ func (st *siteState) draft() *stateDraft {
 		order:    append([]string(nil), st.order...),
 		refFile:  st.refFile,
 		nextID:   st.nextID,
+		prefs:    st.prefs,
 	}
 	for n, p := range st.policies {
 		d.policies[n] = p
@@ -247,6 +264,7 @@ func (s *Site) materialize(d *stateDraft) (*siteState, error) {
 		order:     d.order,
 		nextID:    d.nextID,
 		compact:   make(map[string]*compactSummary, len(d.policies)),
+		prefs:     d.prefs,
 		gen:       stateGen.Add(1),
 		resolvers: make(map[string]func(string) (*xmldom.Node, error), len(d.policies)),
 	}

@@ -50,6 +50,7 @@ var (
 	obsMisses     = obs.GetCounter("decision.misses")
 	obsStores     = obs.GetCounter("decision.stores")
 	obsOverwrites = obs.GetCounter("decision.overwrites")
+	obsPreseeds   = obs.GetCounter("decision.preseeds")
 )
 
 // Key identifies one cached decision. Gen is the site-snapshot
@@ -90,9 +91,10 @@ type Cache struct {
 	// replacement instead of pinning one slot.
 	victim atomic.Uint64
 
-	hits   atomic.Int64
-	misses atomic.Int64
-	stores atomic.Int64
+	hits     atomic.Int64
+	misses   atomic.Int64
+	stores   atomic.Int64
+	preseeds atomic.Int64
 }
 
 // New returns a cache with at least the given number of slots, rounded
@@ -189,6 +191,54 @@ func (c *Cache) Put(k Key, o Outcome) {
 	c.stores.Add(1)
 	obsStores.Inc()
 }
+
+// Peek looks the key up without touching the hit/miss counters. The
+// pre-warm pass uses it to detect carried-forward entries: a Peek is
+// bookkeeping, not a visitor lookup, so it must not distort the warm-hit
+// metric the bench gate enforces.
+func (c *Cache) Peek(k Key) (Outcome, bool) {
+	h := c.hash(k)
+	for i := uint64(0); i < probeWindow; i++ {
+		e := c.slots[(h+i)&c.mask].Load()
+		if e != nil && e.key == k {
+			return e.out, true
+		}
+	}
+	return Outcome{}, false
+}
+
+// Preseed publishes a decision computed ahead of a snapshot swap, keyed
+// by the not-yet-published generation. Mechanically a Put; accounted
+// separately so the warm-rate metric can tell pre-warm stores from
+// organic fills.
+func (c *Cache) Preseed(k Key, o Outcome) {
+	c.Put(k, o)
+	c.preseeds.Add(1)
+	obsPreseeds.Inc()
+}
+
+// Entry is one live (key, outcome) pair, as returned by EntriesAt.
+type Entry struct {
+	Key Key
+	Out Outcome
+}
+
+// EntriesAt scans every slot and returns the live entries cached against
+// the given generation. The pre-warm pass uses it to carry decisions
+// whose policy text is unchanged forward across a swap. A full scan, but
+// it runs under the writer mutex on the cold publication path.
+func (c *Cache) EntriesAt(gen uint64) []Entry {
+	var out []Entry
+	for i := range c.slots {
+		if e := c.slots[i].Load(); e != nil && e.key.Gen == gen {
+			out = append(out, Entry{Key: e.key, Out: e.out})
+		}
+	}
+	return out
+}
+
+// Preseeds reports how many decisions were pre-warmed into this cache.
+func (c *Cache) Preseeds() int64 { return c.preseeds.Load() }
 
 // Len counts live entries, scanning every slot. For tests and metrics;
 // not on any hot path.

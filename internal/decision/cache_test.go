@@ -124,3 +124,56 @@ func TestConcurrentHammering(t *testing.T) {
 		t.Fatalf("Len = %d exceeds %d slots", n, c.Slots())
 	}
 }
+
+func TestPeekDoesNotTouchCounters(t *testing.T) {
+	c := New(64)
+	k := key(1, "<ruleset/>", "peek")
+	if _, ok := c.Peek(k); ok {
+		t.Fatal("peek hit on empty cache")
+	}
+	c.Put(k, Outcome{Behavior: "block"})
+	out, ok := c.Peek(k)
+	if !ok || out.Behavior != "block" {
+		t.Fatalf("peek = %+v, %v", out, ok)
+	}
+	hits, misses, _ := c.Stats()
+	if hits != 0 || misses != 0 {
+		t.Fatalf("peek moved counters: hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestPreseedAccountsSeparately(t *testing.T) {
+	c := New(64)
+	k := key(7, "<ruleset/>", "warm")
+	c.Preseed(k, Outcome{Behavior: "limited"})
+	if got := c.Preseeds(); got != 1 {
+		t.Fatalf("preseeds = %d, want 1", got)
+	}
+	out, ok := c.Get(k)
+	if !ok || out.Behavior != "limited" {
+		t.Fatalf("preseeded entry not served: %+v, %v", out, ok)
+	}
+	if _, _, stores := c.Stats(); stores != 1 {
+		t.Fatalf("preseed did not count as a store: %d", stores)
+	}
+}
+
+func TestEntriesAtFiltersByGeneration(t *testing.T) {
+	c := New(64)
+	for i := 0; i < 5; i++ {
+		c.Put(key(2, fmt.Sprintf("p%d", i), "site"), Outcome{RuleIndex: i})
+	}
+	c.Put(key(3, "newer", "site"), Outcome{})
+	got := c.EntriesAt(2)
+	if len(got) != 5 {
+		t.Fatalf("EntriesAt(2) = %d entries, want 5", len(got))
+	}
+	for _, e := range got {
+		if e.Key.Gen != 2 {
+			t.Fatalf("foreign generation in scan: %+v", e.Key)
+		}
+	}
+	if n := len(c.EntriesAt(9)); n != 0 {
+		t.Fatalf("EntriesAt(9) = %d entries, want 0", n)
+	}
+}

@@ -842,6 +842,37 @@ func (t *Tenant) Replace(site *core.Site, docs []string, ref string) error {
 	return t.apply(site, &Record{Op: OpReplace, Docs: docs, Ref: ref}, core.ReplacePoliciesMutation(pols, rf))
 }
 
+// RegisterPreferenceXML durably registers (or replaces) a preference
+// ruleset under a name. The document is parsed, validated, and indexed
+// eagerly — a malformed ruleset or unknown engine fails before anything
+// reaches the pipeline — and the registration pre-warms the decision
+// cache through the same ApplyBatch hook every other mutation uses.
+func (t *Tenant) RegisterPreferenceXML(site *core.Site, name, xml string, engines []string) error {
+	mut, err := core.RegisterPreferenceMutation(name, xml, engines)
+	if err != nil {
+		return err
+	}
+	return t.apply(site, &Record{Op: OpPref, Name: name, Doc: xml, Engines: engines}, mut)
+}
+
+// prefEntries and prefExports convert between the durable layer's
+// snapshot/record shape and core's export shape.
+func prefEntries(prefs []core.PrefExport) []PrefEntry {
+	var out []PrefEntry
+	for _, p := range prefs {
+		out = append(out, PrefEntry{Name: p.Name, Doc: p.XML, Engines: p.Engines})
+	}
+	return out
+}
+
+func prefExports(entries []PrefEntry) []core.PrefExport {
+	var out []core.PrefExport
+	for _, e := range entries {
+		out = append(out, core.PrefExport{Name: e.Name, XML: e.Doc, Engines: e.Engines})
+	}
+	return out
+}
+
 // orderOf and docsMap adapt a bare document list to parseExport's
 // (order, map) shape.
 func orderOf(docs []string) []string {
@@ -890,6 +921,7 @@ func (t *Tenant) checkpointLocked(site *core.Site) error {
 		Order:     exp.Order,
 		Policies:  exp.PolicyXML,
 		Reference: exp.ReferenceXML,
+		Prefs:     prefEntries(exp.Prefs),
 	}
 	// The log must be durable before the snapshot claims to cover it:
 	// otherwise a crash could leave a snapshot at LSN N with the records
@@ -960,7 +992,7 @@ func (t *Tenant) ReplayInto(site *core.Site) error {
 	if batchErr != nil {
 		replayed = 0
 		if snap != nil {
-			exp := core.StateExport{Order: snap.Order, PolicyXML: snap.Policies, ReferenceXML: snap.Reference}
+			exp := core.StateExport{Order: snap.Order, PolicyXML: snap.Policies, ReferenceXML: snap.Reference, Prefs: prefExports(snap.Prefs)}
 			if err := site.RestoreState(exp); err != nil {
 				return fmt.Errorf("durable: snapshot replay: %w", err)
 			}
@@ -989,7 +1021,7 @@ func (t *Tenant) ReplayInto(site *core.Site) error {
 func (t *Tenant) replayBatch(site *core.Site, snap *Snapshot, records []Record) (int, error) {
 	muts := make([]core.Mutation, 0, len(records)+1)
 	if snap != nil {
-		m, err := core.RestoreStateMutation(core.StateExport{Order: snap.Order, PolicyXML: snap.Policies, ReferenceXML: snap.Reference})
+		m, err := core.RestoreStateMutation(core.StateExport{Order: snap.Order, PolicyXML: snap.Policies, ReferenceXML: snap.Reference, Prefs: prefExports(snap.Prefs)})
 		if err != nil {
 			return 0, err
 		}
@@ -1050,8 +1082,10 @@ func MutationForRecord(rec *Record) (core.Mutation, error) {
 		}
 		return core.ReplacePoliciesMutation(pols, rf), nil
 	case OpState:
-		exp := core.StateExport{Order: orderOf(rec.Docs), PolicyXML: docsMap(rec.Docs), ReferenceXML: rec.Ref}
+		exp := core.StateExport{Order: orderOf(rec.Docs), PolicyXML: docsMap(rec.Docs), ReferenceXML: rec.Ref, Prefs: prefExports(rec.Prefs)}
 		return core.RestoreStateMutation(exp)
+	case OpPref:
+		return core.RegisterPreferenceMutation(rec.Name, rec.Doc, rec.Engines)
 	}
 	return core.Mutation{}, fmt.Errorf("durable: unknown op %q", rec.Op)
 }
@@ -1108,8 +1142,10 @@ func applyRecord(site *core.Site, rec *Record) error {
 		}
 		return site.ReplacePolicies(pols, rf)
 	case OpState:
-		exp := core.StateExport{Order: orderOf(rec.Docs), PolicyXML: docsMap(rec.Docs), ReferenceXML: rec.Ref}
+		exp := core.StateExport{Order: orderOf(rec.Docs), PolicyXML: docsMap(rec.Docs), ReferenceXML: rec.Ref, Prefs: prefExports(rec.Prefs)}
 		return site.RestoreState(exp)
+	case OpPref:
+		return site.RegisterPreferenceXML(rec.Name, rec.Doc, rec.Engines)
 	}
 	return fmt.Errorf("durable: unknown op %q", rec.Op)
 }

@@ -64,6 +64,11 @@ const (
 	// may legitimately carry a reference file with dangling POLICY-REFs
 	// left by a RemovePolicy.
 	OpState = "state"
+	// OpPref registers (or replaces) one preference ruleset
+	// (core.Site.RegisterPreferenceXML), so registrations survive restart
+	// and replicate to followers — a follower that replays one pre-warms
+	// its own decision cache through the same ApplyBatch hook.
+	OpPref = "pref"
 )
 
 // Record is one logged site mutation. LSN is the tenant's monotonic
@@ -73,10 +78,23 @@ const (
 type Record struct {
 	LSN  uint64   `json:"lsn"`
 	Op   string   `json:"op"`
-	Name string   `json:"name,omitempty"` // OpRemove: the policy name
-	Doc  string   `json:"doc,omitempty"`  // OpInstall/OpReference: the XML document
+	Name string   `json:"name,omitempty"` // OpRemove: the policy name; OpPref: the preference name
+	Doc  string   `json:"doc,omitempty"`  // OpInstall/OpReference: the XML document; OpPref: the APPEL ruleset
 	Docs []string `json:"docs,omitempty"` // OpReplace: every policy document
 	Ref  string   `json:"ref,omitempty"`  // OpReplace: the reference file, "" for none
+	// Engines lists the pre-warm engines of an OpPref registration.
+	Engines []string `json:"engines,omitempty"`
+	// Prefs carries the registered preferences of an OpState bootstrap
+	// record, mirroring Snapshot.Prefs.
+	Prefs []PrefEntry `json:"prefs,omitempty"`
+}
+
+// PrefEntry is one registered preference in a snapshot or OpState
+// record: name, verbatim APPEL document, and pre-warm engines.
+type PrefEntry struct {
+	Name    string   `json:"name"`
+	Doc     string   `json:"doc"`
+	Engines []string `json:"engines,omitempty"`
 }
 
 // EncodeRecord frames one record for the wire: the replication stream

@@ -1,0 +1,219 @@
+package durable
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"p3pdb/internal/core"
+	"p3pdb/internal/faultkit"
+)
+
+// prefRuleset is a minimal valid APPEL document: one indexed block rule
+// keyed on telemarketing plus a trivial request fallback, so it both
+// exercises the predicate index and decides every policy.
+const prefRuleset = `<appel:RULESET xmlns:appel="http://www.w3.org/2002/04/APPELv1" xmlns:p3p="http://www.w3.org/2002/01/P3Pv1">` +
+	`<appel:RULE behavior="block"><p3p:POLICY><p3p:STATEMENT><p3p:PURPOSE><p3p:telemarketing/></p3p:PURPOSE></p3p:STATEMENT></p3p:POLICY></appel:RULE>` +
+	`<appel:RULE behavior="request"></appel:RULE>` +
+	`</appel:RULESET>`
+
+// mustEqualPrefs asserts two sites hold the same registered preferences.
+func mustEqualPrefs(t *testing.T, want, got *core.Site) {
+	t.Helper()
+	wp, gp := want.ExportState().Prefs, got.ExportState().Prefs
+	if !reflect.DeepEqual(wp, gp) {
+		t.Fatalf("preferences diverged:\nwant %+v\ngot  %+v", wp, gp)
+	}
+}
+
+// TestPrefSurvivesRestart: a registered preference is a logged mutation
+// like any other — it must replay after close/reopen, and the replayed
+// site must pre-warm with it on the next policy publish.
+func TestPrefSurvivesRestart(t *testing.T) {
+	store := newStore(t, Options{Fsync: FsyncNever, CheckpointEvery: -1})
+	site := newSite(t)
+	tn := openTenant(t, store, "t")
+
+	if _, err := tn.InstallPolicyXML(site, polDoc("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.RegisterPreferenceXML(site, "mine", prefRuleset, []string{"sql", "native"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tn2 := openTenant(t, store, "t")
+	fresh := newSite(t)
+	if err := tn2.ReplayInto(fresh); err != nil {
+		t.Fatal(err)
+	}
+	mustEqualState(t, site, fresh)
+	mustEqualPrefs(t, site, fresh)
+	regs := fresh.RegisteredPreferences()
+	if len(regs) != 1 || regs[0].Name != "mine" || !reflect.DeepEqual(regs[0].Engines, []string{"sql", "native"}) {
+		t.Fatalf("replayed registrations wrong: %+v", regs)
+	}
+	// The replayed registration is live, not just recorded: the next
+	// publish pre-warms through it.
+	if _, err := tn2.InstallPolicyXML(fresh, polDoc("b")); err != nil {
+		t.Fatal(err)
+	}
+	if _, last := fresh.PrewarmStats(); last.Evaluated == 0 {
+		t.Fatalf("post-replay publish did not pre-warm: %+v", last)
+	}
+}
+
+// TestPrefSurvivesCheckpoint: a checkpoint truncates the log, so the
+// registration must ride the snapshot — and an OpPref record landing
+// after the checkpoint must still replay on top of it.
+func TestPrefSurvivesCheckpoint(t *testing.T) {
+	store := newStore(t, Options{Fsync: FsyncNever, CheckpointEvery: -1})
+	site := newSite(t)
+	tn := openTenant(t, store, "t")
+
+	if _, err := tn.InstallPolicyXML(site, polDoc("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.RegisterPreferenceXML(site, "snapped", prefRuleset, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.Checkpoint(site); err != nil {
+		t.Fatal(err)
+	}
+	if tn.Status().LogBytes != 0 {
+		t.Fatal("checkpoint did not truncate the log")
+	}
+	if err := tn.RegisterPreferenceXML(site, "tailed", prefRuleset, []string{"xquery"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tn2 := openTenant(t, store, "t")
+	fresh := newSite(t)
+	if err := tn2.ReplayInto(fresh); err != nil {
+		t.Fatal(err)
+	}
+	mustEqualState(t, site, fresh)
+	mustEqualPrefs(t, site, fresh)
+	regs := fresh.RegisteredPreferences()
+	if len(regs) != 2 || regs[0].Name != "snapped" || regs[1].Name != "tailed" {
+		t.Fatalf("snapshot+tail replay lost a registration: %+v", regs)
+	}
+}
+
+// TestPrefReplicates drives the follower paths directly: an OpPref
+// record through ApplyRecord/ApplyRecords, and an OpState bootstrap
+// record minted from a snapshot that carries preferences.
+func TestPrefReplicates(t *testing.T) {
+	leaderStore := newStore(t, Options{Fsync: FsyncNever, CheckpointEvery: -1})
+	leader := newSite(t)
+	tn := openTenant(t, leaderStore, "t")
+	if _, err := tn.InstallPolicyXML(leader, polDoc("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.RegisterPreferenceXML(leader, "shipped", prefRuleset, []string{"sql"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Log shipping: the follower replays the leader's records verbatim.
+	_, recs, _, err := tn.ReadFrom(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].Op != OpPref {
+		t.Fatalf("leader log wrong: %+v", recs)
+	}
+	follower := newSite(t)
+	ptrs := make([]*Record, len(recs))
+	for i := range recs {
+		ptrs[i] = &recs[i]
+	}
+	if n, err := ApplyRecords(follower, ptrs); err != nil || n != len(ptrs) {
+		t.Fatalf("ApplyRecords: n=%d err=%v", n, err)
+	}
+	mustEqualState(t, leader, follower)
+	mustEqualPrefs(t, leader, follower)
+	// The replicated registration pre-warms the follower's own cache.
+	if _, err := follower.InstallPolicyXML(polDoc("b")); err != nil {
+		t.Fatal(err)
+	}
+	if _, last := follower.PrewarmStats(); last.Evaluated == 0 {
+		t.Fatalf("follower publish did not pre-warm: %+v", last)
+	}
+
+	// Snapshot bootstrap: a follower below the checkpoint LSN gets an
+	// OpState record, which must carry the registrations too.
+	if err := tn.Checkpoint(leader); err != nil {
+		t.Fatal(err)
+	}
+	snap, _, _, err := tn.ReadFrom(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || len(snap.Prefs) != 1 {
+		t.Fatalf("checkpoint snapshot lost the registration: %+v", snap)
+	}
+	boot := newSite(t)
+	if err := ApplyRecord(boot, StateRecord(snap)); err != nil {
+		t.Fatal(err)
+	}
+	mustEqualState(t, leader, boot)
+	mustEqualPrefs(t, leader, boot)
+}
+
+// TestPrefRollbackPreservesPrefs: a policy append that fails after a
+// preference is registered rolls the site back through RestoreState —
+// which must restore the registration, not just the policy set. And a
+// failed preference append must itself leave no registration residue.
+func TestPrefRollbackPreservesPrefs(t *testing.T) {
+	t.Cleanup(faultkit.Reset)
+	store := newStore(t, Options{Fsync: FsyncNever, CheckpointEvery: -1})
+	site := newSite(t)
+	tn := openTenant(t, store, "t")
+
+	if _, err := tn.InstallPolicyXML(site, polDoc("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.RegisterPreferenceXML(site, "kept", prefRuleset, []string{"sql"}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := faultkit.Enable(faultkit.PointDurableWrite + ":error:times=1"); err != nil {
+		t.Fatal(err)
+	}
+	var ae *AppendError
+	if _, err := tn.InstallPolicyXML(site, polDoc("b")); !errors.As(err, &ae) {
+		t.Fatalf("short write surfaced as %v", err)
+	}
+	regs := site.RegisteredPreferences()
+	if len(regs) != 1 || regs[0].Name != "kept" {
+		t.Fatalf("rollback dropped the registration: %+v", regs)
+	}
+
+	if err := faultkit.Enable(faultkit.PointDurableWrite + ":error:times=1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.RegisterPreferenceXML(site, "torn", prefRuleset, nil); !errors.As(err, &ae) {
+		t.Fatalf("short pref write surfaced as %v", err)
+	}
+	regs = site.RegisteredPreferences()
+	if len(regs) != 1 || regs[0].Name != "kept" {
+		t.Fatalf("failed registration left residue: %+v", regs)
+	}
+
+	// The journal still recovers to exactly the acknowledged state.
+	if err := tn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tn2 := openTenant(t, store, "t")
+	fresh := newSite(t)
+	if err := tn2.ReplayInto(fresh); err != nil {
+		t.Fatal(err)
+	}
+	mustEqualState(t, site, fresh)
+	mustEqualPrefs(t, site, fresh)
+}

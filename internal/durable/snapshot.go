@@ -48,6 +48,10 @@ type Snapshot struct {
 	// Reference is the reference-file document, empty when none is
 	// installed.
 	Reference string `json:"reference,omitempty"`
+	// Prefs lists the registered preference rulesets in registration
+	// order. Absent in pre-preference snapshots, which decode to an
+	// empty list — old snapshot files stay readable.
+	Prefs []PrefEntry `json:"prefs,omitempty"`
 }
 
 // writeSnapshot persists a snapshot with the temp-file + rename + dir

@@ -94,7 +94,7 @@ func StateRecord(snap *Snapshot) *Record {
 	for _, name := range snap.Order {
 		docs = append(docs, snap.Policies[name])
 	}
-	return &Record{LSN: snap.LSN, Op: OpState, Docs: docs, Ref: snap.Reference}
+	return &Record{LSN: snap.LSN, Op: OpState, Docs: docs, Ref: snap.Reference, Prefs: snap.Prefs}
 }
 
 // ReadFrom returns what a follower at LSN from still needs: the

@@ -88,6 +88,12 @@ const (
 	// prove a stuck follower never advances its applied LSN or serves
 	// partial state.
 	PointReplicaApply = "replica.apply"
+	// PointPrefindexSelect guards the preference index's selection step:
+	// an armed fault never fails the publish — it forces residual-bucket
+	// mode (every rule of every registered preference selected), the
+	// drill that proves bypassing the index changes pre-warm cost, never
+	// decisions.
+	PointPrefindexSelect = "prefindex.select"
 )
 
 // fault is one armed injection point.

@@ -1,0 +1,450 @@
+// Package prefindex maintains a predicate index over registered APPEL
+// preference rulesets: the inverse of the paper's per-request matching.
+// At millions of resident users the scalable direction is pub/sub-style
+// enforcement (the FGAC observation): index the *preferences*, so one
+// policy write selects the few rulesets it can possibly affect and
+// evaluates only those, instead of every visitor re-faulting through the
+// full engine after the snapshot swap.
+//
+// The index is built on *witness terms*: normalized predicates extracted
+// from each rule that are necessary conditions for the rule to fire.
+// Two term kinds exist:
+//
+//	n:<element>  some policy element with this name must exist
+//	r:<prefix>   some DATA ref with this dotted prefix must exist
+//
+// Soundness rests on the APPEL evaluation order (appelengine): an
+// expression matches a policy element only if the element names are
+// equal, before any attribute or connective is consulted. Element-name
+// presence is therefore a sound necessary condition for every
+// expression, whatever its children do. Terms are refined by descending
+// through the connectives that preserve necessity:
+//
+//   - and / and-exact: every child must be found, so any single child's
+//     witness is necessary — the most selective one is chosen.
+//   - or / or-exact: some child must be found, so the union of the
+//     children's witnesses is necessary.
+//   - non-and / non-or: a child's absence can satisfy the pattern, so
+//     descent stops at the expression's own name term (still necessary:
+//     the expression itself must match an element of that name).
+//
+// Rules outside the indexable fragment fall into conservative buckets:
+// a rule whose *rule-level* connective is negated (non-and/non-or) can
+// fire against a policy containing none of its terms, so it lands in the
+// always-evaluate residual bucket; a rule with an empty body (the
+// OTHERWISE shape) fires unconditionally and is classified trivial,
+// which lets selection decide it statically. Over-selection is allowed
+// and harmless — a selected rule that cannot fire just evaluates to
+// false — under-selection never happens, which the differential tests
+// assert against the exhaustive evaluator.
+package prefindex
+
+import (
+	"fmt"
+	"strings"
+
+	"p3pdb/internal/appel"
+	"p3pdb/internal/faultkit"
+	"p3pdb/internal/xmldom"
+)
+
+// ruleClass classifies one rule for selection.
+type ruleClass int
+
+const (
+	// classIndexed rules carry witness terms and are selected only when
+	// a policy term hits one of them.
+	classIndexed ruleClass = iota
+	// classTrivial rules have empty bodies and fire unconditionally.
+	classTrivial
+	// classResidual rules sit outside the indexable fragment (negated
+	// rule-level connective) and are always evaluated.
+	classResidual
+)
+
+// compiledRule is one rule's index material.
+type compiledRule struct {
+	class ruleClass
+	terms []string
+}
+
+// Pref is one registered preference ruleset with its compiled index
+// material. Prefs are immutable after Compile; Set shares them across
+// copies.
+type Pref struct {
+	// Name is the registration name (unique per site).
+	Name string
+	// XML is the registered APPEL document, verbatim — it is the
+	// decision-cache key text, so it is never re-rendered.
+	XML string
+	// Rules is the parsed ruleset.
+	Rules *appel.Ruleset
+	// Engines lists the engine short names ("sql", "native", ...) the
+	// pre-warm pass evaluates this preference under.
+	Engines []string
+
+	compiled []compiledRule
+}
+
+// Compile parses, validates, and indexes one preference ruleset.
+// Engine names are recorded verbatim; the caller validates them against
+// its engine registry (prefindex has no engine dependency by design).
+func Compile(name, xml string, engines []string) (*Pref, error) {
+	if name == "" {
+		return nil, fmt.Errorf("prefindex: preference name must not be empty")
+	}
+	rs, err := appel.Parse(xml)
+	if err != nil {
+		return nil, err
+	}
+	if err := rs.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Pref{Name: name, XML: xml, Rules: rs, Engines: engines, compiled: make([]compiledRule, len(rs.Rules))}
+	for i, r := range rs.Rules {
+		p.compiled[i] = compileRule(r)
+	}
+	return p, nil
+}
+
+// RuleClasses reports, for tests and metrics, how many rules fell into
+// each bucket: indexed, trivial, residual.
+func (p *Pref) RuleClasses() (indexed, trivial, residual int) {
+	for _, c := range p.compiled {
+		switch c.class {
+		case classIndexed:
+			indexed++
+		case classTrivial:
+			trivial++
+		case classResidual:
+			residual++
+		}
+	}
+	return
+}
+
+// RuleTerms exposes one rule's witness terms, for tests.
+func (p *Pref) RuleTerms(i int) []string { return p.compiled[i].terms }
+
+// compileRule extracts one rule's class and witness terms.
+func compileRule(r *appel.Rule) compiledRule {
+	if len(r.Body) == 0 {
+		return compiledRule{class: classTrivial}
+	}
+	switch r.EffectiveConnective() {
+	case appel.ConnNonAnd, appel.ConnNonOr:
+		// The rule can fire against a policy containing none of its
+		// elements (absence satisfies it): residual bucket.
+		return compiledRule{class: classResidual}
+	case appel.ConnOr, appel.ConnOrExact:
+		// Some body expression must match: the union of their witnesses
+		// is necessary.
+		var union []string
+		for _, e := range r.Body {
+			w, _ := witness(e)
+			union = append(union, w...)
+		}
+		return compiledRule{class: classIndexed, terms: dedupe(union)}
+	default: // and, and-exact
+		// Every body expression must match: any single one's witness is
+		// necessary; take the most selective.
+		best, bestScore := []string(nil), -1
+		for _, e := range r.Body {
+			w, score := witness(e)
+			if score > bestScore || (score == bestScore && len(w) < len(best)) {
+				best, bestScore = w, score
+			}
+		}
+		return compiledRule{class: classIndexed, terms: dedupe(best)}
+	}
+}
+
+// genericNames are element names that appear in essentially every P3P
+// policy; a witness consisting of one is valid but unselective, so the
+// descent prefers deeper terms when the connectives allow it.
+var genericNames = map[string]bool{
+	"POLICY": true, "STATEMENT": true, "ENTITY": true, "ACCESS": true,
+	"PURPOSE": true, "RECIPIENT": true, "RETENTION": true,
+	"DATA-GROUP": true, "DATA": true, "CATEGORIES": true,
+	"CONSEQUENCE": true, "DISPUTES-GROUP": true, "DISPUTES": true,
+}
+
+// witness returns a sound witness-term set for one expression and its
+// selectivity score (higher is more selective; a set is only as
+// selective as its weakest term, since selection fires on any hit).
+func witness(e *appel.Expr) ([]string, int) {
+	own, ownScore := ownTerms(e)
+	if len(e.Children) == 0 {
+		return own, ownScore
+	}
+	switch e.EffectiveConnective() {
+	case appel.ConnAnd, appel.ConnAndExact:
+		// All children must be found; the best single witness among the
+		// expression's own terms and each child's wins.
+		best, bestScore := own, ownScore
+		for _, c := range e.Children {
+			w, score := witness(c)
+			if score > bestScore || (score == bestScore && len(w) < len(best)) {
+				best, bestScore = w, score
+			}
+		}
+		return best, bestScore
+	case appel.ConnOr, appel.ConnOrExact:
+		// Some child must be found: the union of child witnesses is
+		// necessary. Use it only if it beats the expression's own name.
+		var union []string
+		unionScore := -1
+		for _, c := range e.Children {
+			w, score := witness(c)
+			union = append(union, w...)
+			if unionScore < 0 || score < unionScore {
+				unionScore = score
+			}
+		}
+		if unionScore > ownScore {
+			return union, unionScore
+		}
+		return own, ownScore
+	default: // non-and, non-or: children's absence can satisfy the pattern
+		return own, ownScore
+	}
+}
+
+// ownTerms is the expression's own witness: its element name, refined to
+// dotted-prefix ref terms for concrete DATA references.
+func ownTerms(e *appel.Expr) ([]string, int) {
+	if e.Name == "DATA" {
+		if ref, ok := e.Attr("ref"); ok && ref != "" && ref != "*" {
+			return refTerms(ref), 3
+		}
+	}
+	if genericNames[e.Name] {
+		return []string{"n:" + e.Name}, 1
+	}
+	return []string{"n:" + e.Name}, 2
+}
+
+// refTerms expands a data reference into every dotted prefix, matching
+// the bidirectional prefix semantics of APPEL's hierarchical ref match:
+// pattern and policy refs match iff they share their full shorter chain,
+// so emitting all prefixes on both sides guarantees an index hit
+// whenever refMatches would succeed.
+func refTerms(ref string) []string {
+	bare := strings.TrimPrefix(ref, "#")
+	var out []string
+	for i := 0; i < len(bare); i++ {
+		if bare[i] == '.' {
+			out = append(out, "r:"+bare[:i])
+		}
+	}
+	return append(out, "r:"+bare)
+}
+
+func dedupe(terms []string) []string {
+	if len(terms) < 2 {
+		return terms
+	}
+	seen := make(map[string]bool, len(terms))
+	out := terms[:0]
+	for _, t := range terms {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ruleRef addresses one rule of one preference in the postings lists.
+type ruleRef struct {
+	pref int // index into Set.order
+	rule int
+}
+
+// Set is an immutable collection of registered preferences plus the
+// inverted term index over them. Copy-on-write: With returns a new Set
+// sharing every untouched Pref, so a published site snapshot can hold a
+// Set the way it holds any other immutable backend.
+type Set struct {
+	prefs map[string]*Pref
+	order []string
+	// postings maps each witness term to the (pref, rule) pairs it
+	// selects; alwaysOn holds every trivial and residual rule.
+	postings map[string][]ruleRef
+	alwaysOn []ruleRef
+}
+
+// NewSet returns an empty set.
+func NewSet() *Set {
+	return &Set{prefs: map[string]*Pref{}, postings: map[string][]ruleRef{}}
+}
+
+// Len reports the number of registered preferences.
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.order)
+}
+
+// Get returns the named preference.
+func (s *Set) Get(name string) (*Pref, bool) {
+	if s == nil {
+		return nil, false
+	}
+	p, ok := s.prefs[name]
+	return p, ok
+}
+
+// Prefs lists the registered preferences in registration order.
+func (s *Set) Prefs() []*Pref {
+	if s == nil {
+		return nil
+	}
+	out := make([]*Pref, len(s.order))
+	for i, name := range s.order {
+		out[i] = s.prefs[name]
+	}
+	return out
+}
+
+// With returns a new Set with p registered, replacing any previous
+// registration under the same name (which keeps its position in the
+// registration order). The receiver is never mutated.
+func (s *Set) With(p *Pref) *Set {
+	next := &Set{prefs: make(map[string]*Pref, len(s.prefs)+1)}
+	for n, old := range s.prefs {
+		next.prefs[n] = old
+	}
+	if _, exists := next.prefs[p.Name]; exists {
+		next.order = append([]string(nil), s.order...)
+	} else {
+		next.order = append(append([]string(nil), s.order...), p.Name)
+	}
+	next.prefs[p.Name] = p
+	next.reindex()
+	return next
+}
+
+// reindex rebuilds the postings lists. Registration is the cold
+// administrative path; O(total rules) per registration is fine.
+func (s *Set) reindex() {
+	s.postings = map[string][]ruleRef{}
+	s.alwaysOn = nil
+	for pi, name := range s.order {
+		p := s.prefs[name]
+		for ri, c := range p.compiled {
+			if c.class == classIndexed {
+				for _, t := range c.terms {
+					s.postings[t] = append(s.postings[t], ruleRef{pref: pi, rule: ri})
+				}
+				continue
+			}
+			s.alwaysOn = append(s.alwaysOn, ruleRef{pref: pi, rule: ri})
+		}
+	}
+}
+
+// Selection is one preference's evaluation plan against one policy.
+type Selection struct {
+	// Pref is the preference this plan covers.
+	Pref *Pref
+	// Mask marks the rules that must be evaluated, aligned with
+	// Pref.Rules.Rules. Unmasked rules provably cannot fire.
+	Mask []bool
+	// Selected counts the masked rules.
+	Selected int
+	// Static reports that the first masked rule is trivial (fires
+	// unconditionally): since every earlier rule provably cannot fire,
+	// the decision is known without running an engine. StaticIndex is
+	// that rule's index.
+	Static      bool
+	StaticIndex int
+	// NoRule reports that no rule was selected at all: every rule
+	// provably cannot fire, so evaluation would return the engines'
+	// no-rule-fired error — there is nothing to warm.
+	NoRule bool
+	// Residual reports the selection was forced exhaustive (the armed
+	// prefindex.select fault): every rule is masked, so evaluation
+	// degenerates to the full re-match it replaces.
+	Residual bool
+}
+
+// Select builds one evaluation plan per registered preference (in
+// registration order) against a policy described by its term set. An
+// armed prefindex.select fault does not fail the publish: it forces
+// residual-bucket mode — every rule of every preference selected — the
+// drill that proves index bypass changes cost, never decisions.
+func (s *Set) Select(policyTerms map[string]struct{}) []Selection {
+	if s == nil || len(s.order) == 0 {
+		return nil
+	}
+	out := make([]Selection, len(s.order))
+	for i, name := range s.order {
+		p := s.prefs[name]
+		out[i] = Selection{Pref: p, Mask: make([]bool, len(p.compiled))}
+	}
+	if faultkit.Inject(faultkit.PointPrefindexSelect) != nil {
+		for i := range out {
+			for ri := range out[i].Mask {
+				out[i].Mask[ri] = true
+			}
+			out[i].Selected = len(out[i].Mask)
+			out[i].Residual = true
+		}
+		return out
+	}
+	mark := func(ref ruleRef) {
+		sel := &out[ref.pref]
+		if !sel.Mask[ref.rule] {
+			sel.Mask[ref.rule] = true
+			sel.Selected++
+		}
+	}
+	for _, ref := range s.alwaysOn {
+		mark(ref)
+	}
+	for t := range policyTerms {
+		for _, ref := range s.postings[t] {
+			mark(ref)
+		}
+	}
+	for i := range out {
+		sel := &out[i]
+		first := -1
+		for ri, on := range sel.Mask {
+			if on {
+				first = ri
+				break
+			}
+		}
+		if first < 0 {
+			sel.NoRule = true
+			continue
+		}
+		if sel.Pref.compiled[first].class == classTrivial {
+			sel.Static, sel.StaticIndex = true, first
+		}
+	}
+	return out
+}
+
+// PolicyTerms extracts the witness-term universe of one policy from its
+// augmented DOM (the document APPEL matching is defined over, P3P 1.0
+// §5.4.6 — category elements only exist post-augmentation): every
+// element name, plus every dotted prefix of every DATA ref.
+func PolicyTerms(augmented *xmldom.Node) map[string]struct{} {
+	terms := map[string]struct{}{}
+	augmented.Walk(func(n *xmldom.Node) bool {
+		terms["n:"+n.Name] = struct{}{}
+		if n.Name == "DATA" {
+			if ref, ok := n.Attr("ref"); ok {
+				for _, t := range refTerms(ref) {
+					terms[t] = struct{}{}
+				}
+			}
+		}
+		return true
+	})
+	return terms
+}

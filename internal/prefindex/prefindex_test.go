@@ -1,0 +1,244 @@
+package prefindex
+
+import (
+	"fmt"
+	"testing"
+
+	"p3pdb/internal/appelengine"
+	"p3pdb/internal/faultkit"
+	"p3pdb/internal/workload"
+	"p3pdb/internal/xmldom"
+)
+
+const prefHeader = `<appel:RULESET xmlns:appel="http://www.w3.org/2002/04/APPELv1" xmlns:p3p="http://www.w3.org/2002/01/P3Pv1">`
+
+func compileOne(t *testing.T, body string) *Pref {
+	t.Helper()
+	p, err := Compile("t", prefHeader+body+`</appel:RULESET>`, nil)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return p
+}
+
+func TestCompileClassification(t *testing.T) {
+	// Empty body: trivial (fires unconditionally).
+	p := compileOne(t, `<appel:RULE behavior="request"></appel:RULE>`)
+	if in, tr, re := p.RuleClasses(); in != 0 || tr != 1 || re != 0 {
+		t.Fatalf("empty body: got indexed=%d trivial=%d residual=%d", in, tr, re)
+	}
+	// Negated rule-level connective: residual.
+	p = compileOne(t, `<appel:RULE behavior="block" appel:connective="non-and"><p3p:POLICY><p3p:TELEMARKETING/></p3p:POLICY></appel:RULE>`)
+	if in, tr, re := p.RuleClasses(); in != 0 || tr != 0 || re != 1 {
+		t.Fatalf("non-and rule: got indexed=%d trivial=%d residual=%d", in, tr, re)
+	}
+	// Plain and rule: indexed.
+	p = compileOne(t, `<appel:RULE behavior="block"><p3p:POLICY><p3p:STATEMENT><p3p:PURPOSE><p3p:telemarketing/></p3p:PURPOSE></p3p:STATEMENT></p3p:POLICY></appel:RULE>`)
+	if in, tr, re := p.RuleClasses(); in != 1 || tr != 0 || re != 0 {
+		t.Fatalf("and rule: got indexed=%d trivial=%d residual=%d", in, tr, re)
+	}
+}
+
+func TestWitnessDescendsThroughAnd(t *testing.T) {
+	// The and-chain should surface the selective leaf (telemarketing),
+	// not the generic POLICY wrapper.
+	p := compileOne(t, `<appel:RULE behavior="block"><p3p:POLICY><p3p:STATEMENT><p3p:PURPOSE><p3p:telemarketing/></p3p:PURPOSE></p3p:STATEMENT></p3p:POLICY></appel:RULE>`)
+	terms := p.RuleTerms(0)
+	if len(terms) != 1 || terms[0] != "n:telemarketing" {
+		t.Fatalf("want [n:telemarketing], got %v", terms)
+	}
+}
+
+func TestWitnessOrUnions(t *testing.T) {
+	p := compileOne(t, `<appel:RULE behavior="block"><p3p:POLICY><p3p:STATEMENT><p3p:PURPOSE appel:connective="or"><p3p:telemarketing/><p3p:contact/></p3p:PURPOSE></p3p:STATEMENT></p3p:POLICY></appel:RULE>`)
+	terms := p.RuleTerms(0)
+	want := map[string]bool{"n:telemarketing": true, "n:contact": true}
+	if len(terms) != 2 || !want[terms[0]] || !want[terms[1]] {
+		t.Fatalf("want union of telemarketing+contact, got %v", terms)
+	}
+}
+
+func TestWitnessNegatedConnectiveStopsDescent(t *testing.T) {
+	// non-or children can be satisfied by absence; descent must stop at
+	// the expression's own name.
+	p := compileOne(t, `<appel:RULE behavior="block"><p3p:POLICY><p3p:STATEMENT appel:connective="non-or"><p3p:PURPOSE><p3p:telemarketing/></p3p:PURPOSE></p3p:STATEMENT></p3p:POLICY></appel:RULE>`)
+	terms := p.RuleTerms(0)
+	if len(terms) != 1 || (terms[0] != "n:STATEMENT" && terms[0] != "n:POLICY") {
+		t.Fatalf("want a single generic wrapper term, got %v", terms)
+	}
+	for _, tm := range terms {
+		if tm == "n:telemarketing" || tm == "n:PURPOSE" {
+			t.Fatalf("descent crossed a negated connective: %v", terms)
+		}
+	}
+}
+
+func TestWitnessDataRefPrefixes(t *testing.T) {
+	p := compileOne(t, `<appel:RULE behavior="block"><p3p:POLICY><p3p:STATEMENT><p3p:DATA-GROUP><p3p:DATA ref="#user.home-info.telecom"/></p3p:DATA-GROUP></p3p:STATEMENT></p3p:POLICY></appel:RULE>`)
+	terms := p.RuleTerms(0)
+	want := []string{"r:user", "r:user.home-info", "r:user.home-info.telecom"}
+	if len(terms) != len(want) {
+		t.Fatalf("want %v, got %v", want, terms)
+	}
+	for i, w := range want {
+		if terms[i] != w {
+			t.Fatalf("want %v, got %v", want, terms)
+		}
+	}
+}
+
+func TestSetWithReplacesInPlace(t *testing.T) {
+	a1, _ := Compile("a", prefHeader+`<appel:RULE behavior="request"/></appel:RULESET>`, []string{"sql"})
+	b, _ := Compile("b", prefHeader+`<appel:RULE behavior="request"/></appel:RULESET>`, []string{"sql"})
+	a2, _ := Compile("a", prefHeader+`<appel:RULE behavior="block"/></appel:RULESET>`, []string{"native"})
+	s := NewSet().With(a1).With(b)
+	s2 := s.With(a2)
+	if s2.Len() != 2 {
+		t.Fatalf("replace grew set: len=%d", s2.Len())
+	}
+	prefs := s2.Prefs()
+	if prefs[0].Name != "a" || prefs[1].Name != "b" {
+		t.Fatalf("replacement lost registration order: %v, %v", prefs[0].Name, prefs[1].Name)
+	}
+	if got, _ := s2.Get("a"); got != a2 {
+		t.Fatal("Get returned the stale pref after replacement")
+	}
+	// Immutability: the original set still holds a1.
+	if got, _ := s.Get("a"); got != a1 {
+		t.Fatal("With mutated its receiver")
+	}
+}
+
+func TestSelectStaticAndNoRule(t *testing.T) {
+	// Pref 1: only an OTHERWISE rule — static everywhere.
+	// Pref 2: one indexed rule on an element no policy has — NoRule.
+	p1, _ := Compile("otherwise", prefHeader+`<appel:RULE behavior="request"/></appel:RULESET>`, nil)
+	p2, _ := Compile("miss", prefHeader+`<appel:RULE behavior="block"><p3p:POLICY><p3p:no-such-element/></p3p:POLICY></appel:RULE></appel:RULESET>`, nil)
+	s := NewSet().With(p1).With(p2)
+	sels := s.Select(map[string]struct{}{"n:POLICY": {}})
+	if len(sels) != 2 {
+		t.Fatalf("want 2 selections, got %d", len(sels))
+	}
+	if !sels[0].Static || sels[0].StaticIndex != 0 {
+		t.Fatalf("otherwise pref not static: %+v", sels[0])
+	}
+	if !sels[1].NoRule {
+		t.Fatalf("unmatchable pref not NoRule: %+v", sels[1])
+	}
+}
+
+func TestSelectFaultForcesResidual(t *testing.T) {
+	faultkit.Reset()
+	defer faultkit.Reset()
+	if err := faultkit.Enable(faultkit.PointPrefindexSelect + ":error"); err != nil {
+		t.Fatalf("Enable: %v", err)
+	}
+	p, _ := Compile("miss", prefHeader+`<appel:RULE behavior="block"><p3p:POLICY><p3p:no-such-element/></p3p:POLICY></appel:RULE></appel:RULESET>`, nil)
+	sels := NewSet().With(p).Select(map[string]struct{}{})
+	if !sels[0].Residual || sels[0].Selected != 1 || sels[0].NoRule || sels[0].Static {
+		t.Fatalf("armed prefindex.select did not force residual mode: %+v", sels[0])
+	}
+}
+
+// TestSelectionSoundness is the core invariant: for every workload
+// preference against every workload policy, the rule the exhaustive
+// APPEL engine fires must be selected by the index (over-selection is
+// fine, under-selection never), and NoRule must imply ErrNoRuleFired.
+func TestSelectionSoundness(t *testing.T) {
+	ds := workload.Generate(1)
+	eng := appelengine.New()
+	set := NewSet()
+	var prefs []workload.Preference
+	prefs = append(prefs, ds.Preferences...)
+	for i, wp := range prefs {
+		p, err := Compile(fmt.Sprintf("p%d", i), wp.XML, nil)
+		if err != nil {
+			t.Fatalf("Compile %s: %v", wp.Level, err)
+		}
+		set = set.With(p)
+	}
+	for name, xml := range ds.PolicyXML {
+		root, err := xmldom.ParseString(xml)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		terms := PolicyTerms(eng.Augment(root))
+		sels := set.Select(terms)
+		for i, sel := range sels {
+			dec, err := eng.Match(sel.Pref.Rules, xml)
+			if err != nil {
+				if err == appelengine.ErrNoRuleFired {
+					continue // NoRule or not, nothing fires: nothing to check
+				}
+				t.Fatalf("engine %s vs %s: %v", prefs[i].Level, name, err)
+			}
+			if sel.NoRule {
+				t.Fatalf("under-selection: %s vs %s fired rule %d but index said NoRule",
+					prefs[i].Level, name, dec.RuleIndex)
+			}
+			if !sel.Mask[dec.RuleIndex] {
+				t.Fatalf("under-selection: %s vs %s fired rule %d, unselected (mask %v)",
+					prefs[i].Level, name, dec.RuleIndex, sel.Mask)
+			}
+			// A static decision must agree with the engine exactly.
+			if sel.Static {
+				r := sel.Pref.Rules.Rules[sel.StaticIndex]
+				if dec.RuleIndex != sel.StaticIndex || dec.Behavior != r.Behavior {
+					t.Fatalf("static mismatch: %s vs %s static=%d/%s engine=%d/%s",
+						prefs[i].Level, name, sel.StaticIndex, r.Behavior, dec.RuleIndex, dec.Behavior)
+				}
+			}
+		}
+	}
+}
+
+// TestSelectionSoundnessMaskedEval goes one step further: evaluating
+// only the selected rules (as the pre-warm pass does) must reproduce the
+// exhaustive decision byte for byte.
+func TestSelectionSoundnessMaskedEval(t *testing.T) {
+	ds := workload.Generate(2)
+	eng := appelengine.New()
+	for pi, wp := range ds.Preferences {
+		p, err := Compile(fmt.Sprintf("p%d", pi), wp.XML, nil)
+		if err != nil {
+			t.Fatalf("Compile: %v", err)
+		}
+		set := NewSet().With(p)
+		for name, xml := range ds.PolicyXML {
+			root, err := xmldom.ParseString(xml)
+			if err != nil {
+				t.Fatalf("parse %s: %v", name, err)
+			}
+			sel := set.Select(PolicyTerms(eng.Augment(root)))[0]
+			fullDec, fullErr := eng.Match(p.Rules, xml)
+			if sel.NoRule {
+				if fullErr != appelengine.ErrNoRuleFired {
+					t.Fatalf("%s vs %s: NoRule but engine said %v %v", wp.Level, name, fullDec, fullErr)
+				}
+				continue
+			}
+			// Build the masked sub-ruleset and remap indices.
+			sub := *p.Rules
+			sub.Rules = nil
+			var remap []int
+			for ri, on := range sel.Mask {
+				if on {
+					sub.Rules = append(sub.Rules, p.Rules.Rules[ri])
+					remap = append(remap, ri)
+				}
+			}
+			maskDec, maskErr := eng.Match(&sub, xml)
+			if (fullErr == nil) != (maskErr == nil) {
+				t.Fatalf("%s vs %s: full err=%v masked err=%v", wp.Level, name, fullErr, maskErr)
+			}
+			if fullErr != nil {
+				continue
+			}
+			if remap[maskDec.RuleIndex] != fullDec.RuleIndex ||
+				maskDec.Behavior != fullDec.Behavior || maskDec.Prompt != fullDec.Prompt {
+				t.Fatalf("%s vs %s: masked decision %+v (remapped %d) != full %+v",
+					wp.Level, name, maskDec, remap[maskDec.RuleIndex], fullDec)
+			}
+		}
+	}
+}

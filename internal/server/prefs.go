@@ -1,0 +1,87 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"p3pdb/internal/core"
+)
+
+// PrefsStatus is the GET /prefs response: the registered preference
+// rulesets plus the warm-status of the decision cache — how the last
+// publish pre-warmed it and where lookups land now.
+type PrefsStatus struct {
+	Preferences []core.RegisteredPreference `json:"preferences"`
+	Prewarm     core.PrewarmStats           `json:"prewarm"`
+	LastPublish core.PrewarmStats           `json:"lastPublish"`
+	Decisions   core.DecisionCacheDetail    `json:"decisions"`
+}
+
+// PrefRegisterResponse reports a successful registration.
+type PrefRegisterResponse struct {
+	Name    string   `json:"name"`
+	Engines []string `json:"engines"`
+	Rules   int      `json:"rules"`
+}
+
+// handlePrefs implements POST /prefs?name=mine&engines=sql,native with
+// the APPEL ruleset as the body (register a preference for pre-warming;
+// durable when a journal is configured, rejected on read-only replicas)
+// and GET /prefs (list registrations plus warm-status). In multi-tenant
+// mode it is reached as /sites/{name}/prefs.
+func (s *Server) handlePrefs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost, http.MethodPut:
+		if s.rejectReadOnly(w) {
+			return
+		}
+		name := r.URL.Query().Get("name")
+		if name == "" {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("missing name parameter"))
+			return
+		}
+		var engines []string
+		for _, e := range strings.Split(r.URL.Query().Get("engines"), ",") {
+			if e = strings.TrimSpace(e); e != "" {
+				engines = append(engines, e)
+			}
+		}
+		body, ok := readBody(w, r)
+		if !ok {
+			return
+		}
+		var err error
+		if s.opts.Journal != nil {
+			err = s.opts.Journal.RegisterPreferenceXML(s.site, name, body, engines)
+		} else {
+			err = s.site.RegisterPreferenceXML(name, body, engines)
+		}
+		if err != nil {
+			writeMutationError(w, err)
+			return
+		}
+		s.afterMutation()
+		for _, reg := range s.site.RegisteredPreferences() {
+			if reg.Name == name {
+				writeJSON(w, http.StatusCreated, PrefRegisterResponse{Name: reg.Name, Engines: reg.Engines, Rules: reg.Rules})
+				return
+			}
+		}
+		writeJSON(w, http.StatusCreated, PrefRegisterResponse{Name: name, Engines: engines})
+	case http.MethodGet:
+		cum, last := s.site.PrewarmStats()
+		prefs := s.site.RegisteredPreferences()
+		if prefs == nil {
+			prefs = []core.RegisteredPreference{}
+		}
+		writeJSON(w, http.StatusOK, PrefsStatus{
+			Preferences: prefs,
+			Prewarm:     cum,
+			LastPublish: last,
+			Decisions:   s.site.DecisionCacheDetail(),
+		})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	}
+}

@@ -1,0 +1,263 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+
+	"p3pdb/internal/appel"
+	"p3pdb/internal/core"
+	"p3pdb/internal/p3p"
+	"p3pdb/internal/workload"
+)
+
+// postPref registers a preference and decodes the response envelope.
+func postPref(t *testing.T, base, name, engines, body string) PrefRegisterResponse {
+	t.Helper()
+	u := base + "/prefs?name=" + url.QueryEscape(name)
+	if engines != "" {
+		u += "&engines=" + url.QueryEscape(engines)
+	}
+	resp, err := http.Post(u, "application/xml", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		var ae apiError
+		decodeBody(t, resp, &ae)
+		t.Fatalf("POST /prefs: status %d: %+v", resp.StatusCode, ae)
+	}
+	var out PrefRegisterResponse
+	decodeBody(t, resp, &out)
+	return out
+}
+
+func getPrefs(t *testing.T, base string) PrefsStatus {
+	t.Helper()
+	resp, err := http.Get(base + "/prefs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out PrefsStatus
+	decodeBody(t, resp, &out)
+	return out
+}
+
+// TestPrefsRegisterWarmsMatches: registering a resident preference
+// pre-warms the decision cache, so the very first /matchpolicy for that
+// pair after the registration publish is already a cache hit.
+func TestPrefsRegisterWarmsMatches(t *testing.T) {
+	ts, c := testServer(t)
+	installVolga(t, c)
+
+	reg := postPref(t, ts.URL, "jane", "sql,native", appel.JanePreferenceXML)
+	if reg.Name != "jane" || len(reg.Engines) != 2 || reg.Rules == 0 {
+		t.Fatalf("register response: %+v", reg)
+	}
+
+	for _, engine := range []string{"sql", "native"} {
+		resp, err := http.Post(ts.URL+"/matchpolicy?policy=volga&engine="+engine,
+			"application/xml", strings.NewReader(appel.JanePreferenceXML))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var d MatchResponse
+		decodeBody(t, resp, &d)
+		if !d.Cached {
+			t.Errorf("%s: first match after registration not served warm: %+v", engine, d)
+		}
+	}
+
+	st := getPrefs(t, ts.URL)
+	if len(st.Preferences) != 1 || st.Preferences[0].Name != "jane" {
+		t.Fatalf("status preferences: %+v", st.Preferences)
+	}
+	if st.LastPublish.Evaluated == 0 {
+		t.Fatalf("registration publish evaluated nothing: %+v", st.LastPublish)
+	}
+	if st.Decisions.Preseeds == 0 || st.Decisions.Hits < 2 {
+		t.Fatalf("warm-status cache detail: %+v", st.Decisions)
+	}
+}
+
+// TestPrefsErrors covers the request-validation and replica guards.
+func TestPrefsErrors(t *testing.T) {
+	ts, c := testServer(t)
+	installVolga(t, c)
+
+	post := func(path, body string) int {
+		resp, err := http.Post(ts.URL+path, "application/xml", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := post("/prefs", appel.JanePreferenceXML); got != http.StatusBadRequest {
+		t.Errorf("missing name: status %d", got)
+	}
+	if got := post("/prefs?name=bad", "<not-appel/>"); got != http.StatusBadRequest {
+		t.Errorf("malformed ruleset: status %d", got)
+	}
+	if got := post("/prefs?name=bad&engines=warp", appel.JanePreferenceXML); got != http.StatusBadRequest {
+		t.Errorf("unknown engine: status %d", got)
+	}
+
+	// A follower rejects registrations like any other mutation.
+	site, err := core.NewSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro := httptest.NewServer(NewWithOptions(site, Options{ReadOnly: true, Leader: "http://leader"}))
+	t.Cleanup(ro.Close)
+	resp, err := http.Post(ro.URL+"/prefs?name=x", "application/xml", strings.NewReader(appel.JanePreferenceXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ae apiError
+	decodeBody(t, resp, &ae)
+	if resp.StatusCode != http.StatusForbidden || ae.Reason != "read-only-replica" || ae.Leader != "http://leader" {
+		t.Errorf("read-only rejection: status %d, %+v", resp.StatusCode, ae)
+	}
+}
+
+// TestPrefsMultiTenantAndDurable: the endpoint routes through
+// /sites/{name}/prefs, journals the registration, and a restart replays
+// it.
+func TestPrefsMultiTenantAndDurable(t *testing.T) {
+	stateDir := t.TempDir()
+	ts, _, journal, store := durableServer(t, stateDir)
+	c := NewClient(ts.URL)
+	if _, err := c.InstallPolicies(p3p.VolgaPolicyXML); err != nil {
+		t.Fatal(err)
+	}
+
+	before := journal.Status().LSN
+	postPref(t, ts.URL, "jane", "", appel.JanePreferenceXML)
+	if got := journal.Status().LSN; got != before+1 {
+		t.Fatalf("registration not journaled: LSN %d -> %d", before, got)
+	}
+
+	ts.Close()
+	if err := journal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	site2, err := core.NewSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal2, err := store.OpenTenant("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { journal2.Close() })
+	if err := journal2.ReplayInto(site2); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(NewWithOptions(site2, Options{Journal: journal2}))
+	t.Cleanup(ts2.Close)
+	st := getPrefs(t, ts2.URL)
+	if len(st.Preferences) != 1 || st.Preferences[0].Name != "jane" {
+		t.Fatalf("restart lost the registration: %+v", st.Preferences)
+	}
+
+	// Multi-tenant routing: the same handler answers under /sites/{name}.
+	mts, _, _ := multiFixture(t)
+	reg := postPrefAt(t, mts.URL+"/sites/a.example", "jane", appel.JanePreferenceXML)
+	if reg.Name != "jane" {
+		t.Fatalf("multi-tenant register: %+v", reg)
+	}
+	mst := getPrefs(t, mts.URL+"/sites/a.example")
+	if len(mst.Preferences) != 1 || mst.Preferences[0].Name != "jane" {
+		t.Fatalf("multi-tenant status: %+v", mst.Preferences)
+	}
+}
+
+func postPrefAt(t *testing.T, base, name, body string) PrefRegisterResponse {
+	t.Helper()
+	return postPref(t, base, name, "", body)
+}
+
+// TestPrefsServerChurn hammers /matchpolicy while registrations and
+// full-set replaces race: every response must be a 200 with a coherent
+// decision — never an error, never a decision from a generation that was
+// not published.
+func TestPrefsServerChurn(t *testing.T) {
+	ds := workload.Generate(7)
+	site, err := core.NewSiteWithOptions(core.Options{ConversionCacheSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := site.ReplacePolicies(ds.Policies, ds.RefFile); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(site))
+	t.Cleanup(ts.Close)
+
+	pref := ds.Preferences[0].XML
+	pol := ds.Policies[0].Name
+	want, err := site.MatchPolicy(pref, pol, core.EngineSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rounds := 6
+	if testing.Short() {
+		rounds = 2
+	}
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		variants := workload.PreferenceVariants(ds.Preferences[0].Level, rounds)
+		for i := 0; i < rounds; i++ {
+			if _, err := http.Post(ts.URL+"/prefs?name=v"+fmt.Sprint(i), "application/xml",
+				strings.NewReader(variants[i].XML)); err != nil {
+				t.Errorf("register round %d: %v", i, err)
+				return
+			}
+			if err := site.ReplacePolicies(ds.Policies, ds.RefFile); err != nil {
+				t.Errorf("replace round %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Post(ts.URL+"/matchpolicy?policy="+pol+"&engine=sql",
+					"application/xml", strings.NewReader(pref))
+				if err != nil {
+					t.Errorf("match during churn: %v", err)
+					return
+				}
+				var d MatchResponse
+				if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+					t.Error(err)
+					resp.Body.Close()
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || d.Behavior != want.Behavior || d.RuleIndex != want.RuleIndex {
+					t.Errorf("churn decision diverged: status %d, %+v (want %+v)", resp.StatusCode, d, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

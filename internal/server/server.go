@@ -83,6 +83,7 @@ func NewWithOptions(site *core.Site, opts Options) *Server {
 	s.mux.HandleFunc("/matchcookie", instrument("matchcookie", s.handleMatchCookie))
 	s.mux.HandleFunc("/matchall", instrument("matchall", s.handleMatchAll))
 	s.mux.HandleFunc("/analytics", instrument("analytics", s.handleAnalytics))
+	s.mux.HandleFunc("/prefs", instrument("prefs", s.handlePrefs))
 	if opts.Journal != nil {
 		s.mux.HandleFunc("/durability", instrument("durability", s.handleDurability))
 		s.mux.HandleFunc("/wal", instrument("wal", s.handleWAL))

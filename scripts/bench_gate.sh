@@ -21,6 +21,9 @@
 #     fsync=interval mutation must cost at most MAX_DURABLE_P50_RATIO x
 #     the in-memory median (the group-commit bound). Both run on every
 #     machine: they measure replay and coalescing, not parallelism.
+#   - prefindex: with 1000 resident preference rulesets (Zipf keys), the
+#     post-swap warm hit rate must reach MIN_WARM_HIT and the pre-warmed
+#     post-swap p99 must stay under MAX_WARM_P99_RATIO x the cold p99.
 #
 # Mirrors scripts/coverage_ratchet.sh: floors only move in the same PR
 # that justifies moving them.
@@ -33,19 +36,27 @@ MIN_NODE_SPEEDUP2=${MIN_NODE_SPEEDUP2:-1.6}
 MAX_LAG_P99=${MAX_LAG_P99:-50}
 MAX_RECOVERY_10K_MS=${MAX_RECOVERY_10K_MS:-1000}
 MAX_DURABLE_P50_RATIO=${MAX_DURABLE_P50_RATIO:-2.0}
+MIN_WARM_HIT=${MIN_WARM_HIT:-0.80}
+MAX_WARM_P99_RATIO=${MAX_WARM_P99_RATIO:-0.5}
 
-# Surface the CPU budget before any gate runs so a self-skipped speedup
-# gate is visible in the build log, not just in the JSON artifact.
+# Surface the CPU budget once before any gate runs so self-skipped
+# speedup gates are visible in the build log, not just in the JSON
+# artifacts. The skips are collected into a single note instead of one
+# repeated numCpu line per gate.
 NUM_CPU=$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo unknown)
 echo "== bench gates on numCpu=${NUM_CPU} =="
-# note_self_skip <min-cpus> <gate description> <artifact>
+SELF_SKIPS=""
+# note_self_skip <min-cpus> <gate description (artifact)>
 note_self_skip() {
 	if [ "${NUM_CPU}" != "unknown" ] && [ "${NUM_CPU}" -lt "$1" ]; then
-		echo "note: numCpu=${NUM_CPU} < $1 -- $2 will self-skip (recorded in $3)"
+		SELF_SKIPS="${SELF_SKIPS}${SELF_SKIPS:+; }$2"
 	fi
 }
-note_self_skip 4 "the 4-worker speedup gate" BENCH_throughput.json
-note_self_skip 2 "the 2-node replication speedup gate" BENCH_replication.json
+note_self_skip 4 "the 4-worker speedup gate (BENCH_throughput.json)"
+note_self_skip 2 "the 2-node replication speedup gate (BENCH_replication.json)"
+if [ -n "${SELF_SKIPS}" ]; then
+	echo "note: will self-skip on this machine: ${SELF_SKIPS}"
+fi
 
 echo "== throughput gate (floor ${MIN_SPEEDUP4}x at 4 workers) =="
 go run ./cmd/p3pbench -table=throughput -min-speedup4="$MIN_SPEEDUP4"
@@ -61,3 +72,6 @@ go run ./cmd/p3pbench -table=replication -min-node-speedup2="$MIN_NODE_SPEEDUP2"
 
 echo "== durability gate (10k recovery ceiling ${MAX_RECOVERY_10K_MS}ms, durable p50 ceiling ${MAX_DURABLE_P50_RATIO}x in-memory) =="
 go run ./cmd/p3pbench -table=durability -max-recovery-10k-ms="$MAX_RECOVERY_10K_MS" -max-durable-p50-ratio="$MAX_DURABLE_P50_RATIO"
+
+echo "== prefindex gate (floor ${MIN_WARM_HIT} warm hits, warm/cold p99 ceiling ${MAX_WARM_P99_RATIO}x, at 1000 resident) =="
+go run ./cmd/p3pbench -table=prefindex -min-warm-hit="$MIN_WARM_HIT" -max-warm-p99-ratio="$MAX_WARM_P99_RATIO"
